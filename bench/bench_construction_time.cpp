@@ -1,0 +1,77 @@
+// bench_construction_time — Experiment E8 ("a polynomial time algorithm").
+//
+// google-benchmark wall times for the full constructions as n grows:
+// engine (Phase S0), ESA'13 baseline, ε FT-BFS (S0+S1+S2) — on dense
+// random and adversarial workloads. The empirical scaling should track the
+// engine's O(n·m) core.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.hpp"
+#include "src/core/epsilon_ftbfs.hpp"
+#include "src/core/ftbfs.hpp"
+#include "src/core/replacement.hpp"
+
+using namespace ftb;
+
+namespace {
+
+void BM_EngineBuild(benchmark::State& state) {
+  const Vertex n = static_cast<Vertex>(state.range(0));
+  const Graph g = bench::dense_random(n, 3);
+  const EdgeWeights w = EdgeWeights::uniform_random(g, 3);
+  const BfsTree tree(g, w, 0);
+  for (auto _ : state) {
+    ReplacementPathEngine engine(tree);
+    benchmark::DoNotOptimize(engine.stats().pairs_total);
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n) * g.num_edges());
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["m"] = static_cast<double>(g.num_edges());
+}
+BENCHMARK(BM_EngineBuild)->Arg(128)->Arg(256)->Arg(512)->Arg(1024)
+    ->Unit(benchmark::kMillisecond)->Complexity(benchmark::oN);
+
+void BM_BaselineFtBfs(benchmark::State& state) {
+  const Vertex n = static_cast<Vertex>(state.range(0));
+  const Graph g = bench::dense_random(n, 5);
+  for (auto _ : state) {
+    const FtBfsStructure h = build_ftbfs(g, 0);
+    benchmark::DoNotOptimize(h.num_edges());
+  }
+  state.counters["n"] = static_cast<double>(n);
+}
+BENCHMARK(BM_BaselineFtBfs)->Arg(128)->Arg(256)->Arg(512)->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_EpsilonFtBfs(benchmark::State& state) {
+  const Vertex n = static_cast<Vertex>(state.range(0));
+  const Graph g = bench::dense_random(n, 7);
+  EpsilonOptions opts;
+  opts.eps = 1.0 / 3.0;
+  for (auto _ : state) {
+    const EpsilonResult res = build_epsilon_ftbfs(g, 0, opts);
+    benchmark::DoNotOptimize(res.stats.structure_edges);
+  }
+  state.counters["n"] = static_cast<double>(n);
+}
+BENCHMARK(BM_EpsilonFtBfs)->Arg(128)->Arg(256)->Arg(512)->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_EpsilonFtBfsAdversarial(benchmark::State& state) {
+  const Vertex n = static_cast<Vertex>(state.range(0));
+  const auto lb = lb::build_single_source(n, 1.0 / 3.0);
+  EpsilonOptions opts;
+  opts.eps = 1.0 / 3.0;
+  for (auto _ : state) {
+    const EpsilonResult res = build_epsilon_ftbfs(lb.graph, lb.source, opts);
+    benchmark::DoNotOptimize(res.stats.structure_edges);
+  }
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["m"] = static_cast<double>(lb.graph.num_edges());
+}
+BENCHMARK(BM_EpsilonFtBfsAdversarial)->Arg(256)->Arg(512)->Arg(1024)->Arg(2048)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,107 @@
+// bench_replacement_paths — Experiment E10 (engine micro-throughput; the
+// replacement-path machinery of refs [9]/[17] as realized here).
+//
+// Isolates the engine's sub-phases: per-tree-edge BFS (distance tables),
+// per-vertex off-path detour BFS, oracle queries, and the interference
+// index build.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.hpp"
+#include "src/core/interference.hpp"
+#include "src/core/oracle.hpp"
+#include "src/graph/lca.hpp"
+
+using namespace ftb;
+
+namespace {
+
+void BM_DistTablesOnly(benchmark::State& state) {
+  const Vertex n = static_cast<Vertex>(state.range(0));
+  const Graph g = bench::dense_random(n, 11);
+  const EdgeWeights w = EdgeWeights::uniform_random(g, 11);
+  const BfsTree tree(g, w, 0);
+  for (auto _ : state) {
+    // collect_detours=false still builds tables + pairs; the tables
+    // dominate. Report per-failure BFS throughput.
+    ReplacementPathEngine::Config cfg;
+    cfg.collect_detours = false;
+    ReplacementPathEngine engine(tree, cfg);
+    benchmark::DoNotOptimize(engine.stats().pairs_total);
+  }
+  state.counters["failures/s"] = benchmark::Counter(
+      static_cast<double>(tree.tree_edges().size()),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_DistTablesOnly)->Arg(256)->Arg(512)->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_OracleQueries(benchmark::State& state) {
+  const Vertex n = static_cast<Vertex>(state.range(0));
+  const Graph g = bench::dense_random(n, 13);
+  const EdgeWeights w = EdgeWeights::uniform_random(g, 13);
+  const BfsTree tree(g, w, 0);
+  const ReplacementPathEngine engine(tree);
+  const ReplacementOracle oracle(engine);
+  std::uint64_t x = 0;
+  Rng rng(17);
+  std::vector<std::pair<Vertex, EdgeId>> queries;
+  for (int i = 0; i < 4096; ++i) {
+    queries.emplace_back(
+        static_cast<Vertex>(rng.next_below(static_cast<std::uint64_t>(n))),
+        static_cast<EdgeId>(
+            rng.next_below(static_cast<std::uint64_t>(g.num_edges()))));
+  }
+  for (auto _ : state) {
+    for (const auto& [v, e] : queries) {
+      x += static_cast<std::uint64_t>(oracle.distance(v, e));
+    }
+    benchmark::DoNotOptimize(x);
+  }
+  state.counters["queries/s"] = benchmark::Counter(
+      static_cast<double>(queries.size()),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_OracleQueries)->Arg(512)->Arg(1024)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_InterferenceIndex(benchmark::State& state) {
+  const Vertex n = static_cast<Vertex>(state.range(0));
+  const auto lbg = lb::build_single_source(n, 1.0 / 3.0);
+  const EdgeWeights w = EdgeWeights::uniform_random(lbg.graph, 19);
+  const BfsTree tree(lbg.graph, w, lbg.source);
+  const ReplacementPathEngine engine(tree);
+  const LcaIndex lca(tree);
+  for (auto _ : state) {
+    InterferenceIndex ifx(engine, lca);
+    benchmark::DoNotOptimize(ifx.num_pairs());
+  }
+  state.counters["pairs"] =
+      static_cast<double>(engine.stats().pairs_uncovered);
+}
+BENCHMARK(BM_InterferenceIndex)->Arg(512)->Arg(1024)->Arg(2048)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PathReconstruction(benchmark::State& state) {
+  const Vertex n = static_cast<Vertex>(state.range(0));
+  const auto lbg = lb::build_single_source(n, 0.4);
+  const EdgeWeights w = EdgeWeights::uniform_random(lbg.graph, 23);
+  const BfsTree tree(lbg.graph, w, lbg.source);
+  const ReplacementPathEngine engine(tree);
+  const auto& pairs = engine.uncovered_pairs();
+  if (pairs.empty()) {
+    state.SkipWithError("no uncovered pairs");
+    return;
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& p = pairs[i++ % pairs.size()];
+    const auto path = engine.replacement_path(p.v, p.e);
+    benchmark::DoNotOptimize(path.size());
+  }
+}
+BENCHMARK(BM_PathReconstruction)->Arg(512)->Arg(1024)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

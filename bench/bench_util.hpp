@@ -1,0 +1,56 @@
+// bench_util.hpp — shared helpers for the table-style benches.
+//
+// Every bench prints an experiment header (id, workload, parameters), one
+// ftb::Table of paper-style rows, and a shape-check footer summarizing how
+// the measurement compares with the theorem envelope. Defaults are sized
+// so the whole harness (`for b in build/bench/*; do $b; done`) finishes in
+// a few minutes on a laptop; --n/--eps/... scale everything up.
+#pragma once
+
+#include <cmath>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/graph/generators.hpp"
+#include "src/graph/lower_bound.hpp"
+#include "src/util/options.hpp"
+#include "src/util/table.hpp"
+#include "src/util/timer.hpp"
+
+namespace ftb::bench {
+
+inline void header(const std::string& id, const std::string& claim,
+                   const std::string& workload) {
+  std::cout << "\n##### " << id << " — " << claim << "\n"
+            << "##### workload: " << workload << "\n\n";
+}
+
+/// Least-squares slope of log2(y) against log2(x): the measured exponent
+/// of a power law y ≈ c·x^slope.
+inline double fit_exponent(const std::vector<double>& xs,
+                           const std::vector<double>& ys) {
+  const std::size_t n = xs.size();
+  if (n < 2) return 0;
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double lx = std::log2(xs[i]);
+    const double ly = std::log2(ys[i]);
+    sx += lx;
+    sy += ly;
+    sxx += lx * lx;
+    sxy += lx * ly;
+  }
+  const double denom = static_cast<double>(n) * sxx - sx * sx;
+  return denom == 0 ? 0 : (static_cast<double>(n) * sxy - sx * sy) / denom;
+}
+
+/// A dense random workload whose FT-BFS structures are nontrivial:
+/// connected, m ≈ n^{1.35} edges.
+inline Graph dense_random(Vertex n, std::uint64_t seed) {
+  const auto m = static_cast<std::int64_t>(
+      std::pow(static_cast<double>(n), 1.35));
+  return gen::random_connected(n, m, seed);
+}
+
+}  // namespace ftb::bench

@@ -1,0 +1,71 @@
+// failure_drill — operational resilience rehearsal.
+//
+// Deploy an ε FT-BFS structure over a metro-grid network, then inject a
+// storm of random single-link failures and measure the service level of
+// the surviving structure: a correct deployment reports stretch 1.0 and
+// zero SLA violations. For contrast, the same drill runs against a naive
+// "just the BFS tree" deployment, which fails the drill visibly.
+//
+//   ./example_failure_drill [--rows=18] [--cols=18] [--eps=0.3]
+//   [--drills=300]
+#include <iostream>
+
+#include "src/core/epsilon_ftbfs.hpp"
+#include "src/graph/bfs_tree.hpp"
+#include "src/graph/generators.hpp"
+#include "src/sim/failure_sim.hpp"
+#include "src/util/options.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ftb;
+  Options opt(argc, argv);
+  const Vertex rows = static_cast<Vertex>(opt.get_int("rows", 18));
+  const Vertex cols = static_cast<Vertex>(opt.get_int("cols", 18));
+  const double eps = opt.get_double("eps", 0.3);
+  const std::int64_t drills = opt.get_int("drills", 300);
+
+  // Metro grid + a handful of express diagonals.
+  GraphBuilder b(rows * cols);
+  {
+    const Graph grid = gen::grid_graph(rows, cols);
+    for (EdgeId e = 0; e < grid.num_edges(); ++e) {
+      const auto [u, v] = grid.edge(e);
+      b.add_edge(u, v);
+    }
+    Rng rng(99);
+    for (int i = 0; i < rows * cols / 4; ++i) {
+      const Vertex u = static_cast<Vertex>(
+          rng.next_below(static_cast<std::uint64_t>(rows * cols)));
+      const Vertex v = static_cast<Vertex>(
+          rng.next_below(static_cast<std::uint64_t>(rows * cols)));
+      if (u != v) b.add_edge(u, v);
+    }
+  }
+  const Graph g = b.build();
+  const Vertex source = 0;  // northwest depot
+  std::cout << "metro network: " << g.summary() << "\n";
+
+  EpsilonOptions opts;
+  opts.eps = eps;
+  const EpsilonResult res = build_epsilon_ftbfs(g, source, opts);
+  std::cout << "deployed: " << res.structure.summary() << "\n\n";
+
+  std::cout << "drilling " << drills << " random single-link failures...\n";
+  const DrillReport rep = run_failure_drill(res.structure, drills, 2024);
+  std::cout << "  " << rep.to_string() << "\n";
+  std::cout << (rep.violations == 0 ? "  SLA HELD: every surviving node kept "
+                                      "its exact shortest path.\n"
+                                    : "  SLA BROKEN!\n");
+
+  // The naive deployment for contrast: just the BFS tree, nothing else.
+  const EdgeWeights w = EdgeWeights::uniform_random(g, 1);
+  const BfsTree tree(g, w, source);
+  const FtBfsStructure naive(g, source, tree.tree_edges(), {},
+                             tree.tree_edges());
+  const DrillReport naive_rep = run_failure_drill(naive, drills, 2024);
+  std::cout << "\nnaive BFS-tree deployment under the same storm:\n  "
+            << naive_rep.to_string() << "\n";
+  std::cout << "  (stretch " << naive_rep.max_stretch
+            << "x — this is what the paper's structures prevent)\n";
+  return rep.violations == 0 ? 0 : 1;
+}

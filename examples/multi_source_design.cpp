@@ -1,0 +1,61 @@
+// multi_source_design — FT-MBFS: one survivable structure serving several
+// sources at once (paper §5, multi-source setting).
+//
+// A regional network with several data centers: every center needs exact
+// post-failure shortest paths to every node. The union FT-MBFS shares
+// edges between the per-center structures; the example quantifies the
+// sharing (union size vs. sum of parts) and verifies the contract.
+//
+//   ./example_multi_source_design [--n=400] [--centers=3] [--eps=0.3]
+#include <iostream>
+
+#include "src/core/multi_source.hpp"
+#include "src/graph/generators.hpp"
+#include "src/util/options.hpp"
+#include "src/util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ftb;
+  Options opt(argc, argv);
+  const Vertex n = static_cast<Vertex>(opt.get_int("n", 400));
+  const std::int64_t centers = opt.get_int("centers", 3);
+  const double eps = opt.get_double("eps", 0.3);
+
+  const Graph g = gen::random_connected(n, 4 * n, 31);
+  std::vector<Vertex> sources;
+  for (std::int64_t i = 0; i < centers; ++i) {
+    sources.push_back(static_cast<Vertex>((i * n) / centers));
+  }
+
+  std::cout << "regional network: " << g.summary() << ", data centers at ";
+  for (const Vertex s : sources) std::cout << s << " ";
+  std::cout << "\n\n";
+
+  EpsilonOptions opts;
+  opts.eps = eps;
+  const MultiSourceResult ms = build_epsilon_ftmbfs(g, sources, opts);
+
+  Table t("per-center structures vs the shared union");
+  t.columns({"center", "edges", "backup", "reinforced"});
+  std::int64_t sum_edges = 0;
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    const auto& st = ms.per_source[i];
+    t.row(static_cast<long long>(sources[i]), st.structure_edges, st.backup,
+          st.reinforced);
+    sum_edges += st.structure_edges;
+  }
+  t.row("union", ms.structure.num_edges(), ms.structure.num_backup(),
+        ms.structure.num_reinforced());
+  t.print(std::cout);
+
+  std::cout << "\nsharing factor: union " << ms.structure.num_edges()
+            << " edges vs " << sum_edges << " if deployed separately ("
+            << static_cast<double>(sum_edges) /
+                   static_cast<double>(ms.structure.num_edges())
+            << "x saved by overlap)\n";
+
+  std::cout << "verifying the contract for every center, every failure... ";
+  const std::int64_t violations = verify_multi_source(g, ms);
+  std::cout << (violations == 0 ? "OK\n" : "FAILED\n");
+  return violations == 0 ? 0 : 1;
+}

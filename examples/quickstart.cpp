@@ -1,0 +1,48 @@
+// quickstart — the 60-second tour of the library (mirrors README.md).
+//
+// Build a graph, construct an ε FT-BFS structure, fail an edge, and watch
+// the surviving structure still answer exact BFS distances.
+#include <iostream>
+
+#include "src/core/epsilon_ftbfs.hpp"
+#include "src/core/verifier.hpp"
+#include "src/graph/generators.hpp"
+
+int main() {
+  using namespace ftb;
+
+  // 1. A network: 400 nodes, random connected, ~3000 extra links.
+  const Graph g = gen::random_connected(400, 3000, /*seed=*/42);
+  const Vertex source = 0;
+  std::cout << "network: " << g.summary() << "\n";
+
+  // 2. Build the (b, r) FT-BFS structure at ε = 1/4: backup edges are
+  //    cheap but fault-prone, reinforced edges never fail.
+  EpsilonOptions opts;
+  opts.eps = 0.25;
+  const EpsilonResult res = build_epsilon_ftbfs(g, source, opts);
+  const FtBfsStructure& h = res.structure;
+  std::cout << "structure: " << h.summary() << "\n";
+  std::cout << "  kept " << h.num_edges() << " of " << g.num_edges()
+            << " edges (" << h.num_backup() << " backup + "
+            << h.num_reinforced() << " reinforced)\n";
+
+  // 3. Fail any fault-prone edge: distances from the source survive.
+  EdgeId victim = kInvalidEdge;
+  for (const EdgeId e : h.edges()) {
+    if (!h.is_reinforced(e)) {
+      victim = e;
+      break;
+    }
+  }
+  const auto [u, v] = g.edge(victim);
+  std::cout << "failing edge (" << u << "," << v << ") ...\n";
+  const auto dist_h = h.distances_avoiding(victim);
+  std::cout << "  dist(source, " << v << ") in H\\{e} = "
+            << dist_h[static_cast<std::size_t>(v)] << "\n";
+
+  // 4. Don't take our word for it — the verifier replays *every* failure.
+  const VerifyReport report = verify_structure(h);
+  std::cout << "exhaustive verification: " << report.to_string() << "\n";
+  return report.ok ? 0 : 1;
+}

@@ -1,0 +1,86 @@
+#include "src/core/analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace ftb {
+
+std::vector<EdgeEconomics> EconomicsReport::by_cost_desc() const {
+  std::vector<EdgeEconomics> sorted = edges;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const EdgeEconomics& a, const EdgeEconomics& b) {
+              if (a.cost != b.cost) return a.cost > b.cost;
+              return a.e < b.e;
+            });
+  return sorted;
+}
+
+EconomicsReport analyze_economics(const ReplacementPathEngine& engine) {
+  const BfsTree& tree = engine.tree();
+  const Graph& g = tree.graph();
+
+  EconomicsReport report;
+  std::vector<std::int32_t> index(static_cast<std::size_t>(g.num_edges()), -1);
+  for (const EdgeId e : tree.tree_edges()) {
+    EdgeEconomics row;
+    row.e = e;
+    row.depth = tree.edge_depth(e);
+    row.users = tree.subtree_size(tree.lower_endpoint(e));
+    index[static_cast<std::size_t>(e)] =
+        static_cast<std::int32_t>(report.edges.size());
+    report.edges.push_back(row);
+  }
+
+  // Cost(e): distinct last edges over e's uncovered pairs.
+  std::vector<std::set<EdgeId>> needed(report.edges.size());
+  for (const UncoveredPair& p : engine.uncovered_pairs()) {
+    needed[static_cast<std::size_t>(
+               index[static_cast<std::size_t>(p.e)])]
+        .insert(p.last_edge);
+  }
+  for (std::size_t i = 0; i < report.edges.size(); ++i) {
+    report.edges[i].cost = static_cast<std::int32_t>(needed[i].size());
+    report.total_cost += report.edges[i].cost;
+    report.max_cost = std::max<std::int64_t>(report.max_cost,
+                                             report.edges[i].cost);
+  }
+
+  // Covered pairs per edge: every vertex below e forms one pair with e, so
+  // the pair count of e is exactly users(e); subtracting the uncovered
+  // pairs leaves the covered + disconnecting ones.
+  {
+    std::vector<std::int32_t> uncov(report.edges.size(), 0);
+    for (const UncoveredPair& p : engine.uncovered_pairs()) {
+      ++uncov[static_cast<std::size_t>(index[static_cast<std::size_t>(p.e)])];
+    }
+    for (std::size_t i = 0; i < report.edges.size(); ++i) {
+      report.edges[i].covered = report.edges[i].users - uncov[i];
+    }
+  }
+
+  // Pearson correlation of users vs cost.
+  const std::size_t n = report.edges.size();
+  if (n >= 2) {
+    double su = 0, sc = 0;
+    for (const auto& r : report.edges) {
+      su += r.users;
+      sc += r.cost;
+    }
+    const double mu = su / static_cast<double>(n);
+    const double mc = sc / static_cast<double>(n);
+    double cov = 0, vu = 0, vc = 0;
+    for (const auto& r : report.edges) {
+      cov += (r.users - mu) * (r.cost - mc);
+      vu += (r.users - mu) * (r.users - mu);
+      vc += (r.cost - mc) * (r.cost - mc);
+    }
+    report.users_cost_correlation =
+        (vu > 0 && vc > 0)
+            ? std::clamp(cov / std::sqrt(vu * vc), -1.0, 1.0)
+            : 0.0;
+  }
+  return report;
+}
+
+}  // namespace ftb

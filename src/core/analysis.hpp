@@ -1,0 +1,47 @@
+// analysis.hpp — per-edge economics of a (graph, source) instance.
+//
+// The paper's Discussion frames the tradeoff through two per-edge
+// quantities:
+//   users(e) — the number of vertices whose π(s,v) traverses e ("a vertex
+//              uses an edge if it lies on its shortest path");
+//   Cost(e)  — the number of backup edges that must enter the structure to
+//              protect against e's failure (here: |needed(e)|, the
+//              distinct last edges of e's uncovered pairs).
+// "Since reinforcement is expensive, it is beneficial to reinforce an edge
+// that has many users": backup cost scales with users, reinforcement cost
+// is flat — the economy-of-scale argument. analyze_economics() measures
+// exactly these quantities so the claim can be checked on real instances
+// (bench E12).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/replacement.hpp"
+
+namespace ftb {
+
+/// Economics of one tree edge.
+struct EdgeEconomics {
+  EdgeId e = kInvalidEdge;
+  std::int32_t depth = 0;       // dist(s, e)
+  std::int32_t users = 0;       // |subtree(lower endpoint)|
+  std::int32_t cost = 0;        // |needed(e)| — forced backup edges
+  std::int32_t covered = 0;     // non-new-ending pairs of e (answered
+                                // inside T0, or disconnecting failures)
+};
+
+struct EconomicsReport {
+  std::vector<EdgeEconomics> edges;       // one row per tree edge
+  double users_cost_correlation = 0.0;    // Pearson over tree edges
+  std::int64_t total_cost = 0;            // Σ Cost(e)
+  std::int64_t max_cost = 0;
+
+  /// Rows sorted by descending Cost(e) (the reinforcement shortlist).
+  std::vector<EdgeEconomics> by_cost_desc() const;
+};
+
+/// Computes the per-edge economics from an engine (O(pairs + n)).
+EconomicsReport analyze_economics(const ReplacementPathEngine& engine);
+
+}  // namespace ftb

@@ -1,0 +1,60 @@
+#include "src/core/cost_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ftb {
+
+double predicted_optimal_eps(std::int64_t n, const CostParams& prices) {
+  FTB_CHECK_MSG(prices.backup_price > 0 && prices.reinforce_price > 0,
+                "prices must be positive");
+  const double ratio = prices.ratio();
+  if (ratio <= 1.0 || n < 2) return 0.0;
+  const double eps = std::log(ratio) / (2.0 * std::log(static_cast<double>(n)));
+  return std::clamp(eps, 0.0, 0.5);
+}
+
+double predicted_cost(std::int64_t n, double eps, const CostParams& prices) {
+  return prices.backup_price * theorem_backup_bound(n, eps) +
+         prices.reinforce_price * theorem_reinforce_bound(n, eps);
+}
+
+DesignSweep design_sweep(const Graph& g, Vertex source,
+                         const CostParams& prices,
+                         std::span<const double> eps_grid,
+                         const EpsilonOptions& base) {
+  FTB_CHECK_MSG(!eps_grid.empty(), "empty eps grid");
+  DesignSweep sweep;
+  sweep.points.reserve(eps_grid.size());
+  for (const double eps : eps_grid) {
+    EpsilonOptions opts = base;
+    opts.eps = eps;
+    const EpsilonResult res = build_epsilon_ftbfs(g, source, opts);
+    DesignPoint pt;
+    pt.eps = eps;
+    pt.backup = res.structure.num_backup();
+    pt.reinforced = res.structure.num_reinforced();
+    pt.edges = res.structure.num_edges();
+    pt.cost = res.structure.cost(prices.backup_price, prices.reinforce_price);
+    sweep.points.push_back(pt);
+  }
+  sweep.best_index = 0;
+  for (std::size_t i = 1; i < sweep.points.size(); ++i) {
+    if (sweep.points[i].cost < sweep.points[sweep.best_index].cost) {
+      sweep.best_index = i;
+    }
+  }
+  return sweep;
+}
+
+EpsilonResult design_cheapest(const Graph& g, Vertex source,
+                              const CostParams& prices,
+                              std::span<const double> eps_grid,
+                              const EpsilonOptions& base) {
+  const DesignSweep sweep = design_sweep(g, source, prices, eps_grid, base);
+  EpsilonOptions opts = base;
+  opts.eps = sweep.best().eps;
+  return build_epsilon_ftbfs(g, source, opts);
+}
+
+}  // namespace ftb

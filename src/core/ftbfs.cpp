@@ -1,0 +1,36 @@
+#include "src/core/ftbfs.hpp"
+
+namespace ftb {
+
+FtBfsStructure build_ftbfs(const ReplacementPathEngine& engine) {
+  const BfsTree& tree = engine.tree();
+  std::vector<EdgeId> edges = tree.tree_edges();
+  for (const UncoveredPair& p : engine.uncovered_pairs()) {
+    edges.push_back(p.last_edge);
+  }
+  return FtBfsStructure(tree.graph(), tree.source(), std::move(edges),
+                        /*reinforced=*/{}, tree.tree_edges());
+}
+
+FtBfsStructure build_ftbfs(const Graph& g, Vertex source,
+                           const FtBfsOptions& opts) {
+  const EdgeWeights weights = EdgeWeights::uniform_random(g, opts.weight_seed);
+  const BfsTree tree(g, weights, source);
+  ReplacementPathEngine::Config cfg;
+  cfg.collect_detours = false;  // the baseline only needs last edges
+  cfg.pool = opts.pool;
+  const ReplacementPathEngine engine(tree, cfg);
+  return build_ftbfs(engine);
+}
+
+FtBfsStructure build_reinforced_tree(const Graph& g, Vertex source,
+                                     const FtBfsOptions& opts) {
+  const EdgeWeights weights = EdgeWeights::uniform_random(g, opts.weight_seed);
+  const BfsTree tree(g, weights, source);
+  std::vector<EdgeId> edges = tree.tree_edges();
+  std::vector<EdgeId> reinforced = tree.tree_edges();
+  return FtBfsStructure(g, source, std::move(edges), std::move(reinforced),
+                        tree.tree_edges());
+}
+
+}  // namespace ftb

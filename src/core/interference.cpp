@@ -1,0 +1,129 @@
+#include "src/core/interference.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "src/util/timer.hpp"
+
+namespace ftb {
+
+InterferenceIndex::InterferenceIndex(const ReplacementPathEngine& engine,
+                                     const LcaIndex& lca, Config cfg)
+    : engine_(&engine), lca_(&lca) {
+  Timer timer;
+  const auto& pairs = engine.uncovered_pairs();
+  const std::size_t np = pairs.size();
+  const BfsTree& tree = engine.tree();
+
+  // Inverted index: internal detour vertex → pair ids. Internal = the
+  // detour minus its two endpoints (diverge point and terminal), which is
+  // exactly the exclusion set {d(P), d(P'), v, t} of Eq. (1).
+  std::unordered_map<Vertex, std::vector<std::int32_t>> buckets;
+  buckets.reserve(np * 2);
+  for (std::size_t p = 0; p < np; ++p) {
+    const auto det = engine.detour(pairs[p]);
+    for (std::size_t z = 1; z + 1 < det.size(); ++z) {
+      buckets[det[z]].push_back(static_cast<std::int32_t>(p));
+    }
+  }
+  stats_.index_vertices = static_cast<std::int64_t>(buckets.size());
+
+  // Co-occurrence pass. Different-terminal + (≁)-relation filters applied
+  // inline; duplicates (pairs sharing several vertices) removed afterwards.
+  std::vector<std::vector<std::int32_t>> adj(np);
+  for (auto& [z, bucket] : buckets) {
+    if (static_cast<std::int32_t>(bucket.size()) > cfg.max_bucket) {
+      ++stats_.truncated_buckets;
+      bucket.resize(static_cast<std::size_t>(cfg.max_bucket));
+    }
+    for (std::size_t a = 0; a < bucket.size(); ++a) {
+      const std::int32_t pa = bucket[a];
+      const UncoveredPair& A = pairs[static_cast<std::size_t>(pa)];
+      for (std::size_t b = a + 1; b < bucket.size(); ++b) {
+        const std::int32_t pb = bucket[b];
+        const UncoveredPair& B = pairs[static_cast<std::size_t>(pb)];
+        if (A.v == B.v) continue;                    // same terminal
+        if (tree.edges_related(A.e, B.e)) continue;  // e ∼ e'
+        adj[static_cast<std::size_t>(pa)].push_back(pb);
+        adj[static_cast<std::size_t>(pb)].push_back(pa);
+      }
+    }
+  }
+
+  adj_offset_.assign(np + 1, 0);
+  for (std::size_t p = 0; p < np; ++p) {
+    auto& v = adj[p];
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+    adj_offset_[p + 1] = adj_offset_[p] + static_cast<std::int64_t>(v.size());
+  }
+  adj_.resize(static_cast<std::size_t>(adj_offset_[np]));
+  pi_flags_.resize(adj_.size());
+  for (std::size_t p = 0; p < np; ++p) {
+    std::int64_t at = adj_offset_[p];
+    for (const std::int32_t q : adj[p]) {
+      adj_[static_cast<std::size_t>(at)] = q;
+      pi_flags_[static_cast<std::size_t>(at)] =
+          pi_intersects(static_cast<std::int32_t>(p), q) ? 1 : 0;
+      ++at;
+    }
+  }
+  stats_.adjacency_entries = static_cast<std::int64_t>(adj_.size());
+  stats_.seconds_build = timer.seconds();
+}
+
+std::span<const std::int32_t> InterferenceIndex::neighbors(
+    std::int32_t pair_id) const {
+  const std::size_t p = static_cast<std::size_t>(pair_id);
+  return {adj_.data() + adj_offset_[p], adj_.data() + adj_offset_[p + 1]};
+}
+
+std::span<const std::uint8_t> InterferenceIndex::pi_intersects_flags(
+    std::int32_t pair_id) const {
+  const std::size_t p = static_cast<std::size_t>(pair_id);
+  return {pi_flags_.data() + adj_offset_[p],
+          pi_flags_.data() + adj_offset_[p + 1]};
+}
+
+bool InterferenceIndex::pi_intersects(std::int32_t p, std::int32_t q) const {
+  const auto& pairs = engine_->uncovered_pairs();
+  const UncoveredPair& P = pairs[static_cast<std::size_t>(p)];
+  const UncoveredPair& Q = pairs[static_cast<std::size_t>(q)];
+  const BfsTree& tree = engine_->tree();
+  const std::int32_t lca_depth = lca_->lca_depth(P.v, Q.v);
+  // Detour endpoints can never satisfy the test (d(P) is an ancestor of
+  // both LCA candidates; v deeper only when LCA == v), so scanning the full
+  // detour is equivalent and simpler.
+  for (const Vertex z : engine_->detour(P)) {
+    if (tree.depth(z) > lca_depth && tree.is_ancestor_or_equal(z, Q.v)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<std::int32_t> InterferenceIndex::i1() const {
+  std::vector<std::int32_t> out;
+  for (std::int64_t p = 0; p + 1 < static_cast<std::int64_t>(adj_offset_.size());
+       ++p) {
+    if (adj_offset_[static_cast<std::size_t>(p)] !=
+        adj_offset_[static_cast<std::size_t>(p + 1)]) {
+      out.push_back(static_cast<std::int32_t>(p));
+    }
+  }
+  return out;
+}
+
+std::vector<std::int32_t> InterferenceIndex::i2() const {
+  std::vector<std::int32_t> out;
+  for (std::int64_t p = 0; p + 1 < static_cast<std::int64_t>(adj_offset_.size());
+       ++p) {
+    if (adj_offset_[static_cast<std::size_t>(p)] ==
+        adj_offset_[static_cast<std::size_t>(p + 1)]) {
+      out.push_back(static_cast<std::int32_t>(p));
+    }
+  }
+  return out;
+}
+
+}  // namespace ftb

@@ -1,0 +1,41 @@
+// multi_source.hpp — (b, r) FT-MBFS structures: one ε FT-BFS per source
+// s ∈ S inside a single subgraph (paper §5, multiple-sources part).
+//
+// Upper bound: the union of the per-source structures — the construction
+// the paper measures its Theorem 5.4 lower bound against. An edge is
+// reinforced in the union if *any* source requires it reinforced (a
+// reinforced edge never fails, so this only helps the other sources); the
+// contract is
+//
+//   dist(s, v, H \ {e}) = dist(s, v, G \ {e})
+//                       ∀ s ∈ S, ∀ v ∈ V, ∀ e ∈ E(G) \ E'.
+#pragma once
+
+#include <vector>
+
+#include "src/core/epsilon_ftbfs.hpp"
+#include "src/core/structure.hpp"
+
+namespace ftb {
+
+/// A multi-source FT-BFS structure: shared edge set + per-source views.
+struct MultiSourceResult {
+  std::vector<Vertex> sources;
+  /// Union structure; `structure.source()` is sources.front() (the
+  /// distance contract is enforced per source by verify_multi_source).
+  FtBfsStructure structure;
+  /// Per-source construction stats, aligned with `sources`.
+  std::vector<EpsilonStats> per_source;
+};
+
+/// Builds the union ε FT-MBFS over `sources` (all with the same ε/options).
+MultiSourceResult build_epsilon_ftmbfs(const Graph& g,
+                                       const std::vector<Vertex>& sources,
+                                       const EpsilonOptions& opts = {});
+
+/// Verifies the multi-source contract (per-source verify_structure on the
+/// union edge set). Returns the number of violations (0 = correct).
+std::int64_t verify_multi_source(const Graph& g, const MultiSourceResult& ms,
+                                 std::int64_t max_failures_per_source = -1);
+
+}  // namespace ftb

@@ -1,0 +1,130 @@
+#include "src/core/optimizer.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "src/graph/bfs_tree.hpp"
+
+namespace ftb {
+
+GreedyFrontier::GreedyFrontier(const Graph& g, Vertex source, Config cfg)
+    : g_(&g), source_(source) {
+  const EdgeWeights weights = EdgeWeights::uniform_random(g, cfg.weight_seed);
+  const BfsTree tree(g, weights, source);
+  ReplacementPathEngine::Config ecfg;
+  ecfg.collect_detours = false;
+  ecfg.pool = cfg.pool;
+  const ReplacementPathEngine engine(tree, ecfg);
+
+  tree_edges_ = tree.tree_edges();
+  const std::size_t nt = tree_edges_.size();
+  tree_index_.assign(static_cast<std::size_t>(g.num_edges()), -1);
+  for (std::size_t i = 0; i < nt; ++i) {
+    tree_index_[static_cast<std::size_t>(tree_edges_[i])] =
+        static_cast<std::int32_t>(i);
+  }
+
+  // needed(e): deduplicated last edges per tree edge.
+  needed_.assign(nt, {});
+  for (const UncoveredPair& p : engine.uncovered_pairs()) {
+    const std::int32_t ti = tree_index_[static_cast<std::size_t>(p.e)];
+    FTB_DCHECK(ti >= 0);
+    needed_[static_cast<std::size_t>(ti)].push_back(p.last_edge);
+  }
+  for (auto& v : needed_) {
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+  }
+
+  // users(le): how many distinct tree edges still require last edge le.
+  std::vector<std::int32_t> users(static_cast<std::size_t>(g.num_edges()), 0);
+  std::int64_t live_last_edges = 0;  // |⋃ needed(e)| over unreinforced e
+  for (const auto& v : needed_) {
+    for (const EdgeId le : v) {
+      if (users[static_cast<std::size_t>(le)]++ == 0) ++live_last_edges;
+    }
+  }
+
+  // Lazy greedy: priority = 1 + #{le ∈ needed(e) : users(le) == 1}.
+  auto saving_of = [&](std::size_t ti) {
+    std::int64_t s = 1;  // the edge's own backup slot
+    for (const EdgeId le : needed_[ti]) {
+      if (users[static_cast<std::size_t>(le)] == 1) ++s;
+    }
+    return s;
+  };
+  using Entry = std::pair<std::int64_t, std::int32_t>;  // (saving, ti)
+  std::priority_queue<Entry> heap;
+  for (std::size_t ti = 0; ti < nt; ++ti) {
+    heap.emplace(saving_of(ti), static_cast<std::int32_t>(ti));
+  }
+
+  std::vector<std::uint8_t> reinforced(nt, 0);
+  points_.clear();
+  points_.reserve(nt + 1);
+  std::int64_t b = static_cast<std::int64_t>(nt) + live_last_edges;
+  points_.push_back(FrontierPoint{0, b});
+  order_.clear();
+  order_.reserve(nt);
+
+  while (!heap.empty()) {
+    const auto [claimed, ti] = heap.top();
+    heap.pop();
+    if (reinforced[static_cast<std::size_t>(ti)]) continue;
+    const std::int64_t actual = saving_of(static_cast<std::size_t>(ti));
+    if (actual != claimed) {
+      heap.emplace(actual, ti);  // stale entry — re-insert and retry
+      continue;
+    }
+    reinforced[static_cast<std::size_t>(ti)] = 1;
+    order_.push_back(tree_edges_[static_cast<std::size_t>(ti)]);
+    b -= actual;
+    for (const EdgeId le : needed_[static_cast<std::size_t>(ti)]) {
+      --users[static_cast<std::size_t>(le)];
+    }
+    points_.push_back(
+        FrontierPoint{static_cast<std::int64_t>(order_.size()), b});
+  }
+  FTB_CHECK(b == 0);  // everything reinforced → the bare reinforced tree
+}
+
+FtBfsStructure GreedyFrontier::materialize(std::int64_t r) const {
+  FTB_CHECK(r >= 0 && r <= static_cast<std::int64_t>(order_.size()));
+  std::vector<std::uint8_t> is_reinforced(
+      static_cast<std::size_t>(g_->num_edges()), 0);
+  std::vector<EdgeId> reinforced(order_.begin(), order_.begin() + r);
+  for (const EdgeId e : reinforced) {
+    is_reinforced[static_cast<std::size_t>(e)] = 1;
+  }
+  std::vector<EdgeId> edges = tree_edges_;
+  for (std::size_t ti = 0; ti < tree_edges_.size(); ++ti) {
+    if (is_reinforced[static_cast<std::size_t>(tree_edges_[ti])]) continue;
+    for (const EdgeId le : needed_[ti]) edges.push_back(le);
+  }
+  return FtBfsStructure(*g_, source_, std::move(edges), std::move(reinforced),
+                        tree_edges_);
+}
+
+FtBfsStructure GreedyFrontier::design_max_reinforced(
+    std::int64_t max_reinforced) const {
+  FTB_CHECK_MSG(max_reinforced >= 0, "negative reinforcement budget");
+  const std::int64_t r =
+      std::min<std::int64_t>(max_reinforced,
+                             static_cast<std::int64_t>(order_.size()));
+  return materialize(r);
+}
+
+FtBfsStructure GreedyFrontier::design_max_backup(
+    std::int64_t max_backup) const {
+  FTB_CHECK_MSG(max_backup >= 0, "negative backup budget");
+  for (std::int64_t r = 0; r < static_cast<std::int64_t>(points_.size());
+       ++r) {
+    if (points_[static_cast<std::size_t>(r)].backup <= max_backup) {
+      return materialize(r);
+    }
+  }
+  // Unreachable: the frontier always ends at b == 0.
+  return materialize(static_cast<std::int64_t>(order_.size()));
+}
+
+}  // namespace ftb

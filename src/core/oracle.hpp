@@ -1,0 +1,40 @@
+// oracle.hpp — a single-source replacement-path distance oracle.
+//
+// The related-work line of the paper ([9], Grandoni–V.Williams) studies
+// data structures answering dist(s, v, G \ {e}) queries. The engine's
+// tables already hold everything needed: this thin wrapper exposes O(1)
+// distance queries and O(len) path queries, and is what the failure
+// simulator uses as ground truth.
+#pragma once
+
+#include "src/core/replacement.hpp"
+
+namespace ftb {
+
+/// O(1) dist(s,v,G\{e}) queries on top of a ReplacementPathEngine.
+class ReplacementOracle {
+ public:
+  explicit ReplacementOracle(const ReplacementPathEngine& engine)
+      : engine_(&engine) {}
+
+  /// dist(s, v, G \ {e}); kInfHops if the failure disconnects v.
+  std::int32_t distance(Vertex v, EdgeId failed) const {
+    return engine_->replacement_dist(v, failed);
+  }
+
+  /// dist(s, v, G) (no failure).
+  std::int32_t distance(Vertex v) const { return engine_->tree().depth(v); }
+
+  /// A shortest s→v path avoiding `failed` (empty if disconnected).
+  std::vector<Vertex> path(Vertex v, EdgeId failed) const {
+    if (distance(v, failed) >= kInfHops) return {};
+    return engine_->replacement_path(v, failed);
+  }
+
+  const ReplacementPathEngine& engine() const { return *engine_; }
+
+ private:
+  const ReplacementPathEngine* engine_;
+};
+
+}  // namespace ftb

@@ -1,0 +1,340 @@
+#include "src/core/replacement.hpp"
+
+#include <algorithm>
+
+#include "src/util/timer.hpp"
+
+namespace ftb {
+
+namespace {
+
+/// Per-divergence-candidate detour summary (see build_pairs).
+struct DetourCandidate {
+  std::int32_t hops = kInfHops;      // detour length from u_j to v
+  std::uint64_t wsum = 0;            // tie-break weight of the detour
+  Vertex entry = kInvalidVertex;     // last vertex before v
+  EdgeId last_edge = kInvalidEdge;   // edge (entry, v)
+  Vertex via = kInvalidVertex;       // first off-path vertex (v for direct)
+  EdgeId first_edge = kInvalidEdge;  // edge (u_j, via)
+
+  bool valid() const { return hops < kInfHops; }
+
+  /// Lexicographic (hops, wsum, entry, last_edge) order; fully
+  /// deterministic even under weight collisions.
+  bool better_than(const DetourCandidate& o) const {
+    if (hops != o.hops) return hops < o.hops;
+    if (wsum != o.wsum) return wsum < o.wsum;
+    if (entry != o.entry) return entry < o.entry;
+    return last_edge < o.last_edge;
+  }
+};
+
+}  // namespace
+
+ReplacementPathEngine::ReplacementPathEngine(const BfsTree& tree, Config cfg)
+    : tree_(&tree), cfg_(cfg) {
+  ThreadPool& pool = cfg_.pool != nullptr ? *cfg_.pool : ThreadPool::global();
+  Timer t;
+  build_dist_tables(pool);
+  stats_.seconds_dist_tables = t.seconds();
+  t.restart();
+  build_pairs(pool);
+  stats_.seconds_detours = t.seconds();
+}
+
+void ReplacementPathEngine::build_dist_tables(ThreadPool& pool) {
+  const Graph& g = graph();
+  const std::size_t n = static_cast<std::size_t>(g.num_vertices());
+
+  row_offset_.assign(n + 1, 0);
+  for (std::size_t v = 0; v < n; ++v) {
+    const std::int32_t d = tree_->depth(static_cast<Vertex>(v));
+    row_offset_[v + 1] = row_offset_[v] + (d >= kInfHops ? 0 : d);
+  }
+  dist_rows_.assign(static_cast<std::size_t>(row_offset_[n]), kInfHops);
+  stats_.pairs_total = static_cast<std::int64_t>(dist_rows_.size());
+
+  // One BFS of G \ {e} per tree edge; fill the row slot of every vertex
+  // below e. Rows of different edges write disjoint slots, so the loop is
+  // safely parallel.
+  const auto& tree_edges = tree_->tree_edges();
+  pool.parallel_for(tree_edges.size(), [&](std::size_t idx) {
+    const EdgeId e = tree_edges[idx];
+    const Vertex low = tree_->lower_endpoint(e);
+    const std::int32_t pos = tree_->edge_depth(e) - 1;
+    BfsBans bans;
+    bans.banned_edge = e;
+    const BfsResult res = plain_bfs(g, tree_->source(), bans);
+    for (const Vertex v : tree_->subtree(low)) {
+      dist_rows_[static_cast<std::size_t>(
+          row_offset_[static_cast<std::size_t>(v)] + pos)] =
+          res.dist[static_cast<std::size_t>(v)];
+    }
+  });
+}
+
+std::int32_t ReplacementPathEngine::replacement_dist(Vertex v, EdgeId e) const {
+  if (!tree_->reachable(v)) return kInfHops;
+  if (!tree_->is_tree_edge(e) || !tree_->on_source_path(e, v)) {
+    return tree_->depth(v);  // π(s,v) survives the failure
+  }
+  return table_dist(v, tree_->edge_depth(e) - 1);
+}
+
+namespace {
+
+/// Shared per-vertex computation result before flattening.
+struct VertexPairs {
+  std::vector<UncoveredPair> pairs;     // ordered by edge position
+  std::vector<Vertex> detour_storage;   // concatenated detours
+  std::int64_t covered = 0;
+  std::int64_t infinite = 0;
+};
+
+}  // namespace
+
+void ReplacementPathEngine::build_pairs(ThreadPool& pool) {
+  const Graph& g = graph();
+  const EdgeWeights& W = tree_->weights();
+  const std::size_t n = static_cast<std::size_t>(g.num_vertices());
+
+  std::vector<VertexPairs> per_vertex(n);
+
+  pool.parallel_for(n, [&](std::size_t vi) {
+    const Vertex v = static_cast<Vertex>(vi);
+    const std::int32_t k = tree_->depth(v);
+    if (k <= 0 || k >= kInfHops) return;  // source or unreachable
+    VertexPairs& out = per_vertex[vi];
+
+    const std::vector<Vertex> path = tree_->path_from_source(v);  // u_0..u_k
+
+    // Off-path graph H_v = G \ (V(π(s,v)) \ {v}).
+    thread_local std::vector<std::uint8_t> banned;
+    banned.assign(n, 0);
+    for (std::int32_t j = 0; j < k; ++j) {
+      banned[static_cast<std::size_t>(path[static_cast<std::size_t>(j)])] = 1;
+    }
+    BfsBans bans;
+    bans.banned_vertex = &banned;
+    const CanonicalSp dv = canonical_sp(g, W, v, bans);
+
+    // detlen(j): cheapest detour from u_j to v through off-path space,
+    // excluding the tree edge (u_{k-1}, v) (which can only be proposed when
+    // it is itself the failing edge; see DESIGN.md).
+    const EdgeId parent_e = tree_->parent_edge(v);
+    std::vector<DetourCandidate> det(static_cast<std::size_t>(k));
+    for (std::int32_t j = 0; j < k; ++j) {
+      DetourCandidate& best = det[static_cast<std::size_t>(j)];
+      const Vertex uj = path[static_cast<std::size_t>(j)];
+      for (const Arc& a : g.neighbors(uj)) {
+        DetourCandidate cand;
+        if (a.to == v) {
+          if (a.edge == parent_e) continue;  // never a detour edge
+          cand.hops = 1;
+          cand.wsum = W[a.edge];
+          cand.entry = uj;
+          cand.last_edge = a.edge;
+          cand.via = v;
+          cand.first_edge = a.edge;
+        } else {
+          if (banned[static_cast<std::size_t>(a.to)]) continue;  // on path
+          if (!dv.reachable(a.to)) continue;
+          cand.hops = 1 + dv.hops[static_cast<std::size_t>(a.to)];
+          cand.wsum = W[a.edge] + dv.wsum[static_cast<std::size_t>(a.to)];
+          // dv is rooted at v, so first_hop[a.to] is the vertex adjacent to
+          // v on the canonical v→a.to path — i.e. the entry point of the
+          // reversed detour, and its parent edge is the edge into v.
+          cand.entry = dv.first_hop[static_cast<std::size_t>(a.to)];
+          cand.last_edge =
+              dv.parent_edge[static_cast<std::size_t>(cand.entry)];
+          cand.via = a.to;
+          cand.first_edge = a.edge;
+        }
+        if (!best.valid() || cand.better_than(best)) best = cand;
+      }
+    }
+
+    // Enumerate failing edges bottom-up? Positions ascending for the
+    // deterministic pair order; both orders are equivalent here.
+    for (std::int32_t i = 0; i < k; ++i) {
+      const std::int32_t rd = table_dist(v, i);
+      if (rd >= kInfHops) {
+        ++out.infinite;
+        continue;
+      }
+      const EdgeId e =
+          tree_->parent_edge(path[static_cast<std::size_t>(i) + 1]);
+
+      // Covered test: some T0-neighbor u of v, edge (u,v) ≠ e, with
+      // dist_e(u) + 1 == dist_e(v).
+      bool is_covered = false;
+      {
+        const Vertex parent = tree_->parent(v);
+        if (parent != kInvalidVertex && tree_->parent_edge(v) != e) {
+          // e is strictly above v's parent edge here (e ∈ π(s,v) and ≠
+          // parent edge), so e ∈ π(s,parent) and the row exists.
+          const std::int32_t du = table_dist(parent, i);
+          if (du + 1 == rd) is_covered = true;
+        }
+        if (!is_covered) {
+          for (const Vertex c : tree_->children(v)) {
+            const std::int32_t du = table_dist(c, i);
+            if (du + 1 == rd) {
+              is_covered = true;
+              break;
+            }
+          }
+        }
+      }
+      if (is_covered) {
+        ++out.covered;
+        continue;
+      }
+
+      // New-ending pair: divergence point as close to s as possible.
+      std::int32_t jstar = -1;
+      for (std::int32_t j = 0; j <= i; ++j) {
+        const DetourCandidate& c = det[static_cast<std::size_t>(j)];
+        if (c.valid() && j + c.hops == rd) {
+          jstar = j;
+          break;
+        }
+      }
+      FTB_CHECK_MSG(jstar >= 0,
+                    "engine invariant violated: no divergence point matches "
+                    "replacement distance (v="
+                        << v << ", pos=" << i << ", rd=" << rd << ")");
+      const DetourCandidate& c = det[static_cast<std::size_t>(jstar)];
+
+      UncoveredPair p;
+      p.v = v;
+      p.e = e;
+      p.edge_pos = i;
+      p.rep_dist = rd;
+      p.diverge = path[static_cast<std::size_t>(jstar)];
+      p.diverge_depth = jstar;
+      p.last_edge = c.last_edge;
+      p.detour_len = c.hops;
+      FTB_DCHECK(p.last_edge != kInvalidEdge);
+
+      if (cfg_.collect_detours) {
+        p.detour_begin = static_cast<std::int64_t>(out.detour_storage.size());
+        out.detour_storage.push_back(p.diverge);
+        if (c.via == v) {
+          out.detour_storage.push_back(v);
+        } else {
+          for (Vertex w = c.via; w != v;
+               w = dv.parent[static_cast<std::size_t>(w)]) {
+            out.detour_storage.push_back(w);
+          }
+          out.detour_storage.push_back(v);
+        }
+        p.detour_end = static_cast<std::int64_t>(out.detour_storage.size());
+        FTB_DCHECK(p.detour_end - p.detour_begin ==
+                   static_cast<std::int64_t>(p.detour_len) + 1);
+      }
+      out.pairs.push_back(p);
+    }
+
+    // Reset the thread-local mask for the next vertex on this thread.
+    for (std::int32_t j = 0; j < k; ++j) {
+      banned[static_cast<std::size_t>(path[static_cast<std::size_t>(j)])] = 0;
+    }
+  });
+
+  // Deterministic flatten: vertices in id order, pairs already position-
+  // ordered within each vertex.
+  pairs_.clear();
+  pair_ids_.clear();
+  detour_arena_.clear();
+  pairs_offset_.assign(n + 1, 0);
+  for (std::size_t vi = 0; vi < n; ++vi) {
+    const VertexPairs& src = per_vertex[vi];
+    stats_.pairs_covered += src.covered;
+    stats_.pairs_infinite += src.infinite;
+    const std::int64_t arena_base =
+        static_cast<std::int64_t>(detour_arena_.size());
+    for (UncoveredPair p : src.pairs) {
+      p.detour_begin += arena_base;
+      p.detour_end += arena_base;
+      pair_ids_.push_back(static_cast<std::int32_t>(pairs_.size()));
+      pairs_.push_back(p);
+    }
+    detour_arena_.insert(detour_arena_.end(), src.detour_storage.begin(),
+                         src.detour_storage.end());
+    pairs_offset_[vi + 1] = static_cast<std::int64_t>(pair_ids_.size());
+  }
+  stats_.pairs_uncovered = static_cast<std::int64_t>(pairs_.size());
+  stats_.detour_vertices = static_cast<std::int64_t>(detour_arena_.size());
+}
+
+std::span<const std::int32_t> ReplacementPathEngine::uncovered_of(
+    Vertex v) const {
+  const std::size_t vi = static_cast<std::size_t>(v);
+  return {pair_ids_.data() + pairs_offset_[vi],
+          pair_ids_.data() + pairs_offset_[vi + 1]};
+}
+
+std::span<const Vertex> ReplacementPathEngine::detour(
+    const UncoveredPair& p) const {
+  FTB_CHECK_MSG(cfg_.collect_detours, "detours were not collected");
+  return {detour_arena_.data() + p.detour_begin,
+          detour_arena_.data() + p.detour_end};
+}
+
+bool ReplacementPathEngine::covered(Vertex v, EdgeId e) const {
+  FTB_CHECK(tree_->reachable(v) && tree_->on_source_path(e, v));
+  const std::int32_t pos = tree_->edge_depth(e) - 1;
+  const std::int32_t rd = table_dist(v, pos);
+  FTB_CHECK_MSG(rd < kInfHops, "covered() on a disconnecting failure");
+  const Vertex parent = tree_->parent(v);
+  if (parent != kInvalidVertex && tree_->parent_edge(v) != e) {
+    if (table_dist(parent, pos) + 1 == rd) return true;
+  }
+  for (const Vertex c : tree_->children(v)) {
+    if (table_dist(c, pos) + 1 == rd) return true;
+  }
+  return false;
+}
+
+std::vector<Vertex> ReplacementPathEngine::replacement_path(Vertex v,
+                                                            EdgeId e) const {
+  FTB_CHECK(tree_->reachable(v));
+  if (!tree_->is_tree_edge(e) || !tree_->on_source_path(e, v)) {
+    return tree_->path_from_source(v);  // π(s,v) is itself a replacement path
+  }
+  const std::int32_t rd = replacement_dist(v, e);
+  FTB_CHECK_MSG(rd < kInfHops, "no replacement path: failure disconnects v");
+
+  // Uncovered pair? Use the stored canonical metadata.
+  for (const std::int32_t id : uncovered_of(v)) {
+    const UncoveredPair& p = pairs_[static_cast<std::size_t>(id)];
+    if (p.e != e) continue;
+    std::vector<Vertex> out = tree_->path_from_source(p.diverge);
+    const auto det = detour(p);
+    out.insert(out.end(), det.begin() + 1, det.end());
+    return out;
+  }
+
+  // Covered pair: canonical shortest path in G'(v) \ {e}, where G'(v) keeps
+  // only v's tree edges among v's incident edges.
+  const Graph& g = graph();
+  std::vector<std::uint8_t> edge_mask(static_cast<std::size_t>(g.num_edges()),
+                                      0);
+  for (const Arc& a : g.neighbors(v)) {
+    const bool tree_incident =
+        a.edge == tree_->parent_edge(v) ||
+        (tree_->is_tree_edge(a.edge) && tree_->lower_endpoint(a.edge) == a.to);
+    if (!tree_incident) edge_mask[static_cast<std::size_t>(a.edge)] = 1;
+  }
+  BfsBans bans;
+  bans.banned_edge_mask = &edge_mask;
+  bans.banned_edge = e;
+  const CanonicalSp sp = canonical_sp(g, tree_->weights(), tree_->source(), bans);
+  FTB_CHECK_MSG(sp.reachable(v) &&
+                    sp.hops[static_cast<std::size_t>(v)] == rd,
+                "covered pair reconstruction does not match the G'(v) test");
+  return sp.path_from_source(v);
+}
+
+}  // namespace ftb

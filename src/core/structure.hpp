@@ -1,0 +1,89 @@
+// structure.hpp — the (b, r) FT-BFS structure H, the object every
+// construction in this library emits.
+//
+// H is a subgraph of G given by an edge subset, partitioned into
+//   * reinforced edges E' (assumed to never fail; the r(n) of the paper),
+//   * backup edges E(H) \ E' (fault-prone; the b(n) of the paper),
+// together with the BFS tree T0 ⊆ H it was built around. The contract
+// (Definition 2.1) is:
+//
+//   dist(s, v, H \ {e}) = dist(s, v, G \ {e})   ∀ v ∈ V, ∀ e ∈ E(G) \ E'.
+//
+// Use core/verifier.hpp to check the contract exhaustively.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/graph/graph.hpp"
+
+namespace ftb {
+
+/// An FT-BFS structure (see file comment). Immutable after construction.
+class FtBfsStructure {
+ public:
+  /// `edges` is E(H) (must include all of `tree_edges`); `reinforced` is
+  /// E' ⊆ E(H). All vectors are deduplicated and sorted internally.
+  FtBfsStructure(const Graph& g, Vertex source, std::vector<EdgeId> edges,
+                 std::vector<EdgeId> reinforced,
+                 std::vector<EdgeId> tree_edges);
+
+  const Graph& graph() const { return *g_; }
+  Vertex source() const { return source_; }
+
+  /// E(H), sorted ascending.
+  const std::vector<EdgeId>& edges() const { return edges_; }
+  /// E' ⊆ E(H), sorted ascending.
+  const std::vector<EdgeId>& reinforced() const { return reinforced_; }
+  /// The BFS tree T0 the structure was built around (⊆ E(H)).
+  const std::vector<EdgeId>& tree_edges() const { return tree_edges_; }
+
+  bool contains(EdgeId e) const {
+    return in_h_[static_cast<std::size_t>(e)] != 0;
+  }
+  bool is_reinforced(EdgeId e) const {
+    return is_reinf_[static_cast<std::size_t>(e)] != 0;
+  }
+
+  std::int64_t num_edges() const {
+    return static_cast<std::int64_t>(edges_.size());
+  }
+  /// r(n).
+  std::int64_t num_reinforced() const {
+    return static_cast<std::int64_t>(reinforced_.size());
+  }
+  /// b(n) = |E(H)| − r(n).
+  std::int64_t num_backup() const { return num_edges() - num_reinforced(); }
+
+  /// Total monetary cost under prices (B, R) — the paper's B·b + R·r.
+  double cost(double backup_price, double reinforce_price) const {
+    return backup_price * static_cast<double>(num_backup()) +
+           reinforce_price * static_cast<double>(num_reinforced());
+  }
+
+  /// Hop distances from the source inside H \ {failed} (pass kInvalidEdge
+  /// for the failure-free structure). O(n + m).
+  std::vector<std::int32_t> distances_avoiding(EdgeId failed) const;
+
+  /// Edge-membership mask over E(G): 1 where the edge is *outside* H.
+  /// (Shape required by BfsBans::banned_edge_mask.)
+  const std::vector<std::uint8_t>& complement_mask() const {
+    return out_of_h_;
+  }
+
+  /// "FtBfs(n=…, |H|=…, b=…, r=…)".
+  std::string summary() const;
+
+ private:
+  const Graph* g_;
+  Vertex source_;
+  std::vector<EdgeId> edges_;
+  std::vector<EdgeId> reinforced_;
+  std::vector<EdgeId> tree_edges_;
+  std::vector<std::uint8_t> in_h_;      // per EdgeId
+  std::vector<std::uint8_t> is_reinf_;  // per EdgeId
+  std::vector<std::uint8_t> out_of_h_;  // per EdgeId (== !in_h_)
+};
+
+}  // namespace ftb

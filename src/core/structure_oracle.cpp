@@ -1,0 +1,37 @@
+#include "src/core/structure_oracle.hpp"
+
+#include <algorithm>
+
+namespace ftb {
+
+StructureOracle::StructureOracle(const FtBfsStructure& h,
+                                 const ReplacementPathEngine& engine)
+    : h_(&h), oracle_(engine) {
+  FTB_CHECK_MSG(&h.graph() == &engine.graph(),
+                "structure and engine bound to different graphs");
+  FTB_CHECK_MSG(h.source() == engine.tree().source(),
+                "structure and engine have different sources");
+  // Same tree ⇒ same edge set (both are sorted-comparable).
+  std::vector<EdgeId> a = h.tree_edges();
+  std::vector<EdgeId> b = engine.tree().tree_edges();
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  FTB_CHECK_MSG(a == b, "structure and engine built around different trees");
+}
+
+std::int32_t StructureOracle::query(Vertex v, EdgeId failed) const {
+  FTB_CHECK_MSG(!h_->is_reinforced(failed),
+                "edge " << failed
+                        << " is reinforced — it cannot fail in the model "
+                           "(use query_unchecked for what-if analysis)");
+  // The FT-BFS contract: dist(s,v,H\{e}) == dist(s,v,G\{e}) — an O(1)
+  // table lookup in the engine.
+  return oracle_.distance(v, failed);
+}
+
+std::int32_t StructureOracle::query_unchecked(Vertex v, EdgeId failed) const {
+  if (!h_->is_reinforced(failed)) return query(v, failed);
+  return h_->distances_avoiding(failed)[static_cast<std::size_t>(v)];
+}
+
+}  // namespace ftb

@@ -1,0 +1,40 @@
+// structure_oracle.hpp — O(1) post-failure distance queries against a
+// *deployed* structure.
+//
+// For any fault-prone edge e, the FT-BFS contract pins
+// dist(s,v,H\{e}) = dist(s,v,G\{e}), and the right-hand side is an O(1)
+// lookup in the replacement-path engine. So queries against the deployed
+// structure cost O(1) — no BFS at query time — as long as the failure is
+// inside the model. Reinforced-edge "failures" are outside the contract;
+// query() refuses them (they are assumed impossible), while
+// query_unchecked() falls back to a literal BFS for what-if analysis.
+#pragma once
+
+#include "src/core/oracle.hpp"
+#include "src/core/structure.hpp"
+
+namespace ftb {
+
+/// Bound to one structure + the engine of the same (graph, source, W).
+class StructureOracle {
+ public:
+  /// Both objects must come from the same tree (checked).
+  StructureOracle(const FtBfsStructure& h, const ReplacementPathEngine& engine);
+
+  /// dist(s, v, H \ {failed}) for a fault-prone edge. O(1).
+  /// Precondition: !h.is_reinforced(failed) (CheckError otherwise —
+  /// reinforced edges never fail in the model).
+  std::int32_t query(Vertex v, EdgeId failed) const;
+
+  /// Like query(), but tolerates reinforced-edge failures by running a
+  /// literal BFS on H \ {failed}. O(n + m); for what-if analysis only.
+  std::int32_t query_unchecked(Vertex v, EdgeId failed) const;
+
+  const FtBfsStructure& structure() const { return *h_; }
+
+ private:
+  const FtBfsStructure* h_;
+  ReplacementOracle oracle_;
+};
+
+}  // namespace ftb

@@ -1,0 +1,89 @@
+#include "src/core/verifier.hpp"
+
+#include <mutex>
+#include <sstream>
+
+#include "src/graph/canonical_bfs.hpp"
+
+namespace ftb {
+
+std::string VerifyReport::to_string() const {
+  std::ostringstream os;
+  os << (ok ? "OK" : "VIOLATED") << " (failures_checked=" << failures_checked
+     << ", violations=" << violations << ")";
+  for (const auto& v : examples) {
+    os << "\n  failed_edge=" << v.failed_edge << " vertex=" << v.vertex
+       << " dist_H=" << v.dist_structure << " dist_G=" << v.dist_graph;
+  }
+  return os.str();
+}
+
+VerifyReport verify_structure(const FtBfsStructure& h,
+                              const VerifyOptions& opts) {
+  const Graph& g = h.graph();
+  const Vertex s = h.source();
+  ThreadPool& pool = opts.pool != nullptr ? *opts.pool : ThreadPool::global();
+
+  VerifyReport report;
+  std::mutex mu;
+  auto record = [&](EdgeId failed, Vertex v, std::int32_t dh, std::int32_t dg) {
+    std::lock_guard<std::mutex> lock(mu);
+    report.ok = false;
+    ++report.violations;
+    if (report.examples.size() < 16) {
+      report.examples.push_back(VerifyViolation{failed, v, dh, dg});
+    }
+  };
+
+  // Failure-free check: H must span a BFS tree of G.
+  {
+    const std::vector<std::int32_t> dist_g = plain_bfs(g, s).dist;
+    const std::vector<std::int32_t> dist_h =
+        h.distances_avoiding(kInvalidEdge);
+    for (Vertex v = 0; v < g.num_vertices(); ++v) {
+      if (dist_h[static_cast<std::size_t>(v)] !=
+          dist_g[static_cast<std::size_t>(v)]) {
+        record(kInvalidEdge, v, dist_h[static_cast<std::size_t>(v)],
+               dist_g[static_cast<std::size_t>(v)]);
+      }
+    }
+    ++report.failures_checked;
+  }
+
+  // Candidate failures: all tree edges, optionally every other edge of G;
+  // reinforced edges are exempt by definition.
+  std::vector<EdgeId> candidates;
+  std::vector<std::uint8_t> is_tree(static_cast<std::size_t>(g.num_edges()), 0);
+  for (const EdgeId e : h.tree_edges()) {
+    is_tree[static_cast<std::size_t>(e)] = 1;
+  }
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (h.is_reinforced(e)) continue;
+    if (is_tree[static_cast<std::size_t>(e)] || opts.check_nontree_failures) {
+      candidates.push_back(e);
+    }
+  }
+  if (opts.max_failures >= 0 &&
+      static_cast<std::int64_t>(candidates.size()) > opts.max_failures) {
+    candidates.resize(static_cast<std::size_t>(opts.max_failures));
+  }
+
+  pool.parallel_for(candidates.size(), [&](std::size_t i) {
+    const EdgeId e = candidates[i];
+    BfsBans g_bans;
+    g_bans.banned_edge = e;
+    const std::vector<std::int32_t> dist_g = plain_bfs(g, s, g_bans).dist;
+    const std::vector<std::int32_t> dist_h = h.distances_avoiding(e);
+    for (Vertex v = 0; v < g.num_vertices(); ++v) {
+      if (dist_h[static_cast<std::size_t>(v)] !=
+          dist_g[static_cast<std::size_t>(v)]) {
+        record(e, v, dist_h[static_cast<std::size_t>(v)],
+               dist_g[static_cast<std::size_t>(v)]);
+      }
+    }
+  });
+  report.failures_checked += static_cast<std::int64_t>(candidates.size());
+  return report;
+}
+
+}  // namespace ftb

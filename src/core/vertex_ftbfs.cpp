@@ -1,0 +1,282 @@
+#include "src/core/vertex_ftbfs.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+
+#include "src/core/ftbfs.hpp"
+
+namespace ftb {
+
+namespace {
+
+/// Best off-path detour from a divergence candidate (same object as the
+/// edge engine's, re-derived here with vertex-fault semantics).
+struct DetourCandidate {
+  std::int32_t hops = kInfHops;
+  std::uint64_t wsum = 0;
+  Vertex entry = kInvalidVertex;
+  EdgeId last_edge = kInvalidEdge;
+
+  bool valid() const { return hops < kInfHops; }
+  bool better_than(const DetourCandidate& o) const {
+    if (hops != o.hops) return hops < o.hops;
+    if (wsum != o.wsum) return wsum < o.wsum;
+    if (entry != o.entry) return entry < o.entry;
+    return last_edge < o.last_edge;
+  }
+};
+
+}  // namespace
+
+VertexReplacementEngine::VertexReplacementEngine(const BfsTree& tree,
+                                                 Config cfg)
+    : tree_(&tree), cfg_(cfg) {
+  ThreadPool& pool = cfg_.pool != nullptr ? *cfg_.pool : ThreadPool::global();
+  build_dist_tables(pool);
+  build_pairs(pool);
+}
+
+void VertexReplacementEngine::build_dist_tables(ThreadPool& pool) {
+  const Graph& g = tree_->graph();
+  const std::size_t n = static_cast<std::size_t>(g.num_vertices());
+
+  // Row v holds the failures of the depth(v)−1 internal vertices of π(s,v).
+  row_offset_.assign(n + 1, 0);
+  for (std::size_t v = 0; v < n; ++v) {
+    const std::int32_t d = tree_->depth(static_cast<Vertex>(v));
+    row_offset_[v + 1] =
+        row_offset_[v] + ((d >= kInfHops || d < 1) ? 0 : d - 1);
+  }
+  rows_.assign(static_cast<std::size_t>(row_offset_[n]), kInfHops);
+  stats_.pairs_total = static_cast<std::int64_t>(rows_.size());
+
+  // One BFS of G\{x} per internal tree vertex x; fill the slot of every
+  // strict descendant of x. Disjoint slots → safely parallel.
+  const auto pre = tree_->preorder();
+  pool.parallel_for(pre.size(), [&](std::size_t idx) {
+    const Vertex x = pre[idx];
+    if (x == tree_->source()) return;
+    if (tree_->subtree_size(x) <= 1) return;  // no strict descendants
+    const std::int32_t pos = tree_->depth(x);
+    std::vector<std::uint8_t> banned(n, 0);
+    banned[static_cast<std::size_t>(x)] = 1;
+    BfsBans bans;
+    bans.banned_vertex = &banned;
+    const BfsResult res = plain_bfs(g, tree_->source(), bans);
+    for (const Vertex v : tree_->subtree(x)) {
+      if (v == x) continue;
+      rows_[static_cast<std::size_t>(
+          row_offset_[static_cast<std::size_t>(v)] + (pos - 1))] =
+          res.dist[static_cast<std::size_t>(v)];
+    }
+  });
+}
+
+std::int32_t VertexReplacementEngine::replacement_dist(Vertex v,
+                                                       Vertex x) const {
+  FTB_CHECK_MSG(x != tree_->source(), "the source never fails");
+  if (!tree_->reachable(v)) return kInfHops;
+  if (v == x) return kInfHops;  // the terminal itself failed
+  if (!tree_->reachable(x) || !tree_->is_ancestor_or_equal(x, v)) {
+    return tree_->depth(v);  // π(s,v) avoids x
+  }
+  return table_dist(v, tree_->depth(x));
+}
+
+void VertexReplacementEngine::build_pairs(ThreadPool& pool) {
+  const Graph& g = tree_->graph();
+  const EdgeWeights& W = tree_->weights();
+  const std::size_t n = static_cast<std::size_t>(g.num_vertices());
+
+  struct PerVertex {
+    std::vector<VertexFaultPair> pairs;
+    std::int64_t covered = 0;
+    std::int64_t infinite = 0;
+  };
+  std::vector<PerVertex> per_vertex(n);
+
+  pool.parallel_for(n, [&](std::size_t vi) {
+    const Vertex v = static_cast<Vertex>(vi);
+    const std::int32_t k = tree_->depth(v);
+    if (k <= 1 || k >= kInfHops) return;  // no internal path vertices
+    PerVertex& out = per_vertex[vi];
+
+    const std::vector<Vertex> path = tree_->path_from_source(v);
+
+    thread_local std::vector<std::uint8_t> banned;
+    banned.assign(n, 0);
+    for (std::int32_t j = 0; j < k; ++j) {
+      banned[static_cast<std::size_t>(path[static_cast<std::size_t>(j)])] = 1;
+    }
+    BfsBans bans;
+    bans.banned_vertex = &banned;
+    const CanonicalSp dv = canonical_sp(g, W, v, bans);
+
+    // detlen(j), identical to the edge engine (the failing object is a
+    // path vertex, never an off-path edge, so no extra exclusions beyond
+    // the tree parent edge, which is unreachable anyway since j ≤ i−1 ≤
+    // k−2).
+    const EdgeId parent_e = tree_->parent_edge(v);
+    std::vector<DetourCandidate> det(static_cast<std::size_t>(k));
+    for (std::int32_t j = 0; j < k; ++j) {
+      DetourCandidate& best = det[static_cast<std::size_t>(j)];
+      const Vertex uj = path[static_cast<std::size_t>(j)];
+      for (const Arc& a : g.neighbors(uj)) {
+        DetourCandidate cand;
+        if (a.to == v) {
+          if (a.edge == parent_e) continue;
+          cand.hops = 1;
+          cand.wsum = W[a.edge];
+          cand.entry = uj;
+          cand.last_edge = a.edge;
+        } else {
+          if (banned[static_cast<std::size_t>(a.to)]) continue;
+          if (!dv.reachable(a.to)) continue;
+          cand.hops = 1 + dv.hops[static_cast<std::size_t>(a.to)];
+          cand.wsum = W[a.edge] + dv.wsum[static_cast<std::size_t>(a.to)];
+          cand.entry = dv.first_hop[static_cast<std::size_t>(a.to)];
+          cand.last_edge =
+              dv.parent_edge[static_cast<std::size_t>(cand.entry)];
+        }
+        if (!best.valid() || cand.better_than(best)) best = cand;
+      }
+    }
+
+    for (std::int32_t i = 1; i <= k - 1; ++i) {  // failing vertex u_i
+      const Vertex x = path[static_cast<std::size_t>(i)];
+      const std::int32_t rd = table_dist(v, i);
+      if (rd >= kInfHops) {
+        ++out.infinite;
+        continue;
+      }
+      // Covered test: a T0-neighbor u ≠ x of v with dist_x(u) + 1 == rd.
+      bool is_covered = false;
+      {
+        const Vertex parent = tree_->parent(v);
+        if (parent != kInvalidVertex && parent != x) {
+          // x is a strict ancestor of parent here (i ≤ k−2), so the row
+          // exists.
+          if (table_dist(parent, i) + 1 == rd) is_covered = true;
+        }
+        if (!is_covered) {
+          for (const Vertex c : tree_->children(v)) {
+            if (table_dist(c, i) + 1 == rd) {
+              is_covered = true;
+              break;
+            }
+          }
+        }
+      }
+      if (is_covered) {
+        ++out.covered;
+        continue;
+      }
+
+      std::int32_t jstar = -1;
+      for (std::int32_t j = 0; j <= i - 1; ++j) {
+        const DetourCandidate& c = det[static_cast<std::size_t>(j)];
+        if (c.valid() && j + c.hops == rd) {
+          jstar = j;
+          break;
+        }
+      }
+      FTB_CHECK_MSG(jstar >= 0,
+                    "vertex-fault engine invariant violated (v="
+                        << v << ", x=" << x << ", rd=" << rd << ")");
+      const DetourCandidate& c = det[static_cast<std::size_t>(jstar)];
+      VertexFaultPair p;
+      p.v = v;
+      p.x = x;
+      p.x_pos = i;
+      p.rep_dist = rd;
+      p.diverge = path[static_cast<std::size_t>(jstar)];
+      p.diverge_depth = jstar;
+      p.last_edge = c.last_edge;
+      out.pairs.push_back(p);
+    }
+
+    for (std::int32_t j = 0; j < k; ++j) {
+      banned[static_cast<std::size_t>(path[static_cast<std::size_t>(j)])] = 0;
+    }
+  });
+
+  pairs_.clear();
+  for (std::size_t vi = 0; vi < n; ++vi) {
+    stats_.pairs_covered += per_vertex[vi].covered;
+    stats_.pairs_infinite += per_vertex[vi].infinite;
+    pairs_.insert(pairs_.end(), per_vertex[vi].pairs.begin(),
+                  per_vertex[vi].pairs.end());
+  }
+  stats_.pairs_uncovered = static_cast<std::int64_t>(pairs_.size());
+}
+
+FtBfsStructure build_vertex_ftbfs(const Graph& g, Vertex source,
+                                  const VertexFtBfsOptions& opts) {
+  const EdgeWeights weights = EdgeWeights::uniform_random(g, opts.weight_seed);
+  const BfsTree tree(g, weights, source);
+  VertexReplacementEngine::Config cfg;
+  cfg.pool = opts.pool;
+  const VertexReplacementEngine engine(tree, cfg);
+  std::vector<EdgeId> edges = tree.tree_edges();
+  for (const VertexFaultPair& p : engine.uncovered_pairs()) {
+    edges.push_back(p.last_edge);
+  }
+  return FtBfsStructure(g, source, std::move(edges), {}, tree.tree_edges());
+}
+
+FtBfsStructure build_dual_ftbfs(const Graph& g, Vertex source,
+                                const VertexFtBfsOptions& opts) {
+  FtBfsOptions eopts;
+  eopts.weight_seed = opts.weight_seed;
+  eopts.pool = opts.pool;
+  const FtBfsStructure edge_h = build_ftbfs(g, source, eopts);
+  const FtBfsStructure vertex_h = build_vertex_ftbfs(g, source, opts);
+  std::vector<EdgeId> edges = edge_h.edges();
+  edges.insert(edges.end(), vertex_h.edges().begin(), vertex_h.edges().end());
+  return FtBfsStructure(g, source, std::move(edges), {}, edge_h.tree_edges());
+}
+
+std::int64_t verify_vertex_structure(const FtBfsStructure& h,
+                                     std::int64_t max_failures,
+                                     ThreadPool* pool_ptr) {
+  const Graph& g = h.graph();
+  const Vertex s = h.source();
+  ThreadPool& pool = pool_ptr != nullptr ? *pool_ptr : ThreadPool::global();
+
+  std::vector<Vertex> candidates;
+  for (Vertex x = 0; x < g.num_vertices(); ++x) {
+    if (x != s) candidates.push_back(x);
+  }
+  if (max_failures >= 0 &&
+      static_cast<std::int64_t>(candidates.size()) > max_failures) {
+    candidates.resize(static_cast<std::size_t>(max_failures));
+  }
+
+  std::atomic<std::int64_t> violations{0};
+  pool.parallel_for(candidates.size(), [&](std::size_t i) {
+    const Vertex x = candidates[i];
+    const std::size_t n = static_cast<std::size_t>(g.num_vertices());
+    std::vector<std::uint8_t> banned(n, 0);
+    banned[static_cast<std::size_t>(x)] = 1;
+    BfsBans g_bans;
+    g_bans.banned_vertex = &banned;
+    const std::vector<std::int32_t> dist_g = plain_bfs(g, s, g_bans).dist;
+    BfsBans h_bans;
+    h_bans.banned_vertex = &banned;
+    h_bans.banned_edge_mask = &h.complement_mask();
+    const std::vector<std::int32_t> dist_h = plain_bfs(g, s, h_bans).dist;
+    std::int64_t local = 0;
+    for (Vertex v = 0; v < g.num_vertices(); ++v) {
+      if (v == x) continue;
+      if (dist_h[static_cast<std::size_t>(v)] !=
+          dist_g[static_cast<std::size_t>(v)]) {
+        ++local;
+      }
+    }
+    violations.fetch_add(local, std::memory_order_relaxed);
+  });
+  return violations.load();
+}
+
+}  // namespace ftb

@@ -1,0 +1,53 @@
+#include <algorithm>
+
+#include "src/graph/graph.hpp"
+
+namespace ftb {
+
+GraphBuilder::GraphBuilder(Vertex num_vertices) : n_(num_vertices) {
+  FTB_CHECK_MSG(num_vertices >= 0, "negative vertex count");
+}
+
+void GraphBuilder::add_edge(Vertex u, Vertex v) {
+  FTB_CHECK_MSG(u >= 0 && u < n_ && v >= 0 && v < n_,
+                "edge (" << u << "," << v << ") out of range n=" << n_);
+  FTB_CHECK_MSG(u != v, "self loop at vertex " << u);
+  if (u > v) std::swap(u, v);
+  pending_.emplace_back(u, v);
+}
+
+Graph GraphBuilder::build() {
+  std::sort(pending_.begin(), pending_.end());
+  pending_.erase(std::unique(pending_.begin(), pending_.end()),
+                 pending_.end());
+
+  Graph g;
+  g.edges_ = std::move(pending_);
+  pending_.clear();
+
+  const std::size_t n = static_cast<std::size_t>(n_);
+  g.offsets_.assign(n + 1, 0);
+  for (const auto& [u, v] : g.edges_) {
+    ++g.offsets_[static_cast<std::size_t>(u) + 1];
+    ++g.offsets_[static_cast<std::size_t>(v) + 1];
+  }
+  for (std::size_t i = 0; i < n; ++i) g.offsets_[i + 1] += g.offsets_[i];
+
+  g.arcs_.resize(g.edges_.size() * 2);
+  std::vector<std::int64_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (EdgeId e = 0; e < static_cast<EdgeId>(g.edges_.size()); ++e) {
+    const auto [u, v] = g.edges_[e];
+    g.arcs_[static_cast<std::size_t>(cursor[u]++)] = Arc{v, e};
+    g.arcs_[static_cast<std::size_t>(cursor[v]++)] = Arc{u, e};
+  }
+  // Edge list is sorted by (u,v); re-sort each vertex's arc range by
+  // neighbor id so adjacency scans are deterministic and binary-searchable.
+  for (std::size_t v = 0; v < n; ++v) {
+    std::sort(
+        g.arcs_.begin() + g.offsets_[v], g.arcs_.begin() + g.offsets_[v + 1],
+        [](const Arc& a, const Arc& b) { return a.to < b.to; });
+  }
+  return g;
+}
+
+}  // namespace ftb

@@ -1,0 +1,113 @@
+#include "src/graph/canonical_bfs.hpp"
+
+#include <algorithm>
+
+namespace ftb {
+
+EdgeWeights EdgeWeights::uniform_random(const Graph& g, std::uint64_t seed) {
+  EdgeWeights ew;
+  Rng rng(seed);
+  ew.w.resize(static_cast<std::size_t>(g.num_edges()));
+  for (auto& x : ew.w) {
+    x = 1 + rng.next_below((1ULL << 40) - 1);
+  }
+  return ew;
+}
+
+BfsResult plain_bfs(const Graph& g, Vertex src, const BfsBans& bans) {
+  const std::size_t n = static_cast<std::size_t>(g.num_vertices());
+  FTB_CHECK(g.valid_vertex(src));
+  FTB_CHECK_MSG(!bans.vertex_banned(src), "source is banned");
+
+  BfsResult r;
+  r.dist.assign(n, kInfHops);
+  r.parent.assign(n, kInvalidVertex);
+  r.parent_edge.assign(n, kInvalidEdge);
+  r.order.clear();
+  r.order.reserve(n);
+
+  r.dist[static_cast<std::size_t>(src)] = 0;
+  r.order.push_back(src);
+  // r.order doubles as the BFS queue (it is only ever appended to).
+  for (std::size_t head = 0; head < r.order.size(); ++head) {
+    const Vertex u = r.order[head];
+    const std::int32_t du = r.dist[static_cast<std::size_t>(u)];
+    for (const Arc& a : g.neighbors(u)) {
+      if (bans.edge_banned(a.edge)) continue;
+      if (bans.vertex_banned(a.to)) continue;
+      auto& dv = r.dist[static_cast<std::size_t>(a.to)];
+      if (dv != kInfHops) continue;
+      dv = du + 1;
+      r.parent[static_cast<std::size_t>(a.to)] = u;
+      r.parent_edge[static_cast<std::size_t>(a.to)] = a.edge;
+      r.order.push_back(a.to);
+    }
+  }
+  return r;
+}
+
+CanonicalSp canonical_sp(const Graph& g, const EdgeWeights& weights,
+                         Vertex src, const BfsBans& bans) {
+  const std::size_t n = static_cast<std::size_t>(g.num_vertices());
+  FTB_CHECK_MSG(weights.w.size() == static_cast<std::size_t>(g.num_edges()),
+                "weight table size mismatch");
+
+  // Pass 1: hop distances and a layer-ordered vertex sequence.
+  BfsResult layers = plain_bfs(g, src, bans);
+
+  CanonicalSp sp;
+  sp.hops = std::move(layers.dist);
+  sp.wsum.assign(n, 0);
+  sp.parent.assign(n, kInvalidVertex);
+  sp.parent_edge.assign(n, kInvalidEdge);
+  sp.first_hop.assign(n, kInvalidVertex);
+  sp.order = std::move(layers.order);
+
+  // Pass 2: among the hop-minimal predecessors (which all sit exactly one
+  // layer up), pick the (wsum + w(e))-minimal one; ties resolved by
+  // (parent id, edge id) so the result is deterministic even under weight
+  // collisions. Processing in layer order guarantees predecessors are final.
+  for (const Vertex v : sp.order) {
+    if (v == src) continue;
+    const std::int32_t hv = sp.hops[static_cast<std::size_t>(v)];
+    std::uint64_t best_w = 0;
+    Vertex best_u = kInvalidVertex;
+    EdgeId best_e = kInvalidEdge;
+    for (const Arc& a : g.neighbors(v)) {
+      if (bans.edge_banned(a.edge)) continue;
+      const Vertex u = a.to;
+      if (bans.vertex_banned(u)) continue;
+      if (sp.hops[static_cast<std::size_t>(u)] != hv - 1) continue;
+      const std::uint64_t cand =
+          sp.wsum[static_cast<std::size_t>(u)] + weights[a.edge];
+      if (best_u == kInvalidVertex || cand < best_w ||
+          (cand == best_w &&
+           (u < best_u || (u == best_u && a.edge < best_e)))) {
+        best_w = cand;
+        best_u = u;
+        best_e = a.edge;
+      }
+    }
+    FTB_DCHECK(best_u != kInvalidVertex);
+    sp.wsum[static_cast<std::size_t>(v)] = best_w;
+    sp.parent[static_cast<std::size_t>(v)] = best_u;
+    sp.parent_edge[static_cast<std::size_t>(v)] = best_e;
+    sp.first_hop[static_cast<std::size_t>(v)] =
+        (best_u == src) ? v : sp.first_hop[static_cast<std::size_t>(best_u)];
+  }
+  return sp;
+}
+
+std::vector<Vertex> CanonicalSp::path_from_source(Vertex v) const {
+  FTB_CHECK_MSG(reachable(v), "path_from_source on unreachable vertex " << v);
+  std::vector<Vertex> path;
+  path.reserve(static_cast<std::size_t>(hops[static_cast<std::size_t>(v)]) + 1);
+  for (Vertex u = v; u != kInvalidVertex;
+       u = parent[static_cast<std::size_t>(u)]) {
+    path.push_back(u);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace ftb

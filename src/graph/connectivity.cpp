@@ -1,0 +1,98 @@
+#include "src/graph/connectivity.hpp"
+
+#include <algorithm>
+
+namespace ftb {
+
+ConnectivityReport analyze_connectivity(const Graph& g) {
+  const std::size_t n = static_cast<std::size_t>(g.num_vertices());
+  const std::size_t m = static_cast<std::size_t>(g.num_edges());
+
+  ConnectivityReport rep;
+  rep.component.assign(n, -1);
+  rep.bridge_mask_.assign(m, 0);
+  rep.cut_mask_.assign(n, 0);
+
+  std::vector<std::int32_t> disc(n, -1);   // DFS discovery time
+  std::vector<std::int32_t> low(n, 0);     // lowlink
+  std::vector<Vertex> parent(n, kInvalidVertex);
+  std::vector<EdgeId> parent_edge(n, kInvalidEdge);
+  std::vector<std::int32_t> root_children(n, 0);
+
+  // Iterative DFS: frame = (vertex, index into its arc span).
+  struct Frame {
+    Vertex v;
+    std::size_t arc = 0;
+  };
+  std::vector<Frame> stack;
+  std::int32_t clock = 0;
+
+  for (Vertex root = 0; root < g.num_vertices(); ++root) {
+    if (disc[static_cast<std::size_t>(root)] != -1) continue;
+    const std::int32_t comp = rep.num_components++;
+    disc[static_cast<std::size_t>(root)] = clock++;
+    low[static_cast<std::size_t>(root)] = disc[static_cast<std::size_t>(root)];
+    rep.component[static_cast<std::size_t>(root)] = comp;
+    stack.push_back(Frame{root});
+
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      const auto arcs = g.neighbors(f.v);
+      if (f.arc < arcs.size()) {
+        const Arc a = arcs[f.arc++];
+        if (a.edge == parent_edge[static_cast<std::size_t>(f.v)]) {
+          continue;  // don't walk the tree edge back up
+        }
+        const std::size_t w = static_cast<std::size_t>(a.to);
+        if (disc[w] == -1) {
+          // Tree edge: descend.
+          disc[w] = clock++;
+          low[w] = disc[w];
+          parent[w] = f.v;
+          parent_edge[w] = a.edge;
+          rep.component[w] = comp;
+          if (f.v == root) {
+            ++root_children[static_cast<std::size_t>(root)];
+          }
+          stack.push_back(Frame{a.to});
+        } else {
+          // Back edge.
+          low[static_cast<std::size_t>(f.v)] =
+              std::min(low[static_cast<std::size_t>(f.v)], disc[w]);
+        }
+      } else {
+        // Post-order: propagate lowlink, classify bridge / articulation.
+        const Vertex v = f.v;
+        stack.pop_back();
+        const Vertex p = parent[static_cast<std::size_t>(v)];
+        if (p != kInvalidVertex) {
+          low[static_cast<std::size_t>(p)] =
+              std::min(low[static_cast<std::size_t>(p)],
+                       low[static_cast<std::size_t>(v)]);
+          if (low[static_cast<std::size_t>(v)] >
+              disc[static_cast<std::size_t>(p)]) {
+            rep.bridge_mask_[static_cast<std::size_t>(
+                parent_edge[static_cast<std::size_t>(v)])] = 1;
+          }
+          if (p != root && low[static_cast<std::size_t>(v)] >=
+                               disc[static_cast<std::size_t>(p)]) {
+            rep.cut_mask_[static_cast<std::size_t>(p)] = 1;
+          }
+        }
+      }
+    }
+    if (root_children[static_cast<std::size_t>(root)] >= 2) {
+      rep.cut_mask_[static_cast<std::size_t>(root)] = 1;
+    }
+  }
+
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (rep.bridge_mask_[static_cast<std::size_t>(e)]) rep.bridges.push_back(e);
+  }
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    if (rep.cut_mask_[static_cast<std::size_t>(v)]) rep.cut_vertices.push_back(v);
+  }
+  return rep;
+}
+
+}  // namespace ftb

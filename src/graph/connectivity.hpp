@@ -1,0 +1,42 @@
+// connectivity.hpp — bridges, articulation points, components (Tarjan).
+//
+// The failure model makes these first-class objects: a *bridge* is exactly
+// an edge whose failure disconnects part of the graph (the engine's
+// "infinite pairs"), and an *articulation point* is a vertex whose failure
+// does. The tests cross-validate both engines against this module, and the
+// failure simulator uses it to predict expected disconnections.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/graph.hpp"
+
+namespace ftb {
+
+struct ConnectivityReport {
+  /// Edges whose removal increases the number of components, ascending ids.
+  std::vector<EdgeId> bridges;
+  /// Vertices whose removal increases the number of components, ascending.
+  std::vector<Vertex> cut_vertices;
+  /// Number of connected components of G.
+  std::int32_t num_components = 0;
+  /// Per-vertex component label in [0, num_components).
+  std::vector<std::int32_t> component;
+
+  bool is_bridge(EdgeId e) const {
+    return bridge_mask_[static_cast<std::size_t>(e)] != 0;
+  }
+  bool is_cut_vertex(Vertex v) const {
+    return cut_mask_[static_cast<std::size_t>(v)] != 0;
+  }
+
+  // filled by analyze_connectivity
+  std::vector<std::uint8_t> bridge_mask_;
+  std::vector<std::uint8_t> cut_mask_;
+};
+
+/// O(n + m) DFS lowlink computation (iterative; deep graphs safe).
+ConnectivityReport analyze_connectivity(const Graph& g);
+
+}  // namespace ftb

@@ -1,0 +1,227 @@
+#include "src/graph/generators.hpp"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "src/util/rng.hpp"
+
+namespace ftb::gen {
+
+Graph path_graph(Vertex n) {
+  FTB_CHECK(n >= 1);
+  GraphBuilder b(n);
+  for (Vertex i = 0; i + 1 < n; ++i) b.add_edge(i, i + 1);
+  return b.build();
+}
+
+Graph cycle_graph(Vertex n) {
+  FTB_CHECK_MSG(n >= 3, "cycle needs >= 3 vertices");
+  GraphBuilder b(n);
+  for (Vertex i = 0; i < n; ++i) b.add_edge(i, (i + 1) % n);
+  return b.build();
+}
+
+Graph star_graph(Vertex n) {
+  FTB_CHECK(n >= 1);
+  GraphBuilder b(n);
+  for (Vertex i = 1; i < n; ++i) b.add_edge(0, i);
+  return b.build();
+}
+
+Graph complete_graph(Vertex n) {
+  FTB_CHECK(n >= 1);
+  GraphBuilder b(n);
+  for (Vertex i = 0; i < n; ++i)
+    for (Vertex j = i + 1; j < n; ++j) b.add_edge(i, j);
+  return b.build();
+}
+
+Graph complete_bipartite(Vertex a, Vertex b_count) {
+  FTB_CHECK(a >= 1 && b_count >= 1);
+  GraphBuilder b(a + b_count);
+  for (Vertex i = 0; i < a; ++i)
+    for (Vertex j = 0; j < b_count; ++j) b.add_edge(i, a + j);
+  return b.build();
+}
+
+Graph grid_graph(Vertex rows, Vertex cols) {
+  FTB_CHECK(rows >= 1 && cols >= 1);
+  GraphBuilder b(rows * cols);
+  auto id = [cols](Vertex r, Vertex c) { return r * cols + c; };
+  for (Vertex r = 0; r < rows; ++r) {
+    for (Vertex c = 0; c < cols; ++c) {
+      if (c + 1 < cols) b.add_edge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) b.add_edge(id(r, c), id(r + 1, c));
+    }
+  }
+  return b.build();
+}
+
+Graph binary_tree(Vertex n) {
+  FTB_CHECK(n >= 1);
+  GraphBuilder b(n);
+  for (Vertex i = 1; i < n; ++i) b.add_edge((i - 1) / 2, i);
+  return b.build();
+}
+
+Graph caterpillar(Vertex spine, Vertex legs) {
+  FTB_CHECK(spine >= 1 && legs >= 0);
+  const Vertex n = spine * (1 + legs);
+  GraphBuilder b(n);
+  for (Vertex i = 0; i + 1 < spine; ++i) b.add_edge(i, i + 1);
+  Vertex next = spine;
+  for (Vertex i = 0; i < spine; ++i)
+    for (Vertex l = 0; l < legs; ++l) b.add_edge(i, next++);
+  return b.build();
+}
+
+Graph erdos_renyi(Vertex n, double p, std::uint64_t seed) {
+  FTB_CHECK(n >= 1 && p >= 0.0 && p <= 1.0);
+  Rng rng(seed);
+  GraphBuilder b(n);
+  for (Vertex i = 0; i < n; ++i)
+    for (Vertex j = i + 1; j < n; ++j)
+      if (rng.next_bool(p)) b.add_edge(i, j);
+  return b.build();
+}
+
+Graph gnm(Vertex n, std::int64_t m, std::uint64_t seed) {
+  FTB_CHECK(n >= 1 && m >= 0);
+  const std::int64_t max_m =
+      static_cast<std::int64_t>(n) * (n - 1) / 2;
+  m = std::min(m, max_m);
+  Rng rng(seed);
+  std::set<std::pair<Vertex, Vertex>> chosen;
+  while (static_cast<std::int64_t>(chosen.size()) < m) {
+    Vertex u = static_cast<Vertex>(rng.next_below(static_cast<std::uint64_t>(n)));
+    Vertex v = static_cast<Vertex>(rng.next_below(static_cast<std::uint64_t>(n)));
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);
+    chosen.emplace(u, v);
+  }
+  GraphBuilder b(n);
+  for (const auto& [u, v] : chosen) b.add_edge(u, v);
+  return b.build();
+}
+
+Graph random_connected(Vertex n, std::int64_t extra, std::uint64_t seed) {
+  FTB_CHECK(n >= 1 && extra >= 0);
+  Rng rng(seed);
+  GraphBuilder b(n);
+  // Random spanning tree: attach each vertex (in a random order) to a
+  // uniformly random, already-attached vertex.
+  std::vector<Vertex> order(static_cast<std::size_t>(n));
+  for (Vertex i = 0; i < n; ++i) order[static_cast<std::size_t>(i)] = i;
+  rng.shuffle(order);
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    const Vertex u = order[i];
+    const Vertex v = order[rng.next_below(i)];
+    b.add_edge(u, v);
+  }
+  for (std::int64_t e = 0; e < extra; ++e) {
+    Vertex u = static_cast<Vertex>(rng.next_below(static_cast<std::uint64_t>(n)));
+    Vertex v = static_cast<Vertex>(rng.next_below(static_cast<std::uint64_t>(n)));
+    if (u != v) b.add_edge(u, v);  // duplicates deduplicated at build()
+  }
+  return b.build();
+}
+
+Graph preferential_attachment(Vertex n, Vertex k, std::uint64_t seed) {
+  FTB_CHECK(n >= 2 && k >= 1);
+  Rng rng(seed);
+  GraphBuilder b(n);
+  // Repeated-endpoint list: sampling uniformly from it is degree-biased.
+  std::vector<Vertex> pool;
+  pool.push_back(0);
+  for (Vertex v = 1; v < n; ++v) {
+    const Vertex targets = std::min<Vertex>(k, v);
+    std::set<Vertex> picked;
+    while (static_cast<Vertex>(picked.size()) < targets) {
+      const Vertex t = pool[rng.next_below(pool.size())];
+      picked.insert(t);
+    }
+    for (const Vertex t : picked) {
+      b.add_edge(v, t);
+      pool.push_back(t);
+      pool.push_back(v);
+    }
+  }
+  return b.build();
+}
+
+Graph intro_example(Vertex n) {
+  FTB_CHECK_MSG(n >= 3, "intro example needs >= 3 vertices");
+  GraphBuilder b(n);
+  b.add_edge(0, 1);  // the bridge s—clique
+  for (Vertex i = 1; i < n; ++i)
+    for (Vertex j = i + 1; j < n; ++j) b.add_edge(i, j);
+  return b.build();
+}
+
+
+Graph hypercube(Vertex dimensions) {
+  FTB_CHECK(dimensions >= 1 && dimensions <= 20);
+  const Vertex n = static_cast<Vertex>(1) << dimensions;
+  GraphBuilder b(n);
+  for (Vertex v = 0; v < n; ++v) {
+    for (Vertex bit = 0; bit < dimensions; ++bit) {
+      const Vertex u = v ^ (static_cast<Vertex>(1) << bit);
+      if (u > v) b.add_edge(v, u);
+    }
+  }
+  return b.build();
+}
+
+Graph dumbbell(Vertex k, Vertex bridge) {
+  FTB_CHECK(k >= 2 && bridge >= 1);
+  const Vertex n = 2 * k + (bridge - 1);
+  GraphBuilder b(n);
+  // Left clique on [0, k), right clique on [k, 2k).
+  for (Vertex i = 0; i < k; ++i)
+    for (Vertex j = i + 1; j < k; ++j) {
+      b.add_edge(i, j);
+      b.add_edge(k + i, k + j);
+    }
+  // Bridge path from vertex 0 to vertex k through fresh interior vertices.
+  Vertex prev = 0;
+  for (Vertex step = 0; step + 1 < bridge; ++step) {
+    const Vertex mid = 2 * k + step;
+    b.add_edge(prev, mid);
+    prev = mid;
+  }
+  b.add_edge(prev, k);
+  return b.build();
+}
+
+Graph theta_graph(Vertex paths, Vertex len) {
+  FTB_CHECK(paths >= 2 && len >= 2);
+  const Vertex n = 2 + paths * (len - 1);
+  GraphBuilder b(n);
+  Vertex next = 2;  // 0 and 1 are the hubs
+  for (Vertex p = 0; p < paths; ++p) {
+    Vertex prev = 0;
+    for (Vertex step = 0; step + 1 < len; ++step) {
+      b.add_edge(prev, next);
+      prev = next++;
+    }
+    b.add_edge(prev, 1);
+  }
+  return b.build();
+}
+
+Graph lollipop(Vertex k, Vertex tail) {
+  FTB_CHECK(k >= 2 && tail >= 1);
+  const Vertex n = k + tail;
+  GraphBuilder b(n);
+  for (Vertex i = 0; i < k; ++i)
+    for (Vertex j = i + 1; j < k; ++j) b.add_edge(i, j);
+  Vertex prev = k - 1;
+  for (Vertex step = 0; step < tail; ++step) {
+    b.add_edge(prev, k + step);
+    prev = k + step;
+  }
+  return b.build();
+}
+
+}  // namespace ftb::gen

@@ -1,0 +1,77 @@
+// generators.hpp — workload graph families for tests, examples and benches.
+//
+// Everything is deterministic given (parameters, seed). Families:
+//  * structured: path, cycle, star, complete, complete bipartite, 2-D grid,
+//    full binary tree, caterpillar;
+//  * random: Erdős–Rényi G(n,p), G(n,m), random-connected (random spanning
+//    tree + extra edges), preferential attachment;
+//  * the paper's intro example (source + single edge into an (n-1)-clique),
+//    the picture motivating the whole reinforcement idea.
+//
+// The adversarial lower-bound families of Sec. 5 live in lower_bound.hpp.
+#pragma once
+
+#include <cstdint>
+
+#include "src/graph/graph.hpp"
+
+namespace ftb::gen {
+
+/// Path 0-1-...-(n-1).
+Graph path_graph(Vertex n);
+
+/// Cycle on n ≥ 3 vertices.
+Graph cycle_graph(Vertex n);
+
+/// Star: center 0, leaves 1..n-1.
+Graph star_graph(Vertex n);
+
+/// Complete graph K_n.
+Graph complete_graph(Vertex n);
+
+/// Complete bipartite K_{a,b}: sides {0..a-1} and {a..a+b-1}.
+Graph complete_bipartite(Vertex a, Vertex b);
+
+/// rows×cols grid; vertex (r,c) has id r*cols + c.
+Graph grid_graph(Vertex rows, Vertex cols);
+
+/// Full binary tree on n vertices (vertex i's children are 2i+1, 2i+2).
+Graph binary_tree(Vertex n);
+
+/// Caterpillar: a spine path with `legs` pendant leaves per spine vertex.
+Graph caterpillar(Vertex spine, Vertex legs);
+
+/// Erdős–Rényi G(n,p). Not necessarily connected.
+Graph erdos_renyi(Vertex n, double p, std::uint64_t seed);
+
+/// Uniform random graph with exactly min(m, n(n-1)/2) edges.
+Graph gnm(Vertex n, std::int64_t m, std::uint64_t seed);
+
+/// Connected random graph: random spanning tree + `extra` random non-tree
+/// edges (deduplicated, so the realized edge count can be slightly lower).
+Graph random_connected(Vertex n, std::int64_t extra, std::uint64_t seed);
+
+/// Preferential attachment: each new vertex attaches to `k` distinct
+/// existing vertices chosen proportional to degree. Connected by design.
+Graph preferential_attachment(Vertex n, Vertex k, std::uint64_t seed);
+
+/// The paper's introduction example: source 0 joined by a single edge to a
+/// clique on vertices 1..n-1. Edge (0,1) is the bridge whose reinforcement
+/// collapses the backup requirement.
+Graph intro_example(Vertex n);
+
+
+/// d-dimensional hypercube on 2^d vertices (ids are bitmasks).
+Graph hypercube(Vertex dimensions);
+
+/// Dumbbell: two cliques of size `k` joined by a path of `bridge` edges.
+Graph dumbbell(Vertex k, Vertex bridge);
+
+/// Theta graph: two hub vertices joined by `paths` disjoint paths of
+/// length `len` each (a canonical multi-detour workload).
+Graph theta_graph(Vertex paths, Vertex len);
+
+/// Lollipop: a clique of size `k` with a pendant path of `tail` edges.
+Graph lollipop(Vertex k, Vertex tail);
+
+}  // namespace ftb::gen

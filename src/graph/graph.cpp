@@ -1,0 +1,31 @@
+#include "src/graph/graph.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace ftb {
+
+EdgeId Graph::find_edge(Vertex u, Vertex v) const {
+  if (!valid_vertex(u) || !valid_vertex(v)) return kInvalidEdge;
+  // Search the smaller adjacency list.
+  if (degree(v) < degree(u)) std::swap(u, v);
+  const auto nbrs = neighbors(u);
+  auto it = std::lower_bound(
+      nbrs.begin(), nbrs.end(), v,
+      [](const Arc& a, Vertex target) { return a.to < target; });
+  if (it != nbrs.end() && it->to == v) return it->edge;
+  return kInvalidEdge;
+}
+
+std::size_t Graph::memory_bytes() const {
+  return offsets_.size() * sizeof(std::int64_t) + arcs_.size() * sizeof(Arc) +
+         edges_.size() * sizeof(std::pair<Vertex, Vertex>);
+}
+
+std::string Graph::summary() const {
+  std::ostringstream os;
+  os << "Graph(n=" << num_vertices() << ", m=" << num_edges() << ")";
+  return os.str();
+}
+
+}  // namespace ftb

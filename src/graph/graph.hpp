@@ -1,0 +1,128 @@
+// graph.hpp — the undirected simple-graph substrate everything runs on.
+//
+// Design notes
+// ------------
+// * Vertices are dense ids `0..n-1`; edges are dense ids `0..m-1` with a
+//   canonical (min,max) endpoint pair. The CSR arcs store (neighbor, edge id)
+//   so algorithms can ban edges by id in O(1) while scanning adjacencies.
+// * The graph is immutable after construction (see GraphBuilder). Algorithms
+//   that need "G minus something" take banned-vertex / banned-edge masks
+//   instead of materializing subgraphs — this is what makes the O(n·m)
+//   replacement-path sweeps cheap.
+// * Arcs are sorted by neighbor id per vertex, giving deterministic
+//   iteration order and O(log deg) edge lookup.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/util/check.hpp"
+
+namespace ftb {
+
+using Vertex = std::int32_t;
+using EdgeId = std::int32_t;
+
+inline constexpr Vertex kInvalidVertex = -1;
+inline constexpr EdgeId kInvalidEdge = -1;
+
+/// Hop-distance "infinity": large enough to never be reached, small enough
+/// that `kInfHops + n` does not overflow int32.
+inline constexpr std::int32_t kInfHops = (1 << 29);
+
+/// One directed arc of the CSR: `to` is the neighbor, `edge` the undirected
+/// edge id shared by the twin arc.
+struct Arc {
+  Vertex to;
+  EdgeId edge;
+};
+
+/// Immutable undirected simple graph in CSR form. Build with GraphBuilder.
+class Graph {
+ public:
+  Graph() = default;
+
+  Vertex num_vertices() const { return static_cast<Vertex>(offsets_.size()) - 1; }
+  EdgeId num_edges() const { return static_cast<EdgeId>(edges_.size()); }
+
+  /// All arcs out of `v`, sorted by neighbor id.
+  std::span<const Arc> neighbors(Vertex v) const {
+    FTB_DCHECK(valid_vertex(v));
+    return {arcs_.data() + offsets_[v],
+            arcs_.data() + offsets_[static_cast<std::size_t>(v) + 1]};
+  }
+
+  std::int32_t degree(Vertex v) const {
+    FTB_DCHECK(valid_vertex(v));
+    return static_cast<std::int32_t>(offsets_[static_cast<std::size_t>(v) + 1] -
+                                     offsets_[v]);
+  }
+
+  /// Canonical endpoints (u < v) of edge `e`.
+  std::pair<Vertex, Vertex> edge(EdgeId e) const {
+    FTB_DCHECK(valid_edge(e));
+    return edges_[e];
+  }
+
+  /// The endpoint of `e` that is not `v`. Precondition: `v` is an endpoint.
+  Vertex other_endpoint(EdgeId e, Vertex v) const {
+    const auto [a, b] = edge(e);
+    FTB_DCHECK(v == a || v == b);
+    return v == a ? b : a;
+  }
+
+  bool is_endpoint(EdgeId e, Vertex v) const {
+    const auto [a, b] = edge(e);
+    return v == a || v == b;
+  }
+
+  /// Edge id joining u and v, or kInvalidEdge. O(log deg(u)).
+  EdgeId find_edge(Vertex u, Vertex v) const;
+
+  bool has_edge(Vertex u, Vertex v) const {
+    return find_edge(u, v) != kInvalidEdge;
+  }
+
+  bool valid_vertex(Vertex v) const { return v >= 0 && v < num_vertices(); }
+  bool valid_edge(EdgeId e) const { return e >= 0 && e < num_edges(); }
+
+  /// Total memory footprint estimate in bytes (for bench reporting).
+  std::size_t memory_bytes() const;
+
+  /// Human-readable one-liner, e.g. "Graph(n=1024, m=8192)".
+  std::string summary() const;
+
+ private:
+  friend class GraphBuilder;
+
+  std::vector<std::int64_t> offsets_;               // n+1
+  std::vector<Arc> arcs_;                           // 2m, sorted per vertex
+  std::vector<std::pair<Vertex, Vertex>> edges_;    // m, canonical (u<v)
+};
+
+/// Accumulates edges, deduplicates, rejects self-loops, builds the CSR.
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(Vertex num_vertices);
+
+  Vertex num_vertices() const { return n_; }
+
+  /// Adds undirected edge {u,v}. Duplicate edges are coalesced at build().
+  /// Self loops are rejected (FT-BFS structures are simple-graph objects).
+  void add_edge(Vertex u, Vertex v);
+
+  /// Number of edges added so far (before dedup).
+  std::size_t pending_edges() const { return pending_.size(); }
+
+  /// Finalizes into an immutable Graph. The builder is left empty.
+  Graph build();
+
+ private:
+  Vertex n_;
+  std::vector<std::pair<Vertex, Vertex>> pending_;
+};
+
+}  // namespace ftb

@@ -1,0 +1,80 @@
+#include "src/graph/heavy_path.hpp"
+
+#include <algorithm>
+
+namespace ftb {
+
+HeavyPathDecomposition::HeavyPathDecomposition(const BfsTree& tree)
+    : tree_(&tree) {
+  const std::size_t n = static_cast<std::size_t>(tree.graph().num_vertices());
+  const std::size_t m = static_cast<std::size_t>(tree.graph().num_edges());
+  path_of_.assign(n, -1);
+  pos_in_path_.assign(n, -1);
+  is_path_edge_.assign(m, 0);
+
+  if (tree.num_reachable() == 0) return;
+
+  // Iterative recursion: stack of (subtree root, level).
+  std::vector<std::pair<Vertex, std::int32_t>> stack;
+  stack.emplace_back(tree.source(), 0);
+  while (!stack.empty()) {
+    const auto [root, level] = stack.back();
+    stack.pop_back();
+    levels_ = std::max(levels_, level + 1);
+
+    HeavyPath hp;
+    hp.id = static_cast<std::int32_t>(paths_.size());
+    hp.level = level;
+
+    // Walk the heavy path: always descend into the child with the largest
+    // subtree (ties: smaller vertex id, which is the first one met since
+    // children are id-sorted). All skipped children become hanging
+    // subtrees, pushed for the next level.
+    Vertex u = root;
+    for (;;) {
+      hp.vertices.push_back(u);
+      path_of_[static_cast<std::size_t>(u)] = hp.id;
+      pos_in_path_[static_cast<std::size_t>(u)] =
+          static_cast<std::int32_t>(hp.vertices.size()) - 1;
+
+      const auto kids = tree.children(u);
+      if (kids.empty()) break;
+      Vertex heavy = kids[0];
+      for (const Vertex c : kids) {
+        if (tree.subtree_size(c) > tree.subtree_size(heavy)) heavy = c;
+      }
+      for (const Vertex c : kids) {
+        if (c != heavy) stack.emplace_back(c, level + 1);
+      }
+      const EdgeId pe = tree.parent_edge(heavy);
+      hp.edges.push_back(pe);
+      is_path_edge_[static_cast<std::size_t>(pe)] = 1;
+      u = heavy;
+    }
+    paths_.push_back(std::move(hp));
+  }
+
+  glue_edges_.clear();
+  for (const EdgeId e : tree.tree_edges()) {
+    if (!is_path_edge_[static_cast<std::size_t>(e)]) glue_edges_.push_back(e);
+  }
+}
+
+std::vector<HeavyPathDecomposition::Crossing>
+HeavyPathDecomposition::crossings(Vertex v) const {
+  FTB_CHECK_MSG(tree_->reachable(v), "crossings() on unreachable vertex");
+  std::vector<Crossing> out;
+  Vertex u = v;
+  for (;;) {
+    const std::int32_t p = path_of(u);
+    out.push_back(Crossing{p, pos_in_path(u)});
+    const Vertex head = paths_[static_cast<std::size_t>(p)].vertices.front();
+    const Vertex above = tree_->parent(head);
+    if (above == kInvalidVertex) break;
+    u = above;
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace ftb

@@ -1,0 +1,85 @@
+// heavy_path.hpp — the tree decomposition TD of Phase S2.0.
+//
+// Fact 3.3 (Baswana–Khanna's adaptation of Sleator–Tarjan heavy paths):
+// there is a path ψ from the root of T' whose removal splits T' into
+// subtrees of ≤ |T'|/2 vertices, each glued to ψ by one tree edge. We
+// realize ψ as the classic *heavy path*: from the root always descend into
+// the child with the largest subtree, down to a leaf. Every subtree hanging
+// off ψ then has size < |T'|/2 (a non-heavy child never holds more than
+// half of its parent's subtree), so recursing on the hanging subtrees
+// terminates in ≤ ⌈log2 n⌉ levels.
+//
+// Outputs consumed by Phase S2:
+//  * the path collection TD = {ψ1, ..., ψt} with recursion levels;
+//  * E−(TD), the glue edges (tree edges not on any ψ) — Fact 4.1(a): every
+//    π(s,v) contains O(log n) of them;
+//  * crossings(v): the ≤ O(log n) decomposition paths meeting π(s,v), each
+//    intersection being a prefix ψ[0..j] of the path (Fact 4.1(b)).
+#pragma once
+
+#include <vector>
+
+#include "src/graph/bfs_tree.hpp"
+
+namespace ftb {
+
+/// One path of the decomposition, top (closest to s) to bottom.
+struct HeavyPath {
+  std::int32_t id = 0;
+  std::int32_t level = 0;              // recursion depth; root path = 0
+  std::vector<Vertex> vertices;        // ≥ 1 vertices, top to bottom
+  std::vector<EdgeId> edges;           // |vertices| - 1 path edges
+};
+
+/// Heavy-path decomposition of a BfsTree.
+class HeavyPathDecomposition {
+ public:
+  explicit HeavyPathDecomposition(const BfsTree& tree);
+
+  const std::vector<HeavyPath>& paths() const { return paths_; }
+  const HeavyPath& path(std::int32_t id) const {
+    return paths_[static_cast<std::size_t>(id)];
+  }
+
+  /// Id of the decomposition path containing v (-1 if v unreachable).
+  std::int32_t path_of(Vertex v) const {
+    return path_of_[static_cast<std::size_t>(v)];
+  }
+  /// Index of v inside its path's `vertices` array.
+  std::int32_t pos_in_path(Vertex v) const {
+    return pos_in_path_[static_cast<std::size_t>(v)];
+  }
+
+  /// True iff tree edge e lies on some decomposition path (e ∈ E+(TD)).
+  bool is_path_edge(EdgeId e) const {
+    return is_path_edge_[static_cast<std::size_t>(e)] != 0;
+  }
+  /// The glue edges E−(TD) = T0 \ E+(TD).
+  const std::vector<EdgeId>& glue_edges() const { return glue_edges_; }
+
+  /// Number of recursion levels (≤ ⌈log2 n⌉ + 1 by Fact 3.3).
+  std::int32_t levels() const { return levels_; }
+
+  /// One crossing of π(s,v) with a decomposition path ψ: the intersection
+  /// is exactly ψ.vertices[0 .. deepest_pos] (so ψ's first `deepest_pos`
+  /// edges lie on π(s,v)).
+  struct Crossing {
+    std::int32_t path_id;
+    std::int32_t deepest_pos;
+  };
+
+  /// All crossings of π(s,v), ordered from the source side down to v's own
+  /// path. O(log n) entries (Fact 4.1(b)).
+  std::vector<Crossing> crossings(Vertex v) const;
+
+ private:
+  const BfsTree* tree_;
+  std::vector<HeavyPath> paths_;
+  std::vector<std::int32_t> path_of_;
+  std::vector<std::int32_t> pos_in_path_;
+  std::vector<std::uint8_t> is_path_edge_;
+  std::vector<EdgeId> glue_edges_;
+  std::int32_t levels_ = 0;
+};
+
+}  // namespace ftb

@@ -1,0 +1,50 @@
+#include "src/graph/lca.hpp"
+
+namespace ftb {
+
+LcaIndex::LcaIndex(const BfsTree& tree) : tree_(&tree) {
+  const std::size_t n = static_cast<std::size_t>(tree.graph().num_vertices());
+  std::int32_t max_depth = 0;
+  for (const Vertex v : tree.preorder()) {
+    max_depth = std::max(max_depth, tree.depth(v));
+  }
+  log_ = 1;
+  while ((1 << log_) <= std::max(1, max_depth)) ++log_;
+
+  up_.assign(static_cast<std::size_t>(log_), std::vector<Vertex>(n, kInvalidVertex));
+  for (const Vertex v : tree.preorder()) {
+    const Vertex p = tree.parent(v);
+    up_[0][static_cast<std::size_t>(v)] = (p == kInvalidVertex) ? v : p;
+  }
+  for (std::int32_t k = 1; k < log_; ++k) {
+    for (const Vertex v : tree.preorder()) {
+      const Vertex mid = up_[static_cast<std::size_t>(k - 1)][static_cast<std::size_t>(v)];
+      up_[static_cast<std::size_t>(k)][static_cast<std::size_t>(v)] =
+          up_[static_cast<std::size_t>(k - 1)][static_cast<std::size_t>(mid)];
+    }
+  }
+}
+
+Vertex LcaIndex::ancestor_at_depth(Vertex v, std::int32_t d) const {
+  FTB_DCHECK(tree_->reachable(v));
+  std::int32_t delta = tree_->depth(v) - d;
+  FTB_CHECK_MSG(delta >= 0, "ancestor_at_depth: target deeper than vertex");
+  for (std::int32_t k = 0; delta > 0; ++k, delta >>= 1) {
+    if (delta & 1) v = up_[static_cast<std::size_t>(k)][static_cast<std::size_t>(v)];
+  }
+  return v;
+}
+
+Vertex LcaIndex::lca(Vertex u, Vertex v) const {
+  FTB_DCHECK(tree_->reachable(u) && tree_->reachable(v));
+  if (tree_->is_ancestor_or_equal(u, v)) return u;
+  if (tree_->is_ancestor_or_equal(v, u)) return v;
+  // Lift u just below the common ancestor, exploiting O(1) ancestor tests.
+  for (std::int32_t k = log_ - 1; k >= 0; --k) {
+    const Vertex cand = up_[static_cast<std::size_t>(k)][static_cast<std::size_t>(u)];
+    if (!tree_->is_ancestor_or_equal(cand, v)) u = cand;
+  }
+  return up_[0][static_cast<std::size_t>(u)];
+}
+
+}  // namespace ftb

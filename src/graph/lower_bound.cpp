@@ -1,0 +1,276 @@
+#include "src/graph/lower_bound.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ftb::lb {
+
+namespace {
+
+/// Fixed per-copy vertex cost: path (d+1) + side paths (Σ t_j = d²+5d with
+/// t_j = 6 + 2(d−j)).
+std::int64_t copy_fixed(std::int64_t d) { return d * d + 6 * d + 1; }
+
+}  // namespace
+
+SingleSourceLb build_single_source(Vertex n, double eps) {
+  FTB_CHECK_MSG(eps > 0.0 && eps <= 0.5, "eps must be in (0, 1/2]");
+  FTB_CHECK_MSG(n >= 32, "lower-bound graph needs n >= 32");
+
+  SingleSourceLb out;
+  out.eps = eps;
+  const double nd = static_cast<double>(n);
+  std::int64_t d = std::max<std::int64_t>(
+      2, static_cast<std::int64_t>(std::floor(std::pow(nd, eps) / 4.0)));
+  std::int64_t k = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(std::floor(std::pow(nd, 1.0 - 2.0 * eps))));
+
+  // Shrink k, then d, until each copy can host at least one X vertex.
+  const auto fits = [&](std::int64_t dd, std::int64_t kk) {
+    return (static_cast<std::int64_t>(n) - 1) / kk >= copy_fixed(dd) + 1;
+  };
+  const std::int64_t d0 = d, k0 = k;
+  while (k > 1 && !fits(d, k)) --k;
+  while (d > 2 && !fits(d, k)) --d;
+  FTB_CHECK_MSG(fits(d, k), "n=" << n << " too small for eps=" << eps);
+  out.adjusted = (d != d0 || k != k0);
+  out.d = static_cast<std::int32_t>(d);
+  out.k = static_cast<std::int32_t>(k);
+
+  GraphBuilder b(n);
+  Vertex next = 1;  // vertex 0 is the source s
+  out.source = 0;
+  const std::int64_t per_copy = (static_cast<std::int64_t>(n) - 1) / k;
+  std::int64_t remainder = (static_cast<std::int64_t>(n) - 1) % k;
+
+  out.copies.resize(static_cast<std::size_t>(k));
+  for (std::int64_t ci = 0; ci < k; ++ci) {
+    LbCopy& copy = out.copies[static_cast<std::size_t>(ci)];
+    std::int64_t budget = per_copy + (remainder > 0 ? 1 : 0);
+    if (remainder > 0) --remainder;
+
+    // Path π_i: v_1..v_{d+1}.
+    copy.pi.resize(static_cast<std::size_t>(d) + 1);
+    for (auto& v : copy.pi) v = next++;
+    budget -= d + 1;
+    b.add_edge(out.source, copy.pi.front());  // s — s_i
+    for (std::size_t j = 0; j + 1 < copy.pi.size(); ++j) {
+      b.add_edge(copy.pi[j], copy.pi[j + 1]);  // the costly edges e^i_j
+    }
+
+    // Side paths P^i_j from v_j to z^i_j, t_j = 6 + 2(d-j) edges.
+    copy.z.resize(static_cast<std::size_t>(d));
+    for (std::int64_t j = 1; j <= d; ++j) {
+      const std::int64_t t_j = 6 + 2 * (d - j);
+      Vertex prev = copy.pi[static_cast<std::size_t>(j - 1)];  // v_j
+      for (std::int64_t step = 0; step < t_j; ++step) {
+        const Vertex nx = next++;
+        b.add_edge(prev, nx);
+        prev = nx;
+      }
+      copy.z[static_cast<std::size_t>(j - 1)] = prev;  // z^i_j
+      budget -= t_j;
+    }
+
+    // X_i absorbs the remaining per-copy budget.
+    FTB_CHECK(budget >= 1);
+    copy.x.resize(static_cast<std::size_t>(budget));
+    for (auto& v : copy.x) v = next++;
+
+    const Vertex v_star = copy.pi.back();
+    for (const Vertex xv : copy.x) b.add_edge(v_star, xv);
+    for (const Vertex xv : copy.x)
+      for (const Vertex zv : copy.z) b.add_edge(xv, zv);
+  }
+  FTB_CHECK(next == n);
+
+  out.graph = b.build();
+
+  // Resolve the costly edges Π now that edge ids exist.
+  for (auto& copy : out.copies) {
+    copy.pi_edges.clear();
+    // s—s_i is *not* part of Π; only the path edges are.
+    for (std::size_t j = 0; j + 1 < copy.pi.size(); ++j) {
+      const EdgeId e = out.graph.find_edge(copy.pi[j], copy.pi[j + 1]);
+      FTB_CHECK(e != kInvalidEdge);
+      copy.pi_edges.push_back(e);
+      out.pi_edges.push_back(e);
+    }
+  }
+  return out;
+}
+
+std::vector<EdgeId> SingleSourceLb::forced_edges(std::int32_t copy,
+                                                 std::int32_t j) const {
+  FTB_CHECK(copy >= 0 && copy < k && j >= 1 && j <= d);
+  const LbCopy& c = copies[static_cast<std::size_t>(copy)];
+  const Vertex zj = c.z[static_cast<std::size_t>(j - 1)];
+  std::vector<EdgeId> out;
+  out.reserve(c.x.size());
+  for (const Vertex xv : c.x) {
+    const EdgeId e = graph.find_edge(xv, zj);
+    FTB_CHECK(e != kInvalidEdge);
+    out.push_back(e);
+  }
+  return out;
+}
+
+std::int64_t SingleSourceLb::min_x_size() const {
+  std::int64_t mn = copies.empty() ? 0 : static_cast<std::int64_t>(copies[0].x.size());
+  for (const auto& c : copies)
+    mn = std::min(mn, static_cast<std::int64_t>(c.x.size()));
+  return mn;
+}
+
+std::int64_t SingleSourceLb::certified_min_backup(std::int64_t r_budget) const {
+  const std::int64_t forced_fails =
+      std::max<std::int64_t>(0, static_cast<std::int64_t>(pi_edges.size()) - r_budget);
+  return forced_fails * min_x_size();
+}
+
+std::int64_t SingleSourceLb::theorem_budget() const {
+  return static_cast<std::int64_t>(
+      std::floor(std::pow(static_cast<double>(graph.num_vertices()), 1.0 - eps) / 6.0));
+}
+
+// ---------------------------------------------------------------------------
+// Multi-source construction (Theorem 5.4)
+// ---------------------------------------------------------------------------
+
+MultiSourceLb build_multi_source(Vertex n, std::int32_t K, double eps) {
+  FTB_CHECK_MSG(eps > 0.0 && eps <= 0.5, "eps must be in (0, 1/2]");
+  FTB_CHECK_MSG(K >= 1, "need at least one source");
+  FTB_CHECK_MSG(n >= 32 * K, "n too small for K sources");
+
+  MultiSourceLb out;
+  out.eps = eps;
+  out.K = K;
+  const double nd = static_cast<double>(n);
+  std::int64_t d = std::max<std::int64_t>(
+      2, static_cast<std::int64_t>(
+             std::floor(std::pow(nd / (4.0 * K), eps))));
+  std::int64_t k = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(
+             std::floor(std::pow(nd / K, 1.0 - 2.0 * eps))));
+
+  // Vertex budget: K sources + k hubs + K·k fixed copies + X blocks (≥ 1
+  // vertex per column).
+  const auto fixed_total = [&](std::int64_t dd, std::int64_t kk) {
+    return static_cast<std::int64_t>(K) + kk +
+           static_cast<std::int64_t>(K) * kk * copy_fixed(dd);
+  };
+  const auto fits = [&](std::int64_t dd, std::int64_t kk) {
+    return static_cast<std::int64_t>(n) >= fixed_total(dd, kk) + kk;
+  };
+  const std::int64_t d0 = d, k0 = k;
+  while (k > 1 && !fits(d, k)) --k;
+  while (d > 2 && !fits(d, k)) --d;
+  FTB_CHECK_MSG(fits(d, k), "n=" << n << " too small for K=" << K
+                                 << " eps=" << eps);
+  out.adjusted = (d != d0 || k != k0);
+  out.d = static_cast<std::int32_t>(d);
+  out.k = static_cast<std::int32_t>(k);
+
+  GraphBuilder b(n);
+  Vertex next = 0;
+
+  out.sources.resize(static_cast<std::size_t>(K));
+  for (auto& s : out.sources) s = next++;
+  out.hubs.resize(static_cast<std::size_t>(k));
+  for (auto& h : out.hubs) h = next++;
+
+  out.copies.assign(static_cast<std::size_t>(K),
+                    std::vector<MsCopy>(static_cast<std::size_t>(k)));
+  for (std::int32_t i = 0; i < K; ++i) {
+    for (std::int32_t j = 0; j < k; ++j) {
+      MsCopy& c = out.copies[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
+      c.pi.resize(static_cast<std::size_t>(d) + 1);
+      for (auto& v : c.pi) v = next++;
+      b.add_edge(out.sources[static_cast<std::size_t>(i)], c.pi.front());
+      for (std::size_t l = 0; l + 1 < c.pi.size(); ++l) {
+        b.add_edge(c.pi[l], c.pi[l + 1]);  // the costly edges e^{i,j}_l
+      }
+      c.z.resize(static_cast<std::size_t>(d));
+      for (std::int64_t l = 1; l <= d; ++l) {
+        const std::int64_t t_l = 6 + 2 * (d - l);
+        Vertex prev = c.pi[static_cast<std::size_t>(l - 1)];
+        for (std::int64_t step = 0; step < t_l; ++step) {
+          const Vertex nx = next++;
+          b.add_edge(prev, nx);
+          prev = nx;
+        }
+        c.z[static_cast<std::size_t>(l - 1)] = prev;
+      }
+      // v*_{i,j} — hub edge.
+      b.add_edge(c.pi.back(), out.hubs[static_cast<std::size_t>(j)]);
+    }
+  }
+
+  // X blocks: distribute every remaining vertex across the k columns.
+  std::int64_t x_budget = static_cast<std::int64_t>(n) - next;
+  FTB_CHECK(x_budget >= k);
+  out.x.assign(static_cast<std::size_t>(k), {});
+  for (std::int32_t j = 0; j < k; ++j) {
+    std::int64_t share = x_budget / k + (j < x_budget % k ? 1 : 0);
+    auto& xs = out.x[static_cast<std::size_t>(j)];
+    xs.resize(static_cast<std::size_t>(share));
+    for (auto& v : xs) v = next++;
+    for (const Vertex xv : xs) b.add_edge(out.hubs[static_cast<std::size_t>(j)], xv);
+    // Complete bipartite X_j × Z_j (Z_j spans all sources of column j).
+    for (std::int32_t i = 0; i < K; ++i) {
+      const MsCopy& c = out.copies[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
+      for (const Vertex xv : xs)
+        for (const Vertex zv : c.z) b.add_edge(xv, zv);
+    }
+  }
+  FTB_CHECK(next == n);
+
+  out.graph = b.build();
+  for (auto& row : out.copies) {
+    for (auto& c : row) {
+      c.pi_edges.clear();
+      for (std::size_t l = 0; l + 1 < c.pi.size(); ++l) {
+        const EdgeId e = out.graph.find_edge(c.pi[l], c.pi[l + 1]);
+        FTB_CHECK(e != kInvalidEdge);
+        c.pi_edges.push_back(e);
+        out.pi_edges.push_back(e);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<EdgeId> MultiSourceLb::forced_edges(std::int32_t i, std::int32_t j,
+                                                std::int32_t l) const {
+  FTB_CHECK(i >= 0 && i < K && j >= 0 && j < k && l >= 1 && l <= d);
+  const MsCopy& c = copies[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
+  const Vertex zl = c.z[static_cast<std::size_t>(l - 1)];
+  std::vector<EdgeId> out;
+  const auto& xs = x[static_cast<std::size_t>(j)];
+  out.reserve(xs.size());
+  for (const Vertex xv : xs) {
+    const EdgeId e = graph.find_edge(xv, zl);
+    FTB_CHECK(e != kInvalidEdge);
+    out.push_back(e);
+  }
+  return out;
+}
+
+std::int64_t MultiSourceLb::min_x_size() const {
+  std::int64_t mn = x.empty() ? 0 : static_cast<std::int64_t>(x[0].size());
+  for (const auto& xs : x) mn = std::min(mn, static_cast<std::int64_t>(xs.size()));
+  return mn;
+}
+
+std::int64_t MultiSourceLb::certified_min_backup(std::int64_t r_budget) const {
+  const std::int64_t forced_fails =
+      std::max<std::int64_t>(0, static_cast<std::int64_t>(pi_edges.size()) - r_budget);
+  return forced_fails * min_x_size();
+}
+
+std::int64_t MultiSourceLb::theorem_budget() const {
+  return static_cast<std::int64_t>(std::floor(
+      K * std::pow(static_cast<double>(graph.num_vertices()), 1.0 - eps) / 6.0));
+}
+
+}  // namespace ftb::lb

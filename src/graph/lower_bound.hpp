@@ -1,0 +1,111 @@
+// lower_bound.hpp — the adversarial graph families of Section 5.
+//
+// Theorem 5.1 (single source): for ε ∈ (0, 1/2), the graph G_ε consists of
+// k = ⌊n^{1-2ε}⌋ identical copies hanging off the source s. Copy i has
+//   * a path π_i = [s_i = v_1, ..., v_{d+1} = v*_i] of length d = ⌊n^ε/4⌋
+//     (these k·d "costly" edges form the set Π);
+//   * side paths P^i_j from v_j to z^i_j of length t_j = 6 + 2(d-j)
+//     (strictly decreasing with j, which makes the replacement path after
+//     failing e^i_j = (v_j, v_{j+1}) unique);
+//   * a vertex block X_i of Θ(n^{2ε}) vertices starred to v*_i;
+//   * the complete bipartite graph X_i × Z_i.
+// Failing e^i_j forces every edge of E^i_j = {(x, z^i_j) : x ∈ X_i} into any
+// FT-BFS structure unless e^i_j is reinforced (Claim 5.3): the unique
+// shortest s−x path in G \ {e^i_j} is π[s,v_j] ∘ P^i_j ∘ (z^i_j, x).
+// With a budget of r reinforced edges, at least (|Π| − r)·|X_i| backup
+// edges are certified — Ω(n^{1+ε}) at the theorem's budget ⌊n^{1-ε}/6⌋.
+//
+// Theorem 5.4 (multi source) replicates the pattern per source while
+// *sharing* the X blocks between sources of the same column through hub
+// vertices ṽ_j, yielding Ω(K^{1-ε} n^{1+ε}) forced edges under budget
+// ⌊K·n^{1-ε}/6⌋.
+//
+// Both builders take a target vertex count n and distribute every leftover
+// vertex into the X blocks (making the certified bound only stronger), so
+// |V| == n exactly. If n is too small for the requested shape the builders
+// shrink k (then d) and record `adjusted = true`.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/graph.hpp"
+
+namespace ftb::lb {
+
+/// One copy G_{ε,i} of the single-source construction.
+struct LbCopy {
+  std::vector<Vertex> pi;        // v_1..v_{d+1}; pi[0] = s_i, pi[d] = v*_i
+  std::vector<EdgeId> pi_edges;  // e^i_1..e^i_d, e_j = (v_j, v_{j+1})
+  std::vector<Vertex> z;         // z_1..z_d
+  std::vector<Vertex> x;         // the X_i block
+};
+
+/// The Theorem 5.1 graph plus all metadata needed for certified counting.
+struct SingleSourceLb {
+  Graph graph;
+  Vertex source = 0;
+  double eps = 0;
+  std::int32_t d = 0;               // costly-path length per copy
+  std::int32_t k = 0;               // number of copies
+  bool adjusted = false;            // true if (d,k) had to shrink to fit n
+  std::vector<LbCopy> copies;
+  std::vector<EdgeId> pi_edges;     // Π — all k·d costly edges
+
+  /// E^i_j: the bipartite edges forced by the failure of e^i_j (Claim 5.3).
+  std::vector<EdgeId> forced_edges(std::int32_t copy, std::int32_t j) const;
+
+  /// min_i |X_i|.
+  std::int64_t min_x_size() const;
+
+  /// Certified combinatorial bound: any FT-BFS structure reinforcing at
+  /// most `r_budget` edges contains ≥ (|Π| − r_budget)·min|X_i| bipartite
+  /// backup edges (0 if the budget covers Π).
+  std::int64_t certified_min_backup(std::int64_t r_budget) const;
+
+  /// The theorem's budget ⌊n^{1-ε}/6⌋.
+  std::int64_t theorem_budget() const;
+};
+
+/// Builds the Theorem 5.1 graph with exactly n vertices.
+/// Requires ε ∈ (0, 1/2] and n large enough for at least d = 2 (throws
+/// CheckError otherwise, after trying to shrink k and d).
+SingleSourceLb build_single_source(Vertex n, double eps);
+
+/// One (source i, column j) subgraph of the multi-source construction.
+struct MsCopy {
+  std::vector<Vertex> pi;        // v^{i,j}_1..v^{i,j}_{d+1}
+  std::vector<EdgeId> pi_edges;  // d costly edges
+  std::vector<Vertex> z;         // z^{i,j}_1..z^{i,j}_d
+};
+
+/// The Theorem 5.4 graph.
+struct MultiSourceLb {
+  Graph graph;
+  std::vector<Vertex> sources;      // |sources| = K
+  double eps = 0;
+  std::int32_t d = 0;
+  std::int32_t k = 0;               // columns per source
+  std::int32_t K = 0;
+  bool adjusted = false;
+  // copies[i][j] for source i, column j.
+  std::vector<std::vector<MsCopy>> copies;
+  std::vector<Vertex> hubs;               // ṽ_j per column
+  std::vector<std::vector<Vertex>> x;     // X_j per column (shared)
+  std::vector<EdgeId> pi_edges;           // Π — all K·k·d costly edges
+
+  /// Forced edges for failure of e^{i,j}_l (Claim 5.6): X_j × {z^{i,j}_l}.
+  std::vector<EdgeId> forced_edges(std::int32_t i, std::int32_t j,
+                                   std::int32_t l) const;
+
+  std::int64_t min_x_size() const;
+  std::int64_t certified_min_backup(std::int64_t r_budget) const;
+
+  /// The theorem's budget ⌊K·n^{1-ε}/6⌋.
+  std::int64_t theorem_budget() const;
+};
+
+/// Builds the Theorem 5.4 graph with exactly n vertices and K sources.
+MultiSourceLb build_multi_source(Vertex n, std::int32_t K, double eps);
+
+}  // namespace ftb::lb

@@ -1,0 +1,31 @@
+// dot.hpp — Graphviz export of graphs and FT-BFS structures.
+//
+// Intended for eyeballing small instances: tree edges solid, backup edges
+// dashed, reinforced edges bold red. `dot -Tsvg out.dot > out.svg`.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/graph/graph.hpp"
+
+namespace ftb {
+class FtBfsStructure;  // fwd (core/structure.hpp)
+}
+
+namespace ftb::io {
+
+/// Plain graph dump.
+void write_dot(const Graph& g, std::ostream& os,
+               const std::string& name = "G");
+
+/// Structure-aware dump: edges of H drawn solid (backup) / bold red
+/// (reinforced); edges of G missing from H drawn dotted gray.
+void write_dot(const FtBfsStructure& h, std::ostream& os,
+               const std::string& name = "H");
+
+void save_dot(const Graph& g, const std::string& path);
+void save_dot(const FtBfsStructure& h, const std::string& path);
+
+}  // namespace ftb::io

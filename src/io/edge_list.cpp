@@ -1,0 +1,60 @@
+#include "src/io/edge_list.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace ftb::io {
+
+void write_edge_list(const Graph& g, std::ostream& os) {
+  os << "# ftbfs edge list\n";
+  os << g.num_vertices() << ' ' << g.num_edges() << '\n';
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto [u, v] = g.edge(e);
+    os << u << ' ' << v << '\n';
+  }
+}
+
+void save_edge_list(const Graph& g, const std::string& path) {
+  std::ofstream f(path);
+  FTB_CHECK_MSG(f.good(), "cannot open " << path << " for writing");
+  write_edge_list(g, f);
+}
+
+Graph read_edge_list(std::istream& is) {
+  std::string line;
+  auto next_data_line = [&]() -> std::string {
+    while (std::getline(is, line)) {
+      const auto pos = line.find_first_not_of(" \t\r");
+      if (pos == std::string::npos || line[pos] == '#') continue;
+      return line;
+    }
+    return {};
+  };
+
+  const std::string header = next_data_line();
+  FTB_CHECK_MSG(!header.empty(), "edge list: missing 'n m' header");
+  std::istringstream hs(header);
+  long long n = -1, m = -1;
+  hs >> n >> m;
+  FTB_CHECK_MSG(n >= 0 && m >= 0, "edge list: bad header '" << header << "'");
+
+  GraphBuilder b(static_cast<Vertex>(n));
+  for (long long i = 0; i < m; ++i) {
+    const std::string el = next_data_line();
+    FTB_CHECK_MSG(!el.empty(), "edge list: expected " << m << " edges, got " << i);
+    std::istringstream es(el);
+    long long u = -1, v = -1;
+    es >> u >> v;
+    FTB_CHECK_MSG(u >= 0 && v >= 0, "edge list: bad edge line '" << el << "'");
+    b.add_edge(static_cast<Vertex>(u), static_cast<Vertex>(v));
+  }
+  return b.build();
+}
+
+Graph load_edge_list(const std::string& path) {
+  std::ifstream f(path);
+  FTB_CHECK_MSG(f.good(), "cannot open " << path);
+  return read_edge_list(f);
+}
+
+}  // namespace ftb::io

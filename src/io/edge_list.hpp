@@ -1,0 +1,27 @@
+// edge_list.hpp — plain-text graph serialization.
+//
+// Format (whitespace-separated, '#' comments):
+//   # optional comments
+//   n m
+//   u v        (one line per edge, 0-based vertex ids)
+//
+// This is the interchange format used by the examples, and it round-trips
+// losslessly (edge ids are reassigned canonically on load).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "src/graph/graph.hpp"
+
+namespace ftb::io {
+
+/// Writes `g` in edge-list format.
+void write_edge_list(const Graph& g, std::ostream& os);
+void save_edge_list(const Graph& g, const std::string& path);
+
+/// Parses an edge-list stream. Throws CheckError on malformed input.
+Graph read_edge_list(std::istream& is);
+Graph load_edge_list(const std::string& path);
+
+}  // namespace ftb::io

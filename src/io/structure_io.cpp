@@ -1,0 +1,99 @@
+#include "src/io/structure_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace ftb::io {
+
+namespace {
+std::string next_data_line(std::istream& is) {
+  std::string line;
+  while (std::getline(is, line)) {
+    const auto pos = line.find_first_not_of(" \t\r");
+    if (pos == std::string::npos || line[pos] == '#') continue;
+    return line;
+  }
+  return {};
+}
+}  // namespace
+
+void write_structure(const FtBfsStructure& h, std::ostream& os) {
+  const Graph& g = h.graph();
+  os << "ftbfs-structure 1\n";
+  os << "# n |E(H)| source\n";
+  os << g.num_vertices() << ' ' << h.num_edges() << ' ' << h.source() << '\n';
+  os << "# u v flags (1=reinforced, 2=tree)\n";
+  std::vector<std::uint8_t> is_tree(static_cast<std::size_t>(g.num_edges()),
+                                    0);
+  for (const EdgeId e : h.tree_edges()) {
+    is_tree[static_cast<std::size_t>(e)] = 1;
+  }
+  for (const EdgeId e : h.edges()) {
+    const auto [u, v] = g.edge(e);
+    int flags = 0;
+    if (h.is_reinforced(e)) flags |= 1;
+    if (is_tree[static_cast<std::size_t>(e)]) flags |= 2;
+    os << u << ' ' << v << ' ' << flags << '\n';
+  }
+}
+
+void save_structure(const FtBfsStructure& h, const std::string& path) {
+  std::ofstream f(path);
+  FTB_CHECK_MSG(f.good(), "cannot open " << path << " for writing");
+  write_structure(h, f);
+}
+
+FtBfsStructure read_structure(const Graph& g, std::istream& is) {
+  const std::string magic = next_data_line(is);
+  FTB_CHECK_MSG(magic.rfind("ftbfs-structure", 0) == 0,
+                "bad magic line '" << magic << "'");
+  {
+    std::istringstream ms(magic);
+    std::string word;
+    int version = -1;
+    ms >> word >> version;
+    FTB_CHECK_MSG(version == 1, "unsupported structure version " << version);
+  }
+  const std::string header = next_data_line(is);
+  FTB_CHECK_MSG(!header.empty(), "missing structure header");
+  long long n = -1, mh = -1, source = -1;
+  {
+    std::istringstream hs(header);
+    hs >> n >> mh >> source;
+  }
+  FTB_CHECK_MSG(n == g.num_vertices(),
+                "structure built for n=" << n << ", graph has "
+                                         << g.num_vertices());
+  FTB_CHECK_MSG(mh >= 0 && source >= 0 && source < n, "bad header");
+
+  std::vector<EdgeId> edges, reinforced, tree_edges;
+  for (long long i = 0; i < mh; ++i) {
+    const std::string line = next_data_line(is);
+    FTB_CHECK_MSG(!line.empty(),
+                  "expected " << mh << " structure edges, got " << i);
+    std::istringstream es(line);
+    long long u = -1, v = -1;
+    int flags = -1;
+    es >> u >> v >> flags;
+    FTB_CHECK_MSG(u >= 0 && v >= 0 && flags >= 0,
+                  "bad structure edge line '" << line << "'");
+    const EdgeId e =
+        g.find_edge(static_cast<Vertex>(u), static_cast<Vertex>(v));
+    FTB_CHECK_MSG(e != kInvalidEdge,
+                  "structure edge (" << u << "," << v
+                                     << ") missing from the graph");
+    edges.push_back(e);
+    if (flags & 1) reinforced.push_back(e);
+    if (flags & 2) tree_edges.push_back(e);
+  }
+  return FtBfsStructure(g, static_cast<Vertex>(source), std::move(edges),
+                        std::move(reinforced), std::move(tree_edges));
+}
+
+FtBfsStructure load_structure(const Graph& g, const std::string& path) {
+  std::ifstream f(path);
+  FTB_CHECK_MSG(f.good(), "cannot open " << path);
+  return read_structure(g, f);
+}
+
+}  // namespace ftb::io

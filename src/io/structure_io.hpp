@@ -1,0 +1,31 @@
+// structure_io.hpp — (de)serialization of FT-BFS structures.
+//
+// A deployment artifact: the operator builds H once, ships the purchase
+// plan (which links to buy as backup, which to reinforce), and reloads it
+// later against the same network. Format (text, '#' comments):
+//
+//   ftbfs-structure 1
+//   <n> <|E(H)|> <source>
+//   <u> <v> <flags>        # one line per structure edge;
+//                          # flags bit 0 = reinforced, bit 1 = tree edge
+//
+// Loading validates against the given graph (endpoints must exist as
+// edges) and reconstructs the exact edge partition.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "src/core/structure.hpp"
+
+namespace ftb::io {
+
+void write_structure(const FtBfsStructure& h, std::ostream& os);
+void save_structure(const FtBfsStructure& h, const std::string& path);
+
+/// Parses a structure against `g`. Throws CheckError on malformed input,
+/// unknown edges, or a vertex-count mismatch.
+FtBfsStructure read_structure(const Graph& g, std::istream& is);
+FtBfsStructure load_structure(const Graph& g, const std::string& path);
+
+}  // namespace ftb::io

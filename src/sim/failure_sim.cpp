@@ -1,0 +1,73 @@
+#include "src/sim/failure_sim.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+#include "src/graph/canonical_bfs.hpp"
+
+namespace ftb {
+
+std::string DrillReport::to_string() const {
+  std::ostringstream os;
+  os << "DrillReport(drills=" << drills << ", queries=" << reachable_queries
+     << ", violations=" << violations << ", disconnections=" << disconnections
+     << ", max_stretch=" << max_stretch << ", avg_distance=" << avg_distance
+     << ")";
+  return os.str();
+}
+
+DrillReport run_failure_drill(const FtBfsStructure& h,
+                              std::int64_t num_failures, std::uint64_t seed) {
+  const Graph& g = h.graph();
+  const Vertex s = h.source();
+
+  // Fault-prone edges: everything in G except the reinforced set.
+  std::vector<EdgeId> prone;
+  prone.reserve(static_cast<std::size_t>(g.num_edges()));
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (!h.is_reinforced(e)) prone.push_back(e);
+  }
+
+  Rng rng(seed);
+  rng.shuffle(prone);
+  if (static_cast<std::int64_t>(prone.size()) > num_failures) {
+    prone.resize(static_cast<std::size_t>(num_failures));
+  }
+
+  DrillReport report;
+  double dist_sum = 0;
+  std::int64_t dist_count = 0;
+  for (const EdgeId failed : prone) {
+    ++report.drills;
+    BfsBans bans;
+    bans.banned_edge = failed;
+    const std::vector<std::int32_t> dist_g = plain_bfs(g, s, bans).dist;
+    const std::vector<std::int32_t> dist_h = h.distances_avoiding(failed);
+    for (Vertex v = 0; v < g.num_vertices(); ++v) {
+      const std::int32_t dg = dist_g[static_cast<std::size_t>(v)];
+      const std::int32_t dh = dist_h[static_cast<std::size_t>(v)];
+      if (dg >= kInfHops) {
+        ++report.disconnections;
+        continue;
+      }
+      ++report.reachable_queries;
+      dist_sum += dh >= kInfHops ? 0 : dh;
+      ++dist_count;
+      if (dh != dg) {
+        ++report.violations;
+        const double stretch =
+            dh >= kInfHops
+                ? std::numeric_limits<double>::infinity()
+                : (dg == 0 ? 1.0
+                           : static_cast<double>(dh) / static_cast<double>(dg));
+        report.max_stretch = std::max(report.max_stretch, stretch);
+      }
+    }
+  }
+  report.avg_distance = dist_count > 0 ? dist_sum / static_cast<double>(dist_count)
+                                       : 0.0;
+  return report;
+}
+
+}  // namespace ftb

@@ -1,0 +1,40 @@
+// failure_sim.hpp — operational failure drills against a deployed
+// (b,r) FT-BFS structure.
+//
+// The simulator plays the role of the network operator from the paper's
+// introduction: edges fail one at a time (reinforced edges never fail, by
+// assumption of the model); after each failure it measures the service
+// level of the surviving structure — distance stretch vs. the surviving
+// *full* network — and aggregates a report. A correct structure always
+// reports stretch 1 and zero SLA violations; the integration tests assert
+// exactly that, and the failure_drill example prints the report.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/structure.hpp"
+#include "src/util/rng.hpp"
+
+namespace ftb {
+
+struct DrillReport {
+  std::int64_t drills = 0;              // failures injected
+  std::int64_t reachable_queries = 0;   // (failure, vertex) pairs compared
+  std::int64_t violations = 0;          // dist_H > dist_G events
+  std::int64_t disconnections = 0;      // vertices cut off by the failure
+                                        // (in G as well — not a violation)
+  double max_stretch = 1.0;             // max dist_H / dist_G observed
+  double avg_distance = 0.0;            // mean surviving distance in H
+
+  std::string to_string() const;
+};
+
+/// Simulates `num_failures` independent single-edge failures drawn
+/// uniformly from the *fault-prone* edges of G (everything except E'),
+/// sampling without replacement when possible. Deterministic given `seed`.
+DrillReport run_failure_drill(const FtBfsStructure& h,
+                              std::int64_t num_failures, std::uint64_t seed);
+
+}  // namespace ftb

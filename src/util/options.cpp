@@ -1,0 +1,77 @@
+#include "src/util/options.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+
+namespace ftb {
+
+Options::Options(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) continue;
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq == std::string::npos) {
+      kv_.emplace_back(arg, "1");
+    } else {
+      kv_.emplace_back(arg.substr(0, eq), arg.substr(eq + 1));
+    }
+  }
+}
+
+std::string Options::lookup(const std::string& key) const {
+  for (const auto& [k, v] : kv_) {
+    if (k == key) return v;
+  }
+  std::string env = "FTBFS_";
+  for (char c : key) env += static_cast<char>(std::toupper(c));
+  if (const char* e = std::getenv(env.c_str())) return e;
+  return "";
+}
+
+bool Options::has(const std::string& key) const { return !lookup(key).empty(); }
+
+long long Options::get_int(const std::string& key, long long def) const {
+  const std::string v = lookup(key);
+  return v.empty() ? def : std::stoll(v);
+}
+
+double Options::get_double(const std::string& key, double def) const {
+  const std::string v = lookup(key);
+  return v.empty() ? def : std::stod(v);
+}
+
+std::string Options::get_string(const std::string& key,
+                                const std::string& def) const {
+  const std::string v = lookup(key);
+  return v.empty() ? def : v;
+}
+
+std::vector<double> Options::get_double_list(const std::string& key,
+                                             std::vector<double> def) const {
+  const std::string v = lookup(key);
+  if (v.empty()) return def;
+  std::vector<double> out;
+  std::stringstream ss(v);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(std::stod(item));
+  }
+  return out.empty() ? def : out;
+}
+
+std::vector<long long> Options::get_int_list(const std::string& key,
+                                             std::vector<long long> def) const {
+  const std::string v = lookup(key);
+  if (v.empty()) return def;
+  std::vector<long long> out;
+  std::stringstream ss(v);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(std::stoll(item));
+  }
+  return out.empty() ? def : out;
+}
+
+}  // namespace ftb

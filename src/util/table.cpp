@@ -1,0 +1,91 @@
+#include "src/util/table.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <ostream>
+
+#include "src/util/check.hpp"
+
+namespace ftb {
+
+void Table::columns(std::vector<std::string> names) {
+  FTB_CHECK_MSG(rows_.empty(), "columns() after rows were added");
+  header_ = std::move(names);
+}
+
+void Table::add_row(std::vector<Cell> cells) {
+  FTB_CHECK_MSG(header_.empty() || cells.size() == header_.size(),
+                "row arity " << cells.size() << " != header arity "
+                             << header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::format_cell(const Cell& c) {
+  if (std::holds_alternative<long long>(c)) {
+    return std::to_string(std::get<long long>(c));
+  }
+  if (std::holds_alternative<double>(c)) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.4g", std::get<double>(c));
+    return buf;
+  }
+  return std::get<std::string>(c);
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  for (std::size_t i = 0; i < header_.size(); ++i) widths[i] = header_[i].size();
+
+  std::vector<std::vector<std::string>> rendered;
+  rendered.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    std::vector<std::string> r;
+    r.reserve(row.size());
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      r.push_back(format_cell(row[i]));
+      if (widths.size() <= i) widths.resize(i + 1, 0);
+      widths[i] = std::max(widths[i], r.back().size());
+    }
+    rendered.push_back(std::move(r));
+  }
+
+  if (!title_.empty()) os << "== " << title_ << " ==\n";
+  auto pad = [&](const std::string& s, std::size_t w) {
+    os << s;
+    for (std::size_t k = s.size(); k < w + 2; ++k) os << ' ';
+  };
+  if (!header_.empty()) {
+    for (std::size_t i = 0; i < header_.size(); ++i) pad(header_[i], widths[i]);
+    os << '\n';
+    std::size_t total = 0;
+    for (auto w : widths) total += w + 2;
+    for (std::size_t k = 0; k < total; ++k) os << '-';
+    os << '\n';
+  }
+  for (const auto& r : rendered) {
+    for (std::size_t i = 0; i < r.size(); ++i)
+      pad(r[i], i < widths.size() ? widths[i] : r[i].size());
+    os << '\n';
+  }
+  os.flush();
+}
+
+void Table::write_csv(const std::string& path) const {
+  std::ofstream f(path);
+  FTB_CHECK_MSG(f.good(), "cannot open " << path << " for writing");
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    if (i) f << ',';
+    f << header_[i];
+  }
+  if (!header_.empty()) f << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) f << ',';
+      f << format_cell(row[i]);
+    }
+    f << '\n';
+  }
+}
+
+}  // namespace ftb

@@ -1,0 +1,74 @@
+// table.hpp — aligned console tables + CSV emission for the bench harness.
+//
+// Every bench binary prints paper-style rows through this class so that the
+// output format is uniform and machine-greppable:
+//
+//   Table t("E1: reinforcement-backup tradeoff");
+//   t.columns({"eps", "n", "b(n)", "r(n)", "b/n^{1+eps}"});
+//   t.row(0.25, 2048, 41231, 512, 1.23);
+//   t.print(std::cout);        // aligned text
+//   t.write_csv("e1.csv");     // optional CSV artifact
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace ftb {
+
+/// A cell is an integer, a double, or a string.
+using Cell = std::variant<long long, double, std::string>;
+
+/// Column-aligned table with an optional title, printable as text or CSV.
+class Table {
+ public:
+  explicit Table(std::string title = "") : title_(std::move(title)) {}
+
+  /// Defines the header. Must be called before the first row().
+  void columns(std::vector<std::string> names);
+
+  /// Appends one row. Accepts any mix of integral / floating / string args;
+  /// the arity must match the header.
+  template <typename... Args>
+  void row(Args&&... args) {
+    std::vector<Cell> cells;
+    cells.reserve(sizeof...(Args));
+    (cells.push_back(to_cell(std::forward<Args>(args))), ...);
+    add_row(std::move(cells));
+  }
+
+  void add_row(std::vector<Cell> cells);
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Aligned, human-readable rendering.
+  void print(std::ostream& os) const;
+
+  /// RFC-4180-ish CSV (no quoting of commas needed for our content).
+  void write_csv(const std::string& path) const;
+
+  /// Renders a single cell the way print()/CSV do (doubles with %.4g).
+  static std::string format_cell(const Cell& c);
+
+ private:
+  template <typename T>
+  static Cell to_cell(T&& v) {
+    using U = std::decay_t<T>;
+    if constexpr (std::is_same_v<U, bool>) {
+      return Cell(static_cast<long long>(v));
+    } else if constexpr (std::is_integral_v<U>) {
+      return Cell(static_cast<long long>(v));
+    } else if constexpr (std::is_floating_point_v<U>) {
+      return Cell(static_cast<double>(v));
+    } else {
+      return Cell(std::string(std::forward<T>(v)));
+    }
+  }
+
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<Cell>> rows_;
+};
+
+}  // namespace ftb

@@ -1,0 +1,98 @@
+#include "src/util/thread_pool.hpp"
+
+#include <atomic>
+
+#include "src/util/check.hpp"
+
+namespace ftb {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& fn,
+                              std::size_t shards_per_thread) {
+  if (count == 0) return;
+  const std::size_t nthreads = thread_count();
+  // Small batches aren't worth the synchronization overhead.
+  if (nthreads <= 1 || count <= 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  const std::size_t shards =
+      std::min(count, std::max<std::size_t>(1, nthreads * shards_per_thread));
+  const std::size_t block = (count + shards - 1) / shards;
+
+  std::atomic<std::size_t> remaining{shards};
+  std::exception_ptr first_error;
+  std::mutex err_mu;
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    FTB_CHECK_MSG(!stop_, "parallel_for on a stopped pool");
+    for (std::size_t sh = 0; sh < shards; ++sh) {
+      const std::size_t lo = sh * block;
+      const std::size_t hi = std::min(count, lo + block);
+      tasks_.push([&, lo, hi] {
+        try {
+          for (std::size_t i = lo; i < hi; ++i) fn(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> err_lock(err_mu);
+          if (!first_error) first_error = std::current_exception();
+        }
+        if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          std::lock_guard<std::mutex> done_lock(done_mu);
+          done_cv.notify_one();
+        }
+      });
+    }
+  }
+  cv_.notify_all();
+
+  {
+    std::unique_lock<std::mutex> lock(done_mu);
+    done_cv.wait(lock, [&] { return remaining.load() == 0; });
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace ftb

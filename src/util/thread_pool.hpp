@@ -1,0 +1,57 @@
+// thread_pool.hpp — a small fixed-size worker pool with a deterministic
+// parallel-for primitive.
+//
+// The replacement-path engine runs two O(n·m) BFS sweeps (one BFS per tree
+// edge, one off-path BFS per vertex). Both are embarrassingly parallel:
+// every iteration writes a disjoint output slot, so the result is identical
+// regardless of scheduling. parallel_for shards [0, count) into contiguous
+// blocks and hands them to the pool; exceptions raised by any task are
+// rethrown on the caller's thread.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace ftb {
+
+/// Fixed-size worker pool. Threads are created once and reused; the pool
+/// joins them on destruction. Safe to use from one submitting thread.
+class ThreadPool {
+ public:
+  /// `threads == 0` means hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+  /// Runs fn(i) for every i in [0, count). Blocks until all iterations are
+  /// done. The first exception thrown by any iteration is rethrown here.
+  /// Iterations are sharded into `shards_per_thread * thread_count()`
+  /// contiguous blocks for load balancing on skewed work.
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& fn,
+                    std::size_t shards_per_thread = 8);
+
+  /// The process-wide default pool (sized to hardware concurrency).
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace ftb

@@ -1,0 +1,28 @@
+// timer.hpp — wall-clock stopwatch for benchmark tables.
+#pragma once
+
+#include <chrono>
+
+namespace ftb {
+
+/// Simple monotonic stopwatch. Started on construction; `restart()` resets.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void restart() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction / last restart.
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds.
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace ftb

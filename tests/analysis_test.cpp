@@ -1,0 +1,115 @@
+// analysis_test.cpp — per-edge economics (users / Cost(e), Discussion §).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/core/analysis.hpp"
+#include "src/graph/lower_bound.hpp"
+#include "tests/test_util.hpp"
+
+namespace ftb {
+namespace {
+
+struct Fixture {
+  Graph g;
+  Vertex source;
+  EdgeWeights w;
+  BfsTree tree;
+  ReplacementPathEngine engine;
+
+  explicit Fixture(test::FamilyCase fc)
+      : g(std::move(fc.graph)),
+        source(fc.source),
+        w(EdgeWeights::uniform_random(g, 3)),
+        tree(g, w, source),
+        engine(tree) {}
+};
+
+TEST(Economics, UsersEqualSubtreeSizes) {
+  Fixture fx({"gnm", gen::gnm(40, 160, 5), 0});
+  const EconomicsReport rep = analyze_economics(fx.engine);
+  ASSERT_EQ(rep.edges.size(), fx.tree.tree_edges().size());
+  for (const auto& row : rep.edges) {
+    EXPECT_EQ(row.users,
+              fx.tree.subtree_size(fx.tree.lower_endpoint(row.e)));
+    EXPECT_EQ(row.depth, fx.tree.edge_depth(row.e));
+    EXPECT_GE(row.covered, 0);
+    EXPECT_LE(row.cost, row.users);  // at most one last edge per user
+  }
+}
+
+TEST(Economics, TotalCostMatchesDistinctLastEdgeSum) {
+  Fixture fx({"conn", gen::random_connected(50, 180, 7), 0});
+  const EconomicsReport rep = analyze_economics(fx.engine);
+  std::int64_t total = 0, mx = 0;
+  for (const auto& row : rep.edges) {
+    total += row.cost;
+    mx = std::max<std::int64_t>(mx, row.cost);
+  }
+  EXPECT_EQ(rep.total_cost, total);
+  EXPECT_EQ(rep.max_cost, mx);
+}
+
+TEST(Economics, TreeHasZeroCost) {
+  Fixture fx({"btree", gen::binary_tree(31), 0});
+  const EconomicsReport rep = analyze_economics(fx.engine);
+  EXPECT_EQ(rep.total_cost, 0);
+  for (const auto& row : rep.edges) EXPECT_EQ(row.cost, 0);
+}
+
+TEST(Economics, LowerBoundGraphCostConcentratesOnCostlyPath) {
+  // On the Theorem 5.1 graph, the expensive edges are exactly the π path
+  // edges: each forces |X_i| bipartite last edges; everything else is
+  // near-free. by_cost_desc() must surface them first.
+  const auto lbg = lb::build_single_source(260, 0.4);
+  const EdgeWeights w = EdgeWeights::uniform_random(lbg.graph, 9);
+  const BfsTree tree(lbg.graph, w, lbg.source);
+  const ReplacementPathEngine engine(tree);
+  const EconomicsReport rep = analyze_economics(engine);
+
+  std::set<EdgeId> costly(lbg.pi_edges.begin(), lbg.pi_edges.end());
+  const auto sorted = rep.by_cost_desc();
+  // All strictly-positive-cost rows above the X-block threshold are costly
+  // path edges.
+  const std::int64_t x_min = lbg.min_x_size();
+  for (const auto& row : sorted) {
+    if (row.cost >= x_min) {
+      EXPECT_EQ(costly.count(row.e), 1u)
+          << "edge " << row.e << " cost " << row.cost;
+    }
+  }
+  // And the top row really carries X-block scale cost.
+  ASSERT_FALSE(sorted.empty());
+  EXPECT_GE(sorted.front().cost, x_min);
+}
+
+TEST(Economics, UsersCostCorrelationPositiveOnAdversarialFamily) {
+  // The Discussion's economy-of-scale intuition: edges with many users are
+  // the expensive ones. On the adversarial family the correlation is
+  // clearly positive.
+  const auto lbg = lb::build_single_source(300, 0.45);
+  const EdgeWeights w = EdgeWeights::uniform_random(lbg.graph, 11);
+  const BfsTree tree(lbg.graph, w, lbg.source);
+  const ReplacementPathEngine engine(tree);
+  const EconomicsReport rep = analyze_economics(engine);
+  EXPECT_GT(rep.users_cost_correlation, 0.1);
+}
+
+TEST(Economics, SweepAcrossFamiliesIsConsistent) {
+  for (auto& fc : test::small_families()) {
+    const std::string name = fc.name;
+    Fixture fx(std::move(fc));
+    const EconomicsReport rep = analyze_economics(fx.engine);
+    std::int64_t uncovered_from_rows = 0;
+    for (const auto& row : rep.edges) {
+      uncovered_from_rows += row.users - row.covered;
+    }
+    // Rows account for every uncovered pair exactly once.
+    EXPECT_EQ(uncovered_from_rows, fx.engine.stats().pairs_uncovered) << name;
+    EXPECT_GE(rep.users_cost_correlation, -1.0);
+    EXPECT_LE(rep.users_cost_correlation, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace ftb

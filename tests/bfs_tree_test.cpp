@@ -1,0 +1,179 @@
+// bfs_tree_test.cpp — T0 structure: parents/children, preorder intervals,
+// ancestor tests, tree-edge machinery, the e ∼ e' relation.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/graph/bfs_tree.hpp"
+#include "src/graph/generators.hpp"
+#include "tests/test_util.hpp"
+
+namespace ftb {
+namespace {
+
+struct TreeFixture {
+  Graph g;
+  Vertex source;
+  EdgeWeights w;
+  BfsTree tree;
+
+  explicit TreeFixture(test::FamilyCase fc)
+      : g(std::move(fc.graph)),
+        source(fc.source),
+        w(EdgeWeights::uniform_random(g, 31)),
+        tree(g, w, source) {}
+};
+
+bool naive_ancestor(const BfsTree& t, Vertex a, Vertex d) {
+  for (Vertex u = d; u != kInvalidVertex; u = t.parent(u)) {
+    if (u == a) return true;
+  }
+  return false;
+}
+
+TEST(BfsTree, FamilySweepInvariants) {
+  for (auto& fc : test::small_families()) {
+    const std::string name = fc.name;
+    TreeFixture fx(std::move(fc));
+    const BfsTree& t = fx.tree;
+
+    // Depths match plain BFS; parent depths decrease by one.
+    const BfsResult r = plain_bfs(fx.g, fx.source);
+    std::int32_t reachable = 0;
+    for (Vertex v = 0; v < fx.g.num_vertices(); ++v) {
+      ASSERT_EQ(t.depth(v), r.dist[static_cast<std::size_t>(v)]) << name;
+      if (!t.reachable(v)) continue;
+      ++reachable;
+      if (v != fx.source) {
+        ASSERT_EQ(t.depth(t.parent(v)), t.depth(v) - 1) << name;
+      }
+    }
+    ASSERT_EQ(t.num_reachable(), reachable) << name;
+    ASSERT_EQ(static_cast<std::int32_t>(t.tree_edges().size()),
+              reachable - 1)
+        << name;
+
+    // children ↔ parent inversion.
+    for (Vertex v = 0; v < fx.g.num_vertices(); ++v) {
+      for (const Vertex c : t.children(v)) {
+        ASSERT_EQ(t.parent(c), v) << name;
+      }
+    }
+
+    // Preorder intervals vs. naive ancestor walk, on a sample.
+    const auto pre = t.preorder();
+    for (std::size_t i = 0; i < pre.size(); i += 3) {
+      for (std::size_t j = 0; j < pre.size(); j += 5) {
+        ASSERT_EQ(t.is_ancestor_or_equal(pre[i], pre[j]),
+                  naive_ancestor(t, pre[i], pre[j]))
+            << name;
+      }
+    }
+
+    // Subtree spans contain exactly the descendants.
+    for (std::size_t i = 0; i < pre.size(); i += 7) {
+      const Vertex v = pre[i];
+      std::set<Vertex> span_set(t.subtree(v).begin(), t.subtree(v).end());
+      ASSERT_EQ(static_cast<std::int32_t>(span_set.size()),
+                t.subtree_size(v))
+          << name;
+      for (const Vertex u : pre) {
+        ASSERT_EQ(span_set.count(u) == 1, naive_ancestor(t, v, u)) << name;
+      }
+    }
+  }
+}
+
+TEST(BfsTree, TreeEdgeEndpointsAndDepth) {
+  TreeFixture fx({"grid", gen::grid_graph(5, 5), 0});
+  const BfsTree& t = fx.tree;
+  for (const EdgeId e : t.tree_edges()) {
+    ASSERT_TRUE(t.is_tree_edge(e));
+    const Vertex low = t.lower_endpoint(e);
+    const Vertex up = t.upper_endpoint(e);
+    ASSERT_EQ(t.parent(low), up);
+    ASSERT_EQ(t.edge_depth(e), t.depth(low));
+    ASSERT_EQ(t.parent_edge(low), e);
+  }
+  // Non-tree edges report as such.
+  std::int32_t non_tree = 0;
+  for (EdgeId e = 0; e < fx.g.num_edges(); ++e) {
+    if (!t.is_tree_edge(e)) ++non_tree;
+  }
+  ASSERT_EQ(non_tree, fx.g.num_edges() -
+                          static_cast<EdgeId>(t.tree_edges().size()));
+}
+
+TEST(BfsTree, OnSourcePathMatchesNaive) {
+  TreeFixture fx({"gnm", gen::gnm(36, 140, 21), 0});
+  const BfsTree& t = fx.tree;
+  for (Vertex v = 0; v < fx.g.num_vertices(); ++v) {
+    if (!t.reachable(v)) continue;
+    std::set<EdgeId> path_edges;
+    const auto path = t.path_from_source(v);
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      path_edges.insert(t.parent_edge(path[i + 1]));
+    }
+    for (const EdgeId e : t.tree_edges()) {
+      ASSERT_EQ(t.on_source_path(e, v), path_edges.count(e) == 1)
+          << "v=" << v << " e=" << e;
+    }
+  }
+}
+
+TEST(BfsTree, EdgesRelatedMatchesDefinition) {
+  // e ∼ e' iff both on a common π(s,x): brute-force over all terminals.
+  TreeFixture fx({"er", gen::erdos_renyi(28, 0.18, 33), 0});
+  const BfsTree& t = fx.tree;
+  const auto& edges = t.tree_edges();
+  for (std::size_t a = 0; a < edges.size(); ++a) {
+    for (std::size_t b = a; b < edges.size(); ++b) {
+      bool common = false;
+      for (Vertex v = 0; v < fx.g.num_vertices() && !common; ++v) {
+        if (!t.reachable(v)) continue;
+        common = t.on_source_path(edges[a], v) && t.on_source_path(edges[b], v);
+      }
+      ASSERT_EQ(t.edges_related(edges[a], edges[b]), common)
+          << "e1=" << edges[a] << " e2=" << edges[b];
+    }
+  }
+}
+
+TEST(BfsTree, PathFromSourceIsCanonical) {
+  TreeFixture fx({"pa", gen::preferential_attachment(40, 2, 17), 0});
+  const BfsTree& t = fx.tree;
+  for (Vertex v = 0; v < 40; ++v) {
+    if (!t.reachable(v)) continue;
+    const auto path = t.path_from_source(v);
+    ASSERT_EQ(path.front(), t.source());
+    ASSERT_EQ(path.back(), v);
+    ASSERT_EQ(static_cast<std::int32_t>(path.size()) - 1, t.depth(v));
+  }
+}
+
+TEST(BfsTree, DisconnectedGraphHandled) {
+  GraphBuilder b(6);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(3, 4);  // separate component
+  const Graph g = b.build();
+  const EdgeWeights w = EdgeWeights::uniform_random(g, 3);
+  const BfsTree t(g, w, 0);
+  EXPECT_EQ(t.num_reachable(), 3);
+  EXPECT_FALSE(t.reachable(3));
+  EXPECT_FALSE(t.reachable(5));
+  EXPECT_EQ(t.tree_edges().size(), 2u);
+}
+
+TEST(BfsTree, SourceProperties) {
+  TreeFixture fx({"grid", gen::grid_graph(3, 3), 4});
+  const BfsTree& t = fx.tree;
+  EXPECT_EQ(t.depth(4), 0);
+  EXPECT_EQ(t.parent(4), kInvalidVertex);
+  EXPECT_EQ(t.parent_edge(4), kInvalidEdge);
+  EXPECT_EQ(t.subtree_size(4), 9);
+  EXPECT_EQ(t.preorder().front(), 4);
+}
+
+}  // namespace
+}  // namespace ftb

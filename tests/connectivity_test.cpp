@@ -1,0 +1,160 @@
+// connectivity_test.cpp — Tarjan bridges / articulation points, including
+// cross-validation against both replacement-path engines (a bridge is an
+// edge all of whose pairs are disconnecting; a cut vertex likewise).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/core/replacement.hpp"
+#include "src/core/vertex_ftbfs.hpp"
+#include "src/graph/connectivity.hpp"
+#include "tests/test_util.hpp"
+
+namespace ftb {
+namespace {
+
+/// O(m²) brute force: e is a bridge iff removing it grows the number of
+/// reachable vertices' components.
+std::set<EdgeId> brute_bridges(const Graph& g) {
+  std::set<EdgeId> out;
+  const BfsResult base = plain_bfs(g, 0);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto [u, v] = g.edge(e);
+    BfsBans bans;
+    bans.banned_edge = e;
+    const BfsResult r = plain_bfs(g, u, bans);
+    if (r.dist[static_cast<std::size_t>(v)] >= kInfHops) out.insert(e);
+  }
+  (void)base;
+  return out;
+}
+
+std::set<Vertex> brute_cut_vertices(const Graph& g) {
+  std::set<Vertex> out;
+  const std::size_t n = static_cast<std::size_t>(g.num_vertices());
+  auto count_components = [&](Vertex skip) {
+    std::vector<std::uint8_t> banned(n, 0);
+    if (skip != kInvalidVertex) banned[static_cast<std::size_t>(skip)] = 1;
+    std::vector<std::uint8_t> seen(n, 0);
+    int comps = 0;
+    for (Vertex r = 0; r < g.num_vertices(); ++r) {
+      if (r == skip || seen[static_cast<std::size_t>(r)]) continue;
+      ++comps;
+      BfsBans bans;
+      bans.banned_vertex = &banned;
+      for (const Vertex u : plain_bfs(g, r, bans).order) {
+        seen[static_cast<std::size_t>(u)] = 1;
+      }
+    }
+    return comps;
+  };
+  const int base = count_components(kInvalidVertex);
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    // Removing an isolated-ish vertex reduces the count by one; a cut
+    // vertex strictly increases it relative to base minus its own
+    // singleton contribution.
+    if (count_components(v) > base - (g.degree(v) == 0 ? 1 : 0)) {
+      out.insert(v);
+    }
+  }
+  return out;
+}
+
+TEST(Connectivity, MatchesBruteForceAcrossFamilies) {
+  for (auto& fc : test::small_families()) {
+    const std::string name = fc.name;
+    const ConnectivityReport rep = analyze_connectivity(fc.graph);
+    const std::set<EdgeId> expect_b = brute_bridges(fc.graph);
+    std::set<EdgeId> got_b(rep.bridges.begin(), rep.bridges.end());
+    ASSERT_EQ(got_b, expect_b) << name;
+    const std::set<Vertex> expect_c = brute_cut_vertices(fc.graph);
+    std::set<Vertex> got_c(rep.cut_vertices.begin(), rep.cut_vertices.end());
+    ASSERT_EQ(got_c, expect_c) << name;
+  }
+}
+
+TEST(Connectivity, KnownShapes) {
+  {
+    const ConnectivityReport rep = analyze_connectivity(gen::path_graph(8));
+    EXPECT_EQ(rep.bridges.size(), 7u);       // every edge
+    EXPECT_EQ(rep.cut_vertices.size(), 6u);  // every internal vertex
+    EXPECT_EQ(rep.num_components, 1);
+  }
+  {
+    const ConnectivityReport rep = analyze_connectivity(gen::cycle_graph(8));
+    EXPECT_TRUE(rep.bridges.empty());
+    EXPECT_TRUE(rep.cut_vertices.empty());
+  }
+  {
+    const Graph g = gen::intro_example(10);
+    const ConnectivityReport rep = analyze_connectivity(g);
+    EXPECT_EQ(rep.bridges.size(), 1u);  // the s—clique bridge
+    EXPECT_EQ(rep.cut_vertices.size(), 1u);  // vertex 1
+    EXPECT_EQ(rep.cut_vertices.front(), 1);
+  }
+  {
+    const Graph g = gen::dumbbell(6, 3);
+    const ConnectivityReport rep = analyze_connectivity(g);
+    EXPECT_EQ(rep.bridges.size(), 3u);  // the bridge path
+  }
+}
+
+TEST(Connectivity, ComponentsLabelled) {
+  GraphBuilder b(7);
+  b.add_edge(0, 1);
+  b.add_edge(2, 3);
+  b.add_edge(3, 4);
+  // 5, 6 isolated
+  const Graph g = b.build();
+  const ConnectivityReport rep = analyze_connectivity(g);
+  EXPECT_EQ(rep.num_components, 4);
+  EXPECT_EQ(rep.component[0], rep.component[1]);
+  EXPECT_EQ(rep.component[2], rep.component[4]);
+  EXPECT_NE(rep.component[0], rep.component[2]);
+  EXPECT_NE(rep.component[5], rep.component[6]);
+}
+
+TEST(Connectivity, BridgesMatchEngineInfinitePairs) {
+  // A tree edge of T0 is a bridge iff its failure disconnects its lower
+  // endpoint — which is exactly the engine reporting kInfHops.
+  for (auto& fc : test::small_families()) {
+    const std::string name = fc.name;
+    const EdgeWeights w = EdgeWeights::uniform_random(fc.graph, 3);
+    const BfsTree tree(fc.graph, w, fc.source);
+    const ReplacementPathEngine engine(tree);
+    const ConnectivityReport rep = analyze_connectivity(fc.graph);
+    for (const EdgeId e : tree.tree_edges()) {
+      const Vertex low = tree.lower_endpoint(e);
+      const bool inf = engine.replacement_dist(low, e) >= kInfHops;
+      ASSERT_EQ(rep.is_bridge(e), inf) << name << " e=" << e;
+    }
+  }
+}
+
+TEST(Connectivity, CutVerticesMatchVertexEngine) {
+  for (auto& fc : test::tiny_families()) {
+    const std::string name = fc.name;
+    const EdgeWeights w = EdgeWeights::uniform_random(fc.graph, 5);
+    const BfsTree tree(fc.graph, w, fc.source);
+    const VertexReplacementEngine engine(tree);
+    const ConnectivityReport rep = analyze_connectivity(fc.graph);
+    // An internal tree vertex x with a strict descendant disconnected by
+    // its removal must be a cut vertex, and vice versa (within s's
+    // component).
+    for (const Vertex x : tree.preorder()) {
+      if (x == fc.source || tree.subtree_size(x) <= 1) continue;
+      bool any_inf = false;
+      for (const Vertex v : tree.subtree(x)) {
+        if (v == x) continue;
+        if (engine.replacement_dist(v, x) >= kInfHops) {
+          any_inf = true;
+          break;
+        }
+      }
+      ASSERT_EQ(rep.is_cut_vertex(x), any_inf) << name << " x=" << x;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ftb

@@ -1,0 +1,237 @@
+// epsilon_ftbfs_test.cpp — the main construction (Theorem 3.1).
+//
+// The decisive property: for every ε and every graph family, every
+// non-reinforced edge failure preserves every distance (checked against
+// literal BFS by the verifier), while b(n) and r(n) stay inside the
+// theorem envelopes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/core/epsilon_ftbfs.hpp"
+#include "src/core/verifier.hpp"
+#include "src/graph/lower_bound.hpp"
+#include "tests/test_util.hpp"
+
+namespace ftb {
+namespace {
+
+struct Case {
+  std::string family;
+  double eps;
+};
+
+std::string case_name(const Case& c) {
+  std::string e = std::to_string(static_cast<int>(std::round(c.eps * 100)));
+  return c.family + "_eps" + e;
+}
+
+class EpsilonFamilyTest : public ::testing::TestWithParam<Case> {};
+
+test::FamilyCase find_family(const std::string& name) {
+  for (auto& fc : test::small_families()) {
+    if (fc.name == name) return std::move(fc);
+  }
+  ADD_FAILURE() << "unknown family " << name;
+  return {"", gen::path_graph(2), 0};
+}
+
+std::vector<Case> sweep_cases() {
+  std::vector<Case> out;
+  const double eps_grid[] = {0.0, 0.15, 0.25, 0.4, 0.5, 1.0};
+  for (const auto& fc : test::small_families()) {
+    for (const double eps : eps_grid) {
+      out.push_back({fc.name, eps});
+    }
+  }
+  return out;
+}
+
+TEST_P(EpsilonFamilyTest, NonReinforcedFailuresPreserveAllDistances) {
+  const Case c = GetParam();
+  const test::FamilyCase fc = find_family(c.family);
+  EpsilonOptions opts;
+  opts.eps = c.eps;
+  const EpsilonResult res = build_epsilon_ftbfs(fc.graph, fc.source, opts);
+  VerifyOptions vo;
+  vo.check_nontree_failures = true;
+  const VerifyReport rep = verify_structure(res.structure, vo);
+  EXPECT_TRUE(rep.ok) << c.family << " eps=" << c.eps << ": "
+                      << rep.to_string();
+}
+
+TEST_P(EpsilonFamilyTest, StatsAreInternallyConsistent) {
+  const Case c = GetParam();
+  const test::FamilyCase fc = find_family(c.family);
+  EpsilonOptions opts;
+  opts.eps = c.eps;
+  const EpsilonResult res = build_epsilon_ftbfs(fc.graph, fc.source, opts);
+  const auto& st = res.stats;
+  EXPECT_EQ(st.backup + st.reinforced, st.structure_edges);
+  EXPECT_EQ(st.backup, res.structure.num_backup());
+  EXPECT_EQ(st.reinforced, res.structure.num_reinforced());
+  if (!st.used_baseline && c.eps > 0) {
+    EXPECT_EQ(st.pairs_total,
+              st.pairs_covered + st.pairs_uncovered +
+                  (st.pairs_total - st.pairs_covered - st.pairs_uncovered));
+    EXPECT_EQ(st.i1_size + st.i2_size, st.pairs_uncovered);
+    // Lemma 4.10: Phase S1 never leaves pairs behind.
+    EXPECT_EQ(st.s1_leftover_pairs, 0) << c.family << " eps=" << c.eps;
+  }
+}
+
+TEST_P(EpsilonFamilyTest, ReinforcedSetIsSubsetOfTreeEdges) {
+  const Case c = GetParam();
+  const test::FamilyCase fc = find_family(c.family);
+  EpsilonOptions opts;
+  opts.eps = c.eps;
+  const EpsilonResult res = build_epsilon_ftbfs(fc.graph, fc.source, opts);
+  std::vector<std::uint8_t> is_tree(
+      static_cast<std::size_t>(fc.graph.num_edges()), 0);
+  for (const EdgeId e : res.structure.tree_edges()) {
+    is_tree[static_cast<std::size_t>(e)] = 1;
+  }
+  for (const EdgeId e : res.structure.reinforced()) {
+    EXPECT_TRUE(is_tree[static_cast<std::size_t>(e)])
+        << "reinforced a non-tree edge " << e;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, EpsilonFamilyTest,
+                         ::testing::ValuesIn(sweep_cases()),
+                         [](const auto& pinfo) { return case_name(pinfo.param); });
+
+// ---- Endpoint semantics of the tradeoff -----------------------------------
+
+TEST(EpsilonFtBfs, EpsZeroReinforcesExactlyTheTree) {
+  const Graph g = gen::erdos_renyi(40, 0.15, 11);
+  EpsilonOptions opts;
+  opts.eps = 0.0;
+  const EpsilonResult res = build_epsilon_ftbfs(g, 0, opts);
+  EXPECT_EQ(res.structure.num_backup(), 0);
+  EXPECT_EQ(res.structure.num_edges(), res.structure.num_reinforced());
+  EXPECT_EQ(res.structure.edges(), res.structure.tree_edges());
+}
+
+TEST(EpsilonFtBfs, LargeEpsDispatchesToBaseline) {
+  const Graph g = gen::erdos_renyi(40, 0.15, 11);
+  for (const double eps : {0.5, 0.75, 1.0}) {
+    EpsilonOptions opts;
+    opts.eps = eps;
+    const EpsilonResult res = build_epsilon_ftbfs(g, 0, opts);
+    EXPECT_TRUE(res.stats.used_baseline);
+    EXPECT_EQ(res.structure.num_reinforced(), 0);
+  }
+}
+
+TEST(EpsilonFtBfs, ForcedS1S2AtLargeEpsStillCorrect) {
+  // Ablation path: run the full S1/S2 pipeline at ε = 0.5.
+  const Graph g = gen::erdos_renyi(36, 0.18, 13);
+  EpsilonOptions opts;
+  opts.eps = 0.5;
+  opts.baseline_for_large_eps = false;
+  const EpsilonResult res = build_epsilon_ftbfs(g, 0, opts);
+  EXPECT_FALSE(res.stats.used_baseline);
+  VerifyOptions vo;
+  vo.check_nontree_failures = true;
+  EXPECT_TRUE(verify_structure(res.structure, vo).ok);
+}
+
+TEST(EpsilonFtBfs, DeterministicGivenSeed) {
+  const Graph g = gen::gnm(50, 220, 17);
+  EpsilonOptions opts;
+  opts.eps = 0.3;
+  opts.weight_seed = 99;
+  const EpsilonResult a = build_epsilon_ftbfs(g, 0, opts);
+  const EpsilonResult b = build_epsilon_ftbfs(g, 0, opts);
+  EXPECT_EQ(a.structure.edges(), b.structure.edges());
+  EXPECT_EQ(a.structure.reinforced(), b.structure.reinforced());
+}
+
+TEST(EpsilonFtBfs, ReinforcementWithinTheoremEnvelope) {
+  // Generous-constant version of r(n) = O(1/ε · n^{1-ε} · log n) across
+  // moderate random instances.
+  for (const std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    const Graph g = gen::random_connected(160, 500, seed);
+    for (const double eps : {0.2, 1.0 / 3.0}) {
+      EpsilonOptions opts;
+      opts.eps = eps;
+      const EpsilonResult res = build_epsilon_ftbfs(g, 0, opts);
+      const double bound = 8.0 * theorem_reinforce_bound(160, eps);
+      EXPECT_LE(static_cast<double>(res.structure.num_reinforced()), bound)
+          << "seed=" << seed << " eps=" << eps;
+    }
+  }
+}
+
+TEST(EpsilonFtBfs, BackupWithinTheoremEnvelope) {
+  for (const std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    const Graph g = gen::random_connected(160, 500, seed);
+    for (const double eps : {0.2, 1.0 / 3.0, 0.5}) {
+      EpsilonOptions opts;
+      opts.eps = eps;
+      const EpsilonResult res = build_epsilon_ftbfs(g, 0, opts);
+      const double bound = 8.0 * theorem_backup_bound(160, eps);
+      EXPECT_LE(static_cast<double>(res.structure.num_backup()), bound)
+          << "seed=" << seed << " eps=" << eps;
+    }
+  }
+}
+
+TEST(EpsilonFtBfs, AblationKnobsPreserveCorrectness) {
+  const Graph g = gen::gnm(60, 300, 23);
+  for (const bool no_flush : {false, true}) {
+    for (const bool no_cross : {false, true}) {
+      EpsilonOptions opts;
+      opts.eps = 0.25;
+      opts.disable_s2_light_flush = no_flush;
+      opts.disable_s2_crossings = no_cross;
+      const EpsilonResult res = build_epsilon_ftbfs(g, 0, opts);
+      const VerifyReport rep = verify_structure(res.structure);
+      EXPECT_TRUE(rep.ok) << "no_flush=" << no_flush
+                          << " no_cross=" << no_cross << ": "
+                          << rep.to_string();
+    }
+  }
+}
+
+TEST(EpsilonFtBfs, SingleRoundOverrideStillCorrect) {
+  const Graph g = gen::gnm(60, 300, 29);
+  EpsilonOptions opts;
+  opts.eps = 0.25;
+  opts.k_rounds_override = 1;
+  const EpsilonResult res = build_epsilon_ftbfs(g, 0, opts);
+  EXPECT_TRUE(verify_structure(res.structure).ok);
+}
+
+
+TEST(EpsilonFtBfs, TradeoffIsMonotoneOnTheDeepFamily) {
+  // The headline shape at instance level: on the deep adversarial family,
+  // growing eps buys more backup and sheds reinforcement.
+  const auto lbg = lb::build_single_source(500, 0.5);
+  std::vector<std::int64_t> bs, rs;
+  for (const double eps : {0.05, 0.15, 0.3}) {
+    EpsilonOptions opts;
+    opts.eps = eps;
+    const EpsilonResult res =
+        build_epsilon_ftbfs(lbg.graph, lbg.source, opts);
+    bs.push_back(res.structure.num_backup());
+    rs.push_back(res.structure.num_reinforced());
+  }
+  EXPECT_LE(bs.front(), bs.back());
+  EXPECT_GE(rs.front(), rs.back());
+  // And the small-eps end genuinely reinforces something here.
+  EXPECT_GT(rs.front(), 0);
+}
+
+TEST(EpsilonFtBfs, RejectsOutOfRangeEps) {
+  const Graph g = gen::path_graph(4);
+  EpsilonOptions opts;
+  opts.eps = -0.1;
+  EXPECT_THROW(build_epsilon_ftbfs(g, 0, opts), CheckError);
+  opts.eps = 1.5;
+  EXPECT_THROW(build_epsilon_ftbfs(g, 0, opts), CheckError);
+}
+
+}  // namespace
+}  // namespace ftb

@@ -1,0 +1,167 @@
+// generators_test.cpp — exact counts and structural invariants per family.
+#include <gtest/gtest.h>
+
+#include "src/graph/canonical_bfs.hpp"
+#include "src/graph/generators.hpp"
+
+namespace ftb {
+namespace {
+
+bool connected(const Graph& g) {
+  if (g.num_vertices() == 0) return true;
+  const BfsResult r = plain_bfs(g, 0);
+  return static_cast<Vertex>(r.order.size()) == g.num_vertices();
+}
+
+TEST(Generators, PathGraph) {
+  const Graph g = gen::path_graph(10);
+  EXPECT_EQ(g.num_edges(), 9);
+  EXPECT_EQ(g.degree(0), 1);
+  EXPECT_EQ(g.degree(5), 2);
+  EXPECT_TRUE(connected(g));
+}
+
+TEST(Generators, CycleGraph) {
+  const Graph g = gen::cycle_graph(10);
+  EXPECT_EQ(g.num_edges(), 10);
+  for (Vertex v = 0; v < 10; ++v) EXPECT_EQ(g.degree(v), 2);
+  EXPECT_THROW(gen::cycle_graph(2), CheckError);
+}
+
+TEST(Generators, StarGraph) {
+  const Graph g = gen::star_graph(12);
+  EXPECT_EQ(g.num_edges(), 11);
+  EXPECT_EQ(g.degree(0), 11);
+  EXPECT_EQ(g.degree(3), 1);
+}
+
+TEST(Generators, CompleteGraph) {
+  const Graph g = gen::complete_graph(9);
+  EXPECT_EQ(g.num_edges(), 9 * 8 / 2);
+  for (Vertex v = 0; v < 9; ++v) EXPECT_EQ(g.degree(v), 8);
+}
+
+TEST(Generators, CompleteBipartite) {
+  const Graph g = gen::complete_bipartite(4, 7);
+  EXPECT_EQ(g.num_vertices(), 11);
+  EXPECT_EQ(g.num_edges(), 28);
+  EXPECT_EQ(g.degree(0), 7);   // left side
+  EXPECT_EQ(g.degree(10), 4);  // right side
+  EXPECT_FALSE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(0, 4));
+}
+
+TEST(Generators, GridGraph) {
+  const Graph g = gen::grid_graph(5, 8);
+  EXPECT_EQ(g.num_vertices(), 40);
+  EXPECT_EQ(g.num_edges(), 5 * 7 + 4 * 8);
+  EXPECT_EQ(g.degree(0), 2);   // corner
+  EXPECT_EQ(g.degree(1), 3);   // boundary (row 0, col 1)
+  EXPECT_EQ(g.degree(9), 4);   // interior (row 1, col 1)
+  EXPECT_TRUE(connected(g));
+}
+
+TEST(Generators, BinaryTree) {
+  const Graph g = gen::binary_tree(15);
+  EXPECT_EQ(g.num_edges(), 14);
+  EXPECT_EQ(g.degree(0), 2);
+  EXPECT_EQ(g.degree(14), 1);  // leaf
+  EXPECT_TRUE(connected(g));
+}
+
+TEST(Generators, Caterpillar) {
+  const Graph g = gen::caterpillar(5, 3);
+  EXPECT_EQ(g.num_vertices(), 20);
+  EXPECT_EQ(g.num_edges(), 4 + 15);
+  EXPECT_TRUE(connected(g));
+}
+
+TEST(Generators, ErdosRenyiDeterministicPerSeed) {
+  const Graph a = gen::erdos_renyi(30, 0.2, 5);
+  const Graph b = gen::erdos_renyi(30, 0.2, 5);
+  const Graph c = gen::erdos_renyi(30, 0.2, 6);
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+  EXPECT_NE(a.num_edges(), 0);
+  // Different seed should (overwhelmingly) differ.
+  bool differs = a.num_edges() != c.num_edges();
+  if (!differs) {
+    for (EdgeId e = 0; e < a.num_edges(); ++e) {
+      if (a.edge(e) != c.edge(e)) {
+        differs = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Generators, ErdosRenyiExtremes) {
+  EXPECT_EQ(gen::erdos_renyi(10, 0.0, 1).num_edges(), 0);
+  EXPECT_EQ(gen::erdos_renyi(10, 1.0, 1).num_edges(), 45);
+}
+
+TEST(Generators, GnmExactCount) {
+  const Graph g = gen::gnm(25, 100, 3);
+  EXPECT_EQ(g.num_edges(), 100);
+  // Request beyond the max clamps.
+  const Graph full = gen::gnm(10, 1000, 3);
+  EXPECT_EQ(full.num_edges(), 45);
+}
+
+TEST(Generators, RandomConnectedIsConnected) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const Graph g = gen::random_connected(50, 30, seed);
+    EXPECT_TRUE(connected(g)) << "seed " << seed;
+    EXPECT_GE(g.num_edges(), 49);
+  }
+}
+
+TEST(Generators, PreferentialAttachmentConnectedWithMinDegree) {
+  const Graph g = gen::preferential_attachment(60, 3, 9);
+  EXPECT_TRUE(connected(g));
+  for (Vertex v = 3; v < 60; ++v) EXPECT_GE(g.degree(v), 3);
+}
+
+TEST(Generators, IntroExample) {
+  const Graph g = gen::intro_example(10);
+  EXPECT_EQ(g.degree(0), 1);                        // s — the bridge
+  EXPECT_EQ(g.num_edges(), 1 + 9 * 8 / 2);          // bridge + K_9
+  EXPECT_EQ(g.degree(1), 9);                        // clique + bridge
+  EXPECT_EQ(g.degree(2), 8);                        // clique only
+}
+
+
+TEST(Generators, Hypercube) {
+  const Graph g = gen::hypercube(4);
+  EXPECT_EQ(g.num_vertices(), 16);
+  EXPECT_EQ(g.num_edges(), 32);  // n·d/2
+  for (Vertex v = 0; v < 16; ++v) EXPECT_EQ(g.degree(v), 4);
+  EXPECT_TRUE(connected(g));
+}
+
+TEST(Generators, Dumbbell) {
+  const Graph g = gen::dumbbell(5, 3);
+  EXPECT_EQ(g.num_vertices(), 12);
+  EXPECT_EQ(g.num_edges(), 2 * 10 + 3);
+  EXPECT_TRUE(connected(g));
+}
+
+TEST(Generators, ThetaGraph) {
+  const Graph g = gen::theta_graph(3, 4);
+  EXPECT_EQ(g.num_vertices(), 2 + 3 * 3);
+  EXPECT_EQ(g.num_edges(), 3 * 4);
+  EXPECT_EQ(g.degree(0), 3);
+  EXPECT_EQ(g.degree(1), 3);
+  EXPECT_TRUE(connected(g));
+}
+
+TEST(Generators, Lollipop) {
+  const Graph g = gen::lollipop(6, 4);
+  EXPECT_EQ(g.num_vertices(), 10);
+  EXPECT_EQ(g.num_edges(), 15 + 4);
+  EXPECT_EQ(g.degree(9), 1);  // tail end
+  EXPECT_TRUE(connected(g));
+}
+
+}  // namespace
+}  // namespace ftb

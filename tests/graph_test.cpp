@@ -1,0 +1,121 @@
+// graph_test.cpp — CSR graph + builder invariants.
+#include <gtest/gtest.h>
+
+#include "src/graph/graph.hpp"
+
+namespace ftb {
+namespace {
+
+TEST(GraphBuilder, BuildsSimpleGraph) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 3);
+  b.add_edge(3, 0);
+  const Graph g = b.build();
+  EXPECT_EQ(g.num_vertices(), 4);
+  EXPECT_EQ(g.num_edges(), 4);
+  EXPECT_EQ(g.degree(0), 2);
+}
+
+TEST(GraphBuilder, DeduplicatesParallelEdges) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  b.add_edge(1, 0);  // same undirected edge
+  b.add_edge(0, 1);
+  const Graph g = b.build();
+  EXPECT_EQ(g.num_edges(), 1);
+}
+
+TEST(GraphBuilder, RejectsSelfLoops) {
+  GraphBuilder b(3);
+  EXPECT_THROW(b.add_edge(1, 1), CheckError);
+}
+
+TEST(GraphBuilder, RejectsOutOfRange) {
+  GraphBuilder b(3);
+  EXPECT_THROW(b.add_edge(0, 3), CheckError);
+  EXPECT_THROW(b.add_edge(-1, 0), CheckError);
+}
+
+TEST(Graph, EdgeEndpointsAreCanonical) {
+  GraphBuilder b(5);
+  b.add_edge(4, 2);
+  const Graph g = b.build();
+  const auto [u, v] = g.edge(0);
+  EXPECT_EQ(u, 2);
+  EXPECT_EQ(v, 4);
+  EXPECT_EQ(g.other_endpoint(0, 2), 4);
+  EXPECT_EQ(g.other_endpoint(0, 4), 2);
+}
+
+TEST(Graph, NeighborsSortedAndComplete) {
+  GraphBuilder b(6);
+  b.add_edge(3, 5);
+  b.add_edge(3, 1);
+  b.add_edge(3, 4);
+  b.add_edge(3, 0);
+  const Graph g = b.build();
+  const auto nbrs = g.neighbors(3);
+  ASSERT_EQ(nbrs.size(), 4u);
+  for (std::size_t i = 0; i + 1 < nbrs.size(); ++i) {
+    EXPECT_LT(nbrs[i].to, nbrs[i + 1].to);
+  }
+  // Twin arcs agree on the edge id.
+  for (const Arc& a : nbrs) {
+    bool found = false;
+    for (const Arc& back : g.neighbors(a.to)) {
+      if (back.to == 3) {
+        EXPECT_EQ(back.edge, a.edge);
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST(Graph, FindEdge) {
+  GraphBuilder b(5);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 4);
+  const Graph g = b.build();
+  EXPECT_NE(g.find_edge(1, 2), kInvalidEdge);
+  EXPECT_EQ(g.find_edge(1, 2), g.find_edge(2, 1));
+  EXPECT_EQ(g.find_edge(0, 4), kInvalidEdge);
+  EXPECT_TRUE(g.has_edge(2, 4));
+  EXPECT_FALSE(g.has_edge(0, 2));
+}
+
+TEST(Graph, EmptyAndTrivial) {
+  GraphBuilder b0(0);
+  const Graph g0 = b0.build();
+  EXPECT_EQ(g0.num_vertices(), 0);
+  EXPECT_EQ(g0.num_edges(), 0);
+
+  GraphBuilder b1(1);
+  const Graph g1 = b1.build();
+  EXPECT_EQ(g1.num_vertices(), 1);
+  EXPECT_EQ(g1.degree(0), 0);
+  EXPECT_TRUE(g1.neighbors(0).empty());
+}
+
+TEST(Graph, SummaryAndMemory) {
+  GraphBuilder b(10);
+  for (Vertex i = 0; i + 1 < 10; ++i) b.add_edge(i, i + 1);
+  const Graph g = b.build();
+  EXPECT_EQ(g.summary(), "Graph(n=10, m=9)");
+  EXPECT_GT(g.memory_bytes(), 0u);
+}
+
+TEST(Graph, IsEndpoint) {
+  GraphBuilder b(3);
+  b.add_edge(0, 2);
+  const Graph g = b.build();
+  EXPECT_TRUE(g.is_endpoint(0, 0));
+  EXPECT_TRUE(g.is_endpoint(0, 2));
+  EXPECT_FALSE(g.is_endpoint(0, 1));
+}
+
+}  // namespace
+}  // namespace ftb

@@ -1,0 +1,178 @@
+// heavy_path_test.cpp — the tree decomposition TD: Fact 3.3 (balanced
+// splits, O(log n) levels) and Fact 4.1 (O(log n) glue edges / crossings
+// per root path).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "src/graph/heavy_path.hpp"
+#include "tests/test_util.hpp"
+
+namespace ftb {
+namespace {
+
+struct HldFixture {
+  Graph g;
+  Vertex source;
+  EdgeWeights w;
+  BfsTree tree;
+  HeavyPathDecomposition hld;
+
+  explicit HldFixture(test::FamilyCase fc)
+      : g(std::move(fc.graph)),
+        source(fc.source),
+        w(EdgeWeights::uniform_random(g, 71)),
+        tree(g, w, source),
+        hld(tree) {}
+};
+
+TEST(HeavyPath, PathsPartitionReachableVertices) {
+  for (auto& fc : test::small_families()) {
+    const std::string name = fc.name;
+    HldFixture fx(std::move(fc));
+    std::set<Vertex> seen;
+    for (const auto& p : fx.hld.paths()) {
+      for (std::size_t i = 0; i < p.vertices.size(); ++i) {
+        const Vertex v = p.vertices[i];
+        ASSERT_TRUE(seen.insert(v).second) << name << ": vertex " << v
+                                           << " on two paths";
+        ASSERT_EQ(fx.hld.path_of(v), p.id) << name;
+        ASSERT_EQ(fx.hld.pos_in_path(v), static_cast<std::int32_t>(i)) << name;
+      }
+    }
+    ASSERT_EQ(static_cast<std::int32_t>(seen.size()), fx.tree.num_reachable())
+        << name;
+  }
+}
+
+TEST(HeavyPath, PathsDescendByParentLinks) {
+  for (auto& fc : test::small_families()) {
+    const std::string name = fc.name;
+    HldFixture fx(std::move(fc));
+    for (const auto& p : fx.hld.paths()) {
+      ASSERT_EQ(p.edges.size() + 1, p.vertices.size()) << name;
+      for (std::size_t i = 0; i + 1 < p.vertices.size(); ++i) {
+        ASSERT_EQ(fx.tree.parent(p.vertices[i + 1]), p.vertices[i]) << name;
+        ASSERT_EQ(fx.tree.parent_edge(p.vertices[i + 1]), p.edges[i]) << name;
+      }
+    }
+  }
+}
+
+TEST(HeavyPath, Fact33HangingSubtreesAreSmall) {
+  // Every subtree hanging off a decomposition path ψ holds at most half of
+  // the subtree rooted at ψ's head.
+  for (auto& fc : test::small_families()) {
+    const std::string name = fc.name;
+    HldFixture fx(std::move(fc));
+    for (const EdgeId e : fx.hld.glue_edges()) {
+      const Vertex child = fx.tree.lower_endpoint(e);
+      const Vertex on_path = fx.tree.parent(child);
+      const Vertex head =
+          fx.hld.path(fx.hld.path_of(on_path)).vertices.front();
+      ASSERT_LE(2 * fx.tree.subtree_size(child), fx.tree.subtree_size(head))
+          << name << ": glue child " << child;
+    }
+  }
+}
+
+TEST(HeavyPath, Fact33LevelBound) {
+  for (auto& fc : test::small_families()) {
+    const std::string name = fc.name;
+    HldFixture fx(std::move(fc));
+    const double n = std::max(2, fx.tree.num_reachable());
+    ASSERT_LE(fx.hld.levels(),
+              static_cast<std::int32_t>(std::floor(std::log2(n))) + 1)
+        << name;
+  }
+}
+
+TEST(HeavyPath, EdgePartitionIsExact) {
+  for (auto& fc : test::small_families()) {
+    const std::string name = fc.name;
+    HldFixture fx(std::move(fc));
+    std::set<EdgeId> path_edges;
+    for (const auto& p : fx.hld.paths()) {
+      for (const EdgeId e : p.edges) path_edges.insert(e);
+    }
+    std::set<EdgeId> glue(fx.hld.glue_edges().begin(),
+                          fx.hld.glue_edges().end());
+    ASSERT_EQ(path_edges.size() + glue.size(), fx.tree.tree_edges().size())
+        << name;
+    for (const EdgeId e : fx.tree.tree_edges()) {
+      const bool on_path = path_edges.count(e) == 1;
+      ASSERT_EQ(fx.hld.is_path_edge(e), on_path) << name;
+      ASSERT_EQ(glue.count(e) == 1, !on_path) << name;
+    }
+  }
+}
+
+TEST(HeavyPath, Fact41GlueEdgesPerRootPath) {
+  // Every π(s,v) contains at most ⌊log2 n⌋ glue edges.
+  for (auto& fc : test::small_families()) {
+    const std::string name = fc.name;
+    HldFixture fx(std::move(fc));
+    const double n = std::max(2, fx.tree.num_reachable());
+    const std::int32_t limit =
+        static_cast<std::int32_t>(std::floor(std::log2(n)));
+    for (const Vertex v : fx.tree.preorder()) {
+      std::int32_t glue_count = 0;
+      for (Vertex u = v; fx.tree.parent(u) != kInvalidVertex;
+           u = fx.tree.parent(u)) {
+        if (!fx.hld.is_path_edge(fx.tree.parent_edge(u))) ++glue_count;
+      }
+      ASSERT_LE(glue_count, limit) << name << " v=" << v;
+    }
+  }
+}
+
+TEST(HeavyPath, CrossingsReconstructSourcePaths) {
+  for (auto& fc : test::small_families()) {
+    const std::string name = fc.name;
+    HldFixture fx(std::move(fc));
+    const double n = std::max(2, fx.tree.num_reachable());
+    for (const Vertex v : fx.tree.preorder()) {
+      const auto crossings = fx.hld.crossings(v);
+      // Fact 4.1(b): O(log n) crossings.
+      ASSERT_LE(static_cast<double>(crossings.size()),
+                std::floor(std::log2(n)) + 1)
+          << name;
+      // The union of crossing prefixes is exactly V(π(s,v)).
+      std::set<Vertex> from_crossings;
+      for (const auto& c : crossings) {
+        const auto& p = fx.hld.path(c.path_id);
+        for (std::int32_t i = 0; i <= c.deepest_pos; ++i) {
+          from_crossings.insert(p.vertices[static_cast<std::size_t>(i)]);
+        }
+      }
+      std::set<Vertex> on_path;
+      for (const Vertex u : fx.tree.path_from_source(v)) on_path.insert(u);
+      ASSERT_EQ(from_crossings, on_path) << name << " v=" << v;
+      // Crossings are ordered from the source down; v sits on the last one.
+      const auto& last = fx.hld.path(crossings.back().path_id);
+      ASSERT_EQ(last.vertices[static_cast<std::size_t>(
+                    crossings.back().deepest_pos)],
+                v)
+          << name;
+    }
+  }
+}
+
+TEST(HeavyPath, PathGraphIsOnePath) {
+  HldFixture fx({"path", gen::path_graph(40), 0});
+  EXPECT_EQ(fx.hld.paths().size(), 1u);
+  EXPECT_EQ(fx.hld.glue_edges().size(), 0u);
+  EXPECT_EQ(fx.hld.levels(), 1);
+}
+
+TEST(HeavyPath, StarDecomposesIntoLeafPaths) {
+  HldFixture fx({"star", gen::star_graph(10), 0});
+  // One path holds the center + one leaf; 8 singleton leaf paths.
+  EXPECT_EQ(fx.hld.paths().size(), 9u);
+  EXPECT_EQ(fx.hld.glue_edges().size(), 8u);
+  EXPECT_EQ(fx.hld.levels(), 2);
+}
+
+}  // namespace
+}  // namespace ftb

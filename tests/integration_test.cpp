@@ -1,0 +1,119 @@
+// integration_test.cpp — full-pipeline flows across module boundaries:
+// generate → build → serialize → reload → query → drill → optimize,
+// asserting cross-module consistency at every joint.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/core/cost_model.hpp"
+#include "src/core/epsilon_ftbfs.hpp"
+#include "src/core/ftbfs.hpp"
+#include "src/core/optimizer.hpp"
+#include "src/core/structure_oracle.hpp"
+#include "src/core/verifier.hpp"
+#include "src/graph/connectivity.hpp"
+#include "src/graph/generators.hpp"
+#include "src/graph/lower_bound.hpp"
+#include "src/io/edge_list.hpp"
+#include "src/io/structure_io.hpp"
+#include "src/sim/failure_sim.hpp"
+
+namespace ftb {
+namespace {
+
+TEST(Integration, FullDeploymentPipeline) {
+  // 1. generate + ship the graph
+  const Graph g0 = gen::random_connected(80, 300, 404);
+  std::stringstream graph_wire;
+  io::write_edge_list(g0, graph_wire);
+  const Graph g = io::read_edge_list(graph_wire);
+
+  // 2. design under a budget
+  const CostParams prices{1.0, 25.0};
+  const std::vector<double> grid{0.0, 0.2, 1.0 / 3.0, 0.5};
+  const EpsilonResult designed = design_cheapest(g, 0, prices, grid);
+
+  // 3. ship the structure
+  std::stringstream struct_wire;
+  io::write_structure(designed.structure, struct_wire);
+  const FtBfsStructure deployed = io::read_structure(g, struct_wire);
+
+  // 4. verify + drill the deployed artifact
+  EXPECT_TRUE(verify_structure(deployed).ok);
+  const DrillReport drill = run_failure_drill(deployed, 120, 99);
+  EXPECT_EQ(drill.violations, 0) << drill.to_string();
+  EXPECT_DOUBLE_EQ(drill.max_stretch, 1.0);
+}
+
+TEST(Integration, OracleAgreesWithDeployedStructure) {
+  const Graph g = gen::gnm(50, 220, 405);
+  const std::uint64_t seed = 7;
+  EpsilonOptions opts;
+  opts.eps = 0.3;
+  opts.weight_seed = seed;
+  const EpsilonResult res = build_epsilon_ftbfs(g, 0, opts);
+
+  const EdgeWeights w = EdgeWeights::uniform_random(g, seed);
+  const BfsTree tree(g, w, 0);
+  const ReplacementPathEngine engine(tree);
+  const StructureOracle oracle(res.structure, engine);
+
+  Rng rng(11);
+  for (int i = 0; i < 60; ++i) {
+    const EdgeId e = static_cast<EdgeId>(
+        rng.next_below(static_cast<std::uint64_t>(g.num_edges())));
+    if (res.structure.is_reinforced(e)) continue;
+    const auto bfs = res.structure.distances_avoiding(e);
+    const Vertex v = static_cast<Vertex>(
+        rng.next_below(static_cast<std::uint64_t>(g.num_vertices())));
+    ASSERT_EQ(oracle.query(v, e), bfs[static_cast<std::size_t>(v)]);
+  }
+}
+
+TEST(Integration, FrontierDesignsRoundTripAndVerify) {
+  const Graph g = gen::gnm(40, 170, 406);
+  const GreedyFrontier frontier(g, 0);
+  const FtBfsStructure budget_design = frontier.design_max_reinforced(10);
+  std::stringstream wire;
+  io::write_structure(budget_design, wire);
+  const FtBfsStructure back = io::read_structure(g, wire);
+  EXPECT_EQ(back.num_reinforced(), budget_design.num_reinforced());
+  EXPECT_TRUE(verify_structure(back).ok);
+}
+
+TEST(Integration, ConnectivityExplainsDrillDisconnections) {
+  // On a bridgy graph the drill's disconnection count must agree with the
+  // bridge structure: failing a bridge disconnects exactly the far side.
+  const Graph g = gen::dumbbell(8, 3);
+  const ConnectivityReport conn = analyze_connectivity(g);
+  ASSERT_EQ(conn.bridges.size(), 3u);
+  const FtBfsStructure h = build_ftbfs(g, 0);
+  // Drill everything deterministically.
+  const DrillReport rep = run_failure_drill(h, g.num_edges(), 3);
+  EXPECT_EQ(rep.violations, 0);
+  // Each failed bridge cuts off at least the far clique (8 vertices).
+  EXPECT_GE(rep.disconnections, 3 * 8);
+}
+
+TEST(Integration, AdversarialEndToEnd) {
+  // The paper's own worst case through the whole stack.
+  const auto lbg = lb::build_single_source(400, 0.5);
+  EpsilonOptions opts;
+  opts.eps = 0.15;
+  const EpsilonResult res = build_epsilon_ftbfs(lbg.graph, lbg.source, opts);
+  // Certified floor honored.
+  EXPECT_GE(res.structure.num_backup(),
+            lbg.certified_min_backup(res.structure.num_reinforced()));
+  // Contract honored.
+  EXPECT_TRUE(verify_structure(res.structure).ok);
+  // Drills clean.
+  const DrillReport drill = run_failure_drill(res.structure, 200, 5);
+  EXPECT_EQ(drill.violations, 0);
+  // And the greedy frontier dominates at the same budget.
+  const GreedyFrontier frontier(lbg.graph, lbg.source);
+  EXPECT_LE(frontier.backup_at(res.structure.num_reinforced()),
+            res.structure.num_backup());
+}
+
+}  // namespace
+}  // namespace ftb

@@ -1,0 +1,170 @@
+// interference_test.cpp — the (≁)-interference adjacency against brute
+// force, π-intersection flags, and the I1/I2 partition.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/core/interference.hpp"
+#include "tests/test_util.hpp"
+
+namespace ftb {
+namespace {
+
+struct Fixture {
+  Graph g;
+  Vertex source;
+  EdgeWeights w;
+  BfsTree tree;
+  ReplacementPathEngine engine;
+  LcaIndex lca;
+  InterferenceIndex ifx;
+
+  explicit Fixture(test::FamilyCase fc)
+      : g(std::move(fc.graph)),
+        source(fc.source),
+        w(EdgeWeights::uniform_random(g, 51)),
+        tree(g, w, source),
+        engine(tree),
+        lca(tree),
+        ifx(engine, lca) {}
+};
+
+/// Brute-force Eq. (1): detours share a vertex internal to both.
+bool brute_interfere(const ReplacementPathEngine& engine,
+                     const UncoveredPair& a, const UncoveredPair& b) {
+  const auto da = engine.detour(a);
+  const auto db = engine.detour(b);
+  std::set<Vertex> ia(da.begin() + 1, da.end() - 1);
+  for (std::size_t i = 1; i + 1 < db.size(); ++i) {
+    if (ia.count(db[i])) return true;
+  }
+  return false;
+}
+
+TEST(Interference, AdjacencyMatchesBruteForce) {
+  for (auto& fc : test::small_families()) {
+    const std::string name = fc.name;
+    Fixture fx(std::move(fc));
+    const auto& pairs = fx.engine.uncovered_pairs();
+    const std::size_t np = pairs.size();
+    if (np > 260) continue;  // brute force is O(np² · |D|)
+    for (std::size_t p = 0; p < np; ++p) {
+      std::set<std::int32_t> adj(
+          fx.ifx.neighbors(static_cast<std::int32_t>(p)).begin(),
+          fx.ifx.neighbors(static_cast<std::int32_t>(p)).end());
+      for (std::size_t q = 0; q < np; ++q) {
+        if (p == q) continue;
+        const UncoveredPair& A = pairs[p];
+        const UncoveredPair& B = pairs[q];
+        const bool expected = A.v != B.v &&
+                              !fx.tree.edges_related(A.e, B.e) &&
+                              brute_interfere(fx.engine, A, B);
+        ASSERT_EQ(adj.count(static_cast<std::int32_t>(q)) == 1, expected)
+            << name << " p=" << p << " q=" << q;
+      }
+    }
+  }
+}
+
+TEST(Interference, AdjacencyIsSymmetric) {
+  for (auto& fc : test::small_families()) {
+    const std::string name = fc.name;
+    Fixture fx(std::move(fc));
+    const std::int64_t np = fx.ifx.num_pairs();
+    for (std::int32_t p = 0; p < np; ++p) {
+      for (const std::int32_t q : fx.ifx.neighbors(p)) {
+        const auto back = fx.ifx.neighbors(q);
+        ASSERT_TRUE(std::find(back.begin(), back.end(), p) != back.end())
+            << name << ": " << p << "→" << q << " not mirrored";
+      }
+    }
+  }
+}
+
+TEST(Interference, PiFlagsMatchRecomputation) {
+  for (auto& fc : test::small_families()) {
+    const std::string name = fc.name;
+    Fixture fx(std::move(fc));
+    const std::int64_t np = fx.ifx.num_pairs();
+    for (std::int32_t p = 0; p < np; ++p) {
+      const auto nbrs = fx.ifx.neighbors(p);
+      const auto flags = fx.ifx.pi_intersects_flags(p);
+      ASSERT_EQ(nbrs.size(), flags.size());
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        ASSERT_EQ(flags[i] != 0, fx.ifx.pi_intersects(p, nbrs[i])) << name;
+      }
+    }
+  }
+}
+
+TEST(Interference, I1I2Partition) {
+  for (auto& fc : test::small_families()) {
+    const std::string name = fc.name;
+    Fixture fx(std::move(fc));
+    const auto i1 = fx.ifx.i1();
+    const auto i2 = fx.ifx.i2();
+    ASSERT_EQ(static_cast<std::int64_t>(i1.size() + i2.size()),
+              fx.ifx.num_pairs())
+        << name;
+    for (const std::int32_t p : i1) {
+      ASSERT_FALSE(fx.ifx.neighbors(p).empty()) << name;
+    }
+    for (const std::int32_t p : i2) {
+      ASSERT_TRUE(fx.ifx.neighbors(p).empty()) << name;
+    }
+  }
+}
+
+TEST(Interference, PiIntersectionDefinition) {
+  // Recheck pi_intersects against the literal definition: D(P) touches
+  // π(LCA(v,t), t) \ {LCA}.
+  for (auto& fc : test::tiny_families()) {
+    Fixture fx(std::move(fc));
+    const auto& pairs = fx.engine.uncovered_pairs();
+    const std::int64_t np = fx.ifx.num_pairs();
+    for (std::int32_t p = 0; p < np; ++p) {
+      for (const std::int32_t q : fx.ifx.neighbors(p)) {
+        const UncoveredPair& P = pairs[static_cast<std::size_t>(p)];
+        const UncoveredPair& Q = pairs[static_cast<std::size_t>(q)];
+        const Vertex w = [&] {
+          Vertex a = P.v, b = Q.v;
+          while (fx.tree.depth(a) > fx.tree.depth(b)) a = fx.tree.parent(a);
+          while (fx.tree.depth(b) > fx.tree.depth(a)) b = fx.tree.parent(b);
+          while (a != b) {
+            a = fx.tree.parent(a);
+            b = fx.tree.parent(b);
+          }
+          return a;
+        }();
+        std::set<Vertex> target_path;  // π(LCA, t] vertices
+        for (Vertex u = Q.v; u != w; u = fx.tree.parent(u)) {
+          target_path.insert(u);
+        }
+        bool expected = false;
+        for (const Vertex z : fx.engine.detour(P)) {
+          if (target_path.count(z)) expected = true;
+        }
+        ASSERT_EQ(fx.ifx.pi_intersects(p, q), expected);
+      }
+    }
+  }
+}
+
+TEST(Interference, NoInterferenceOnSparseTrees) {
+  // A tree has no uncovered pairs at all, hence an empty index.
+  Fixture fx({"btree", gen::binary_tree(31), 0});
+  EXPECT_EQ(fx.ifx.num_pairs(), 0);
+  EXPECT_TRUE(fx.ifx.i1().empty());
+  EXPECT_TRUE(fx.ifx.i2().empty());
+}
+
+TEST(Interference, StatsPopulated) {
+  Fixture fx({"gnm", gen::gnm(40, 160, 91), 0});
+  if (fx.ifx.num_pairs() > 0) {
+    EXPECT_GE(fx.ifx.stats().index_vertices, 0);
+    EXPECT_EQ(fx.ifx.stats().truncated_buckets, 0);
+  }
+}
+
+}  // namespace
+}  // namespace ftb

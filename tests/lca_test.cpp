@@ -1,0 +1,75 @@
+// lca_test.cpp — binary-lifting LCA vs. naive parent walks.
+#include <gtest/gtest.h>
+
+#include "src/graph/lca.hpp"
+#include "tests/test_util.hpp"
+
+namespace ftb {
+namespace {
+
+Vertex naive_lca(const BfsTree& t, Vertex u, Vertex v) {
+  while (t.depth(u) > t.depth(v)) u = t.parent(u);
+  while (t.depth(v) > t.depth(u)) v = t.parent(v);
+  while (u != v) {
+    u = t.parent(u);
+    v = t.parent(v);
+  }
+  return u;
+}
+
+TEST(Lca, MatchesNaiveAcrossFamilies) {
+  for (auto& fc : test::small_families()) {
+    const EdgeWeights w = EdgeWeights::uniform_random(fc.graph, 87);
+    const BfsTree t(fc.graph, w, fc.source);
+    const LcaIndex lca(t);
+    const auto pre = t.preorder();
+    for (std::size_t i = 0; i < pre.size(); i += 2) {
+      for (std::size_t j = i; j < pre.size(); j += 3) {
+        const Vertex expect = naive_lca(t, pre[i], pre[j]);
+        ASSERT_EQ(lca.lca(pre[i], pre[j]), expect)
+            << fc.name << " u=" << pre[i] << " v=" << pre[j];
+        ASSERT_EQ(lca.lca(pre[j], pre[i]), expect) << "symmetry";
+        ASSERT_EQ(lca.lca_depth(pre[i], pre[j]), t.depth(expect));
+      }
+    }
+  }
+}
+
+TEST(Lca, SelfAndAncestorCases) {
+  const Graph g = gen::binary_tree(31);
+  const EdgeWeights w = EdgeWeights::uniform_random(g, 5);
+  const BfsTree t(g, w, 0);
+  const LcaIndex lca(t);
+  EXPECT_EQ(lca.lca(7, 7), 7);
+  EXPECT_EQ(lca.lca(0, 13), 0);
+  EXPECT_EQ(lca.lca(1, 3), 1);   // 3 is child of 1
+  EXPECT_EQ(lca.lca(3, 4), 1);   // siblings under 1
+  EXPECT_EQ(lca.lca(15, 22), 1); // deep cousins
+}
+
+TEST(Lca, AncestorAtDepth) {
+  const Graph g = gen::path_graph(16);
+  const EdgeWeights w = EdgeWeights::uniform_random(g, 6);
+  const BfsTree t(g, w, 0);
+  const LcaIndex lca(t);
+  for (Vertex v = 0; v < 16; ++v) {
+    for (std::int32_t d = 0; d <= t.depth(v); ++d) {
+      EXPECT_EQ(lca.ancestor_at_depth(v, d), d);  // path: vertex id == depth
+    }
+  }
+  EXPECT_THROW(lca.ancestor_at_depth(3, 9), CheckError);
+}
+
+TEST(Lca, DeepPathStress) {
+  const Graph g = gen::path_graph(300);
+  const EdgeWeights w = EdgeWeights::uniform_random(g, 7);
+  const BfsTree t(g, w, 0);
+  const LcaIndex lca(t);
+  EXPECT_EQ(lca.lca(299, 150), 150);
+  EXPECT_EQ(lca.lca(200, 100), 100);
+  EXPECT_EQ(lca.ancestor_at_depth(299, 0), 0);
+  EXPECT_EQ(lca.ancestor_at_depth(299, 298), 298);
+}
+
+}  // namespace
+}  // namespace ftb

@@ -1,0 +1,88 @@
+// multi_source_test.cpp — the FT-MBFS union construction.
+#include <gtest/gtest.h>
+
+#include "src/core/multi_source.hpp"
+#include "src/graph/generators.hpp"
+#include "src/graph/lower_bound.hpp"
+
+namespace ftb {
+namespace {
+
+TEST(MultiSource, ContractHoldsForEverySource) {
+  const Graph g = gen::gnm(40, 150, 77);
+  const std::vector<Vertex> sources{0, 7, 23};
+  EpsilonOptions opts;
+  opts.eps = 0.3;
+  const MultiSourceResult ms = build_epsilon_ftmbfs(g, sources, opts);
+  EXPECT_EQ(verify_multi_source(g, ms), 0);
+}
+
+TEST(MultiSource, ContractHoldsAtEndpointEps) {
+  const Graph g = gen::random_connected(36, 60, 5);
+  const std::vector<Vertex> sources{0, 18};
+  for (const double eps : {0.0, 0.5, 1.0}) {
+    EpsilonOptions opts;
+    opts.eps = eps;
+    const MultiSourceResult ms = build_epsilon_ftmbfs(g, sources, opts);
+    EXPECT_EQ(verify_multi_source(g, ms), 0) << "eps=" << eps;
+  }
+}
+
+TEST(MultiSource, UnionDominatesEverySingleSource) {
+  const Graph g = gen::gnm(36, 140, 81);
+  const std::vector<Vertex> sources{0, 5, 11};
+  EpsilonOptions opts;
+  opts.eps = 0.25;
+  const MultiSourceResult ms = build_epsilon_ftmbfs(g, sources, opts);
+  for (const Vertex s : sources) {
+    const EpsilonResult single = build_epsilon_ftbfs(g, s, opts);
+    EXPECT_GE(ms.structure.num_edges(), single.structure.num_edges());
+    for (const EdgeId e : single.structure.edges()) {
+      EXPECT_TRUE(ms.structure.contains(e));
+    }
+  }
+}
+
+TEST(MultiSource, PerSourceStatsAligned) {
+  const Graph g = gen::gnm(30, 100, 83);
+  const std::vector<Vertex> sources{2, 9};
+  EpsilonOptions opts;
+  opts.eps = 0.3;
+  const MultiSourceResult ms = build_epsilon_ftmbfs(g, sources, opts);
+  ASSERT_EQ(ms.per_source.size(), sources.size());
+  for (const auto& st : ms.per_source) {
+    EXPECT_EQ(st.n, g.num_vertices());
+    EXPECT_GE(st.structure_edges, g.num_vertices() - 1);
+  }
+}
+
+TEST(MultiSource, WorksOnTheTheorem54Graph) {
+  const auto lb = lb::build_multi_source(400, 2, 0.3);
+  EpsilonOptions opts;
+  opts.eps = 0.3;
+  const MultiSourceResult ms =
+      build_epsilon_ftmbfs(lb.graph, lb.sources, opts);
+  // Spot-verify (cap failures for runtime).
+  EXPECT_EQ(verify_multi_source(lb.graph, ms, /*max_failures=*/150), 0);
+  // Certified bound holds for the union as well.
+  EXPECT_GE(ms.structure.num_backup(),
+            lb.certified_min_backup(ms.structure.num_reinforced()));
+}
+
+TEST(MultiSource, SingleSourceDegeneratesToEpsilonFtBfs) {
+  const Graph g = gen::gnm(30, 110, 85);
+  EpsilonOptions opts;
+  opts.eps = 0.3;
+  const MultiSourceResult ms = build_epsilon_ftmbfs(g, {4}, opts);
+  const EpsilonResult single = build_epsilon_ftbfs(g, 4, opts);
+  EXPECT_EQ(ms.structure.edges(), single.structure.edges());
+  EXPECT_EQ(ms.structure.reinforced(), single.structure.reinforced());
+}
+
+TEST(MultiSource, EmptySourcesRejected) {
+  const Graph g = gen::path_graph(4);
+  EXPECT_THROW(build_epsilon_ftmbfs(g, {}, {}), CheckError);
+}
+
+}  // namespace
+}  // namespace ftb

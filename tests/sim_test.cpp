@@ -1,0 +1,74 @@
+// sim_test.cpp — failure drills report clean SLAs on correct structures
+// and catch broken ones.
+#include <gtest/gtest.h>
+
+#include "src/core/epsilon_ftbfs.hpp"
+#include "src/core/ftbfs.hpp"
+#include "src/graph/generators.hpp"
+#include "src/sim/failure_sim.hpp"
+
+namespace ftb {
+namespace {
+
+TEST(FailureSim, CorrectStructureHasNoViolations) {
+  const Graph g = gen::gnm(40, 180, 61);
+  const FtBfsStructure h = build_ftbfs(g, 0);
+  const DrillReport rep = run_failure_drill(h, 100, 1);
+  EXPECT_EQ(rep.violations, 0) << rep.to_string();
+  EXPECT_DOUBLE_EQ(rep.max_stretch, 1.0);
+  EXPECT_GT(rep.drills, 0);
+  EXPECT_GT(rep.reachable_queries, 0);
+}
+
+TEST(FailureSim, EpsilonStructureSurvivesDrills) {
+  const Graph g = gen::random_connected(60, 160, 63);
+  EpsilonOptions opts;
+  opts.eps = 0.3;
+  const EpsilonResult res = build_epsilon_ftbfs(g, 0, opts);
+  const DrillReport rep = run_failure_drill(res.structure, 200, 2);
+  EXPECT_EQ(rep.violations, 0) << rep.to_string();
+  EXPECT_DOUBLE_EQ(rep.max_stretch, 1.0);
+}
+
+TEST(FailureSim, ReinforcedEdgesAreNeverDrilled) {
+  const Graph g = gen::gnm(30, 120, 65);
+  EpsilonOptions opts;
+  opts.eps = 0.2;
+  const EpsilonResult res = build_epsilon_ftbfs(g, 0, opts);
+  // Ask for more drills than there are fault-prone edges: the simulator
+  // must cap at exactly m - r.
+  const DrillReport rep =
+      run_failure_drill(res.structure, g.num_edges() * 2, 3);
+  EXPECT_EQ(rep.drills,
+            g.num_edges() - res.structure.num_reinforced());
+}
+
+TEST(FailureSim, DetectsBrokenStructure) {
+  // A bare tree over the intro example misses the clique reroutes.
+  const Graph g = gen::intro_example(16);
+  const EdgeWeights w = EdgeWeights::uniform_random(g, 4);
+  const BfsTree tree(g, w, 0);
+  const FtBfsStructure bare(g, 0, tree.tree_edges(), {}, tree.tree_edges());
+  const DrillReport rep = run_failure_drill(bare, g.num_edges(), 5);
+  EXPECT_GT(rep.violations, 0);
+  EXPECT_GT(rep.max_stretch, 1.0);
+}
+
+TEST(FailureSim, DeterministicGivenSeed) {
+  const Graph g = gen::gnm(30, 120, 67);
+  const FtBfsStructure h = build_ftbfs(g, 0);
+  const DrillReport a = run_failure_drill(h, 50, 11);
+  const DrillReport b = run_failure_drill(h, 50, 11);
+  EXPECT_EQ(a.to_string(), b.to_string());
+}
+
+TEST(FailureSim, BridgeFailuresCountAsDisconnections) {
+  const Graph g = gen::path_graph(10);
+  const FtBfsStructure h = build_ftbfs(g, 0);
+  const DrillReport rep = run_failure_drill(h, 9, 13);
+  EXPECT_GT(rep.disconnections, 0);
+  EXPECT_EQ(rep.violations, 0);  // disconnections in G too — no violation
+}
+
+}  // namespace
+}  // namespace ftb

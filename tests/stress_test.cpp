@@ -1,0 +1,141 @@
+// stress_test.cpp — randomized cross-seed property sweeps.
+//
+// Where the family tests pin one seed, these sweep (seed × density × ε)
+// on random graphs and the exotic generator shapes, asserting the one
+// property that matters everywhere: every fault-prone failure preserves
+// every distance.
+#include <gtest/gtest.h>
+
+#include "src/core/epsilon_ftbfs.hpp"
+#include "src/core/ftbfs.hpp"
+#include "src/core/verifier.hpp"
+#include "src/core/vertex_ftbfs.hpp"
+#include "src/graph/generators.hpp"
+
+namespace ftb {
+namespace {
+
+struct StressCase {
+  std::string name;
+  std::uint64_t seed;
+  double eps;
+};
+
+std::string case_name(const StressCase& c) {
+  return c.name + "_s" + std::to_string(c.seed) + "_e" +
+         std::to_string(static_cast<int>(c.eps * 100));
+}
+
+class StressSweep : public ::testing::TestWithParam<StressCase> {};
+
+Graph make_graph(const std::string& name, std::uint64_t seed) {
+  if (name == "sparse") return gen::random_connected(56, 40, seed);
+  if (name == "medium") return gen::gnm(48, 180, seed);
+  if (name == "dense") return gen::gnm(40, 420, seed);
+  if (name == "scalefree") return gen::preferential_attachment(50, 2, seed);
+  if (name == "hypercube") return gen::hypercube(5);
+  if (name == "theta") return gen::theta_graph(4, 7);
+  if (name == "dumbbell") return gen::dumbbell(10, 4);
+  if (name == "lollipop") return gen::lollipop(12, 9);
+  ADD_FAILURE() << "unknown stress graph " << name;
+  return gen::path_graph(2);
+}
+
+std::vector<StressCase> stress_cases() {
+  std::vector<StressCase> out;
+  const char* names[] = {"sparse", "medium",    "dense",    "scalefree",
+                         "hypercube", "theta", "dumbbell", "lollipop"};
+  for (const char* name : names) {
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+      for (const double eps : {0.12, 0.3}) {
+        out.push_back({name, seed, eps});
+      }
+    }
+  }
+  return out;
+}
+
+TEST_P(StressSweep, EpsilonStructureSurvivesEveryFailure) {
+  const StressCase c = GetParam();
+  const Graph g = make_graph(c.name, c.seed);
+  EpsilonOptions opts;
+  opts.eps = c.eps;
+  opts.weight_seed = c.seed * 7919;
+  const EpsilonResult res = build_epsilon_ftbfs(g, 0, opts);
+  VerifyOptions vo;
+  vo.check_nontree_failures = true;
+  const VerifyReport rep = verify_structure(res.structure, vo);
+  EXPECT_TRUE(rep.ok) << case_name(c) << ": " << rep.to_string();
+}
+
+TEST_P(StressSweep, BaselineAndVertexBaselineSurvive) {
+  const StressCase c = GetParam();
+  if (c.eps != 0.12) return;  // fault models don't depend on ε
+  const Graph g = make_graph(c.name, c.seed);
+  FtBfsOptions opts;
+  opts.weight_seed = c.seed * 104729;
+  const FtBfsStructure eh = build_ftbfs(g, 0, opts);
+  EXPECT_TRUE(verify_structure(eh).ok) << case_name(c);
+  VertexFtBfsOptions vopts;
+  vopts.weight_seed = c.seed * 104729;
+  const FtBfsStructure vh = build_vertex_ftbfs(g, 0, vopts);
+  EXPECT_EQ(verify_vertex_structure(vh), 0) << case_name(c);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, StressSweep,
+                         ::testing::ValuesIn(stress_cases()),
+                         [](const auto& pinfo) {
+                           return case_name(pinfo.param);
+                         });
+
+TEST(Stress, ManySourcesOnOneGraph) {
+  // Every vertex as the source of its own structure on one medium graph.
+  const Graph g = gen::gnm(30, 110, 77);
+  for (Vertex s = 0; s < g.num_vertices(); s += 3) {
+    EpsilonOptions opts;
+    opts.eps = 0.25;
+    const EpsilonResult res = build_epsilon_ftbfs(g, s, opts);
+    const VerifyReport rep = verify_structure(res.structure);
+    ASSERT_TRUE(rep.ok) << "source " << s << ": " << rep.to_string();
+  }
+}
+
+TEST(Stress, DisconnectedInputsAcrossSeeds) {
+  // ER below the connectivity threshold: several components; the contract
+  // restricted to the source's component must still hold.
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const Graph g = gen::erdos_renyi(60, 0.03, seed);
+    EpsilonOptions opts;
+    opts.eps = 0.3;
+    const EpsilonResult res = build_epsilon_ftbfs(g, 0, opts);
+    const VerifyReport rep = verify_structure(res.structure);
+    ASSERT_TRUE(rep.ok) << "seed " << seed << ": " << rep.to_string();
+  }
+}
+
+TEST(Stress, TinyGraphsEdgeCases) {
+  // n = 1, 2, 3 and a triangle: boundary conditions of every module.
+  {
+    const Graph g = gen::path_graph(1);
+    const EpsilonResult res = build_epsilon_ftbfs(g, 0, {});
+    EXPECT_EQ(res.structure.num_edges(), 0);
+  }
+  {
+    const Graph g = gen::path_graph(2);
+    const EpsilonResult res = build_epsilon_ftbfs(g, 0, {});
+    EXPECT_EQ(res.structure.num_edges(), 1);
+    EXPECT_TRUE(verify_structure(res.structure).ok);
+  }
+  {
+    const Graph g = gen::cycle_graph(3);
+    EpsilonOptions opts;
+    opts.eps = 0.25;
+    const EpsilonResult res = build_epsilon_ftbfs(g, 0, opts);
+    VerifyOptions vo;
+    vo.check_nontree_failures = true;
+    EXPECT_TRUE(verify_structure(res.structure, vo).ok);
+  }
+}
+
+}  // namespace
+}  // namespace ftb

@@ -1,0 +1,83 @@
+// structure_io_test.cpp — structure round trips and validation.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/core/epsilon_ftbfs.hpp"
+#include "src/core/ftbfs.hpp"
+#include "src/core/verifier.hpp"
+#include "src/graph/generators.hpp"
+#include "src/io/structure_io.hpp"
+
+namespace ftb {
+namespace {
+
+TEST(StructureIo, RoundTripPreservesThePartition) {
+  const Graph g = gen::gnm(40, 170, 3);
+  EpsilonOptions opts;
+  opts.eps = 0.2;
+  const EpsilonResult res = build_epsilon_ftbfs(g, 0, opts);
+  std::stringstream ss;
+  io::write_structure(res.structure, ss);
+  const FtBfsStructure back = io::read_structure(g, ss);
+  EXPECT_EQ(back.edges(), res.structure.edges());
+  EXPECT_EQ(back.reinforced(), res.structure.reinforced());
+  EXPECT_EQ(back.tree_edges(), res.structure.tree_edges());
+  EXPECT_EQ(back.source(), res.structure.source());
+}
+
+TEST(StructureIo, ReloadedStructureStillVerifies) {
+  const Graph g = gen::random_connected(50, 150, 5);
+  const FtBfsStructure h = build_ftbfs(g, 0);
+  std::stringstream ss;
+  io::write_structure(h, ss);
+  const FtBfsStructure back = io::read_structure(g, ss);
+  EXPECT_TRUE(verify_structure(back).ok);
+}
+
+TEST(StructureIo, FileRoundTrip) {
+  const Graph g = gen::grid_graph(6, 6);
+  const FtBfsStructure h = build_ftbfs(g, 0);
+  const std::string path = "/tmp/ftbfs_structure_test.ftbfs";
+  io::save_structure(h, path);
+  const FtBfsStructure back = io::load_structure(g, path);
+  EXPECT_EQ(back.edges(), h.edges());
+  std::remove(path.c_str());
+}
+
+TEST(StructureIo, RejectsWrongGraph) {
+  const Graph g = gen::gnm(30, 120, 7);
+  const FtBfsStructure h = build_ftbfs(g, 0);
+  std::stringstream ss;
+  io::write_structure(h, ss);
+  const Graph other = gen::path_graph(30);  // same n, different edges
+  EXPECT_THROW(io::read_structure(other, ss), CheckError);
+}
+
+TEST(StructureIo, RejectsWrongVertexCount) {
+  const Graph g = gen::gnm(30, 120, 9);
+  const FtBfsStructure h = build_ftbfs(g, 0);
+  std::stringstream ss;
+  io::write_structure(h, ss);
+  const Graph other = gen::gnm(31, 120, 9);
+  EXPECT_THROW(io::read_structure(other, ss), CheckError);
+}
+
+TEST(StructureIo, RejectsMalformedInput) {
+  const Graph g = gen::path_graph(4);
+  {
+    std::stringstream ss("not a structure\n");
+    EXPECT_THROW(io::read_structure(g, ss), CheckError);
+  }
+  {
+    std::stringstream ss("ftbfs-structure 9\n4 0 0\n");
+    EXPECT_THROW(io::read_structure(g, ss), CheckError);
+  }
+  {
+    std::stringstream ss("ftbfs-structure 1\n4 2 0\n0 1 2\n");  // truncated
+    EXPECT_THROW(io::read_structure(g, ss), CheckError);
+  }
+}
+
+}  // namespace
+}  // namespace ftb

@@ -1,0 +1,110 @@
+// structure_test.cpp — FtBfsStructure unit behavior.
+#include <gtest/gtest.h>
+
+#include "src/core/structure.hpp"
+#include "src/graph/bfs_tree.hpp"
+#include "src/graph/generators.hpp"
+
+namespace ftb {
+namespace {
+
+struct Fixture {
+  Graph g = gen::gnm(20, 60, 1);
+  EdgeWeights w = EdgeWeights::uniform_random(g, 1);
+  BfsTree tree{g, w, 0};
+};
+
+TEST(Structure, CountsAndMembership) {
+  Fixture fx;
+  std::vector<EdgeId> edges = fx.tree.tree_edges();
+  const EdgeId extra = [&] {
+    for (EdgeId e = 0; e < fx.g.num_edges(); ++e) {
+      if (!fx.tree.is_tree_edge(e)) return e;
+    }
+    return kInvalidEdge;
+  }();
+  ASSERT_NE(extra, kInvalidEdge);
+  edges.push_back(extra);
+  const EdgeId reinforced_edge = fx.tree.tree_edges().front();
+  const FtBfsStructure h(fx.g, 0, edges, {reinforced_edge},
+                         fx.tree.tree_edges());
+  EXPECT_EQ(h.num_edges(),
+            static_cast<std::int64_t>(fx.tree.tree_edges().size()) + 1);
+  EXPECT_EQ(h.num_reinforced(), 1);
+  EXPECT_EQ(h.num_backup(), h.num_edges() - 1);
+  EXPECT_TRUE(h.contains(extra));
+  EXPECT_TRUE(h.is_reinforced(reinforced_edge));
+  EXPECT_FALSE(h.is_reinforced(extra));
+}
+
+TEST(Structure, DeduplicatesInput) {
+  Fixture fx;
+  std::vector<EdgeId> edges = fx.tree.tree_edges();
+  edges.insert(edges.end(), fx.tree.tree_edges().begin(),
+               fx.tree.tree_edges().end());  // duplicate everything
+  const FtBfsStructure h(fx.g, 0, edges, {}, fx.tree.tree_edges());
+  EXPECT_EQ(h.num_edges(),
+            static_cast<std::int64_t>(fx.tree.tree_edges().size()));
+}
+
+TEST(Structure, CostArithmetic) {
+  Fixture fx;
+  const FtBfsStructure h(fx.g, 0, fx.tree.tree_edges(),
+                         {fx.tree.tree_edges().front()},
+                         fx.tree.tree_edges());
+  const double b = static_cast<double>(h.num_backup());
+  EXPECT_DOUBLE_EQ(h.cost(2.0, 10.0), 2.0 * b + 10.0);
+}
+
+TEST(Structure, RejectsReinforcedOutsideH) {
+  Fixture fx;
+  const EdgeId outside = [&] {
+    for (EdgeId e = 0; e < fx.g.num_edges(); ++e) {
+      if (!fx.tree.is_tree_edge(e)) return e;
+    }
+    return kInvalidEdge;
+  }();
+  EXPECT_THROW(FtBfsStructure(fx.g, 0, fx.tree.tree_edges(), {outside},
+                              fx.tree.tree_edges()),
+               CheckError);
+}
+
+TEST(Structure, RejectsTreeOutsideH) {
+  Fixture fx;
+  std::vector<EdgeId> partial(fx.tree.tree_edges().begin(),
+                              fx.tree.tree_edges().end() - 1);
+  EXPECT_THROW(
+      FtBfsStructure(fx.g, 0, partial, {}, fx.tree.tree_edges()),
+      CheckError);
+}
+
+TEST(Structure, DistancesAvoidingNoFailureEqualsBfsOnH) {
+  Fixture fx;
+  const FtBfsStructure h(fx.g, 0, fx.tree.tree_edges(), {},
+                         fx.tree.tree_edges());
+  const auto d = h.distances_avoiding(kInvalidEdge);
+  for (Vertex v = 0; v < fx.g.num_vertices(); ++v) {
+    EXPECT_EQ(d[static_cast<std::size_t>(v)], fx.tree.depth(v));
+  }
+}
+
+TEST(Structure, ComplementMaskShape) {
+  Fixture fx;
+  const FtBfsStructure h(fx.g, 0, fx.tree.tree_edges(), {},
+                         fx.tree.tree_edges());
+  const auto& mask = h.complement_mask();
+  ASSERT_EQ(mask.size(), static_cast<std::size_t>(fx.g.num_edges()));
+  for (EdgeId e = 0; e < fx.g.num_edges(); ++e) {
+    EXPECT_EQ(mask[static_cast<std::size_t>(e)] == 0, h.contains(e));
+  }
+}
+
+TEST(Structure, SummaryFormat) {
+  Fixture fx;
+  const FtBfsStructure h(fx.g, 0, fx.tree.tree_edges(), {},
+                         fx.tree.tree_edges());
+  EXPECT_NE(h.summary().find("FtBfs(n=20"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ftb

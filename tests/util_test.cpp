@@ -1,0 +1,195 @@
+// util_test.cpp — RNG, thread pool, table, options, check machinery.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <numeric>
+#include <sstream>
+
+#include "src/util/check.hpp"
+#include "src/util/options.hpp"
+#include "src/util/rng.hpp"
+#include "src/util/table.hpp"
+#include "src/util/thread_pool.hpp"
+#include "src/util/timer.hpp"
+
+namespace ftb {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) ASSERT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LE(same, 1);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 17ULL, 1000ULL}) {
+    for (int i = 0; i < 200; ++i) ASSERT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowCoversAllResidues) {
+  Rng rng(11);
+  std::vector<int> seen(5, 0);
+  for (int i = 0; i < 2000; ++i) ++seen[rng.next_below(5)];
+  for (int c : seen) EXPECT_GT(c, 200);  // roughly uniform
+}
+
+TEST(Rng, NextInInclusiveBounds) {
+  Rng rng(13);
+  for (int i = 0; i < 500; ++i) {
+    const auto x = rng.next_in(-3, 3);
+    ASSERT_GE(x, -3);
+    ASSERT_LE(x, 3);
+  }
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(17);
+  for (int i = 0; i < 500; ++i) {
+    const double d = rng.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(19);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  rng.shuffle(v);
+  auto sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 100; ++i) ASSERT_EQ(sorted[static_cast<std::size_t>(i)], i);
+  // And it actually moved something.
+  std::vector<int> id(100);
+  std::iota(id.begin(), id.end(), 0);
+  EXPECT_NE(v, id);
+}
+
+TEST(ThreadPool, ParallelForVisitsEveryIndexOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(997);
+  pool.parallel_for(hits.size(), [&](std::size_t i) { hits[i]++; });
+  for (const auto& h : hits) ASSERT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForZeroAndOne) {
+  ThreadPool pool(2);
+  int calls = 0;
+  pool.parallel_for(0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  pool.parallel_for(1, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, ExceptionsPropagate) {
+  ThreadPool pool(3);
+  EXPECT_THROW(pool.parallel_for(100,
+                                 [&](std::size_t i) {
+                                   if (i == 42) throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+  // Pool must still be usable afterwards.
+  std::atomic<int> ok{0};
+  pool.parallel_for(10, [&](std::size_t) { ok++; });
+  EXPECT_EQ(ok.load(), 10);
+}
+
+TEST(ThreadPool, GlobalPoolSingleton) {
+  EXPECT_EQ(&ThreadPool::global(), &ThreadPool::global());
+  EXPECT_GE(ThreadPool::global().thread_count(), 1u);
+}
+
+TEST(Table, AlignedPrinting) {
+  Table t("demo");
+  t.columns({"name", "value"});
+  t.row("alpha", 42);
+  t.row("b", 3.14159);
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("== demo =="), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("42"), std::string::npos);
+  EXPECT_NE(s.find("3.142"), std::string::npos);  // %.4g
+}
+
+TEST(Table, CsvRoundTrip) {
+  Table t;
+  t.columns({"a", "b", "c"});
+  t.row(1, 2.5, "x");
+  const std::string path = "/tmp/ftbfs_table_test.csv";
+  t.write_csv(path);
+  std::ifstream f(path);
+  std::string line;
+  std::getline(f, line);
+  EXPECT_EQ(line, "a,b,c");
+  std::getline(f, line);
+  EXPECT_EQ(line, "1,2.5,x");
+  std::filesystem::remove(path);
+}
+
+TEST(Table, ArityMismatchThrows) {
+  Table t;
+  t.columns({"a", "b"});
+  EXPECT_THROW(t.row(1), CheckError);
+}
+
+TEST(Options, ParsesKeyValueAndFlags) {
+  const char* argv[] = {"prog", "--n=128", "--eps=0.25", "--verbose"};
+  Options o(4, const_cast<char**>(argv));
+  EXPECT_EQ(o.get_int("n", 0), 128);
+  EXPECT_DOUBLE_EQ(o.get_double("eps", 0), 0.25);
+  EXPECT_TRUE(o.has("verbose"));
+  EXPECT_FALSE(o.has("absent"));
+  EXPECT_EQ(o.get_int("absent", 7), 7);
+}
+
+TEST(Options, ParsesLists) {
+  const char* argv[] = {"prog", "--eps=0.1,0.2,0.5", "--n=8,16"};
+  Options o(3, const_cast<char**>(argv));
+  const auto eps = o.get_double_list("eps", {});
+  ASSERT_EQ(eps.size(), 3u);
+  EXPECT_DOUBLE_EQ(eps[1], 0.2);
+  const auto ns = o.get_int_list("n", {});
+  ASSERT_EQ(ns.size(), 2u);
+  EXPECT_EQ(ns[1], 16);
+  const auto def = o.get_int_list("missing", {42});
+  ASSERT_EQ(def.size(), 1u);
+  EXPECT_EQ(def[0], 42);
+}
+
+TEST(Check, ThrowsWithMessage) {
+  try {
+    FTB_CHECK_MSG(1 == 2, "custom " << 42);
+    FAIL() << "should have thrown";
+  } catch (const CheckError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("custom 42"), std::string::npos);
+    EXPECT_NE(msg.find("1 == 2"), std::string::npos);
+  }
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+  Timer t;
+  const double a = t.seconds();
+  EXPECT_GE(a, 0.0);
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
+  EXPECT_GE(t.seconds(), a);
+  t.restart();
+  EXPECT_LT(t.seconds(), 1.0);
+}
+
+}  // namespace
+}  // namespace ftb

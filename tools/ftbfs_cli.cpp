@@ -1,0 +1,195 @@
+// ftbfs_cli — the command-line face of the library.
+//
+//   ftbfs_cli generate --family=gnm --n=500 --m=2000 --seed=1 --out=g.edges
+//   ftbfs_cli info     --graph=g.edges
+//   ftbfs_cli build    --graph=g.edges --source=0 --eps=0.25 --out=h.ftbfs
+//   ftbfs_cli verify   --graph=g.edges --structure=h.ftbfs
+//   ftbfs_cli drill    --graph=g.edges --structure=h.ftbfs --drills=200
+//   ftbfs_cli frontier --graph=g.edges --source=0
+//
+// Families for generate: path, cycle, star, complete, grid (rows/cols),
+// gnm (n/m), er (n/p), connected (n/extra), pa (n/k), intro (n),
+// hypercube (dims), theta (paths/len), lb (n/eps), dumbbell (k/bridge).
+#include <iostream>
+#include <string>
+
+#include "src/core/cost_model.hpp"
+#include "src/core/epsilon_ftbfs.hpp"
+#include "src/core/optimizer.hpp"
+#include "src/core/verifier.hpp"
+#include "src/graph/connectivity.hpp"
+#include "src/graph/generators.hpp"
+#include "src/graph/lower_bound.hpp"
+#include "src/io/edge_list.hpp"
+#include "src/io/structure_io.hpp"
+#include "src/sim/failure_sim.hpp"
+#include "src/util/options.hpp"
+#include "src/util/table.hpp"
+
+namespace {
+
+using namespace ftb;
+
+int usage() {
+  std::cerr
+      << "usage: ftbfs_cli <generate|info|build|verify|drill|frontier> "
+         "[--key=value ...]\n"
+         "  generate --family=F --out=PATH [family params]\n"
+         "  info     --graph=PATH\n"
+         "  build    --graph=PATH [--source=0] [--eps=0.25] [--out=PATH]\n"
+         "  verify   --graph=PATH --structure=PATH [--nontree]\n"
+         "  drill    --graph=PATH --structure=PATH [--drills=200] [--seed=1]\n"
+         "  frontier --graph=PATH [--source=0] [--points=12]\n";
+  return 2;
+}
+
+Graph generate_family(const Options& opt) {
+  const std::string family = opt.get_string("family", "gnm");
+  const Vertex n = static_cast<Vertex>(opt.get_int("n", 500));
+  const std::uint64_t seed = static_cast<std::uint64_t>(opt.get_int("seed", 1));
+  if (family == "path") return gen::path_graph(n);
+  if (family == "cycle") return gen::cycle_graph(n);
+  if (family == "star") return gen::star_graph(n);
+  if (family == "complete") return gen::complete_graph(n);
+  if (family == "grid") {
+    return gen::grid_graph(static_cast<Vertex>(opt.get_int("rows", 20)),
+                           static_cast<Vertex>(opt.get_int("cols", 20)));
+  }
+  if (family == "gnm") return gen::gnm(n, opt.get_int("m", 4 * n), seed);
+  if (family == "er") return gen::erdos_renyi(n, opt.get_double("p", 0.05), seed);
+  if (family == "connected") {
+    return gen::random_connected(n, opt.get_int("extra", 3 * n), seed);
+  }
+  if (family == "pa") {
+    return gen::preferential_attachment(
+        n, static_cast<Vertex>(opt.get_int("k", 3)), seed);
+  }
+  if (family == "intro") return gen::intro_example(n);
+  if (family == "hypercube") {
+    return gen::hypercube(static_cast<Vertex>(opt.get_int("dims", 8)));
+  }
+  if (family == "theta") {
+    return gen::theta_graph(static_cast<Vertex>(opt.get_int("paths", 5)),
+                            static_cast<Vertex>(opt.get_int("len", 10)));
+  }
+  if (family == "dumbbell") {
+    return gen::dumbbell(static_cast<Vertex>(opt.get_int("k", 20)),
+                         static_cast<Vertex>(opt.get_int("bridge", 5)));
+  }
+  if (family == "lb") {
+    return lb::build_single_source(n, opt.get_double("eps", 0.5)).graph;
+  }
+  FTB_CHECK_MSG(false, "unknown family '" << family << "'");
+  return gen::path_graph(2);
+}
+
+int cmd_generate(const Options& opt) {
+  const Graph g = generate_family(opt);
+  const std::string out = opt.get_string("out", "");
+  if (out.empty()) {
+    io::write_edge_list(g, std::cout);
+  } else {
+    io::save_edge_list(g, out);
+    std::cout << "wrote " << g.summary() << " to " << out << "\n";
+  }
+  return 0;
+}
+
+int cmd_info(const Options& opt) {
+  const Graph g = io::load_edge_list(opt.get_string("graph", "graph.edges"));
+  std::cout << g.summary() << "\n";
+  const ConnectivityReport conn = analyze_connectivity(g);
+  std::cout << "components:        " << conn.num_components << "\n";
+  std::cout << "bridges:           " << conn.bridges.size() << "\n";
+  std::cout << "cut vertices:      " << conn.cut_vertices.size() << "\n";
+  std::int64_t deg_sum = 0;
+  std::int32_t deg_max = 0;
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    deg_sum += g.degree(v);
+    deg_max = std::max(deg_max, g.degree(v));
+  }
+  std::cout << "avg degree:        "
+            << static_cast<double>(deg_sum) /
+                   std::max<std::int64_t>(1, g.num_vertices())
+            << "\n";
+  std::cout << "max degree:        " << deg_max << "\n";
+  return 0;
+}
+
+int cmd_build(const Options& opt) {
+  const Graph g = io::load_edge_list(opt.get_string("graph", "graph.edges"));
+  EpsilonOptions eopts;
+  eopts.eps = opt.get_double("eps", 0.25);
+  eopts.weight_seed = static_cast<std::uint64_t>(opt.get_int("seed", 1));
+  const Vertex source = static_cast<Vertex>(opt.get_int("source", 0));
+  const EpsilonResult res = build_epsilon_ftbfs(g, source, eopts);
+  std::cout << res.structure.summary() << "  (eps=" << eopts.eps << ", built in "
+            << res.stats.seconds_total << "s)\n";
+  const std::string out = opt.get_string("out", "");
+  if (!out.empty()) {
+    io::save_structure(res.structure, out);
+    std::cout << "wrote structure to " << out << "\n";
+  }
+  return 0;
+}
+
+int cmd_verify(const Options& opt) {
+  const Graph g = io::load_edge_list(opt.get_string("graph", "graph.edges"));
+  const FtBfsStructure h =
+      io::load_structure(g, opt.get_string("structure", "h.ftbfs"));
+  VerifyOptions vo;
+  vo.check_nontree_failures = opt.has("nontree");
+  const VerifyReport rep = verify_structure(h, vo);
+  std::cout << rep.to_string() << "\n";
+  return rep.ok ? 0 : 1;
+}
+
+int cmd_drill(const Options& opt) {
+  const Graph g = io::load_edge_list(opt.get_string("graph", "graph.edges"));
+  const FtBfsStructure h =
+      io::load_structure(g, opt.get_string("structure", "h.ftbfs"));
+  const DrillReport rep = run_failure_drill(
+      h, opt.get_int("drills", 200),
+      static_cast<std::uint64_t>(opt.get_int("seed", 1)));
+  std::cout << rep.to_string() << "\n";
+  return rep.violations == 0 ? 0 : 1;
+}
+
+int cmd_frontier(const Options& opt) {
+  const Graph g = io::load_edge_list(opt.get_string("graph", "graph.edges"));
+  const Vertex source = static_cast<Vertex>(opt.get_int("source", 0));
+  const GreedyFrontier frontier(g, source);
+  const auto& pts = frontier.points();
+  const std::size_t points =
+      std::max<std::size_t>(2, static_cast<std::size_t>(
+                                   opt.get_int("points", 12)));
+  Table t("greedy reinforcement-backup frontier");
+  t.columns({"reinforced_r", "backup_b"});
+  const std::size_t step = std::max<std::size_t>(1, pts.size() / points);
+  for (std::size_t i = 0; i < pts.size(); i += step) {
+    t.row(pts[i].reinforced, pts[i].backup);
+  }
+  t.row(pts.back().reinforced, pts.back().backup);
+  t.print(std::cout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  ftb::Options opt(argc - 1, argv + 1);
+  try {
+    if (cmd == "generate") return cmd_generate(opt);
+    if (cmd == "info") return cmd_info(opt);
+    if (cmd == "build") return cmd_build(opt);
+    if (cmd == "verify") return cmd_verify(opt);
+    if (cmd == "drill") return cmd_drill(opt);
+    if (cmd == "frontier") return cmd_frontier(opt);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return usage();
+}
