@@ -4,7 +4,18 @@
 // engine (Phase S0), ESA'13 baseline, ε FT-BFS (S0+S1+S2) — on dense
 // random and adversarial workloads. The empirical scaling should track the
 // engine's O(n·m) core.
+//
+// Before the registered benchmarks run, main() performs the kernel
+// speedup measurement (reference queue-BFS engine vs direction-optimizing
+// scratch-arena engine), asserts that both produce byte-identical FT-BFS
+// edge sets on every bench seed, and writes the machine-readable
+// BENCH_construction.json for cross-PR perf tracking.
+// FTBFS_N scales the measurement (default 2000); FTBFS_SKIP_SPEEDUP=1
+// skips it.
 #include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <string_view>
 
 #include "bench/bench_util.hpp"
 #include "src/core/epsilon_ftbfs.hpp"
@@ -30,6 +41,23 @@ void BM_EngineBuild(benchmark::State& state) {
 }
 BENCHMARK(BM_EngineBuild)->Arg(128)->Arg(256)->Arg(512)->Arg(1024)
     ->Unit(benchmark::kMillisecond)->Complexity(benchmark::oN);
+
+void BM_EngineBuildReferenceKernel(benchmark::State& state) {
+  const Vertex n = static_cast<Vertex>(state.range(0));
+  const Graph g = bench::dense_random(n, 3);
+  const EdgeWeights w = EdgeWeights::uniform_random(g, 3);
+  const BfsTree tree(g, w, 0);
+  ReplacementPathEngine::Config cfg;
+  cfg.reference_kernel = true;
+  for (auto _ : state) {
+    ReplacementPathEngine engine(tree, cfg);
+    benchmark::DoNotOptimize(engine.stats().pairs_total);
+  }
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["m"] = static_cast<double>(g.num_edges());
+}
+BENCHMARK(BM_EngineBuildReferenceKernel)->Arg(128)->Arg(256)->Arg(512)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_BaselineFtBfs(benchmark::State& state) {
   const Vertex n = static_cast<Vertex>(state.range(0));
@@ -72,6 +100,155 @@ void BM_EpsilonFtBfsAdversarial(benchmark::State& state) {
 BENCHMARK(BM_EpsilonFtBfsAdversarial)->Arg(256)->Arg(512)->Arg(1024)->Arg(2048)
     ->Unit(benchmark::kMillisecond);
 
+// ---- kernel speedup report + BENCH_construction.json -----------------------
+
+/// Times one engine build and returns (seconds, stats).
+double time_engine(const BfsTree& tree, bool reference,
+                   ReplacementPathEngine::Stats* stats_out) {
+  ReplacementPathEngine::Config cfg;
+  cfg.collect_detours = true;
+  cfg.reference_kernel = reference;
+  Timer t;
+  const ReplacementPathEngine engine(tree, cfg);
+  const double sec = t.seconds();
+  if (stats_out != nullptr) *stats_out = engine.stats();
+  return sec;
+}
+
+/// Returns false when any reference-vs-optimized edge-set comparison
+/// disagrees (CI fails on that).
+bool run_speedup_report() {
+  const Vertex n = [] {
+    const char* env = std::getenv("FTBFS_N");
+    const int parsed = env != nullptr ? std::atoi(env) : 2000;
+    if (parsed < 2) {
+      std::cout << "FTBFS_N invalid (" << (env ? env : "")
+                << "), using 2000\n";
+      return Vertex{2000};
+    }
+    return static_cast<Vertex>(parsed);
+  }();
+  const double eps = 1.0 / 3.0;
+
+  bench::header("E8k", "direction-optimizing kernel vs reference",
+                "dense_random n=" + std::to_string(n) + ", eps=1/3");
+
+  // Byte-identical structure check on every seed the benches in this
+  // harness use, at a size where the reference is still fast.
+  bool identical = true;
+  for (const std::uint64_t seed : {3ULL, 5ULL, 7ULL, 11ULL, 13ULL}) {
+    const Graph g = bench::dense_random(512, seed);
+    EpsilonOptions ref_opts, opt_opts;
+    ref_opts.eps = opt_opts.eps = eps;
+    ref_opts.reference_kernel = true;
+    const EpsilonResult a = build_epsilon_ftbfs(g, 0, ref_opts);
+    const EpsilonResult b = build_epsilon_ftbfs(g, 0, opt_opts);
+    if (a.structure.edges() != b.structure.edges() ||
+        a.structure.reinforced() != b.structure.reinforced()) {
+      identical = false;
+      std::cout << "!!! edge-set mismatch at seed " << seed << "\n";
+    }
+  }
+  std::cout << "edge sets identical across seeds {3,5,7,11,13}: "
+            << (identical ? "yes" : "NO") << "\n";
+
+  // The headline measurement.
+  const Graph g = bench::dense_random(n, 3);
+  const EdgeWeights w = EdgeWeights::uniform_random(g, 3);
+  const BfsTree tree(g, w, 0);
+
+  // Discarded warm-up: pages in the graph/tree and grows the per-thread
+  // arenas so the reference (timed first) isn't charged the cold-start.
+  time_engine(tree, /*reference=*/false, nullptr);
+
+  ReplacementPathEngine::Stats ref_stats, opt_stats;
+  const double sec_ref = time_engine(tree, /*reference=*/true, &ref_stats);
+  const double sec_opt = time_engine(tree, /*reference=*/false, &opt_stats);
+
+  EpsilonOptions ref_opts, opt_opts;
+  ref_opts.eps = opt_opts.eps = eps;
+  ref_opts.reference_kernel = true;
+  Timer t;
+  const EpsilonResult full_ref = build_epsilon_ftbfs(g, 0, ref_opts);
+  const double sec_full_ref = t.seconds();
+  t.restart();
+  const EpsilonResult full_opt = build_epsilon_ftbfs(g, 0, opt_opts);
+  const double sec_full_opt = t.seconds();
+  const bool full_identical =
+      full_ref.structure.edges() == full_opt.structure.edges() &&
+      full_ref.structure.reinforced() == full_opt.structure.reinforced();
+
+  Table tb("E8k kernel speedup (n=" + std::to_string(n) +
+           ", m=" + std::to_string(g.num_edges()) + ")");
+  tb.columns({"phase", "ref_s", "opt_s", "speedup"});
+  tb.row("engine_total", sec_ref, sec_opt, sec_ref / sec_opt);
+  tb.row("dist_tables", ref_stats.seconds_dist_tables,
+         opt_stats.seconds_dist_tables,
+         ref_stats.seconds_dist_tables / opt_stats.seconds_dist_tables);
+  tb.row("detours", ref_stats.seconds_detours, opt_stats.seconds_detours,
+         ref_stats.seconds_detours / opt_stats.seconds_detours);
+  tb.row("eps_construction", sec_full_ref, sec_full_opt,
+         sec_full_ref / sec_full_opt);
+  tb.print(std::cout);
+
+  bench::JsonObject phases;
+  phases.set("engine_reference_s", sec_ref)
+      .set("engine_optimized_s", sec_opt)
+      .set("dist_tables_reference_s", ref_stats.seconds_dist_tables)
+      .set("dist_tables_optimized_s", opt_stats.seconds_dist_tables)
+      .set("detours_reference_s", ref_stats.seconds_detours)
+      .set("detours_optimized_s", opt_stats.seconds_detours)
+      .set("construction_reference_s", sec_full_ref)
+      .set("construction_optimized_s", sec_full_opt)
+      .set("s1_s", full_opt.stats.seconds_s1)
+      .set("s2_s", full_opt.stats.seconds_s2)
+      .set("interference_s", full_opt.stats.seconds_interference);
+
+  bench::JsonObject report;
+  report.set("bench", std::string("construction_time"))
+      .set("workload", std::string("dense_random"))
+      .set("n", static_cast<std::int64_t>(n))
+      .set("m", static_cast<std::int64_t>(g.num_edges()))
+      .set("eps", eps)
+      .set_raw("seconds", phases.str(2))
+      .set("edges_in_H", full_opt.stats.structure_edges)
+      .set("backup_edges", full_opt.stats.backup)
+      .set("reinforced_edges", full_opt.stats.reinforced)
+      .set("speedup_engine", sec_ref / sec_opt)
+      .set("speedup_construction", sec_full_ref / sec_full_opt)
+      .set("edge_sets_identical", identical && full_identical);
+  bench::write_json_file("BENCH_construction.json", report);
+  std::cout << "engine speedup: " << sec_ref / sec_opt
+            << "x, construction speedup: " << sec_full_ref / sec_full_opt
+            << "x  (BENCH_construction.json written)\n\n";
+  return identical && full_identical;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // The speedup report costs a full reference-engine build; skip it when
+  // the user is only listing benchmarks, targeting specific ones, or opted
+  // out via env. "--benchmark_filter=NONE" (the CI spelling for "report
+  // only") keeps the report.
+  bool skip_report = std::getenv("FTBFS_SKIP_SPEEDUP") != nullptr;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg(argv[i]);
+    if (arg == "--benchmark_list_tests" ||
+        arg == "--benchmark_list_tests=true") {
+      skip_report = true;
+    }
+    if (arg.starts_with("--benchmark_filter=") &&
+        arg != "--benchmark_filter=NONE") {
+      skip_report = true;
+    }
+  }
+  bool edge_sets_ok = true;
+  if (!skip_report) edge_sets_ok = run_speedup_report();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  // Non-zero exit on a reference/optimized divergence so CI trips.
+  return edge_sets_ok ? 0 : 1;
+}

@@ -9,6 +9,7 @@
 #include "bench/bench_util.hpp"
 #include "src/core/interference.hpp"
 #include "src/core/oracle.hpp"
+#include "src/graph/bfs_kernel.hpp"
 #include "src/graph/lca.hpp"
 
 using namespace ftb;
@@ -34,6 +35,75 @@ void BM_DistTablesOnly(benchmark::State& state) {
 }
 BENCHMARK(BM_DistTablesOnly)->Arg(256)->Arg(512)->Arg(1024)
     ->Unit(benchmark::kMillisecond);
+
+void BM_DistTablesReferenceKernel(benchmark::State& state) {
+  const Vertex n = static_cast<Vertex>(state.range(0));
+  const Graph g = bench::dense_random(n, 11);
+  const EdgeWeights w = EdgeWeights::uniform_random(g, 11);
+  const BfsTree tree(g, w, 0);
+  for (auto _ : state) {
+    ReplacementPathEngine::Config cfg;
+    cfg.collect_detours = false;
+    cfg.reference_kernel = true;
+    ReplacementPathEngine engine(tree, cfg);
+    benchmark::DoNotOptimize(engine.stats().pairs_total);
+  }
+  state.counters["failures/s"] = benchmark::Counter(
+      static_cast<double>(tree.tree_edges().size()),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_DistTablesReferenceKernel)->Arg(256)->Arg(512)->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+
+// Single-traversal micro throughput: the wrapper (materializing BfsResult),
+// the raw kernel on a reused scratch, and the naive reference.
+void BM_SingleBfsReference(benchmark::State& state) {
+  const Vertex n = static_cast<Vertex>(state.range(0));
+  const Graph g = bench::dense_random(n, 29);
+  for (auto _ : state) {
+    const BfsResult r = plain_bfs_reference(g, 0);
+    benchmark::DoNotOptimize(r.order.size());
+  }
+}
+BENCHMARK(BM_SingleBfsReference)->Arg(1024)->Arg(4096)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_SingleBfsKernel(benchmark::State& state) {
+  const Vertex n = static_cast<Vertex>(state.range(0));
+  const Graph g = bench::dense_random(n, 29);
+  BfsScratch scratch;
+  for (auto _ : state) {
+    bfs_run(g, 0, {}, scratch);
+    benchmark::DoNotOptimize(scratch.order().size());
+  }
+}
+BENCHMARK(BM_SingleBfsKernel)->Arg(1024)->Arg(4096)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_CanonicalSpReference(benchmark::State& state) {
+  const Vertex n = static_cast<Vertex>(state.range(0));
+  const Graph g = bench::dense_random(n, 31);
+  const EdgeWeights w = EdgeWeights::uniform_random(g, 31);
+  for (auto _ : state) {
+    const CanonicalSp sp = canonical_sp(g, w, 0);
+    benchmark::DoNotOptimize(sp.order.size());
+  }
+}
+BENCHMARK(BM_CanonicalSpReference)->Arg(1024)->Arg(4096)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_CanonicalSpKernel(benchmark::State& state) {
+  const Vertex n = static_cast<Vertex>(state.range(0));
+  const Graph g = bench::dense_random(n, 31);
+  const EdgeWeights w = EdgeWeights::uniform_random(g, 31);
+  CanonicalSpScratch scratch;
+  for (auto _ : state) {
+    canonical_sp_run(g, w, 0, {}, scratch);
+    benchmark::DoNotOptimize(scratch.order().size());
+  }
+}
+BENCHMARK(BM_CanonicalSpKernel)->Arg(1024)->Arg(4096)
+    ->Unit(benchmark::kMicrosecond);
 
 void BM_OracleQueries(benchmark::State& state) {
   const Vertex n = static_cast<Vertex>(state.range(0));

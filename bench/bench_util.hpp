@@ -8,7 +8,9 @@
 #pragma once
 
 #include <cmath>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -51,6 +53,54 @@ inline Graph dense_random(Vertex n, std::uint64_t seed) {
   const auto m = static_cast<std::int64_t>(
       std::pow(static_cast<double>(n), 1.35));
   return gen::random_connected(n, m, seed);
+}
+
+/// Minimal ordered JSON builder so benches can emit machine-readable
+/// reports (e.g. BENCH_construction.json) next to their stdout tables, and
+/// the perf trajectory can be tracked across PRs. Values are insertion-
+/// ordered; nested objects/arrays go in via set_raw.
+class JsonObject {
+ public:
+  JsonObject& set(const std::string& key, double v) {
+    if (!std::isfinite(v)) return set_raw(key, "null");  // keep valid JSON
+    std::ostringstream os;
+    os << v;
+    return set_raw(key, os.str());
+  }
+  JsonObject& set(const std::string& key, std::int64_t v) {
+    return set_raw(key, std::to_string(v));
+  }
+  JsonObject& set(const std::string& key, bool v) {
+    return set_raw(key, v ? "true" : "false");
+  }
+  JsonObject& set(const std::string& key, const std::string& v) {
+    return set_raw(key, "\"" + v + "\"");  // callers pass plain identifiers
+  }
+  JsonObject& set_raw(const std::string& key, const std::string& json) {
+    kv_.emplace_back(key, json);
+    return *this;
+  }
+
+  std::string str(int indent = 0) const {
+    const std::string pad(static_cast<std::size_t>(indent) + 2, ' ');
+    std::ostringstream os;
+    os << "{\n";
+    for (std::size_t i = 0; i < kv_.size(); ++i) {
+      os << pad << "\"" << kv_[i].first << "\": " << kv_[i].second;
+      if (i + 1 < kv_.size()) os << ",";
+      os << "\n";
+    }
+    os << std::string(static_cast<std::size_t>(indent), ' ') << "}";
+    return os.str();
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> kv_;
+};
+
+inline void write_json_file(const std::string& path, const JsonObject& obj) {
+  std::ofstream out(path);
+  out << obj.str() << "\n";
 }
 
 }  // namespace ftb::bench

@@ -1,0 +1,104 @@
+#include "src/core/dist_sweep.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace ftb {
+
+void ReplacementSweepScratch::prepare(std::size_t n) {
+  if (stamp_.size() < n) {
+    stamp_.assign(n, 0);
+    dist_.resize(n);
+    epoch_ = 0;
+  }
+  if (epoch_ == std::numeric_limits<std::uint32_t>::max()) {
+    std::fill(stamp_.begin(), stamp_.end(), 0);
+    epoch_ = 0;
+  }
+  ++epoch_;
+}
+
+void replacement_dist_sweep(const BfsTree& tree, EdgeId banned_edge,
+                            Vertex banned_vertex,
+                            std::span<const Vertex> affected,
+                            ReplacementSweepScratch& s) {
+  const Graph& g = tree.graph();
+  const std::size_t n = static_cast<std::size_t>(g.num_vertices());
+  s.prepare(n);
+  if (affected.empty()) return;
+
+  // All replacement distances of A sit at or below no key smaller than the
+  // depth of the subtree root (dist' ≥ depth ≥ depth(root of A)), so the
+  // bucket queue can be based there.
+  const std::int32_t base = tree.depth(affected.front());
+
+  // Mark A first so the seeding pass can tell inside from outside.
+  for (const Vertex v : affected) {
+    if (v == banned_vertex) continue;
+    const std::size_t vi = static_cast<std::size_t>(v);
+    s.stamp_[vi] = s.epoch_;
+    s.dist_[vi] = kInfHops;
+  }
+
+  // Seed c_out(v): the best admissible step from an unaffected vertex.
+  std::int32_t max_seed_rel = -1;
+  thread_local std::vector<std::pair<std::int32_t, Vertex>> seeds;
+  seeds.clear();
+  for (const Vertex v : affected) {
+    if (v == banned_vertex) continue;
+    std::int32_t best = kInfHops;
+    for (const Arc& a : g.neighbors(v)) {
+      if (a.edge == banned_edge) continue;
+      const Vertex u = a.to;
+      if (u == banned_vertex) continue;
+      if (s.in_set(u)) continue;
+      const std::int32_t du = tree.depth(u);
+      if (du >= kInfHops) continue;  // unreachable even in G
+      best = std::min(best, du + 1);
+    }
+    if (best >= kInfHops) continue;
+    FTB_DCHECK(best >= base);
+    const std::int32_t rel = best - base;
+    seeds.emplace_back(rel, v);
+    max_seed_rel = std::max(max_seed_rel, rel);
+  }
+  if (max_seed_rel < 0) return;  // fault disconnects the whole subtree
+
+  // Every relaxation step adds one hop per processed level, so no key can
+  // exceed max_seed_rel + |A|. Sizing the bucket array up front keeps the
+  // relaxation loop free of reallocation (bucket capacity is retained
+  // across sweeps, so this is a steady-state no-op).
+  const std::size_t num_buckets =
+      static_cast<std::size_t>(max_seed_rel) + affected.size() + 2;
+  if (s.buckets_.size() < num_buckets) s.buckets_.resize(num_buckets);
+  for (const auto& [rel, v] : seeds) {
+    s.dist_[static_cast<std::size_t>(v)] = base + rel;
+    s.buckets_[static_cast<std::size_t>(rel)].push_back(v);
+  }
+
+  // Dial relaxation: all arcs have weight 1, keys only grow, so the first
+  // non-stale pop of a vertex is final.
+  std::int32_t max_rel = max_seed_rel;
+  for (std::int32_t k = 0; k <= max_rel; ++k) {
+    auto& bucket = s.buckets_[static_cast<std::size_t>(k)];
+    for (std::size_t i = 0; i < bucket.size(); ++i) {
+      const Vertex v = bucket[i];
+      if (s.dist_[static_cast<std::size_t>(v)] != base + k) continue;  // stale
+      for (const Arc& a : g.neighbors(v)) {
+        if (a.edge == banned_edge) continue;
+        const Vertex u = a.to;
+        if (u == banned_vertex || !s.in_set(u)) continue;
+        auto& du = s.dist_[static_cast<std::size_t>(u)];
+        if (du > base + k + 1) {
+          du = base + k + 1;
+          FTB_DCHECK(static_cast<std::size_t>(k) + 1 < s.buckets_.size());
+          s.buckets_[static_cast<std::size_t>(k) + 1].push_back(u);
+          max_rel = std::max(max_rel, k + 1);
+        }
+      }
+    }
+    bucket.clear();  // capacity retained for the next sweep
+  }
+}
+
+}  // namespace ftb

@@ -1,0 +1,74 @@
+// dist_sweep.hpp — the subtree-seeded replacement-distance sweep.
+//
+// Both replacement engines need dist(s, v, G \ {fault}) for every vertex v
+// whose tree path π(s,v) uses the fault — i.e. the subtree hanging below a
+// failing tree edge, or below a failing internal tree vertex. The naive
+// realization is one full BFS of G per fault: Θ(n) traversals, the O(n·m)
+// bottleneck of the whole construction.
+//
+// The sweep exploits the standard observation that every *other* vertex u
+// keeps its tree distance: π(s,u) avoids the fault, and G\{fault} ⊆ G, so
+// dist(s, u, G\{fault}) = depth(u). For the affected set A this turns the
+// BFS into a bounded multi-source relaxation:
+//
+//   dist'(v) = min( c_out(v),  min_{(v,w) ∈ E(A)} dist'(w) + 1 )
+//   c_out(v) = 1 + min{ depth(u) : (v,u) admissible, u ∉ A }
+//
+// (the final entry point of any replacement path into A is seeded by
+// c_out; everything after it stays inside A). Processing keys ascending
+// with a bucket queue gives exact distances in
+// O( Σ_{v∈A} deg(v) + |A| ) per fault — summed over all faults that is
+// O( Σ_v deg(v)·depth(v) ), typically orders of magnitude below O(n·m).
+//
+// Only distances are produced (no parents), which is exactly what the
+// engines' tables store — so the output is trivially independent of
+// processing order and bit-identical to the full-BFS rows.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/graph/bfs_tree.hpp"
+
+namespace ftb {
+
+/// Reusable per-thread arena for replacement_dist_sweep. Zero steady-state
+/// allocations: affected marking is epoch-stamped, buckets retain capacity.
+class ReplacementSweepScratch {
+ public:
+  /// dist(s, v, G \ {fault}) after a sweep; valid only for vertices of the
+  /// `affected` span handed to that sweep (kInfHops when disconnected).
+  std::int32_t dist(Vertex v) const {
+    const std::size_t i = static_cast<std::size_t>(v);
+    return stamp_[i] == epoch_ ? dist_[i] : kInfHops;
+  }
+
+ private:
+  friend void replacement_dist_sweep(const BfsTree&, EdgeId, Vertex,
+                                     std::span<const Vertex>,
+                                     ReplacementSweepScratch&);
+
+  void prepare(std::size_t n);
+  bool in_set(Vertex v) const {
+    return stamp_[static_cast<std::size_t>(v)] == epoch_;
+  }
+
+  std::vector<std::uint32_t> stamp_;  // in affected set iff == epoch_
+  std::uint32_t epoch_ = 0;
+  std::vector<std::int32_t> dist_;                 // tentative keys
+  std::vector<std::vector<Vertex>> buckets_;       // Dial queue, relative keys
+};
+
+/// Computes dist(s, v, G \ {fault}) for every v ∈ `affected`, where
+/// `affected` is the preorder subtree slice below the fault
+/// (tree.subtree(lower_endpoint(banned_edge)) or tree.subtree(banned_vertex))
+/// and exactly one of banned_edge / banned_vertex identifies the fault (pass
+/// kInvalidEdge / kInvalidVertex for the other). A banned vertex inside the
+/// span is skipped. Results are read back through scratch.dist().
+void replacement_dist_sweep(const BfsTree& tree, EdgeId banned_edge,
+                            Vertex banned_vertex,
+                            std::span<const Vertex> affected,
+                            ReplacementSweepScratch& scratch);
+
+}  // namespace ftb

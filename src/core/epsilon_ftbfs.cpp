@@ -136,6 +136,7 @@ EpsilonResult build_epsilon_ftbfs(const Graph& g, Vertex source,
     ReplacementPathEngine::Config cfg;
     cfg.collect_detours = false;
     cfg.pool = opts.pool;
+    cfg.reference_kernel = opts.reference_kernel;
     Timer t;
     const ReplacementPathEngine engine(tree, cfg);
     st.seconds_engine = t.seconds();
@@ -156,6 +157,7 @@ EpsilonResult build_epsilon_ftbfs(const Graph& g, Vertex source,
   ReplacementPathEngine::Config cfg;
   cfg.collect_detours = true;
   cfg.pool = opts.pool;
+  cfg.reference_kernel = opts.reference_kernel;
   const ReplacementPathEngine engine(tree, cfg);
   st.seconds_engine = phase_timer.seconds();
   st.pairs_total = engine.stats().pairs_total;

@@ -55,6 +55,11 @@ struct EpsilonOptions {
   bool disable_s2_light_flush = false;
   /// Skip the tree-decomposition crossings of Sub-Phase S2.3. Ablation knob.
   bool disable_s2_crossings = false;
+
+  /// Run Phase S0 on the naive reference kernels instead of the
+  /// direction-optimizing scratch-arena kernels. The produced structure is
+  /// bit-identical; this is the bench baseline / differential-testing knob.
+  bool reference_kernel = false;
 };
 
 /// Construction telemetry — one row of every benchmark table.

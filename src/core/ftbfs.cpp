@@ -19,6 +19,7 @@ FtBfsStructure build_ftbfs(const Graph& g, Vertex source,
   ReplacementPathEngine::Config cfg;
   cfg.collect_detours = false;  // the baseline only needs last edges
   cfg.pool = opts.pool;
+  cfg.reference_kernel = opts.reference_kernel;
   const ReplacementPathEngine engine(tree, cfg);
   return build_ftbfs(engine);
 }

@@ -18,6 +18,9 @@ struct FtBfsOptions {
   /// Seed of the tie-breaking weight assignment W.
   std::uint64_t weight_seed = 0x5EED0001ULL;
   ThreadPool* pool = nullptr;  // nullptr = global pool
+  /// Run the engine on the naive reference kernels (bench baseline /
+  /// differential testing; output is bit-identical either way).
+  bool reference_kernel = false;
 };
 
 /// Builds the O(n^{3/2})-edge FT-BFS structure for (g, source).

@@ -14,6 +14,11 @@ MultiSourceResult build_epsilon_ftmbfs(const Graph& g,
   std::vector<EdgeId> tree_edges;  // union of the per-source trees
   std::vector<EpsilonStats> stats;
   stats.reserve(sources.size());
+  // Each per-source tree holds up to n−1 edges; reserving up front keeps
+  // the tree-edge union from reallocating once per source. (The backup
+  // edge union is Õ(n^{1+ε})-sized and grows amortized instead.)
+  tree_edges.reserve(sources.size() *
+                     static_cast<std::size_t>(g.num_vertices()));
 
   for (const Vertex s : sources) {
     EpsilonResult res = build_epsilon_ftbfs(g, s, opts);

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/core/dist_sweep.hpp"
+#include "src/graph/bfs_kernel.hpp"
 #include "src/util/timer.hpp"
 
 namespace ftb {
@@ -54,21 +56,37 @@ void ReplacementPathEngine::build_dist_tables(ThreadPool& pool) {
   dist_rows_.assign(static_cast<std::size_t>(row_offset_[n]), kInfHops);
   stats_.pairs_total = static_cast<std::int64_t>(dist_rows_.size());
 
-  // One BFS of G \ {e} per tree edge; fill the row slot of every vertex
-  // below e. Rows of different edges write disjoint slots, so the loop is
-  // safely parallel.
+  // One replacement-distance computation per tree edge; fill the row slot
+  // of every vertex below e. Rows of different edges write disjoint slots,
+  // so the loop is safely parallel. The per-thread scratch arenas make a
+  // steady-state iteration allocation-free.
   const auto& tree_edges = tree_->tree_edges();
   pool.parallel_for(tree_edges.size(), [&](std::size_t idx) {
     const EdgeId e = tree_edges[idx];
     const Vertex low = tree_->lower_endpoint(e);
     const std::int32_t pos = tree_->edge_depth(e) - 1;
-    BfsBans bans;
-    bans.banned_edge = e;
-    const BfsResult res = plain_bfs(g, tree_->source(), bans);
-    for (const Vertex v : tree_->subtree(low)) {
-      dist_rows_[static_cast<std::size_t>(
-          row_offset_[static_cast<std::size_t>(v)] + pos)] =
-          res.dist[static_cast<std::size_t>(v)];
+    const auto affected = tree_->subtree(low);
+    auto row_slot = [&](Vertex v) -> std::int32_t& {
+      return dist_rows_[static_cast<std::size_t>(
+          row_offset_[static_cast<std::size_t>(v)] + pos)];
+    };
+    if (cfg_.reference_kernel) {
+      BfsBans bans;
+      bans.banned_edge = e;
+      const BfsResult res = plain_bfs_reference(g, tree_->source(), bans);
+      for (const Vertex v : affected) {
+        row_slot(v) = res.dist[static_cast<std::size_t>(v)];
+      }
+    } else if (cfg_.incremental_dist) {
+      thread_local ReplacementSweepScratch sweep;
+      replacement_dist_sweep(*tree_, e, kInvalidVertex, affected, sweep);
+      for (const Vertex v : affected) row_slot(v) = sweep.dist(v);
+    } else {
+      thread_local BfsScratch scratch;
+      BfsBans bans;
+      bans.banned_edge = e;
+      bfs_run(g, tree_->source(), bans, scratch);
+      for (const Vertex v : affected) row_slot(v) = scratch.dist(v);
     }
   });
 }
@@ -100,30 +118,64 @@ void ReplacementPathEngine::build_pairs(ThreadPool& pool) {
 
   std::vector<VertexPairs> per_vertex(n);
 
-  pool.parallel_for(n, [&](std::size_t vi) {
-    const Vertex v = static_cast<Vertex>(vi);
-    const std::int32_t k = tree_->depth(v);
-    if (k <= 0 || k >= kInfHops) return;  // source or unreachable
-    VertexPairs& out = per_vertex[vi];
-
-    const std::vector<Vertex> path = tree_->path_from_source(v);  // u_0..u_k
-
-    // Off-path graph H_v = G \ (V(π(s,v)) \ {v}).
-    thread_local std::vector<std::uint8_t> banned;
-    banned.assign(n, 0);
-    for (std::int32_t j = 0; j < k; ++j) {
-      banned[static_cast<std::size_t>(path[static_cast<std::size_t>(j)])] = 1;
+  // Pre-classification: covered / infinite tests touch only the phase-1
+  // distance tables, so they run before (and usually instead of) the
+  // per-vertex off-path BFS — a vertex whose pairs are all covered or
+  // disconnecting skips the O(n + m) canonical traversal entirely.
+  auto classify = [&](Vertex v, std::int32_t k, VertexPairs& out,
+                      const std::vector<Vertex>& path,
+                      std::vector<std::int32_t>& uncovered_pos) {
+    uncovered_pos.clear();
+    for (std::int32_t i = 0; i < k; ++i) {
+      const std::int32_t rd = table_dist(v, i);
+      if (rd >= kInfHops) {
+        ++out.infinite;
+        continue;
+      }
+      const EdgeId e =
+          tree_->parent_edge(path[static_cast<std::size_t>(i) + 1]);
+      // Covered test: some T0-neighbor u of v, edge (u,v) ≠ e, with
+      // dist_e(u) + 1 == dist_e(v).
+      bool is_covered = false;
+      const Vertex parent = tree_->parent(v);
+      if (parent != kInvalidVertex && tree_->parent_edge(v) != e) {
+        // e is strictly above v's parent edge here (e ∈ π(s,v) and ≠
+        // parent edge), so e ∈ π(s,parent) and the row exists.
+        if (table_dist(parent, i) + 1 == rd) is_covered = true;
+      }
+      if (!is_covered) {
+        for (const Vertex c : tree_->children(v)) {
+          if (table_dist(c, i) + 1 == rd) {
+            is_covered = true;
+            break;
+          }
+        }
+      }
+      if (is_covered) {
+        ++out.covered;
+      } else {
+        uncovered_pos.push_back(i);
+      }
     }
-    BfsBans bans;
-    bans.banned_vertex = &banned;
-    const CanonicalSp dv = canonical_sp(g, W, v, bans);
+  };
 
+  // The per-vertex detour body, generic over the canonical-SP view
+  // (reference or scratch kernel) so both code paths share one
+  // implementation.
+  auto process = [&](Vertex v, VertexPairs& out,
+                     const std::vector<Vertex>& path,
+                     const std::vector<std::uint8_t>& banned,
+                     const std::vector<std::int32_t>& uncovered_pos,
+                     const auto& dv) {
     // detlen(j): cheapest detour from u_j to v through off-path space,
     // excluding the tree edge (u_{k-1}, v) (which can only be proposed when
-    // it is itself the failing edge; see DESIGN.md).
+    // it is itself the failing edge; see DESIGN.md). Candidates are only
+    // ever consumed at divergence depths ≤ the deepest uncovered position.
+    const std::int32_t jmax = uncovered_pos.back();
     const EdgeId parent_e = tree_->parent_edge(v);
-    std::vector<DetourCandidate> det(static_cast<std::size_t>(k));
-    for (std::int32_t j = 0; j < k; ++j) {
+    thread_local std::vector<DetourCandidate> det;
+    det.assign(static_cast<std::size_t>(jmax) + 1, DetourCandidate{});
+    for (std::int32_t j = 0; j <= jmax; ++j) {
       DetourCandidate& best = det[static_cast<std::size_t>(j)];
       const Vertex uj = path[static_cast<std::size_t>(j)];
       for (const Arc& a : g.neighbors(uj)) {
@@ -139,14 +191,13 @@ void ReplacementPathEngine::build_pairs(ThreadPool& pool) {
         } else {
           if (banned[static_cast<std::size_t>(a.to)]) continue;  // on path
           if (!dv.reachable(a.to)) continue;
-          cand.hops = 1 + dv.hops[static_cast<std::size_t>(a.to)];
-          cand.wsum = W[a.edge] + dv.wsum[static_cast<std::size_t>(a.to)];
-          // dv is rooted at v, so first_hop[a.to] is the vertex adjacent to
+          cand.hops = 1 + dv.hops(a.to);
+          cand.wsum = W[a.edge] + dv.wsum(a.to);
+          // dv is rooted at v, so first_hop(a.to) is the vertex adjacent to
           // v on the canonical v→a.to path — i.e. the entry point of the
           // reversed detour, and its parent edge is the edge into v.
-          cand.entry = dv.first_hop[static_cast<std::size_t>(a.to)];
-          cand.last_edge =
-              dv.parent_edge[static_cast<std::size_t>(cand.entry)];
+          cand.entry = dv.first_hop(a.to);
+          cand.last_edge = dv.parent_edge(cand.entry);
           cand.via = a.to;
           cand.first_edge = a.edge;
         }
@@ -154,42 +205,12 @@ void ReplacementPathEngine::build_pairs(ThreadPool& pool) {
       }
     }
 
-    // Enumerate failing edges bottom-up? Positions ascending for the
-    // deterministic pair order; both orders are equivalent here.
-    for (std::int32_t i = 0; i < k; ++i) {
+    // Positions ascending for the deterministic pair order (classification
+    // already filtered the covered / disconnecting ones).
+    for (const std::int32_t i : uncovered_pos) {
       const std::int32_t rd = table_dist(v, i);
-      if (rd >= kInfHops) {
-        ++out.infinite;
-        continue;
-      }
       const EdgeId e =
           tree_->parent_edge(path[static_cast<std::size_t>(i) + 1]);
-
-      // Covered test: some T0-neighbor u of v, edge (u,v) ≠ e, with
-      // dist_e(u) + 1 == dist_e(v).
-      bool is_covered = false;
-      {
-        const Vertex parent = tree_->parent(v);
-        if (parent != kInvalidVertex && tree_->parent_edge(v) != e) {
-          // e is strictly above v's parent edge here (e ∈ π(s,v) and ≠
-          // parent edge), so e ∈ π(s,parent) and the row exists.
-          const std::int32_t du = table_dist(parent, i);
-          if (du + 1 == rd) is_covered = true;
-        }
-        if (!is_covered) {
-          for (const Vertex c : tree_->children(v)) {
-            const std::int32_t du = table_dist(c, i);
-            if (du + 1 == rd) {
-              is_covered = true;
-              break;
-            }
-          }
-        }
-      }
-      if (is_covered) {
-        ++out.covered;
-        continue;
-      }
 
       // New-ending pair: divergence point as close to s as possible.
       std::int32_t jstar = -1;
@@ -223,8 +244,7 @@ void ReplacementPathEngine::build_pairs(ThreadPool& pool) {
         if (c.via == v) {
           out.detour_storage.push_back(v);
         } else {
-          for (Vertex w = c.via; w != v;
-               w = dv.parent[static_cast<std::size_t>(w)]) {
+          for (Vertex w = c.via; w != v; w = dv.parent(w)) {
             out.detour_storage.push_back(w);
           }
           out.detour_storage.push_back(v);
@@ -234,6 +254,57 @@ void ReplacementPathEngine::build_pairs(ThreadPool& pool) {
                    static_cast<std::int64_t>(p.detour_len) + 1);
       }
       out.pairs.push_back(p);
+    }
+  };
+
+  pool.parallel_for(n, [&](std::size_t vi) {
+    const Vertex v = static_cast<Vertex>(vi);
+    const std::int32_t k = tree_->depth(v);
+    if (k <= 0 || k >= kInfHops) return;  // source or unreachable
+    VertexPairs& out = per_vertex[vi];
+
+    // π(s,v) = u_0..u_k into a reusable buffer.
+    thread_local std::vector<Vertex> path;
+    path.clear();
+    for (Vertex u = v; u != kInvalidVertex; u = tree_->parent(u)) {
+      path.push_back(u);
+    }
+    std::reverse(path.begin(), path.end());
+
+    thread_local std::vector<std::int32_t> uncovered_pos;
+    if (!cfg_.reference_kernel) {
+      classify(v, k, out, path, uncovered_pos);
+      if (uncovered_pos.empty()) return;  // no off-path BFS needed
+    }
+
+    // Off-path graph H_v = G \ (V(π(s,v)) \ {v}). The mask is reused
+    // across calls; only the O(k) touched entries are reset below.
+    thread_local std::vector<std::uint8_t> banned;
+    if (banned.size() < n) banned.assign(n, 0);
+    for (std::int32_t j = 0; j < k; ++j) {
+      banned[static_cast<std::size_t>(path[static_cast<std::size_t>(j)])] = 1;
+    }
+    BfsBans bans;
+    bans.banned_vertex = &banned;
+
+    if (cfg_.reference_kernel) {
+      // Seed pipeline order: one unconditional off-path BFS per vertex.
+      const CanonicalSp dv = canonical_sp(g, W, v, bans);
+      classify(v, k, out, path, uncovered_pos);
+      if (!uncovered_pos.empty()) {
+        process(v, out, path, banned, uncovered_pos, CanonicalSpRefView{&dv});
+      }
+    } else {
+      // Detour labels beyond max_rd − 1 hops can never match a failing
+      // edge's replacement distance, so the off-path traversal is capped
+      // there (see canonical_sp_run).
+      std::int32_t max_rd = 0;
+      for (const std::int32_t i : uncovered_pos) {
+        max_rd = std::max(max_rd, table_dist(v, i));
+      }
+      thread_local CanonicalSpScratch sps;
+      canonical_sp_run(g, W, v, bans, sps, max_rd - 1);
+      process(v, out, path, banned, uncovered_pos, CanonicalSpScratchView{&sps});
     }
 
     // Reset the thread-local mask for the next vertex on this thread.

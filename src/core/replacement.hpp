@@ -61,6 +61,15 @@ class ReplacementPathEngine {
     bool collect_detours = true;
     /// Worker pool; nullptr = ThreadPool::global().
     ThreadPool* pool = nullptr;
+    /// Run the naive reference kernels (one full queue BFS per failing
+    /// edge, materializing two-pass canonical SP per vertex) instead of the
+    /// scratch-arena kernels. Differential-testing / bench baseline; the
+    /// produced tables and pairs are bit-identical either way.
+    bool reference_kernel = false;
+    /// Distance tables via the subtree-seeded replacement sweep
+    /// (dist_sweep.hpp) instead of one full kernel BFS per tree edge.
+    /// Ignored under reference_kernel.
+    bool incremental_dist = true;
   };
 
   explicit ReplacementPathEngine(const BfsTree& tree)

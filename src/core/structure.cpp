@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "src/graph/bfs_kernel.hpp"
 #include "src/graph/canonical_bfs.hpp"
 
 namespace ftb {
@@ -52,6 +53,14 @@ std::vector<std::int32_t> FtBfsStructure::distances_avoiding(
   bans.banned_edge_mask = &out_of_h_;
   bans.banned_edge = failed;
   return plain_bfs(*g_, source_, bans).dist;
+}
+
+void FtBfsStructure::distances_avoiding(EdgeId failed,
+                                        BfsScratch& scratch) const {
+  BfsBans bans;
+  bans.banned_edge_mask = &out_of_h_;
+  bans.banned_edge = failed;
+  bfs_run(*g_, source_, bans, scratch);
 }
 
 std::string FtBfsStructure::summary() const {

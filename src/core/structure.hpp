@@ -20,6 +20,8 @@
 
 namespace ftb {
 
+class BfsScratch;  // bfs_kernel.hpp
+
 /// An FT-BFS structure (see file comment). Immutable after construction.
 class FtBfsStructure {
  public:
@@ -65,6 +67,10 @@ class FtBfsStructure {
   /// Hop distances from the source inside H \ {failed} (pass kInvalidEdge
   /// for the failure-free structure). O(n + m).
   std::vector<std::int32_t> distances_avoiding(EdgeId failed) const;
+
+  /// Allocation-free variant for hot verification loops: runs the kernel
+  /// into `scratch`; read distances back via scratch.dist(v).
+  void distances_avoiding(EdgeId failed, BfsScratch& scratch) const;
 
   /// Edge-membership mask over E(G): 1 where the edge is *outside* H.
   /// (Shape required by BfsBans::banned_edge_mask.)

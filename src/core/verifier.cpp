@@ -3,6 +3,7 @@
 #include <mutex>
 #include <sstream>
 
+#include "src/graph/bfs_kernel.hpp"
 #include "src/graph/canonical_bfs.hpp"
 
 namespace ftb {
@@ -70,15 +71,14 @@ VerifyReport verify_structure(const FtBfsStructure& h,
 
   pool.parallel_for(candidates.size(), [&](std::size_t i) {
     const EdgeId e = candidates[i];
+    thread_local BfsScratch in_g, in_h;
     BfsBans g_bans;
     g_bans.banned_edge = e;
-    const std::vector<std::int32_t> dist_g = plain_bfs(g, s, g_bans).dist;
-    const std::vector<std::int32_t> dist_h = h.distances_avoiding(e);
+    bfs_run(g, s, g_bans, in_g);
+    h.distances_avoiding(e, in_h);
     for (Vertex v = 0; v < g.num_vertices(); ++v) {
-      if (dist_h[static_cast<std::size_t>(v)] !=
-          dist_g[static_cast<std::size_t>(v)]) {
-        record(e, v, dist_h[static_cast<std::size_t>(v)],
-               dist_g[static_cast<std::size_t>(v)]);
+      if (in_h.dist(v) != in_g.dist(v)) {
+        record(e, v, in_h.dist(v), in_g.dist(v));
       }
     }
   });

@@ -4,7 +4,9 @@
 #include <atomic>
 #include <mutex>
 
+#include "src/core/dist_sweep.hpp"
 #include "src/core/ftbfs.hpp"
+#include "src/graph/bfs_kernel.hpp"
 
 namespace ftb {
 
@@ -51,25 +53,50 @@ void VertexReplacementEngine::build_dist_tables(ThreadPool& pool) {
   rows_.assign(static_cast<std::size_t>(row_offset_[n]), kInfHops);
   stats_.pairs_total = static_cast<std::int64_t>(rows_.size());
 
-  // One BFS of G\{x} per internal tree vertex x; fill the slot of every
-  // strict descendant of x. Disjoint slots → safely parallel.
+  // One replacement-distance computation per internal tree vertex x; fill
+  // the slot of every strict descendant of x. Disjoint slots → safely
+  // parallel; per-thread scratch arenas keep the steady state allocation-
+  // free.
   const auto pre = tree_->preorder();
   pool.parallel_for(pre.size(), [&](std::size_t idx) {
     const Vertex x = pre[idx];
     if (x == tree_->source()) return;
     if (tree_->subtree_size(x) <= 1) return;  // no strict descendants
     const std::int32_t pos = tree_->depth(x);
-    std::vector<std::uint8_t> banned(n, 0);
+    const auto affected = tree_->subtree(x);
+    auto row_slot = [&](Vertex v) -> std::int32_t& {
+      return rows_[static_cast<std::size_t>(
+          row_offset_[static_cast<std::size_t>(v)] + (pos - 1))];
+    };
+    if (!cfg_.reference_kernel && cfg_.incremental_dist) {
+      thread_local ReplacementSweepScratch sweep;
+      replacement_dist_sweep(*tree_, kInvalidEdge, x, affected, sweep);
+      for (const Vertex v : affected) {
+        if (v == x) continue;
+        row_slot(v) = sweep.dist(v);
+      }
+      return;
+    }
+    thread_local std::vector<std::uint8_t> banned;
+    if (banned.size() < n) banned.assign(n, 0);
     banned[static_cast<std::size_t>(x)] = 1;
     BfsBans bans;
     bans.banned_vertex = &banned;
-    const BfsResult res = plain_bfs(g, tree_->source(), bans);
-    for (const Vertex v : tree_->subtree(x)) {
-      if (v == x) continue;
-      rows_[static_cast<std::size_t>(
-          row_offset_[static_cast<std::size_t>(v)] + (pos - 1))] =
-          res.dist[static_cast<std::size_t>(v)];
+    if (cfg_.reference_kernel) {
+      const BfsResult res = plain_bfs_reference(g, tree_->source(), bans);
+      for (const Vertex v : affected) {
+        if (v == x) continue;
+        row_slot(v) = res.dist[static_cast<std::size_t>(v)];
+      }
+    } else {
+      thread_local BfsScratch scratch;
+      bfs_run(g, tree_->source(), bans, scratch);
+      for (const Vertex v : affected) {
+        if (v == x) continue;
+        row_slot(v) = scratch.dist(v);
+      }
     }
+    banned[static_cast<std::size_t>(x)] = 0;
   });
 }
 
@@ -96,30 +123,59 @@ void VertexReplacementEngine::build_pairs(ThreadPool& pool) {
   };
   std::vector<PerVertex> per_vertex(n);
 
-  pool.parallel_for(n, [&](std::size_t vi) {
-    const Vertex v = static_cast<Vertex>(vi);
-    const std::int32_t k = tree_->depth(v);
-    if (k <= 1 || k >= kInfHops) return;  // no internal path vertices
-    PerVertex& out = per_vertex[vi];
-
-    const std::vector<Vertex> path = tree_->path_from_source(v);
-
-    thread_local std::vector<std::uint8_t> banned;
-    banned.assign(n, 0);
-    for (std::int32_t j = 0; j < k; ++j) {
-      banned[static_cast<std::size_t>(path[static_cast<std::size_t>(j)])] = 1;
+  // Pre-classification against the phase-1 tables only; lets a vertex with
+  // no uncovered pair skip the off-path BFS entirely.
+  auto classify = [&](Vertex v, std::int32_t k, PerVertex& out,
+                      const std::vector<Vertex>& path,
+                      std::vector<std::int32_t>& uncovered_pos) {
+    uncovered_pos.clear();
+    for (std::int32_t i = 1; i <= k - 1; ++i) {  // failing vertex u_i
+      const Vertex x = path[static_cast<std::size_t>(i)];
+      const std::int32_t rd = table_dist(v, i);
+      if (rd >= kInfHops) {
+        ++out.infinite;
+        continue;
+      }
+      // Covered test: a T0-neighbor u ≠ x of v with dist_x(u) + 1 == rd.
+      bool is_covered = false;
+      const Vertex parent = tree_->parent(v);
+      if (parent != kInvalidVertex && parent != x) {
+        // x is a strict ancestor of parent here (i ≤ k−2), so the row
+        // exists.
+        if (table_dist(parent, i) + 1 == rd) is_covered = true;
+      }
+      if (!is_covered) {
+        for (const Vertex c : tree_->children(v)) {
+          if (table_dist(c, i) + 1 == rd) {
+            is_covered = true;
+            break;
+          }
+        }
+      }
+      if (is_covered) {
+        ++out.covered;
+      } else {
+        uncovered_pos.push_back(i);
+      }
     }
-    BfsBans bans;
-    bans.banned_vertex = &banned;
-    const CanonicalSp dv = canonical_sp(g, W, v, bans);
+  };
 
+  // Per-vertex detour body, generic over the canonical-SP view.
+  auto process = [&](Vertex v, PerVertex& out,
+                     const std::vector<Vertex>& path,
+                     const std::vector<std::uint8_t>& banned,
+                     const std::vector<std::int32_t>& uncovered_pos,
+                     const auto& dv) {
     // detlen(j), identical to the edge engine (the failing object is a
     // path vertex, never an off-path edge, so no extra exclusions beyond
     // the tree parent edge, which is unreachable anyway since j ≤ i−1 ≤
-    // k−2).
+    // k−2). Divergence sits strictly above the deepest uncovered failing
+    // vertex.
+    const std::int32_t jmax = uncovered_pos.back() - 1;
     const EdgeId parent_e = tree_->parent_edge(v);
-    std::vector<DetourCandidate> det(static_cast<std::size_t>(k));
-    for (std::int32_t j = 0; j < k; ++j) {
+    thread_local std::vector<DetourCandidate> det;
+    det.assign(static_cast<std::size_t>(jmax) + 1, DetourCandidate{});
+    for (std::int32_t j = 0; j <= jmax; ++j) {
       DetourCandidate& best = det[static_cast<std::size_t>(j)];
       const Vertex uj = path[static_cast<std::size_t>(j)];
       for (const Arc& a : g.neighbors(uj)) {
@@ -133,45 +189,18 @@ void VertexReplacementEngine::build_pairs(ThreadPool& pool) {
         } else {
           if (banned[static_cast<std::size_t>(a.to)]) continue;
           if (!dv.reachable(a.to)) continue;
-          cand.hops = 1 + dv.hops[static_cast<std::size_t>(a.to)];
-          cand.wsum = W[a.edge] + dv.wsum[static_cast<std::size_t>(a.to)];
-          cand.entry = dv.first_hop[static_cast<std::size_t>(a.to)];
-          cand.last_edge =
-              dv.parent_edge[static_cast<std::size_t>(cand.entry)];
+          cand.hops = 1 + dv.hops(a.to);
+          cand.wsum = W[a.edge] + dv.wsum(a.to);
+          cand.entry = dv.first_hop(a.to);
+          cand.last_edge = dv.parent_edge(cand.entry);
         }
         if (!best.valid() || cand.better_than(best)) best = cand;
       }
     }
 
-    for (std::int32_t i = 1; i <= k - 1; ++i) {  // failing vertex u_i
+    for (const std::int32_t i : uncovered_pos) {  // failing vertex u_i
       const Vertex x = path[static_cast<std::size_t>(i)];
       const std::int32_t rd = table_dist(v, i);
-      if (rd >= kInfHops) {
-        ++out.infinite;
-        continue;
-      }
-      // Covered test: a T0-neighbor u ≠ x of v with dist_x(u) + 1 == rd.
-      bool is_covered = false;
-      {
-        const Vertex parent = tree_->parent(v);
-        if (parent != kInvalidVertex && parent != x) {
-          // x is a strict ancestor of parent here (i ≤ k−2), so the row
-          // exists.
-          if (table_dist(parent, i) + 1 == rd) is_covered = true;
-        }
-        if (!is_covered) {
-          for (const Vertex c : tree_->children(v)) {
-            if (table_dist(c, i) + 1 == rd) {
-              is_covered = true;
-              break;
-            }
-          }
-        }
-      }
-      if (is_covered) {
-        ++out.covered;
-        continue;
-      }
 
       std::int32_t jstar = -1;
       for (std::int32_t j = 0; j <= i - 1; ++j) {
@@ -194,6 +223,51 @@ void VertexReplacementEngine::build_pairs(ThreadPool& pool) {
       p.diverge_depth = jstar;
       p.last_edge = c.last_edge;
       out.pairs.push_back(p);
+    }
+  };
+
+  pool.parallel_for(n, [&](std::size_t vi) {
+    const Vertex v = static_cast<Vertex>(vi);
+    const std::int32_t k = tree_->depth(v);
+    if (k <= 1 || k >= kInfHops) return;  // no internal path vertices
+    PerVertex& out = per_vertex[vi];
+
+    thread_local std::vector<Vertex> path;
+    path.clear();
+    for (Vertex u = v; u != kInvalidVertex; u = tree_->parent(u)) {
+      path.push_back(u);
+    }
+    std::reverse(path.begin(), path.end());
+
+    thread_local std::vector<std::int32_t> uncovered_pos;
+    if (!cfg_.reference_kernel) {
+      classify(v, k, out, path, uncovered_pos);
+      if (uncovered_pos.empty()) return;  // no off-path BFS needed
+    }
+
+    thread_local std::vector<std::uint8_t> banned;
+    if (banned.size() < n) banned.assign(n, 0);
+    for (std::int32_t j = 0; j < k; ++j) {
+      banned[static_cast<std::size_t>(path[static_cast<std::size_t>(j)])] = 1;
+    }
+    BfsBans bans;
+    bans.banned_vertex = &banned;
+
+    if (cfg_.reference_kernel) {
+      // Seed pipeline order: one unconditional off-path BFS per vertex.
+      const CanonicalSp dv = canonical_sp(g, W, v, bans);
+      classify(v, k, out, path, uncovered_pos);
+      if (!uncovered_pos.empty()) {
+        process(v, out, path, banned, uncovered_pos, CanonicalSpRefView{&dv});
+      }
+    } else {
+      std::int32_t max_rd = 0;
+      for (const std::int32_t i : uncovered_pos) {
+        max_rd = std::max(max_rd, table_dist(v, i));
+      }
+      thread_local CanonicalSpScratch sps;
+      canonical_sp_run(g, W, v, bans, sps, max_rd - 1);
+      process(v, out, path, banned, uncovered_pos, CanonicalSpScratchView{&sps});
     }
 
     for (std::int32_t j = 0; j < k; ++j) {
@@ -257,23 +331,23 @@ std::int64_t verify_vertex_structure(const FtBfsStructure& h,
   pool.parallel_for(candidates.size(), [&](std::size_t i) {
     const Vertex x = candidates[i];
     const std::size_t n = static_cast<std::size_t>(g.num_vertices());
-    std::vector<std::uint8_t> banned(n, 0);
+    thread_local std::vector<std::uint8_t> banned;
+    if (banned.size() < n) banned.assign(n, 0);
     banned[static_cast<std::size_t>(x)] = 1;
+    thread_local BfsScratch in_g, in_h;
     BfsBans g_bans;
     g_bans.banned_vertex = &banned;
-    const std::vector<std::int32_t> dist_g = plain_bfs(g, s, g_bans).dist;
+    bfs_run(g, s, g_bans, in_g);
     BfsBans h_bans;
     h_bans.banned_vertex = &banned;
     h_bans.banned_edge_mask = &h.complement_mask();
-    const std::vector<std::int32_t> dist_h = plain_bfs(g, s, h_bans).dist;
+    bfs_run(g, s, h_bans, in_h);
     std::int64_t local = 0;
     for (Vertex v = 0; v < g.num_vertices(); ++v) {
       if (v == x) continue;
-      if (dist_h[static_cast<std::size_t>(v)] !=
-          dist_g[static_cast<std::size_t>(v)]) {
-        ++local;
-      }
+      if (in_h.dist(v) != in_g.dist(v)) ++local;
     }
+    banned[static_cast<std::size_t>(x)] = 0;
     violations.fetch_add(local, std::memory_order_relaxed);
   });
   return violations.load();

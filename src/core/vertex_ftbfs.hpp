@@ -48,6 +48,13 @@ class VertexReplacementEngine {
  public:
   struct Config {
     ThreadPool* pool = nullptr;  // nullptr = global pool
+    /// Naive reference kernels instead of the scratch-arena kernels
+    /// (bit-identical output; differential testing / bench baseline).
+    bool reference_kernel = false;
+    /// Distance tables via the subtree-seeded replacement sweep
+    /// (dist_sweep.hpp) instead of one full BFS per failing vertex.
+    /// Ignored under reference_kernel.
+    bool incremental_dist = true;
   };
 
   explicit VertexReplacementEngine(const BfsTree& tree)

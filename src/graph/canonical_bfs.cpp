@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/graph/bfs_kernel.hpp"
+
 namespace ftb {
 
 EdgeWeights EdgeWeights::uniform_random(const Graph& g, std::uint64_t seed) {
@@ -15,6 +17,27 @@ EdgeWeights EdgeWeights::uniform_random(const Graph& g, std::uint64_t seed) {
 }
 
 BfsResult plain_bfs(const Graph& g, Vertex src, const BfsBans& bans) {
+  thread_local BfsScratch scratch;
+  bfs_run(g, src, bans, scratch);
+
+  const std::size_t n = static_cast<std::size_t>(g.num_vertices());
+  BfsResult r;
+  r.dist.assign(n, kInfHops);
+  r.parent.assign(n, kInvalidVertex);
+  r.parent_edge.assign(n, kInvalidEdge);
+  const auto order = scratch.order();
+  r.order.assign(order.begin(), order.end());
+  for (const Vertex v : order) {
+    const std::size_t vi = static_cast<std::size_t>(v);
+    r.dist[vi] = scratch.dist(v);
+    r.parent[vi] = scratch.parent(v);
+    r.parent_edge[vi] = scratch.parent_edge(v);
+  }
+  return r;
+}
+
+BfsResult plain_bfs_reference(const Graph& g, Vertex src,
+                              const BfsBans& bans) {
   const std::size_t n = static_cast<std::size_t>(g.num_vertices());
   FTB_CHECK(g.valid_vertex(src));
   FTB_CHECK_MSG(!bans.vertex_banned(src), "source is banned");
@@ -24,24 +47,33 @@ BfsResult plain_bfs(const Graph& g, Vertex src, const BfsBans& bans) {
   r.parent.assign(n, kInvalidVertex);
   r.parent_edge.assign(n, kInvalidEdge);
   r.order.clear();
-  r.order.reserve(n);
-
-  r.dist[static_cast<std::size_t>(src)] = 0;
   r.order.push_back(src);
-  // r.order doubles as the BFS queue (it is only ever appended to).
-  for (std::size_t head = 0; head < r.order.size(); ++head) {
-    const Vertex u = r.order[head];
-    const std::int32_t du = r.dist[static_cast<std::size_t>(u)];
-    for (const Arc& a : g.neighbors(u)) {
-      if (bans.edge_banned(a.edge)) continue;
-      if (bans.vertex_banned(a.to)) continue;
-      auto& dv = r.dist[static_cast<std::size_t>(a.to)];
-      if (dv != kInfHops) continue;
-      dv = du + 1;
-      r.parent[static_cast<std::size_t>(a.to)] = u;
-      r.parent_edge[static_cast<std::size_t>(a.to)] = a.edge;
-      r.order.push_back(a.to);
+  r.dist[static_cast<std::size_t>(src)] = 0;
+
+  // r.order doubles as the BFS queue; each discovered level is sorted
+  // before expansion so the first discoverer of a vertex is its minimum-id
+  // previous-level neighbor (the contract shared with the kernel).
+  std::size_t level_begin = 0;
+  std::size_t level_end = 1;
+  while (level_begin < level_end) {
+    std::sort(r.order.begin() + static_cast<std::ptrdiff_t>(level_begin),
+              r.order.begin() + static_cast<std::ptrdiff_t>(level_end));
+    for (std::size_t i = level_begin; i < level_end; ++i) {
+      const Vertex u = r.order[i];
+      const std::int32_t du = r.dist[static_cast<std::size_t>(u)];
+      for (const Arc& a : g.neighbors(u)) {
+        if (bans.edge_banned(a.edge)) continue;
+        if (bans.vertex_banned(a.to)) continue;
+        auto& dv = r.dist[static_cast<std::size_t>(a.to)];
+        if (dv != kInfHops) continue;
+        dv = du + 1;
+        r.parent[static_cast<std::size_t>(a.to)] = u;
+        r.parent_edge[static_cast<std::size_t>(a.to)] = a.edge;
+        r.order.push_back(a.to);
+      }
     }
+    level_begin = level_end;
+    level_end = r.order.size();
   }
   return r;
 }
@@ -52,8 +84,10 @@ CanonicalSp canonical_sp(const Graph& g, const EdgeWeights& weights,
   FTB_CHECK_MSG(weights.w.size() == static_cast<std::size_t>(g.num_edges()),
                 "weight table size mismatch");
 
-  // Pass 1: hop distances and a layer-ordered vertex sequence.
-  BfsResult layers = plain_bfs(g, src, bans);
+  // Pass 1: hop distances and a layer-ordered vertex sequence. Uses the
+  // naive BFS so this function stays an implementation-independent
+  // reference for the fused kernel.
+  BfsResult layers = plain_bfs_reference(g, src, bans);
 
   CanonicalSp sp;
   sp.hops = std::move(layers.dist);

@@ -65,12 +65,15 @@ struct BfsBans {
   }
 };
 
-/// Result of a plain hop-count BFS.
+/// Result of a plain hop-count BFS. Deterministic contract (shared with the
+/// direction-optimizing kernel in bfs_kernel.hpp): `order` lists the source,
+/// then each level's vertices ascending by id; `parent[v]` is the
+/// minimum-id admissible neighbor of v in the previous level.
 struct BfsResult {
   std::vector<std::int32_t> dist;     // kInfHops if unreachable
   std::vector<Vertex> parent;         // kInvalidVertex at source/unreached
   std::vector<EdgeId> parent_edge;    // kInvalidEdge at source/unreached
-  /// Vertices in dequeue order (source first); unreachable ones excluded.
+  /// Vertices level by level (source first); unreachable ones excluded.
   std::vector<Vertex> order;
 
   bool reachable(Vertex v) const {
@@ -78,8 +81,17 @@ struct BfsResult {
   }
 };
 
-/// Plain BFS from `src` honoring `bans`. O(n + m).
+/// Plain BFS from `src` honoring `bans`. O(n + m). Compatibility wrapper
+/// over the direction-optimizing kernel (bfs_kernel.hpp): runs on a
+/// per-thread scratch arena and materializes a BfsResult. Hot loops should
+/// use bfs_run + BfsScratch directly and skip the materialization.
 BfsResult plain_bfs(const Graph& g, Vertex src, const BfsBans& bans = {});
+
+/// The naive queue-based implementation of the same contract. Kept as the
+/// independent differential-testing baseline for the kernel and as the
+/// "naive kernel" leg of the perf benches.
+BfsResult plain_bfs_reference(const Graph& g, Vertex src,
+                              const BfsBans& bans = {});
 
 /// Canonical ((hops, Σw)-lexicographic) single-source shortest paths.
 struct CanonicalSp {
@@ -103,6 +115,10 @@ struct CanonicalSp {
 };
 
 /// Computes the canonical shortest-path tree from `src` in G minus bans.
+/// This is the two-pass reference implementation (layered BFS + relaxation
+/// sweep), kept independent of the fused kernel (canonical_sp_run in
+/// bfs_kernel.hpp) for differential testing; cold callers that want a
+/// materialized CanonicalSp use it directly.
 CanonicalSp canonical_sp(const Graph& g, const EdgeWeights& weights,
                          Vertex src, const BfsBans& bans = {});
 

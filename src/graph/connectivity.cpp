@@ -2,7 +2,33 @@
 
 #include <algorithm>
 
+#include "src/graph/bfs_kernel.hpp"
+
 namespace ftb {
+
+std::vector<std::int32_t> component_labels(const Graph& g) {
+  const std::size_t n = static_cast<std::size_t>(g.num_vertices());
+  std::vector<std::int32_t> label(n, -1);
+  BfsScratch scratch;  // one arena reused across components
+  std::int32_t next = 0;
+  for (Vertex root = 0; root < g.num_vertices(); ++root) {
+    if (label[static_cast<std::size_t>(root)] != -1) continue;
+    bfs_run(g, root, BfsBans{}, scratch);
+    for (const Vertex v : scratch.order()) {
+      label[static_cast<std::size_t>(v)] = next;
+    }
+    ++next;
+  }
+  return label;
+}
+
+bool is_connected(const Graph& g) {
+  if (g.num_vertices() <= 1) return true;
+  BfsScratch scratch;
+  bfs_run(g, 0, BfsBans{}, scratch);
+  return scratch.order().size() ==
+         static_cast<std::size_t>(g.num_vertices());
+}
 
 ConnectivityReport analyze_connectivity(const Graph& g) {
   const std::size_t n = static_cast<std::size_t>(g.num_vertices());

@@ -39,4 +39,12 @@ struct ConnectivityReport {
 /// O(n + m) DFS lowlink computation (iterative; deep graphs safe).
 ConnectivityReport analyze_connectivity(const Graph& g);
 
+/// Per-vertex component labels in [0, #components), via the BFS kernel
+/// (one scratch-arena traversal per component; labels match
+/// analyze_connectivity().component). O(n + m).
+std::vector<std::int32_t> component_labels(const Graph& g);
+
+/// True iff G is connected (n ≤ 1 counts as connected). O(n + m).
+bool is_connected(const Graph& g);
+
 }  // namespace ftb

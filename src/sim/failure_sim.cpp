@@ -4,6 +4,7 @@
 #include <limits>
 #include <sstream>
 
+#include "src/graph/bfs_kernel.hpp"
 #include "src/graph/canonical_bfs.hpp"
 
 namespace ftb {
@@ -38,15 +39,16 @@ DrillReport run_failure_drill(const FtBfsStructure& h,
   DrillReport report;
   double dist_sum = 0;
   std::int64_t dist_count = 0;
+  BfsScratch in_g, in_h;  // reused across drills — zero per-drill allocation
   for (const EdgeId failed : prone) {
     ++report.drills;
     BfsBans bans;
     bans.banned_edge = failed;
-    const std::vector<std::int32_t> dist_g = plain_bfs(g, s, bans).dist;
-    const std::vector<std::int32_t> dist_h = h.distances_avoiding(failed);
+    bfs_run(g, s, bans, in_g);
+    h.distances_avoiding(failed, in_h);
     for (Vertex v = 0; v < g.num_vertices(); ++v) {
-      const std::int32_t dg = dist_g[static_cast<std::size_t>(v)];
-      const std::int32_t dh = dist_h[static_cast<std::size_t>(v)];
+      const std::int32_t dg = in_g.dist(v);
+      const std::int32_t dh = in_h.dist(v);
       if (dg >= kInfHops) {
         ++report.disconnections;
         continue;
