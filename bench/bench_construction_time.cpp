@@ -7,9 +7,11 @@
 //
 // Before the registered benchmarks run, main() performs the kernel
 // speedup measurement (reference queue-BFS engine vs direction-optimizing
-// scratch-arena engine), asserts that both produce byte-identical FT-BFS
-// edge sets on every bench seed, and writes the machine-readable
-// BENCH_construction.json for cross-PR perf tracking.
+// scratch-arena engine) for BOTH fault models of the unified S0 engine,
+// asserts that reference and optimized kernels produce byte-identical
+// FT-BFS edge sets on every bench seed (edge AND vertex structures), and
+// writes the machine-readable BENCH_construction.json — including a
+// per-seed vertex-fault row — for cross-PR perf tracking.
 // FTBFS_N scales the measurement (default 2000); FTBFS_SKIP_SPEEDUP=1
 // skips it.
 #include <benchmark/benchmark.h>
@@ -21,6 +23,7 @@
 #include "src/core/epsilon_ftbfs.hpp"
 #include "src/core/ftbfs.hpp"
 #include "src/core/replacement.hpp"
+#include "src/core/vertex_ftbfs.hpp"
 
 using namespace ftb;
 
@@ -40,6 +43,22 @@ void BM_EngineBuild(benchmark::State& state) {
   state.counters["m"] = static_cast<double>(g.num_edges());
 }
 BENCHMARK(BM_EngineBuild)->Arg(128)->Arg(256)->Arg(512)->Arg(1024)
+    ->Unit(benchmark::kMillisecond)->Complexity(benchmark::oN);
+
+void BM_VertexEngineBuild(benchmark::State& state) {
+  const Vertex n = static_cast<Vertex>(state.range(0));
+  const Graph g = bench::dense_random(n, 3);
+  const EdgeWeights w = EdgeWeights::uniform_random(g, 3);
+  const BfsTree tree(g, w, 0);
+  for (auto _ : state) {
+    VertexReplacementEngine engine(tree);
+    benchmark::DoNotOptimize(engine.stats().pairs_total);
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n) * g.num_edges());
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["m"] = static_cast<double>(g.num_edges());
+}
+BENCHMARK(BM_VertexEngineBuild)->Arg(128)->Arg(256)->Arg(512)->Arg(1024)
     ->Unit(benchmark::kMillisecond)->Complexity(benchmark::oN);
 
 void BM_EngineBuildReferenceKernel(benchmark::State& state) {
@@ -134,8 +153,12 @@ bool run_speedup_report() {
                 "dense_random n=" + std::to_string(n) + ", eps=1/3");
 
   // Byte-identical structure check on every seed the benches in this
-  // harness use, at a size where the reference is still fast.
+  // harness use, at a size where the reference is still fast — for BOTH
+  // fault models, so the unified engine's two instantiations are each
+  // pinned to their reference kernels. Per-seed vertex rows feed the JSON
+  // trajectory below.
   bool identical = true;
+  bench::JsonArray vertex_rows;
   for (const std::uint64_t seed : {3ULL, 5ULL, 7ULL, 11ULL, 13ULL}) {
     const Graph g = bench::dense_random(512, seed);
     EpsilonOptions ref_opts, opt_opts;
@@ -148,8 +171,29 @@ bool run_speedup_report() {
       identical = false;
       std::cout << "!!! edge-set mismatch at seed " << seed << "\n";
     }
+    VertexFtBfsOptions vref, vopt;
+    vref.reference_kernel = true;
+    Timer vt;
+    const FtBfsStructure va = build_vertex_ftbfs(g, 0, vref);
+    const double vsec_ref = vt.seconds();
+    vt.restart();
+    const FtBfsStructure vb = build_vertex_ftbfs(g, 0, vopt);
+    const double vsec_opt = vt.seconds();
+    const bool videntical = va.edges() == vb.edges();
+    if (!videntical) {
+      identical = false;
+      std::cout << "!!! vertex edge-set mismatch at seed " << seed << "\n";
+    }
+    bench::JsonObject row;
+    row.set("seed", static_cast<std::int64_t>(seed))
+        .set("edges_in_H", vb.num_edges())
+        .set("reference_s", vsec_ref)
+        .set("optimized_s", vsec_opt)
+        .set("edge_sets_identical", videntical);
+    vertex_rows.push(row);
   }
-  std::cout << "edge sets identical across seeds {3,5,7,11,13}: "
+  std::cout << "edge+vertex structures identical across seeds "
+               "{3,5,7,11,13}: "
             << (identical ? "yes" : "NO") << "\n";
 
   // The headline measurement.
@@ -164,6 +208,19 @@ bool run_speedup_report() {
   ReplacementPathEngine::Stats ref_stats, opt_stats;
   const double sec_ref = time_engine(tree, /*reference=*/true, &ref_stats);
   const double sec_opt = time_engine(tree, /*reference=*/false, &opt_stats);
+
+  // The vertex-fault instantiation of the same engine, on the same tree.
+  const auto time_vertex_engine = [&](bool reference) {
+    VertexReplacementEngine::Config cfg;
+    cfg.reference_kernel = reference;
+    Timer vt;
+    const VertexReplacementEngine engine(tree, cfg);
+    const double sec = vt.seconds();
+    benchmark::DoNotOptimize(engine.stats().pairs_total);
+    return sec;
+  };
+  const double vsec_ref = time_vertex_engine(/*reference=*/true);
+  const double vsec_opt = time_vertex_engine(/*reference=*/false);
 
   EpsilonOptions ref_opts, opt_opts;
   ref_opts.eps = opt_opts.eps = eps;
@@ -187,6 +244,7 @@ bool run_speedup_report() {
          ref_stats.seconds_dist_tables / opt_stats.seconds_dist_tables);
   tb.row("detours", ref_stats.seconds_detours, opt_stats.seconds_detours,
          ref_stats.seconds_detours / opt_stats.seconds_detours);
+  tb.row("vertex_engine", vsec_ref, vsec_opt, vsec_ref / vsec_opt);
   tb.row("eps_construction", sec_full_ref, sec_full_opt,
          sec_full_ref / sec_full_opt);
   tb.print(std::cout);
@@ -198,6 +256,8 @@ bool run_speedup_report() {
       .set("dist_tables_optimized_s", opt_stats.seconds_dist_tables)
       .set("detours_reference_s", ref_stats.seconds_detours)
       .set("detours_optimized_s", opt_stats.seconds_detours)
+      .set("vertex_engine_reference_s", vsec_ref)
+      .set("vertex_engine_optimized_s", vsec_opt)
       .set("construction_reference_s", sec_full_ref)
       .set("construction_optimized_s", sec_full_opt)
       .set("s1_s", full_opt.stats.seconds_s1)
@@ -215,11 +275,15 @@ bool run_speedup_report() {
       .set("backup_edges", full_opt.stats.backup)
       .set("reinforced_edges", full_opt.stats.reinforced)
       .set("speedup_engine", sec_ref / sec_opt)
+      .set("speedup_vertex_engine", vsec_ref / vsec_opt)
       .set("speedup_construction", sec_full_ref / sec_full_opt)
+      .set_raw("vertex_per_seed", vertex_rows.str(2))
       .set("edge_sets_identical", identical && full_identical);
   bench::write_json_file("BENCH_construction.json", report);
   std::cout << "engine speedup: " << sec_ref / sec_opt
-            << "x, construction speedup: " << sec_full_ref / sec_full_opt
+            << "x (edge), " << vsec_ref / vsec_opt
+            << "x (vertex), construction speedup: "
+            << sec_full_ref / sec_full_opt
             << "x  (BENCH_construction.json written)\n\n";
   return identical && full_identical;
 }

@@ -10,6 +10,8 @@
 // (weak: redundancy spreads cost thin).
 //
 //   ./bench_economics [--n=1500]
+#include <algorithm>
+
 #include "bench/bench_util.hpp"
 #include "src/core/analysis.hpp"
 

@@ -98,6 +98,37 @@ class JsonObject {
   std::vector<std::pair<std::string, std::string>> kv_;
 };
 
+/// Companion array builder (e.g. per-seed rows); nests via JsonObject::
+/// set_raw(key, arr.str(indent)).
+class JsonArray {
+ public:
+  JsonArray& push(const JsonObject& obj) {
+    items_.push_back(obj.str(4));
+    return *this;
+  }
+  JsonArray& push_raw(const std::string& json) {
+    items_.push_back(json);
+    return *this;
+  }
+
+  std::string str(int indent = 0) const {
+    if (items_.empty()) return "[]";
+    const std::string pad(static_cast<std::size_t>(indent) + 2, ' ');
+    std::ostringstream os;
+    os << "[\n";
+    for (std::size_t i = 0; i < items_.size(); ++i) {
+      os << pad << items_[i];
+      if (i + 1 < items_.size()) os << ",";
+      os << "\n";
+    }
+    os << std::string(static_cast<std::size_t>(indent), ' ') << "]";
+    return os.str();
+  }
+
+ private:
+  std::vector<std::string> items_;
+};
+
 inline void write_json_file(const std::string& path, const JsonObject& obj) {
   std::ofstream out(path);
   out << obj.str() << "\n";

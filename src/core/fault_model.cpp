@@ -1,4 +1,8 @@
-#include "src/core/replacement.hpp"
+// fault_model.cpp — the single S0 engine body, instantiated once per fault
+// model. This is the file the two historical engines (replacement.cpp and
+// the engine half of vertex_ftbfs.cpp) collapsed into; the policy hooks in
+// fault_model.hpp are the only thing that differs between the models.
+#include "src/core/fault_model.hpp"
 
 #include <algorithm>
 
@@ -33,7 +37,9 @@ struct DetourCandidate {
 
 }  // namespace
 
-ReplacementPathEngine::ReplacementPathEngine(const BfsTree& tree, Config cfg)
+template <class Model>
+FaultReplacementEngine<Model>::FaultReplacementEngine(const BfsTree& tree,
+                                                      Config cfg)
     : tree_(&tree), cfg_(cfg) {
   ThreadPool& pool = cfg_.pool != nullptr ? *cfg_.pool : ThreadPool::global();
   Timer t;
@@ -44,103 +50,131 @@ ReplacementPathEngine::ReplacementPathEngine(const BfsTree& tree, Config cfg)
   stats_.seconds_detours = t.seconds();
 }
 
-void ReplacementPathEngine::build_dist_tables(ThreadPool& pool) {
+template <class Model>
+void FaultReplacementEngine<Model>::build_dist_tables(ThreadPool& pool) {
   const Graph& g = graph();
   const std::size_t n = static_cast<std::size_t>(g.num_vertices());
 
+  // Row v holds the failures of the positions [kFirstPos, depth(v)) of
+  // π(s,v) — depth(v) rows for edge faults, depth(v)−1 for vertex faults
+  // (the source and the terminal itself never seed a row).
   row_offset_.assign(n + 1, 0);
   for (std::size_t v = 0; v < n; ++v) {
     const std::int32_t d = tree_->depth(static_cast<Vertex>(v));
-    row_offset_[v + 1] = row_offset_[v] + (d >= kInfHops ? 0 : d);
+    const std::int32_t k =
+        d >= kInfHops ? 0 : std::max<std::int32_t>(0, d - Model::kFirstPos);
+    row_offset_[v + 1] = row_offset_[v] + k;
   }
-  dist_rows_.assign(static_cast<std::size_t>(row_offset_[n]), kInfHops);
-  stats_.pairs_total = static_cast<std::int64_t>(dist_rows_.size());
+  rows_.assign(static_cast<std::size_t>(row_offset_[n]), kInfHops);
+  stats_.pairs_total = static_cast<std::int64_t>(rows_.size());
 
-  // One replacement-distance computation per tree edge; fill the row slot
-  // of every vertex below e. Rows of different edges write disjoint slots,
-  // so the loop is safely parallel. The per-thread scratch arenas make a
-  // steady-state iteration allocation-free.
-  const auto& tree_edges = tree_->tree_edges();
-  pool.parallel_for(tree_edges.size(), [&](std::size_t idx) {
-    const EdgeId e = tree_edges[idx];
-    const Vertex low = tree_->lower_endpoint(e);
-    const std::int32_t pos = tree_->edge_depth(e) - 1;
-    const auto affected = tree_->subtree(low);
+  // One replacement-distance computation per fault site; fill the row slot
+  // of every vertex below the fault. Sites are the non-source preorder
+  // vertices u: the edge model fails u's parent edge, the vertex model
+  // fails u itself (skipping leaves, which have no strict descendants).
+  // Rows of different faults write disjoint slots, so the loop is safely
+  // parallel. The per-thread scratch arenas make a steady-state iteration
+  // allocation-free.
+  const auto pre = tree_->preorder();
+  pool.parallel_for(pre.size(), [&](std::size_t idx) {
+    const Vertex u = pre[idx];
+    if (u == tree_->source()) return;
+    if (!Model::site_active(*tree_, u)) return;
+    const FaultId fault = Model::site_fault(*tree_, u);
+    const std::int32_t row = tree_->depth(u) - 1;  // == pos − kFirstPos
+    const auto affected = tree_->subtree(u);
     auto row_slot = [&](Vertex v) -> std::int32_t& {
-      return dist_rows_[static_cast<std::size_t>(
-          row_offset_[static_cast<std::size_t>(v)] + pos)];
+      return rows_[static_cast<std::size_t>(
+          row_offset_[static_cast<std::size_t>(v)] + row)];
     };
     if (cfg_.reference_kernel) {
+      thread_local std::vector<std::uint8_t> mask;
       BfsBans bans;
-      bans.banned_edge = e;
+      Model::ban(fault, bans, mask, n);
       const BfsResult res = plain_bfs_reference(g, tree_->source(), bans);
       for (const Vertex v : affected) {
+        if (Model::kSkipFailedSite && v == u) continue;
         row_slot(v) = res.dist[static_cast<std::size_t>(v)];
       }
+      Model::unban(fault, mask);
     } else if (cfg_.incremental_dist) {
       thread_local ReplacementSweepScratch sweep;
-      replacement_dist_sweep(*tree_, e, kInvalidVertex, affected, sweep);
-      for (const Vertex v : affected) row_slot(v) = sweep.dist(v);
+      replacement_dist_sweep(*tree_, Model::sweep_banned_edge(fault),
+                             Model::sweep_banned_vertex(fault), affected,
+                             sweep);
+      for (const Vertex v : affected) {
+        if (Model::kSkipFailedSite && v == u) continue;
+        row_slot(v) = sweep.dist(v);
+      }
     } else {
+      thread_local std::vector<std::uint8_t> mask;
       thread_local BfsScratch scratch;
       BfsBans bans;
-      bans.banned_edge = e;
+      Model::ban(fault, bans, mask, n);
       bfs_run(g, tree_->source(), bans, scratch);
-      for (const Vertex v : affected) row_slot(v) = scratch.dist(v);
+      for (const Vertex v : affected) {
+        if (Model::kSkipFailedSite && v == u) continue;
+        row_slot(v) = scratch.dist(v);
+      }
+      Model::unban(fault, mask);
     }
   });
 }
 
-std::int32_t ReplacementPathEngine::replacement_dist(Vertex v, EdgeId e) const {
+template <class Model>
+std::int32_t FaultReplacementEngine<Model>::replacement_dist(
+    Vertex v, FaultId fault) const {
+  Model::validate_query(*tree_, fault);
   if (!tree_->reachable(v)) return kInfHops;
-  if (!tree_->is_tree_edge(e) || !tree_->on_source_path(e, v)) {
+  if (Model::hits_terminal(v, fault)) return kInfHops;
+  if (!Model::on_path(*tree_, fault, v)) {
     return tree_->depth(v);  // π(s,v) survives the failure
   }
-  return table_dist(v, tree_->edge_depth(e) - 1);
+  return table_dist(v, Model::fault_pos(*tree_, fault));
 }
 
 namespace {
 
 /// Shared per-vertex computation result before flattening.
+template <class Pair>
 struct VertexPairs {
-  std::vector<UncoveredPair> pairs;     // ordered by edge position
-  std::vector<Vertex> detour_storage;   // concatenated detours
+  std::vector<Pair> pairs;             // ordered by fault position
+  std::vector<Vertex> detour_storage;  // concatenated detours
   std::int64_t covered = 0;
   std::int64_t infinite = 0;
 };
 
 }  // namespace
 
-void ReplacementPathEngine::build_pairs(ThreadPool& pool) {
+template <class Model>
+void FaultReplacementEngine<Model>::build_pairs(ThreadPool& pool) {
   const Graph& g = graph();
   const EdgeWeights& W = tree_->weights();
   const std::size_t n = static_cast<std::size_t>(g.num_vertices());
 
-  std::vector<VertexPairs> per_vertex(n);
+  std::vector<VertexPairs<Pair>> per_vertex(n);
 
   // Pre-classification: covered / infinite tests touch only the phase-1
   // distance tables, so they run before (and usually instead of) the
   // per-vertex off-path BFS — a vertex whose pairs are all covered or
   // disconnecting skips the O(n + m) canonical traversal entirely.
-  auto classify = [&](Vertex v, std::int32_t k, VertexPairs& out,
-                      const std::vector<Vertex>& path,
+  auto classify = [&](Vertex v, std::int32_t k, VertexPairs<Pair>& out,
                       std::vector<std::int32_t>& uncovered_pos) {
     uncovered_pos.clear();
-    for (std::int32_t i = 0; i < k; ++i) {
+    for (std::int32_t i = Model::kFirstPos; i < k; ++i) {
       const std::int32_t rd = table_dist(v, i);
       if (rd >= kInfHops) {
         ++out.infinite;
         continue;
       }
-      const EdgeId e =
-          tree_->parent_edge(path[static_cast<std::size_t>(i) + 1]);
-      // Covered test: some T0-neighbor u of v, edge (u,v) ≠ e, with
-      // dist_e(u) + 1 == dist_e(v).
+      // Covered test: some surviving T0-neighbor u of v with
+      // dist_f(u) + 1 == dist_f(v). The parent row exists (and the parent
+      // survives) exactly when the fault sits strictly above position k−1
+      // — for edges that means the fault is not v's parent edge, for
+      // vertices that it is not the parent itself.
       bool is_covered = false;
       const Vertex parent = tree_->parent(v);
-      if (parent != kInvalidVertex && tree_->parent_edge(v) != e) {
-        // e is strictly above v's parent edge here (e ∈ π(s,v) and ≠
-        // parent edge), so e ∈ π(s,parent) and the row exists.
+      if (parent != kInvalidVertex && i + 1 < k) {
         if (table_dist(parent, i) + 1 == rd) is_covered = true;
       }
       if (!is_covered) {
@@ -162,16 +196,18 @@ void ReplacementPathEngine::build_pairs(ThreadPool& pool) {
   // The per-vertex detour body, generic over the canonical-SP view
   // (reference or scratch kernel) so both code paths share one
   // implementation.
-  auto process = [&](Vertex v, VertexPairs& out,
+  auto process = [&](Vertex v, VertexPairs<Pair>& out,
                      const std::vector<Vertex>& path,
                      const std::vector<std::uint8_t>& banned,
                      const std::vector<std::int32_t>& uncovered_pos,
                      const auto& dv) {
     // detlen(j): cheapest detour from u_j to v through off-path space,
     // excluding the tree edge (u_{k-1}, v) (which can only be proposed when
-    // it is itself the failing edge; see DESIGN.md). Candidates are only
-    // ever consumed at divergence depths ≤ the deepest uncovered position.
-    const std::int32_t jmax = uncovered_pos.back();
+    // it is itself the failing edge; see DESIGN.md — and which is
+    // unreachable anyway for vertex faults, where j ≤ i−1 ≤ k−2).
+    // Candidates are only ever consumed at divergence depths ≤
+    // max_diverge(deepest uncovered position).
+    const std::int32_t jmax = uncovered_pos.back() - Model::kDivergeGap;
     const EdgeId parent_e = tree_->parent_edge(v);
     thread_local std::vector<DetourCandidate> det;
     det.assign(static_cast<std::size_t>(jmax) + 1, DetourCandidate{});
@@ -209,12 +245,10 @@ void ReplacementPathEngine::build_pairs(ThreadPool& pool) {
     // already filtered the covered / disconnecting ones).
     for (const std::int32_t i : uncovered_pos) {
       const std::int32_t rd = table_dist(v, i);
-      const EdgeId e =
-          tree_->parent_edge(path[static_cast<std::size_t>(i) + 1]);
 
       // New-ending pair: divergence point as close to s as possible.
       std::int32_t jstar = -1;
-      for (std::int32_t j = 0; j <= i; ++j) {
+      for (std::int32_t j = 0; j <= i - Model::kDivergeGap; ++j) {
         const DetourCandidate& c = det[static_cast<std::size_t>(j)];
         if (c.valid() && j + c.hops == rd) {
           jstar = j;
@@ -227,10 +261,9 @@ void ReplacementPathEngine::build_pairs(ThreadPool& pool) {
                         << v << ", pos=" << i << ", rd=" << rd << ")");
       const DetourCandidate& c = det[static_cast<std::size_t>(jstar)];
 
-      UncoveredPair p;
+      Pair p;
       p.v = v;
-      p.e = e;
-      p.edge_pos = i;
+      Model::set_fault(p, Model::fault_at(*tree_, path, i), i);
       p.rep_dist = rd;
       p.diverge = path[static_cast<std::size_t>(jstar)];
       p.diverge_depth = jstar;
@@ -260,8 +293,9 @@ void ReplacementPathEngine::build_pairs(ThreadPool& pool) {
   pool.parallel_for(n, [&](std::size_t vi) {
     const Vertex v = static_cast<Vertex>(vi);
     const std::int32_t k = tree_->depth(v);
-    if (k <= 0 || k >= kInfHops) return;  // source or unreachable
-    VertexPairs& out = per_vertex[vi];
+    // No failing positions: source/too-shallow or unreachable terminals.
+    if (k <= Model::kFirstPos || k >= kInfHops) return;
+    VertexPairs<Pair>& out = per_vertex[vi];
 
     // π(s,v) = u_0..u_k into a reusable buffer.
     thread_local std::vector<Vertex> path;
@@ -273,7 +307,7 @@ void ReplacementPathEngine::build_pairs(ThreadPool& pool) {
 
     thread_local std::vector<std::int32_t> uncovered_pos;
     if (!cfg_.reference_kernel) {
-      classify(v, k, out, path, uncovered_pos);
+      classify(v, k, out, uncovered_pos);
       if (uncovered_pos.empty()) return;  // no off-path BFS needed
     }
 
@@ -290,13 +324,13 @@ void ReplacementPathEngine::build_pairs(ThreadPool& pool) {
     if (cfg_.reference_kernel) {
       // Seed pipeline order: one unconditional off-path BFS per vertex.
       const CanonicalSp dv = canonical_sp(g, W, v, bans);
-      classify(v, k, out, path, uncovered_pos);
+      classify(v, k, out, uncovered_pos);
       if (!uncovered_pos.empty()) {
         process(v, out, path, banned, uncovered_pos, CanonicalSpRefView{&dv});
       }
     } else {
       // Detour labels beyond max_rd − 1 hops can never match a failing
-      // edge's replacement distance, so the off-path traversal is capped
+      // fault's replacement distance, so the off-path traversal is capped
       // there (see canonical_sp_run).
       std::int32_t max_rd = 0;
       for (const std::int32_t i : uncovered_pos) {
@@ -304,7 +338,8 @@ void ReplacementPathEngine::build_pairs(ThreadPool& pool) {
       }
       thread_local CanonicalSpScratch sps;
       canonical_sp_run(g, W, v, bans, sps, max_rd - 1);
-      process(v, out, path, banned, uncovered_pos, CanonicalSpScratchView{&sps});
+      process(v, out, path, banned, uncovered_pos,
+              CanonicalSpScratchView{&sps});
     }
 
     // Reset the thread-local mask for the next vertex on this thread.
@@ -320,12 +355,12 @@ void ReplacementPathEngine::build_pairs(ThreadPool& pool) {
   detour_arena_.clear();
   pairs_offset_.assign(n + 1, 0);
   for (std::size_t vi = 0; vi < n; ++vi) {
-    const VertexPairs& src = per_vertex[vi];
+    const VertexPairs<Pair>& src = per_vertex[vi];
     stats_.pairs_covered += src.covered;
     stats_.pairs_infinite += src.infinite;
     const std::int64_t arena_base =
         static_cast<std::int64_t>(detour_arena_.size());
-    for (UncoveredPair p : src.pairs) {
+    for (Pair p : src.pairs) {
       p.detour_begin += arena_base;
       p.detour_end += arena_base;
       pair_ids_.push_back(static_cast<std::int32_t>(pairs_.size()));
@@ -339,27 +374,32 @@ void ReplacementPathEngine::build_pairs(ThreadPool& pool) {
   stats_.detour_vertices = static_cast<std::int64_t>(detour_arena_.size());
 }
 
-std::span<const std::int32_t> ReplacementPathEngine::uncovered_of(
+template <class Model>
+std::span<const std::int32_t> FaultReplacementEngine<Model>::uncovered_of(
     Vertex v) const {
   const std::size_t vi = static_cast<std::size_t>(v);
   return {pair_ids_.data() + pairs_offset_[vi],
           pair_ids_.data() + pairs_offset_[vi + 1]};
 }
 
-std::span<const Vertex> ReplacementPathEngine::detour(
-    const UncoveredPair& p) const {
+template <class Model>
+std::span<const Vertex> FaultReplacementEngine<Model>::detour(
+    const Pair& p) const {
   FTB_CHECK_MSG(cfg_.collect_detours, "detours were not collected");
   return {detour_arena_.data() + p.detour_begin,
           detour_arena_.data() + p.detour_end};
 }
 
-bool ReplacementPathEngine::covered(Vertex v, EdgeId e) const {
-  FTB_CHECK(tree_->reachable(v) && tree_->on_source_path(e, v));
-  const std::int32_t pos = tree_->edge_depth(e) - 1;
+template <class Model>
+bool FaultReplacementEngine<Model>::covered(Vertex v, FaultId fault) const {
+  FTB_CHECK(tree_->reachable(v) && !Model::hits_terminal(v, fault) &&
+            Model::on_path(*tree_, fault, v));
+  const std::int32_t pos = Model::fault_pos(*tree_, fault);
   const std::int32_t rd = table_dist(v, pos);
   FTB_CHECK_MSG(rd < kInfHops, "covered() on a disconnecting failure");
+  const std::int32_t k = tree_->depth(v);
   const Vertex parent = tree_->parent(v);
-  if (parent != kInvalidVertex && tree_->parent_edge(v) != e) {
+  if (parent != kInvalidVertex && pos + 1 < k) {
     if (table_dist(parent, pos) + 1 == rd) return true;
   }
   for (const Vertex c : tree_->children(v)) {
@@ -368,27 +408,29 @@ bool ReplacementPathEngine::covered(Vertex v, EdgeId e) const {
   return false;
 }
 
-std::vector<Vertex> ReplacementPathEngine::replacement_path(Vertex v,
-                                                            EdgeId e) const {
-  FTB_CHECK(tree_->reachable(v));
-  if (!tree_->is_tree_edge(e) || !tree_->on_source_path(e, v)) {
+template <class Model>
+std::vector<Vertex> FaultReplacementEngine<Model>::replacement_path(
+    Vertex v, FaultId fault) const {
+  Model::validate_query(*tree_, fault);
+  FTB_CHECK(tree_->reachable(v) && !Model::hits_terminal(v, fault));
+  if (!Model::on_path(*tree_, fault, v)) {
     return tree_->path_from_source(v);  // π(s,v) is itself a replacement path
   }
-  const std::int32_t rd = replacement_dist(v, e);
+  const std::int32_t rd = replacement_dist(v, fault);
   FTB_CHECK_MSG(rd < kInfHops, "no replacement path: failure disconnects v");
 
   // Uncovered pair? Use the stored canonical metadata.
   for (const std::int32_t id : uncovered_of(v)) {
-    const UncoveredPair& p = pairs_[static_cast<std::size_t>(id)];
-    if (p.e != e) continue;
+    const Pair& p = pairs_[static_cast<std::size_t>(id)];
+    if (Model::fault_of(p) != fault) continue;
     std::vector<Vertex> out = tree_->path_from_source(p.diverge);
     const auto det = detour(p);
     out.insert(out.end(), det.begin() + 1, det.end());
     return out;
   }
 
-  // Covered pair: canonical shortest path in G'(v) \ {e}, where G'(v) keeps
-  // only v's tree edges among v's incident edges.
+  // Covered pair: canonical shortest path in G'(v) minus the fault, where
+  // G'(v) keeps only v's tree edges among v's incident edges.
   const Graph& g = graph();
   std::vector<std::uint8_t> edge_mask(static_cast<std::size_t>(g.num_edges()),
                                       0);
@@ -400,12 +442,17 @@ std::vector<Vertex> ReplacementPathEngine::replacement_path(Vertex v,
   }
   BfsBans bans;
   bans.banned_edge_mask = &edge_mask;
-  bans.banned_edge = e;
-  const CanonicalSp sp = canonical_sp(g, tree_->weights(), tree_->source(), bans);
-  FTB_CHECK_MSG(sp.reachable(v) &&
-                    sp.hops[static_cast<std::size_t>(v)] == rd,
+  std::vector<std::uint8_t> vertex_mask;
+  Model::ban(fault, bans, vertex_mask,
+             static_cast<std::size_t>(g.num_vertices()));
+  const CanonicalSp sp =
+      canonical_sp(g, tree_->weights(), tree_->source(), bans);
+  FTB_CHECK_MSG(sp.reachable(v) && sp.hops[static_cast<std::size_t>(v)] == rd,
                 "covered pair reconstruction does not match the G'(v) test");
   return sp.path_from_source(v);
 }
+
+template class FaultReplacementEngine<EdgeFault>;
+template class FaultReplacementEngine<VertexFault>;
 
 }  // namespace ftb

@@ -1,0 +1,338 @@
+// fault_model.hpp — the fault-model policy layer behind Phase S0.
+//
+// The paper's companion setting (Parter–Peleg ESA'13) treats edge and
+// vertex faults with the same machinery, and every construction in this
+// library consumes the same S0 artifacts either way: per-failure distance
+// tables, the covered/uncovered classification, and the canonical
+// divergence/detour metadata of the uncovered pairs. The two historical
+// engines (ReplacementPathEngine for edge faults, VertexReplacementEngine
+// for vertex faults) were hand-copied forks of one pipeline differing only
+// in a handful of policy decisions. This header makes those decisions an
+// explicit, compile-time policy:
+//
+//   * FaultId            — what fails (EdgeId vs Vertex);
+//   * fault enumeration  — which tree sites seed a distance table (every
+//                          tree edge, keyed by its lower endpoint, vs every
+//                          internal tree vertex);
+//   * table seeding      — how dist_sweep / the BFS kernel exclude the
+//                          fault (banned edge vs banned-vertex mask);
+//   * position range     — which path positions i of π(s,v) = u_0..u_k can
+//                          fail (edges: i ∈ [0,k) for (u_i,u_{i+1});
+//                          vertices: i ∈ [1,k) for u_i, excluding s and v);
+//   * divergence range   — how close to the fault a canonical replacement
+//                          path may diverge (edges: j ≤ i; vertices:
+//                          j ≤ i−1, strictly above the failed vertex).
+//
+// FaultReplacementEngine<Model> (declared below, defined once in
+// fault_model.cpp) is the single S0 engine; replacement.hpp and
+// vertex_ftbfs.hpp alias it for the two models. A future fault model —
+// e.g. the dual-failure setting of the PAPERS.md follow-ups — is a new
+// policy struct, not a fork. docs/architecture.md walks through the
+// layering.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/core/structure.hpp"
+#include "src/graph/bfs_tree.hpp"
+#include "src/util/thread_pool.hpp"
+
+namespace ftb {
+
+/// An uncovered (new-ending) vertex-edge pair ⟨v,e⟩ ∈ UP with the canonical
+/// replacement-path metadata the constructions consume.
+struct UncoveredPair {
+  Vertex v = kInvalidVertex;   // terminal
+  EdgeId e = kInvalidEdge;     // failing edge, e ∈ π(s,v)
+  std::int32_t edge_pos = 0;   // e = (u_i, u_{i+1}) with i = edge_pos
+  std::int32_t rep_dist = 0;   // dist(s, v, G \ {e})
+  Vertex diverge = kInvalidVertex;  // d(P) = u_{j*}
+  std::int32_t diverge_depth = 0;   // j*
+  EdgeId last_edge = kInvalidEdge;  // LastE(P_{v,e}) ∉ T0, an edge into v
+  std::int32_t detour_len = 0;      // |D(P)| in edges
+  // Detour vertex list [diverge, ..., v]: slice of the engine's arena.
+  std::int64_t detour_begin = 0;
+  std::int64_t detour_end = 0;
+};
+
+/// An uncovered vertex-fault pair ⟨v, x⟩: terminal v, failing vertex
+/// x = u_i internal to π(s,v), whose canonical replacement path ends with
+/// a new (non-tree) edge.
+struct VertexFaultPair {
+  Vertex v = kInvalidVertex;        // terminal
+  Vertex x = kInvalidVertex;        // failing vertex, internal to π(s,v)
+  std::int32_t x_pos = 0;           // x = u_i with i = x_pos (1 ≤ i ≤ k−1)
+  std::int32_t rep_dist = 0;        // dist(s, v, G \ {x})
+  Vertex diverge = kInvalidVertex;  // u_{j*}, j* ≤ i−1
+  std::int32_t diverge_depth = 0;
+  EdgeId last_edge = kInvalidEdge;  // new-ending last edge into v
+  std::int32_t detour_len = 0;      // |D(P)| in edges
+  // Detour vertex list [diverge, ..., v] (when collected).
+  std::int64_t detour_begin = 0;
+  std::int64_t detour_end = 0;
+};
+
+/// Policy for single EDGE failures (the paper's primary model).
+struct EdgeFault {
+  using FaultId = EdgeId;
+  using Pair = UncoveredPair;
+  static constexpr FaultClass kClass = FaultClass::kEdge;
+  static constexpr FaultId kNoFault = kInvalidEdge;
+  /// First path position that can fail: edge (u_0, u_1) has position 0.
+  static constexpr std::int32_t kFirstPos = 0;
+  /// A replacement path for the failure at position i diverges at
+  /// j ≤ i − kDivergeGap.
+  static constexpr std::int32_t kDivergeGap = 0;
+  /// Whether the failed site vertex itself must be skipped when filling
+  /// distance-table rows over the affected subtree.
+  static constexpr bool kSkipFailedSite = false;
+
+  // ---- fault enumeration over the tree ---------------------------------
+  // Sites are keyed by non-source preorder vertices u; the edge model's
+  // fault at site u is u's parent edge (a bijection onto the tree edges).
+  static bool site_active(const BfsTree& t, Vertex u) {
+    (void)t;
+    (void)u;
+    return true;
+  }
+  static FaultId site_fault(const BfsTree& t, Vertex u) {
+    return t.parent_edge(u);
+  }
+
+  // ---- pair plumbing ----------------------------------------------------
+  static FaultId fault_at(const BfsTree& t, std::span<const Vertex> path,
+                          std::int32_t i) {
+    return t.parent_edge(path[static_cast<std::size_t>(i) + 1]);
+  }
+  static FaultId fault_of(const Pair& p) { return p.e; }
+  static std::int32_t pos_of(const Pair& p) { return p.edge_pos; }
+  static void set_fault(Pair& p, FaultId f, std::int32_t pos) {
+    p.e = f;
+    p.edge_pos = pos;
+  }
+
+  // ---- query-side geometry ----------------------------------------------
+  static void validate_query(const BfsTree& t, FaultId f) {
+    (void)t;
+    (void)f;
+  }
+  /// The fault destroys the terminal itself (only possible for vertices).
+  static bool hits_terminal(Vertex v, FaultId f) {
+    (void)v;
+    (void)f;
+    return false;
+  }
+  /// True iff the fault lies on π(s,v) — i.e. v has a stored table row.
+  static bool on_path(const BfsTree& t, FaultId f, Vertex v) {
+    return t.is_tree_edge(f) && t.on_source_path(f, v);
+  }
+  /// Path position of the fault (valid when on_path).
+  static std::int32_t fault_pos(const BfsTree& t, FaultId f) {
+    return t.edge_depth(f) - 1;
+  }
+
+  // ---- traversal bans ----------------------------------------------------
+  static void ban(FaultId f, BfsBans& bans, std::vector<std::uint8_t>& mask,
+                  std::size_t n) {
+    (void)mask;
+    (void)n;
+    bans.banned_edge = f;
+  }
+  static void unban(FaultId f, std::vector<std::uint8_t>& mask) {
+    (void)f;
+    (void)mask;
+  }
+  static EdgeId sweep_banned_edge(FaultId f) { return f; }
+  static Vertex sweep_banned_vertex(FaultId f) {
+    (void)f;
+    return kInvalidVertex;
+  }
+};
+
+/// Policy for single VERTEX failures (the companion ESA'13 setting).
+struct VertexFault {
+  using FaultId = Vertex;
+  using Pair = VertexFaultPair;
+  static constexpr FaultClass kClass = FaultClass::kVertex;
+  static constexpr FaultId kNoFault = kInvalidVertex;
+  /// Failing vertices are internal to π(s,v): positions i ∈ [1, k).
+  static constexpr std::int32_t kFirstPos = 1;
+  /// Divergence sits strictly above the failed vertex: j ≤ i − 1.
+  static constexpr std::int32_t kDivergeGap = 1;
+  /// subtree(x) contains x itself, whose own row does not exist.
+  static constexpr bool kSkipFailedSite = true;
+
+  // ---- fault enumeration over the tree ---------------------------------
+  // Site u fails as itself; only internal vertices (with strict
+  // descendants) seed a table.
+  static bool site_active(const BfsTree& t, Vertex u) {
+    return t.subtree_size(u) > 1;
+  }
+  static FaultId site_fault(const BfsTree& t, Vertex u) {
+    (void)t;
+    return u;
+  }
+
+  // ---- pair plumbing ----------------------------------------------------
+  static FaultId fault_at(const BfsTree& t, std::span<const Vertex> path,
+                          std::int32_t i) {
+    (void)t;
+    return path[static_cast<std::size_t>(i)];
+  }
+  static FaultId fault_of(const Pair& p) { return p.x; }
+  static std::int32_t pos_of(const Pair& p) { return p.x_pos; }
+  static void set_fault(Pair& p, FaultId f, std::int32_t pos) {
+    p.x = f;
+    p.x_pos = pos;
+  }
+
+  // ---- query-side geometry ----------------------------------------------
+  static void validate_query(const BfsTree& t, FaultId f) {
+    FTB_CHECK_MSG(f != t.source(), "the source never fails");
+  }
+  static bool hits_terminal(Vertex v, FaultId f) { return v == f; }
+  static bool on_path(const BfsTree& t, FaultId f, Vertex v) {
+    return t.reachable(f) && t.is_ancestor_or_equal(f, v);
+  }
+  static std::int32_t fault_pos(const BfsTree& t, FaultId f) {
+    return t.depth(f);
+  }
+
+  // ---- traversal bans ----------------------------------------------------
+  static void ban(FaultId f, BfsBans& bans, std::vector<std::uint8_t>& mask,
+                  std::size_t n) {
+    if (mask.size() < n) mask.assign(n, 0);
+    mask[static_cast<std::size_t>(f)] = 1;
+    bans.banned_vertex = &mask;
+  }
+  static void unban(FaultId f, std::vector<std::uint8_t>& mask) {
+    mask[static_cast<std::size_t>(f)] = 0;
+  }
+  static EdgeId sweep_banned_edge(FaultId f) {
+    (void)f;
+    return kInvalidEdge;
+  }
+  static Vertex sweep_banned_vertex(FaultId f) { return f; }
+};
+
+/// The single S0 engine, generic over the fault model. Construct once per
+/// (graph, source, weights); everything else reads from it.
+///
+/// Engine realization (see replacement.hpp's file comment and DESIGN.md for
+/// the equivalence proofs; everything below holds verbatim for both models
+/// with the policy hooks substituted):
+///   * one replacement-distance computation per fault site gives
+///     dist(s,·,G\{fault}); rows are stored only for vertices below the
+///     fault (pairs with the fault on π(s,v));
+///   * the covered test for ⟨v,fault⟩ reduces to: some T0-neighbor u of v,
+///     not destroyed by the fault, with dist_f(u) + 1 = dist_f(v);
+///   * one canonical BFS from v in the off-path graph
+///     H_v = G \ (V(π(s,v)) \ {v}) yields, for every divergence candidate
+///     u_j, the best detour length detlen(j) and its canonical last edge;
+///     the divergence point of the pair at position i is u_{j*} with
+///     j* = min{ j ≤ i − kDivergeGap : j + detlen(j) = dist_f(v) }.
+/// Both sweeps are O(n·m) total and run on the thread pool.
+template <class Model>
+class FaultReplacementEngine {
+ public:
+  using FaultId = typename Model::FaultId;
+  using Pair = typename Model::Pair;
+
+  struct Config {
+    /// Record detour vertex lists (needed by the interference machinery of
+    /// the ε algorithm and by replacement_path(); the ESA'13 baselines can
+    /// skip them).
+    bool collect_detours = true;
+    /// Worker pool; nullptr = ThreadPool::global().
+    ThreadPool* pool = nullptr;
+    /// Run the naive reference kernels (one full queue BFS per fault,
+    /// materializing two-pass canonical SP per vertex) instead of the
+    /// scratch-arena kernels. Differential-testing / bench baseline; the
+    /// produced tables and pairs are bit-identical either way.
+    bool reference_kernel = false;
+    /// Distance tables via the subtree-seeded replacement sweep
+    /// (dist_sweep.hpp) instead of one full kernel BFS per fault site.
+    /// Ignored under reference_kernel.
+    bool incremental_dist = true;
+  };
+
+  explicit FaultReplacementEngine(const BfsTree& tree)
+      : FaultReplacementEngine(tree, Config()) {}
+  FaultReplacementEngine(const BfsTree& tree, Config cfg);
+
+  const BfsTree& tree() const { return *tree_; }
+  const Graph& graph() const { return tree_->graph(); }
+
+  /// dist(s, v, G \ {fault}) for any vertex v and any fault. O(1):
+  ///  * fault not on π(s,v)  → dist(s,v,G) (π survives);
+  ///  * fault ∈ π(s,v)       → stored table row;
+  ///  * disconnected / fault destroys v itself → kInfHops.
+  /// Vertex model only: the source never fails (CheckError).
+  std::int32_t replacement_dist(Vertex v, FaultId fault) const;
+
+  /// All uncovered pairs, grouped by terminal v and ordered by increasing
+  /// fault position within each terminal.
+  const std::vector<Pair>& uncovered_pairs() const { return pairs_; }
+
+  /// Indices (into uncovered_pairs()) of v's pairs.
+  std::span<const std::int32_t> uncovered_of(Vertex v) const;
+
+  /// The detour D(P) = [diverge, ..., v] of an uncovered pair.
+  /// Requires Config::collect_detours.
+  std::span<const Vertex> detour(const Pair& p) const;
+
+  /// True iff pair ⟨v,fault⟩ has a replacement path whose last edge is in
+  /// T0 (the paper's G'(v) test). Preconditions: fault ∈ π(s,v), finite
+  /// replacement distance.
+  bool covered(Vertex v, FaultId fault) const;
+
+  /// Reconstructs a full canonical replacement path [s, ..., v] for any
+  /// pair with finite replacement distance. For uncovered pairs this is
+  /// π(s, u_{j*}) ∘ D(P) from stored metadata (requires collect_detours);
+  /// for covered pairs it runs a fresh canonical BFS in G'(v) minus the
+  /// fault (O(m); intended for tests/queries).
+  std::vector<Vertex> replacement_path(Vertex v, FaultId fault) const;
+
+  struct Stats {
+    std::int64_t pairs_total = 0;      // all ⟨v,fault⟩ with fault ∈ π(s,v)
+    std::int64_t pairs_infinite = 0;   // disconnecting failures
+    std::int64_t pairs_covered = 0;
+    std::int64_t pairs_uncovered = 0;
+    std::int64_t detour_vertices = 0;  // arena size
+    double seconds_dist_tables = 0;
+    double seconds_detours = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  void build_dist_tables(ThreadPool& pool);
+  void build_pairs(ThreadPool& pool);
+
+  /// Stored row index: the fault at path position i of π(s,v) lives at
+  /// rows_[row_offset_[v] + i − Model::kFirstPos].
+  std::int32_t table_dist(Vertex v, std::int32_t pos) const {
+    return rows_[static_cast<std::size_t>(
+        row_offset_[static_cast<std::size_t>(v)] + (pos - Model::kFirstPos))];
+  }
+
+  const BfsTree* tree_;
+  Config cfg_;
+
+  std::vector<std::int64_t> row_offset_;  // per vertex
+  std::vector<std::int32_t> rows_;        // Σ_v (depth(v) − kFirstPos) rows
+
+  std::vector<Pair> pairs_;
+  std::vector<std::int64_t> pairs_offset_;  // per vertex, into pair_ids_
+  std::vector<std::int32_t> pair_ids_;      // pair indices grouped by v
+  std::vector<Vertex> detour_arena_;
+
+  Stats stats_;
+};
+
+// The two instantiations live in fault_model.cpp.
+extern template class FaultReplacementEngine<EdgeFault>;
+extern template class FaultReplacementEngine<VertexFault>;
+
+}  // namespace ftb

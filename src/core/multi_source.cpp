@@ -36,6 +36,29 @@ MultiSourceResult build_epsilon_ftmbfs(const Graph& g,
   return MultiSourceResult{sources, std::move(merged), std::move(stats)};
 }
 
+MultiSourceResult build_vertex_ftmbfs(const Graph& g,
+                                      const std::vector<Vertex>& sources,
+                                      const VertexFtBfsOptions& opts) {
+  FTB_CHECK_MSG(!sources.empty(), "need at least one source");
+
+  std::vector<EdgeId> edges;
+  std::vector<EdgeId> tree_edges;  // union of the per-source trees
+  tree_edges.reserve(sources.size() *
+                     static_cast<std::size_t>(g.num_vertices()));
+
+  for (const Vertex s : sources) {
+    const FtBfsStructure h = build_vertex_ftbfs(g, s, opts);
+    edges.insert(edges.end(), h.edges().begin(), h.edges().end());
+    tree_edges.insert(tree_edges.end(), h.tree_edges().begin(),
+                      h.tree_edges().end());
+  }
+
+  FtBfsStructure merged(g, sources.front(), std::move(edges),
+                        /*reinforced=*/{}, std::move(tree_edges),
+                        FaultClass::kVertex);
+  return MultiSourceResult{sources, std::move(merged), {}};
+}
+
 std::int64_t verify_multi_source(const Graph& g, const MultiSourceResult& ms,
                                  std::int64_t max_failures_per_source) {
   std::int64_t violations = 0;
@@ -53,6 +76,21 @@ std::int64_t verify_multi_source(const Graph& g, const MultiSourceResult& ms,
     vo.max_failures = max_failures_per_source;
     const VerifyReport rep = verify_structure(view, vo);
     violations += rep.violations;
+  }
+  return violations;
+}
+
+std::int64_t verify_vertex_multi_source(const Graph& g,
+                                        const MultiSourceResult& ms,
+                                        std::int64_t max_failures_per_source) {
+  std::int64_t violations = 0;
+  for (const Vertex s : ms.sources) {
+    // Same re-anchoring as the edge verifier: the union edge set viewed
+    // from source s; verify_vertex_structure sweeps every failing vertex
+    // x ≠ s against literal BFS.
+    FtBfsStructure view(g, s, ms.structure.edges(), ms.structure.reinforced(),
+                        ms.structure.tree_edges(), FaultClass::kVertex);
+    violations += verify_vertex_structure(view, max_failures_per_source);
   }
   return violations;
 }

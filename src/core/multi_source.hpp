@@ -15,6 +15,7 @@
 
 #include "src/core/epsilon_ftbfs.hpp"
 #include "src/core/structure.hpp"
+#include "src/core/vertex_ftbfs.hpp"
 
 namespace ftb {
 
@@ -22,9 +23,11 @@ namespace ftb {
 struct MultiSourceResult {
   std::vector<Vertex> sources;
   /// Union structure; `structure.source()` is sources.front() (the
-  /// distance contract is enforced per source by verify_multi_source).
+  /// distance contract is enforced per source by verify_multi_source /
+  /// verify_vertex_multi_source, per the structure's fault_class()).
   FtBfsStructure structure;
-  /// Per-source construction stats, aligned with `sources`.
+  /// Per-source construction stats, aligned with `sources` (empty for the
+  /// vertex-fault union, whose baseline has no ε pipeline).
   std::vector<EpsilonStats> per_source;
 };
 
@@ -33,9 +36,22 @@ MultiSourceResult build_epsilon_ftmbfs(const Graph& g,
                                        const std::vector<Vertex>& sources,
                                        const EpsilonOptions& opts = {});
 
-/// Verifies the multi-source contract (per-source verify_structure on the
-/// union edge set). Returns the number of violations (0 = correct).
+/// Builds the union vertex-fault FT-MBFS over `sources` (§5's union
+/// pattern applied to the ESA'13 vertex baseline): for every s ∈ S and
+/// every failing vertex x ∉ {s}, dist(s,v,H\{x}) = dist(s,v,G\{x}).
+MultiSourceResult build_vertex_ftmbfs(const Graph& g,
+                                      const std::vector<Vertex>& sources,
+                                      const VertexFtBfsOptions& opts = {});
+
+/// Verifies the multi-source edge contract (per-source verify_structure on
+/// the union edge set). Returns the number of violations (0 = correct).
 std::int64_t verify_multi_source(const Graph& g, const MultiSourceResult& ms,
                                  std::int64_t max_failures_per_source = -1);
+
+/// Vertex-fault analog: per-source verify_vertex_structure on the union
+/// edge set. Returns the number of violations (0 = correct).
+std::int64_t verify_vertex_multi_source(
+    const Graph& g, const MultiSourceResult& ms,
+    std::int64_t max_failures_per_source = -1);
 
 }  // namespace ftb

@@ -1,40 +1,51 @@
-// oracle.hpp — a single-source replacement-path distance oracle.
+// oracle.hpp — single-source replacement-path distance oracles.
 //
 // The related-work line of the paper ([9], Grandoni–V.Williams) studies
 // data structures answering dist(s, v, G \ {e}) queries. The engine's
-// tables already hold everything needed: this thin wrapper exposes O(1)
-// distance queries and O(len) path queries, and is what the failure
-// simulator uses as ground truth.
+// tables already hold everything needed — for either fault model: this
+// thin wrapper exposes O(1) distance queries and O(len) path queries, and
+// is what the failure simulator uses as ground truth.
 #pragma once
 
+#include "src/core/fault_model.hpp"
 #include "src/core/replacement.hpp"
+#include "src/core/vertex_ftbfs.hpp"
 
 namespace ftb {
 
-/// O(1) dist(s,v,G\{e}) queries on top of a ReplacementPathEngine.
-class ReplacementOracle {
+/// O(1) dist(s,v,G\{fault}) queries on top of a FaultReplacementEngine.
+template <class Model>
+class FaultOracle {
  public:
-  explicit ReplacementOracle(const ReplacementPathEngine& engine)
+  using FaultId = typename Model::FaultId;
+
+  explicit FaultOracle(const FaultReplacementEngine<Model>& engine)
       : engine_(&engine) {}
 
-  /// dist(s, v, G \ {e}); kInfHops if the failure disconnects v.
-  std::int32_t distance(Vertex v, EdgeId failed) const {
+  /// dist(s, v, G \ {fault}); kInfHops if the failure disconnects v.
+  std::int32_t distance(Vertex v, FaultId failed) const {
     return engine_->replacement_dist(v, failed);
   }
 
   /// dist(s, v, G) (no failure).
   std::int32_t distance(Vertex v) const { return engine_->tree().depth(v); }
 
-  /// A shortest s→v path avoiding `failed` (empty if disconnected).
-  std::vector<Vertex> path(Vertex v, EdgeId failed) const {
+  /// A shortest s→v path avoiding the failure (empty if disconnected).
+  /// Uncovered pairs need Config::collect_detours on the engine.
+  std::vector<Vertex> path(Vertex v, FaultId failed) const {
     if (distance(v, failed) >= kInfHops) return {};
     return engine_->replacement_path(v, failed);
   }
 
-  const ReplacementPathEngine& engine() const { return *engine_; }
+  const FaultReplacementEngine<Model>& engine() const { return *engine_; }
 
  private:
-  const ReplacementPathEngine* engine_;
+  const FaultReplacementEngine<Model>* engine_;
 };
+
+/// The historical edge-fault name.
+using ReplacementOracle = FaultOracle<EdgeFault>;
+/// Its vertex-fault sibling: O(1) dist(s, v, G \ {x}) queries.
+using VertexReplacementOracle = FaultOracle<VertexFault>;
 
 }  // namespace ftb

@@ -1,4 +1,5 @@
-// replacement.hpp — the replacement-path engine: Algorithm Pcons (Phase S0).
+// replacement.hpp — the EDGE-fault replacement-path engine: Algorithm Pcons
+// (Phase S0), as an instantiation of the fault-model policy layer.
 //
 // For every vertex v and every failing edge e ∈ π(s,v) the paper fixes one
 // canonical replacement path P_{v,e} = RP(⟨v,e⟩):
@@ -9,137 +10,18 @@
 //      π(s,v) is as close to s as possible (the G_j(v) machinery,
 //      Claims 4.4–4.6).
 //
-// Engine realization (see DESIGN.md for the equivalence proofs):
-//   * one plain BFS of G\{e} per tree edge e gives dist(s,·,G\{e}); rows
-//     are stored only for vertices below e (pairs with e ∈ π(s,v));
-//   * the covered test for ⟨v,e⟩ reduces to: some T0-neighbor u of v with
-//     (u,v) ≠ e has dist_e(u) + 1 = dist_e(v);
-//   * one canonical BFS from v in the off-path graph
-//     H_v = G \ (V(π(s,v)) \ {v}) yields, for every divergence candidate
-//     u_j, the best detour length detlen(j) and its canonical last edge;
-//     the divergence point of P_{v,e_i} is u_{j*} with
-//     j* = min{ j ≤ i : j + detlen(j) = dist_e(v) }.
-//   * detours of the same terminal share the canonical BFS tree of H_v, so
-//     distinct-last-edge detours are vertex-disjoint except at v — exactly
-//     Claim 4.6(2).
-//
-// Both sweeps are O(n·m) total and run on the thread pool.
+// The engine realization lives once, generically, in fault_model.{hpp,cpp}
+// (see the equivalence proofs in DESIGN.md); this header pins the edge
+// instantiation under its historical name. UncoveredPair — the S0 artifact
+// every downstream phase consumes — is defined in fault_model.hpp.
 #pragma once
 
-#include <cstdint>
-#include <span>
-#include <vector>
-
-#include "src/graph/bfs_tree.hpp"
-#include "src/util/thread_pool.hpp"
+#include "src/core/fault_model.hpp"
 
 namespace ftb {
 
-/// An uncovered (new-ending) vertex-edge pair ⟨v,e⟩ ∈ UP with the canonical
-/// replacement-path metadata the constructions consume.
-struct UncoveredPair {
-  Vertex v = kInvalidVertex;   // terminal
-  EdgeId e = kInvalidEdge;     // failing edge, e ∈ π(s,v)
-  std::int32_t edge_pos = 0;   // e = (u_i, u_{i+1}) with i = edge_pos
-  std::int32_t rep_dist = 0;   // dist(s, v, G \ {e})
-  Vertex diverge = kInvalidVertex;  // d(P) = u_{j*}
-  std::int32_t diverge_depth = 0;   // j*
-  EdgeId last_edge = kInvalidEdge;  // LastE(P_{v,e}) ∉ T0, an edge into v
-  std::int32_t detour_len = 0;      // |D(P)| in edges
-  // Detour vertex list [diverge, ..., v]: slice of the engine's arena.
-  std::int64_t detour_begin = 0;
-  std::int64_t detour_end = 0;
-};
-
-/// The engine. Construct once per (graph, source, weights); everything else
-/// reads from it.
-class ReplacementPathEngine {
- public:
-  struct Config {
-    /// Record detour vertex lists (needed by the interference machinery of
-    /// the ε algorithm; the ESA'13 baseline can skip them).
-    bool collect_detours = true;
-    /// Worker pool; nullptr = ThreadPool::global().
-    ThreadPool* pool = nullptr;
-    /// Run the naive reference kernels (one full queue BFS per failing
-    /// edge, materializing two-pass canonical SP per vertex) instead of the
-    /// scratch-arena kernels. Differential-testing / bench baseline; the
-    /// produced tables and pairs are bit-identical either way.
-    bool reference_kernel = false;
-    /// Distance tables via the subtree-seeded replacement sweep
-    /// (dist_sweep.hpp) instead of one full kernel BFS per tree edge.
-    /// Ignored under reference_kernel.
-    bool incremental_dist = true;
-  };
-
-  explicit ReplacementPathEngine(const BfsTree& tree)
-      : ReplacementPathEngine(tree, Config()) {}
-  ReplacementPathEngine(const BfsTree& tree, Config cfg);
-
-  const BfsTree& tree() const { return *tree_; }
-  const Graph& graph() const { return tree_->graph(); }
-
-  /// dist(s, v, G \ {e}) for any vertex v and any edge e. O(1):
-  ///  * e not a tree edge or not on π(s,v)  → dist(s,v,G);
-  ///  * e ∈ π(s,v)                          → stored table row;
-  ///  * disconnected                        → kInfHops.
-  std::int32_t replacement_dist(Vertex v, EdgeId e) const;
-
-  /// All uncovered pairs, grouped by terminal v and ordered by increasing
-  /// edge position within each terminal.
-  const std::vector<UncoveredPair>& uncovered_pairs() const { return pairs_; }
-
-  /// Indices (into uncovered_pairs()) of v's pairs.
-  std::span<const std::int32_t> uncovered_of(Vertex v) const;
-
-  /// The detour D(P) = [diverge, ..., v] of an uncovered pair.
-  /// Requires Config::collect_detours.
-  std::span<const Vertex> detour(const UncoveredPair& p) const;
-
-  /// True iff pair ⟨v,e⟩ has a replacement path whose last edge is in T0
-  /// (the paper's G'(v) test). Preconditions: e ∈ π(s,v), finite rep dist.
-  bool covered(Vertex v, EdgeId e) const;
-
-  /// Reconstructs a full canonical replacement path [s, ..., v] for any
-  /// pair with finite replacement distance. For uncovered pairs this is
-  /// π(s, u_{j*}) ∘ D(P) from stored metadata; for covered pairs it runs a
-  /// fresh canonical BFS in G'(v)\{e} (O(m); intended for tests/queries).
-  std::vector<Vertex> replacement_path(Vertex v, EdgeId e) const;
-
-  struct Stats {
-    std::int64_t pairs_total = 0;      // all ⟨v,e⟩ with e ∈ π(s,v)
-    std::int64_t pairs_infinite = 0;   // bridge failures (no path exists)
-    std::int64_t pairs_covered = 0;
-    std::int64_t pairs_uncovered = 0;
-    std::int64_t detour_vertices = 0;  // arena size
-    double seconds_dist_tables = 0;
-    double seconds_detours = 0;
-  };
-  const Stats& stats() const { return stats_; }
-
- private:
-  void build_dist_tables(ThreadPool& pool);
-  void build_pairs(ThreadPool& pool);
-
-  /// Stored row index: dist(s,v,G\{e}) for the edge at position i of
-  /// π(s,v) lives at dist_rows_[row_offset_[v] + i], i ∈ [0, depth(v)).
-  std::int32_t table_dist(Vertex v, std::int32_t pos) const {
-    return dist_rows_[static_cast<std::size_t>(
-        row_offset_[static_cast<std::size_t>(v)] + pos)];
-  }
-
-  const BfsTree* tree_;
-  Config cfg_;
-
-  std::vector<std::int64_t> row_offset_;   // per vertex
-  std::vector<std::int32_t> dist_rows_;    // Σ_v depth(v) entries
-
-  std::vector<UncoveredPair> pairs_;
-  std::vector<std::int64_t> pairs_offset_;   // per vertex, into pair_ids_
-  std::vector<std::int32_t> pair_ids_;       // pair indices grouped by v
-  std::vector<Vertex> detour_arena_;
-
-  Stats stats_;
-};
+/// The edge-fault S0 engine. Construct once per (graph, source, weights);
+/// everything else reads from it.
+using ReplacementPathEngine = FaultReplacementEngine<EdgeFault>;
 
 }  // namespace ftb

@@ -15,12 +15,35 @@ void sort_unique(std::vector<EdgeId>& v) {
 }
 }  // namespace
 
+const char* to_string(FaultClass fc) {
+  switch (fc) {
+    case FaultClass::kEdge:
+      return "edge";
+    case FaultClass::kVertex:
+      return "vertex";
+    case FaultClass::kDual:
+      return "dual";
+  }
+  return "edge";
+}
+
+FaultClass parse_fault_class(const std::string& tag) {
+  if (tag == "edge") return FaultClass::kEdge;
+  if (tag == "vertex") return FaultClass::kVertex;
+  if (tag == "dual") return FaultClass::kDual;
+  FTB_CHECK_MSG(false, "unknown fault model '" << tag
+                                               << "' (edge|vertex|dual)");
+  return FaultClass::kEdge;
+}
+
 FtBfsStructure::FtBfsStructure(const Graph& g, Vertex source,
                                std::vector<EdgeId> edges,
                                std::vector<EdgeId> reinforced,
-                               std::vector<EdgeId> tree_edges)
+                               std::vector<EdgeId> tree_edges,
+                               FaultClass fault_class)
     : g_(&g),
       source_(source),
+      fault_class_(fault_class),
       edges_(std::move(edges)),
       reinforced_(std::move(reinforced)),
       tree_edges_(std::move(tree_edges)) {
@@ -66,7 +89,11 @@ void FtBfsStructure::distances_avoiding(EdgeId failed,
 std::string FtBfsStructure::summary() const {
   std::ostringstream os;
   os << "FtBfs(n=" << g_->num_vertices() << ", |H|=" << num_edges()
-     << ", b=" << num_backup() << ", r=" << num_reinforced() << ")";
+     << ", b=" << num_backup() << ", r=" << num_reinforced();
+  if (fault_class_ != FaultClass::kEdge) {
+    os << ", model=" << to_string(fault_class_);
+  }
+  os << ")";
   return os.str();
 }
 

@@ -22,6 +22,18 @@ namespace ftb {
 
 class BfsScratch;  // bfs_kernel.hpp
 
+/// The failure model a structure was built to survive. Edge structures obey
+/// Definition 2.1 verbatim; vertex structures the companion ESA'13 analog
+/// (dist(s,v,H\{x}) = dist(s,v,G\{x}) for every failing vertex x ≠ s); dual
+/// structures both. The tag travels with the serialized artifact so the
+/// serving stack (oracle, simulator, CLI) picks the right verifier/drill.
+enum class FaultClass : std::uint8_t { kEdge = 0, kVertex = 1, kDual = 2 };
+
+/// "edge" / "vertex" / "dual".
+const char* to_string(FaultClass fc);
+/// Inverse of to_string. Throws CheckError on anything else.
+FaultClass parse_fault_class(const std::string& tag);
+
 /// An FT-BFS structure (see file comment). Immutable after construction.
 class FtBfsStructure {
  public:
@@ -29,10 +41,13 @@ class FtBfsStructure {
   /// E' ⊆ E(H). All vectors are deduplicated and sorted internally.
   FtBfsStructure(const Graph& g, Vertex source, std::vector<EdgeId> edges,
                  std::vector<EdgeId> reinforced,
-                 std::vector<EdgeId> tree_edges);
+                 std::vector<EdgeId> tree_edges,
+                 FaultClass fault_class = FaultClass::kEdge);
 
   const Graph& graph() const { return *g_; }
   Vertex source() const { return source_; }
+  /// The failure model this structure protects against.
+  FaultClass fault_class() const { return fault_class_; }
 
   /// E(H), sorted ascending.
   const std::vector<EdgeId>& edges() const { return edges_; }
@@ -84,6 +99,7 @@ class FtBfsStructure {
  private:
   const Graph* g_;
   Vertex source_;
+  FaultClass fault_class_;
   std::vector<EdgeId> edges_;
   std::vector<EdgeId> reinforced_;
   std::vector<EdgeId> tree_edges_;

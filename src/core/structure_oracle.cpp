@@ -4,8 +4,9 @@
 
 namespace ftb {
 
-StructureOracle::StructureOracle(const FtBfsStructure& h,
-                                 const ReplacementPathEngine& engine)
+template <class Model>
+FaultStructureOracle<Model>::FaultStructureOracle(
+    const FtBfsStructure& h, const FaultReplacementEngine<Model>& engine)
     : h_(&h), oracle_(engine) {
   FTB_CHECK_MSG(&h.graph() == &engine.graph(),
                 "structure and engine bound to different graphs");
@@ -19,19 +20,39 @@ StructureOracle::StructureOracle(const FtBfsStructure& h,
   FTB_CHECK_MSG(a == b, "structure and engine built around different trees");
 }
 
-std::int32_t StructureOracle::query(Vertex v, EdgeId failed) const {
-  FTB_CHECK_MSG(!h_->is_reinforced(failed),
-                "edge " << failed
-                        << " is reinforced — it cannot fail in the model "
-                           "(use query_unchecked for what-if analysis)");
-  // The FT-BFS contract: dist(s,v,H\{e}) == dist(s,v,G\{e}) — an O(1)
-  // table lookup in the engine.
+template <class Model>
+std::int32_t FaultStructureOracle<Model>::query(Vertex v,
+                                                FaultId failed) const {
+  if constexpr (Model::kClass == FaultClass::kEdge) {
+    FTB_CHECK_MSG(!h_->is_reinforced(failed),
+                  "edge " << failed
+                          << " is reinforced — it cannot fail in the model "
+                             "(use query_unchecked for what-if analysis)");
+  }
+  // The FT-BFS contract: dist(s,v,H\{fault}) == dist(s,v,G\{fault}) — an
+  // O(1) table lookup in the engine.
   return oracle_.distance(v, failed);
 }
 
-std::int32_t StructureOracle::query_unchecked(Vertex v, EdgeId failed) const {
-  if (!h_->is_reinforced(failed)) return query(v, failed);
-  return h_->distances_avoiding(failed)[static_cast<std::size_t>(v)];
+template <class Model>
+std::int32_t FaultStructureOracle<Model>::query_unchecked(
+    Vertex v, FaultId failed) const {
+  if constexpr (Model::kClass == FaultClass::kEdge) {
+    if (!h_->is_reinforced(failed)) return query(v, failed);
+    // Out-of-model what-if: literal BFS on H \ {failed}, cached per failure
+    // so a sweep over all vertices pays one traversal.
+    if (scratch_fault_ != failed) {
+      h_->distances_avoiding(failed, scratch_);
+      scratch_fault_ = failed;
+    }
+    return scratch_.dist(v);
+  } else {
+    // Every non-source vertex is in-model: nothing to fall back to.
+    return query(v, failed);
+  }
 }
+
+template class FaultStructureOracle<EdgeFault>;
+template class FaultStructureOracle<VertexFault>;
 
 }  // namespace ftb

@@ -1,40 +1,66 @@
 // structure_oracle.hpp — O(1) post-failure distance queries against a
-// *deployed* structure.
+// *deployed* structure, for either fault model.
 //
-// For any fault-prone edge e, the FT-BFS contract pins
-// dist(s,v,H\{e}) = dist(s,v,G\{e}), and the right-hand side is an O(1)
-// lookup in the replacement-path engine. So queries against the deployed
-// structure cost O(1) — no BFS at query time — as long as the failure is
-// inside the model. Reinforced-edge "failures" are outside the contract;
-// query() refuses them (they are assumed impossible), while
-// query_unchecked() falls back to a literal BFS for what-if analysis.
+// For any fault inside the model, the FT-BFS contract pins
+// dist(s,v,H\{fault}) = dist(s,v,G\{fault}), and the right-hand side is an
+// O(1) lookup in the replacement-path engine. So queries against the
+// deployed structure cost O(1) — no BFS at query time — as long as the
+// failure is inside the model:
+//   * edge model: any non-reinforced edge may fail; reinforced-edge
+//     "failures" are outside the contract, query() refuses them (they are
+//     assumed impossible) while query_unchecked() falls back to a literal
+//     BFS for what-if analysis;
+//   * vertex model: any non-source vertex may fail (vertex structures have
+//     no reinforcement), so query() always answers in O(1).
+// The what-if BFS runs on a member scratch arena and caches the last failed
+// fault, so sweeping all vertices under one failure costs one traversal —
+// not one per query (see examples/failure_drill.cpp). That makes the oracle
+// mutable-under-const: one oracle instance is NOT thread-safe.
 #pragma once
 
 #include "src/core/oracle.hpp"
 #include "src/core/structure.hpp"
+#include "src/graph/bfs_kernel.hpp"
 
 namespace ftb {
 
 /// Bound to one structure + the engine of the same (graph, source, W).
-class StructureOracle {
+template <class Model>
+class FaultStructureOracle {
  public:
+  using FaultId = typename Model::FaultId;
+
   /// Both objects must come from the same tree (checked).
-  StructureOracle(const FtBfsStructure& h, const ReplacementPathEngine& engine);
+  FaultStructureOracle(const FtBfsStructure& h,
+                       const FaultReplacementEngine<Model>& engine);
 
-  /// dist(s, v, H \ {failed}) for a fault-prone edge. O(1).
-  /// Precondition: !h.is_reinforced(failed) (CheckError otherwise —
-  /// reinforced edges never fail in the model).
-  std::int32_t query(Vertex v, EdgeId failed) const;
+  /// dist(s, v, H \ {failed}) for an in-model fault. O(1).
+  /// Edge model precondition: !h.is_reinforced(failed) (CheckError
+  /// otherwise — reinforced edges never fail in the model).
+  std::int32_t query(Vertex v, FaultId failed) const;
 
-  /// Like query(), but tolerates reinforced-edge failures by running a
-  /// literal BFS on H \ {failed}. O(n + m); for what-if analysis only.
-  std::int32_t query_unchecked(Vertex v, EdgeId failed) const;
+  /// Like query(), but tolerates out-of-model failures (reinforced edges)
+  /// by running a literal BFS on H \ {failed} into the member scratch.
+  /// O(n + m) per *distinct* failure, O(1) for repeated queries against the
+  /// same failure; for what-if analysis only.
+  std::int32_t query_unchecked(Vertex v, FaultId failed) const;
 
   const FtBfsStructure& structure() const { return *h_; }
 
  private:
   const FtBfsStructure* h_;
-  ReplacementOracle oracle_;
+  FaultOracle<Model> oracle_;
+  // What-if arena: one literal BFS per distinct out-of-model failure.
+  mutable BfsScratch scratch_;
+  mutable FaultId scratch_fault_ = Model::kNoFault;
 };
+
+/// The historical edge-fault name.
+using StructureOracle = FaultStructureOracle<EdgeFault>;
+/// Its vertex-fault sibling.
+using VertexStructureOracle = FaultStructureOracle<VertexFault>;
+
+extern template class FaultStructureOracle<EdgeFault>;
+extern template class FaultStructureOracle<VertexFault>;
 
 }  // namespace ftb

@@ -1,288 +1,23 @@
+// vertex_ftbfs.cpp — thin builders over the shared S0 engine
+// (fault_model.cpp) under the VertexFault policy, plus the exhaustive
+// literal-BFS verifier.
 #include "src/core/vertex_ftbfs.hpp"
 
-#include <algorithm>
 #include <atomic>
-#include <mutex>
 
-#include "src/core/dist_sweep.hpp"
 #include "src/core/ftbfs.hpp"
 #include "src/graph/bfs_kernel.hpp"
 
 namespace ftb {
 
-namespace {
-
-/// Best off-path detour from a divergence candidate (same object as the
-/// edge engine's, re-derived here with vertex-fault semantics).
-struct DetourCandidate {
-  std::int32_t hops = kInfHops;
-  std::uint64_t wsum = 0;
-  Vertex entry = kInvalidVertex;
-  EdgeId last_edge = kInvalidEdge;
-
-  bool valid() const { return hops < kInfHops; }
-  bool better_than(const DetourCandidate& o) const {
-    if (hops != o.hops) return hops < o.hops;
-    if (wsum != o.wsum) return wsum < o.wsum;
-    if (entry != o.entry) return entry < o.entry;
-    return last_edge < o.last_edge;
+FtBfsStructure build_vertex_ftbfs(const VertexReplacementEngine& engine) {
+  const BfsTree& tree = engine.tree();
+  std::vector<EdgeId> edges = tree.tree_edges();
+  for (const VertexFaultPair& p : engine.uncovered_pairs()) {
+    edges.push_back(p.last_edge);
   }
-};
-
-}  // namespace
-
-VertexReplacementEngine::VertexReplacementEngine(const BfsTree& tree,
-                                                 Config cfg)
-    : tree_(&tree), cfg_(cfg) {
-  ThreadPool& pool = cfg_.pool != nullptr ? *cfg_.pool : ThreadPool::global();
-  build_dist_tables(pool);
-  build_pairs(pool);
-}
-
-void VertexReplacementEngine::build_dist_tables(ThreadPool& pool) {
-  const Graph& g = tree_->graph();
-  const std::size_t n = static_cast<std::size_t>(g.num_vertices());
-
-  // Row v holds the failures of the depth(v)−1 internal vertices of π(s,v).
-  row_offset_.assign(n + 1, 0);
-  for (std::size_t v = 0; v < n; ++v) {
-    const std::int32_t d = tree_->depth(static_cast<Vertex>(v));
-    row_offset_[v + 1] =
-        row_offset_[v] + ((d >= kInfHops || d < 1) ? 0 : d - 1);
-  }
-  rows_.assign(static_cast<std::size_t>(row_offset_[n]), kInfHops);
-  stats_.pairs_total = static_cast<std::int64_t>(rows_.size());
-
-  // One replacement-distance computation per internal tree vertex x; fill
-  // the slot of every strict descendant of x. Disjoint slots → safely
-  // parallel; per-thread scratch arenas keep the steady state allocation-
-  // free.
-  const auto pre = tree_->preorder();
-  pool.parallel_for(pre.size(), [&](std::size_t idx) {
-    const Vertex x = pre[idx];
-    if (x == tree_->source()) return;
-    if (tree_->subtree_size(x) <= 1) return;  // no strict descendants
-    const std::int32_t pos = tree_->depth(x);
-    const auto affected = tree_->subtree(x);
-    auto row_slot = [&](Vertex v) -> std::int32_t& {
-      return rows_[static_cast<std::size_t>(
-          row_offset_[static_cast<std::size_t>(v)] + (pos - 1))];
-    };
-    if (!cfg_.reference_kernel && cfg_.incremental_dist) {
-      thread_local ReplacementSweepScratch sweep;
-      replacement_dist_sweep(*tree_, kInvalidEdge, x, affected, sweep);
-      for (const Vertex v : affected) {
-        if (v == x) continue;
-        row_slot(v) = sweep.dist(v);
-      }
-      return;
-    }
-    thread_local std::vector<std::uint8_t> banned;
-    if (banned.size() < n) banned.assign(n, 0);
-    banned[static_cast<std::size_t>(x)] = 1;
-    BfsBans bans;
-    bans.banned_vertex = &banned;
-    if (cfg_.reference_kernel) {
-      const BfsResult res = plain_bfs_reference(g, tree_->source(), bans);
-      for (const Vertex v : affected) {
-        if (v == x) continue;
-        row_slot(v) = res.dist[static_cast<std::size_t>(v)];
-      }
-    } else {
-      thread_local BfsScratch scratch;
-      bfs_run(g, tree_->source(), bans, scratch);
-      for (const Vertex v : affected) {
-        if (v == x) continue;
-        row_slot(v) = scratch.dist(v);
-      }
-    }
-    banned[static_cast<std::size_t>(x)] = 0;
-  });
-}
-
-std::int32_t VertexReplacementEngine::replacement_dist(Vertex v,
-                                                       Vertex x) const {
-  FTB_CHECK_MSG(x != tree_->source(), "the source never fails");
-  if (!tree_->reachable(v)) return kInfHops;
-  if (v == x) return kInfHops;  // the terminal itself failed
-  if (!tree_->reachable(x) || !tree_->is_ancestor_or_equal(x, v)) {
-    return tree_->depth(v);  // π(s,v) avoids x
-  }
-  return table_dist(v, tree_->depth(x));
-}
-
-void VertexReplacementEngine::build_pairs(ThreadPool& pool) {
-  const Graph& g = tree_->graph();
-  const EdgeWeights& W = tree_->weights();
-  const std::size_t n = static_cast<std::size_t>(g.num_vertices());
-
-  struct PerVertex {
-    std::vector<VertexFaultPair> pairs;
-    std::int64_t covered = 0;
-    std::int64_t infinite = 0;
-  };
-  std::vector<PerVertex> per_vertex(n);
-
-  // Pre-classification against the phase-1 tables only; lets a vertex with
-  // no uncovered pair skip the off-path BFS entirely.
-  auto classify = [&](Vertex v, std::int32_t k, PerVertex& out,
-                      const std::vector<Vertex>& path,
-                      std::vector<std::int32_t>& uncovered_pos) {
-    uncovered_pos.clear();
-    for (std::int32_t i = 1; i <= k - 1; ++i) {  // failing vertex u_i
-      const Vertex x = path[static_cast<std::size_t>(i)];
-      const std::int32_t rd = table_dist(v, i);
-      if (rd >= kInfHops) {
-        ++out.infinite;
-        continue;
-      }
-      // Covered test: a T0-neighbor u ≠ x of v with dist_x(u) + 1 == rd.
-      bool is_covered = false;
-      const Vertex parent = tree_->parent(v);
-      if (parent != kInvalidVertex && parent != x) {
-        // x is a strict ancestor of parent here (i ≤ k−2), so the row
-        // exists.
-        if (table_dist(parent, i) + 1 == rd) is_covered = true;
-      }
-      if (!is_covered) {
-        for (const Vertex c : tree_->children(v)) {
-          if (table_dist(c, i) + 1 == rd) {
-            is_covered = true;
-            break;
-          }
-        }
-      }
-      if (is_covered) {
-        ++out.covered;
-      } else {
-        uncovered_pos.push_back(i);
-      }
-    }
-  };
-
-  // Per-vertex detour body, generic over the canonical-SP view.
-  auto process = [&](Vertex v, PerVertex& out,
-                     const std::vector<Vertex>& path,
-                     const std::vector<std::uint8_t>& banned,
-                     const std::vector<std::int32_t>& uncovered_pos,
-                     const auto& dv) {
-    // detlen(j), identical to the edge engine (the failing object is a
-    // path vertex, never an off-path edge, so no extra exclusions beyond
-    // the tree parent edge, which is unreachable anyway since j ≤ i−1 ≤
-    // k−2). Divergence sits strictly above the deepest uncovered failing
-    // vertex.
-    const std::int32_t jmax = uncovered_pos.back() - 1;
-    const EdgeId parent_e = tree_->parent_edge(v);
-    thread_local std::vector<DetourCandidate> det;
-    det.assign(static_cast<std::size_t>(jmax) + 1, DetourCandidate{});
-    for (std::int32_t j = 0; j <= jmax; ++j) {
-      DetourCandidate& best = det[static_cast<std::size_t>(j)];
-      const Vertex uj = path[static_cast<std::size_t>(j)];
-      for (const Arc& a : g.neighbors(uj)) {
-        DetourCandidate cand;
-        if (a.to == v) {
-          if (a.edge == parent_e) continue;
-          cand.hops = 1;
-          cand.wsum = W[a.edge];
-          cand.entry = uj;
-          cand.last_edge = a.edge;
-        } else {
-          if (banned[static_cast<std::size_t>(a.to)]) continue;
-          if (!dv.reachable(a.to)) continue;
-          cand.hops = 1 + dv.hops(a.to);
-          cand.wsum = W[a.edge] + dv.wsum(a.to);
-          cand.entry = dv.first_hop(a.to);
-          cand.last_edge = dv.parent_edge(cand.entry);
-        }
-        if (!best.valid() || cand.better_than(best)) best = cand;
-      }
-    }
-
-    for (const std::int32_t i : uncovered_pos) {  // failing vertex u_i
-      const Vertex x = path[static_cast<std::size_t>(i)];
-      const std::int32_t rd = table_dist(v, i);
-
-      std::int32_t jstar = -1;
-      for (std::int32_t j = 0; j <= i - 1; ++j) {
-        const DetourCandidate& c = det[static_cast<std::size_t>(j)];
-        if (c.valid() && j + c.hops == rd) {
-          jstar = j;
-          break;
-        }
-      }
-      FTB_CHECK_MSG(jstar >= 0,
-                    "vertex-fault engine invariant violated (v="
-                        << v << ", x=" << x << ", rd=" << rd << ")");
-      const DetourCandidate& c = det[static_cast<std::size_t>(jstar)];
-      VertexFaultPair p;
-      p.v = v;
-      p.x = x;
-      p.x_pos = i;
-      p.rep_dist = rd;
-      p.diverge = path[static_cast<std::size_t>(jstar)];
-      p.diverge_depth = jstar;
-      p.last_edge = c.last_edge;
-      out.pairs.push_back(p);
-    }
-  };
-
-  pool.parallel_for(n, [&](std::size_t vi) {
-    const Vertex v = static_cast<Vertex>(vi);
-    const std::int32_t k = tree_->depth(v);
-    if (k <= 1 || k >= kInfHops) return;  // no internal path vertices
-    PerVertex& out = per_vertex[vi];
-
-    thread_local std::vector<Vertex> path;
-    path.clear();
-    for (Vertex u = v; u != kInvalidVertex; u = tree_->parent(u)) {
-      path.push_back(u);
-    }
-    std::reverse(path.begin(), path.end());
-
-    thread_local std::vector<std::int32_t> uncovered_pos;
-    if (!cfg_.reference_kernel) {
-      classify(v, k, out, path, uncovered_pos);
-      if (uncovered_pos.empty()) return;  // no off-path BFS needed
-    }
-
-    thread_local std::vector<std::uint8_t> banned;
-    if (banned.size() < n) banned.assign(n, 0);
-    for (std::int32_t j = 0; j < k; ++j) {
-      banned[static_cast<std::size_t>(path[static_cast<std::size_t>(j)])] = 1;
-    }
-    BfsBans bans;
-    bans.banned_vertex = &banned;
-
-    if (cfg_.reference_kernel) {
-      // Seed pipeline order: one unconditional off-path BFS per vertex.
-      const CanonicalSp dv = canonical_sp(g, W, v, bans);
-      classify(v, k, out, path, uncovered_pos);
-      if (!uncovered_pos.empty()) {
-        process(v, out, path, banned, uncovered_pos, CanonicalSpRefView{&dv});
-      }
-    } else {
-      std::int32_t max_rd = 0;
-      for (const std::int32_t i : uncovered_pos) {
-        max_rd = std::max(max_rd, table_dist(v, i));
-      }
-      thread_local CanonicalSpScratch sps;
-      canonical_sp_run(g, W, v, bans, sps, max_rd - 1);
-      process(v, out, path, banned, uncovered_pos, CanonicalSpScratchView{&sps});
-    }
-
-    for (std::int32_t j = 0; j < k; ++j) {
-      banned[static_cast<std::size_t>(path[static_cast<std::size_t>(j)])] = 0;
-    }
-  });
-
-  pairs_.clear();
-  for (std::size_t vi = 0; vi < n; ++vi) {
-    stats_.pairs_covered += per_vertex[vi].covered;
-    stats_.pairs_infinite += per_vertex[vi].infinite;
-    pairs_.insert(pairs_.end(), per_vertex[vi].pairs.begin(),
-                  per_vertex[vi].pairs.end());
-  }
-  stats_.pairs_uncovered = static_cast<std::int64_t>(pairs_.size());
+  return FtBfsStructure(tree.graph(), tree.source(), std::move(edges), {},
+                        tree.tree_edges(), FaultClass::kVertex);
 }
 
 FtBfsStructure build_vertex_ftbfs(const Graph& g, Vertex source,
@@ -291,12 +26,10 @@ FtBfsStructure build_vertex_ftbfs(const Graph& g, Vertex source,
   const BfsTree tree(g, weights, source);
   VertexReplacementEngine::Config cfg;
   cfg.pool = opts.pool;
+  cfg.reference_kernel = opts.reference_kernel;
+  cfg.collect_detours = false;  // the baseline only needs last edges
   const VertexReplacementEngine engine(tree, cfg);
-  std::vector<EdgeId> edges = tree.tree_edges();
-  for (const VertexFaultPair& p : engine.uncovered_pairs()) {
-    edges.push_back(p.last_edge);
-  }
-  return FtBfsStructure(g, source, std::move(edges), {}, tree.tree_edges());
+  return build_vertex_ftbfs(engine);
 }
 
 FtBfsStructure build_dual_ftbfs(const Graph& g, Vertex source,
@@ -304,11 +37,13 @@ FtBfsStructure build_dual_ftbfs(const Graph& g, Vertex source,
   FtBfsOptions eopts;
   eopts.weight_seed = opts.weight_seed;
   eopts.pool = opts.pool;
+  eopts.reference_kernel = opts.reference_kernel;
   const FtBfsStructure edge_h = build_ftbfs(g, source, eopts);
   const FtBfsStructure vertex_h = build_vertex_ftbfs(g, source, opts);
   std::vector<EdgeId> edges = edge_h.edges();
   edges.insert(edges.end(), vertex_h.edges().begin(), vertex_h.edges().end());
-  return FtBfsStructure(g, source, std::move(edges), {}, edge_h.tree_edges());
+  return FtBfsStructure(g, source, std::move(edges), {}, edge_h.tree_edges(),
+                        FaultClass::kDual);
 }
 
 std::int64_t verify_vertex_structure(const FtBfsStructure& h,

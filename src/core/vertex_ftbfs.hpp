@@ -6,8 +6,8 @@
 //
 //   dist(s, v, H \ {x}) = dist(s, v, G \ {x})       for every v ∈ V.
 //
-// The whole edge-fault engine carries over with two changes (proofs mirror
-// the edge case; see DESIGN.md):
+// The whole edge-fault engine carries over with two policy changes (proofs
+// mirror the edge case; see DESIGN.md and fault_model.hpp):
 //   * distance tables come from one BFS of G \ {x} per internal tree
 //     vertex x, stored for the vertices of subtree(x);
 //   * for a pair ⟨v, x⟩ with x = u_i on π(s,v), divergence candidates are
@@ -15,97 +15,37 @@
 //     off-path detour table detlen(j) applies verbatim — an uncovered
 //     pair's shortest replacement path never re-touches π(s,v) below x
 //     (same exchange argument as for edges).
-// The structure H = T0 ∪ {last edges} is then correct by the vertex
-// analog of Observation 2.2, which verify_vertex_structure() re-checks
-// exhaustively against literal BFS.
+// Those two decisions ARE the VertexFault policy of fault_model.hpp; the
+// engine body is shared with the edge model. The structure
+// H = T0 ∪ {last edges} is then correct by the vertex analog of
+// Observation 2.2, which verify_vertex_structure() re-checks exhaustively
+// against literal BFS.
 #pragma once
 
-#include <cstdint>
-#include <span>
-#include <vector>
-
+#include "src/core/fault_model.hpp"
 #include "src/core/structure.hpp"
-#include "src/graph/bfs_tree.hpp"
-#include "src/util/thread_pool.hpp"
 
 namespace ftb {
 
-/// An uncovered vertex-fault pair ⟨v, x⟩: terminal v, failing vertex
-/// x = u_i internal to π(s,v), whose canonical replacement path ends with
-/// a new (non-tree) edge.
-struct VertexFaultPair {
-  Vertex v = kInvalidVertex;        // terminal
-  Vertex x = kInvalidVertex;        // failing vertex, internal to π(s,v)
-  std::int32_t x_pos = 0;           // x = u_i with i = x_pos (1 ≤ i ≤ k−1)
-  std::int32_t rep_dist = 0;        // dist(s, v, G \ {x})
-  Vertex diverge = kInvalidVertex;  // u_{j*}, j* ≤ i−1
-  std::int32_t diverge_depth = 0;
-  EdgeId last_edge = kInvalidEdge;  // new-ending last edge into v
-};
-
-/// Phase-S0 analog for vertex faults.
-class VertexReplacementEngine {
- public:
-  struct Config {
-    ThreadPool* pool = nullptr;  // nullptr = global pool
-    /// Naive reference kernels instead of the scratch-arena kernels
-    /// (bit-identical output; differential testing / bench baseline).
-    bool reference_kernel = false;
-    /// Distance tables via the subtree-seeded replacement sweep
-    /// (dist_sweep.hpp) instead of one full BFS per failing vertex.
-    /// Ignored under reference_kernel.
-    bool incremental_dist = true;
-  };
-
-  explicit VertexReplacementEngine(const BfsTree& tree)
-      : VertexReplacementEngine(tree, Config()) {}
-  VertexReplacementEngine(const BfsTree& tree, Config cfg);
-
-  const BfsTree& tree() const { return *tree_; }
-
-  /// dist(s, v, G \ {x}) for any vertices v, x (x ≠ s). O(1).
-  std::int32_t replacement_dist(Vertex v, Vertex x) const;
-
-  const std::vector<VertexFaultPair>& uncovered_pairs() const {
-    return pairs_;
-  }
-
-  struct Stats {
-    std::int64_t pairs_total = 0;
-    std::int64_t pairs_infinite = 0;   // cut vertices disconnect v
-    std::int64_t pairs_covered = 0;
-    std::int64_t pairs_uncovered = 0;
-  };
-  const Stats& stats() const { return stats_; }
-
- private:
-  void build_dist_tables(ThreadPool& pool);
-  void build_pairs(ThreadPool& pool);
-
-  /// dist(s,v,G\{x}) for x at position t ∈ [1, depth(v)−1] of π(s,v) lives
-  /// at rows_[row_offset_[v] + (t−1)].
-  std::int32_t table_dist(Vertex v, std::int32_t x_pos) const {
-    return rows_[static_cast<std::size_t>(
-        row_offset_[static_cast<std::size_t>(v)] + (x_pos - 1))];
-  }
-
-  const BfsTree* tree_;
-  Config cfg_;
-  std::vector<std::int64_t> row_offset_;
-  std::vector<std::int32_t> rows_;
-  std::vector<VertexFaultPair> pairs_;
-  Stats stats_;
-};
+/// Phase-S0 engine for vertex faults (the shared engine under the
+/// VertexFault policy).
+using VertexReplacementEngine = FaultReplacementEngine<VertexFault>;
 
 struct VertexFtBfsOptions {
   std::uint64_t weight_seed = 0x5EED0001ULL;
   ThreadPool* pool = nullptr;
+  /// Run the engine on the naive reference kernels (bench baseline /
+  /// differential testing; output is bit-identical either way).
+  bool reference_kernel = false;
 };
 
 /// The O(n^{3/2}) vertex-fault FT-BFS baseline:
 /// H = T0 ∪ {LastE(P_{v,x}) : ⟨v,x⟩ uncovered}.
 FtBfsStructure build_vertex_ftbfs(const Graph& g, Vertex source,
                                   const VertexFtBfsOptions& opts = {});
+
+/// Same, reusing an already-built vertex-fault engine.
+FtBfsStructure build_vertex_ftbfs(const VertexReplacementEngine& engine);
 
 /// Joint structure tolerating one edge OR one vertex failure: the union of
 /// build_ftbfs and build_vertex_ftbfs (edge failures reduce to this paper;

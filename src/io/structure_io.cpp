@@ -19,7 +19,8 @@ std::string next_data_line(std::istream& is) {
 
 void write_structure(const FtBfsStructure& h, std::ostream& os) {
   const Graph& g = h.graph();
-  os << "ftbfs-structure 1\n";
+  os << "ftbfs-structure 2\n";
+  os << "fault-model " << to_string(h.fault_class()) << '\n';
   os << "# n |E(H)| source\n";
   os << g.num_vertices() << ' ' << h.num_edges() << ' ' << h.source() << '\n';
   os << "# u v flags (1=reinforced, 2=tree)\n";
@@ -47,12 +48,25 @@ FtBfsStructure read_structure(const Graph& g, std::istream& is) {
   const std::string magic = next_data_line(is);
   FTB_CHECK_MSG(magic.rfind("ftbfs-structure", 0) == 0,
                 "bad magic line '" << magic << "'");
+  int version = -1;
   {
     std::istringstream ms(magic);
     std::string word;
-    int version = -1;
     ms >> word >> version;
-    FTB_CHECK_MSG(version == 1, "unsupported structure version " << version);
+    FTB_CHECK_MSG(version == 1 || version == 2,
+                  "unsupported structure version " << version);
+  }
+  // Version 2 carries the fault-model tag; version 1 predates it and is an
+  // edge-model artifact by definition.
+  FaultClass fault_class = FaultClass::kEdge;
+  if (version >= 2) {
+    const std::string model_line = next_data_line(is);
+    std::istringstream ms(model_line);
+    std::string word, tag;
+    ms >> word >> tag;
+    FTB_CHECK_MSG(word == "fault-model",
+                  "expected fault-model line, got '" << model_line << "'");
+    fault_class = parse_fault_class(tag);
   }
   const std::string header = next_data_line(is);
   FTB_CHECK_MSG(!header.empty(), "missing structure header");
@@ -87,7 +101,8 @@ FtBfsStructure read_structure(const Graph& g, std::istream& is) {
     if (flags & 2) tree_edges.push_back(e);
   }
   return FtBfsStructure(g, static_cast<Vertex>(source), std::move(edges),
-                        std::move(reinforced), std::move(tree_edges));
+                        std::move(reinforced), std::move(tree_edges),
+                        fault_class);
 }
 
 FtBfsStructure load_structure(const Graph& g, const std::string& path) {

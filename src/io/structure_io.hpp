@@ -1,16 +1,19 @@
 // structure_io.hpp — (de)serialization of FT-BFS structures.
 //
 // A deployment artifact: the operator builds H once, ships the purchase
-// plan (which links to buy as backup, which to reinforce), and reloads it
-// later against the same network. Format (text, '#' comments):
+// plan (which links to buy as backup, which to reinforce, and which
+// failure model the plan insures against), and reloads it later against
+// the same network. Format (text, '#' comments):
 //
-//   ftbfs-structure 1
+//   ftbfs-structure 2
+//   fault-model <edge|vertex|dual>
 //   <n> <|E(H)|> <source>
 //   <u> <v> <flags>        # one line per structure edge;
 //                          # flags bit 0 = reinforced, bit 1 = tree edge
 //
-// Loading validates against the given graph (endpoints must exist as
-// edges) and reconstructs the exact edge partition.
+// Version 1 files (no fault-model line) still load and default to the edge
+// model. Loading validates against the given graph (endpoints must exist
+// as edges) and reconstructs the exact edge partition + fault tag.
 #pragma once
 
 #include <iosfwd>
@@ -24,7 +27,7 @@ void write_structure(const FtBfsStructure& h, std::ostream& os);
 void save_structure(const FtBfsStructure& h, const std::string& path);
 
 /// Parses a structure against `g`. Throws CheckError on malformed input,
-/// unknown edges, or a vertex-count mismatch.
+/// unknown edges, an unknown fault-model tag, or a vertex-count mismatch.
 FtBfsStructure read_structure(const Graph& g, std::istream& is);
 FtBfsStructure load_structure(const Graph& g, const std::string& path);
 

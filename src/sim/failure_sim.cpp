@@ -18,6 +18,38 @@ std::string DrillReport::to_string() const {
   return os.str();
 }
 
+namespace {
+
+/// Shared per-failure scoring: compares the surviving structure against the
+/// surviving full network (both already swept into scratches).
+void score_drill(const Graph& g, const BfsScratch& in_g,
+                 const BfsScratch& in_h, Vertex skip, DrillReport& report,
+                 double& dist_sum, std::int64_t& dist_count) {
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    if (v == skip) continue;
+    const std::int32_t dg = in_g.dist(v);
+    const std::int32_t dh = in_h.dist(v);
+    if (dg >= kInfHops) {
+      ++report.disconnections;
+      continue;
+    }
+    ++report.reachable_queries;
+    dist_sum += dh >= kInfHops ? 0 : dh;
+    ++dist_count;
+    if (dh != dg) {
+      ++report.violations;
+      const double stretch =
+          dh >= kInfHops
+              ? std::numeric_limits<double>::infinity()
+              : (dg == 0 ? 1.0
+                         : static_cast<double>(dh) / static_cast<double>(dg));
+      report.max_stretch = std::max(report.max_stretch, stretch);
+    }
+  }
+}
+
+}  // namespace
+
 DrillReport run_failure_drill(const FtBfsStructure& h,
                               std::int64_t num_failures, std::uint64_t seed) {
   const Graph& g = h.graph();
@@ -46,30 +78,83 @@ DrillReport run_failure_drill(const FtBfsStructure& h,
     bans.banned_edge = failed;
     bfs_run(g, s, bans, in_g);
     h.distances_avoiding(failed, in_h);
-    for (Vertex v = 0; v < g.num_vertices(); ++v) {
-      const std::int32_t dg = in_g.dist(v);
-      const std::int32_t dh = in_h.dist(v);
-      if (dg >= kInfHops) {
-        ++report.disconnections;
-        continue;
-      }
-      ++report.reachable_queries;
-      dist_sum += dh >= kInfHops ? 0 : dh;
-      ++dist_count;
-      if (dh != dg) {
-        ++report.violations;
-        const double stretch =
-            dh >= kInfHops
-                ? std::numeric_limits<double>::infinity()
-                : (dg == 0 ? 1.0
-                           : static_cast<double>(dh) / static_cast<double>(dg));
-        report.max_stretch = std::max(report.max_stretch, stretch);
-      }
+    score_drill(g, in_g, in_h, kInvalidVertex, report, dist_sum, dist_count);
+  }
+  report.avg_distance =
+      dist_count > 0 ? dist_sum / static_cast<double>(dist_count) : 0.0;
+  return report;
+}
+
+DrillReport run_vertex_failure_drill(const FtBfsStructure& h,
+                                     std::int64_t num_failures,
+                                     std::uint64_t seed) {
+  const Graph& g = h.graph();
+  const Vertex s = h.source();
+  const std::size_t n = static_cast<std::size_t>(g.num_vertices());
+
+  // Every non-source router is fault-prone in the vertex model.
+  std::vector<Vertex> prone;
+  prone.reserve(n);
+  for (Vertex x = 0; x < g.num_vertices(); ++x) {
+    if (x != s) prone.push_back(x);
+  }
+
+  Rng rng(seed);
+  rng.shuffle(prone);
+  if (static_cast<std::int64_t>(prone.size()) > num_failures) {
+    prone.resize(static_cast<std::size_t>(num_failures));
+  }
+
+  DrillReport report;
+  double dist_sum = 0;
+  std::int64_t dist_count = 0;
+  BfsScratch in_g, in_h;
+  std::vector<std::uint8_t> banned(n, 0);
+  for (const Vertex failed : prone) {
+    ++report.drills;
+    banned[static_cast<std::size_t>(failed)] = 1;
+    BfsBans g_bans;
+    g_bans.banned_vertex = &banned;
+    bfs_run(g, s, g_bans, in_g);
+    BfsBans h_bans;
+    h_bans.banned_vertex = &banned;
+    h_bans.banned_edge_mask = &h.complement_mask();
+    bfs_run(g, s, h_bans, in_h);
+    banned[static_cast<std::size_t>(failed)] = 0;
+    score_drill(g, in_g, in_h, failed, report, dist_sum, dist_count);
+  }
+  report.avg_distance =
+      dist_count > 0 ? dist_sum / static_cast<double>(dist_count) : 0.0;
+  return report;
+}
+
+DrillReport run_failure_drill(const FtBfsStructure& h, FaultClass model,
+                              std::int64_t num_failures, std::uint64_t seed) {
+  switch (model) {
+    case FaultClass::kEdge:
+      return run_failure_drill(h, num_failures, seed);
+    case FaultClass::kVertex:
+      return run_vertex_failure_drill(h, num_failures, seed);
+    case FaultClass::kDual: {
+      DrillReport rep = run_failure_drill(h, num_failures, seed);
+      const DrillReport vrep = run_vertex_failure_drill(h, num_failures, seed);
+      // Merge the two storms into one report.
+      const std::int64_t q = rep.reachable_queries + vrep.reachable_queries;
+      rep.avg_distance =
+          q > 0 ? (rep.avg_distance * static_cast<double>(rep.reachable_queries) +
+                   vrep.avg_distance *
+                       static_cast<double>(vrep.reachable_queries)) /
+                      static_cast<double>(q)
+                : 0.0;
+      rep.drills += vrep.drills;
+      rep.reachable_queries = q;
+      rep.violations += vrep.violations;
+      rep.disconnections += vrep.disconnections;
+      rep.max_stretch = std::max(rep.max_stretch, vrep.max_stretch);
+      return rep;
     }
   }
-  report.avg_distance = dist_count > 0 ? dist_sum / static_cast<double>(dist_count)
-                                       : 0.0;
-  return report;
+  return {};
 }
 
 }  // namespace ftb

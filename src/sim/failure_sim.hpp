@@ -1,13 +1,14 @@
 // failure_sim.hpp — operational failure drills against a deployed
-// (b,r) FT-BFS structure.
+// (b,r) FT-BFS structure, for either fault model.
 //
 // The simulator plays the role of the network operator from the paper's
-// introduction: edges fail one at a time (reinforced edges never fail, by
-// assumption of the model); after each failure it measures the service
-// level of the surviving structure — distance stretch vs. the surviving
-// *full* network — and aggregates a report. A correct structure always
-// reports stretch 1 and zero SLA violations; the integration tests assert
-// exactly that, and the failure_drill example prints the report.
+// introduction: links or routers fail one at a time (reinforced edges never
+// fail, by assumption of the edge model; the source router never fails);
+// after each failure it measures the service level of the surviving
+// structure — distance stretch vs. the surviving *full* network — and
+// aggregates a report. A correct structure always reports stretch 1 and
+// zero SLA violations; the integration tests assert exactly that, and the
+// failure_drill example prints the report.
 #pragma once
 
 #include <cstdint>
@@ -31,10 +32,23 @@ struct DrillReport {
   std::string to_string() const;
 };
 
-/// Simulates `num_failures` independent single-edge failures drawn
+/// Simulates `num_failures` independent single-EDGE failures drawn
 /// uniformly from the *fault-prone* edges of G (everything except E'),
 /// sampling without replacement when possible. Deterministic given `seed`.
 DrillReport run_failure_drill(const FtBfsStructure& h,
+                              std::int64_t num_failures, std::uint64_t seed);
+
+/// Simulates `num_failures` independent single-VERTEX failures drawn
+/// uniformly from the non-source vertices, sampling without replacement
+/// when possible. Deterministic given `seed`.
+DrillReport run_vertex_failure_drill(const FtBfsStructure& h,
+                                     std::int64_t num_failures,
+                                     std::uint64_t seed);
+
+/// Fault-model dispatch: edge → run_failure_drill, vertex →
+/// run_vertex_failure_drill, dual → both (reports merged; `num_failures`
+/// applies to each storm separately).
+DrillReport run_failure_drill(const FtBfsStructure& h, FaultClass model,
                               std::int64_t num_failures, std::uint64_t seed);
 
 }  // namespace ftb

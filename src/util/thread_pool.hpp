@@ -1,27 +1,33 @@
 // thread_pool.hpp — a small fixed-size worker pool with a deterministic
 // parallel-for primitive.
 //
-// The replacement-path engine runs two O(n·m) BFS sweeps (one BFS per tree
-// edge, one off-path BFS per vertex). Both are embarrassingly parallel:
+// The replacement-path engine runs two O(n·m) BFS sweeps (one BFS per fault
+// site, one off-path BFS per vertex). Both are embarrassingly parallel:
 // every iteration writes a disjoint output slot, so the result is identical
-// regardless of scheduling. parallel_for shards [0, count) into contiguous
-// blocks and hands them to the pool; exceptions raised by any task are
-// rethrown on the caller's thread.
+// regardless of scheduling. parallel_for publishes ONE job descriptor (a
+// type-erased pointer to the caller's callable) and the workers — plus the
+// calling thread itself — claim contiguous index blocks off a shared atomic
+// cursor. A steady-state call therefore allocates nothing: no per-shard
+// task closures, no std::function conversions, no queue nodes. Exceptions
+// raised by any iteration are captured and rethrown on the caller's thread.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <exception>
-#include <functional>
 #include <mutex>
-#include <queue>
 #include <thread>
 #include <vector>
 
 namespace ftb {
 
 /// Fixed-size worker pool. Threads are created once and reused; the pool
-/// joins them on destruction. Safe to use from one submitting thread.
+/// joins them on destruction. Concurrent parallel_for calls (e.g. two
+/// engines built simultaneously on the global pool) are safe: each call
+/// completes through its own caller thread even when the workers' single
+/// attention slot is claimed by another job.
 class ThreadPool {
  public:
   /// `threads == 0` means hardware_concurrency (at least 1).
@@ -35,23 +41,65 @@ class ThreadPool {
 
   /// Runs fn(i) for every i in [0, count). Blocks until all iterations are
   /// done. The first exception thrown by any iteration is rethrown here.
-  /// Iterations are sharded into `shards_per_thread * thread_count()`
-  /// contiguous blocks for load balancing on skewed work.
-  void parallel_for(std::size_t count,
-                    const std::function<void(std::size_t)>& fn,
-                    std::size_t shards_per_thread = 8);
+  /// Iterations are split into up to `shards_per_thread * thread_count()`
+  /// contiguous blocks claimed dynamically off a shared cursor — load
+  /// balancing on skewed work without any per-block allocation. The
+  /// calling thread participates in the work. Iterations with disjoint
+  /// side effects make the result deterministic regardless of scheduling
+  /// (asserted by util_test).
+  template <class Fn>
+  void parallel_for(std::size_t count, const Fn& fn,
+                    std::size_t shards_per_thread = 8) {
+    run_job(count, shards_per_thread, &invoke_thunk<Fn>,
+            static_cast<const void*>(&fn));
+  }
 
   /// The process-wide default pool (sized to hardware concurrency).
   static ThreadPool& global();
 
  private:
+  using BlockFn = void (*)(const void* ctx, std::size_t i);
+
+  template <class Fn>
+  static void invoke_thunk(const void* ctx, std::size_t i) {
+    (*static_cast<const Fn*>(ctx))(i);
+  }
+
+  /// One in-flight parallel_for, living on the caller's stack. Completion
+  /// is tracked purely by participants: a claimed block belongs to a
+  /// participant inside drain(), so "cursor exhausted (the caller's own
+  /// drain returned) ∧ refs == 0" ⇔ every block has been executed. refs is
+  /// guarded by the pool mutex — join/leave and the caller's wait all
+  /// serialize on it, so no completion signal can be missed and no
+  /// participant can touch the job after the caller reclaims it.
+  struct Job {
+    BlockFn fn = nullptr;
+    const void* ctx = nullptr;
+    std::size_t count = 0;       // total iterations
+    std::size_t block = 0;       // iterations per claimed block
+    std::size_t num_blocks = 0;  // ceil(count / block)
+    std::atomic<std::size_t> next_block{0};  // shared claim cursor
+    std::size_t refs = 0;        // workers inside drain(); guarded by mu_
+    std::exception_ptr error;    // first failure (under err_mu)
+    std::mutex err_mu;
+  };
+
+  void run_job(std::size_t count, std::size_t shards_per_thread, BlockFn fn,
+               const void* ctx);
+  /// Claims and executes blocks until the cursor runs dry.
+  void drain(Job& job);
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
   std::mutex mu_;
-  std::condition_variable cv_;
-  bool stop_ = false;
+  std::condition_variable cv_;       // workers: new job or stop
+  std::condition_variable done_cv_;  // callers: some job finished & released
+                                     // (notify_all — several callers may
+                                     // wait here concurrently, each on its
+                                     // own job)
+  Job* current_job_ = nullptr;       // guarded by mu_
+  std::uint64_t job_seq_ = 0;        // guarded by mu_
+  bool stop_ = false;                // guarded by mu_
 };
 
 }  // namespace ftb

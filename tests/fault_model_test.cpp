@@ -1,0 +1,231 @@
+// fault_model_test.cpp — the unified S0 engine across fault models.
+//
+// Differential guarantees the refactor is held to:
+//   * FaultReplacementEngine<EdgeFault> under the scratch kernels is
+//     bit-identical — every pair field, every detour vertex, every table
+//     row — to the reference-kernel pipeline (the pre-refactor engine's
+//     independent realization) on every family seed;
+//   * the same holds for FaultReplacementEngine<VertexFault>;
+//   * vertex-fault StructureOracle queries agree with literal BFS on
+//     G \ {x} exhaustively at small n.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/core/ftbfs.hpp"
+#include "src/core/structure_oracle.hpp"
+#include "src/core/vertex_ftbfs.hpp"
+#include "tests/test_util.hpp"
+
+namespace ftb {
+namespace {
+
+template <class Model>
+void expect_engines_bit_identical(const BfsTree& tree) {
+  typename FaultReplacementEngine<Model>::Config ref_cfg, opt_cfg;
+  ref_cfg.reference_kernel = true;
+  const FaultReplacementEngine<Model> ref(tree, ref_cfg);
+  // Both kernel paths of the optimized engine.
+  for (const bool incremental : {true, false}) {
+    opt_cfg.incremental_dist = incremental;
+    const FaultReplacementEngine<Model> opt(tree, opt_cfg);
+
+    const auto& rp = ref.uncovered_pairs();
+    const auto& op = opt.uncovered_pairs();
+    ASSERT_EQ(rp.size(), op.size());
+    for (std::size_t i = 0; i < rp.size(); ++i) {
+      ASSERT_EQ(rp[i].v, op[i].v) << i;
+      ASSERT_EQ(Model::fault_of(rp[i]), Model::fault_of(op[i])) << i;
+      ASSERT_EQ(Model::pos_of(rp[i]), Model::pos_of(op[i])) << i;
+      ASSERT_EQ(rp[i].rep_dist, op[i].rep_dist) << i;
+      ASSERT_EQ(rp[i].diverge, op[i].diverge) << i;
+      ASSERT_EQ(rp[i].diverge_depth, op[i].diverge_depth) << i;
+      ASSERT_EQ(rp[i].last_edge, op[i].last_edge) << i;
+      ASSERT_EQ(rp[i].detour_len, op[i].detour_len) << i;
+      const auto rd = ref.detour(rp[i]);
+      const auto od = opt.detour(op[i]);
+      ASSERT_TRUE(std::equal(rd.begin(), rd.end(), od.begin(), od.end()))
+          << i;
+    }
+    const auto& rs = ref.stats();
+    const auto& os = opt.stats();
+    EXPECT_EQ(rs.pairs_total, os.pairs_total);
+    EXPECT_EQ(rs.pairs_covered, os.pairs_covered);
+    EXPECT_EQ(rs.pairs_uncovered, os.pairs_uncovered);
+    EXPECT_EQ(rs.pairs_infinite, os.pairs_infinite);
+    EXPECT_EQ(rs.detour_vertices, os.detour_vertices);
+  }
+}
+
+class FaultModelFamilyTest : public ::testing::TestWithParam<std::string> {};
+
+test::FamilyCase find_family(const std::string& name) {
+  for (auto& fc : test::small_families()) {
+    if (fc.name == name) return std::move(fc);
+  }
+  ADD_FAILURE() << "unknown family " << name;
+  return {"", gen::path_graph(2), 0};
+}
+
+std::vector<std::string> family_names() {
+  std::vector<std::string> names;
+  for (const auto& fc : test::small_families()) names.push_back(fc.name);
+  return names;
+}
+
+TEST_P(FaultModelFamilyTest, EdgeEngineBitIdenticalToReference) {
+  const test::FamilyCase fc = find_family(GetParam());
+  const EdgeWeights w = EdgeWeights::uniform_random(fc.graph, 42);
+  const BfsTree tree(fc.graph, w, fc.source);
+  expect_engines_bit_identical<EdgeFault>(tree);
+}
+
+TEST_P(FaultModelFamilyTest, VertexEngineBitIdenticalToReference) {
+  const test::FamilyCase fc = find_family(GetParam());
+  const EdgeWeights w = EdgeWeights::uniform_random(fc.graph, 42);
+  const BfsTree tree(fc.graph, w, fc.source);
+  expect_engines_bit_identical<VertexFault>(tree);
+}
+
+TEST_P(FaultModelFamilyTest, EdgeTablesBitIdenticalAcrossKernels) {
+  const test::FamilyCase fc = find_family(GetParam());
+  const EdgeWeights w = EdgeWeights::uniform_random(fc.graph, 43);
+  const BfsTree tree(fc.graph, w, fc.source);
+  ReplacementPathEngine::Config ref_cfg;
+  ref_cfg.reference_kernel = true;
+  const ReplacementPathEngine ref(tree, ref_cfg);
+  const ReplacementPathEngine opt(tree);
+  for (Vertex v = 0; v < fc.graph.num_vertices(); ++v) {
+    if (!tree.reachable(v)) continue;
+    for (const EdgeId e : tree.tree_edges()) {
+      if (!tree.on_source_path(e, v)) continue;
+      ASSERT_EQ(ref.replacement_dist(v, e), opt.replacement_dist(v, e))
+          << "v=" << v << " e=" << e;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, FaultModelFamilyTest,
+                         ::testing::ValuesIn(family_names()),
+                         [](const auto& pinfo) { return pinfo.param; });
+
+// ---- vertex-fault serving stack ------------------------------------------
+
+TEST(VertexStructureOracleTest, MatchesLiteralBfsExhaustively) {
+  for (auto& fc : test::tiny_families()) {
+    const VertexFtBfsOptions opts;  // default weight seed
+    const FtBfsStructure h = build_vertex_ftbfs(fc.graph, fc.source, opts);
+    ASSERT_EQ(h.fault_class(), FaultClass::kVertex);
+    const EdgeWeights w =
+        EdgeWeights::uniform_random(fc.graph, opts.weight_seed);
+    const BfsTree tree(fc.graph, w, fc.source);
+    const VertexReplacementEngine engine(tree);
+    const VertexStructureOracle oracle(h, engine);
+    const std::size_t n = static_cast<std::size_t>(fc.graph.num_vertices());
+    for (Vertex x = 0; x < fc.graph.num_vertices(); ++x) {
+      if (x == fc.source) continue;
+      // Literal BFS in H \ {x} — the deployed artifact, not G.
+      std::vector<std::uint8_t> banned(n, 0);
+      banned[static_cast<std::size_t>(x)] = 1;
+      BfsBans bans;
+      bans.banned_vertex = &banned;
+      bans.banned_edge_mask = &h.complement_mask();
+      const BfsResult brute = plain_bfs(fc.graph, fc.source, bans);
+      for (Vertex v = 0; v < fc.graph.num_vertices(); ++v) {
+        if (v == x) continue;
+        ASSERT_EQ(oracle.query(v, x),
+                  brute.dist[static_cast<std::size_t>(v)])
+            << fc.name << " v=" << v << " x=" << x;
+        ASSERT_EQ(oracle.query_unchecked(v, x), oracle.query(v, x));
+      }
+    }
+  }
+}
+
+TEST(VertexStructureOracleTest, SourceFailureRefused) {
+  const Graph g = gen::cycle_graph(8);
+  const VertexFtBfsOptions opts;
+  const FtBfsStructure h = build_vertex_ftbfs(g, 0, opts);
+  const EdgeWeights w = EdgeWeights::uniform_random(g, opts.weight_seed);
+  const BfsTree tree(g, w, 0);
+  const VertexReplacementEngine engine(tree);
+  const VertexStructureOracle oracle(h, engine);
+  EXPECT_THROW(oracle.query(3, 0), CheckError);
+}
+
+TEST(VertexOracleTest, PathQueriesAreValidReplacementPaths) {
+  for (auto& fc : test::tiny_families()) {
+    const EdgeWeights w = EdgeWeights::uniform_random(fc.graph, 44);
+    const BfsTree tree(fc.graph, w, fc.source);
+    const VertexReplacementEngine engine(tree);  // detours collected
+    const VertexReplacementOracle oracle(engine);
+    for (const VertexFaultPair& p : engine.uncovered_pairs()) {
+      const std::vector<Vertex> path = oracle.path(p.v, p.x);
+      ASSERT_EQ(path.front(), fc.source);
+      ASSERT_EQ(path.back(), p.v);
+      ASSERT_EQ(static_cast<std::int32_t>(path.size()) - 1, p.rep_dist);
+      for (std::size_t i = 0; i < path.size(); ++i) {
+        ASSERT_NE(path[i], p.x) << "path re-touches the failed vertex";
+        if (i + 1 < path.size()) {
+          ASSERT_NE(fc.graph.find_edge(path[i], path[i + 1]), kInvalidEdge);
+        }
+      }
+      const EdgeId last =
+          fc.graph.find_edge(path[path.size() - 2], path.back());
+      ASSERT_EQ(last, p.last_edge);
+    }
+  }
+}
+
+TEST(VertexEngineTest, CoveredTestMatchesLiteralGPrime) {
+  for (auto& fc : test::tiny_families()) {
+    const EdgeWeights w = EdgeWeights::uniform_random(fc.graph, 45);
+    const BfsTree tree(fc.graph, w, fc.source);
+    const VertexReplacementEngine engine(tree);
+    const std::size_t n = static_cast<std::size_t>(fc.graph.num_vertices());
+    for (Vertex v = 0; v < fc.graph.num_vertices(); ++v) {
+      if (!tree.reachable(v) || tree.depth(v) < 2) continue;
+      // Literal G'(v): ban v's non-tree incident edges.
+      std::vector<std::uint8_t> mask(
+          static_cast<std::size_t>(fc.graph.num_edges()), 0);
+      for (const Arc& a : fc.graph.neighbors(v)) {
+        const bool tree_incident =
+            a.edge == tree.parent_edge(v) ||
+            (tree.is_tree_edge(a.edge) && tree.lower_endpoint(a.edge) == a.to);
+        if (!tree_incident) mask[static_cast<std::size_t>(a.edge)] = 1;
+      }
+      const std::vector<Vertex> path = tree.path_from_source(v);
+      for (std::size_t i = 1; i + 1 < path.size(); ++i) {
+        const Vertex x = path[i];
+        const std::int32_t rd = engine.replacement_dist(v, x);
+        if (rd >= kInfHops) continue;
+        std::vector<std::uint8_t> banned(n, 0);
+        banned[static_cast<std::size_t>(x)] = 1;
+        BfsBans bans;
+        bans.banned_edge_mask = &mask;
+        bans.banned_vertex = &banned;
+        const BfsResult gp = plain_bfs(fc.graph, fc.source, bans);
+        const bool covered_brute =
+            gp.dist[static_cast<std::size_t>(v)] == rd;
+        ASSERT_EQ(engine.covered(v, x), covered_brute)
+            << fc.name << " v=" << v << " x=" << x;
+      }
+    }
+  }
+}
+
+TEST(FaultClassTest, TagsAndParsingRoundTrip) {
+  for (const FaultClass fc :
+       {FaultClass::kEdge, FaultClass::kVertex, FaultClass::kDual}) {
+    EXPECT_EQ(parse_fault_class(to_string(fc)), fc);
+  }
+  EXPECT_THROW(parse_fault_class("meteor"), CheckError);
+
+  const Graph g = gen::gnm(24, 80, 9);
+  EXPECT_EQ(build_ftbfs(g, 0).fault_class(), FaultClass::kEdge);
+  EXPECT_EQ(build_vertex_ftbfs(g, 0).fault_class(), FaultClass::kVertex);
+  EXPECT_EQ(build_dual_ftbfs(g, 0).fault_class(), FaultClass::kDual);
+}
+
+}  // namespace
+}  // namespace ftb

@@ -82,6 +82,35 @@ TEST(MultiSource, SingleSourceDegeneratesToEpsilonFtBfs) {
 TEST(MultiSource, EmptySourcesRejected) {
   const Graph g = gen::path_graph(4);
   EXPECT_THROW(build_epsilon_ftmbfs(g, {}, {}), CheckError);
+  EXPECT_THROW(build_vertex_ftmbfs(g, {}, {}), CheckError);
+}
+
+TEST(MultiSource, VertexUnionContractHoldsForEverySource) {
+  const Graph g = gen::gnm(40, 150, 87);
+  const std::vector<Vertex> sources{0, 7, 23};
+  const MultiSourceResult ms = build_vertex_ftmbfs(g, sources);
+  EXPECT_EQ(ms.structure.fault_class(), FaultClass::kVertex);
+  EXPECT_EQ(verify_vertex_multi_source(g, ms), 0);
+}
+
+TEST(MultiSource, VertexUnionDominatesEverySingleSource) {
+  const Graph g = gen::gnm(36, 140, 89);
+  const std::vector<Vertex> sources{0, 5, 11};
+  const MultiSourceResult ms = build_vertex_ftmbfs(g, sources);
+  for (const Vertex s : sources) {
+    const FtBfsStructure single = build_vertex_ftbfs(g, s);
+    for (const EdgeId e : single.edges()) {
+      EXPECT_TRUE(ms.structure.contains(e));
+    }
+  }
+}
+
+TEST(MultiSource, VertexSingleSourceDegeneratesToBaseline) {
+  const Graph g = gen::gnm(30, 110, 91);
+  const MultiSourceResult ms = build_vertex_ftmbfs(g, {4});
+  const FtBfsStructure single = build_vertex_ftbfs(g, 4);
+  EXPECT_EQ(ms.structure.edges(), single.edges());
+  EXPECT_EQ(ms.structure.tree_edges(), single.tree_edges());
 }
 
 }  // namespace

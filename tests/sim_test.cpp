@@ -4,6 +4,7 @@
 
 #include "src/core/epsilon_ftbfs.hpp"
 #include "src/core/ftbfs.hpp"
+#include "src/core/vertex_ftbfs.hpp"
 #include "src/graph/generators.hpp"
 #include "src/sim/failure_sim.hpp"
 
@@ -60,6 +61,49 @@ TEST(FailureSim, DeterministicGivenSeed) {
   const DrillReport a = run_failure_drill(h, 50, 11);
   const DrillReport b = run_failure_drill(h, 50, 11);
   EXPECT_EQ(a.to_string(), b.to_string());
+}
+
+TEST(FailureSim, VertexDrillCleanOnVertexStructure) {
+  const Graph g = gen::gnm(40, 180, 69);
+  const FtBfsStructure h = build_vertex_ftbfs(g, 0);
+  const DrillReport rep = run_vertex_failure_drill(h, 100, 1);
+  EXPECT_EQ(rep.violations, 0) << rep.to_string();
+  EXPECT_DOUBLE_EQ(rep.max_stretch, 1.0);
+  EXPECT_GT(rep.drills, 0);
+  // All n−1 routers are fault-prone; asking for more caps there.
+  const DrillReport all = run_vertex_failure_drill(h, g.num_vertices() * 2, 2);
+  EXPECT_EQ(all.drills, g.num_vertices() - 1);
+}
+
+TEST(FailureSim, VertexDrillDetectsBareTree) {
+  const Graph g = gen::erdos_renyi(36, 0.25, 71);
+  const EdgeWeights w = EdgeWeights::uniform_random(g, 6);
+  const BfsTree tree(g, w, 0);
+  const FtBfsStructure bare(g, 0, tree.tree_edges(), {}, tree.tree_edges());
+  const DrillReport rep =
+      run_vertex_failure_drill(bare, g.num_vertices(), 7);
+  EXPECT_GT(rep.violations, 0);
+}
+
+TEST(FailureSim, FaultClassDispatchMatchesDirectCalls) {
+  const Graph g = gen::gnm(32, 140, 73);
+  const FtBfsStructure eh = build_ftbfs(g, 0);
+  EXPECT_EQ(run_failure_drill(eh, FaultClass::kEdge, 40, 9).to_string(),
+            run_failure_drill(eh, 40, 9).to_string());
+  const FtBfsStructure vh = build_vertex_ftbfs(g, 0);
+  EXPECT_EQ(run_failure_drill(vh, FaultClass::kVertex, 40, 9).to_string(),
+            run_vertex_failure_drill(vh, 40, 9).to_string());
+}
+
+TEST(FailureSim, DualDrillRunsBothStorms) {
+  const Graph g = gen::gnm(32, 140, 75);
+  const FtBfsStructure dual = build_dual_ftbfs(g, 0);
+  const DrillReport edge_rep = run_failure_drill(dual, 1000, 3);
+  const DrillReport vrep = run_vertex_failure_drill(dual, 1000, 3);
+  const DrillReport both = run_failure_drill(dual, FaultClass::kDual, 1000, 3);
+  EXPECT_EQ(both.drills, edge_rep.drills + vrep.drills);
+  EXPECT_EQ(both.violations, 0) << both.to_string();
+  EXPECT_DOUBLE_EQ(both.max_stretch, 1.0);
 }
 
 TEST(FailureSim, BridgeFailuresCountAsDisconnections) {

@@ -6,6 +6,7 @@
 #include "src/core/epsilon_ftbfs.hpp"
 #include "src/core/ftbfs.hpp"
 #include "src/core/verifier.hpp"
+#include "src/core/vertex_ftbfs.hpp"
 #include "src/graph/generators.hpp"
 #include "src/io/structure_io.hpp"
 
@@ -61,6 +62,51 @@ TEST(StructureIo, RejectsWrongVertexCount) {
   io::write_structure(h, ss);
   const Graph other = gen::gnm(31, 120, 9);
   EXPECT_THROW(io::read_structure(other, ss), CheckError);
+}
+
+TEST(StructureIo, FaultModelTagRoundTrips) {
+  const Graph g = gen::gnm(36, 150, 11);
+  for (const FaultClass model :
+       {FaultClass::kVertex, FaultClass::kDual, FaultClass::kEdge}) {
+    const FtBfsStructure h = model == FaultClass::kVertex
+                                 ? build_vertex_ftbfs(g, 0)
+                                 : model == FaultClass::kDual
+                                       ? build_dual_ftbfs(g, 0)
+                                       : build_ftbfs(g, 0);
+    ASSERT_EQ(h.fault_class(), model);
+    std::stringstream ss;
+    io::write_structure(h, ss);
+    const FtBfsStructure back = io::read_structure(g, ss);
+    EXPECT_EQ(back.fault_class(), model);
+    EXPECT_EQ(back.edges(), h.edges());
+    EXPECT_EQ(back.tree_edges(), h.tree_edges());
+  }
+}
+
+TEST(StructureIo, Version1FilesLoadAsEdgeModel) {
+  // A v1 artifact (no fault-model line) predates the tag and must keep
+  // loading — defaulting to the edge model.
+  const Graph g = gen::path_graph(4);
+  std::stringstream ss(
+      "ftbfs-structure 1\n"
+      "# legacy artifact\n"
+      "4 3 0\n"
+      "0 1 2\n"
+      "1 2 2\n"
+      "2 3 3\n");
+  const FtBfsStructure h = io::read_structure(g, ss);
+  EXPECT_EQ(h.fault_class(), FaultClass::kEdge);
+  EXPECT_EQ(h.num_edges(), 3);
+  EXPECT_EQ(h.num_reinforced(), 1);
+}
+
+TEST(StructureIo, RejectsBadFaultModelTag) {
+  const Graph g = gen::path_graph(4);
+  std::stringstream ss(
+      "ftbfs-structure 2\n"
+      "fault-model meteor\n"
+      "4 0 0\n");
+  EXPECT_THROW(io::read_structure(g, ss), CheckError);
 }
 
 TEST(StructureIo, RejectsMalformedInput) {

@@ -63,6 +63,26 @@ TEST(StructureOracle, RefusesReinforcedFailures) {
   }
 }
 
+TEST(StructureOracle, UncheckedScratchCacheStaysExact) {
+  // query_unchecked caches one literal BFS per distinct failed edge on a
+  // member scratch; alternating failures and sweeping vertices must keep
+  // returning exactly what a fresh BFS reports.
+  Fixture fx(gen::lollipop(12, 8), 0.05, 27);
+  std::vector<EdgeId> probe = fx.res.structure.reinforced();
+  if (probe.size() > 3) probe.resize(3);
+  if (probe.empty()) return;  // nothing reinforced at this seed — vacuous
+  for (int round = 0; round < 2; ++round) {
+    for (const EdgeId e : probe) {
+      const auto fresh = fx.res.structure.distances_avoiding(e);
+      for (Vertex v = 0; v < fx.g.num_vertices(); ++v) {
+        ASSERT_EQ(fx.oracle.query_unchecked(v, e),
+                  fresh[static_cast<std::size_t>(v)])
+            << "round=" << round << " v=" << v << " e=" << e;
+      }
+    }
+  }
+}
+
 TEST(StructureOracle, RejectsMismatchedEngines) {
   const Graph g = gen::gnm(30, 120, 25);
   const EdgeWeights w1 = EdgeWeights::uniform_random(g, 1);

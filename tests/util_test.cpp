@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <numeric>
 #include <sstream>
 
@@ -108,6 +109,81 @@ TEST(ThreadPool, ExceptionsPropagate) {
 TEST(ThreadPool, GlobalPoolSingleton) {
   EXPECT_EQ(&ThreadPool::global(), &ThreadPool::global());
   EXPECT_GE(ThreadPool::global().thread_count(), 1u);
+}
+
+TEST(ThreadPool, ParallelForIsDeterministicOnDisjointWrites) {
+  // The atomic-cursor scheduler may assign blocks to threads in any order;
+  // iterations with disjoint side effects must nevertheless produce the
+  // exact serial result, run after run.
+  ThreadPool pool(5);
+  const std::size_t n = 4099;
+  std::vector<std::uint64_t> serial(n);
+  for (std::size_t i = 0; i < n; ++i) serial[i] = i * i + 7 * i + 3;
+  for (int run = 0; run < 20; ++run) {
+    std::vector<std::uint64_t> out(n, 0);
+    pool.parallel_for(n, [&](std::size_t i) { out[i] = i * i + 7 * i + 3; });
+    ASSERT_EQ(out, serial) << "run " << run;
+  }
+}
+
+TEST(ThreadPool, ParallelForHandlesSkewedWork) {
+  // Heavily skewed iteration costs exercise dynamic block claiming; every
+  // index must still be visited exactly once.
+  ThreadPool pool(4);
+  const std::size_t n = 501;
+  std::vector<std::atomic<int>> hits(n);
+  pool.parallel_for(n, [&](std::size_t i) {
+    if (i % 97 == 0) {
+      volatile std::uint64_t sink = 0;
+      for (int k = 0; k < 200000; ++k) {
+        sink = sink + static_cast<std::uint64_t>(k);
+      }
+    }
+    hits[i]++;
+  });
+  for (const auto& h : hits) ASSERT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ConcurrentCallersEachComplete) {
+  // Several threads submitting to ONE pool (the global-pool pattern when
+  // two engines build simultaneously): every call must run all its
+  // iterations and return — no lost completion wakeups.
+  ThreadPool pool(3);
+  constexpr int kCallers = 4;
+  constexpr int kRounds = 50;
+  constexpr std::size_t kCount = 257;
+  std::atomic<std::int64_t> total{0};
+  std::vector<std::thread> callers;
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&] {
+      for (int r = 0; r < kRounds; ++r) {
+        std::vector<int> out(kCount, 0);
+        pool.parallel_for(kCount, [&](std::size_t i) { out[i] = 1; });
+        std::int64_t sum = 0;
+        for (const int v : out) sum += v;
+        total.fetch_add(sum);
+      }
+    });
+  }
+  for (auto& t : callers) t.join();
+  EXPECT_EQ(total.load(),
+            static_cast<std::int64_t>(kCallers) * kRounds *
+                static_cast<std::int64_t>(kCount));
+}
+
+TEST(ThreadPool, ParallelForAcceptsNonStdFunctionCallables) {
+  // The template overload must not round-trip through std::function; a
+  // move-only-capturing callable compiles and runs.
+  ThreadPool pool(2);
+  auto big = std::make_unique<int>(17);
+  std::vector<int> out(64, 0);
+  const auto fn = [&out, big = std::move(big)](std::size_t i) {
+    out[i] = *big + static_cast<int>(i);
+  };
+  pool.parallel_for(out.size(), fn);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    ASSERT_EQ(out[i], 17 + static_cast<int>(i));
+  }
 }
 
 TEST(Table, AlignedPrinting) {
