@@ -20,10 +20,13 @@
 #include <string_view>
 
 #include "bench/bench_util.hpp"
+#include "src/api/ftbfs_api.hpp"
 #include "src/core/epsilon_ftbfs.hpp"
 #include "src/core/ftbfs.hpp"
 #include "src/core/replacement.hpp"
+#include "src/core/structure_oracle.hpp"
 #include "src/core/vertex_ftbfs.hpp"
+#include "src/graph/bfs_kernel.hpp"
 
 using namespace ftb;
 
@@ -132,6 +135,171 @@ double time_engine(const BfsTree& tree, bool reference,
   const double sec = t.seconds();
   if (stats_out != nullptr) *stats_out = engine.stats();
   return sec;
+}
+
+// ---- batched query plane vs the serial oracle ------------------------------
+
+/// Measures the api::Session batched query plane against the serial
+/// single-scratch serving path (StructureOracle::query_unchecked plus the
+/// same one-slot BFS cache for vertex what-ifs), on the structure the
+/// speedup report just built. Two workloads:
+///   * in-model sweep — every (tree edge, vertex) pair, fault-major: both
+///     sides are O(1) lookups, so the ratio isolates batching overhead and
+///     thread scaling;
+///   * interleaved what-if storm — out-of-model faults arriving mixed (the
+///     production shape): the serial path's one-slot cache misses almost
+///     every query and pays a literal BFS each time, while the batched
+///     plane groups the storm by fault and pays ONE traversal per distinct
+///     failure, fanned out across the pool.
+/// Returns false when the two paths disagree on any distance (CI trips).
+bool run_query_plane_report(const Graph& g, const FtBfsStructure& h,
+                            bench::JsonObject* out, double* headline) {
+  const Vertex n = g.num_vertices();
+  constexpr std::size_t kThreads = 8;
+
+  // The legacy serial serving stack.
+  const EdgeWeights w =
+      EdgeWeights::uniform_random(g, EpsilonOptions{}.weight_seed);
+  const BfsTree tree(g, w, 0);
+  ReplacementPathEngine::Config ecfg;
+  ecfg.collect_detours = false;
+  const ReplacementPathEngine engine(tree, ecfg);
+  const StructureOracle oracle(h, engine);
+
+  // The batched plane on its own 8-worker pool (the acceptance target).
+  ThreadPool pool(kThreads);
+  api::BuildSpec spec;
+  spec.sources = {0};
+  spec.pool = &pool;
+  const api::Session session = api::Session::deploy(
+      g, api::BuildResult{spec, {0}, FtBfsStructure(h), {}, 0.0});
+
+  bool agree = true;
+
+  // Workload 1: in-model sweep, fault-major.
+  std::vector<api::Query> sweep;
+  for (const EdgeId e : h.tree_edges()) {
+    if (h.is_reinforced(e)) continue;
+    for (Vertex v = 0; v < n; v += 2) {
+      api::Query q;
+      q.v = v;
+      q.kind = FaultClass::kEdge;
+      q.fault = e;
+      sweep.push_back(q);
+    }
+  }
+  Timer t;
+  std::int64_t serial_sum = 0;
+  for (const api::Query& q : sweep) {
+    serial_sum += oracle.query_unchecked(q.v, q.fault);
+  }
+  const double sweep_serial_s = t.seconds();
+  t.restart();
+  const api::QueryResponse sweep_resp = session.query(sweep);
+  const double sweep_batched_s = t.seconds();
+  std::int64_t batched_sum = 0;
+  for (const api::QueryResult& r : sweep_resp.results) batched_sum += r.dist;
+  if (batched_sum != serial_sum) {
+    agree = false;
+    std::cout << "!!! query plane: in-model sweep disagrees with the serial "
+                 "oracle\n";
+  }
+
+  // Workload 2: interleaved what-if storm — all reinforced edges (if any)
+  // plus a spread of router failures, arriving fault-interleaved.
+  std::vector<std::pair<FaultClass, std::int32_t>> faults;
+  for (const EdgeId e : h.reinforced()) {
+    faults.emplace_back(FaultClass::kEdge, e);
+  }
+  const Vertex stride = std::max<Vertex>(1, n / 48);
+  for (Vertex x = 1; x < n; x += stride) {
+    faults.emplace_back(FaultClass::kVertex, x);
+  }
+  std::vector<api::Query> storm;
+  for (Vertex v = 0; v < n; v += 8) {
+    for (const auto& [kind, fault] : faults) {
+      api::Query q;
+      q.v = v;
+      q.kind = kind;
+      q.fault = fault;
+      q.allow_what_if = true;
+      storm.push_back(q);
+    }
+  }
+
+  // Serial baseline: query_unchecked for edge faults (the oracle's own
+  // one-slot cache) and the equivalent one-slot-cached literal BFS for
+  // router faults — exactly what a serial server could do per query.
+  t.restart();
+  std::int64_t storm_serial_sum = 0;
+  {
+    BfsScratch scratch;
+    std::vector<std::uint8_t> mask(static_cast<std::size_t>(n), 0);
+    Vertex cached = kInvalidVertex;
+    for (const api::Query& q : storm) {
+      if (q.kind == FaultClass::kEdge) {
+        storm_serial_sum += oracle.query_unchecked(q.v, q.fault);
+        continue;
+      }
+      if (q.fault != cached) {
+        if (cached != kInvalidVertex) {
+          mask[static_cast<std::size_t>(cached)] = 0;
+        }
+        mask[static_cast<std::size_t>(q.fault)] = 1;
+        BfsBans bans;
+        bans.banned_vertex = &mask;
+        bans.banned_edge_mask = &h.complement_mask();
+        bfs_run(g, 0, bans, scratch);
+        cached = q.fault;
+      }
+      storm_serial_sum += q.v == q.fault ? kInfHops : scratch.dist(q.v);
+    }
+  }
+  const double storm_serial_s = t.seconds();
+  t.restart();
+  const api::QueryResponse storm_resp = session.query(storm);
+  const double storm_batched_s = t.seconds();
+  std::int64_t storm_batched_sum = 0;
+  for (const api::QueryResult& r : storm_resp.results) {
+    storm_batched_sum += r.dist;
+  }
+  if (storm_batched_sum != storm_serial_sum) {
+    agree = false;
+    std::cout << "!!! query plane: what-if storm disagrees with the serial "
+                 "baseline\n";
+  }
+
+  const double sweep_speedup = sweep_serial_s / sweep_batched_s;
+  const double storm_speedup = storm_serial_s / storm_batched_s;
+  Table tb("query plane: batched Session vs serial oracle (threads=" +
+           std::to_string(kThreads) + ")");
+  tb.columns({"workload", "queries", "serial_s", "batched_s", "speedup"});
+  tb.row("in_model_sweep", static_cast<long long>(sweep.size()),
+         sweep_serial_s, sweep_batched_s, sweep_speedup);
+  tb.row("what_if_storm", static_cast<long long>(storm.size()),
+         storm_serial_s, storm_batched_s, storm_speedup);
+  tb.print(std::cout);
+  std::cout << "what-if storm: " << faults.size() << " distinct faults, "
+            << storm_resp.what_if_traversals
+            << " traversals paid by the batched plane\n";
+
+  bench::JsonObject qp;
+  qp.set("threads", static_cast<std::int64_t>(kThreads))
+      .set("in_model_queries", static_cast<std::int64_t>(sweep.size()))
+      .set("in_model_serial_s", sweep_serial_s)
+      .set("in_model_batched_s", sweep_batched_s)
+      .set("speedup_in_model", sweep_speedup)
+      .set("what_if_queries", static_cast<std::int64_t>(storm.size()))
+      .set("what_if_distinct_faults",
+           static_cast<std::int64_t>(faults.size()))
+      .set("what_if_traversals", storm_resp.what_if_traversals)
+      .set("what_if_serial_s", storm_serial_s)
+      .set("what_if_batched_s", storm_batched_s)
+      .set("speedup_what_if_storm", storm_speedup)
+      .set("answers_identical", agree);
+  *out = qp;
+  *headline = storm_speedup;
+  return agree;
 }
 
 /// Returns false when any reference-vs-optimized edge-set comparison
@@ -264,6 +432,13 @@ bool run_speedup_report() {
       .set("s2_s", full_opt.stats.seconds_s2)
       .set("interference_s", full_opt.stats.seconds_interference);
 
+  // The serving-side measurement: batched Session vs the serial oracle.
+  bench::JsonObject query_plane;
+  double query_speedup = 0;
+  const bool plane_agrees =
+      run_query_plane_report(g, full_opt.structure, &query_plane,
+                             &query_speedup);
+
   bench::JsonObject report;
   report.set("bench", std::string("construction_time"))
       .set("workload", std::string("dense_random"))
@@ -278,14 +453,17 @@ bool run_speedup_report() {
       .set("speedup_vertex_engine", vsec_ref / vsec_opt)
       .set("speedup_construction", sec_full_ref / sec_full_opt)
       .set_raw("vertex_per_seed", vertex_rows.str(2))
+      .set_raw("query_plane", query_plane.str(2))
+      .set("speedup_query_batched_vs_serial", query_speedup)
       .set("edge_sets_identical", identical && full_identical);
   bench::write_json_file("BENCH_construction.json", report);
   std::cout << "engine speedup: " << sec_ref / sec_opt
             << "x (edge), " << vsec_ref / vsec_opt
             << "x (vertex), construction speedup: "
             << sec_full_ref / sec_full_opt
-            << "x  (BENCH_construction.json written)\n\n";
-  return identical && full_identical;
+            << "x, batched query plane: " << query_speedup
+            << "x vs serial  (BENCH_construction.json written)\n\n";
+  return identical && full_identical && plane_agrees;
 }
 
 }  // namespace

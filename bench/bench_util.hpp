@@ -8,19 +8,24 @@
 #pragma once
 
 #include <cmath>
-#include <fstream>
 #include <iostream>
-#include <sstream>
 #include <string>
 #include <vector>
 
 #include "src/graph/generators.hpp"
 #include "src/graph/lower_bound.hpp"
+#include "src/util/json.hpp"
 #include "src/util/options.hpp"
 #include "src/util/table.hpp"
 #include "src/util/timer.hpp"
 
 namespace ftb::bench {
+
+// The JSON builders every bench (and now the CLI) share live in
+// src/util/json.hpp; the historical ftb::bench names remain valid.
+using ftb::JsonArray;
+using ftb::JsonObject;
+using ftb::write_json_file;
 
 inline void header(const std::string& id, const std::string& claim,
                    const std::string& workload) {
@@ -53,85 +58,6 @@ inline Graph dense_random(Vertex n, std::uint64_t seed) {
   const auto m = static_cast<std::int64_t>(
       std::pow(static_cast<double>(n), 1.35));
   return gen::random_connected(n, m, seed);
-}
-
-/// Minimal ordered JSON builder so benches can emit machine-readable
-/// reports (e.g. BENCH_construction.json) next to their stdout tables, and
-/// the perf trajectory can be tracked across PRs. Values are insertion-
-/// ordered; nested objects/arrays go in via set_raw.
-class JsonObject {
- public:
-  JsonObject& set(const std::string& key, double v) {
-    if (!std::isfinite(v)) return set_raw(key, "null");  // keep valid JSON
-    std::ostringstream os;
-    os << v;
-    return set_raw(key, os.str());
-  }
-  JsonObject& set(const std::string& key, std::int64_t v) {
-    return set_raw(key, std::to_string(v));
-  }
-  JsonObject& set(const std::string& key, bool v) {
-    return set_raw(key, v ? "true" : "false");
-  }
-  JsonObject& set(const std::string& key, const std::string& v) {
-    return set_raw(key, "\"" + v + "\"");  // callers pass plain identifiers
-  }
-  JsonObject& set_raw(const std::string& key, const std::string& json) {
-    kv_.emplace_back(key, json);
-    return *this;
-  }
-
-  std::string str(int indent = 0) const {
-    const std::string pad(static_cast<std::size_t>(indent) + 2, ' ');
-    std::ostringstream os;
-    os << "{\n";
-    for (std::size_t i = 0; i < kv_.size(); ++i) {
-      os << pad << "\"" << kv_[i].first << "\": " << kv_[i].second;
-      if (i + 1 < kv_.size()) os << ",";
-      os << "\n";
-    }
-    os << std::string(static_cast<std::size_t>(indent), ' ') << "}";
-    return os.str();
-  }
-
- private:
-  std::vector<std::pair<std::string, std::string>> kv_;
-};
-
-/// Companion array builder (e.g. per-seed rows); nests via JsonObject::
-/// set_raw(key, arr.str(indent)).
-class JsonArray {
- public:
-  JsonArray& push(const JsonObject& obj) {
-    items_.push_back(obj.str(4));
-    return *this;
-  }
-  JsonArray& push_raw(const std::string& json) {
-    items_.push_back(json);
-    return *this;
-  }
-
-  std::string str(int indent = 0) const {
-    if (items_.empty()) return "[]";
-    const std::string pad(static_cast<std::size_t>(indent) + 2, ' ');
-    std::ostringstream os;
-    os << "[\n";
-    for (std::size_t i = 0; i < items_.size(); ++i) {
-      os << pad << items_[i];
-      if (i + 1 < items_.size()) os << ",";
-      os << "\n";
-    }
-    os << std::string(static_cast<std::size_t>(indent), ' ') << "]";
-    return os.str();
-  }
-
- private:
-  std::vector<std::string> items_;
-};
-
-inline void write_json_file(const std::string& path, const JsonObject& obj) {
-  std::ofstream out(path);
-  out << obj.str() << "\n";
 }
 
 }  // namespace ftb::bench

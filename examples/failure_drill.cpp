@@ -1,18 +1,19 @@
-// failure_drill — operational resilience rehearsal.
+// failure_drill — operational resilience rehearsal, served by the facade.
 //
-// Deploy an ε FT-BFS structure over a metro-grid network, then inject a
-// storm of random single-link failures and measure the service level of
-// the surviving structure: a correct deployment reports stretch 1.0 and
-// zero SLA violations. For contrast, the same drill runs against a naive
-// "just the BFS tree" deployment, which fails the drill visibly.
+// Deploy an ε FT-BFS structure over a metro-grid network as an
+// api::Session, then inject a storm of random single-link failures and
+// measure the service level of the surviving structure: a correct
+// deployment reports stretch 1.0 and zero SLA violations. The drill's
+// surviving-graph side is answered by the session's batched query plane
+// (one O(1) lookup per query instead of a BFS per drill). For contrast,
+// the same storm runs against a naive "just the BFS tree" deployment,
+// which fails the drill visibly.
 //
 //   ./example_failure_drill [--rows=18] [--cols=18] [--eps=0.3]
 //   [--drills=300]
 #include <iostream>
 
-#include "src/core/epsilon_ftbfs.hpp"
-#include "src/core/structure_oracle.hpp"
-#include "src/core/vertex_ftbfs.hpp"
+#include "src/api/ftbfs_api.hpp"
 #include "src/graph/bfs_tree.hpp"
 #include "src/graph/generators.hpp"
 #include "src/sim/failure_sim.hpp"
@@ -48,52 +49,78 @@ int main(int argc, char** argv) {
   const Vertex source = 0;  // northwest depot
   std::cout << "metro network: " << g.summary() << "\n";
 
-  EpsilonOptions opts;
-  opts.eps = eps;
-  const EpsilonResult res = build_epsilon_ftbfs(g, source, opts);
-  std::cout << "deployed: " << res.structure.summary() << "\n\n";
+  api::BuildSpec spec;
+  spec.sources = {source};
+  spec.eps = eps;
+  const api::Session session = api::Session::open(g, spec);
+  std::cout << "deployed: " << session.structure().summary() << "\n\n";
 
-  std::cout << "drilling " << drills << " random single-link failures...\n";
-  const DrillReport rep = run_failure_drill(res.structure, drills, 2024);
+  std::cout << "drilling " << drills << " random single-link failures "
+               "through the session...\n";
+  const DrillReport rep =
+      run_failure_drill(session, FaultClass::kEdge, drills, 2024);
   std::cout << "  " << rep.to_string() << "\n";
   std::cout << (rep.violations == 0 ? "  SLA HELD: every surviving node kept "
                                       "its exact shortest path.\n"
                                     : "  SLA BROKEN!\n");
 
-  // What-if sweep: the model says reinforced links never fail — but the
-  // operator still wants the nightmare numbers. query_unchecked answers
-  // them with ONE literal BFS per distinct failure, cached on the oracle's
-  // scratch arena, so this sweep does not thrash the allocator.
+  // What-if sweep: the model says reinforced links never fail, and routers
+  // are outside the edge model entirely — but the operator still wants the
+  // nightmare numbers. One batched query() answers both: the plane groups
+  // the out-of-model failures and pays ONE literal traversal per distinct
+  // fault, fanned out across the pool's workers.
   {
-    const EdgeWeights w = EdgeWeights::uniform_random(g, opts.weight_seed);
-    const BfsTree tree(g, w, source);
-    const ReplacementPathEngine engine(tree);
-    const StructureOracle oracle(res.structure, engine);
-    std::int64_t cutoff = 0, degraded = 0, queries = 0;
-    Timer t;
-    for (const EdgeId e : res.structure.reinforced()) {
+    std::vector<api::Query> storm;
+    for (const EdgeId e : session.structure().reinforced()) {
       for (Vertex v = 0; v < g.num_vertices(); ++v) {
-        const std::int32_t d = oracle.query_unchecked(v, e);
-        ++queries;
-        if (d >= kInfHops) {
-          ++cutoff;
-        } else if (d > tree.depth(v)) {
-          ++degraded;
-        }
+        api::Query q;
+        q.v = v;
+        q.kind = FaultClass::kEdge;
+        q.fault = e;
+        q.allow_what_if = true;
+        storm.push_back(q);
       }
     }
-    std::cout << "\nwhat-if: even the " << res.structure.num_reinforced()
-              << " reinforced links can fail (" << queries << " queries in "
-              << t.seconds() << "s): " << degraded << " degraded, " << cutoff
+    Rng rng(7);
+    for (int i = 0; i < 12; ++i) {  // a dozen random router failures
+      const Vertex x = static_cast<Vertex>(
+          1 + rng.next_below(static_cast<std::uint64_t>(g.num_vertices() - 1)));
+      for (Vertex v = 0; v < g.num_vertices(); ++v) {
+        api::Query q;
+        q.v = v;
+        q.kind = FaultClass::kVertex;
+        q.fault = x;
+        q.allow_what_if = true;
+        storm.push_back(q);
+      }
+    }
+    Timer t;
+    const api::QueryResponse what_if = session.query(storm);
+    std::int64_t cutoff = 0, degraded = 0;
+    for (std::size_t i = 0; i < storm.size(); ++i) {
+      const std::int32_t d = what_if.results[i].dist;
+      if (d >= kInfHops) {
+        ++cutoff;
+      } else if (d > session.distance(0, storm[i].v)) {
+        ++degraded;
+      }
+    }
+    std::cout << "\nwhat-if: " << storm.size() << " out-of-model queries ("
+              << what_if.what_if_traversals << " literal traversals) in "
+              << t.seconds() << "s: " << degraded << " degraded, " << cutoff
               << " cut off\n";
   }
 
   // A router (vertex) storm against a vertex-fault deployment of the same
-  // metro network — the other half of the fault-model policy layer.
-  const FtBfsStructure vh = build_vertex_ftbfs(g, source);
-  std::cout << "\nvertex-fault deployment: " << vh.summary() << "\n";
+  // metro network — same facade, one field changed.
+  api::BuildSpec vspec;
+  vspec.fault_model = FaultClass::kVertex;
+  vspec.sources = {source};
+  const api::Session vsession = api::Session::open(g, vspec);
+  std::cout << "\nvertex-fault deployment: "
+            << vsession.structure().summary() << "\n";
   const DrillReport vrep =
-      run_failure_drill(vh, FaultClass::kVertex, drills, 2024);
+      run_failure_drill(vsession, FaultClass::kVertex, drills, 2024);
   std::cout << "  " << vrep.to_string() << "\n";
   std::cout << (vrep.violations == 0 ? "  SLA HELD under router failures.\n"
                                      : "  SLA BROKEN!\n");

@@ -1,10 +1,11 @@
 // quickstart — the 60-second tour of the library (mirrors README.md).
 //
-// Build a graph, construct an ε FT-BFS structure, fail an edge, and watch
-// the surviving structure still answer exact BFS distances.
+// One spec, one build call, one session: construct an ε FT-BFS structure
+// through the ftb::api facade, fail an edge, and batch-query the surviving
+// distances from the thread-safe query plane.
 #include <iostream>
 
-#include "src/core/epsilon_ftbfs.hpp"
+#include "src/api/ftbfs_api.hpp"
 #include "src/core/verifier.hpp"
 #include "src/graph/generators.hpp"
 
@@ -13,21 +14,25 @@ int main() {
 
   // 1. A network: 400 nodes, random connected, ~3000 extra links.
   const Graph g = gen::random_connected(400, 3000, /*seed=*/42);
-  const Vertex source = 0;
   std::cout << "network: " << g.summary() << "\n";
 
-  // 2. Build the (b, r) FT-BFS structure at ε = 1/4: backup edges are
-  //    cheap but fault-prone, reinforced edges never fail.
-  EpsilonOptions opts;
-  opts.eps = 0.25;
-  const EpsilonResult res = build_epsilon_ftbfs(g, source, opts);
-  const FtBfsStructure& h = res.structure;
+  // 2. One spec describes the whole build: fault model x epsilon x sources.
+  //    At eps = 1/4 backup edges are cheap but fault-prone, reinforced
+  //    edges never fail.
+  api::BuildSpec spec;
+  spec.fault_model = FaultClass::kEdge;
+  spec.sources = {0};
+  spec.eps = 0.25;
+  const api::Session session = api::Session::open(g, spec);
+  const FtBfsStructure& h = session.structure();
   std::cout << "structure: " << h.summary() << "\n";
   std::cout << "  kept " << h.num_edges() << " of " << g.num_edges()
             << " edges (" << h.num_backup() << " backup + "
             << h.num_reinforced() << " reinforced)\n";
 
-  // 3. Fail any fault-prone edge: distances from the source survive.
+  // 3. Fail any fault-prone edge: distances from the source survive. The
+  //    session answers a whole batch at once — every in-model hit is an
+  //    O(1) table lookup, and any number of threads may call query().
   EdgeId victim = kInvalidEdge;
   for (const EdgeId e : h.edges()) {
     if (!h.is_reinforced(e)) {
@@ -37,9 +42,18 @@ int main() {
   }
   const auto [u, v] = g.edge(victim);
   std::cout << "failing edge (" << u << "," << v << ") ...\n";
-  const auto dist_h = h.distances_avoiding(victim);
-  std::cout << "  dist(source, " << v << ") in H\\{e} = "
-            << dist_h[static_cast<std::size_t>(v)] << "\n";
+  std::vector<api::Query> batch;
+  for (Vertex w = 0; w < g.num_vertices(); ++w) {
+    api::Query q;
+    q.v = w;
+    q.kind = FaultClass::kEdge;
+    q.fault = victim;
+    batch.push_back(q);
+  }
+  const api::QueryResponse resp = session.query(batch);
+  std::cout << "  " << resp.in_model << " O(1) in-model answers; "
+            << "dist(source, " << v << ") in H\\{e} = "
+            << resp.results[static_cast<std::size_t>(v)].dist << "\n";
 
   // 4. Don't take our word for it — the verifier replays *every* failure.
   const VerifyReport report = verify_structure(h);

@@ -1,0 +1,448 @@
+// ftbfs_api.cpp — BuildSpec dispatch and the Session query plane.
+#include "src/api/ftbfs_api.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+#include "src/core/fault_model.hpp"
+#include "src/core/multi_source.hpp"
+#include "src/core/replacement.hpp"
+#include "src/core/validate.hpp"
+#include "src/core/vertex_ftbfs.hpp"
+#include "src/graph/bfs_kernel.hpp"
+#include "src/graph/bfs_tree.hpp"
+#include "src/io/structure_io.hpp"
+#include "src/util/timer.hpp"
+
+namespace ftb::api {
+
+// ---------------------------------------------------------------------------
+// BuildSpec
+
+void BuildSpec::validate(const Graph& g) const {
+  FTB_CHECK_MSG(fault_model == FaultClass::kEdge ||
+                    fault_model == FaultClass::kVertex ||
+                    fault_model == FaultClass::kDual,
+                "invalid BuildSpec: unknown fault model (got "
+                    << static_cast<int>(fault_model) << ")");
+  detail::check_sources(g, sources);
+  if (fault_model == FaultClass::kEdge) {
+    detail::check_epsilon(eps);
+  }
+  FTB_CHECK_MSG(fault_model != FaultClass::kDual || sources.size() == 1,
+                "invalid BuildSpec: the dual fault model serves a single "
+                "source (got " << sources.size() << ")");
+}
+
+EpsilonOptions BuildSpec::epsilon_options() const {
+  EpsilonOptions opts;
+  opts.eps = eps;
+  opts.weight_seed = weight_seed;
+  opts.pool = pool;
+  opts.baseline_for_large_eps = baseline_for_large_eps;
+  opts.k_rounds_override = k_rounds_override;
+  opts.threshold_scale = threshold_scale;
+  opts.disable_s2_light_flush = disable_s2_light_flush;
+  opts.disable_s2_crossings = disable_s2_crossings;
+  opts.reference_kernel = reference_kernel;
+  return opts;
+}
+
+VertexFtBfsOptions BuildSpec::vertex_options() const {
+  VertexFtBfsOptions opts;
+  opts.weight_seed = weight_seed;
+  opts.pool = pool;
+  opts.reference_kernel = reference_kernel;
+  return opts;
+}
+
+BuildResult build(const Graph& g, const BuildSpec& spec) {
+  spec.validate(g);
+  Timer total;
+  std::optional<FtBfsStructure> structure;
+  std::vector<EpsilonStats> per_source;
+
+  const bool multi = spec.sources.size() > 1;
+  switch (spec.fault_model) {
+    case FaultClass::kEdge: {
+      if (!multi) {
+        EpsilonResult res = detail::build_epsilon_ftbfs_impl(
+            g, spec.sources.front(), spec.epsilon_options());
+        per_source.push_back(res.stats);
+        structure.emplace(std::move(res.structure));
+        break;
+      }
+      MultiSourceResult ms = detail::build_epsilon_ftmbfs_impl(
+          g, spec.sources, spec.epsilon_options());
+      per_source = std::move(ms.per_source);
+      structure.emplace(std::move(ms.structure));
+      break;
+    }
+    case FaultClass::kVertex: {
+      if (!multi) {
+        structure.emplace(detail::build_vertex_ftbfs_impl(
+            g, spec.sources.front(), spec.vertex_options()));
+        break;
+      }
+      MultiSourceResult ms = detail::build_vertex_ftmbfs_impl(
+          g, spec.sources, spec.vertex_options());
+      structure.emplace(std::move(ms.structure));
+      break;
+    }
+    case FaultClass::kDual:
+      structure.emplace(detail::build_dual_ftbfs_impl(g, spec.sources.front(),
+                                                      spec.vertex_options()));
+      break;
+  }
+  return BuildResult{spec, spec.sources, std::move(*structure),
+                     std::move(per_source), total.seconds()};
+}
+
+// ---------------------------------------------------------------------------
+// Session internals
+
+namespace {
+
+/// One worker's what-if workspace: a BFS arena plus the vertex-ban mask,
+/// with the key of the traversal the arena currently holds so a repeat of
+/// the same failure (across groups or batches) skips the BFS entirely.
+struct WhatIfArena {
+  BfsScratch bfs;
+  std::vector<std::uint8_t> vertex_mask;  // all-zero whenever idle
+  // Cached traversal key: (source, kind, fault); source == kInvalidVertex
+  // means "holds nothing".
+  Vertex cached_source = kInvalidVertex;
+  FaultClass cached_kind = FaultClass::kEdge;
+  std::int32_t cached_fault = -1;
+};
+
+/// Mutex-guarded LIFO free list of arenas. Exclusive ownership while in
+/// use makes concurrent query() calls race-free; LIFO hand-out keeps the
+/// hottest arena (and its cached traversal) in circulation.
+class ArenaPool {
+ public:
+  std::unique_ptr<WhatIfArena> acquire() const {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (!free_.empty()) {
+        auto arena = std::move(free_.back());
+        free_.pop_back();
+        return arena;
+      }
+    }
+    return std::make_unique<WhatIfArena>();
+  }
+  void release(std::unique_ptr<WhatIfArena> arena) const {
+    std::lock_guard<std::mutex> lk(mu_);
+    free_.push_back(std::move(arena));
+  }
+
+ private:
+  mutable std::mutex mu_;
+  mutable std::vector<std::unique_ptr<WhatIfArena>> free_;
+};
+
+/// RAII lease so an exception inside a shard cannot leak the arena.
+class ArenaLease {
+ public:
+  explicit ArenaLease(const ArenaPool& pool)
+      : pool_(&pool), arena_(pool.acquire()) {}
+  ~ArenaLease() { pool_->release(std::move(arena_)); }
+  ArenaLease(const ArenaLease&) = delete;
+  ArenaLease& operator=(const ArenaLease&) = delete;
+  WhatIfArena& operator*() const { return *arena_; }
+  WhatIfArena* operator->() const { return arena_.get(); }
+
+ private:
+  const ArenaPool* pool_;
+  std::unique_ptr<WhatIfArena> arena_;
+};
+
+}  // namespace
+
+struct Session::Impl {
+  const Graph* g;
+  FaultClass model;
+  std::vector<Vertex> sources;
+  FtBfsStructure structure;
+  EdgeWeights weights;
+  std::vector<BfsTree> trees;  // one per source, over `weights`
+  // Engines per source; filled per the fault class (edge: kEdge/kDual,
+  // vertex: kVertex/kDual). All immutable after construction.
+  std::vector<ReplacementPathEngine> edge_engines;
+  std::vector<VertexReplacementEngine> vertex_engines;
+  ThreadPool* pool;  // nullptr = global
+  ArenaPool arenas;
+
+  Impl(const Graph& graph, FtBfsStructure&& h, std::vector<Vertex> srcs,
+       std::uint64_t weight_seed, ThreadPool* pool_in)
+      : g(&graph),
+        model(h.fault_class()),
+        sources(std::move(srcs)),
+        structure(std::move(h)),
+        weights(EdgeWeights::uniform_random(graph, weight_seed)),
+        pool(pool_in) {
+    trees.reserve(sources.size());
+    for (const Vertex s : sources) trees.emplace_back(graph, weights, s);
+
+    // The rebuilt canonical trees must be exactly the trees the structure
+    // was built around — otherwise the engines' tables answer for a
+    // different T0 and every "in-model" reply would be silently wrong
+    // (classic cause: serving with a different weight_seed than the
+    // build used).
+    std::vector<EdgeId> tree_union;
+    for (const BfsTree& t : trees) {
+      tree_union.insert(tree_union.end(), t.tree_edges().begin(),
+                        t.tree_edges().end());
+    }
+    std::sort(tree_union.begin(), tree_union.end());
+    tree_union.erase(std::unique(tree_union.begin(), tree_union.end()),
+                     tree_union.end());
+    FTB_CHECK_MSG(tree_union == structure.tree_edges(),
+                  "session trees do not match the deployed structure "
+                  "(was the structure built with this weight_seed?)");
+
+    const bool covers_edge = model != FaultClass::kVertex;
+    const bool covers_vertex = model != FaultClass::kEdge;
+    if (covers_edge) {
+      ReplacementPathEngine::Config cfg;
+      cfg.collect_detours = false;  // the plane serves distances only
+      cfg.pool = pool;
+      edge_engines.reserve(trees.size());
+      for (const BfsTree& t : trees) edge_engines.emplace_back(t, cfg);
+    }
+    if (covers_vertex) {
+      VertexReplacementEngine::Config cfg;
+      cfg.collect_detours = false;
+      cfg.pool = pool;
+      vertex_engines.reserve(trees.size());
+      for (const BfsTree& t : trees) vertex_engines.emplace_back(t, cfg);
+    }
+  }
+
+  ThreadPool& worker_pool() const {
+    return pool != nullptr ? *pool : ThreadPool::global();
+  }
+
+  bool covers_edge() const { return model != FaultClass::kVertex; }
+  bool covers_vertex() const { return model != FaultClass::kEdge; }
+
+  /// In-model O(1) answer. Precondition: classified kInModel.
+  std::int32_t in_model_dist(const Query& q) const {
+    const auto si = static_cast<std::size_t>(q.source_index);
+    if (q.kind == FaultClass::kEdge) {
+      return edge_engines[si].replacement_dist(q.v, q.fault);
+    }
+    return vertex_engines[si].replacement_dist(q.v, q.fault);
+  }
+
+  /// Literal BFS on H \ {fault} from the query's source into `arena`,
+  /// unless the arena already holds exactly that traversal.
+  /// Returns true when a traversal actually ran.
+  bool what_if_traverse(const Query& q, WhatIfArena& arena) const {
+    const Vertex src = sources[static_cast<std::size_t>(q.source_index)];
+    if (arena.cached_source == src && arena.cached_kind == q.kind &&
+        arena.cached_fault == q.fault) {
+      return false;
+    }
+    BfsBans bans;
+    bans.banned_edge_mask = &structure.complement_mask();
+    if (q.kind == FaultClass::kEdge) {
+      bans.banned_edge = q.fault;
+      bfs_run(*g, src, bans, arena.bfs);
+    } else {
+      const std::size_t n = static_cast<std::size_t>(g->num_vertices());
+      if (arena.vertex_mask.size() < n) arena.vertex_mask.assign(n, 0);
+      arena.vertex_mask[static_cast<std::size_t>(q.fault)] = 1;
+      bans.banned_vertex = &arena.vertex_mask;
+      bfs_run(*g, src, bans, arena.bfs);
+      arena.vertex_mask[static_cast<std::size_t>(q.fault)] = 0;
+    }
+    arena.cached_source = src;
+    arena.cached_kind = q.kind;
+    arena.cached_fault = q.fault;
+    return true;
+  }
+
+  std::int32_t what_if_dist(const Query& q, const WhatIfArena& arena) const {
+    if (q.kind == FaultClass::kVertex && q.v == q.fault) return kInfHops;
+    return arena.bfs.dist(q.v);
+  }
+
+  /// Model-level classification (malformed queries are rejected before
+  /// this runs). A query's own source never fails — refused even as a
+  /// what-if. Another source of a multi-source session CAN fail: the
+  /// FT-MBFS vertex contract is per source (x ∉ {s} for each s ∈ S), and
+  /// the engine serving source_index answers any other vertex in O(1).
+  QueryOutcome classify(const Query& q) const {
+    if (q.kind == FaultClass::kEdge) {
+      if (covers_edge() && !structure.is_reinforced(q.fault)) {
+        return QueryOutcome::kInModel;
+      }
+    } else {
+      if (static_cast<Vertex>(q.fault) ==
+          sources[static_cast<std::size_t>(q.source_index)]) {
+        return QueryOutcome::kRefused;
+      }
+      if (covers_vertex()) return QueryOutcome::kInModel;
+    }
+    return q.allow_what_if ? QueryOutcome::kWhatIf : QueryOutcome::kRefused;
+  }
+
+  /// Batch-level input validation: API misuse throws, serially, before any
+  /// parallel work starts.
+  void validate_query(const Query& q) const {
+    FTB_CHECK_MSG(q.kind == FaultClass::kEdge || q.kind == FaultClass::kVertex,
+                  "invalid Query: kind must be kEdge or kVertex");
+    FTB_CHECK_MSG(q.v >= 0 && q.v < g->num_vertices(),
+                  "invalid Query: vertex " << q.v << " out of range [0, "
+                                           << g->num_vertices() << ")");
+    FTB_CHECK_MSG(q.source_index >= 0 &&
+                      static_cast<std::size_t>(q.source_index) <
+                          sources.size(),
+                  "invalid Query: source_index " << q.source_index
+                                                 << " out of range [0, "
+                                                 << sources.size() << ")");
+    const std::int32_t limit = q.kind == FaultClass::kEdge
+                                   ? static_cast<std::int32_t>(g->num_edges())
+                                   : g->num_vertices();
+    FTB_CHECK_MSG(q.fault >= 0 && q.fault < limit,
+                  "invalid Query: fault " << q.fault << " out of range [0, "
+                                          << limit << ")");
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Session surface
+
+Session::Session(std::shared_ptr<const Impl> impl) : impl_(std::move(impl)) {}
+
+Session Session::open(const Graph& g, const BuildSpec& spec) {
+  return deploy(g, build(g, spec));
+}
+
+Session Session::deploy(const Graph& g, BuildResult result) {
+  FTB_CHECK_MSG(&result.structure.graph() == &g,
+                "BuildResult was built against a different graph");
+  return Session(std::make_shared<const Impl>(
+      g, std::move(result.structure), std::move(result.sources),
+      result.spec.weight_seed, result.spec.pool));
+}
+
+Session Session::load(const Graph& g, const std::string& path,
+                      const Config& cfg) {
+  std::vector<Vertex> sources;
+  FtBfsStructure h = io::load_structure(g, path, &sources);
+  return Session(std::make_shared<const Impl>(
+      g, std::move(h), std::move(sources), cfg.weight_seed, cfg.pool));
+}
+
+void Session::save(const std::string& path) const {
+  io::save_structure(impl_->structure, impl_->sources, path);
+}
+
+const Graph& Session::graph() const { return *impl_->g; }
+const FtBfsStructure& Session::structure() const { return impl_->structure; }
+FaultClass Session::fault_model() const { return impl_->model; }
+std::span<const Vertex> Session::sources() const { return impl_->sources; }
+
+std::int32_t Session::distance(std::int32_t source_index, Vertex v) const {
+  FTB_CHECK_MSG(source_index >= 0 && static_cast<std::size_t>(source_index) <
+                                         impl_->sources.size(),
+                "invalid source_index " << source_index);
+  FTB_CHECK_MSG(v >= 0 && v < impl_->g->num_vertices(),
+                "invalid vertex " << v);
+  return impl_->trees[static_cast<std::size_t>(source_index)].depth(v);
+}
+
+QueryResult Session::query_one(const Query& q) const {
+  const Impl& im = *impl_;
+  im.validate_query(q);
+  QueryResult r;
+  r.outcome = im.classify(q);
+  switch (r.outcome) {
+    case QueryOutcome::kInModel:
+      r.dist = im.in_model_dist(q);
+      break;
+    case QueryOutcome::kWhatIf: {
+      ArenaLease arena(im.arenas);
+      im.what_if_traverse(q, *arena);
+      r.dist = im.what_if_dist(q, *arena);
+      break;
+    }
+    case QueryOutcome::kRefused:
+      break;
+  }
+  return r;
+}
+
+QueryResponse Session::query(QueryBatch batch) const {
+  const Impl& im = *impl_;
+  QueryResponse resp;
+  resp.results.assign(batch.size(), QueryResult{});
+
+  // Serial pass: validate (throws before any parallel work), classify, and
+  // group what-if queries by (source, kind, fault) so each distinct
+  // failure is traversed once.
+  std::vector<std::uint32_t> in_model;
+  std::vector<std::vector<std::uint32_t>> groups;
+  std::unordered_map<std::uint64_t, std::size_t> group_of;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const Query& q = batch[i];
+    im.validate_query(q);
+    const QueryOutcome outcome = im.classify(q);
+    resp.results[i].outcome = outcome;
+    switch (outcome) {
+      case QueryOutcome::kInModel:
+        ++resp.in_model;
+        in_model.push_back(static_cast<std::uint32_t>(i));
+        break;
+      case QueryOutcome::kWhatIf: {
+        ++resp.what_if;
+        const std::uint64_t key =
+            (static_cast<std::uint64_t>(q.source_index) << 34) |
+            (static_cast<std::uint64_t>(q.kind == FaultClass::kVertex)
+             << 33) |
+            static_cast<std::uint64_t>(static_cast<std::uint32_t>(q.fault));
+        const auto [it, inserted] = group_of.try_emplace(key, groups.size());
+        if (inserted) groups.emplace_back();
+        groups[it->second].push_back(static_cast<std::uint32_t>(i));
+        break;
+      }
+      case QueryOutcome::kRefused:
+        ++resp.refused;
+        break;
+    }
+  }
+
+  ThreadPool& pool = im.worker_pool();
+
+  // In-model plane: pure O(1) table reads against immutable engines —
+  // embarrassingly parallel, no scratch state at all.
+  pool.parallel_for(in_model.size(), [&](std::size_t k) {
+    const std::uint32_t idx = in_model[k];
+    resp.results[idx].dist = im.in_model_dist(batch[idx]);
+  });
+
+  // What-if plane: one leased arena and (at most) one literal traversal
+  // per group, answers fanned out to every member.
+  std::atomic<std::int64_t> traversals{0};
+  pool.parallel_for(groups.size(), [&](std::size_t gi) {
+    const std::vector<std::uint32_t>& members = groups[gi];
+    ArenaLease arena(im.arenas);
+    if (im.what_if_traverse(batch[members.front()], *arena)) {
+      traversals.fetch_add(1, std::memory_order_relaxed);
+    }
+    for (const std::uint32_t idx : members) {
+      resp.results[idx].dist = im.what_if_dist(batch[idx], *arena);
+    }
+  });
+  resp.what_if_traversals = traversals.load();
+
+  return resp;
+}
+
+}  // namespace ftb::api

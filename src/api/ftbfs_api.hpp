@@ -1,0 +1,221 @@
+// ftbfs_api.hpp — the one public facade of the library: ftb::api.
+//
+// The paper gives ONE family of structures parameterized by (fault model,
+// ε, source set); historically the repo exposed it as six unrelated entry
+// points with three option structs, and the serving side was a per-model
+// template documented as "NOT thread-safe". This header replaces all of
+// that with two nouns:
+//
+//   * BuildSpec — the full parameterization (fault model × ε × sources ×
+//     tuning knobs), validated up front with one CheckError message shape
+//     ("invalid BuildSpec: …") shared by the API, the legacy wrappers and
+//     the CLI. `build(graph, spec)` dispatches to the right pipeline:
+//
+//         fault_model   sources   pipeline
+//         kEdge         1         ε FT-BFS   (S0→S1/S2→F; ε = 0 reinforced
+//                                 tree, ε ≥ 1/2 the ESA'13 baseline)
+//         kEdge         k > 1     ε FT-MBFS union (§5)
+//         kVertex       1         vertex-fault ESA'13 baseline
+//         kVertex       k > 1     vertex FT-MBFS union
+//         kDual         1         edge ∪ vertex union
+//         kDual         k > 1     refused (no dual FT-MBFS pipeline yet)
+//
+//   * Session — a type-erased deployment of the result (structure + tree +
+//     replacement engines per source, no templates in sight) serving a
+//     batched, THREAD-SAFE query plane. `query(QueryBatch)` classifies
+//     every query as an in-model O(1) contract hit, an out-of-model
+//     what-if (answered by a literal BFS on H \ {fault}), or refused; it
+//     shards in-model lookups across the thread pool and groups what-if
+//     queries by fault so each distinct failure costs ONE traversal per
+//     batch — the mutable-under-const single-scratch oracle is replaced by
+//     a pool of per-worker scratch arenas, so any number of threads can
+//     call query() on one Session concurrently (enforced by the TSan CI
+//     job over the concurrency-tagged tests).
+//
+// The legacy entry points (build_ftbfs, build_epsilon_ftbfs,
+// build_vertex_ftbfs, build_dual_ftbfs, build_epsilon_ftmbfs,
+// build_vertex_ftmbfs) remain as deprecated thin wrappers; a differential
+// test pins `build()` byte-identical to each of them.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/core/epsilon_ftbfs.hpp"
+#include "src/core/structure.hpp"
+#include "src/core/vertex_ftbfs.hpp"
+#include "src/util/thread_pool.hpp"
+
+namespace ftb::api {
+
+/// The full parameterization of one build: which failures the structure
+/// must survive, for which sources, at which point of the reinforcement-
+/// backup tradeoff, plus tuning knobs. Defaults build a single-source
+/// edge-fault ε = 0.25 structure.
+struct BuildSpec {
+  /// Failure model the structure insures against.
+  FaultClass fault_model = FaultClass::kEdge;
+  /// BFS sources; one structure serves all of them (FT-MBFS union for
+  /// k > 1). Must be non-empty, in range and duplicate-free.
+  std::vector<Vertex> sources = {0};
+  /// The tradeoff exponent ε ∈ [0, 1]. Edge model only: the vertex/dual
+  /// baselines have no reinforcement tradeoff and ignore it.
+  double eps = 0.25;
+  /// Seed of the tie-breaking weight assignment W (also what a Session
+  /// needs to rebuild the same canonical trees when loading from disk).
+  std::uint64_t weight_seed = 0x5EED0001ULL;
+  ThreadPool* pool = nullptr;  // nullptr = global pool
+
+  // ---- ε pipeline tuning knobs (see EpsilonOptions for semantics) -------
+  bool baseline_for_large_eps = true;
+  std::int32_t k_rounds_override = 0;
+  double threshold_scale = 1.0;
+  bool disable_s2_light_flush = false;
+  bool disable_s2_crossings = false;
+  /// Run the naive reference kernels (differential testing / bench
+  /// baseline; output is bit-identical either way).
+  bool reference_kernel = false;
+
+  /// Throws CheckError ("invalid BuildSpec: …") on NaN / out-of-range ε,
+  /// an empty / out-of-range / duplicated source set, or a dual-model
+  /// multi-source request. build() and Session::open() call this first.
+  void validate(const Graph& g) const;
+
+  /// The EpsilonOptions this spec maps to (edge-model dispatch).
+  EpsilonOptions epsilon_options() const;
+  /// The VertexFtBfsOptions this spec maps to (vertex/dual dispatch).
+  VertexFtBfsOptions vertex_options() const;
+};
+
+/// What one build() returns: the structure plus construction telemetry.
+struct BuildResult {
+  /// The validated spec the build ran under (Session::deploy reads the
+  /// weight seed and pool from here).
+  BuildSpec spec;
+  /// The sources actually served, aligned with per_source.
+  std::vector<Vertex> sources;
+  /// The (b, r) FT-BFS / FT-MBFS structure, fault-class tagged.
+  FtBfsStructure structure;
+  /// Per-source ε pipeline stats (empty for the vertex/dual baselines,
+  /// which have no ε telemetry).
+  std::vector<EpsilonStats> per_source;
+  double seconds_total = 0;
+};
+
+/// THE build entry point: validates `spec` and dispatches to the pipeline
+/// the (fault model, source count) cell selects — see the table in the
+/// file comment. Byte-identical to the legacy entry point it replaces.
+BuildResult build(const Graph& g, const BuildSpec& spec);
+
+// ---------------------------------------------------------------------------
+// The batched query plane.
+
+/// How a query was answered.
+enum class QueryOutcome : std::uint8_t {
+  /// In-model O(1) contract hit: dist(s, v, H \ {fault}) read straight
+  /// from the replacement engine's tables.
+  kInModel = 0,
+  /// Out-of-model what-if (reinforced edge, or a fault kind the session's
+  /// model does not cover): answered by a literal BFS on H \ {fault},
+  /// shared by every query of the batch that names the same fault.
+  kWhatIf = 1,
+  /// Outside the model and allow_what_if was not set — or the fault is
+  /// the query's own source vertex, which never fails under any model.
+  /// (Other sources of a multi-source session may fail in-model.)
+  kRefused = 2,
+};
+
+/// One post-failure distance question: "how far is v from source
+/// sources()[source_index] once `fault` fails?".
+struct Query {
+  Vertex v = kInvalidVertex;
+  /// What fails: kEdge → `fault` is an EdgeId, kVertex → a Vertex.
+  /// (kDual is not a fault kind — a dual SESSION answers both kinds.)
+  FaultClass kind = FaultClass::kEdge;
+  std::int32_t fault = -1;
+  /// Which source asks (index into Session::sources()).
+  std::int32_t source_index = 0;
+  /// Permit an out-of-model answer via literal BFS on H \ {fault}.
+  bool allow_what_if = false;
+};
+
+struct QueryResult {
+  /// Hop distance, kInfHops when disconnected / destroyed / refused.
+  std::int32_t dist = kInfHops;
+  QueryOutcome outcome = QueryOutcome::kRefused;
+};
+
+using QueryBatch = std::span<const Query>;
+
+struct QueryResponse {
+  /// One result per query, same order as the batch.
+  std::vector<QueryResult> results;
+  // Batch accounting.
+  std::int64_t in_model = 0;
+  std::int64_t what_if = 0;
+  std::int64_t refused = 0;
+  /// Literal traversals actually run (≤ distinct what-if faults in the
+  /// batch; arena caching can drop repeats across batches).
+  std::int64_t what_if_traversals = 0;
+};
+
+/// Knobs for serving a structure built elsewhere (Session::load).
+struct SessionConfig {
+  /// Must match the weight seed the structure was built with, or the
+  /// rebuilt canonical trees will not match the deployed tree edges
+  /// (checked; CheckError on mismatch).
+  std::uint64_t weight_seed = 0x5EED0001ULL;
+  ThreadPool* pool = nullptr;  // nullptr = global pool
+};
+
+/// A deployed structure plus everything needed to serve it: the canonical
+/// trees and replacement engines per source (edge and/or vertex flavor,
+/// per the fault class) behind a non-template face.
+///
+/// Thread safety: all members are immutable after construction and query()
+/// works exclusively on pooled scratch arenas, so concurrent query() /
+/// query_one() calls from any number of threads are safe — this replaces
+/// the "NOT thread-safe" single-scratch FaultStructureOracle as the
+/// serving path. Copying a Session is a cheap shared handle.
+class Session {
+ public:
+  using Config = SessionConfig;
+
+  /// build(g, spec) + deploy, in one call.
+  static Session open(const Graph& g, const BuildSpec& spec);
+  /// Wraps an already-built result (takes ownership of the structure).
+  static Session deploy(const Graph& g, BuildResult result);
+  /// Reloads a saved artifact (structure_io format, any version; v3 keeps
+  /// the multi-source set) and rebuilds the serving engines.
+  static Session load(const Graph& g, const std::string& path,
+                      const Config& cfg = {});
+  /// Saves the structure (+ source set when multi-source) via structure_io.
+  void save(const std::string& path) const;
+
+  /// Answers a batch: in-model lookups shard across the thread pool,
+  /// what-if queries are grouped by (source, kind, fault) so each distinct
+  /// failure costs one traversal. Throws CheckError on malformed queries
+  /// (out-of-range vertex / fault / source_index); model-level refusals
+  /// are reported per query as kRefused, never thrown.
+  QueryResponse query(QueryBatch batch) const;
+
+  /// Single-query convenience (serial; same classification rules).
+  QueryResult query_one(const Query& q) const;
+
+  const Graph& graph() const;
+  const FtBfsStructure& structure() const;
+  FaultClass fault_model() const;
+  std::span<const Vertex> sources() const;
+  /// Failure-free dist(sources()[source_index], v) — tree depth. O(1).
+  std::int32_t distance(std::int32_t source_index, Vertex v) const;
+
+ private:
+  struct Impl;
+  explicit Session(std::shared_ptr<const Impl> impl);
+  std::shared_ptr<const Impl> impl_;
+};
+
+}  // namespace ftb::api

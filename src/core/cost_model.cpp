@@ -29,7 +29,7 @@ DesignSweep design_sweep(const Graph& g, Vertex source,
   for (const double eps : eps_grid) {
     EpsilonOptions opts = base;
     opts.eps = eps;
-    const EpsilonResult res = build_epsilon_ftbfs(g, source, opts);
+    const EpsilonResult res = detail::build_epsilon_ftbfs_impl(g, source, opts);
     DesignPoint pt;
     pt.eps = eps;
     pt.backup = res.structure.num_backup();
@@ -54,7 +54,7 @@ EpsilonResult design_cheapest(const Graph& g, Vertex source,
   const DesignSweep sweep = design_sweep(g, source, prices, eps_grid, base);
   EpsilonOptions opts = base;
   opts.eps = sweep.best().eps;
-  return build_epsilon_ftbfs(g, source, opts);
+  return detail::build_epsilon_ftbfs_impl(g, source, opts);
 }
 
 }  // namespace ftb

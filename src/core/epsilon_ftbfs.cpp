@@ -7,6 +7,7 @@
 #include "src/core/ftbfs.hpp"
 #include "src/core/interference.hpp"
 #include "src/core/replacement.hpp"
+#include "src/core/validate.hpp"
 #include "src/graph/heavy_path.hpp"
 #include "src/graph/lca.hpp"
 #include "src/util/timer.hpp"
@@ -107,10 +108,10 @@ double theorem_reinforce_bound(std::int64_t n, double eps) {
   return (1.0 / eps) * std::pow(nd, 1.0 - eps) * std::log2(nd);
 }
 
-EpsilonResult build_epsilon_ftbfs(const Graph& g, Vertex source,
-                                  const EpsilonOptions& opts) {
-  FTB_CHECK_MSG(opts.eps >= 0.0 && opts.eps <= 1.0,
-                "eps must be in [0,1], got " << opts.eps);
+EpsilonResult detail::build_epsilon_ftbfs_impl(const Graph& g, Vertex source,
+                                               const EpsilonOptions& opts) {
+  detail::check_epsilon(opts.eps);
+  detail::check_source(g, source);
   Timer total_timer;
   EpsilonStats st;
   st.n = g.num_vertices();
@@ -427,6 +428,11 @@ EpsilonResult build_epsilon_ftbfs(const Graph& g, Vertex source,
   st.reinforced = h.num_reinforced();
   st.seconds_total = total_timer.seconds();
   return EpsilonResult{std::move(h), st};
+}
+
+EpsilonResult build_epsilon_ftbfs(const Graph& g, Vertex source,
+                                  const EpsilonOptions& opts) {
+  return detail::build_epsilon_ftbfs_impl(g, source, opts);
 }
 
 }  // namespace ftb

@@ -31,6 +31,7 @@
 #include <cstdint>
 
 #include "src/core/structure.hpp"
+#include "src/util/check.hpp"
 #include "src/util/thread_pool.hpp"
 
 namespace ftb {
@@ -98,7 +99,18 @@ struct EpsilonResult {
   EpsilonStats stats;
 };
 
+namespace detail {
+/// The ε pipeline itself — what ftb::api::build dispatches to for the edge
+/// model. Validates (ε, source) through validate.hpp, so every entry point
+/// rejects bad inputs with the same CheckError shape.
+EpsilonResult build_epsilon_ftbfs_impl(const Graph& g, Vertex source,
+                                       const EpsilonOptions& opts);
+}  // namespace detail
+
 /// Builds the ε FT-BFS structure for (g, source).
+/// Deprecated: use ftb::api::build(graph, BuildSpec) — the facade reaches
+/// this pipeline with fault_model = kEdge and a single source.
+FTB_DEPRECATED("use ftb::api::build(graph, BuildSpec)")
 EpsilonResult build_epsilon_ftbfs(const Graph& g, Vertex source,
                                   const EpsilonOptions& opts = {});
 

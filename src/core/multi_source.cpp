@@ -1,13 +1,15 @@
 #include "src/core/multi_source.hpp"
 
+#include "src/core/validate.hpp"
 #include "src/core/verifier.hpp"
 
 namespace ftb {
 
-MultiSourceResult build_epsilon_ftmbfs(const Graph& g,
-                                       const std::vector<Vertex>& sources,
-                                       const EpsilonOptions& opts) {
-  FTB_CHECK_MSG(!sources.empty(), "need at least one source");
+MultiSourceResult detail::build_epsilon_ftmbfs_impl(
+    const Graph& g, const std::vector<Vertex>& sources,
+    const EpsilonOptions& opts) {
+  detail::check_epsilon(opts.eps);
+  detail::check_sources(g, sources);
 
   std::vector<EdgeId> edges;
   std::vector<EdgeId> reinforced;
@@ -21,7 +23,7 @@ MultiSourceResult build_epsilon_ftmbfs(const Graph& g,
                      static_cast<std::size_t>(g.num_vertices()));
 
   for (const Vertex s : sources) {
-    EpsilonResult res = build_epsilon_ftbfs(g, s, opts);
+    EpsilonResult res = detail::build_epsilon_ftbfs_impl(g, s, opts);
     const FtBfsStructure& h = res.structure;
     edges.insert(edges.end(), h.edges().begin(), h.edges().end());
     reinforced.insert(reinforced.end(), h.reinforced().begin(),
@@ -36,10 +38,10 @@ MultiSourceResult build_epsilon_ftmbfs(const Graph& g,
   return MultiSourceResult{sources, std::move(merged), std::move(stats)};
 }
 
-MultiSourceResult build_vertex_ftmbfs(const Graph& g,
-                                      const std::vector<Vertex>& sources,
-                                      const VertexFtBfsOptions& opts) {
-  FTB_CHECK_MSG(!sources.empty(), "need at least one source");
+MultiSourceResult detail::build_vertex_ftmbfs_impl(
+    const Graph& g, const std::vector<Vertex>& sources,
+    const VertexFtBfsOptions& opts) {
+  detail::check_sources(g, sources);
 
   std::vector<EdgeId> edges;
   std::vector<EdgeId> tree_edges;  // union of the per-source trees
@@ -47,7 +49,7 @@ MultiSourceResult build_vertex_ftmbfs(const Graph& g,
                      static_cast<std::size_t>(g.num_vertices()));
 
   for (const Vertex s : sources) {
-    const FtBfsStructure h = build_vertex_ftbfs(g, s, opts);
+    const FtBfsStructure h = detail::build_vertex_ftbfs_impl(g, s, opts);
     edges.insert(edges.end(), h.edges().begin(), h.edges().end());
     tree_edges.insert(tree_edges.end(), h.tree_edges().begin(),
                       h.tree_edges().end());
@@ -57,6 +59,18 @@ MultiSourceResult build_vertex_ftmbfs(const Graph& g,
                         /*reinforced=*/{}, std::move(tree_edges),
                         FaultClass::kVertex);
   return MultiSourceResult{sources, std::move(merged), {}};
+}
+
+MultiSourceResult build_epsilon_ftmbfs(const Graph& g,
+                                       const std::vector<Vertex>& sources,
+                                       const EpsilonOptions& opts) {
+  return detail::build_epsilon_ftmbfs_impl(g, sources, opts);
+}
+
+MultiSourceResult build_vertex_ftmbfs(const Graph& g,
+                                      const std::vector<Vertex>& sources,
+                                      const VertexFtBfsOptions& opts) {
+  return detail::build_vertex_ftmbfs_impl(g, sources, opts);
 }
 
 std::int64_t verify_multi_source(const Graph& g, const MultiSourceResult& ms,

@@ -14,8 +14,11 @@
 //     no reinforcement), so query() always answers in O(1).
 // The what-if BFS runs on a member scratch arena and caches the last failed
 // fault, so sweeping all vertices under one failure costs one traversal —
-// not one per query (see examples/failure_drill.cpp). That makes the oracle
-// mutable-under-const: one oracle instance is NOT thread-safe.
+// not one per query. That makes the oracle mutable-under-const: one oracle
+// instance is NOT thread-safe. It remains the minimal single-threaded
+// serving path; concurrent and batched serving goes through
+// ftb::api::Session (src/api/ftbfs_api.hpp), whose query plane replaces
+// the member scratch with pooled per-worker arenas.
 #pragma once
 
 #include "src/core/oracle.hpp"

@@ -6,6 +6,7 @@
 #include <atomic>
 
 #include "src/core/ftbfs.hpp"
+#include "src/core/validate.hpp"
 #include "src/graph/bfs_kernel.hpp"
 
 namespace ftb {
@@ -20,8 +21,9 @@ FtBfsStructure build_vertex_ftbfs(const VertexReplacementEngine& engine) {
                         tree.tree_edges(), FaultClass::kVertex);
 }
 
-FtBfsStructure build_vertex_ftbfs(const Graph& g, Vertex source,
-                                  const VertexFtBfsOptions& opts) {
+FtBfsStructure detail::build_vertex_ftbfs_impl(const Graph& g, Vertex source,
+                                               const VertexFtBfsOptions& opts) {
+  detail::check_source(g, source);
   const EdgeWeights weights = EdgeWeights::uniform_random(g, opts.weight_seed);
   const BfsTree tree(g, weights, source);
   VertexReplacementEngine::Config cfg;
@@ -32,18 +34,29 @@ FtBfsStructure build_vertex_ftbfs(const Graph& g, Vertex source,
   return build_vertex_ftbfs(engine);
 }
 
-FtBfsStructure build_dual_ftbfs(const Graph& g, Vertex source,
-                                const VertexFtBfsOptions& opts) {
+FtBfsStructure detail::build_dual_ftbfs_impl(const Graph& g, Vertex source,
+                                             const VertexFtBfsOptions& opts) {
   FtBfsOptions eopts;
   eopts.weight_seed = opts.weight_seed;
   eopts.pool = opts.pool;
   eopts.reference_kernel = opts.reference_kernel;
-  const FtBfsStructure edge_h = build_ftbfs(g, source, eopts);
-  const FtBfsStructure vertex_h = build_vertex_ftbfs(g, source, opts);
+  const FtBfsStructure edge_h = detail::build_ftbfs_impl(g, source, eopts);
+  const FtBfsStructure vertex_h =
+      detail::build_vertex_ftbfs_impl(g, source, opts);
   std::vector<EdgeId> edges = edge_h.edges();
   edges.insert(edges.end(), vertex_h.edges().begin(), vertex_h.edges().end());
   return FtBfsStructure(g, source, std::move(edges), {}, edge_h.tree_edges(),
                         FaultClass::kDual);
+}
+
+FtBfsStructure build_vertex_ftbfs(const Graph& g, Vertex source,
+                                  const VertexFtBfsOptions& opts) {
+  return detail::build_vertex_ftbfs_impl(g, source, opts);
+}
+
+FtBfsStructure build_dual_ftbfs(const Graph& g, Vertex source,
+                                const VertexFtBfsOptions& opts) {
+  return detail::build_dual_ftbfs_impl(g, source, opts);
 }
 
 std::int64_t verify_vertex_structure(const FtBfsStructure& h,

@@ -24,6 +24,7 @@
 
 #include "src/core/fault_model.hpp"
 #include "src/core/structure.hpp"
+#include "src/util/check.hpp"
 
 namespace ftb {
 
@@ -39,17 +40,33 @@ struct VertexFtBfsOptions {
   bool reference_kernel = false;
 };
 
+namespace detail {
+/// Pipeline implementations the ftb::api facade dispatches to; they also
+/// back the legacy wrappers below. Validate through validate.hpp.
+FtBfsStructure build_vertex_ftbfs_impl(const Graph& g, Vertex source,
+                                       const VertexFtBfsOptions& opts);
+FtBfsStructure build_dual_ftbfs_impl(const Graph& g, Vertex source,
+                                     const VertexFtBfsOptions& opts);
+}  // namespace detail
+
 /// The O(n^{3/2}) vertex-fault FT-BFS baseline:
 /// H = T0 ∪ {LastE(P_{v,x}) : ⟨v,x⟩ uncovered}.
+/// Deprecated: use ftb::api::build(graph, BuildSpec) with fault_model =
+/// kVertex.
+FTB_DEPRECATED("use ftb::api::build(graph, BuildSpec) with kVertex")
 FtBfsStructure build_vertex_ftbfs(const Graph& g, Vertex source,
                                   const VertexFtBfsOptions& opts = {});
 
-/// Same, reusing an already-built vertex-fault engine.
+/// Same, reusing an already-built vertex-fault engine. Not deprecated: this
+/// is the S0-reuse composition point internal pipelines build on.
 FtBfsStructure build_vertex_ftbfs(const VertexReplacementEngine& engine);
 
 /// Joint structure tolerating one edge OR one vertex failure: the union of
 /// build_ftbfs and build_vertex_ftbfs (edge failures reduce to this paper;
 /// vertex failures to the module above).
+/// Deprecated: use ftb::api::build(graph, BuildSpec) with fault_model =
+/// kDual.
+FTB_DEPRECATED("use ftb::api::build(graph, BuildSpec) with kDual")
 FtBfsStructure build_dual_ftbfs(const Graph& g, Vertex source,
                                 const VertexFtBfsOptions& opts = {});
 

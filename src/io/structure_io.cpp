@@ -3,6 +3,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "src/core/validate.hpp"
+
 namespace ftb::io {
 
 namespace {
@@ -17,10 +19,19 @@ std::string next_data_line(std::istream& is) {
 }
 }  // namespace
 
-void write_structure(const FtBfsStructure& h, std::ostream& os) {
+void write_structure(const FtBfsStructure& h, std::span<const Vertex> sources,
+                     std::ostream& os) {
   const Graph& g = h.graph();
-  os << "ftbfs-structure 2\n";
+  const bool multi = sources.size() > 1;
+  FTB_CHECK_MSG(sources.empty() || sources.front() == h.source(),
+                "sources.front() must be the structure's anchor source");
+  os << "ftbfs-structure " << (multi ? 3 : 2) << "\n";
   os << "fault-model " << to_string(h.fault_class()) << '\n';
+  if (multi) {
+    os << "sources " << sources.size();
+    for (const Vertex s : sources) os << ' ' << s;
+    os << '\n';
+  }
   os << "# n |E(H)| source\n";
   os << g.num_vertices() << ' ' << h.num_edges() << ' ' << h.source() << '\n';
   os << "# u v flags (1=reinforced, 2=tree)\n";
@@ -38,13 +49,25 @@ void write_structure(const FtBfsStructure& h, std::ostream& os) {
   }
 }
 
-void save_structure(const FtBfsStructure& h, const std::string& path) {
-  std::ofstream f(path);
-  FTB_CHECK_MSG(f.good(), "cannot open " << path << " for writing");
-  write_structure(h, f);
+void write_structure(const FtBfsStructure& h, std::ostream& os) {
+  const Vertex anchor[] = {h.source()};
+  write_structure(h, anchor, os);
 }
 
-FtBfsStructure read_structure(const Graph& g, std::istream& is) {
+void save_structure(const FtBfsStructure& h, std::span<const Vertex> sources,
+                    const std::string& path) {
+  std::ofstream f(path);
+  FTB_CHECK_MSG(f.good(), "cannot open " << path << " for writing");
+  write_structure(h, sources, f);
+}
+
+void save_structure(const FtBfsStructure& h, const std::string& path) {
+  const Vertex anchor[] = {h.source()};
+  save_structure(h, anchor, path);
+}
+
+FtBfsStructure read_structure(const Graph& g, std::istream& is,
+                              std::vector<Vertex>* sources_out) {
   const std::string magic = next_data_line(is);
   FTB_CHECK_MSG(magic.rfind("ftbfs-structure", 0) == 0,
                 "bad magic line '" << magic << "'");
@@ -53,11 +76,11 @@ FtBfsStructure read_structure(const Graph& g, std::istream& is) {
     std::istringstream ms(magic);
     std::string word;
     ms >> word >> version;
-    FTB_CHECK_MSG(version == 1 || version == 2,
+    FTB_CHECK_MSG(version >= 1 && version <= 3,
                   "unsupported structure version " << version);
   }
-  // Version 2 carries the fault-model tag; version 1 predates it and is an
-  // edge-model artifact by definition.
+  // Version 2 added the fault-model tag (version 1 is an edge-model
+  // artifact by definition); version 3 added the multi-source line.
   FaultClass fault_class = FaultClass::kEdge;
   if (version >= 2) {
     const std::string model_line = next_data_line(is);
@@ -67,6 +90,27 @@ FtBfsStructure read_structure(const Graph& g, std::istream& is) {
     FTB_CHECK_MSG(word == "fault-model",
                   "expected fault-model line, got '" << model_line << "'");
     fault_class = parse_fault_class(tag);
+  }
+  std::vector<Vertex> sources;
+  if (version >= 3) {
+    const std::string sources_line = next_data_line(is);
+    std::istringstream ss(sources_line);
+    std::string word;
+    long long k = -1;
+    ss >> word >> k;
+    FTB_CHECK_MSG(word == "sources" && k >= 1,
+                  "expected sources line, got '" << sources_line << "'");
+    for (long long i = 0; i < k; ++i) {
+      long long s = -1;
+      ss >> s;
+      FTB_CHECK_MSG(ss && s >= 0,
+                    "bad sources line '" << sources_line << "'");
+      sources.push_back(static_cast<Vertex>(s));
+    }
+    // Same invariants every build entry point enforces: in range, no
+    // duplicates (a duplicated source would make Session::load build the
+    // same tree and engines twice).
+    detail::check_sources(g, sources);
   }
   const std::string header = next_data_line(is);
   FTB_CHECK_MSG(!header.empty(), "missing structure header");
@@ -79,6 +123,11 @@ FtBfsStructure read_structure(const Graph& g, std::istream& is) {
                 "structure built for n=" << n << ", graph has "
                                          << g.num_vertices());
   FTB_CHECK_MSG(mh >= 0 && source >= 0 && source < n, "bad header");
+  if (sources.empty()) {
+    sources.push_back(static_cast<Vertex>(source));
+  }
+  FTB_CHECK_MSG(sources.front() == static_cast<Vertex>(source),
+                "sources line disagrees with the header's anchor source");
 
   std::vector<EdgeId> edges, reinforced, tree_edges;
   for (long long i = 0; i < mh; ++i) {
@@ -100,15 +149,17 @@ FtBfsStructure read_structure(const Graph& g, std::istream& is) {
     if (flags & 1) reinforced.push_back(e);
     if (flags & 2) tree_edges.push_back(e);
   }
+  if (sources_out != nullptr) *sources_out = std::move(sources);
   return FtBfsStructure(g, static_cast<Vertex>(source), std::move(edges),
                         std::move(reinforced), std::move(tree_edges),
                         fault_class);
 }
 
-FtBfsStructure load_structure(const Graph& g, const std::string& path) {
+FtBfsStructure load_structure(const Graph& g, const std::string& path,
+                              std::vector<Vertex>* sources_out) {
   std::ifstream f(path);
   FTB_CHECK_MSG(f.good(), "cannot open " << path);
-  return read_structure(g, f);
+  return read_structure(g, f, sources_out);
 }
 
 }  // namespace ftb::io

@@ -5,19 +5,25 @@
 // failure model the plan insures against), and reloads it later against
 // the same network. Format (text, '#' comments):
 //
-//   ftbfs-structure 2
+//   ftbfs-structure 3
 //   fault-model <edge|vertex|dual>
+//   sources <k> <s_0> ... <s_{k-1}>   # v3 only, multi-source artifacts
 //   <n> <|E(H)|> <source>
 //   <u> <v> <flags>        # one line per structure edge;
 //                          # flags bit 0 = reinforced, bit 1 = tree edge
 //
-// Version 1 files (no fault-model line) still load and default to the edge
-// model. Loading validates against the given graph (endpoints must exist
-// as edges) and reconstructs the exact edge partition + fault tag.
+// Single-source artifacts are still written as version 2 (no sources
+// line), so files produced before the ftb::api facade landed are byte-
+// stable. Version 1 files (no fault-model line) load and default to the
+// edge model. Loading validates against the given graph (endpoints must
+// exist as edges) and reconstructs the exact edge partition + fault tag +
+// source set.
 #pragma once
 
 #include <iosfwd>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "src/core/structure.hpp"
 
@@ -26,9 +32,22 @@ namespace ftb::io {
 void write_structure(const FtBfsStructure& h, std::ostream& os);
 void save_structure(const FtBfsStructure& h, const std::string& path);
 
+/// Multi-source variant (what api::Session::save uses): `sources` is the
+/// FT-MBFS source set, sources.front() == h.source(). A single-source set
+/// writes the plain v2 artifact; several sources write v3 with a sources
+/// line.
+void write_structure(const FtBfsStructure& h, std::span<const Vertex> sources,
+                     std::ostream& os);
+void save_structure(const FtBfsStructure& h, std::span<const Vertex> sources,
+                    const std::string& path);
+
 /// Parses a structure against `g`. Throws CheckError on malformed input,
 /// unknown edges, an unknown fault-model tag, or a vertex-count mismatch.
-FtBfsStructure read_structure(const Graph& g, std::istream& is);
-FtBfsStructure load_structure(const Graph& g, const std::string& path);
+/// When `sources_out` is non-null it receives the artifact's source set
+/// ({h.source()} for v1/v2 artifacts and single-source v3 ones).
+FtBfsStructure read_structure(const Graph& g, std::istream& is,
+                              std::vector<Vertex>* sources_out = nullptr);
+FtBfsStructure load_structure(const Graph& g, const std::string& path,
+                              std::vector<Vertex>* sources_out = nullptr);
 
 }  // namespace ftb::io

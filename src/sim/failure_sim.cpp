@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <limits>
+#include <span>
 #include <sstream>
 
+#include "src/api/ftbfs_api.hpp"
 #include "src/graph/bfs_kernel.hpp"
 #include "src/graph/canonical_bfs.hpp"
 
@@ -20,6 +22,28 @@ std::string DrillReport::to_string() const {
 
 namespace {
 
+/// One (surviving-graph, surviving-structure) distance comparison folded
+/// into the report — the single scoring rule every drill flavor shares.
+void score_pair(std::int32_t dg, std::int32_t dh, DrillReport& report,
+                double& dist_sum, std::int64_t& dist_count) {
+  if (dg >= kInfHops) {
+    ++report.disconnections;
+    return;
+  }
+  ++report.reachable_queries;
+  dist_sum += dh >= kInfHops ? 0 : dh;
+  ++dist_count;
+  if (dh != dg) {
+    ++report.violations;
+    const double stretch =
+        dh >= kInfHops
+            ? std::numeric_limits<double>::infinity()
+            : (dg == 0 ? 1.0
+                       : static_cast<double>(dh) / static_cast<double>(dg));
+    report.max_stretch = std::max(report.max_stretch, stretch);
+  }
+}
+
 /// Shared per-failure scoring: compares the surviving structure against the
 /// surviving full network (both already swept into scratches).
 void score_drill(const Graph& g, const BfsScratch& in_g,
@@ -27,25 +51,48 @@ void score_drill(const Graph& g, const BfsScratch& in_g,
                  double& dist_sum, std::int64_t& dist_count) {
   for (Vertex v = 0; v < g.num_vertices(); ++v) {
     if (v == skip) continue;
-    const std::int32_t dg = in_g.dist(v);
-    const std::int32_t dh = in_h.dist(v);
-    if (dg >= kInfHops) {
-      ++report.disconnections;
-      continue;
-    }
-    ++report.reachable_queries;
-    dist_sum += dh >= kInfHops ? 0 : dh;
-    ++dist_count;
-    if (dh != dg) {
-      ++report.violations;
-      const double stretch =
-          dh >= kInfHops
-              ? std::numeric_limits<double>::infinity()
-              : (dg == 0 ? 1.0
-                         : static_cast<double>(dh) / static_cast<double>(dg));
-      report.max_stretch = std::max(report.max_stretch, stretch);
-    }
+    score_pair(in_g.dist(v), in_h.dist(v), report, dist_sum, dist_count);
   }
+}
+
+/// The edge storm: `num_failures` fault-prone edges (everything except E'),
+/// sampled without replacement when possible. One sampler for both the
+/// structure-served and session-served drills, so identical seeds always
+/// mean identical storms.
+std::vector<EdgeId> sample_edge_storm(const FtBfsStructure& h,
+                                      std::int64_t num_failures,
+                                      std::uint64_t seed) {
+  const Graph& g = h.graph();
+  std::vector<EdgeId> prone;
+  prone.reserve(static_cast<std::size_t>(g.num_edges()));
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (!h.is_reinforced(e)) prone.push_back(e);
+  }
+  Rng rng(seed);
+  rng.shuffle(prone);
+  if (static_cast<std::int64_t>(prone.size()) > num_failures) {
+    prone.resize(static_cast<std::size_t>(num_failures));
+  }
+  return prone;
+}
+
+/// The vertex storm: `num_failures` non-source routers, sampled without
+/// replacement when possible.
+std::vector<Vertex> sample_vertex_storm(const FtBfsStructure& h,
+                                        std::int64_t num_failures,
+                                        std::uint64_t seed) {
+  const Graph& g = h.graph();
+  std::vector<Vertex> prone;
+  prone.reserve(static_cast<std::size_t>(g.num_vertices()));
+  for (Vertex x = 0; x < g.num_vertices(); ++x) {
+    if (x != h.source()) prone.push_back(x);
+  }
+  Rng rng(seed);
+  rng.shuffle(prone);
+  if (static_cast<std::int64_t>(prone.size()) > num_failures) {
+    prone.resize(static_cast<std::size_t>(num_failures));
+  }
+  return prone;
 }
 
 }  // namespace
@@ -54,19 +101,7 @@ DrillReport run_failure_drill(const FtBfsStructure& h,
                               std::int64_t num_failures, std::uint64_t seed) {
   const Graph& g = h.graph();
   const Vertex s = h.source();
-
-  // Fault-prone edges: everything in G except the reinforced set.
-  std::vector<EdgeId> prone;
-  prone.reserve(static_cast<std::size_t>(g.num_edges()));
-  for (EdgeId e = 0; e < g.num_edges(); ++e) {
-    if (!h.is_reinforced(e)) prone.push_back(e);
-  }
-
-  Rng rng(seed);
-  rng.shuffle(prone);
-  if (static_cast<std::int64_t>(prone.size()) > num_failures) {
-    prone.resize(static_cast<std::size_t>(num_failures));
-  }
+  const std::vector<EdgeId> prone = sample_edge_storm(h, num_failures, seed);
 
   DrillReport report;
   double dist_sum = 0;
@@ -91,19 +126,8 @@ DrillReport run_vertex_failure_drill(const FtBfsStructure& h,
   const Graph& g = h.graph();
   const Vertex s = h.source();
   const std::size_t n = static_cast<std::size_t>(g.num_vertices());
-
-  // Every non-source router is fault-prone in the vertex model.
-  std::vector<Vertex> prone;
-  prone.reserve(n);
-  for (Vertex x = 0; x < g.num_vertices(); ++x) {
-    if (x != s) prone.push_back(x);
-  }
-
-  Rng rng(seed);
-  rng.shuffle(prone);
-  if (static_cast<std::int64_t>(prone.size()) > num_failures) {
-    prone.resize(static_cast<std::size_t>(num_failures));
-  }
+  const std::vector<Vertex> prone =
+      sample_vertex_storm(h, num_failures, seed);
 
   DrillReport report;
   double dist_sum = 0;
@@ -128,6 +152,27 @@ DrillReport run_vertex_failure_drill(const FtBfsStructure& h,
   return report;
 }
 
+namespace {
+
+/// Merges two storms into one report (query-weighted average distance).
+DrillReport merge_reports(DrillReport rep, const DrillReport& vrep) {
+  const std::int64_t q = rep.reachable_queries + vrep.reachable_queries;
+  rep.avg_distance =
+      q > 0 ? (rep.avg_distance * static_cast<double>(rep.reachable_queries) +
+               vrep.avg_distance *
+                   static_cast<double>(vrep.reachable_queries)) /
+                  static_cast<double>(q)
+            : 0.0;
+  rep.drills += vrep.drills;
+  rep.reachable_queries = q;
+  rep.violations += vrep.violations;
+  rep.disconnections += vrep.disconnections;
+  rep.max_stretch = std::max(rep.max_stretch, vrep.max_stretch);
+  return rep;
+}
+
+}  // namespace
+
 DrillReport run_failure_drill(const FtBfsStructure& h, FaultClass model,
                               std::int64_t num_failures, std::uint64_t seed) {
   switch (model) {
@@ -135,24 +180,135 @@ DrillReport run_failure_drill(const FtBfsStructure& h, FaultClass model,
       return run_failure_drill(h, num_failures, seed);
     case FaultClass::kVertex:
       return run_vertex_failure_drill(h, num_failures, seed);
-    case FaultClass::kDual: {
-      DrillReport rep = run_failure_drill(h, num_failures, seed);
-      const DrillReport vrep = run_vertex_failure_drill(h, num_failures, seed);
-      // Merge the two storms into one report.
-      const std::int64_t q = rep.reachable_queries + vrep.reachable_queries;
-      rep.avg_distance =
-          q > 0 ? (rep.avg_distance * static_cast<double>(rep.reachable_queries) +
-                   vrep.avg_distance *
-                       static_cast<double>(vrep.reachable_queries)) /
-                      static_cast<double>(q)
-                : 0.0;
-      rep.drills += vrep.drills;
-      rep.reachable_queries = q;
-      rep.violations += vrep.violations;
-      rep.disconnections += vrep.disconnections;
-      rep.max_stretch = std::max(rep.max_stretch, vrep.max_stretch);
-      return rep;
+    case FaultClass::kDual:
+      return merge_reports(run_failure_drill(h, num_failures, seed),
+                           run_vertex_failure_drill(h, num_failures, seed));
+  }
+  return {};
+}
+
+// ---------------------------------------------------------------------------
+// Session-served drills: the surviving-graph side of every comparison is a
+// batched in-model query (the FT contract pins it to dist(s,·,G\{fault}),
+// an O(1) engine lookup), so each drill costs one literal traversal (the
+// surviving structure) instead of two.
+
+namespace {
+
+/// Storms are chunked so the in-flight batch (queries + results) stays
+/// bounded regardless of drill count or graph size — big enough that the
+/// plane's grouping and sharding still have plenty to chew on per call.
+constexpr std::size_t kMaxBatchQueries = std::size_t{1} << 20;
+
+/// The shared session-drill loop: per chunk, one batched in-model query()
+/// call answers the surviving-graph side of every (failure, vertex)
+/// comparison; `sweep_h(fault, in_h)` sweeps the surviving STRUCTURE for
+/// one drill. EdgeId and Vertex share one integer type, so one body serves
+/// both storms; the vertex storm skips the destroyed router itself.
+template <class SweepH>
+DrillReport run_session_storm(const api::Session& session, FaultClass kind,
+                              std::span<const std::int32_t> prone,
+                              SweepH&& sweep_h) {
+  const Graph& g = session.graph();
+  const Vertex n = g.num_vertices();
+  const std::size_t chunk = std::max<std::size_t>(
+      1, kMaxBatchQueries / std::max<std::size_t>(
+                                1, static_cast<std::size_t>(n)));
+  const bool skip_failed = kind == FaultClass::kVertex;
+
+  DrillReport report;
+  double dist_sum = 0;
+  std::int64_t dist_count = 0;
+  BfsScratch in_h;
+  std::vector<api::Query> batch;
+  for (std::size_t begin = 0; begin < prone.size(); begin += chunk) {
+    const std::size_t end = std::min(prone.size(), begin + chunk);
+    batch.clear();
+    for (std::size_t i = begin; i < end; ++i) {
+      for (Vertex v = 0; v < n; ++v) {
+        api::Query q;
+        q.v = v;
+        q.kind = kind;
+        q.fault = prone[i];
+        batch.push_back(q);
+      }
     }
+    const api::QueryResponse resp = session.query(batch);
+    FTB_CHECK_MSG(resp.refused == 0,
+                  "session refused in-model drill queries — storm does not "
+                  "match the session's fault model");
+    std::size_t qi = 0;
+    for (std::size_t i = begin; i < end; ++i) {
+      const std::int32_t failed = prone[i];
+      ++report.drills;
+      sweep_h(failed, in_h);
+      for (Vertex v = 0; v < n; ++v, ++qi) {
+        if (skip_failed && v == failed) continue;  // destroyed router
+        score_pair(resp.results[qi].dist, in_h.dist(v), report, dist_sum,
+                   dist_count);
+      }
+    }
+  }
+  report.avg_distance =
+      dist_count > 0 ? dist_sum / static_cast<double>(dist_count) : 0.0;
+  return report;
+}
+
+DrillReport run_session_edge_drill(const api::Session& session,
+                                   std::int64_t num_failures,
+                                   std::uint64_t seed) {
+  const FtBfsStructure& h = session.structure();
+  return run_session_storm(
+      session, FaultClass::kEdge, sample_edge_storm(h, num_failures, seed),
+      [&](EdgeId failed, BfsScratch& in_h) {
+        h.distances_avoiding(failed, in_h);
+      });
+}
+
+DrillReport run_session_vertex_drill(const api::Session& session,
+                                     std::int64_t num_failures,
+                                     std::uint64_t seed) {
+  const FtBfsStructure& h = session.structure();
+  const Graph& g = h.graph();
+  std::vector<std::uint8_t> banned(
+      static_cast<std::size_t>(g.num_vertices()), 0);
+  return run_session_storm(
+      session, FaultClass::kVertex,
+      sample_vertex_storm(h, num_failures, seed),
+      [&](Vertex failed, BfsScratch& in_h) {
+        banned[static_cast<std::size_t>(failed)] = 1;
+        BfsBans h_bans;
+        h_bans.banned_vertex = &banned;
+        h_bans.banned_edge_mask = &h.complement_mask();
+        bfs_run(g, h.source(), h_bans, in_h);
+        banned[static_cast<std::size_t>(failed)] = 0;
+      });
+}
+
+}  // namespace
+
+DrillReport run_failure_drill(const api::Session& session, FaultClass storm,
+                              std::int64_t num_failures, std::uint64_t seed) {
+  const FaultClass model = session.fault_model();
+  const bool covers_edge = model != FaultClass::kVertex;
+  const bool covers_vertex = model != FaultClass::kEdge;
+  switch (storm) {
+    case FaultClass::kEdge:
+      FTB_CHECK_MSG(covers_edge,
+                    "edge storm on a vertex-model session — drill the "
+                    "structure overload instead");
+      return run_session_edge_drill(session, num_failures, seed);
+    case FaultClass::kVertex:
+      FTB_CHECK_MSG(covers_vertex,
+                    "vertex storm on an edge-model session — drill the "
+                    "structure overload instead");
+      return run_session_vertex_drill(session, num_failures, seed);
+    case FaultClass::kDual:
+      FTB_CHECK_MSG(covers_edge && covers_vertex,
+                    "dual storm needs a dual-model session");
+      return merge_reports(
+          run_session_edge_drill(session, num_failures, seed),
+          run_session_vertex_drill(session, num_failures, seed));
   }
   return {};
 }

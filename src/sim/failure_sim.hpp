@@ -18,6 +18,10 @@
 #include "src/core/structure.hpp"
 #include "src/util/rng.hpp"
 
+namespace ftb::api {
+class Session;
+}  // namespace ftb::api
+
 namespace ftb {
 
 struct DrillReport {
@@ -49,6 +53,16 @@ DrillReport run_vertex_failure_drill(const FtBfsStructure& h,
 /// run_vertex_failure_drill, dual → both (reports merged; `num_failures`
 /// applies to each storm separately).
 DrillReport run_failure_drill(const FtBfsStructure& h, FaultClass model,
+                              std::int64_t num_failures, std::uint64_t seed);
+
+/// Session-served drill: same storm, same report shape and the same
+/// violation semantics as the structure overloads, but the surviving-graph
+/// side of every comparison comes from ONE batched in-model query() call
+/// (O(1) per query off the engine tables) instead of a literal BFS of
+/// G \ {fault} per drill — halving the traversals per drill and exercising
+/// the production query plane. `storm` must be covered by the session's
+/// fault model (CheckError otherwise); kDual runs both storms and merges.
+DrillReport run_failure_drill(const api::Session& session, FaultClass storm,
                               std::int64_t num_failures, std::uint64_t seed);
 
 }  // namespace ftb

@@ -1,0 +1,132 @@
+// json.hpp — minimal ordered JSON builders shared by the benches, the CLI
+// and anything else that emits machine-readable reports.
+//
+// Values are insertion-ordered; nested objects/arrays go in via set_raw.
+// The schema every producer shares is "one JsonObject per report, one
+// JsonArray per row list" — BENCH_construction.json and `ftbfs_cli --json`
+// are both written through these builders, so downstream scripting sees a
+// single shape.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace ftb {
+
+/// Minimal ordered JSON object builder (see file comment).
+class JsonObject {
+ public:
+  JsonObject& set(const std::string& key, double v) {
+    if (!std::isfinite(v)) return set_raw(key, "null");  // keep valid JSON
+    std::ostringstream os;
+    os << v;
+    return set_raw(key, os.str());
+  }
+  JsonObject& set(const std::string& key, std::int64_t v) {
+    return set_raw(key, std::to_string(v));
+  }
+  JsonObject& set(const std::string& key, bool v) {
+    return set_raw(key, v ? "true" : "false");
+  }
+  JsonObject& set(const std::string& key, const std::string& v) {
+    return set_raw(key, quote(v));
+  }
+  JsonObject& set_raw(const std::string& key, const std::string& json) {
+    kv_.emplace_back(key, json);
+    return *this;
+  }
+
+  std::string str(int indent = 0) const {
+    const std::string pad(static_cast<std::size_t>(indent) + 2, ' ');
+    std::ostringstream os;
+    os << "{\n";
+    for (std::size_t i = 0; i < kv_.size(); ++i) {
+      os << pad << "\"" << kv_[i].first << "\": " << kv_[i].second;
+      if (i + 1 < kv_.size()) os << ",";
+      os << "\n";
+    }
+    os << std::string(static_cast<std::size_t>(indent), ' ') << "}";
+    return os.str();
+  }
+
+  /// Escapes and quotes a string value (quotes, backslashes, control
+  /// characters) — values like CLI-supplied file paths must not be able to
+  /// break the emitted document.
+  static std::string quote(const std::string& v) {
+    std::ostringstream os;
+    os << '"';
+    for (const char c : v) {
+      switch (c) {
+        case '"':
+          os << "\\\"";
+          break;
+        case '\\':
+          os << "\\\\";
+          break;
+        case '\n':
+          os << "\\n";
+          break;
+        case '\r':
+          os << "\\r";
+          break;
+        case '\t':
+          os << "\\t";
+          break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            os << "\\u00" << "0123456789abcdef"[(c >> 4) & 0xf]
+               << "0123456789abcdef"[c & 0xf];
+          } else {
+            os << c;
+          }
+      }
+    }
+    os << '"';
+    return os.str();
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> kv_;
+};
+
+/// Companion array builder (e.g. per-seed or per-source rows); nests via
+/// JsonObject::set_raw(key, arr.str(indent)).
+class JsonArray {
+ public:
+  JsonArray& push(const JsonObject& obj) {
+    items_.push_back(obj.str(4));
+    return *this;
+  }
+  JsonArray& push_raw(const std::string& json) {
+    items_.push_back(json);
+    return *this;
+  }
+
+  std::string str(int indent = 0) const {
+    if (items_.empty()) return "[]";
+    const std::string pad(static_cast<std::size_t>(indent) + 2, ' ');
+    std::ostringstream os;
+    os << "[\n";
+    for (std::size_t i = 0; i < items_.size(); ++i) {
+      os << pad << items_[i];
+      if (i + 1 < items_.size()) os << ",";
+      os << "\n";
+    }
+    os << std::string(static_cast<std::size_t>(indent), ' ') << "]";
+    return os.str();
+  }
+
+ private:
+  std::vector<std::string> items_;
+};
+
+inline void write_json_file(const std::string& path, const JsonObject& obj) {
+  std::ofstream out(path);
+  out << obj.str() << "\n";
+}
+
+}  // namespace ftb

@@ -1,0 +1,313 @@
+// api_build_test.cpp — the facade-vs-legacy differential suite.
+//
+// ftb::api::build(graph, BuildSpec) must be byte-identical to the legacy
+// entry point each (fault model, ε, source count) cell replaces: same
+// edges, same reinforced set, same tree edges, same fault tag. Plus the
+// shared "invalid BuildSpec" validation shape and the Session save/load
+// round trip (structure_io v3 keeps the multi-source set).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <limits>
+#include <sstream>
+
+#include "src/api/ftbfs_api.hpp"
+#include "src/core/ftbfs.hpp"
+#include "src/core/multi_source.hpp"
+#include "src/core/vertex_ftbfs.hpp"
+#include "src/graph/generators.hpp"
+#include "src/io/structure_io.hpp"
+#include "tests/test_util.hpp"
+
+namespace ftb {
+namespace {
+
+void expect_identical(const FtBfsStructure& a, const FtBfsStructure& b,
+                      const std::string& what) {
+  EXPECT_EQ(a.edges(), b.edges()) << what;
+  EXPECT_EQ(a.reinforced(), b.reinforced()) << what;
+  EXPECT_EQ(a.tree_edges(), b.tree_edges()) << what;
+  EXPECT_EQ(a.fault_class(), b.fault_class()) << what;
+  EXPECT_EQ(a.source(), b.source()) << what;
+}
+
+std::vector<test::FamilyCase> diff_families() {
+  std::vector<test::FamilyCase> out;
+  out.push_back({"grid6x7", gen::grid_graph(6, 7), 0});
+  out.push_back({"gnm50", gen::gnm(50, 200, 3), 0});
+  out.push_back({"conn64", gen::random_connected(64, 100, 4), 7});
+  out.push_back({"lollipop", gen::lollipop(12, 8), 0});
+  return out;
+}
+
+TEST(ApiBuild, EdgeModelMatchesEpsilonPipelinePerCell) {
+  for (const auto& fc : diff_families()) {
+    for (const double eps : {0.0, 0.25, 0.45, 0.6, 1.0}) {
+      EpsilonOptions legacy_opts;
+      legacy_opts.eps = eps;
+      const EpsilonResult legacy =
+          build_epsilon_ftbfs(fc.graph, fc.source, legacy_opts);
+
+      api::BuildSpec spec;
+      spec.fault_model = FaultClass::kEdge;
+      spec.sources = {fc.source};
+      spec.eps = eps;
+      const api::BuildResult got = api::build(fc.graph, spec);
+
+      expect_identical(got.structure, legacy.structure,
+                       fc.name + " eps=" + std::to_string(eps));
+      ASSERT_EQ(got.per_source.size(), 1u);
+      EXPECT_EQ(got.per_source[0].structure_edges,
+                legacy.stats.structure_edges);
+      EXPECT_EQ(got.sources, spec.sources);
+    }
+  }
+}
+
+TEST(ApiBuild, EpsOneMatchesEsa13Baseline) {
+  // The ε = 1 cell is Theorem 3.1's baseline branch — byte-identical to
+  // the legacy build_ftbfs entry point.
+  for (const auto& fc : diff_families()) {
+    const FtBfsStructure legacy = build_ftbfs(fc.graph, fc.source);
+    api::BuildSpec spec;
+    spec.sources = {fc.source};
+    spec.eps = 1.0;
+    expect_identical(api::build(fc.graph, spec).structure, legacy,
+                     fc.name + " baseline");
+  }
+}
+
+TEST(ApiBuild, EpsZeroMatchesReinforcedTree) {
+  for (const auto& fc : diff_families()) {
+    const FtBfsStructure legacy = build_reinforced_tree(fc.graph, fc.source);
+    api::BuildSpec spec;
+    spec.sources = {fc.source};
+    spec.eps = 0.0;
+    expect_identical(api::build(fc.graph, spec).structure, legacy,
+                     fc.name + " reinforced-tree");
+  }
+}
+
+TEST(ApiBuild, VertexModelMatchesVertexBaseline) {
+  for (const auto& fc : diff_families()) {
+    const FtBfsStructure legacy = build_vertex_ftbfs(fc.graph, fc.source);
+    api::BuildSpec spec;
+    spec.fault_model = FaultClass::kVertex;
+    spec.sources = {fc.source};
+    expect_identical(api::build(fc.graph, spec).structure, legacy,
+                     fc.name + " vertex");
+  }
+}
+
+TEST(ApiBuild, DualModelMatchesDualUnion) {
+  for (const auto& fc : diff_families()) {
+    const FtBfsStructure legacy = build_dual_ftbfs(fc.graph, fc.source);
+    api::BuildSpec spec;
+    spec.fault_model = FaultClass::kDual;
+    spec.sources = {fc.source};
+    expect_identical(api::build(fc.graph, spec).structure, legacy,
+                     fc.name + " dual");
+  }
+}
+
+TEST(ApiBuild, MultiSourceEdgeMatchesFtmbfs) {
+  const Graph g = gen::random_connected(60, 160, 11);
+  const std::vector<Vertex> sources = {0, 17, 42};
+  EpsilonOptions legacy_opts;
+  legacy_opts.eps = 0.3;
+  const MultiSourceResult legacy = build_epsilon_ftmbfs(g, sources,
+                                                        legacy_opts);
+
+  api::BuildSpec spec;
+  spec.sources = sources;
+  spec.eps = 0.3;
+  const api::BuildResult got = api::build(g, spec);
+  expect_identical(got.structure, legacy.structure, "edge ftmbfs");
+  ASSERT_EQ(got.per_source.size(), sources.size());
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    EXPECT_EQ(got.per_source[i].structure_edges,
+              legacy.per_source[i].structure_edges);
+  }
+}
+
+TEST(ApiBuild, MultiSourceVertexMatchesVertexFtmbfs) {
+  const Graph g = gen::random_connected(60, 160, 13);
+  const std::vector<Vertex> sources = {3, 25};
+  const MultiSourceResult legacy = build_vertex_ftmbfs(g, sources);
+
+  api::BuildSpec spec;
+  spec.fault_model = FaultClass::kVertex;
+  spec.sources = sources;
+  expect_identical(api::build(g, spec).structure, legacy.structure,
+                   "vertex ftmbfs");
+}
+
+// ---------------------------------------------------------------------------
+// Validation: one CheckError message shape everywhere.
+
+void expect_invalid_spec(const Graph& g, const api::BuildSpec& spec) {
+  try {
+    api::build(g, spec);
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("invalid BuildSpec"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ApiBuildValidation, RejectsBadEpsilon) {
+  const Graph g = gen::grid_graph(4, 4);
+  for (const double bad :
+       {std::numeric_limits<double>::quiet_NaN(),
+        std::numeric_limits<double>::infinity(), -0.1, 1.5}) {
+    api::BuildSpec spec;
+    spec.eps = bad;
+    expect_invalid_spec(g, spec);
+  }
+}
+
+TEST(ApiBuildValidation, RejectsBadSourceSets) {
+  const Graph g = gen::grid_graph(4, 4);
+  {
+    api::BuildSpec spec;
+    spec.sources = {};
+    expect_invalid_spec(g, spec);
+  }
+  {
+    api::BuildSpec spec;
+    spec.sources = {0, 99};  // out of range
+    expect_invalid_spec(g, spec);
+  }
+  {
+    api::BuildSpec spec;
+    spec.sources = {0, 3, 0};  // duplicate
+    expect_invalid_spec(g, spec);
+  }
+  {
+    api::BuildSpec spec;  // dual is single-source only
+    spec.fault_model = FaultClass::kDual;
+    spec.sources = {0, 1};
+    expect_invalid_spec(g, spec);
+  }
+}
+
+TEST(ApiBuildValidation, LegacyEntryPointsShareTheMessageShape) {
+  const Graph g = gen::grid_graph(4, 4);
+  {
+    EpsilonOptions opts;
+    opts.eps = std::numeric_limits<double>::quiet_NaN();
+    try {
+      build_epsilon_ftbfs(g, 0, opts);
+      FAIL() << "expected CheckError";
+    } catch (const CheckError& e) {
+      EXPECT_NE(std::string(e.what()).find("invalid BuildSpec"),
+                std::string::npos)
+          << e.what();
+    }
+  }
+  try {
+    build_epsilon_ftmbfs(g, {}, {});
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("invalid BuildSpec"),
+              std::string::npos)
+        << e.what();
+  }
+  try {
+    build_vertex_ftbfs(g, -1);
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("invalid BuildSpec"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Session save / load round trip (structure_io v3).
+
+TEST(ApiSessionIo, MultiSourceRoundTripKeepsSources) {
+  const Graph g = gen::random_connected(50, 120, 17);
+  api::BuildSpec spec;
+  spec.sources = {2, 31, 44};
+  spec.eps = 0.3;
+  const api::Session session = api::Session::open(g, spec);
+
+  std::ostringstream os;
+  io::write_structure(session.structure(), session.sources(), os);
+  std::istringstream is(os.str());
+  std::vector<Vertex> sources;
+  const FtBfsStructure reloaded = io::read_structure(g, is, &sources);
+  EXPECT_EQ(sources, spec.sources);
+  EXPECT_EQ(reloaded.edges(), session.structure().edges());
+  EXPECT_EQ(reloaded.reinforced(), session.structure().reinforced());
+  EXPECT_EQ(reloaded.fault_class(), session.structure().fault_class());
+}
+
+TEST(ApiSessionIo, SingleSourceArtifactStaysVersion2) {
+  // Pre-facade artifacts must stay byte-stable: a single-source write has
+  // no sources line and still says version 2.
+  const Graph g = gen::grid_graph(5, 5);
+  api::BuildSpec spec;
+  spec.eps = 0.25;
+  const api::Session session = api::Session::open(g, spec);
+  std::ostringstream os;
+  io::write_structure(session.structure(), session.sources(), os);
+  EXPECT_EQ(os.str().rfind("ftbfs-structure 2\n", 0), 0u);
+  EXPECT_EQ(os.str().find("sources"), std::string::npos);
+}
+
+TEST(ApiSessionIo, SavedSessionReloadsAndAnswersIdentically) {
+  const Graph g = gen::random_connected(48, 130, 19);
+  api::BuildSpec spec;
+  spec.sources = {0, 20};
+  spec.eps = 0.35;
+  const api::Session original = api::Session::open(g, spec);
+
+  const std::string path = ::testing::TempDir() + "/api_session_io.ftbfs";
+  original.save(path);
+  const api::Session reloaded = api::Session::load(g, path);
+  std::remove(path.c_str());
+
+  EXPECT_EQ(reloaded.sources().size(), original.sources().size());
+  std::vector<api::Query> batch;
+  for (const EdgeId e : original.structure().tree_edges()) {
+    for (Vertex v = 0; v < g.num_vertices(); v += 7) {
+      for (std::int32_t si = 0; si < 2; ++si) {
+        api::Query q;
+        q.v = v;
+        q.fault = e;
+        q.source_index = si;
+        q.allow_what_if = true;
+        batch.push_back(q);
+      }
+    }
+  }
+  const api::QueryResponse a = original.query(batch);
+  const api::QueryResponse b = reloaded.query(batch);
+  ASSERT_EQ(a.results.size(), b.results.size());
+  for (std::size_t i = 0; i < a.results.size(); ++i) {
+    EXPECT_EQ(a.results[i].dist, b.results[i].dist) << i;
+    EXPECT_EQ(a.results[i].outcome, b.results[i].outcome) << i;
+  }
+}
+
+TEST(ApiSessionIo, LoadWithWrongWeightSeedIsRefused) {
+  const Graph g = gen::random_connected(40, 110, 23);
+  api::BuildSpec spec;
+  spec.eps = 0.3;
+  spec.weight_seed = 77;
+  const api::Session session = api::Session::open(g, spec);
+  const std::string path = ::testing::TempDir() + "/api_session_seed.ftbfs";
+  session.save(path);
+  api::SessionConfig cfg;
+  cfg.weight_seed = 78;  // different tie-breaking → different tree
+  EXPECT_THROW(api::Session::load(g, path, cfg), CheckError);
+  cfg.weight_seed = 77;
+  EXPECT_NO_THROW(api::Session::load(g, path, cfg));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace ftb

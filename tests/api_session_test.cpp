@@ -1,0 +1,424 @@
+// api_session_test.cpp — the batched, thread-safe query plane.
+//
+// Three claims under test:
+//   1. classification — every query lands in the documented outcome cell
+//      (in-model O(1) hit / what-if BFS / refused);
+//   2. answers — bit-identical to the serial ground truth: the legacy
+//      FaultStructureOracle for in-model + reinforced what-ifs, literal
+//      BFS for everything else;
+//   3. thread safety — many threads hammering one Session with mixed
+//      batches get exactly the serial answers (this test carries the
+//      `concurrency` ctest label and runs under the TSan CI job).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+
+#include "src/api/ftbfs_api.hpp"
+#include "src/core/replacement.hpp"
+#include "src/core/structure_oracle.hpp"
+#include "src/core/vertex_ftbfs.hpp"
+#include "src/sim/failure_sim.hpp"
+#include "src/graph/bfs_tree.hpp"
+#include "src/graph/generators.hpp"
+#include "src/graph/lower_bound.hpp"
+#include "src/util/rng.hpp"
+
+namespace ftb {
+namespace {
+
+using api::Query;
+using api::QueryOutcome;
+using api::QueryResponse;
+
+/// Serial ground truth for any query the session can answer, via the
+/// legacy single-scratch machinery (engine tables + literal BFS).
+std::int32_t serial_truth(const api::Session& session, const Query& q) {
+  const Graph& g = session.graph();
+  const FtBfsStructure& h = session.structure();
+  const Vertex src =
+      session.sources()[static_cast<std::size_t>(q.source_index)];
+  std::vector<std::int32_t> dist;
+  if (q.kind == FaultClass::kEdge) {
+    BfsBans bans;
+    bans.banned_edge_mask = &h.complement_mask();
+    bans.banned_edge = q.fault;
+    BfsScratch scratch;
+    bfs_run(g, src, bans, scratch);
+    return scratch.dist(q.v);
+  }
+  if (q.v == q.fault) return kInfHops;
+  std::vector<std::uint8_t> mask(static_cast<std::size_t>(g.num_vertices()),
+                                 0);
+  mask[static_cast<std::size_t>(q.fault)] = 1;
+  BfsBans bans;
+  bans.banned_vertex = &mask;
+  bans.banned_edge_mask = &h.complement_mask();
+  BfsScratch scratch;
+  bfs_run(g, src, bans, scratch);
+  return scratch.dist(q.v);
+}
+
+TEST(ApiSession, InModelAnswersMatchLegacyOracle) {
+  const Graph g = gen::lollipop(14, 9);
+  api::BuildSpec spec;
+  spec.eps = 0.05;  // deep tail → reinforcement exists at this ε
+  const api::Session session = api::Session::open(g, spec);
+  const FtBfsStructure& h = session.structure();
+
+  const EdgeWeights w = EdgeWeights::uniform_random(g, spec.weight_seed);
+  const BfsTree tree(g, w, 0);
+  const ReplacementPathEngine engine(tree);
+  const StructureOracle oracle(h, engine);
+
+  std::vector<Query> batch;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    for (Vertex v = 0; v < g.num_vertices(); ++v) {
+      Query q;
+      q.v = v;
+      q.fault = e;
+      q.allow_what_if = true;
+      batch.push_back(q);
+    }
+  }
+  const QueryResponse resp = session.query(batch);
+  ASSERT_EQ(resp.results.size(), batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const Query& q = batch[i];
+    const bool reinforced = h.is_reinforced(q.fault);
+    EXPECT_EQ(resp.results[i].outcome, reinforced ? QueryOutcome::kWhatIf
+                                                  : QueryOutcome::kInModel);
+    // query_unchecked answers both cells serially: O(1) in-model, cached
+    // literal BFS for reinforced what-ifs.
+    EXPECT_EQ(resp.results[i].dist, oracle.query_unchecked(q.v, q.fault))
+        << "v=" << q.v << " e=" << q.fault;
+  }
+  EXPECT_EQ(resp.in_model + resp.what_if, static_cast<std::int64_t>(
+                                              batch.size()));
+  EXPECT_EQ(resp.refused, 0);
+}
+
+TEST(ApiSession, RefusalAndWhatIfCells) {
+  // The deep adversarial family genuinely reinforces at small ε (the same
+  // fixture epsilon_ftbfs_test's tradeoff-monotonicity test relies on).
+  const auto lbg = lb::build_single_source(300, 0.5);
+  const Graph& g = lbg.graph;
+  api::BuildSpec spec;
+  spec.sources = {lbg.source};
+  spec.eps = 0.05;
+  const api::Session session = api::Session::open(g, spec);
+  const FtBfsStructure& h = session.structure();
+  ASSERT_GT(h.num_reinforced(), 0) << "fixture must reinforce something";
+  const EdgeId reinforced = h.reinforced().front();
+
+  {  // reinforced edge without allow_what_if → refused, never thrown
+    Query q;
+    q.v = 5;
+    q.fault = reinforced;
+    const auto r = session.query_one(q);
+    EXPECT_EQ(r.outcome, QueryOutcome::kRefused);
+    EXPECT_EQ(r.dist, kInfHops);
+  }
+  {  // vertex fault on an edge-model session: what-if only
+    Query q;
+    q.v = 5;
+    q.kind = FaultClass::kVertex;
+    q.fault = lbg.source == 3 ? 4 : 3;
+    EXPECT_EQ(session.query_one(q).outcome, QueryOutcome::kRefused);
+    q.allow_what_if = true;
+    const auto r = session.query_one(q);
+    EXPECT_EQ(r.outcome, QueryOutcome::kWhatIf);
+    EXPECT_EQ(r.dist, serial_truth(session, q));
+  }
+  {  // the source never fails, not even as a what-if
+    Query q;
+    q.v = 5;
+    q.kind = FaultClass::kVertex;
+    q.fault = lbg.source;
+    q.allow_what_if = true;
+    EXPECT_EQ(session.query_one(q).outcome, QueryOutcome::kRefused);
+  }
+  {  // malformed queries throw, they are not statuses
+    Query q;
+    q.v = g.num_vertices();
+    q.fault = 0;
+    EXPECT_THROW(session.query_one(q), CheckError);
+    std::vector<Query> batch(1, q);
+    EXPECT_THROW(session.query(batch), CheckError);
+  }
+}
+
+TEST(ApiSession, VertexSessionMatchesVertexOracle) {
+  const Graph g = gen::random_connected(40, 100, 9);
+  api::BuildSpec spec;
+  spec.fault_model = FaultClass::kVertex;
+  const api::Session session = api::Session::open(g, spec);
+
+  const EdgeWeights w = EdgeWeights::uniform_random(g, spec.weight_seed);
+  const BfsTree tree(g, w, 0);
+  const VertexReplacementEngine engine(tree);
+  const VertexStructureOracle oracle(session.structure(), engine);
+
+  std::vector<Query> batch;
+  for (Vertex x = 1; x < g.num_vertices(); ++x) {
+    for (Vertex v = 0; v < g.num_vertices(); ++v) {
+      Query q;
+      q.v = v;
+      q.kind = FaultClass::kVertex;
+      q.fault = x;
+      batch.push_back(q);
+    }
+  }
+  const QueryResponse resp = session.query(batch);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    ASSERT_EQ(resp.results[i].outcome, QueryOutcome::kInModel);
+    EXPECT_EQ(resp.results[i].dist,
+              oracle.query(batch[i].v, batch[i].fault))
+        << "v=" << batch[i].v << " x=" << batch[i].fault;
+  }
+}
+
+TEST(ApiSession, DualSessionAnswersBothKindsInModel) {
+  const Graph g = gen::random_connected(36, 90, 5);
+  api::BuildSpec spec;
+  spec.fault_model = FaultClass::kDual;
+  const api::Session session = api::Session::open(g, spec);
+
+  std::vector<Query> batch;
+  for (Vertex v = 0; v < g.num_vertices(); v += 3) {
+    Query qe;
+    qe.v = v;
+    qe.fault = 0;
+    batch.push_back(qe);
+    Query qv;
+    qv.v = v;
+    qv.kind = FaultClass::kVertex;
+    qv.fault = std::max<Vertex>(1, v);
+    batch.push_back(qv);
+  }
+  const QueryResponse resp = session.query(batch);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(resp.results[i].outcome, QueryOutcome::kInModel) << i;
+    EXPECT_EQ(resp.results[i].dist, serial_truth(session, batch[i])) << i;
+  }
+}
+
+TEST(ApiSession, MultiSourceServesEverySource) {
+  const Graph g = gen::random_connected(50, 130, 29);
+  api::BuildSpec spec;
+  spec.sources = {0, 23, 41};
+  spec.eps = 0.3;
+  const api::Session session = api::Session::open(g, spec);
+
+  std::vector<Query> batch;
+  for (const EdgeId e : session.structure().tree_edges()) {
+    for (Vertex v = 0; v < g.num_vertices(); v += 5) {
+      for (std::int32_t si = 0; si < 3; ++si) {
+        Query q;
+        q.v = v;
+        q.fault = e;
+        q.source_index = si;
+        q.allow_what_if = true;
+        batch.push_back(q);
+      }
+    }
+  }
+  const QueryResponse resp = session.query(batch);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    // The FT-MBFS contract: the structure answer equals the surviving-
+    // graph answer for every source and every in-model failure — and the
+    // what-if cell is the literal structure BFS by definition.
+    if (resp.results[i].outcome == QueryOutcome::kInModel ||
+        resp.results[i].outcome == QueryOutcome::kWhatIf) {
+      EXPECT_EQ(resp.results[i].dist, serial_truth(session, batch[i]))
+          << "i=" << i;
+    }
+  }
+  EXPECT_EQ(resp.refused, 0);
+}
+
+TEST(ApiSession, AnotherSourceMayFailInModel) {
+  // The per-source FT-MBFS vertex contract forbids failing only the
+  // QUERYING source (x ∉ {s} per s ∈ S): another data center going down
+  // is a perfectly in-model event for the rest. Regression test — the
+  // plane used to refuse any source vertex, which crashed the
+  // session-served vertex drill on multi-source deployments.
+  const Graph g = gen::random_connected(45, 110, 33);
+  api::BuildSpec spec;
+  spec.fault_model = FaultClass::kVertex;
+  spec.sources = {0, 17, 30};
+  const api::Session session = api::Session::open(g, spec);
+
+  Query q;
+  q.v = 5;
+  q.kind = FaultClass::kVertex;
+  q.fault = 17;  // sources[1] fails...
+  q.source_index = 0;  // ...queried from sources[0]: in-model
+  const auto r = session.query_one(q);
+  EXPECT_EQ(r.outcome, QueryOutcome::kInModel);
+  EXPECT_EQ(r.dist, serial_truth(session, q));
+  q.source_index = 1;  // the querying source itself: refused
+  EXPECT_EQ(session.query_one(q).outcome, QueryOutcome::kRefused);
+
+  // And the drill that used to trip FTB_CHECK(resp.refused == 0): same
+  // storm, same verdict as the structure-served drill.
+  const DrillReport via_session =
+      run_failure_drill(session, FaultClass::kVertex, 40, 11);
+  const DrillReport via_structure =
+      run_failure_drill(session.structure(), FaultClass::kVertex, 40, 11);
+  EXPECT_EQ(via_session.drills, via_structure.drills);
+  EXPECT_EQ(via_session.violations, via_structure.violations);
+  EXPECT_EQ(via_session.reachable_queries, via_structure.reachable_queries);
+  EXPECT_EQ(via_session.violations, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency: many threads × one Session, answers bit-identical to the
+// serial plane. Runs under TSan in CI (ctest -L concurrency).
+
+TEST(ApiSessionConcurrency, ManyThreadsMixedBatchesMatchSerial) {
+  // Fixture with every outcome cell populated: the deep adversarial family
+  // reinforces at ε = 0.05, so the pool mixes in-model edge hits,
+  // reinforced-edge what-ifs, vertex what-ifs and refusals.
+  const auto lbg = lb::build_single_source(300, 0.5);
+  const Graph& g = lbg.graph;
+  api::BuildSpec spec;
+  spec.sources = {lbg.source};
+  spec.eps = 0.05;
+  const api::Session session = api::Session::open(g, spec);
+  const FtBfsStructure& h = session.structure();
+  ASSERT_GT(h.num_reinforced(), 0);
+
+  std::vector<Query> all;
+  for (EdgeId e = 0; e < g.num_edges(); e += 5) {
+    for (Vertex v = 0; v < g.num_vertices(); v += 7) {
+      Query q;
+      q.v = v;
+      q.fault = e;
+      q.allow_what_if = (e % 2) == 0;
+      all.push_back(q);
+    }
+  }
+  for (const EdgeId e : h.reinforced()) {  // both what-if and refused cells
+    for (Vertex v = 0; v < g.num_vertices(); v += 3) {
+      Query q;
+      q.v = v;
+      q.fault = e;
+      q.allow_what_if = (v % 2) == 0;
+      all.push_back(q);
+    }
+  }
+  for (Vertex x = 1; x < g.num_vertices(); x += 23) {
+    for (Vertex v = 0; v < g.num_vertices(); v += 11) {
+      Query q;
+      q.v = v;
+      q.kind = FaultClass::kVertex;
+      q.fault = x;
+      q.allow_what_if = true;
+      all.push_back(q);
+    }
+  }
+
+  // Serial expectations once, up front.
+  std::vector<api::QueryResult> expected;
+  expected.reserve(all.size());
+  for (const Query& q : all) expected.push_back(session.query_one(q));
+
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 6;
+  std::vector<std::string> failures(kThreads);
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      Rng rng(static_cast<std::uint64_t>(1000 + t));
+      for (int round = 0; round < kRounds; ++round) {
+        // Each round: a random shuffle of the pool, so threads disagree
+        // about order and what-if grouping.
+        std::vector<std::uint32_t> order(all.size());
+        for (std::uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+        rng.shuffle(order);
+        std::vector<Query> batch;
+        batch.reserve(order.size());
+        for (const std::uint32_t i : order) batch.push_back(all[i]);
+        const QueryResponse resp = session.query(batch);
+        for (std::size_t k = 0; k < order.size(); ++k) {
+          const api::QueryResult& want = expected[order[k]];
+          const api::QueryResult& got = resp.results[k];
+          if (got.dist != want.dist || got.outcome != want.outcome) {
+            failures[static_cast<std::size_t>(t)] =
+                "thread " + std::to_string(t) + " round " +
+                std::to_string(round) + " query " + std::to_string(order[k]);
+            return;
+          }
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  for (const std::string& f : failures) EXPECT_EQ(f, "");
+  (void)h;
+}
+
+TEST(ApiSessionConcurrency, ConcurrentSessionsShareTheGlobalPool) {
+  // Two independent sessions, queried from competing threads, both backed
+  // by the global ThreadPool: results must stay exact.
+  const Graph g1 = gen::grid_graph(7, 7);
+  const Graph g2 = gen::random_connected(40, 90, 3);
+  api::BuildSpec spec1;
+  spec1.eps = 0.25;
+  api::BuildSpec spec2;
+  spec2.fault_model = FaultClass::kVertex;
+  const api::Session s1 = api::Session::open(g1, spec1);
+  const api::Session s2 = api::Session::open(g2, spec2);
+
+  auto make_batch = [](const api::Session& s, FaultClass kind) {
+    std::vector<Query> batch;
+    const Graph& g = s.graph();
+    const std::int32_t faults = kind == FaultClass::kEdge
+                                    ? static_cast<std::int32_t>(g.num_edges())
+                                    : g.num_vertices();
+    for (std::int32_t f = kind == FaultClass::kEdge ? 0 : 1; f < faults;
+         f += 2) {
+      for (Vertex v = 0; v < g.num_vertices(); v += 4) {
+        Query q;
+        q.v = v;
+        q.kind = kind;
+        q.fault = f;
+        q.allow_what_if = true;
+        batch.push_back(q);
+      }
+    }
+    return batch;
+  };
+  const std::vector<Query> b1 = make_batch(s1, FaultClass::kEdge);
+  const std::vector<Query> b2 = make_batch(s2, FaultClass::kVertex);
+  const QueryResponse want1 = s1.query(b1);
+  const QueryResponse want2 = s2.query(b2);
+
+  std::atomic<int> mismatches{0};
+  auto run = [&](const api::Session& s, const std::vector<Query>& b,
+                 const QueryResponse& want) {
+    for (int round = 0; round < 4; ++round) {
+      const QueryResponse got = s.query(b);
+      for (std::size_t i = 0; i < b.size(); ++i) {
+        if (got.results[i].dist != want.results[i].dist) {
+          mismatches.fetch_add(1);
+          return;
+        }
+      }
+    }
+  };
+  std::thread t1(run, std::cref(s1), std::cref(b1), std::cref(want1));
+  std::thread t2(run, std::cref(s2), std::cref(b2), std::cref(want2));
+  std::thread t3(run, std::cref(s1), std::cref(b1), std::cref(want1));
+  std::thread t4(run, std::cref(s2), std::cref(b2), std::cref(want2));
+  t1.join();
+  t2.join();
+  t3.join();
+  t4.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+}  // namespace
+}  // namespace ftb

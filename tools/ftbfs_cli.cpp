@@ -1,8 +1,10 @@
-// ftbfs_cli — the command-line face of the library.
+// ftbfs_cli — the command-line face of the library, built on the
+// ftb::api facade.
 //
 //   ftbfs_cli generate --family=gnm --n=500 --m=2000 --seed=1 --out=g.edges
 //   ftbfs_cli info     --graph=g.edges
 //   ftbfs_cli build    --graph=g.edges --source=0 --eps=0.25 --out=h.ftbfs
+//   ftbfs_cli build    --graph=g.edges --sources=0,5,10 --out=h.ftbfs
 //   ftbfs_cli build    --graph=g.edges --fault-model=vertex --out=h.ftbfs
 //   ftbfs_cli verify   --graph=g.edges --structure=h.ftbfs
 //   ftbfs_cli drill    --graph=g.edges --structure=h.ftbfs --drills=200
@@ -11,16 +13,26 @@
 // build/verify/drill speak both fault models: --fault-model={edge,vertex,
 // dual} selects the construction at build time; verify and drill default to
 // the model tag stored in the structure file and accept the flag as an
-// override.
+// override. build takes one --source or a comma-separated --sources list
+// (FT-MBFS union, preserved in the artifact). drill serves the storm
+// through an api::Session — the batched query plane answers the surviving-
+// graph side — unless --fault-model overrides the artifact's tag, in which
+// case the literal-BFS drill runs.
+//
+// --json switches build/verify/drill to a machine-readable report on
+// stdout (the same ordered-JSON shape BENCH_construction.json uses), so
+// the CLI is scriptable:  ftbfs_cli build ... --json | jq .reinforced_edges
 //
 // Families for generate: path, cycle, star, complete, grid (rows/cols),
 // gnm (n/m), er (n/p), connected (n/extra), pa (n/k), intro (n),
 // hypercube (dims), theta (paths/len), lb (n/eps), dumbbell (k/bridge).
 #include <iostream>
+#include <optional>
 #include <string>
 
+#include "src/api/ftbfs_api.hpp"
 #include "src/core/cost_model.hpp"
-#include "src/core/epsilon_ftbfs.hpp"
+#include "src/core/multi_source.hpp"
 #include "src/core/optimizer.hpp"
 #include "src/core/verifier.hpp"
 #include "src/core/vertex_ftbfs.hpp"
@@ -30,6 +42,7 @@
 #include "src/io/edge_list.hpp"
 #include "src/io/structure_io.hpp"
 #include "src/sim/failure_sim.hpp"
+#include "src/util/json.hpp"
 #include "src/util/options.hpp"
 #include "src/util/table.hpp"
 
@@ -43,11 +56,13 @@ int usage() {
          "[--key=value ...]\n"
          "  generate --family=F --out=PATH [family params]\n"
          "  info     --graph=PATH\n"
-         "  build    --graph=PATH [--source=0] [--eps=0.25] [--out=PATH]\n"
+         "  build    --graph=PATH [--source=0 | --sources=0,5,10]\n"
+         "           [--eps=0.25] [--out=PATH] [--json]\n"
          "           [--fault-model=edge|vertex|dual]\n"
-         "  verify   --graph=PATH --structure=PATH [--nontree]\n"
+         "  verify   --graph=PATH --structure=PATH [--nontree] [--json]\n"
          "           [--fault-model=...]   (default: the structure's tag)\n"
          "  drill    --graph=PATH --structure=PATH [--drills=200] [--seed=1]\n"
+         "           [--weight-seed=1] [--json]\n"
          "           [--fault-model=...]   (default: the structure's tag)\n"
          "  frontier --graph=PATH [--source=0] [--points=12]\n";
   return 2;
@@ -133,79 +148,228 @@ int cmd_info(const Options& opt) {
   return 0;
 }
 
-int cmd_build(const Options& opt) {
-  const Graph g = io::load_edge_list(opt.get_string("graph", "graph.edges"));
-  const Vertex source = static_cast<Vertex>(opt.get_int("source", 0));
-  const FaultClass model =
-      parse_fault_class(opt.get_string("fault-model", "edge"));
-  const std::string out = opt.get_string("out", "");
-
-  FtBfsStructure h = [&] {
-    if (model == FaultClass::kEdge) {
-      EpsilonOptions eopts;
-      eopts.eps = opt.get_double("eps", 0.25);
-      eopts.weight_seed = static_cast<std::uint64_t>(opt.get_int("seed", 1));
-      EpsilonResult res = build_epsilon_ftbfs(g, source, eopts);
-      std::cout << res.structure.summary() << "  (eps=" << eopts.eps
-                << ", built in " << res.stats.seconds_total << "s)\n";
-      return std::move(res.structure);
+/// The build parameterization shared by the facade and this CLI.
+api::BuildSpec spec_from_options(const Options& opt) {
+  api::BuildSpec spec;
+  spec.fault_model = parse_fault_class(opt.get_string("fault-model", "edge"));
+  if (opt.has("sources")) {
+    spec.sources.clear();
+    for (const long long s : opt.get_int_list("sources", {})) {
+      spec.sources.push_back(static_cast<Vertex>(s));
     }
+  } else {
+    spec.sources = {static_cast<Vertex>(opt.get_int("source", 0))};
+  }
+  if (spec.fault_model == FaultClass::kEdge) {
+    spec.eps = opt.get_double("eps", 0.25);
+  } else {
     // The vertex / dual baselines have no reinforcement tradeoff — ε does
     // not apply (ESA'13 r = 0 constructions). Refuse a silently-ignored
     // flag rather than ship a plan the operator believes is ε-tuned.
     FTB_CHECK_MSG(!opt.has("eps"),
                   "--eps applies only to --fault-model=edge (the vertex/dual "
                   "baselines have no reinforcement tradeoff)");
-    VertexFtBfsOptions vopts;
-    vopts.weight_seed = static_cast<std::uint64_t>(opt.get_int("seed", 1));
-    FtBfsStructure built = model == FaultClass::kVertex
-                               ? build_vertex_ftbfs(g, source, vopts)
-                               : build_dual_ftbfs(g, source, vopts);
-    std::cout << built.summary() << "\n";
-    return built;
-  }();
-
-  if (!out.empty()) {
-    io::save_structure(h, out);
-    std::cout << "wrote structure to " << out << "\n";
   }
+  spec.weight_seed = static_cast<std::uint64_t>(opt.get_int("seed", 1));
+  return spec;
+}
+
+JsonArray sources_json(std::span<const Vertex> sources) {
+  JsonArray arr;
+  for (const Vertex s : sources) arr.push_raw(std::to_string(s));
+  return arr;
+}
+
+int cmd_build(const Options& opt) {
+  const Graph g = io::load_edge_list(opt.get_string("graph", "graph.edges"));
+  const api::BuildSpec spec = spec_from_options(opt);
+  const std::string out = opt.get_string("out", "");
+  const bool json = opt.has("json");
+
+  const api::BuildResult res = api::build(g, spec);
+  const FtBfsStructure& h = res.structure;
+  if (!out.empty()) {
+    io::save_structure(h, res.sources, out);
+  }
+
+  if (json) {
+    JsonObject report;
+    report.set("command", std::string("build"))
+        .set("fault_model", std::string(to_string(spec.fault_model)))
+        .set("n", static_cast<std::int64_t>(g.num_vertices()))
+        .set("m", static_cast<std::int64_t>(g.num_edges()))
+        .set_raw("sources", sources_json(res.sources).str(2));
+    if (spec.fault_model == FaultClass::kEdge) report.set("eps", spec.eps);
+    report.set("edges_in_H", h.num_edges())
+        .set("backup_edges", h.num_backup())
+        .set("reinforced_edges", h.num_reinforced())
+        .set("seconds", res.seconds_total);
+    JsonArray per_source;
+    for (const EpsilonStats& st : res.per_source) {
+      JsonObject row;
+      row.set("eps", st.eps)
+          .set("k_rounds", static_cast<std::int64_t>(st.k_rounds))
+          .set("used_baseline", st.used_baseline)
+          .set("pairs_total", st.pairs_total)
+          .set("pairs_uncovered", st.pairs_uncovered)
+          .set("s1_added_edges", st.s1_added_edges)
+          .set("s2_added_edges", st.s2_glue_added + st.s2_added_edges)
+          .set("structure_edges", st.structure_edges)
+          .set("backup_edges", st.backup)
+          .set("reinforced_edges", st.reinforced)
+          .set("seconds", st.seconds_total);
+      per_source.push(row);
+    }
+    report.set_raw("per_source", per_source.str(2));
+    if (!out.empty()) report.set("out", out);
+    std::cout << report.str() << "\n";
+    return 0;
+  }
+
+  std::cout << h.summary();
+  if (spec.fault_model == FaultClass::kEdge) {
+    std::cout << "  (eps=" << spec.eps << ", built in " << res.seconds_total
+              << "s)";
+  }
+  std::cout << "\n";
+  if (res.sources.size() > 1) {
+    std::cout << "serving " << res.sources.size() << " sources (FT-MBFS "
+              << "union)\n";
+  }
+  if (!out.empty()) std::cout << "wrote structure to " << out << "\n";
   return 0;
 }
 
 int cmd_verify(const Options& opt) {
   const Graph g = io::load_edge_list(opt.get_string("graph", "graph.edges"));
-  const FtBfsStructure h =
-      io::load_structure(g, opt.get_string("structure", "h.ftbfs"));
+  std::vector<Vertex> sources;
+  const FtBfsStructure h = io::load_structure(
+      g, opt.get_string("structure", "h.ftbfs"), &sources);
   const FaultClass model = structure_fault_model(opt, h);
+  const bool json = opt.has("json");
+  const bool multi = sources.size() > 1;
+  // An FT-MBFS artifact must hold from EVERY source it claims to serve,
+  // so v3 artifacts route through the union verifiers. Those have no
+  // non-tree sweep — refuse the flag rather than silently ignore it.
+  FTB_CHECK_MSG(!(multi && opt.has("nontree")),
+                "--nontree applies only to single-source artifacts");
+  const auto as_multi_source = [&] {
+    return MultiSourceResult{sources, h, {}};
+  };
 
   bool ok = true;
+  JsonObject report;
+  report.set("command", std::string("verify"))
+      .set("fault_model", std::string(to_string(model)))
+      .set_raw("sources", sources_json(sources).str(2));
   if (model == FaultClass::kEdge || model == FaultClass::kDual) {
-    VerifyOptions vo;
-    vo.check_nontree_failures = opt.has("nontree");
-    const VerifyReport rep = verify_structure(h, vo);
-    std::cout << "edge faults:   " << rep.to_string() << "\n";
-    ok = ok && rep.ok;
+    std::int64_t failures_checked = -1;
+    std::int64_t violations = 0;
+    if (multi) {
+      violations = verify_multi_source(g, as_multi_source());
+    } else {
+      VerifyOptions vo;
+      vo.check_nontree_failures = opt.has("nontree");
+      const VerifyReport rep = verify_structure(h, vo);
+      failures_checked = rep.failures_checked;
+      violations = rep.violations;
+      if (!json) std::cout << "edge faults:   " << rep.to_string() << "\n";
+    }
+    if (json) {
+      JsonObject edge;
+      edge.set("ok", violations == 0);
+      if (failures_checked >= 0) {
+        edge.set("failures_checked", failures_checked);
+      }
+      edge.set("violations", violations);
+      report.set_raw("edge", edge.str(2));
+    } else if (multi) {
+      std::cout << "edge faults:   " << (violations == 0 ? "OK" : "BROKEN")
+                << " (sources=" << sources.size() << ", violations="
+                << violations << ")\n";
+    }
+    ok = ok && violations == 0;
   }
   if (model == FaultClass::kVertex || model == FaultClass::kDual) {
-    const std::int64_t violations = verify_vertex_structure(h);
-    std::cout << "vertex faults: "
-              << (violations == 0 ? "OK" : "BROKEN") << " (violations="
-              << violations << ")\n";
+    const std::int64_t violations =
+        multi ? verify_vertex_multi_source(g, as_multi_source())
+              : verify_vertex_structure(h);
+    if (json) {
+      JsonObject vertex;
+      vertex.set("ok", violations == 0).set("violations", violations);
+      report.set_raw("vertex", vertex.str(2));
+    } else {
+      std::cout << "vertex faults: "
+                << (violations == 0 ? "OK" : "BROKEN") << " (violations="
+                << violations << ")\n";
+    }
     ok = ok && violations == 0;
+  }
+  if (json) {
+    report.set("ok", ok);
+    std::cout << report.str() << "\n";
   }
   return ok ? 0 : 1;
 }
 
 int cmd_drill(const Options& opt) {
   const Graph g = io::load_edge_list(opt.get_string("graph", "graph.edges"));
-  const FtBfsStructure h =
-      io::load_structure(g, opt.get_string("structure", "h.ftbfs"));
+  const std::string path = opt.get_string("structure", "h.ftbfs");
+  std::vector<Vertex> sources;
+  const FtBfsStructure h = io::load_structure(g, path, &sources);
   const FaultClass model = structure_fault_model(opt, h);
-  const DrillReport rep = run_failure_drill(
-      h, model, opt.get_int("drills", 200),
-      static_cast<std::uint64_t>(opt.get_int("seed", 1)));
-  std::cout << "[" << to_string(model) << " faults] " << rep.to_string()
-            << "\n";
+  const bool json = opt.has("json");
+  const std::int64_t drills = opt.get_int("drills", 200);
+  const auto seed = static_cast<std::uint64_t>(opt.get_int("seed", 1));
+
+  // Serve the drill through the batched query plane whenever the storm
+  // matches the artifact's own model. Two ways to land on the literal-BFS
+  // drill instead: a --fault-model override asking for a storm the
+  // session's engines cannot answer in-model, or an artifact built with a
+  // weight seed other than --weight-seed (the rebuilt canonical trees then
+  // don't match, and the session refuses to serve wrong answers).
+  std::optional<api::Session> session;
+  if (model == h.fault_class()) {
+    api::BuildSpec spec;
+    spec.fault_model = h.fault_class();
+    spec.sources = sources;
+    spec.weight_seed =
+        static_cast<std::uint64_t>(opt.get_int("weight-seed", 1));
+    try {
+      session.emplace(api::Session::deploy(
+          g, api::BuildResult{spec, sources, FtBfsStructure(h), {}, 0.0}));
+    } catch (const CheckError&) {
+      if (!json) {
+        std::cout << "note: artifact does not match --weight-seed="
+                  << spec.weight_seed
+                  << " — drilling with literal BFS instead of the session "
+                     "plane\n";
+      }
+    }
+  }
+  const bool via_session = session.has_value();
+  const DrillReport rep = via_session
+                              ? run_failure_drill(*session, model, drills,
+                                                  seed)
+                              : run_failure_drill(h, model, drills, seed);
+
+  if (json) {
+    JsonObject report;
+    report.set("command", std::string("drill"))
+        .set("fault_model", std::string(to_string(model)))
+        .set("served_by", std::string(via_session ? "session" : "structure"))
+        .set("drills", rep.drills)
+        .set("queries", rep.reachable_queries)
+        .set("violations", rep.violations)
+        .set("disconnections", rep.disconnections)
+        .set("max_stretch", rep.max_stretch)
+        .set("avg_distance", rep.avg_distance)
+        .set("ok", rep.violations == 0);
+    std::cout << report.str() << "\n";
+  } else {
+    std::cout << "[" << to_string(model) << " faults] " << rep.to_string()
+              << "\n";
+  }
   return rep.violations == 0 ? 0 : 1;
 }
 
