@@ -21,12 +21,14 @@
 
 #include "bench/bench_util.hpp"
 #include "src/api/ftbfs_api.hpp"
+#include "src/core/dual_fault.hpp"
 #include "src/core/epsilon_ftbfs.hpp"
 #include "src/core/ftbfs.hpp"
 #include "src/core/replacement.hpp"
 #include "src/core/structure_oracle.hpp"
 #include "src/core/vertex_ftbfs.hpp"
 #include "src/graph/bfs_kernel.hpp"
+#include "src/util/rng.hpp"
 
 using namespace ftb;
 
@@ -172,7 +174,7 @@ bool run_query_plane_report(const Graph& g, const FtBfsStructure& h,
   spec.sources = {0};
   spec.pool = &pool;
   const api::Session session = api::Session::deploy(
-      g, api::BuildResult{spec, {0}, FtBfsStructure(h), {}, 0.0});
+      g, api::BuildResult{spec, {0}, FtBfsStructure(h), {}, {}, 0.0});
 
   bool agree = true;
 
@@ -300,6 +302,134 @@ bool run_query_plane_report(const Graph& g, const FtBfsStructure& h,
   *out = qp;
   *headline = storm_speedup;
   return agree;
+}
+
+// ---- the dual-failure pipeline: build timing + brute-force identity -------
+
+/// Builds the dual-failure structure per bench seed, serves a pair storm
+/// through the batched Session plane and checks every answer bit-identical
+/// against brute-force two-failure BFS (the acceptance gate: non-zero exit
+/// on divergence). Also times the batched plane against the naive
+/// serve-every-pair-with-a-full-G-BFS baseline.
+bool run_dual_report(bench::JsonObject* out) {
+  const Vertex n = [] {
+    const char* env = std::getenv("FTBFS_DUAL_N");
+    const int parsed = env != nullptr ? std::atoi(env) : 0;
+    return parsed >= 8 ? static_cast<Vertex>(parsed) : Vertex{96};
+  }();
+  constexpr std::int64_t kPairsPerSeed = 400;
+
+  bool identical = true;
+  bench::JsonArray rows;
+  double build_s_last = 0;
+  for (const std::uint64_t seed : {3ULL, 5ULL, 7ULL}) {
+    const Graph g = bench::dense_random(n, seed);
+    api::BuildSpec spec;
+    spec.fault_model = FaultClass::kDual;
+    Timer t;
+    const api::BuildResult res = api::build(g, spec);
+    const double build_s = t.seconds();
+    build_s_last = build_s;
+    const api::Session session = api::Session::deploy(g, res);
+    const Vertex src = spec.sources.front();
+
+    // The pair storm: every query of every sampled pair, batched. Same
+    // universe rule as verify_dual_structure: every edge, every
+    // non-source vertex.
+    std::vector<DualSite> universe;
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      universe.push_back(DualSite{FaultClass::kEdge, e});
+    }
+    for (Vertex x = 0; x < g.num_vertices(); ++x) {
+      if (x != src) universe.push_back(DualSite{FaultClass::kVertex, x});
+    }
+    Rng rng(seed);
+    std::vector<std::pair<DualSite, DualSite>> pairs;
+    for (std::int64_t i = 0; i < kPairsPerSeed; ++i) {
+      pairs.emplace_back(universe[rng.next_below(universe.size())],
+                         universe[rng.next_below(universe.size())]);
+    }
+    // Interleaved, vertex-major: consecutive queries name DIFFERENT
+    // pairs (the production arrival shape), so any one-slot cache on the
+    // serial side misses nearly every query while the batched plane
+    // regroups the storm by pair.
+    std::vector<api::Query> storm;
+    for (Vertex v = 0; v < n; v += 2) {
+      for (const auto& [a, b] : pairs) {
+        api::Query q;
+        q.v = v;
+        q.kind = a.kind;
+        q.fault = a.id;
+        q.kind2 = b.kind;
+        q.fault2 = b.id;
+        storm.push_back(q);
+      }
+    }
+    t.restart();
+    const api::QueryResponse resp = session.query(storm);
+    const double batched_s = t.seconds();
+
+    // Naive baseline: one full-G brute-force BFS per query pair (one-slot
+    // cached, like the serial single-fault path) — and simultaneously the
+    // bit-identity referee for every batched answer.
+    t.restart();
+    bool agree = resp.refused == 0;
+    {
+      BfsScratch truth;
+      std::size_t qi = 0;
+      std::pair<DualSite, DualSite> cached{{FaultClass::kEdge, -1},
+                                           {FaultClass::kEdge, -1}};
+      for (Vertex v = 0; v < n; v += 2) {
+        for (const auto& pr : pairs) {
+          if (!(pr == cached)) {
+            dual_bruteforce_bfs(g, 0, pr.first, pr.second, truth);
+            cached = pr;
+          }
+          const bool destroyed =
+              (pr.first.kind == FaultClass::kVertex && pr.first.id == v) ||
+              (pr.second.kind == FaultClass::kVertex && pr.second.id == v);
+          const std::int32_t want = destroyed ? kInfHops : truth.dist(v);
+          if (resp.results[qi].dist != want) agree = false;
+          ++qi;
+        }
+      }
+    }
+    const double serial_s = t.seconds();
+    if (!agree) {
+      identical = false;
+      std::cout << "!!! dual answers diverge from brute-force two-failure "
+                   "BFS at seed "
+                << seed << "\n";
+    }
+
+    bench::JsonObject row;
+    row.set("seed", static_cast<std::int64_t>(seed))
+        .set("n", static_cast<std::int64_t>(n))
+        .set("m", static_cast<std::int64_t>(g.num_edges()))
+        .set("sites",
+             static_cast<std::int64_t>(res.dual_tables.front().num_sites()))
+        .set("edges_in_H", res.structure.num_edges())
+        .set("build_s", build_s)
+        .set("pairs", kPairsPerSeed)
+        .set("queries", static_cast<std::int64_t>(storm.size()))
+        .set("pair_traversals", resp.pair_traversals)
+        .set("batched_s", batched_s)
+        .set("serial_bruteforce_s", serial_s)
+        .set("speedup_vs_bruteforce", serial_s / batched_s)
+        .set("answers_identical", agree);
+    rows.push(row);
+  }
+
+  bench::JsonObject dual;
+  dual.set("n", static_cast<std::int64_t>(n))
+      .set("build_s", build_s_last)
+      .set_raw("per_seed", rows.str(2))
+      .set("answers_identical", identical);
+  *out = dual;
+  std::cout << "dual-failure pipeline (n=" << n << "): answers "
+            << (identical ? "bit-identical to" : "DIVERGE from")
+            << " brute-force two-failure BFS across seeds {3,5,7}\n";
+  return identical;
 }
 
 /// Returns false when any reference-vs-optimized edge-set comparison
@@ -439,6 +569,10 @@ bool run_speedup_report() {
       run_query_plane_report(g, full_opt.structure, &query_plane,
                              &query_speedup);
 
+  // The dual-failure pipeline: per-seed build + brute-force identity.
+  bench::JsonObject dual_report;
+  const bool dual_agrees = run_dual_report(&dual_report);
+
   bench::JsonObject report;
   report.set("bench", std::string("construction_time"))
       .set("workload", std::string("dense_random"))
@@ -454,8 +588,10 @@ bool run_speedup_report() {
       .set("speedup_construction", sec_full_ref / sec_full_opt)
       .set_raw("vertex_per_seed", vertex_rows.str(2))
       .set_raw("query_plane", query_plane.str(2))
+      .set_raw("dual", dual_report.str(2))
       .set("speedup_query_batched_vs_serial", query_speedup)
-      .set("edge_sets_identical", identical && full_identical);
+      .set("edge_sets_identical",
+           identical && full_identical && dual_agrees);
   bench::write_json_file("BENCH_construction.json", report);
   std::cout << "engine speedup: " << sec_ref / sec_opt
             << "x (edge), " << vsec_ref / vsec_opt
@@ -463,7 +599,7 @@ bool run_speedup_report() {
             << sec_full_ref / sec_full_opt
             << "x, batched query plane: " << query_speedup
             << "x vs serial  (BENCH_construction.json written)\n\n";
-  return identical && full_identical && plane_agrees;
+  return identical && full_identical && plane_agrees && dual_agrees;
 }
 
 }  // namespace

@@ -7,7 +7,7 @@
 //                               [--csv=frontier.csv]
 #include <iostream>
 
-#include "src/core/epsilon_ftbfs.hpp"
+#include "src/api/ftbfs_api.hpp"
 #include "src/graph/lower_bound.hpp"
 #include "src/io/edge_list.hpp"
 #include "src/util/options.hpp"
@@ -41,14 +41,15 @@ int main(int argc, char** argv) {
   t.columns({"eps", "backup_b", "reinforced_r", "|H|", "share_of_G",
              "build_sec"});
   for (const double eps : grid) {
-    EpsilonOptions opts;
-    opts.eps = eps;
-    const EpsilonResult res = build_epsilon_ftbfs(g, source, opts);
+    api::BuildSpec spec;
+    spec.sources = {source};
+    spec.eps = eps;
+    const api::BuildResult res = api::build(g, spec);
     t.row(eps, res.structure.num_backup(), res.structure.num_reinforced(),
           res.structure.num_edges(),
           static_cast<double>(res.structure.num_edges()) /
               static_cast<double>(g.num_edges()),
-          res.stats.seconds_total);
+          res.per_source.front().seconds_total);
   }
   t.print(std::cout);
 

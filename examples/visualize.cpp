@@ -8,7 +8,7 @@
 //   dot -Tsvg structure.dot > structure.svg
 #include <iostream>
 
-#include "src/core/epsilon_ftbfs.hpp"
+#include "src/api/ftbfs_api.hpp"
 #include "src/graph/lower_bound.hpp"
 #include "src/io/dot.hpp"
 #include "src/util/options.hpp"
@@ -24,9 +24,10 @@ int main(int argc, char** argv) {
   // most legibly: the costly path, the side paths and the bipartite core
   // are all visually distinct.
   auto lbg = lb::build_single_source(std::max<Vertex>(n, 48), 0.5);
-  EpsilonOptions opts;
-  opts.eps = eps;
-  const EpsilonResult res = build_epsilon_ftbfs(lbg.graph, lbg.source, opts);
+  api::BuildSpec spec;
+  spec.sources = {lbg.source};
+  spec.eps = eps;
+  const api::BuildResult res = api::build(lbg.graph, spec);
 
   std::cout << "graph:     " << lbg.graph.summary() << "\n";
   std::cout << "structure: " << res.structure.summary() << "\n";

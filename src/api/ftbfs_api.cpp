@@ -7,6 +7,7 @@
 #include <optional>
 #include <unordered_map>
 
+#include "src/core/dual_fault.hpp"
 #include "src/core/fault_model.hpp"
 #include "src/core/multi_source.hpp"
 #include "src/core/replacement.hpp"
@@ -25,6 +26,7 @@ namespace ftb::api {
 void BuildSpec::validate(const Graph& g) const {
   FTB_CHECK_MSG(fault_model == FaultClass::kEdge ||
                     fault_model == FaultClass::kVertex ||
+                    fault_model == FaultClass::kEither ||
                     fault_model == FaultClass::kDual,
                 "invalid BuildSpec: unknown fault model (got "
                     << static_cast<int>(fault_model) << ")");
@@ -32,9 +34,6 @@ void BuildSpec::validate(const Graph& g) const {
   if (fault_model == FaultClass::kEdge) {
     detail::check_epsilon(eps);
   }
-  FTB_CHECK_MSG(fault_model != FaultClass::kDual || sources.size() == 1,
-                "invalid BuildSpec: the dual fault model serves a single "
-                "source (got " << sources.size() << ")");
 }
 
 EpsilonOptions BuildSpec::epsilon_options() const {
@@ -59,11 +58,20 @@ VertexFtBfsOptions BuildSpec::vertex_options() const {
   return opts;
 }
 
+DualFtBfsOptions BuildSpec::dual_options() const {
+  DualFtBfsOptions opts;
+  opts.weight_seed = weight_seed;
+  opts.pool = pool;
+  opts.reference_kernel = reference_kernel;
+  return opts;
+}
+
 BuildResult build(const Graph& g, const BuildSpec& spec) {
   spec.validate(g);
   Timer total;
   std::optional<FtBfsStructure> structure;
   std::vector<EpsilonStats> per_source;
+  std::vector<DualSiteTable> dual_tables;
 
   const bool multi = spec.sources.size() > 1;
   switch (spec.fault_model) {
@@ -92,13 +100,35 @@ BuildResult build(const Graph& g, const BuildSpec& spec) {
       structure.emplace(std::move(ms.structure));
       break;
     }
-    case FaultClass::kDual:
-      structure.emplace(detail::build_dual_ftbfs_impl(g, spec.sources.front(),
-                                                      spec.vertex_options()));
+    case FaultClass::kEither: {
+      if (!multi) {
+        structure.emplace(detail::build_either_ftbfs_impl(
+            g, spec.sources.front(), spec.vertex_options()));
+        break;
+      }
+      MultiSourceResult ms = detail::build_either_ftmbfs_impl(
+          g, spec.sources, spec.vertex_options());
+      structure.emplace(std::move(ms.structure));
       break;
+    }
+    case FaultClass::kDual: {
+      if (!multi) {
+        DualBuildResult r = detail::build_dual_failure_ftbfs_impl(
+            g, spec.sources.front(), spec.dual_options());
+        structure.emplace(std::move(r.structure));
+        dual_tables.push_back(std::move(r.tables));
+        break;
+      }
+      DualMultiSourceResult r = detail::build_dual_failure_ftmbfs_impl(
+          g, spec.sources, spec.dual_options());
+      structure.emplace(std::move(r.structure));
+      dual_tables = std::move(r.per_source);
+      break;
+    }
   }
   return BuildResult{spec, spec.sources, std::move(*structure),
-                     std::move(per_source), total.seconds()};
+                     std::move(per_source), std::move(dual_tables),
+                     total.seconds()};
 }
 
 // ---------------------------------------------------------------------------
@@ -109,14 +139,19 @@ namespace {
 /// One worker's what-if workspace: a BFS arena plus the vertex-ban mask,
 /// with the key of the traversal the arena currently holds so a repeat of
 /// the same failure (across groups or batches) skips the BFS entirely.
+/// Dual-failure serving keeps its own site-restricted arena alongside
+/// (grown lazily, so non-dual sessions never pay for it).
 struct WhatIfArena {
   BfsScratch bfs;
   std::vector<std::uint8_t> vertex_mask;  // all-zero whenever idle
-  // Cached traversal key: (source, kind, fault); source == kInvalidVertex
-  // means "holds nothing".
+  DualQueryArena dual;
+  // Cached traversal key: (source, normalized fault pair); source ==
+  // kInvalidVertex means "holds nothing". fault2 == -1 ⇔ single failure.
   Vertex cached_source = kInvalidVertex;
   FaultClass cached_kind = FaultClass::kEdge;
   std::int32_t cached_fault = -1;
+  FaultClass cached_kind2 = FaultClass::kEdge;
+  std::int32_t cached_fault2 = -1;
 };
 
 /// Mutex-guarded LIFO free list of arenas. Exclusive ownership while in
@@ -161,6 +196,18 @@ class ArenaLease {
   std::unique_ptr<WhatIfArena> arena_;
 };
 
+/// The normalized (unordered) failure pair of a query: elements sorted by
+/// DualSite order, an absent second fault collapsed to {kEdge, -1}. Group
+/// keys and arena cache keys both use exactly this, so a cached traversal
+/// can never answer for a differently-ordered spelling of the same pair.
+std::pair<DualSite, DualSite> normalized_pair(const Query& q) {
+  DualSite a{q.kind, q.fault};
+  DualSite b{q.kind2, q.fault2};
+  if (q.fault2 >= 0 && b < a) std::swap(a, b);
+  if (q.fault2 < 0) b = DualSite{FaultClass::kEdge, -1};
+  return {a, b};
+}
+
 }  // namespace
 
 struct Session::Impl {
@@ -170,20 +217,27 @@ struct Session::Impl {
   FtBfsStructure structure;
   EdgeWeights weights;
   std::vector<BfsTree> trees;  // one per source, over `weights`
-  // Engines per source; filled per the fault class (edge: kEdge/kDual,
-  // vertex: kVertex/kDual). All immutable after construction.
+  // Engines per source; filled per the fault class (edge: every model but
+  // kVertex; vertex: every model but kEdge). All immutable after
+  // construction.
   std::vector<ReplacementPathEngine> edge_engines;
   std::vector<VertexReplacementEngine> vertex_engines;
+  // Dual-failure serving state, one entry per source (kDual only): the
+  // first-failure pair tables and the oracle classifying/answering pairs.
+  std::vector<DualSiteTable> dual_tables;
+  std::vector<DualFaultOracle> dual_oracles;
   ThreadPool* pool;  // nullptr = global
   ArenaPool arenas;
 
   Impl(const Graph& graph, FtBfsStructure&& h, std::vector<Vertex> srcs,
-       std::uint64_t weight_seed, ThreadPool* pool_in)
+       std::uint64_t weight_seed, ThreadPool* pool_in,
+       std::vector<DualSiteTable> tables = {})
       : g(&graph),
         model(h.fault_class()),
         sources(std::move(srcs)),
         structure(std::move(h)),
         weights(EdgeWeights::uniform_random(graph, weight_seed)),
+        dual_tables(std::move(tables)),
         pool(pool_in) {
     trees.reserve(sources.size());
     for (const Vertex s : sources) trees.emplace_back(graph, weights, s);
@@ -221,6 +275,29 @@ struct Session::Impl {
       vertex_engines.reserve(trees.size());
       for (const BfsTree& t : trees) vertex_engines.emplace_back(t, cfg);
     }
+    if (model == FaultClass::kDual) {
+      // Pair tables: artifact-provided (v4), or rebuilt deterministically
+      // from the trees when the artifact carried none. The oracle then
+      // re-checks each table against its tree (wrong weight_seed and
+      // stale-table mistakes both surface as CheckError here).
+      if (dual_tables.size() != sources.size()) {
+        FTB_CHECK_MSG(dual_tables.empty(),
+                      "dual pair tables do not match the source set");
+        dual_tables.reserve(trees.size());
+        for (const BfsTree& t : trees) {
+          dual_tables.push_back(detail::build_dual_site_table(
+              t, pool, /*reference_kernel=*/false, nullptr));
+        }
+      }
+      dual_oracles.reserve(trees.size());
+      for (std::size_t i = 0; i < trees.size(); ++i) {
+        dual_oracles.emplace_back(trees[i], edge_engines[i],
+                                  vertex_engines[i], dual_tables[i]);
+      }
+    } else {
+      FTB_CHECK_MSG(dual_tables.empty(),
+                    "pair tables belong to dual-failure sessions only");
+    }
   }
 
   ThreadPool& worker_pool() const {
@@ -229,6 +306,17 @@ struct Session::Impl {
 
   bool covers_edge() const { return model != FaultClass::kVertex; }
   bool covers_vertex() const { return model != FaultClass::kEdge; }
+  bool covers_pairs() const { return model == FaultClass::kDual; }
+
+  /// In-model dual-failure answer. Precondition: classified kInModel with
+  /// fault2 >= 0.
+  std::int32_t dual_dist(const Query& q, WhatIfArena& arena,
+                         std::int64_t* traversals) const {
+    const auto si = static_cast<std::size_t>(q.source_index);
+    return dual_oracles[si].dist(q.v, DualSite{q.kind, q.fault},
+                                 DualSite{q.kind2, q.fault2}, arena.dual,
+                                 traversals);
+  }
 
   /// In-model O(1) answer. Precondition: classified kInModel.
   std::int32_t in_model_dist(const Query& q) const {
@@ -239,52 +327,67 @@ struct Session::Impl {
     return vertex_engines[si].replacement_dist(q.v, q.fault);
   }
 
-  /// Literal BFS on H \ {fault} from the query's source into `arena`,
-  /// unless the arena already holds exactly that traversal.
-  /// Returns true when a traversal actually ran.
+  /// Literal BFS on H minus the query's failure (or failure pair) from
+  /// the query's source into `arena`, unless the arena already holds
+  /// exactly that traversal. Returns true when a traversal actually ran.
   bool what_if_traverse(const Query& q, WhatIfArena& arena) const {
     const Vertex src = sources[static_cast<std::size_t>(q.source_index)];
-    if (arena.cached_source == src && arena.cached_kind == q.kind &&
-        arena.cached_fault == q.fault) {
+    // Normalized pair → {a, b} and {b, a} share one cache entry, exactly
+    // like the batch grouping key.
+    const auto [a, b] = normalized_pair(q);
+    if (arena.cached_source == src && arena.cached_kind == a.kind &&
+        arena.cached_fault == a.id && arena.cached_kind2 == b.kind &&
+        arena.cached_fault2 == b.id) {
       return false;
     }
     BfsBans bans;
     bans.banned_edge_mask = &structure.complement_mask();
-    if (q.kind == FaultClass::kEdge) {
-      bans.banned_edge = q.fault;
+    {
+      const PairBans pair(a, b, arena.vertex_mask,
+                          static_cast<std::size_t>(g->num_vertices()), bans);
       bfs_run(*g, src, bans, arena.bfs);
-    } else {
-      const std::size_t n = static_cast<std::size_t>(g->num_vertices());
-      if (arena.vertex_mask.size() < n) arena.vertex_mask.assign(n, 0);
-      arena.vertex_mask[static_cast<std::size_t>(q.fault)] = 1;
-      bans.banned_vertex = &arena.vertex_mask;
-      bfs_run(*g, src, bans, arena.bfs);
-      arena.vertex_mask[static_cast<std::size_t>(q.fault)] = 0;
     }
     arena.cached_source = src;
-    arena.cached_kind = q.kind;
-    arena.cached_fault = q.fault;
+    arena.cached_kind = a.kind;
+    arena.cached_fault = a.id;
+    arena.cached_kind2 = b.kind;
+    arena.cached_fault2 = b.id;
     return true;
   }
 
   std::int32_t what_if_dist(const Query& q, const WhatIfArena& arena) const {
     if (q.kind == FaultClass::kVertex && q.v == q.fault) return kInfHops;
+    if (q.fault2 >= 0 && q.kind2 == FaultClass::kVertex && q.v == q.fault2) {
+      return kInfHops;
+    }
     return arena.bfs.dist(q.v);
   }
 
   /// Model-level classification (malformed queries are rejected before
   /// this runs). A query's own source never fails — refused even as a
-  /// what-if. Another source of a multi-source session CAN fail: the
-  /// FT-MBFS vertex contract is per source (x ∉ {s} for each s ∈ S), and
-  /// the engine serving source_index answers any other vertex in O(1).
+  /// what-if, and a pair containing it is refused whole. Another source of
+  /// a multi-source session CAN fail: the FT-MBFS vertex contract is per
+  /// source (x ∉ {s} for each s ∈ S), and the engine serving source_index
+  /// answers any other vertex in O(1).
   QueryOutcome classify(const Query& q) const {
+    const Vertex src = sources[static_cast<std::size_t>(q.source_index)];
+    if (q.fault2 >= 0) {  // dual-failure pair
+      if ((q.kind == FaultClass::kVertex &&
+           static_cast<Vertex>(q.fault) == src) ||
+          (q.kind2 == FaultClass::kVertex &&
+           static_cast<Vertex>(q.fault2) == src)) {
+        return QueryOutcome::kRefused;
+      }
+      if (covers_pairs()) return QueryOutcome::kInModel;
+      return q.allow_what_if ? QueryOutcome::kWhatIf
+                             : QueryOutcome::kRefused;
+    }
     if (q.kind == FaultClass::kEdge) {
       if (covers_edge() && !structure.is_reinforced(q.fault)) {
         return QueryOutcome::kInModel;
       }
     } else {
-      if (static_cast<Vertex>(q.fault) ==
-          sources[static_cast<std::size_t>(q.source_index)]) {
+      if (static_cast<Vertex>(q.fault) == src) {
         return QueryOutcome::kRefused;
       }
       if (covers_vertex()) return QueryOutcome::kInModel;
@@ -312,6 +415,19 @@ struct Session::Impl {
     FTB_CHECK_MSG(q.fault >= 0 && q.fault < limit,
                   "invalid Query: fault " << q.fault << " out of range [0, "
                                           << limit << ")");
+    if (q.fault2 >= 0) {
+      FTB_CHECK_MSG(
+          q.kind2 == FaultClass::kEdge || q.kind2 == FaultClass::kVertex,
+          "invalid Query: kind2 must be kEdge or kVertex");
+      const std::int32_t limit2 =
+          q.kind2 == FaultClass::kEdge
+              ? static_cast<std::int32_t>(g->num_edges())
+              : g->num_vertices();
+      FTB_CHECK_MSG(q.fault2 < limit2,
+                    "invalid Query: fault2 " << q.fault2
+                                             << " out of range [0, "
+                                             << limit2 << ")");
+    }
   }
 };
 
@@ -329,19 +445,23 @@ Session Session::deploy(const Graph& g, BuildResult result) {
                 "BuildResult was built against a different graph");
   return Session(std::make_shared<const Impl>(
       g, std::move(result.structure), std::move(result.sources),
-      result.spec.weight_seed, result.spec.pool));
+      result.spec.weight_seed, result.spec.pool,
+      std::move(result.dual_tables)));
 }
 
 Session Session::load(const Graph& g, const std::string& path,
                       const Config& cfg) {
   std::vector<Vertex> sources;
-  FtBfsStructure h = io::load_structure(g, path, &sources);
+  std::vector<DualSiteTable> tables;
+  FtBfsStructure h = io::load_structure(g, path, &sources, &tables);
   return Session(std::make_shared<const Impl>(
-      g, std::move(h), std::move(sources), cfg.weight_seed, cfg.pool));
+      g, std::move(h), std::move(sources), cfg.weight_seed, cfg.pool,
+      std::move(tables)));
 }
 
 void Session::save(const std::string& path) const {
-  io::save_structure(impl_->structure, impl_->sources, path);
+  io::save_structure(impl_->structure, impl_->sources, impl_->dual_tables,
+                     path);
 }
 
 const Graph& Session::graph() const { return *impl_->g; }
@@ -365,7 +485,12 @@ QueryResult Session::query_one(const Query& q) const {
   r.outcome = im.classify(q);
   switch (r.outcome) {
     case QueryOutcome::kInModel:
-      r.dist = im.in_model_dist(q);
+      if (q.fault2 >= 0) {
+        ArenaLease arena(im.arenas);
+        r.dist = im.dual_dist(q, *arena, nullptr);
+      } else {
+        r.dist = im.in_model_dist(q);
+      }
       break;
     case QueryOutcome::kWhatIf: {
       ArenaLease arena(im.arenas);
@@ -385,11 +510,53 @@ QueryResponse Session::query(QueryBatch batch) const {
   resp.results.assign(batch.size(), QueryResult{});
 
   // Serial pass: validate (throws before any parallel work), classify, and
-  // group what-if queries by (source, kind, fault) so each distinct
-  // failure is traversed once.
+  // group every traversal-shaped query — what-ifs and in-model dual pairs
+  // alike — by (source, normalized fault[, fault2]) so each distinct
+  // failure (pair) is traversed at most once.
+  struct Group {
+    bool in_model_pair = false;
+    std::vector<std::uint32_t> members;
+  };
+  struct GroupKey {
+    std::int32_t source;
+    std::uint8_t kind;
+    std::int32_t fault;
+    std::uint8_t kind2;
+    std::int32_t fault2;
+    bool operator==(const GroupKey&) const = default;
+  };
+  struct GroupKeyHash {
+    std::size_t operator()(const GroupKey& k) const {
+      std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+      for (const std::uint64_t w :
+           {static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.source)),
+            (static_cast<std::uint64_t>(k.kind) << 32) |
+                static_cast<std::uint32_t>(k.fault),
+            (static_cast<std::uint64_t>(k.kind2) << 32) |
+                static_cast<std::uint32_t>(k.fault2)}) {
+        h ^= w + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+      }
+      return static_cast<std::size_t>(h);
+    }
+  };
+  const auto key_of = [](const Query& q) {
+    const auto [a, b] = normalized_pair(q);
+    return GroupKey{q.source_index, static_cast<std::uint8_t>(a.kind), a.id,
+                    static_cast<std::uint8_t>(b.kind), b.id};
+  };
   std::vector<std::uint32_t> in_model;
-  std::vector<std::vector<std::uint32_t>> groups;
-  std::unordered_map<std::uint64_t, std::size_t> group_of;
+  std::vector<Group> groups;
+  std::unordered_map<GroupKey, std::size_t, GroupKeyHash> group_of;
+  const auto group_push = [&](std::size_t i, const Query& q,
+                              bool in_model_pair) {
+    const auto [it, inserted] = group_of.try_emplace(key_of(q),
+                                                     groups.size());
+    if (inserted) {
+      groups.emplace_back();
+      groups.back().in_model_pair = in_model_pair;
+    }
+    groups[it->second].members.push_back(static_cast<std::uint32_t>(i));
+  };
   for (std::size_t i = 0; i < batch.size(); ++i) {
     const Query& q = batch[i];
     im.validate_query(q);
@@ -398,20 +565,16 @@ QueryResponse Session::query(QueryBatch batch) const {
     switch (outcome) {
       case QueryOutcome::kInModel:
         ++resp.in_model;
-        in_model.push_back(static_cast<std::uint32_t>(i));
+        if (q.fault2 >= 0) {
+          group_push(i, q, /*in_model_pair=*/true);
+        } else {
+          in_model.push_back(static_cast<std::uint32_t>(i));
+        }
         break;
-      case QueryOutcome::kWhatIf: {
+      case QueryOutcome::kWhatIf:
         ++resp.what_if;
-        const std::uint64_t key =
-            (static_cast<std::uint64_t>(q.source_index) << 34) |
-            (static_cast<std::uint64_t>(q.kind == FaultClass::kVertex)
-             << 33) |
-            static_cast<std::uint64_t>(static_cast<std::uint32_t>(q.fault));
-        const auto [it, inserted] = group_of.try_emplace(key, groups.size());
-        if (inserted) groups.emplace_back();
-        groups[it->second].push_back(static_cast<std::uint32_t>(i));
+        group_push(i, q, /*in_model_pair=*/false);
         break;
-      }
       case QueryOutcome::kRefused:
         ++resp.refused;
         break;
@@ -427,20 +590,34 @@ QueryResponse Session::query(QueryBatch batch) const {
     resp.results[idx].dist = im.in_model_dist(batch[idx]);
   });
 
-  // What-if plane: one leased arena and (at most) one literal traversal
-  // per group, answers fanned out to every member.
+  // Traversal plane: one leased arena per group; what-if groups pay (at
+  // most) one literal traversal, dual pair groups at most one
+  // site-restricted traversal (reducible pairs pay none), answers fanned
+  // out to every member.
   std::atomic<std::int64_t> traversals{0};
+  std::atomic<std::int64_t> pair_traversals{0};
   pool.parallel_for(groups.size(), [&](std::size_t gi) {
-    const std::vector<std::uint32_t>& members = groups[gi];
+    const Group& grp = groups[gi];
     ArenaLease arena(im.arenas);
-    if (im.what_if_traverse(batch[members.front()], *arena)) {
+    if (grp.in_model_pair) {
+      std::int64_t ran = 0;
+      for (const std::uint32_t idx : grp.members) {
+        resp.results[idx].dist = im.dual_dist(batch[idx], *arena, &ran);
+      }
+      if (ran != 0) {
+        pair_traversals.fetch_add(ran, std::memory_order_relaxed);
+      }
+      return;
+    }
+    if (im.what_if_traverse(batch[grp.members.front()], *arena)) {
       traversals.fetch_add(1, std::memory_order_relaxed);
     }
-    for (const std::uint32_t idx : members) {
+    for (const std::uint32_t idx : grp.members) {
       resp.results[idx].dist = im.what_if_dist(batch[idx], *arena);
     }
   });
   resp.what_if_traversals = traversals.load();
+  resp.pair_traversals = pair_traversals.load();
 
   return resp;
 }

@@ -17,8 +17,13 @@
 //         kEdge         k > 1     ε FT-MBFS union (§5)
 //         kVertex       1         vertex-fault ESA'13 baseline
 //         kVertex       k > 1     vertex FT-MBFS union
-//         kDual         1         edge ∪ vertex union
-//         kDual         k > 1     refused (no dual FT-MBFS pipeline yet)
+//         kEither       1         edge ∪ vertex union (one failure of
+//                                 either kind; pre-dual "dual")
+//         kEither       k > 1     per-source either unions, merged
+//         kDual         1         dual-failure recursion (two simultaneous
+//                                 failures; dual_fault.hpp) + pair tables
+//         kDual         k > 1     per-source dual structures, merged
+//                                 (Gupta–Khan multi-source setting)
 //
 //   * Session — a type-erased deployment of the result (structure + tree +
 //     replacement engines per source, no templates in sight) serving a
@@ -44,6 +49,7 @@
 #include <string>
 #include <vector>
 
+#include "src/core/dual_fault.hpp"
 #include "src/core/epsilon_ftbfs.hpp"
 #include "src/core/structure.hpp"
 #include "src/core/vertex_ftbfs.hpp"
@@ -61,8 +67,8 @@ struct BuildSpec {
   /// BFS sources; one structure serves all of them (FT-MBFS union for
   /// k > 1). Must be non-empty, in range and duplicate-free.
   std::vector<Vertex> sources = {0};
-  /// The tradeoff exponent ε ∈ [0, 1]. Edge model only: the vertex/dual
-  /// baselines have no reinforcement tradeoff and ignore it.
+  /// The tradeoff exponent ε ∈ [0, 1]. Edge model only: the vertex /
+  /// either / dual pipelines have no reinforcement tradeoff and ignore it.
   double eps = 0.25;
   /// Seed of the tie-breaking weight assignment W (also what a Session
   /// needs to rebuild the same canonical trees when loading from disk).
@@ -79,15 +85,17 @@ struct BuildSpec {
   /// baseline; output is bit-identical either way).
   bool reference_kernel = false;
 
-  /// Throws CheckError ("invalid BuildSpec: …") on NaN / out-of-range ε,
-  /// an empty / out-of-range / duplicated source set, or a dual-model
-  /// multi-source request. build() and Session::open() call this first.
+  /// Throws CheckError ("invalid BuildSpec: …") on NaN / out-of-range ε
+  /// or an empty / out-of-range / duplicated source set. build() and
+  /// Session::open() call this first.
   void validate(const Graph& g) const;
 
   /// The EpsilonOptions this spec maps to (edge-model dispatch).
   EpsilonOptions epsilon_options() const;
-  /// The VertexFtBfsOptions this spec maps to (vertex/dual dispatch).
+  /// The VertexFtBfsOptions this spec maps to (vertex/either dispatch).
   VertexFtBfsOptions vertex_options() const;
+  /// The DualFtBfsOptions this spec maps to (dual-failure dispatch).
+  DualFtBfsOptions dual_options() const;
 };
 
 /// What one build() returns: the structure plus construction telemetry.
@@ -99,9 +107,13 @@ struct BuildResult {
   std::vector<Vertex> sources;
   /// The (b, r) FT-BFS / FT-MBFS structure, fault-class tagged.
   FtBfsStructure structure;
-  /// Per-source ε pipeline stats (empty for the vertex/dual baselines,
-  /// which have no ε telemetry).
+  /// Per-source ε pipeline stats (empty for the vertex/either/dual
+  /// pipelines, which have no ε telemetry).
   std::vector<EpsilonStats> per_source;
+  /// Dual-failure pair tables, one per source (empty for every other
+  /// model). Session::deploy serves pairs from these; structure_io v4
+  /// persists them alongside the structure.
+  std::vector<DualSiteTable> dual_tables;
   double seconds_total = 0;
 };
 
@@ -129,16 +141,25 @@ enum class QueryOutcome : std::uint8_t {
 };
 
 /// One post-failure distance question: "how far is v from source
-/// sources()[source_index] once `fault` fails?".
+/// sources()[source_index] once `fault` (and optionally `fault2`)
+/// fails?".
 struct Query {
   Vertex v = kInvalidVertex;
   /// What fails: kEdge → `fault` is an EdgeId, kVertex → a Vertex.
-  /// (kDual is not a fault kind — a dual SESSION answers both kinds.)
+  /// (kDual/kEither are not fault kinds — they are SESSION models; a dual
+  /// session answers pairs, an either session both single kinds.)
   FaultClass kind = FaultClass::kEdge;
   std::int32_t fault = -1;
+  /// Optional SECOND simultaneous failure: `fault2 >= 0` makes this a
+  /// dual-failure query for dist(s, v | {fault, fault2}), unordered. A
+  /// dual-model session answers pairs in-model (one traversal per distinct
+  /// pair per batch, site-restricted); other sessions treat a pair as a
+  /// what-if (literal BFS on H minus both) or refuse it.
+  FaultClass kind2 = FaultClass::kEdge;
+  std::int32_t fault2 = -1;
   /// Which source asks (index into Session::sources()).
   std::int32_t source_index = 0;
-  /// Permit an out-of-model answer via literal BFS on H \ {fault}.
+  /// Permit an out-of-model answer via literal BFS on H \ {fault(s)}.
   bool allow_what_if = false;
 };
 
@@ -160,6 +181,10 @@ struct QueryResponse {
   /// Literal traversals actually run (≤ distinct what-if faults in the
   /// batch; arena caching can drop repeats across batches).
   std::int64_t what_if_traversals = 0;
+  /// Site-restricted traversals paid for in-model dual-failure queries
+  /// (≤ distinct non-reducible pairs in the batch — reducible pairs are
+  /// O(1) off the single-fault tables and cost none).
+  std::int64_t pair_traversals = 0;
 };
 
 /// Knobs for serving a structure built elsewhere (Session::load).
@@ -189,17 +214,21 @@ class Session {
   /// Wraps an already-built result (takes ownership of the structure).
   static Session deploy(const Graph& g, BuildResult result);
   /// Reloads a saved artifact (structure_io format, any version; v3 keeps
-  /// the multi-source set) and rebuilds the serving engines.
+  /// the multi-source set, v4 the dual pair tables — a v4 artifact saved
+  /// without tables gets them rebuilt here) and rebuilds the serving
+  /// engines.
   static Session load(const Graph& g, const std::string& path,
                       const Config& cfg = {});
   /// Saves the structure (+ source set when multi-source) via structure_io.
   void save(const std::string& path) const;
 
-  /// Answers a batch: in-model lookups shard across the thread pool,
-  /// what-if queries are grouped by (source, kind, fault) so each distinct
-  /// failure costs one traversal. Throws CheckError on malformed queries
-  /// (out-of-range vertex / fault / source_index); model-level refusals
-  /// are reported per query as kRefused, never thrown.
+  /// Answers a batch: in-model single-fault lookups shard across the
+  /// thread pool; what-if queries and in-model dual-failure pairs are
+  /// grouped by (source, fault[, fault2]) — unordered in the pair — so
+  /// each distinct failure (or failure pair) costs at most one traversal.
+  /// Throws CheckError on malformed queries (out-of-range vertex / fault /
+  /// fault2 / source_index); model-level refusals are reported per query
+  /// as kRefused, never thrown.
   QueryResponse query(QueryBatch batch) const;
 
   /// Single-query convenience (serial; same classification rules).

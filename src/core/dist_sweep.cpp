@@ -21,7 +21,8 @@ void ReplacementSweepScratch::prepare(std::size_t n) {
 void replacement_dist_sweep(const BfsTree& tree, EdgeId banned_edge,
                             Vertex banned_vertex,
                             std::span<const Vertex> affected,
-                            ReplacementSweepScratch& s) {
+                            ReplacementSweepScratch& s, EdgeId ambient_edge,
+                            Vertex ambient_vertex) {
   const Graph& g = tree.graph();
   const std::size_t n = static_cast<std::size_t>(g.num_vertices());
   s.prepare(n);
@@ -34,7 +35,7 @@ void replacement_dist_sweep(const BfsTree& tree, EdgeId banned_edge,
 
   // Mark A first so the seeding pass can tell inside from outside.
   for (const Vertex v : affected) {
-    if (v == banned_vertex) continue;
+    if (v == banned_vertex || v == ambient_vertex) continue;
     const std::size_t vi = static_cast<std::size_t>(v);
     s.stamp_[vi] = s.epoch_;
     s.dist_[vi] = kInfHops;
@@ -45,12 +46,12 @@ void replacement_dist_sweep(const BfsTree& tree, EdgeId banned_edge,
   thread_local std::vector<std::pair<std::int32_t, Vertex>> seeds;
   seeds.clear();
   for (const Vertex v : affected) {
-    if (v == banned_vertex) continue;
+    if (v == banned_vertex || v == ambient_vertex) continue;
     std::int32_t best = kInfHops;
     for (const Arc& a : g.neighbors(v)) {
-      if (a.edge == banned_edge) continue;
+      if (a.edge == banned_edge || a.edge == ambient_edge) continue;
       const Vertex u = a.to;
-      if (u == banned_vertex) continue;
+      if (u == banned_vertex || u == ambient_vertex) continue;
       if (s.in_set(u)) continue;
       const std::int32_t du = tree.depth(u);
       if (du >= kInfHops) continue;  // unreachable even in G
@@ -85,9 +86,11 @@ void replacement_dist_sweep(const BfsTree& tree, EdgeId banned_edge,
       const Vertex v = bucket[i];
       if (s.dist_[static_cast<std::size_t>(v)] != base + k) continue;  // stale
       for (const Arc& a : g.neighbors(v)) {
-        if (a.edge == banned_edge) continue;
+        if (a.edge == banned_edge || a.edge == ambient_edge) continue;
         const Vertex u = a.to;
-        if (u == banned_vertex || !s.in_set(u)) continue;
+        if (u == banned_vertex || u == ambient_vertex || !s.in_set(u)) {
+          continue;
+        }
         auto& du = s.dist_[static_cast<std::size_t>(u)];
         if (du > base + k + 1) {
           du = base + k + 1;

@@ -47,7 +47,7 @@ class ReplacementSweepScratch {
  private:
   friend void replacement_dist_sweep(const BfsTree&, EdgeId, Vertex,
                                      std::span<const Vertex>,
-                                     ReplacementSweepScratch&);
+                                     ReplacementSweepScratch&, EdgeId, Vertex);
 
   void prepare(std::size_t n);
   bool in_set(Vertex v) const {
@@ -66,9 +66,17 @@ class ReplacementSweepScratch {
 /// and exactly one of banned_edge / banned_vertex identifies the fault (pass
 /// kInvalidEdge / kInvalidVertex for the other). A banned vertex inside the
 /// span is skipped. Results are read back through scratch.dist().
+///
+/// `ambient_edge` / `ambient_vertex` exclude one more graph element from
+/// every step of the sweep: this is how the dual-failure pipeline reuses the
+/// sweep over a punctured graph G \ {first failure} (the `tree` must then be
+/// the canonical tree of that punctured graph, so depth() seeding stays
+/// exact). Both default to "none", which is the single-fault sweep verbatim.
 void replacement_dist_sweep(const BfsTree& tree, EdgeId banned_edge,
                             Vertex banned_vertex,
                             std::span<const Vertex> affected,
-                            ReplacementSweepScratch& scratch);
+                            ReplacementSweepScratch& scratch,
+                            EdgeId ambient_edge = kInvalidEdge,
+                            Vertex ambient_vertex = kInvalidVertex);
 
 }  // namespace ftb

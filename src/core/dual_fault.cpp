@@ -1,0 +1,381 @@
+// dual_fault.cpp — the dual-failure recursion (one punctured single-fault
+// engine pair per first-failure site), the pair-table builder, the serving
+// oracle and the brute-force verifier. See dual_fault.hpp for the
+// correctness argument.
+#include "src/core/dual_fault.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "src/core/validate.hpp"
+#include "src/util/rng.hpp"
+
+namespace ftb {
+
+bool DualSiteTable::subset_contains(std::size_t i, EdgeId e) const {
+  const auto sub = subset(i);
+  return std::binary_search(sub.begin(), sub.end(), e);
+}
+
+namespace {
+
+/// The first-failure sites of a tree, in the canonical order every table,
+/// artifact and oracle agrees on: tree edges by tree_edges() order (preorder
+/// of the lower endpoint), then internal tree vertices by preorder.
+std::vector<DualSite> enumerate_sites(const BfsTree& tree) {
+  std::vector<DualSite> sites;
+  sites.reserve(2 * tree.tree_edges().size());
+  for (const EdgeId e : tree.tree_edges()) {
+    sites.push_back(DualSite{FaultClass::kEdge, e});
+  }
+  for (const Vertex u : tree.preorder()) {
+    if (u != tree.source() && tree.subtree_size(u) > 1) {
+      sites.push_back(DualSite{FaultClass::kVertex, u});
+    }
+  }
+  return sites;
+}
+
+void sort_unique(std::vector<EdgeId>& v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+}
+
+}  // namespace
+
+DualSiteTable detail::build_dual_site_table(const BfsTree& tree,
+                                            ThreadPool* pool_ptr,
+                                            bool reference_kernel,
+                                            std::vector<EdgeId>* edges_out) {
+  const Graph& g = tree.graph();
+  const EdgeWeights& W = tree.weights();
+  ThreadPool& pool = pool_ptr != nullptr ? *pool_ptr : ThreadPool::global();
+
+  DualSiteTable table;
+  table.sites = enumerate_sites(tree);
+
+  // One punctured single-fault build per site. Iterations write disjoint
+  // slots; the engines inside parallelize on the same pool (nested
+  // parallel_for is supported — an inner job drains through its caller).
+  std::vector<std::vector<EdgeId>> subsets(table.sites.size());
+  pool.parallel_for(table.sites.size(), [&](std::size_t i) {
+    const DualSite f = table.sites[i];
+    BfsBans bans;
+    if (f.kind == FaultClass::kEdge) {
+      bans.banned_edge = f.id;
+    } else {
+      bans.banned_vertex_one = f.id;
+    }
+    const BfsTree tf(g, W, tree.source(), bans);
+
+    FaultReplacementEngine<EdgeFault>::Config ec;
+    FaultReplacementEngine<VertexFault>::Config vc;
+    ec.collect_detours = vc.collect_detours = false;  // only last edges
+    ec.pool = vc.pool = pool_ptr;
+    ec.reference_kernel = vc.reference_kernel = reference_kernel;
+    if (f.kind == FaultClass::kEdge) {
+      ec.ambient_banned_edge = vc.ambient_banned_edge = f.id;
+    } else {
+      ec.ambient_banned_vertex = vc.ambient_banned_vertex = f.id;
+    }
+    const FaultReplacementEngine<EdgeFault> ee(tf, ec);
+    const FaultReplacementEngine<VertexFault> ve(tf, vc);
+
+    std::vector<EdgeId>& sub = subsets[i];
+    sub = tf.tree_edges();
+    for (const UncoveredPair& p : ee.uncovered_pairs()) {
+      sub.push_back(p.last_edge);
+    }
+    for (const VertexFaultPair& p : ve.uncovered_pairs()) {
+      sub.push_back(p.last_edge);
+    }
+    sort_unique(sub);
+  });
+
+  // Deterministic flatten (site order is already canonical).
+  table.offsets.assign(table.sites.size() + 1, 0);
+  std::int64_t total = 0;
+  for (std::size_t i = 0; i < subsets.size(); ++i) {
+    total += static_cast<std::int64_t>(subsets[i].size());
+    table.offsets[i + 1] = total;
+  }
+  table.edge_pool.reserve(static_cast<std::size_t>(total));
+  for (const std::vector<EdgeId>& sub : subsets) {
+    table.edge_pool.insert(table.edge_pool.end(), sub.begin(), sub.end());
+  }
+
+  if (edges_out != nullptr) {
+    std::vector<EdgeId>& edges = *edges_out;
+    edges = tree.tree_edges();
+    edges.insert(edges.end(), table.edge_pool.begin(), table.edge_pool.end());
+    sort_unique(edges);
+  }
+  return table;
+}
+
+DualBuildResult detail::build_dual_failure_ftbfs_impl(
+    const Graph& g, Vertex source, const DualFtBfsOptions& opts) {
+  detail::check_source(g, source);
+  const EdgeWeights weights =
+      EdgeWeights::uniform_random(g, opts.weight_seed);
+  const BfsTree tree(g, weights, source);
+  std::vector<EdgeId> edges;
+  DualSiteTable table = detail::build_dual_site_table(
+      tree, opts.pool, opts.reference_kernel, &edges);
+  FtBfsStructure h(g, source, std::move(edges), /*reinforced=*/{},
+                   tree.tree_edges(), FaultClass::kDual);
+  return DualBuildResult{std::move(h), std::move(table)};
+}
+
+DualMultiSourceResult detail::build_dual_failure_ftmbfs_impl(
+    const Graph& g, const std::vector<Vertex>& sources,
+    const DualFtBfsOptions& opts) {
+  detail::check_sources(g, sources);
+  std::vector<EdgeId> edges;
+  std::vector<EdgeId> tree_edges;
+  std::vector<DualSiteTable> per_source;
+  per_source.reserve(sources.size());
+  for (const Vertex s : sources) {
+    DualBuildResult r = detail::build_dual_failure_ftbfs_impl(g, s, opts);
+    edges.insert(edges.end(), r.structure.edges().begin(),
+                 r.structure.edges().end());
+    tree_edges.insert(tree_edges.end(), r.structure.tree_edges().begin(),
+                      r.structure.tree_edges().end());
+    per_source.push_back(std::move(r.tables));
+  }
+  FtBfsStructure merged(g, sources.front(), std::move(edges),
+                        /*reinforced=*/{}, std::move(tree_edges),
+                        FaultClass::kDual);
+  return DualMultiSourceResult{sources, std::move(merged),
+                               std::move(per_source)};
+}
+
+// ---------------------------------------------------------------------------
+// DualFaultOracle
+
+DualFaultOracle::DualFaultOracle(
+    const BfsTree& tree, const FaultReplacementEngine<EdgeFault>& edge_engine,
+    const FaultReplacementEngine<VertexFault>& vertex_engine,
+    const DualSiteTable& tables)
+    : tree_(&tree),
+      edge_engine_(&edge_engine),
+      vertex_engine_(&vertex_engine),
+      tables_(&tables) {
+  FTB_CHECK_MSG(tables.offsets.size() == tables.sites.size() + 1 &&
+                    !tables.offsets.empty() &&
+                    tables.offsets.back() ==
+                        static_cast<std::int64_t>(tables.edge_pool.size()),
+                "malformed dual pair tables");
+  // The tables must describe exactly this tree's first-failure sites —
+  // anything else means the artifact was built around a different T0
+  // (classic cause: serving with a different weight_seed than the build).
+  FTB_CHECK_MSG(enumerate_sites(tree) == tables.sites,
+                "dual pair tables do not match the session tree "
+                "(was the structure built with this weight_seed?)");
+
+  const Graph& g = tree.graph();
+  edge_site_.assign(static_cast<std::size_t>(g.num_edges()), -1);
+  vertex_site_.assign(static_cast<std::size_t>(g.num_vertices()), -1);
+  for (std::size_t i = 0; i < tables.sites.size(); ++i) {
+    const DualSite f = tables.sites[i];
+    auto& slot = f.kind == FaultClass::kEdge
+                     ? edge_site_[static_cast<std::size_t>(f.id)]
+                     : vertex_site_[static_cast<std::size_t>(f.id)];
+    slot = static_cast<std::int32_t>(i);
+  }
+}
+
+std::int32_t DualFaultOracle::site_of(DualSite f) const {
+  return f.kind == FaultClass::kEdge
+             ? edge_site_[static_cast<std::size_t>(f.id)]
+             : vertex_site_[static_cast<std::size_t>(f.id)];
+}
+
+std::int32_t DualFaultOracle::single_dist(Vertex v, DualSite f) const {
+  if (f.kind == FaultClass::kEdge) {
+    return edge_engine_->replacement_dist(v, f.id);
+  }
+  if (v == f.id) return kInfHops;
+  return vertex_engine_->replacement_dist(v, f.id);
+}
+
+bool DualFaultOracle::reducible(DualSite f1, DualSite f2) const {
+  if (f2 < f1) std::swap(f1, f2);
+  if (f1 == f2) return true;
+  const std::int32_t s1 = site_of(f1);
+  const std::int32_t s2 = site_of(f2);
+  if (s1 < 0 && s2 < 0) return true;
+  const std::int32_t ps = s1 >= 0 ? s1 : s2;
+  const DualSite other = s1 >= 0 ? f2 : f1;
+  return other.kind == FaultClass::kEdge &&
+         !tables_->subset_contains(static_cast<std::size_t>(ps), other.id);
+}
+
+std::int32_t DualFaultOracle::dist(Vertex v, DualSite f1, DualSite f2,
+                                   DualQueryArena& arena,
+                                   std::int64_t* traversals) const {
+  if (f2 < f1) std::swap(f1, f2);
+  // A destroyed terminal is gone under any classification.
+  if ((f1.kind == FaultClass::kVertex && f1.id == v) ||
+      (f2.kind == FaultClass::kVertex && f2.id == v)) {
+    return kInfHops;
+  }
+  // A doubled element is a single failure — pure table read.
+  if (f1 == f2) return single_dist(v, f1);
+
+  const std::int32_t s1 = site_of(f1);
+  const std::int32_t s2 = site_of(f2);
+  if (s1 < 0 && s2 < 0) {
+    // Neither element lies on any π(s,·): a non-tree edge is on no tree
+    // path and a leaf vertex only on its own, so π(s,v) survives in G and
+    // in H and the failure-free depth is exact.
+    return tree_->depth(v);
+  }
+  const std::int32_t ps = s1 >= 0 ? s1 : s2;
+  const DualSite primary = s1 >= 0 ? f1 : f2;
+  const DualSite other = s1 >= 0 ? f2 : f1;
+  if (other.kind == FaultClass::kEdge &&
+      !tables_->subset_contains(static_cast<std::size_t>(ps), other.id)) {
+    // H_primary contains no copy of `other`, so deleting it changes
+    // nothing there: the stored single-fault answer is already the
+    // two-failure answer (see the sandwich in the file comment).
+    return single_dist(v, primary);
+  }
+
+  // One BFS over H_primary minus `other`, memoized in the arena.
+  const Graph& g = tree_->graph();
+  const std::size_t m = static_cast<std::size_t>(g.num_edges());
+  if (arena.mask_table_ != tables_ || arena.mask_site_ != ps) {
+    if (arena.site_ban_.size() < m) {
+      arena.site_ban_.assign(m, 1);
+    } else if (arena.mask_table_ != nullptr) {
+      // Re-ban the previously unmasked subset instead of an O(m) reset.
+      for (const EdgeId e : arena.mask_table_->subset(
+               static_cast<std::size_t>(arena.mask_site_))) {
+        arena.site_ban_[static_cast<std::size_t>(e)] = 1;
+      }
+    }
+    for (const EdgeId e :
+         tables_->subset(static_cast<std::size_t>(ps))) {
+      arena.site_ban_[static_cast<std::size_t>(e)] = 0;
+    }
+    arena.mask_table_ = tables_;
+    arena.mask_site_ = ps;
+    arena.traversal_valid_ = false;
+  }
+  if (!arena.traversal_valid_ || !(arena.other_ == other)) {
+    BfsBans bans;
+    bans.banned_edge_mask = &arena.site_ban_;
+    if (other.kind == FaultClass::kEdge) {
+      bans.banned_edge = other.id;
+    } else {
+      bans.banned_vertex_one = other.id;
+    }
+    bfs_run(g, tree_->source(), bans, arena.bfs_);
+    arena.traversal_valid_ = true;
+    arena.other_ = other;
+    if (traversals != nullptr) ++*traversals;
+  }
+  return arena.bfs_.dist(v);
+}
+
+// ---------------------------------------------------------------------------
+// Brute force and verification
+
+PairBans::PairBans(DualSite f1, DualSite f2, std::vector<std::uint8_t>& mask,
+                   std::size_t n, BfsBans& bans)
+    : mask_(&mask) {
+  for (const DualSite f : {f1, f2}) {
+    if (f.id < 0) continue;  // absent second element
+    if (f.kind == FaultClass::kEdge) {
+      (bans.banned_edge == kInvalidEdge ? bans.banned_edge
+                                        : bans.banned_edge2) = f.id;
+    } else {
+      if (mask.size() < n) mask.assign(n, 0);
+      mask[static_cast<std::size_t>(f.id)] = 1;
+      bans.banned_vertex = &mask;
+      masked_[num_masked_++] = f.id;
+    }
+  }
+}
+
+PairBans::~PairBans() {
+  for (int i = 0; i < num_masked_; ++i) {
+    (*mask_)[static_cast<std::size_t>(masked_[i])] = 0;
+  }
+}
+
+void dual_bruteforce_bfs(const Graph& g, Vertex s, DualSite f1, DualSite f2,
+                         BfsScratch& scratch) {
+  thread_local std::vector<std::uint8_t> mask;
+  BfsBans bans;
+  const PairBans pair(f1, f2, mask,
+                      static_cast<std::size_t>(g.num_vertices()), bans);
+  bfs_run(g, s, bans, scratch);
+}
+
+void dual_structure_bfs(const FtBfsStructure& h, DualSite f1, DualSite f2,
+                        BfsScratch& scratch) {
+  const Graph& g = h.graph();
+  thread_local std::vector<std::uint8_t> mask;
+  BfsBans bans;
+  bans.banned_edge_mask = &h.complement_mask();
+  const PairBans pair(f1, f2, mask,
+                      static_cast<std::size_t>(g.num_vertices()), bans);
+  bfs_run(g, h.source(), bans, scratch);
+}
+
+std::int64_t verify_dual_structure(const FtBfsStructure& h,
+                                   std::int64_t max_pairs, std::uint64_t seed,
+                                   ThreadPool* pool_ptr) {
+  const Graph& g = h.graph();
+  const Vertex s = h.source();
+  ThreadPool& pool = pool_ptr != nullptr ? *pool_ptr : ThreadPool::global();
+
+  // The failure universe: every edge of G (in H or not), every non-source
+  // vertex.
+  std::vector<DualSite> universe;
+  universe.reserve(static_cast<std::size_t>(g.num_edges()) +
+                   static_cast<std::size_t>(g.num_vertices()));
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    universe.push_back(DualSite{FaultClass::kEdge, e});
+  }
+  for (Vertex x = 0; x < g.num_vertices(); ++x) {
+    if (x != s) universe.push_back(DualSite{FaultClass::kVertex, x});
+  }
+  const std::size_t u = universe.size();
+
+  // The pair list: every unordered pair (i ≤ j; i == j exercises the
+  // single-failure degenerate) or a seeded sample of max_pairs of them.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs;
+  if (max_pairs < 0) {
+    pairs.reserve(u * (u + 1) / 2);
+    for (std::uint32_t i = 0; i < u; ++i) {
+      for (std::uint32_t j = i; j < u; ++j) pairs.emplace_back(i, j);
+    }
+  } else {
+    Rng rng(seed);
+    pairs.reserve(static_cast<std::size_t>(max_pairs));
+    for (std::int64_t k = 0; k < max_pairs; ++k) {
+      pairs.emplace_back(static_cast<std::uint32_t>(rng.next_below(u)),
+                         static_cast<std::uint32_t>(rng.next_below(u)));
+    }
+  }
+
+  std::atomic<std::int64_t> violations{0};
+  pool.parallel_for(pairs.size(), [&](std::size_t k) {
+    const DualSite f1 = universe[pairs[k].first];
+    const DualSite f2 = universe[pairs[k].second];
+    thread_local BfsScratch in_g, in_h;
+    dual_bruteforce_bfs(g, s, f1, f2, in_g);
+    dual_structure_bfs(h, f1, f2, in_h);
+    std::int64_t local = 0;
+    for (Vertex v = 0; v < g.num_vertices(); ++v) {
+      if (in_h.dist(v) != in_g.dist(v)) ++local;
+    }
+    if (local != 0) violations.fetch_add(local, std::memory_order_relaxed);
+  });
+  return violations.load();
+}
+
+}  // namespace ftb

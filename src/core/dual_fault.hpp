@@ -1,0 +1,245 @@
+// dual_fault.hpp — FT-BFS structures against TWO simultaneous failures.
+//
+// The dual-failure setting (Parter, "Dual Failure Resilient BFS Structure",
+// arXiv:1505.00692; multi-source bounds in Gupta–Khan, arXiv:1704.06907)
+// extends the single-fault contract to unordered pairs: a subgraph H ⊆ G
+// such that for every pair of failures {f1, f2} — each an edge, or a vertex
+// other than the source —
+//
+//   dist(s, v, H \ {f1, f2}) = dist(s, v, G \ {f1, f2})    for every v ∈ V.
+//
+// Construction — the reinforcement-backup recursion. Let T0 be the
+// canonical tree of G and call an element a *first-failure site* when it is
+// a tree edge of T0 or an internal tree vertex. For every site f, build the
+// single-fault "either" structure of the punctured graph G \ {f}:
+//
+//   H_f = T_f ∪ { last edges of the uncovered pairs of the edge- and
+//                 vertex-fault S0 engines run over G \ {f} },
+//
+// where T_f is the canonical tree of G \ {f} under the SAME weight
+// assignment W (subgraph-consistency of W is exactly why the punctured
+// engines stay canonical). Then H = T0 ∪ ⋃_f H_f is dual-failure
+// resilient:
+//   * a pair with a sited element f: H ⊇ H_f, H_f ⊆ G\{f}, and H_f is a
+//     single-fault structure of G\{f} for both fault kinds, so
+//     dist(s,v,H_f\{f'}) = dist(s,v,G\{f,f'}); the sandwich
+//     dist(s,v,G\{f,f'}) ≤ dist(s,v,H\{f,f'}) ≤ dist(s,v,H_f\{f'})
+//     pins every term equal.
+//   * a pair with no sited element never touches a T0 path (a non-tree
+//     edge lies on no π(s,·); a leaf vertex only on its own), so π(s,v)
+//     survives in H and in G and dist = depth(v) on both sides.
+// The engines are the PR 1/PR 2 machinery verbatim, run with an *ambient*
+// ban (FaultReplacementEngine::Config::ambient_banned_{edge,vertex}), so
+// the scratch-arena sweeps and the canonical detour analysis are reused
+// per first failure instead of re-derived. This is the unpruned form of
+// the paper's recursion: correctness is exact (the differential suite pins
+// every served answer to brute-force two-failure BFS); the Õ(n^{5/3}) size
+// bound needs Parter's pruning and is left as an open item (docs/perf.md
+// tracks the measured |H| against it).
+//
+// Serving — DualFaultOracle. dist(s, v | {f1, f2}) classifies the pair:
+//   * f1 == f2, or no sited element            → O(1) off the single-fault
+//     tables / tree depths (this is the "reuse of the single-fault tables"
+//     plane — no traversal at all);
+//   * sited primary f, other an edge ∉ H_f     → O(1): H_f \ {f'} = H_f,
+//     so the single-fault answer dist(s,v,G\{f}) is already exact;
+//   * otherwise                                → one BFS over H_f minus the
+//     other element, cached per pair in a DualQueryArena (the api::Session
+//     batched plane groups queries by distinct pair, so a storm pays one
+//     traversal per pair).
+// The per-site edge subsets H_f are the *pair tables* serialized by
+// structure_io v4, so a reloaded Session serves pairs without re-running
+// the recursion.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/core/fault_model.hpp"
+#include "src/core/structure.hpp"
+#include "src/graph/bfs_kernel.hpp"
+#include "src/util/thread_pool.hpp"
+
+namespace ftb {
+
+/// One element of a failure pair: a failing edge or a failing vertex.
+struct DualSite {
+  FaultClass kind = FaultClass::kEdge;  // kEdge or kVertex only
+  std::int32_t id = -1;                 // EdgeId or Vertex
+
+  friend bool operator==(const DualSite& a, const DualSite& b) {
+    return a.kind == b.kind && a.id == b.id;
+  }
+  /// Normalization order for unordered pairs: edges before vertices, then
+  /// by id. (Deterministic grouping and cache keys depend on this.)
+  friend bool operator<(const DualSite& a, const DualSite& b) {
+    if (a.kind != b.kind) return a.kind < b.kind;
+    return a.id < b.id;
+  }
+};
+
+/// The first-failure tables of ONE source: the sites of its tree T0 in
+/// deterministic order (every tree edge by tree_edges() order, then every
+/// internal vertex by preorder) and, per site f, the sorted edge set of the
+/// punctured single-fault structure H_f. This is what structure_io v4
+/// serializes as the artifact's pair tables.
+struct DualSiteTable {
+  std::vector<DualSite> sites;
+  std::vector<std::int64_t> offsets;  // sites.size() + 1, into edge_pool
+  std::vector<EdgeId> edge_pool;      // per-site edge ids, sorted ascending
+
+  std::size_t num_sites() const { return sites.size(); }
+  /// Edge set of H_{sites[i]}, sorted ascending.
+  std::span<const EdgeId> subset(std::size_t i) const {
+    return {edge_pool.data() + offsets[i], edge_pool.data() + offsets[i + 1]};
+  }
+  /// O(log) membership test of e in subset(i).
+  bool subset_contains(std::size_t i, EdgeId e) const;
+};
+
+struct DualFtBfsOptions {
+  std::uint64_t weight_seed = 0x5EED0001ULL;
+  ThreadPool* pool = nullptr;  // nullptr = global pool
+  /// Run the punctured engines on the naive reference kernels (differential
+  /// testing; the produced structure and tables are bit-identical).
+  bool reference_kernel = false;
+};
+
+/// What the dual-failure pipeline emits: the structure (tagged kDual) plus
+/// the pair tables the serving stack and structure_io v4 consume.
+struct DualBuildResult {
+  FtBfsStructure structure;
+  DualSiteTable tables;
+};
+
+/// Multi-source variant (the Gupta–Khan setting): per-source dual
+/// structures unioned into one subgraph, per-source pair tables kept.
+struct DualMultiSourceResult {
+  std::vector<Vertex> sources;
+  FtBfsStructure structure;             // anchored at sources.front()
+  std::vector<DualSiteTable> per_source;  // aligned with sources
+};
+
+namespace detail {
+/// The dual-failure pipelines ftb::api::build dispatches to for
+/// fault_model = kDual. Validate through validate.hpp.
+DualBuildResult build_dual_failure_ftbfs_impl(const Graph& g, Vertex source,
+                                              const DualFtBfsOptions& opts);
+DualMultiSourceResult build_dual_failure_ftmbfs_impl(
+    const Graph& g, const std::vector<Vertex>& sources,
+    const DualFtBfsOptions& opts);
+
+/// Rebuilds one source's pair tables for an already-built canonical tree
+/// (what Session::load falls back to when an artifact carries no tables).
+/// Also returns, through `edges_out`, the union ⋃_f H_f ∪ T0 it implies.
+DualSiteTable build_dual_site_table(const BfsTree& tree, ThreadPool* pool,
+                                    bool reference_kernel,
+                                    std::vector<EdgeId>* edges_out);
+}  // namespace detail
+
+/// Reusable scratch for DualFaultOracle::dist: the BFS arena plus the
+/// lazily maintained site-complement edge mask, with the key of the
+/// traversal currently held so repeats of one pair cost nothing. Exclusive
+/// ownership while in use (the api::Session leases one per worker).
+class DualQueryArena {
+ public:
+  DualQueryArena() = default;
+
+ private:
+  friend class DualFaultOracle;
+
+  BfsScratch bfs_;
+  std::vector<std::uint8_t> site_ban_;  // size m; 1 = not in cached subset
+  const DualSiteTable* mask_table_ = nullptr;  // whose site the mask encodes
+  std::int32_t mask_site_ = -1;
+  bool traversal_valid_ = false;  // bfs_ holds (mask site, other_) exactly
+  DualSite other_;
+};
+
+/// Serves dist(s, v | {f1, f2}) for one source of a dual-failure
+/// deployment. Immutable after construction; all mutable state lives in
+/// the caller-provided DualQueryArena, so any number of threads may query
+/// one oracle concurrently on distinct arenas.
+class DualFaultOracle {
+ public:
+  /// `tree`, the engines and `tables` must all come from the same source
+  /// and weight seed; the site list is checked against the tree (CheckError
+  /// on mismatch — the classic cause is loading an artifact with the wrong
+  /// weight_seed).
+  DualFaultOracle(const BfsTree& tree,
+                  const FaultReplacementEngine<EdgeFault>& edge_engine,
+                  const FaultReplacementEngine<VertexFault>& vertex_engine,
+                  const DualSiteTable& tables);
+
+  /// dist(s, v, G \ {f1, f2}), order-free in (f1, f2). Preconditions:
+  /// valid ids and neither element is the source vertex (the caller — the
+  /// Session classification — refuses those). O(1) for reducible pairs;
+  /// otherwise one BFS over the primary site's subset, cached in `arena`
+  /// (`traversals`, when given, is incremented iff a BFS actually ran).
+  std::int32_t dist(Vertex v, DualSite f1, DualSite f2, DualQueryArena& arena,
+                    std::int64_t* traversals = nullptr) const;
+
+  /// True iff the pair is answered O(1) — equal elements, no sited
+  /// element, or an off-structure second edge (the single-fault-table
+  /// reuse plane). Exposed for tests and batch accounting.
+  bool reducible(DualSite f1, DualSite f2) const;
+
+  const DualSiteTable& tables() const { return *tables_; }
+
+ private:
+  std::int32_t site_of(DualSite f) const;
+  std::int32_t single_dist(Vertex v, DualSite f) const;
+
+  const BfsTree* tree_;
+  const FaultReplacementEngine<EdgeFault>* edge_engine_;
+  const FaultReplacementEngine<VertexFault>* vertex_engine_;
+  const DualSiteTable* tables_;
+  std::vector<std::int32_t> edge_site_;    // EdgeId → site index or -1
+  std::vector<std::int32_t> vertex_site_;  // Vertex → site index or -1
+};
+
+/// RAII application of a failure pair to a BfsBans: edges go into the two
+/// scalar slots, vertices set bits in `mask` (sized on demand) that the
+/// destructor clears again. The ONE ban-assembly every two-failure
+/// traversal — brute-force referee, structure sweep, session what-if —
+/// shares, so the protocol cannot silently diverge between them.
+class PairBans {
+ public:
+  PairBans(DualSite f1, DualSite f2, std::vector<std::uint8_t>& mask,
+           std::size_t n, BfsBans& bans);
+  ~PairBans();
+  PairBans(const PairBans&) = delete;
+  PairBans& operator=(const PairBans&) = delete;
+
+ private:
+  std::vector<std::uint8_t>* mask_;
+  Vertex masked_[2] = {kInvalidVertex, kInvalidVertex};
+  int num_masked_ = 0;
+};
+
+/// Literal two-failure BFS — the referee every dual answer is measured
+/// against: runs BFS from `s` in G \ {f1, f2} into `scratch` (a destroyed
+/// vertex reads back kInfHops like any unreachable one).
+void dual_bruteforce_bfs(const Graph& g, Vertex s, DualSite f1, DualSite f2,
+                         BfsScratch& scratch);
+
+/// Same two-failure BFS restricted to the surviving STRUCTURE
+/// (H \ {f1, f2} from h.source()): the H side of every dual comparison —
+/// verifier, drills, differential tests all share this one ban assembly.
+void dual_structure_bfs(const FtBfsStructure& h, DualSite f1, DualSite f2,
+                        BfsScratch& scratch);
+
+/// Dual-failure verification: BFS of G \ {f1,f2} vs H \ {f1,f2} over
+/// failure pairs drawn from the full universe (every edge, every non-source
+/// vertex). `max_pairs < 0` checks every unordered pair exhaustively —
+/// O(n²·m), fine for test sizes; otherwise `max_pairs` pairs are sampled
+/// deterministically from `seed`. Returns the number of (pair, v) distance
+/// violations (0 = the structure honors the dual contract on everything
+/// checked).
+std::int64_t verify_dual_structure(const FtBfsStructure& h,
+                                   std::int64_t max_pairs = -1,
+                                   std::uint64_t seed = 1,
+                                   ThreadPool* pool = nullptr);
+
+}  // namespace ftb

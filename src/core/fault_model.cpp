@@ -41,6 +41,20 @@ template <class Model>
 FaultReplacementEngine<Model>::FaultReplacementEngine(const BfsTree& tree,
                                                       Config cfg)
     : tree_(&tree), cfg_(cfg) {
+  // Ambient-failure preconditions: at most one punctured element, and the
+  // tree must actually be the canonical tree of that punctured graph —
+  // otherwise every table row would answer for a different G'.
+  FTB_CHECK_MSG(cfg_.ambient_banned_edge == kInvalidEdge ||
+                    cfg_.ambient_banned_vertex == kInvalidVertex,
+                "at most one ambient failure per engine");
+  FTB_CHECK_MSG(cfg_.ambient_banned_vertex == kInvalidVertex ||
+                    !tree.reachable(cfg_.ambient_banned_vertex),
+                "ambient vertex is reachable — the tree is not the "
+                "punctured graph's canonical tree");
+  FTB_CHECK_MSG(cfg_.ambient_banned_edge == kInvalidEdge ||
+                    !tree.is_tree_edge(cfg_.ambient_banned_edge),
+                "ambient edge is a tree edge — the tree is not the "
+                "punctured graph's canonical tree");
   ThreadPool& pool = cfg_.pool != nullptr ? *cfg_.pool : ThreadPool::global();
   Timer t;
   build_dist_tables(pool);
@@ -91,6 +105,8 @@ void FaultReplacementEngine<Model>::build_dist_tables(ThreadPool& pool) {
       thread_local std::vector<std::uint8_t> mask;
       BfsBans bans;
       Model::ban(fault, bans, mask, n);
+      bans.banned_edge2 = cfg_.ambient_banned_edge;
+      bans.banned_vertex_one = cfg_.ambient_banned_vertex;
       const BfsResult res = plain_bfs_reference(g, tree_->source(), bans);
       for (const Vertex v : affected) {
         if (Model::kSkipFailedSite && v == u) continue;
@@ -101,7 +117,8 @@ void FaultReplacementEngine<Model>::build_dist_tables(ThreadPool& pool) {
       thread_local ReplacementSweepScratch sweep;
       replacement_dist_sweep(*tree_, Model::sweep_banned_edge(fault),
                              Model::sweep_banned_vertex(fault), affected,
-                             sweep);
+                             sweep, cfg_.ambient_banned_edge,
+                             cfg_.ambient_banned_vertex);
       for (const Vertex v : affected) {
         if (Model::kSkipFailedSite && v == u) continue;
         row_slot(v) = sweep.dist(v);
@@ -111,6 +128,8 @@ void FaultReplacementEngine<Model>::build_dist_tables(ThreadPool& pool) {
       thread_local BfsScratch scratch;
       BfsBans bans;
       Model::ban(fault, bans, mask, n);
+      bans.banned_edge2 = cfg_.ambient_banned_edge;
+      bans.banned_vertex_one = cfg_.ambient_banned_vertex;
       bfs_run(g, tree_->source(), bans, scratch);
       for (const Vertex v : affected) {
         if (Model::kSkipFailedSite && v == u) continue;
@@ -215,6 +234,10 @@ void FaultReplacementEngine<Model>::build_pairs(ThreadPool& pool) {
       DetourCandidate& best = det[static_cast<std::size_t>(j)];
       const Vertex uj = path[static_cast<std::size_t>(j)];
       for (const Arc& a : g.neighbors(uj)) {
+        // Punctured-graph mode: the ambient element exists in G's CSR but
+        // not in G', so its arcs are never detour candidates.
+        if (a.edge == cfg_.ambient_banned_edge) continue;
+        if (a.to == cfg_.ambient_banned_vertex) continue;
         DetourCandidate cand;
         if (a.to == v) {
           if (a.edge == parent_e) continue;  // never a detour edge
@@ -320,6 +343,8 @@ void FaultReplacementEngine<Model>::build_pairs(ThreadPool& pool) {
     }
     BfsBans bans;
     bans.banned_vertex = &banned;
+    bans.banned_edge2 = cfg_.ambient_banned_edge;
+    bans.banned_vertex_one = cfg_.ambient_banned_vertex;
 
     if (cfg_.reference_kernel) {
       // Seed pipeline order: one unconditional off-path BFS per vertex.
@@ -445,6 +470,8 @@ std::vector<Vertex> FaultReplacementEngine<Model>::replacement_path(
   std::vector<std::uint8_t> vertex_mask;
   Model::ban(fault, bans, vertex_mask,
              static_cast<std::size_t>(g.num_vertices()));
+  bans.banned_edge2 = cfg_.ambient_banned_edge;
+  bans.banned_vertex_one = cfg_.ambient_banned_vertex;
   const CanonicalSp sp =
       canonical_sp(g, tree_->weights(), tree_->source(), bans);
   FTB_CHECK_MSG(sp.reachable(v) && sp.hops[static_cast<std::size_t>(v)] == rd,

@@ -256,6 +256,16 @@ class FaultReplacementEngine {
     /// (dist_sweep.hpp) instead of one full kernel BFS per fault site.
     /// Ignored under reference_kernel.
     bool incremental_dist = true;
+    /// Ambient first failure: the engine then computes over the PUNCTURED
+    /// graph G \ {ambient} — every table row, covered test and canonical
+    /// detour excludes the ambient element on top of the model's own fault.
+    /// At most one of the two may be set, and the `tree` handed to the
+    /// constructor must be the canonical tree of the same punctured graph
+    /// (BfsTree's bans overload). This is how the dual-failure pipeline
+    /// (dual_fault.hpp) reuses the single-fault engine once per first
+    /// failure. Defaults reproduce the single-fault engine bit-identically.
+    EdgeId ambient_banned_edge = kInvalidEdge;
+    Vertex ambient_banned_vertex = kInvalidVertex;
   };
 
   explicit FaultReplacementEngine(const BfsTree& tree)

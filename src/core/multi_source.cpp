@@ -61,6 +61,29 @@ MultiSourceResult detail::build_vertex_ftmbfs_impl(
   return MultiSourceResult{sources, std::move(merged), {}};
 }
 
+MultiSourceResult detail::build_either_ftmbfs_impl(
+    const Graph& g, const std::vector<Vertex>& sources,
+    const VertexFtBfsOptions& opts) {
+  detail::check_sources(g, sources);
+
+  std::vector<EdgeId> edges;
+  std::vector<EdgeId> tree_edges;  // union of the per-source edge-model trees
+  tree_edges.reserve(sources.size() *
+                     static_cast<std::size_t>(g.num_vertices()));
+
+  for (const Vertex s : sources) {
+    const FtBfsStructure h = detail::build_either_ftbfs_impl(g, s, opts);
+    edges.insert(edges.end(), h.edges().begin(), h.edges().end());
+    tree_edges.insert(tree_edges.end(), h.tree_edges().begin(),
+                      h.tree_edges().end());
+  }
+
+  FtBfsStructure merged(g, sources.front(), std::move(edges),
+                        /*reinforced=*/{}, std::move(tree_edges),
+                        FaultClass::kEither);
+  return MultiSourceResult{sources, std::move(merged), {}};
+}
+
 MultiSourceResult build_epsilon_ftmbfs(const Graph& g,
                                        const std::vector<Vertex>& sources,
                                        const EpsilonOptions& opts) {

@@ -40,6 +40,12 @@ MultiSourceResult build_epsilon_ftmbfs_impl(const Graph& g,
 MultiSourceResult build_vertex_ftmbfs_impl(const Graph& g,
                                            const std::vector<Vertex>& sources,
                                            const VertexFtBfsOptions& opts);
+/// The multi-source "either" union: per-source edge ∪ vertex single-fault
+/// structures, all merged (§5's union pattern applied to both kinds at
+/// once), tagged FaultClass::kEither.
+MultiSourceResult build_either_ftmbfs_impl(const Graph& g,
+                                           const std::vector<Vertex>& sources,
+                                           const VertexFtBfsOptions& opts);
 }  // namespace detail
 
 /// Builds the union ε FT-MBFS over `sources` (all with the same ε/options).

@@ -23,6 +23,8 @@ const char* to_string(FaultClass fc) {
       return "vertex";
     case FaultClass::kDual:
       return "dual";
+    case FaultClass::kEither:
+      return "either";
   }
   return "edge";
 }
@@ -31,8 +33,9 @@ FaultClass parse_fault_class(const std::string& tag) {
   if (tag == "edge") return FaultClass::kEdge;
   if (tag == "vertex") return FaultClass::kVertex;
   if (tag == "dual") return FaultClass::kDual;
-  FTB_CHECK_MSG(false, "unknown fault model '" << tag
-                                               << "' (edge|vertex|dual)");
+  if (tag == "either") return FaultClass::kEither;
+  FTB_CHECK_MSG(false, "unknown fault model '"
+                           << tag << "' (edge|vertex|either|dual)");
   return FaultClass::kEdge;
 }
 

@@ -22,16 +22,30 @@ namespace ftb {
 
 class BfsScratch;  // bfs_kernel.hpp
 
-/// The failure model a structure was built to survive. Edge structures obey
-/// Definition 2.1 verbatim; vertex structures the companion ESA'13 analog
-/// (dist(s,v,H\{x}) = dist(s,v,G\{x}) for every failing vertex x ≠ s); dual
-/// structures both. The tag travels with the serialized artifact so the
-/// serving stack (oracle, simulator, CLI) picks the right verifier/drill.
-enum class FaultClass : std::uint8_t { kEdge = 0, kVertex = 1, kDual = 2 };
+/// The failure model a structure was built to survive.
+///   * kEdge   — Definition 2.1 verbatim: one edge failure.
+///   * kVertex — the companion ESA'13 analog: one vertex failure
+///               (dist(s,v,H\{x}) = dist(s,v,G\{x}) for every x ≠ s).
+///   * kEither — ONE failure of either kind (the edge ∪ vertex union;
+///               this is what the pre-dual releases called "dual").
+///   * kDual   — TWO simultaneous failures, each an edge or a vertex
+///               (Parter, arXiv:1505.00692; Gupta–Khan, arXiv:1704.06907):
+///               dist(s,v,H\{f1,f2}) = dist(s,v,G\{f1,f2}) for every pair
+///               {f1,f2} with no failing source vertex.
+/// The tag travels with the serialized artifact so the serving stack
+/// (oracle, simulator, CLI) picks the right verifier/drill.
+enum class FaultClass : std::uint8_t {
+  kEdge = 0,
+  kVertex = 1,
+  kDual = 2,
+  kEither = 3,
+};
 
-/// "edge" / "vertex" / "dual".
+/// "edge" / "vertex" / "dual" / "either".
 const char* to_string(FaultClass fc);
-/// Inverse of to_string. Throws CheckError on anything else.
+/// Inverse of to_string. Throws CheckError on anything else. (structure_io
+/// additionally maps the tag "dual" in pre-v4 artifacts to kEither, which
+/// is what those files meant.)
 FaultClass parse_fault_class(const std::string& tag);
 
 /// An FT-BFS structure (see file comment). Immutable after construction.

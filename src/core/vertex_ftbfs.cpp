@@ -34,8 +34,8 @@ FtBfsStructure detail::build_vertex_ftbfs_impl(const Graph& g, Vertex source,
   return build_vertex_ftbfs(engine);
 }
 
-FtBfsStructure detail::build_dual_ftbfs_impl(const Graph& g, Vertex source,
-                                             const VertexFtBfsOptions& opts) {
+FtBfsStructure detail::build_either_ftbfs_impl(const Graph& g, Vertex source,
+                                               const VertexFtBfsOptions& opts) {
   FtBfsOptions eopts;
   eopts.weight_seed = opts.weight_seed;
   eopts.pool = opts.pool;
@@ -46,7 +46,7 @@ FtBfsStructure detail::build_dual_ftbfs_impl(const Graph& g, Vertex source,
   std::vector<EdgeId> edges = edge_h.edges();
   edges.insert(edges.end(), vertex_h.edges().begin(), vertex_h.edges().end());
   return FtBfsStructure(g, source, std::move(edges), {}, edge_h.tree_edges(),
-                        FaultClass::kDual);
+                        FaultClass::kEither);
 }
 
 FtBfsStructure build_vertex_ftbfs(const Graph& g, Vertex source,
@@ -56,7 +56,7 @@ FtBfsStructure build_vertex_ftbfs(const Graph& g, Vertex source,
 
 FtBfsStructure build_dual_ftbfs(const Graph& g, Vertex source,
                                 const VertexFtBfsOptions& opts) {
-  return detail::build_dual_ftbfs_impl(g, source, opts);
+  return detail::build_either_ftbfs_impl(g, source, opts);
 }
 
 std::int64_t verify_vertex_structure(const FtBfsStructure& h,

@@ -45,8 +45,12 @@ namespace detail {
 /// back the legacy wrappers below. Validate through validate.hpp.
 FtBfsStructure build_vertex_ftbfs_impl(const Graph& g, Vertex source,
                                        const VertexFtBfsOptions& opts);
-FtBfsStructure build_dual_ftbfs_impl(const Graph& g, Vertex source,
-                                     const VertexFtBfsOptions& opts);
+/// The "either" union: one structure surviving ONE failure of either kind
+/// (edge FT-BFS ∪ vertex FT-BFS), tagged FaultClass::kEither. This is what
+/// pre-dual releases called the dual model; the two-simultaneous-failure
+/// pipeline lives in dual_fault.hpp.
+FtBfsStructure build_either_ftbfs_impl(const Graph& g, Vertex source,
+                                       const VertexFtBfsOptions& opts);
 }  // namespace detail
 
 /// The O(n^{3/2}) vertex-fault FT-BFS baseline:
@@ -63,10 +67,12 @@ FtBfsStructure build_vertex_ftbfs(const VertexReplacementEngine& engine);
 
 /// Joint structure tolerating one edge OR one vertex failure: the union of
 /// build_ftbfs and build_vertex_ftbfs (edge failures reduce to this paper;
-/// vertex failures to the module above).
+/// vertex failures to the module above). Despite the historical name this
+/// is the single-failure "either" model (tagged FaultClass::kEither) — the
+/// TWO-simultaneous-failure structure is BuildSpec{fault_model = kDual}.
 /// Deprecated: use ftb::api::build(graph, BuildSpec) with fault_model =
-/// kDual.
-FTB_DEPRECATED("use ftb::api::build(graph, BuildSpec) with kDual")
+/// kEither (or kDual for genuine dual failures).
+FTB_DEPRECATED("use ftb::api::build(graph, BuildSpec) with kEither")
 FtBfsStructure build_dual_ftbfs(const Graph& g, Vertex source,
                                 const VertexFtBfsOptions& opts = {});
 

@@ -5,10 +5,14 @@
 namespace ftb {
 
 BfsTree::BfsTree(const Graph& g, const EdgeWeights& weights, Vertex source)
+    : BfsTree(g, weights, source, BfsBans{}) {}
+
+BfsTree::BfsTree(const Graph& g, const EdgeWeights& weights, Vertex source,
+                 const BfsBans& bans)
     : g_(&g),
       weights_(&weights),
       source_(source),
-      sp_(canonical_sp(g, weights, source)) {
+      sp_(canonical_sp(g, weights, source, bans)) {
   const std::size_t n = static_cast<std::size_t>(g.num_vertices());
   const std::size_t m = static_cast<std::size_t>(g.num_edges());
 

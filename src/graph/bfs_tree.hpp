@@ -26,6 +26,14 @@ class BfsTree {
   /// depth == kInfHops and take part in no tree structure.
   BfsTree(const Graph& g, const EdgeWeights& weights, Vertex source);
 
+  /// Builds the canonical tree of the PUNCTURED graph G minus `bans` —
+  /// the replacement tree T_{f} the dual-failure recursion roots its
+  /// per-first-failure engines at. Every accessor then answers for the
+  /// punctured graph (banned vertices are simply unreachable); `bans` is
+  /// only read during construction.
+  BfsTree(const Graph& g, const EdgeWeights& weights, Vertex source,
+          const BfsBans& bans);
+
   const Graph& graph() const { return *g_; }
   const EdgeWeights& weights() const { return *weights_; }
   Vertex source() const { return source_; }

@@ -46,20 +46,28 @@ struct EdgeWeights {
 };
 
 /// Restrictions applied to a traversal: a set of banned vertices, a set of
-/// banned edges (masks may be null = none) and up to one extra banned edge.
-/// This is how "G \ {e}", "G \ V(π)", "H \ {e}" and friends are expressed
-/// without copying the graph.
+/// banned edges (masks may be null = none), up to two extra banned edges
+/// and up to one extra banned vertex. This is how "G \ {e}", "G \ V(π)",
+/// "H \ {e}", and the dual-failure "G \ {f1, f2}" are expressed without
+/// copying the graph.
 struct BfsBans {
   const std::vector<std::uint8_t>* banned_vertex = nullptr;  // size n, 1=ban
   const std::vector<std::uint8_t>* banned_edge_mask = nullptr;  // size m, 1=ban
   EdgeId banned_edge = kInvalidEdge;
+  /// Second scalar edge ban: lets a caller express a two-edge failure (or
+  /// an ambient first failure under a second banned edge) with no mask.
+  EdgeId banned_edge2 = kInvalidEdge;
+  /// Scalar vertex ban, composable with the mask — one destroyed router on
+  /// top of whatever set the mask already expresses.
+  Vertex banned_vertex_one = kInvalidVertex;
 
   bool vertex_banned(Vertex v) const {
-    return banned_vertex != nullptr &&
-           (*banned_vertex)[static_cast<std::size_t>(v)] != 0;
+    return v == banned_vertex_one ||
+           (banned_vertex != nullptr &&
+            (*banned_vertex)[static_cast<std::size_t>(v)] != 0);
   }
   bool edge_banned(EdgeId e) const {
-    return e == banned_edge ||
+    return e == banned_edge || e == banned_edge2 ||
            (banned_edge_mask != nullptr &&
             (*banned_edge_mask)[static_cast<std::size_t>(e)] != 0);
   }

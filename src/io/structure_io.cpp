@@ -1,5 +1,6 @@
 #include "src/io/structure_io.hpp"
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
 
@@ -17,17 +18,37 @@ std::string next_data_line(std::istream& is) {
   }
   return {};
 }
+
+/// Position of edge e in the (ascending) structure edge list — the index
+/// space the pair tables are serialized in.
+std::int64_t edge_index_in(const std::vector<EdgeId>& edges, EdgeId e) {
+  const auto it = std::lower_bound(edges.begin(), edges.end(), e);
+  FTB_CHECK_MSG(it != edges.end() && *it == e,
+                "pair-table edge " << e << " is not a structure edge");
+  return it - edges.begin();
+}
 }  // namespace
 
 void write_structure(const FtBfsStructure& h, std::span<const Vertex> sources,
+                     std::span<const DualSiteTable> pair_tables,
                      std::ostream& os) {
   const Graph& g = h.graph();
+  const bool dual = h.fault_class() == FaultClass::kDual;
   const bool multi = sources.size() > 1;
   FTB_CHECK_MSG(sources.empty() || sources.front() == h.source(),
                 "sources.front() must be the structure's anchor source");
-  os << "ftbfs-structure " << (multi ? 3 : 2) << "\n";
+  FTB_CHECK_MSG(pair_tables.empty() || dual,
+                "pair tables belong to dual-failure artifacts only");
+  FTB_CHECK_MSG(pair_tables.empty() || pair_tables.size() == sources.size(),
+                "need one pair table per source (got "
+                    << pair_tables.size() << " tables for " << sources.size()
+                    << " sources)");
+  const int version = dual ? 4 : (multi ? 3 : 2);
+  os << "ftbfs-structure " << version << "\n";
   os << "fault-model " << to_string(h.fault_class()) << '\n';
-  if (multi) {
+  if (version >= 3) {
+    // v3 reached this line only for multi-source artifacts; v4 always
+    // writes it (the loader reads it unconditionally from v3 up).
     os << "sources " << sources.size();
     for (const Vertex s : sources) os << ' ' << s;
     os << '\n';
@@ -47,27 +68,63 @@ void write_structure(const FtBfsStructure& h, std::span<const Vertex> sources,
     if (is_tree[static_cast<std::size_t>(e)]) flags |= 2;
     os << u << ' ' << v << ' ' << flags << '\n';
   }
+  if (version >= 4) {
+    // The dual pair tables: per source, per first-failure site, the edge
+    // set of the punctured single-fault structure H_f as indices into the
+    // edge section above (ascending EdgeId order, so indices ascend too).
+    os << "# pair tables: site <e u v|v x> <count> <edge indices>\n";
+    os << "pair-tables " << pair_tables.size() << '\n';
+    for (std::size_t si = 0; si < pair_tables.size(); ++si) {
+      const DualSiteTable& t = pair_tables[si];
+      os << "source-tables " << sources[si] << ' ' << t.num_sites() << '\n';
+      for (std::size_t i = 0; i < t.num_sites(); ++i) {
+        const DualSite f = t.sites[i];
+        if (f.kind == FaultClass::kEdge) {
+          const auto [u, v] = g.edge(f.id);
+          os << "site e " << u << ' ' << v;
+        } else {
+          os << "site v " << f.id;
+        }
+        const auto sub = t.subset(i);
+        os << ' ' << sub.size();
+        for (const EdgeId e : sub) os << ' ' << edge_index_in(h.edges(), e);
+        os << '\n';
+      }
+    }
+  }
+}
+
+void write_structure(const FtBfsStructure& h, std::span<const Vertex> sources,
+                     std::ostream& os) {
+  write_structure(h, sources, {}, os);
 }
 
 void write_structure(const FtBfsStructure& h, std::ostream& os) {
   const Vertex anchor[] = {h.source()};
-  write_structure(h, anchor, os);
+  write_structure(h, anchor, {}, os);
+}
+
+void save_structure(const FtBfsStructure& h, std::span<const Vertex> sources,
+                    std::span<const DualSiteTable> pair_tables,
+                    const std::string& path) {
+  std::ofstream f(path);
+  FTB_CHECK_MSG(f.good(), "cannot open " << path << " for writing");
+  write_structure(h, sources, pair_tables, f);
 }
 
 void save_structure(const FtBfsStructure& h, std::span<const Vertex> sources,
                     const std::string& path) {
-  std::ofstream f(path);
-  FTB_CHECK_MSG(f.good(), "cannot open " << path << " for writing");
-  write_structure(h, sources, f);
+  save_structure(h, sources, {}, path);
 }
 
 void save_structure(const FtBfsStructure& h, const std::string& path) {
   const Vertex anchor[] = {h.source()};
-  save_structure(h, anchor, path);
+  save_structure(h, anchor, {}, path);
 }
 
 FtBfsStructure read_structure(const Graph& g, std::istream& is,
-                              std::vector<Vertex>* sources_out) {
+                              std::vector<Vertex>* sources_out,
+                              std::vector<DualSiteTable>* tables_out) {
   const std::string magic = next_data_line(is);
   FTB_CHECK_MSG(magic.rfind("ftbfs-structure", 0) == 0,
                 "bad magic line '" << magic << "'");
@@ -76,11 +133,12 @@ FtBfsStructure read_structure(const Graph& g, std::istream& is,
     std::istringstream ms(magic);
     std::string word;
     ms >> word >> version;
-    FTB_CHECK_MSG(version >= 1 && version <= 3,
+    FTB_CHECK_MSG(version >= 1 && version <= 4,
                   "unsupported structure version " << version);
   }
   // Version 2 added the fault-model tag (version 1 is an edge-model
-  // artifact by definition); version 3 added the multi-source line.
+  // artifact by definition); version 3 added the multi-source line;
+  // version 4 the dual-failure model and its pair tables.
   FaultClass fault_class = FaultClass::kEdge;
   if (version >= 2) {
     const std::string model_line = next_data_line(is);
@@ -90,6 +148,13 @@ FtBfsStructure read_structure(const Graph& g, std::istream& is,
     FTB_CHECK_MSG(word == "fault-model",
                   "expected fault-model line, got '" << model_line << "'");
     fault_class = parse_fault_class(tag);
+    if (version < 4 && fault_class == FaultClass::kDual) {
+      // Pre-v4 artifacts used "dual" for the single-failure edge ∪ vertex
+      // union — load them as what they are.
+      fault_class = FaultClass::kEither;
+    }
+    FTB_CHECK_MSG(version >= 4 || fault_class != FaultClass::kDual,
+                  "dual-failure artifacts require format version 4");
   }
   std::vector<Vertex> sources;
   if (version >= 3) {
@@ -149,17 +214,102 @@ FtBfsStructure read_structure(const Graph& g, std::istream& is,
     if (flags & 1) reinforced.push_back(e);
     if (flags & 2) tree_edges.push_back(e);
   }
+
+  std::vector<DualSiteTable> tables;
+  if (version >= 4) {
+    // Index space of the tables: the edge section sorted ascending (which
+    // is also how write_structure emits it — but a hand-edited file may
+    // not be sorted, so map through an explicitly sorted copy).
+    std::vector<EdgeId> sorted_edges = edges;
+    std::sort(sorted_edges.begin(), sorted_edges.end());
+    const std::string pt = next_data_line(is);
+    std::istringstream ps(pt);
+    std::string word;
+    long long num_tables = -1;
+    ps >> word >> num_tables;
+    FTB_CHECK_MSG(word == "pair-tables" && num_tables >= 0,
+                  "expected pair-tables line, got '" << pt << "'");
+    FTB_CHECK_MSG(num_tables == 0 ||
+                      num_tables == static_cast<long long>(sources.size()),
+                  "pair-tables count " << num_tables << " does not match "
+                                       << sources.size() << " sources");
+    for (long long ti = 0; ti < num_tables; ++ti) {
+      const std::string st = next_data_line(is);
+      std::istringstream ss(st);
+      std::string w;
+      long long src = -1, num_sites = -1;
+      ss >> w >> src >> num_sites;
+      FTB_CHECK_MSG(w == "source-tables" && num_sites >= 0 &&
+                        src == sources[static_cast<std::size_t>(ti)],
+                    "expected source-tables line for source "
+                        << sources[static_cast<std::size_t>(ti)] << ", got '"
+                        << st << "'");
+      DualSiteTable table;
+      table.offsets.push_back(0);
+      for (long long i = 0; i < num_sites; ++i) {
+        const std::string line = next_data_line(is);
+        FTB_CHECK_MSG(!line.empty(), "expected " << num_sites
+                                                 << " site lines, got " << i);
+        std::istringstream ls(line);
+        std::string kw, kind;
+        ls >> kw >> kind;
+        FTB_CHECK_MSG(kw == "site" && (kind == "e" || kind == "v"),
+                      "bad site line '" << line << "'");
+        DualSite f;
+        if (kind == "e") {
+          long long u = -1, v = -1;
+          ls >> u >> v;
+          FTB_CHECK_MSG(ls && u >= 0 && v >= 0,
+                        "bad site line '" << line << "'");
+          f.kind = FaultClass::kEdge;
+          f.id = g.find_edge(static_cast<Vertex>(u), static_cast<Vertex>(v));
+          FTB_CHECK_MSG(f.id != kInvalidEdge,
+                        "site edge (" << u << "," << v
+                                      << ") missing from the graph");
+        } else {
+          long long x = -1;
+          ls >> x;
+          FTB_CHECK_MSG(ls && x >= 0 && x < n,
+                        "bad site line '" << line << "'");
+          f.kind = FaultClass::kVertex;
+          f.id = static_cast<std::int32_t>(x);
+        }
+        long long cnt = -1;
+        ls >> cnt;
+        FTB_CHECK_MSG(ls && cnt >= 0, "bad site line '" << line << "'");
+        std::vector<EdgeId> sub;
+        sub.reserve(static_cast<std::size_t>(cnt));
+        for (long long k = 0; k < cnt; ++k) {
+          long long idx = -1;
+          ls >> idx;
+          FTB_CHECK_MSG(ls && idx >= 0 && idx < mh,
+                        "pair-table edge index out of range in '" << line
+                                                                  << "'");
+          sub.push_back(sorted_edges[static_cast<std::size_t>(idx)]);
+        }
+        std::sort(sub.begin(), sub.end());
+        table.sites.push_back(f);
+        table.edge_pool.insert(table.edge_pool.end(), sub.begin(), sub.end());
+        table.offsets.push_back(
+            static_cast<std::int64_t>(table.edge_pool.size()));
+      }
+      tables.push_back(std::move(table));
+    }
+  }
+
   if (sources_out != nullptr) *sources_out = std::move(sources);
+  if (tables_out != nullptr) *tables_out = std::move(tables);
   return FtBfsStructure(g, static_cast<Vertex>(source), std::move(edges),
                         std::move(reinforced), std::move(tree_edges),
                         fault_class);
 }
 
 FtBfsStructure load_structure(const Graph& g, const std::string& path,
-                              std::vector<Vertex>* sources_out) {
+                              std::vector<Vertex>* sources_out,
+                              std::vector<DualSiteTable>* tables_out) {
   std::ifstream f(path);
   FTB_CHECK_MSG(f.good(), "cannot open " << path);
-  return read_structure(g, f, sources_out);
+  return read_structure(g, f, sources_out, tables_out);
 }
 
 }  // namespace ftb::io

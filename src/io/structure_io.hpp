@@ -3,21 +3,32 @@
 // A deployment artifact: the operator builds H once, ships the purchase
 // plan (which links to buy as backup, which to reinforce, and which
 // failure model the plan insures against), and reloads it later against
-// the same network. Format (text, '#' comments):
+// the same network. The byte-level grammar of every version (v1…v4) is
+// specified normatively in docs/file_formats.md; the shape at a glance
+// (text, '#' comments):
 //
-//   ftbfs-structure 3
-//   fault-model <edge|vertex|dual>
-//   sources <k> <s_0> ... <s_{k-1}>   # v3 only, multi-source artifacts
+//   ftbfs-structure 4
+//   fault-model <edge|vertex|either|dual>
+//   sources <k> <s_0> ... <s_{k-1}>   # v3: multi-source only; v4: always
 //   <n> <|E(H)|> <source>
 //   <u> <v> <flags>        # one line per structure edge;
 //                          # flags bit 0 = reinforced, bit 1 = tree edge
+//   pair-tables <k>        # v4 only: per-source dual first-failure tables
+//   source-tables <s> <num_sites>
+//   site e <u> <v> <cnt> <edge-index...>   # indices into the edge section
+//   site v <x> <cnt> <edge-index...>
 //
-// Single-source artifacts are still written as version 2 (no sources
-// line), so files produced before the ftb::api facade landed are byte-
-// stable. Version 1 files (no fault-model line) load and default to the
-// edge model. Loading validates against the given graph (endpoints must
-// exist as edges) and reconstructs the exact edge partition + fault tag +
-// source set.
+// Version history: v1 has no fault-model line (edge model by definition);
+// v2 added the fault-model tag; v3 added the sources line for FT-MBFS
+// artifacts; v4 carries the dual-failure model and its pair tables. The
+// tag "dual" in v2/v3 artifacts denotes what is now called the "either"
+// union (one failure of either kind) and loads as FaultClass::kEither;
+// only v4 artifacts mean two simultaneous failures by it. Single-source
+// non-dual artifacts still write v2 byte-stably, multi-source ones v3, so
+// files produced by earlier releases round-trip unchanged. Loading
+// validates against the given graph (endpoints must exist as edges) and
+// reconstructs the exact edge partition + fault tag + source set (+ pair
+// tables for v4).
 #pragma once
 
 #include <iosfwd>
@@ -25,6 +36,7 @@
 #include <string>
 #include <vector>
 
+#include "src/core/dual_fault.hpp"
 #include "src/core/structure.hpp"
 
 namespace ftb::io {
@@ -35,19 +47,36 @@ void save_structure(const FtBfsStructure& h, const std::string& path);
 /// Multi-source variant (what api::Session::save uses): `sources` is the
 /// FT-MBFS source set, sources.front() == h.source(). A single-source set
 /// writes the plain v2 artifact; several sources write v3 with a sources
-/// line.
+/// line; a dual-failure structure always writes v4.
 void write_structure(const FtBfsStructure& h, std::span<const Vertex> sources,
                      std::ostream& os);
 void save_structure(const FtBfsStructure& h, std::span<const Vertex> sources,
                     const std::string& path);
 
-/// Parses a structure against `g`. Throws CheckError on malformed input,
-/// unknown edges, an unknown fault-model tag, or a vertex-count mismatch.
-/// When `sources_out` is non-null it receives the artifact's source set
-/// ({h.source()} for v1/v2 artifacts and single-source v3 ones).
+/// Dual-failure variant: also serializes the per-source pair tables
+/// (aligned with `sources`; pass empty to write a v4 artifact whose tables
+/// the loader will have to rebuild). Non-dual structures ignore
+/// `pair_tables` and fall back to the v2/v3 forms above.
+void write_structure(const FtBfsStructure& h, std::span<const Vertex> sources,
+                     std::span<const DualSiteTable> pair_tables,
+                     std::ostream& os);
+void save_structure(const FtBfsStructure& h, std::span<const Vertex> sources,
+                    std::span<const DualSiteTable> pair_tables,
+                    const std::string& path);
+
+/// Parses a structure against `g`. Throws CheckError on malformed input:
+/// a bad magic line, an unsupported version, an unknown fault-model tag, a
+/// vertex-count mismatch, unknown edges, truncated edge or pair-table
+/// sections, or a duplicated / out-of-range source set. When `sources_out`
+/// is non-null it receives the artifact's source set ({h.source()} for
+/// v1/v2 artifacts and single-source v3 ones); when `tables_out` is
+/// non-null it receives the v4 pair tables (empty for v1–v3 artifacts and
+/// v4 files written without tables).
 FtBfsStructure read_structure(const Graph& g, std::istream& is,
-                              std::vector<Vertex>* sources_out = nullptr);
+                              std::vector<Vertex>* sources_out = nullptr,
+                              std::vector<DualSiteTable>* tables_out = nullptr);
 FtBfsStructure load_structure(const Graph& g, const std::string& path,
-                              std::vector<Vertex>* sources_out = nullptr);
+                              std::vector<Vertex>* sources_out = nullptr,
+                              std::vector<DualSiteTable>* tables_out = nullptr);
 
 }  // namespace ftb::io

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "src/api/ftbfs_api.hpp"
+#include "src/core/dual_fault.hpp"
 #include "src/graph/bfs_kernel.hpp"
 #include "src/graph/canonical_bfs.hpp"
 
@@ -97,6 +98,68 @@ std::vector<Vertex> sample_vertex_storm(const FtBfsStructure& h,
 
 }  // namespace
 
+namespace {
+
+/// The dual storm: `num_failures` unordered failure PAIRS drawn from the
+/// full universe (every edge, every non-source router), deterministically
+/// from `seed`. Shared by the structure- and session-served dual drills.
+std::vector<std::pair<DualSite, DualSite>> sample_pair_storm(
+    const FtBfsStructure& h, std::int64_t num_failures, std::uint64_t seed) {
+  const Graph& g = h.graph();
+  std::vector<DualSite> universe;
+  universe.reserve(static_cast<std::size_t>(g.num_edges()) +
+                   static_cast<std::size_t>(g.num_vertices()));
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    universe.push_back(DualSite{FaultClass::kEdge, e});
+  }
+  for (Vertex x = 0; x < g.num_vertices(); ++x) {
+    if (x != h.source()) universe.push_back(DualSite{FaultClass::kVertex, x});
+  }
+  Rng rng(seed);
+  std::vector<std::pair<DualSite, DualSite>> storm;
+  storm.reserve(static_cast<std::size_t>(num_failures));
+  for (std::int64_t i = 0; i < num_failures; ++i) {
+    DualSite a = universe[rng.next_below(universe.size())];
+    DualSite b = universe[rng.next_below(universe.size())];
+    if (b < a) std::swap(a, b);
+    storm.emplace_back(a, b);
+  }
+  return storm;
+}
+
+}  // namespace
+
+/// Dual-failure drill against the structure alone: every sampled pair is
+/// played build-then-verify style — brute-force two-failure BFS of the
+/// surviving network vs BFS of the surviving structure.
+DrillReport run_dual_failure_drill(const FtBfsStructure& h,
+                                   std::int64_t num_failures,
+                                   std::uint64_t seed) {
+  const Graph& g = h.graph();
+  const Vertex s = h.source();
+  const auto storm = sample_pair_storm(h, num_failures, seed);
+
+  DrillReport report;
+  double dist_sum = 0;
+  std::int64_t dist_count = 0;
+  BfsScratch in_g, in_h;
+  for (const auto& [f1, f2] : storm) {
+    ++report.drills;
+    dual_bruteforce_bfs(g, s, f1, f2, in_g);
+    dual_structure_bfs(h, f1, f2, in_h);
+    for (Vertex v = 0; v < g.num_vertices(); ++v) {
+      if ((f1.kind == FaultClass::kVertex && v == f1.id) ||
+          (f2.kind == FaultClass::kVertex && v == f2.id)) {
+        continue;  // destroyed router
+      }
+      score_pair(in_g.dist(v), in_h.dist(v), report, dist_sum, dist_count);
+    }
+  }
+  report.avg_distance =
+      dist_count > 0 ? dist_sum / static_cast<double>(dist_count) : 0.0;
+  return report;
+}
+
 DrillReport run_failure_drill(const FtBfsStructure& h,
                               std::int64_t num_failures, std::uint64_t seed) {
   const Graph& g = h.graph();
@@ -180,9 +243,11 @@ DrillReport run_failure_drill(const FtBfsStructure& h, FaultClass model,
       return run_failure_drill(h, num_failures, seed);
     case FaultClass::kVertex:
       return run_vertex_failure_drill(h, num_failures, seed);
-    case FaultClass::kDual:
+    case FaultClass::kEither:
       return merge_reports(run_failure_drill(h, num_failures, seed),
                            run_vertex_failure_drill(h, num_failures, seed));
+    case FaultClass::kDual:
+      return run_dual_failure_drill(h, num_failures, seed);
   }
   return {};
 }
@@ -285,6 +350,66 @@ DrillReport run_session_vertex_drill(const api::Session& session,
       });
 }
 
+/// Dual-failure drill through the session plane: the surviving-network
+/// side of every comparison is one batched IN-MODEL pair query (grouped by
+/// distinct pair — the production serving path), the surviving-structure
+/// side a literal two-failure BFS of H. Build-then-verify: any
+/// disagreement is a violation in the report.
+DrillReport run_session_dual_drill(const api::Session& session,
+                                   std::int64_t num_failures,
+                                   std::uint64_t seed) {
+  const FtBfsStructure& h = session.structure();
+  const Graph& g = session.graph();
+  const Vertex n = g.num_vertices();
+  const auto storm = sample_pair_storm(h, num_failures, seed);
+  const std::size_t chunk = std::max<std::size_t>(
+      1, kMaxBatchQueries / std::max<std::size_t>(
+                                1, static_cast<std::size_t>(n)));
+
+  DrillReport report;
+  double dist_sum = 0;
+  std::int64_t dist_count = 0;
+  BfsScratch in_h;
+  std::vector<api::Query> batch;
+  for (std::size_t begin = 0; begin < storm.size(); begin += chunk) {
+    const std::size_t end = std::min(storm.size(), begin + chunk);
+    batch.clear();
+    for (std::size_t i = begin; i < end; ++i) {
+      const auto& [f1, f2] = storm[i];
+      for (Vertex v = 0; v < n; ++v) {
+        api::Query q;
+        q.v = v;
+        q.kind = f1.kind;
+        q.fault = f1.id;
+        q.kind2 = f2.kind;
+        q.fault2 = f2.id;
+        batch.push_back(q);
+      }
+    }
+    const api::QueryResponse resp = session.query(batch);
+    FTB_CHECK_MSG(resp.refused == 0,
+                  "session refused in-model dual drill queries — storm does "
+                  "not match the session's fault model");
+    std::size_t qi = 0;
+    for (std::size_t i = begin; i < end; ++i) {
+      const auto& [f1, f2] = storm[i];
+      ++report.drills;
+      dual_structure_bfs(h, f1, f2, in_h);
+      for (Vertex v = 0; v < n; ++v, ++qi) {
+        if ((f1.kind == FaultClass::kVertex && v == f1.id) ||
+            (f2.kind == FaultClass::kVertex && v == f2.id)) {
+          continue;  // destroyed router
+        }
+        score_pair(resp.results[qi].dist, in_h.dist(v), report, dist_sum,
+                   dist_count);
+      }
+    }
+  }
+  report.avg_distance =
+      dist_count > 0 ? dist_sum / static_cast<double>(dist_count) : 0.0;
+  return report;
+}
+
 }  // namespace
 
 DrillReport run_failure_drill(const api::Session& session, FaultClass storm,
@@ -303,12 +428,16 @@ DrillReport run_failure_drill(const api::Session& session, FaultClass storm,
                     "vertex storm on an edge-model session — drill the "
                     "structure overload instead");
       return run_session_vertex_drill(session, num_failures, seed);
-    case FaultClass::kDual:
+    case FaultClass::kEither:
       FTB_CHECK_MSG(covers_edge && covers_vertex,
-                    "dual storm needs a dual-model session");
+                    "either storm needs a session covering both kinds");
       return merge_reports(
           run_session_edge_drill(session, num_failures, seed),
           run_session_vertex_drill(session, num_failures, seed));
+    case FaultClass::kDual:
+      FTB_CHECK_MSG(model == FaultClass::kDual,
+                    "dual-failure storm needs a dual-model session");
+      return run_session_dual_drill(session, num_failures, seed);
   }
   return {};
 }

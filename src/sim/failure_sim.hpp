@@ -49,9 +49,19 @@ DrillReport run_vertex_failure_drill(const FtBfsStructure& h,
                                      std::int64_t num_failures,
                                      std::uint64_t seed);
 
+/// Simulates `num_failures` DUAL failures — unordered pairs drawn from the
+/// full universe (every edge, every non-source router) — build-then-verify
+/// style: each pair is scored as brute-force two-failure BFS of the
+/// surviving network vs BFS of the surviving structure. Deterministic
+/// given `seed`. A correct dual structure reports zero violations.
+DrillReport run_dual_failure_drill(const FtBfsStructure& h,
+                                   std::int64_t num_failures,
+                                   std::uint64_t seed);
+
 /// Fault-model dispatch: edge → run_failure_drill, vertex →
-/// run_vertex_failure_drill, dual → both (reports merged; `num_failures`
-/// applies to each storm separately).
+/// run_vertex_failure_drill, either → both single-fault storms (reports
+/// merged; `num_failures` applies to each storm separately), dual →
+/// run_dual_failure_drill (pair storm).
 DrillReport run_failure_drill(const FtBfsStructure& h, FaultClass model,
                               std::int64_t num_failures, std::uint64_t seed);
 
@@ -61,7 +71,10 @@ DrillReport run_failure_drill(const FtBfsStructure& h, FaultClass model,
 /// (O(1) per query off the engine tables) instead of a literal BFS of
 /// G \ {fault} per drill — halving the traversals per drill and exercising
 /// the production query plane. `storm` must be covered by the session's
-/// fault model (CheckError otherwise); kDual runs both storms and merges.
+/// fault model (CheckError otherwise); kEither runs both single-fault
+/// storms and merges; kDual plays a PAIR storm whose surviving-network
+/// side is answered by batched in-model dual queries (one site-restricted
+/// traversal per distinct pair).
 DrillReport run_failure_drill(const api::Session& session, FaultClass storm,
                               std::int64_t num_failures, std::uint64_t seed);
 

@@ -360,6 +360,74 @@ TEST(ApiSessionConcurrency, ManyThreadsMixedBatchesMatchSerial) {
   (void)h;
 }
 
+TEST(ApiSessionConcurrency, DualPairStormManyThreadsMatchSerial) {
+  // The dual plane's shared state — pair grouping, leased DualQueryArenas
+  // with their site-complement masks, the oracle's O(1) reductions — must
+  // hold under concurrent mixed batches exactly like the single-fault
+  // plane. Runs under TSan via the concurrency label.
+  const Graph g = gen::random_connected(36, 90, 41);
+  api::BuildSpec spec;
+  spec.fault_model = FaultClass::kDual;
+  const api::Session session = api::Session::open(g, spec);
+
+  std::vector<Query> all;
+  for (EdgeId e = 0; e < g.num_edges(); e += 3) {
+    for (Vertex x = 1; x < g.num_vertices(); x += 5) {
+      for (Vertex v = 0; v < g.num_vertices(); v += 4) {
+        Query q;
+        q.v = v;
+        q.kind = FaultClass::kEdge;
+        q.fault = e;
+        q.kind2 = FaultClass::kVertex;
+        q.fault2 = x;
+        all.push_back(q);
+        // Mix in the single-fault planes of the same session.
+        Query single;
+        single.v = v;
+        single.kind = FaultClass::kVertex;
+        single.fault = x;
+        all.push_back(single);
+      }
+    }
+  }
+
+  std::vector<api::QueryResult> expected;
+  expected.reserve(all.size());
+  for (const Query& q : all) expected.push_back(session.query_one(q));
+
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 4;
+  std::vector<std::string> failures(kThreads);
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      Rng rng(static_cast<std::uint64_t>(7000 + t));
+      for (int round = 0; round < kRounds; ++round) {
+        std::vector<std::uint32_t> order(all.size());
+        for (std::uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+        rng.shuffle(order);
+        std::vector<Query> batch;
+        batch.reserve(order.size());
+        for (const std::uint32_t i : order) batch.push_back(all[i]);
+        const QueryResponse resp = session.query(batch);
+        for (std::size_t k = 0; k < order.size(); ++k) {
+          const api::QueryResult& want = expected[order[k]];
+          const api::QueryResult& got = resp.results[k];
+          if (got.dist != want.dist || got.outcome != want.outcome) {
+            failures[static_cast<std::size_t>(t)] =
+                "thread " + std::to_string(t) + " round " +
+                std::to_string(round) + " query " + std::to_string(order[k]);
+            return;
+          }
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  for (const std::string& f : failures) EXPECT_EQ(f, "");
+}
+
 TEST(ApiSessionConcurrency, ConcurrentSessionsShareTheGlobalPool) {
   // Two independent sessions, queried from competing threads, both backed
   // by the global ThreadPool: results must stay exact.

@@ -1,0 +1,420 @@
+// dual_fault_test.cpp — the dual-failure differential suite.
+//
+// Every answer the dual pipeline can serve — structure BFS, oracle fast
+// paths, batched Session queries, reloaded v4 artifacts — is pinned
+// bit-identical against brute-force two-failure BFS on several graph
+// families (random, dense, long-path, grid: the adversarial shapes differ
+// in where replacement paths can run).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "src/api/ftbfs_api.hpp"
+#include "src/core/dual_fault.hpp"
+#include "src/core/replacement.hpp"
+#include "src/core/vertex_ftbfs.hpp"
+#include "src/graph/generators.hpp"
+#include "src/io/structure_io.hpp"
+#include "src/sim/failure_sim.hpp"
+#include "tests/test_util.hpp"
+
+namespace ftb {
+namespace {
+
+std::vector<test::FamilyCase> dual_families() {
+  std::vector<test::FamilyCase> out;
+  out.push_back({"conn40", gen::random_connected(40, 90, 7), 0});
+  out.push_back({"gnm36", gen::gnm(36, 140, 3), 0});
+  out.push_back({"path24", gen::path_graph(24), 0});  // long-path adversary
+  out.push_back({"grid5x6", gen::grid_graph(5, 6), 2});
+  return out;
+}
+
+/// The full failure universe of (g, source): every edge, every non-source
+/// vertex — the same enumeration verify_dual_structure uses.
+std::vector<DualSite> universe_of(const Graph& g, Vertex s) {
+  std::vector<DualSite> u;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    u.push_back(DualSite{FaultClass::kEdge, e});
+  }
+  for (Vertex x = 0; x < g.num_vertices(); ++x) {
+    if (x != s) u.push_back(DualSite{FaultClass::kVertex, x});
+  }
+  return u;
+}
+
+TEST(DualFault, StructureMatchesBruteForceOnEveryPair) {
+  for (const auto& fc : dual_families()) {
+    api::BuildSpec spec;
+    spec.fault_model = FaultClass::kDual;
+    spec.sources = {fc.source};
+    const api::BuildResult res = api::build(fc.graph, spec);
+    EXPECT_EQ(res.structure.fault_class(), FaultClass::kDual);
+    EXPECT_EQ(res.structure.num_reinforced(), 0) << fc.name;
+    ASSERT_EQ(res.dual_tables.size(), 1u);
+    // Exhaustive: every unordered failure pair, every vertex.
+    EXPECT_EQ(verify_dual_structure(res.structure, /*max_pairs=*/-1), 0)
+        << fc.name;
+  }
+}
+
+TEST(DualFault, SessionServesEveryPairBitIdenticalToBruteForce) {
+  for (const auto& fc : dual_families()) {
+    const Graph& g = fc.graph;
+    api::BuildSpec spec;
+    spec.fault_model = FaultClass::kDual;
+    spec.sources = {fc.source};
+    const api::Session session = api::Session::open(g, spec);
+
+    const auto universe = universe_of(g, fc.source);
+    // Stride the universe so the suite stays fast but still mixes every
+    // classification: tree/non-tree edges, internal/leaf vertices.
+    const std::size_t stride = universe.size() > 60 ? 5 : 1;
+    std::vector<std::pair<DualSite, DualSite>> pairs;
+    for (std::size_t i = 0; i < universe.size(); i += stride) {
+      for (std::size_t j = i; j < universe.size(); j += stride) {
+        pairs.emplace_back(universe[i], universe[j]);
+      }
+    }
+    std::vector<api::Query> batch;
+    for (const auto& [a, b] : pairs) {
+      for (Vertex v = 0; v < g.num_vertices(); ++v) {
+        api::Query q;
+        q.v = v;
+        q.kind = a.kind;
+        q.fault = a.id;
+        q.kind2 = b.kind;
+        q.fault2 = b.id;
+        batch.push_back(q);
+      }
+    }
+    const api::QueryResponse resp = session.query(batch);
+    EXPECT_EQ(resp.refused, 0) << fc.name;
+    EXPECT_EQ(resp.in_model, static_cast<std::int64_t>(batch.size()))
+        << fc.name;
+    EXPECT_LE(resp.pair_traversals, static_cast<std::int64_t>(pairs.size()))
+        << fc.name;
+
+    BfsScratch truth;
+    std::size_t qi = 0;
+    for (const auto& [a, b] : pairs) {
+      dual_bruteforce_bfs(g, fc.source, a, b, truth);
+      for (Vertex v = 0; v < g.num_vertices(); ++v, ++qi) {
+        const bool destroyed = (a.kind == FaultClass::kVertex && a.id == v) ||
+                               (b.kind == FaultClass::kVertex && b.id == v);
+        const std::int32_t want = destroyed ? kInfHops : truth.dist(v);
+        ASSERT_EQ(resp.results[qi].dist, want)
+            << fc.name << " v=" << v << " f1=(" << static_cast<int>(a.kind)
+            << "," << a.id << ") f2=(" << static_cast<int>(b.kind) << ","
+            << b.id << ")";
+      }
+    }
+  }
+}
+
+TEST(DualFault, OracleFastPathsAreExactAndTraversalFree) {
+  const Graph g = gen::random_connected(40, 110, 13);
+  api::BuildSpec spec;
+  spec.fault_model = FaultClass::kDual;
+  const api::BuildResult res = api::build(g, spec);
+
+  const EdgeWeights w = EdgeWeights::uniform_random(g, spec.weight_seed);
+  const BfsTree tree(g, w, 0);
+  ReplacementPathEngine::Config cfg;
+  cfg.collect_detours = false;
+  const ReplacementPathEngine ee(tree, cfg);
+  VertexReplacementEngine::Config vcfg;
+  vcfg.collect_detours = false;
+  const VertexReplacementEngine ve(tree, vcfg);
+  const DualFaultOracle oracle(tree, ee, ve, res.dual_tables.front());
+  DualQueryArena arena;
+
+  // (a) a doubled element degenerates to the single-fault tables;
+  // (b) two off-tree elements (non-tree edge + leaf vertex) reduce to
+  //     tree depths;
+  // (c) a sited first element with a second edge outside H_f reuses the
+  //     single-fault answer.
+  EdgeId nontree = kInvalidEdge;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (!tree.is_tree_edge(e)) {
+      nontree = e;
+      break;
+    }
+  }
+  ASSERT_NE(nontree, kInvalidEdge);
+  Vertex leaf = kInvalidVertex;
+  for (Vertex x = 1; x < g.num_vertices(); ++x) {
+    if (tree.reachable(x) && tree.subtree_size(x) == 1) {
+      leaf = x;
+      break;
+    }
+  }
+  ASSERT_NE(leaf, kInvalidVertex);
+  const DualSiteTable& t = res.dual_tables.front();
+  std::pair<DualSite, DualSite> offsite_pair = {DualSite{FaultClass::kEdge,
+                                                         nontree},
+                                                DualSite{FaultClass::kVertex,
+                                                         leaf}};
+  // A (site, off-structure edge) pair, if the graph has an edge outside
+  // the (dense) dual structure.
+  std::vector<std::pair<DualSite, DualSite>> cases = {
+      {DualSite{FaultClass::kEdge, tree.tree_edges().front()},
+       DualSite{FaultClass::kEdge, tree.tree_edges().front()}},
+      {DualSite{FaultClass::kVertex, leaf},
+       DualSite{FaultClass::kVertex, leaf}},
+      offsite_pair,
+  };
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (!res.structure.contains(e)) {
+      cases.push_back({DualSite{FaultClass::kEdge, tree.tree_edges().front()},
+                       DualSite{FaultClass::kEdge, e}});
+      break;
+    }
+  }
+  (void)t;
+  BfsScratch truth;
+  for (const auto& [a, b] : cases) {
+    ASSERT_TRUE(oracle.reducible(a, b));
+    std::int64_t traversals = 0;
+    dual_bruteforce_bfs(g, 0, a, b, truth);
+    for (Vertex v = 0; v < g.num_vertices(); ++v) {
+      const bool destroyed = (a.kind == FaultClass::kVertex && a.id == v) ||
+                             (b.kind == FaultClass::kVertex && b.id == v);
+      EXPECT_EQ(oracle.dist(v, a, b, arena, &traversals),
+                destroyed ? kInfHops : truth.dist(v))
+          << "v=" << v;
+    }
+    EXPECT_EQ(traversals, 0);  // the fast paths never traverse
+  }
+}
+
+TEST(DualFault, SavedSessionReloadsAndServesIdentically) {
+  const Graph g = gen::random_connected(36, 80, 19);
+  api::BuildSpec spec;
+  spec.fault_model = FaultClass::kDual;
+  const api::Session original = api::Session::open(g, spec);
+
+  const std::string path = ::testing::TempDir() + "/dual_session.ftbfs";
+  original.save(path);
+
+  // The artifact is a v4 file with its pair tables.
+  {
+    std::ifstream f(path);
+    std::string first;
+    std::getline(f, first);
+    EXPECT_EQ(first, "ftbfs-structure 4");
+    std::stringstream rest;
+    rest << f.rdbuf();
+    EXPECT_NE(rest.str().find("fault-model dual"), std::string::npos);
+    EXPECT_NE(rest.str().find("pair-tables 1"), std::string::npos);
+  }
+
+  std::vector<Vertex> sources;
+  std::vector<DualSiteTable> tables;
+  const FtBfsStructure reloaded_h =
+      io::load_structure(g, path, &sources, &tables);
+  EXPECT_EQ(reloaded_h.fault_class(), FaultClass::kDual);
+  ASSERT_EQ(tables.size(), 1u);
+
+  const api::Session reloaded = api::Session::load(g, path);
+  std::remove(path.c_str());
+
+  const auto universe = universe_of(g, 0);
+  std::vector<api::Query> batch;
+  for (std::size_t i = 0; i < universe.size(); i += 3) {
+    for (std::size_t j = i; j < universe.size(); j += 7) {
+      for (Vertex v = 0; v < g.num_vertices(); v += 2) {
+        api::Query q;
+        q.v = v;
+        q.kind = universe[i].kind;
+        q.fault = universe[i].id;
+        q.kind2 = universe[j].kind;
+        q.fault2 = universe[j].id;
+        batch.push_back(q);
+      }
+    }
+  }
+  const api::QueryResponse a = original.query(batch);
+  const api::QueryResponse b = reloaded.query(batch);
+  ASSERT_EQ(a.results.size(), b.results.size());
+  for (std::size_t i = 0; i < a.results.size(); ++i) {
+    EXPECT_EQ(a.results[i].dist, b.results[i].dist) << i;
+    EXPECT_EQ(a.results[i].outcome, b.results[i].outcome) << i;
+  }
+}
+
+TEST(DualFault, ArtifactWithoutTablesIsRebuiltOnLoad) {
+  const Graph g = gen::grid_graph(5, 5);
+  api::BuildSpec spec;
+  spec.fault_model = FaultClass::kDual;
+  const api::Session original = api::Session::open(g, spec);
+
+  // A v4 artifact written WITHOUT pair tables (pair-tables 0) still loads;
+  // the session rebuilds the tables deterministically from the weight seed.
+  std::ostringstream os;
+  io::write_structure(original.structure(), original.sources(), {}, os);
+  EXPECT_NE(os.str().find("pair-tables 0"), std::string::npos);
+  const std::string path = ::testing::TempDir() + "/dual_no_tables.ftbfs";
+  {
+    std::ofstream f(path);
+    f << os.str();
+  }
+  const api::Session reloaded = api::Session::load(g, path);
+  std::remove(path.c_str());
+
+  api::Query q;
+  q.v = g.num_vertices() - 1;
+  q.kind = FaultClass::kEdge;
+  q.fault = original.structure().tree_edges().front();
+  q.kind2 = FaultClass::kVertex;
+  q.fault2 = 1;
+  const api::QueryResult ra = original.query_one(q);
+  const api::QueryResult rb = reloaded.query_one(q);
+  EXPECT_EQ(ra.outcome, api::QueryOutcome::kInModel);
+  EXPECT_EQ(ra.dist, rb.dist);
+}
+
+TEST(DualFault, MultiSourceDualServesEverySource) {
+  const Graph g = gen::random_connected(32, 70, 23);
+  api::BuildSpec spec;
+  spec.fault_model = FaultClass::kDual;
+  spec.sources = {0, 17};
+  const api::Session session = api::Session::open(g, spec);
+  ASSERT_EQ(session.sources().size(), 2u);
+
+  // Per-source contract: the union structure re-anchored at each source
+  // still matches brute force on sampled pairs.
+  for (const Vertex s : spec.sources) {
+    const FtBfsStructure view(g, s, session.structure().edges(), {},
+                              session.structure().tree_edges(),
+                              FaultClass::kDual);
+    EXPECT_EQ(verify_dual_structure(view, /*max_pairs=*/400, /*seed=*/5), 0)
+        << "source " << s;
+  }
+
+  // And the batched plane answers for both source indices.
+  const auto universe = universe_of(g, kInvalidVertex);  // all vertices
+  std::vector<api::Query> batch;
+  for (std::int32_t si = 0; si < 2; ++si) {
+    const Vertex src = spec.sources[static_cast<std::size_t>(si)];
+    for (std::size_t i = 0; i < universe.size(); i += 6) {
+      for (std::size_t j = i; j < universe.size(); j += 9) {
+        if ((universe[i].kind == FaultClass::kVertex &&
+             universe[i].id == src) ||
+            (universe[j].kind == FaultClass::kVertex &&
+             universe[j].id == src)) {
+          continue;  // the asking source never fails
+        }
+        for (Vertex v = 0; v < g.num_vertices(); v += 3) {
+          api::Query q;
+          q.v = v;
+          q.kind = universe[i].kind;
+          q.fault = universe[i].id;
+          q.kind2 = universe[j].kind;
+          q.fault2 = universe[j].id;
+          q.source_index = si;
+          batch.push_back(q);
+        }
+      }
+    }
+  }
+  const api::QueryResponse resp = session.query(batch);
+  EXPECT_EQ(resp.refused, 0);
+  BfsScratch truth;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const api::Query& q = batch[i];
+    const Vertex src = spec.sources[static_cast<std::size_t>(q.source_index)];
+    dual_bruteforce_bfs(g, src, DualSite{q.kind, q.fault},
+                        DualSite{q.kind2, q.fault2}, truth);
+    const bool destroyed =
+        (q.kind == FaultClass::kVertex && q.fault == q.v) ||
+        (q.kind2 == FaultClass::kVertex && q.fault2 == q.v);
+    ASSERT_EQ(resp.results[i].dist, destroyed ? kInfHops : truth.dist(q.v))
+        << i;
+  }
+}
+
+TEST(DualFault, PairRefusalAndWhatIfRules) {
+  const Graph g = gen::random_connected(30, 70, 29);
+  // A pair containing the asking source is refused even on a dual session.
+  api::BuildSpec dual_spec;
+  dual_spec.fault_model = FaultClass::kDual;
+  const api::Session dual_session = api::Session::open(g, dual_spec);
+  api::Query q;
+  q.v = 5;
+  q.kind = FaultClass::kVertex;
+  q.fault = 0;  // the source
+  q.kind2 = FaultClass::kEdge;
+  q.fault2 = 0;
+  q.allow_what_if = true;
+  EXPECT_EQ(dual_session.query_one(q).outcome, api::QueryOutcome::kRefused);
+
+  // On a single-fault session a pair is out of model: refused without
+  // allow_what_if, answered by literal BFS on H minus both with it.
+  api::BuildSpec edge_spec;
+  edge_spec.eps = 0.3;
+  const api::Session edge_session = api::Session::open(g, edge_spec);
+  api::Query p;
+  p.v = 7;
+  p.kind = FaultClass::kEdge;
+  p.fault = 1;
+  p.kind2 = FaultClass::kVertex;
+  p.fault2 = 3;
+  EXPECT_EQ(edge_session.query_one(p).outcome, api::QueryOutcome::kRefused);
+  p.allow_what_if = true;
+  const api::QueryResult r = edge_session.query_one(p);
+  EXPECT_EQ(r.outcome, api::QueryOutcome::kWhatIf);
+  // Referee: literal BFS on H minus the pair.
+  const FtBfsStructure& h = edge_session.structure();
+  std::vector<std::uint8_t> mask(static_cast<std::size_t>(g.num_vertices()),
+                                 0);
+  mask[3] = 1;
+  BfsBans bans;
+  bans.banned_edge_mask = &h.complement_mask();
+  bans.banned_edge = 1;
+  bans.banned_vertex = &mask;
+  BfsScratch scratch;
+  bfs_run(g, 0, bans, scratch);
+  EXPECT_EQ(r.dist, scratch.dist(7));
+}
+
+TEST(DualFault, DualDrillsReportZeroViolations) {
+  const Graph g = gen::random_connected(36, 90, 31);
+  api::BuildSpec spec;
+  spec.fault_model = FaultClass::kDual;
+  const api::Session session = api::Session::open(g, spec);
+
+  // Structure-side build-then-verify drill.
+  const DrillReport structural =
+      run_failure_drill(session.structure(), FaultClass::kDual, 200, 3);
+  EXPECT_EQ(structural.violations, 0) << structural.to_string();
+  EXPECT_DOUBLE_EQ(structural.max_stretch, 1.0);
+
+  // Session-served drill: same storm, same verdict.
+  const DrillReport served =
+      run_failure_drill(session, FaultClass::kDual, 200, 3);
+  EXPECT_EQ(served.violations, 0) << served.to_string();
+  EXPECT_EQ(served.drills, structural.drills);
+  EXPECT_EQ(served.reachable_queries, structural.reachable_queries);
+}
+
+TEST(DualFault, WrongWeightSeedIsRefusedAtLoad) {
+  const Graph g = gen::random_connected(30, 80, 37);
+  api::BuildSpec spec;
+  spec.fault_model = FaultClass::kDual;
+  spec.weight_seed = 1234;
+  const api::Session session = api::Session::open(g, spec);
+  const std::string path = ::testing::TempDir() + "/dual_seed.ftbfs";
+  session.save(path);
+  api::SessionConfig cfg;
+  cfg.weight_seed = 1235;
+  EXPECT_THROW(api::Session::load(g, path, cfg), CheckError);
+  cfg.weight_seed = 1234;
+  EXPECT_NO_THROW(api::Session::load(g, path, cfg));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace ftb

@@ -216,7 +216,8 @@ TEST(VertexEngineTest, CoveredTestMatchesLiteralGPrime) {
 
 TEST(FaultClassTest, TagsAndParsingRoundTrip) {
   for (const FaultClass fc :
-       {FaultClass::kEdge, FaultClass::kVertex, FaultClass::kDual}) {
+       {FaultClass::kEdge, FaultClass::kVertex, FaultClass::kEither,
+        FaultClass::kDual}) {
     EXPECT_EQ(parse_fault_class(to_string(fc)), fc);
   }
   EXPECT_THROW(parse_fault_class("meteor"), CheckError);
@@ -224,7 +225,8 @@ TEST(FaultClassTest, TagsAndParsingRoundTrip) {
   const Graph g = gen::gnm(24, 80, 9);
   EXPECT_EQ(build_ftbfs(g, 0).fault_class(), FaultClass::kEdge);
   EXPECT_EQ(build_vertex_ftbfs(g, 0).fault_class(), FaultClass::kVertex);
-  EXPECT_EQ(build_dual_ftbfs(g, 0).fault_class(), FaultClass::kDual);
+  // The legacy "dual" union is the single-failure either model.
+  EXPECT_EQ(build_dual_ftbfs(g, 0).fault_class(), FaultClass::kEither);
 }
 
 }  // namespace

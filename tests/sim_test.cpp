@@ -95,12 +95,13 @@ TEST(FailureSim, FaultClassDispatchMatchesDirectCalls) {
             run_vertex_failure_drill(vh, 40, 9).to_string());
 }
 
-TEST(FailureSim, DualDrillRunsBothStorms) {
+TEST(FailureSim, EitherDrillRunsBothStorms) {
   const Graph g = gen::gnm(32, 140, 75);
-  const FtBfsStructure dual = build_dual_ftbfs(g, 0);
+  const FtBfsStructure dual = build_dual_ftbfs(g, 0);  // kEither union
   const DrillReport edge_rep = run_failure_drill(dual, 1000, 3);
   const DrillReport vrep = run_vertex_failure_drill(dual, 1000, 3);
-  const DrillReport both = run_failure_drill(dual, FaultClass::kDual, 1000, 3);
+  const DrillReport both =
+      run_failure_drill(dual, FaultClass::kEither, 1000, 3);
   EXPECT_EQ(both.drills, edge_rep.drills + vrep.drills);
   EXPECT_EQ(both.violations, 0) << both.to_string();
   EXPECT_DOUBLE_EQ(both.max_stretch, 1.0);

@@ -3,8 +3,10 @@
 
 #include <sstream>
 
+#include "src/core/dual_fault.hpp"
 #include "src/core/epsilon_ftbfs.hpp"
 #include "src/core/ftbfs.hpp"
+#include "src/core/multi_source.hpp"
 #include "src/core/verifier.hpp"
 #include "src/core/vertex_ftbfs.hpp"
 #include "src/graph/generators.hpp"
@@ -67,10 +69,10 @@ TEST(StructureIo, RejectsWrongVertexCount) {
 TEST(StructureIo, FaultModelTagRoundTrips) {
   const Graph g = gen::gnm(36, 150, 11);
   for (const FaultClass model :
-       {FaultClass::kVertex, FaultClass::kDual, FaultClass::kEdge}) {
+       {FaultClass::kVertex, FaultClass::kEither, FaultClass::kEdge}) {
     const FtBfsStructure h = model == FaultClass::kVertex
                                  ? build_vertex_ftbfs(g, 0)
-                                 : model == FaultClass::kDual
+                                 : model == FaultClass::kEither
                                        ? build_dual_ftbfs(g, 0)
                                        : build_ftbfs(g, 0);
     ASSERT_EQ(h.fault_class(), model);
@@ -80,6 +82,52 @@ TEST(StructureIo, FaultModelTagRoundTrips) {
     EXPECT_EQ(back.fault_class(), model);
     EXPECT_EQ(back.edges(), h.edges());
     EXPECT_EQ(back.tree_edges(), h.tree_edges());
+  }
+}
+
+TEST(StructureIo, EveryDocumentedVersionRoundTrips) {
+  // docs/file_formats.md names versions 1–4; v1 is read-only (covered by
+  // Version1FilesLoadAsEdgeModel below), v2–v4 must round-trip through
+  // write_structure/read_structure exactly.
+  const Graph g = gen::random_connected(30, 70, 21);
+  {  // v2 — single-source artifact.
+    const FtBfsStructure h = build_ftbfs(g, 0);
+    std::stringstream ss;
+    io::write_structure(h, ss);
+    EXPECT_EQ(ss.str().rfind("ftbfs-structure 2\n", 0), 0u);
+    const FtBfsStructure back = io::read_structure(g, ss);
+    EXPECT_EQ(back.edges(), h.edges());
+    EXPECT_EQ(back.tree_edges(), h.tree_edges());
+  }
+  {  // v3 — multi-source artifact keeps its source set.
+    EpsilonOptions opts;
+    opts.eps = 0.4;
+    const MultiSourceResult ms = build_epsilon_ftmbfs(g, {0, 9}, opts);
+    std::stringstream ss;
+    io::write_structure(ms.structure, ms.sources, ss);
+    EXPECT_EQ(ss.str().rfind("ftbfs-structure 3\n", 0), 0u);
+    std::vector<Vertex> sources;
+    const FtBfsStructure back = io::read_structure(g, ss, &sources);
+    EXPECT_EQ(sources, ms.sources);
+    EXPECT_EQ(back.edges(), ms.structure.edges());
+    EXPECT_EQ(back.reinforced(), ms.structure.reinforced());
+  }
+  {  // v4 — dual-failure artifact keeps its pair tables verbatim.
+    const DualBuildResult r =
+        detail::build_dual_failure_ftbfs_impl(g, 0, {});
+    std::stringstream ss;
+    const Vertex anchor[] = {0};
+    io::write_structure(r.structure, anchor, {&r.tables, 1}, ss);
+    EXPECT_EQ(ss.str().rfind("ftbfs-structure 4\n", 0), 0u);
+    std::vector<Vertex> sources;
+    std::vector<DualSiteTable> tables;
+    const FtBfsStructure back = io::read_structure(g, ss, &sources, &tables);
+    EXPECT_EQ(back.fault_class(), FaultClass::kDual);
+    EXPECT_EQ(back.edges(), r.structure.edges());
+    ASSERT_EQ(tables.size(), 1u);
+    EXPECT_EQ(tables[0].sites, r.tables.sites);
+    EXPECT_EQ(tables[0].offsets, r.tables.offsets);
+    EXPECT_EQ(tables[0].edge_pool, r.tables.edge_pool);
   }
 }
 
@@ -98,6 +146,21 @@ TEST(StructureIo, Version1FilesLoadAsEdgeModel) {
   EXPECT_EQ(h.fault_class(), FaultClass::kEdge);
   EXPECT_EQ(h.num_edges(), 3);
   EXPECT_EQ(h.num_reinforced(), 1);
+}
+
+TEST(StructureIo, PreV4DualTagLoadsAsEither) {
+  // v2/v3 artifacts used "dual" for the one-failure-of-either-kind union;
+  // the tag keeps meaning that there. Only v4 artifacts mean two
+  // simultaneous failures by it (docs/file_formats.md).
+  const Graph g = gen::path_graph(4);
+  std::stringstream ss(
+      "ftbfs-structure 2\n"
+      "fault-model dual\n"
+      "4 3 0\n"
+      "0 1 2\n"
+      "1 2 2\n"
+      "2 3 2\n");
+  EXPECT_EQ(io::read_structure(g, ss).fault_class(), FaultClass::kEither);
 }
 
 TEST(StructureIo, RejectsBadFaultModelTag) {

@@ -1,0 +1,32 @@
+// deprecation_audit.cpp — the FTB_DEPRECATION_WARNINGS enforcement TU.
+//
+// Calls every legacy build_* wrapper once. Compiled by the CI docs job with
+// FTB_ENABLE_DEPRECATION_WARNINGS defined; the job asserts that the
+// compiler flags ALL SEVEN wrappers as deprecated (see the count in
+// .github/workflows/ci.yml). If someone adds a legacy wrapper without
+// FTB_DEPRECATED, or an attribute is dropped in a refactor, the count
+// changes and the job fails — the opt-in warning can no longer rot
+// silently. (The engine-reuse overloads build_ftbfs(engine) /
+// build_vertex_ftbfs(engine) are deliberately NOT deprecated: they are the
+// S0-reuse composition points internal pipelines build on.)
+//
+// This file is only ever compiled with -fsyntax-only; it is not linked
+// into any target.
+#include "src/core/epsilon_ftbfs.hpp"
+#include "src/core/ftbfs.hpp"
+#include "src/core/multi_source.hpp"
+#include "src/core/vertex_ftbfs.hpp"
+
+namespace ftb {
+
+void deprecation_audit(const Graph& g) {
+  (void)build_ftbfs(g, 0);             // 1
+  (void)build_reinforced_tree(g, 0);   // 2
+  (void)build_epsilon_ftbfs(g, 0);     // 3
+  (void)build_vertex_ftbfs(g, 0);      // 4
+  (void)build_dual_ftbfs(g, 0);        // 5 (the kEither union)
+  (void)build_epsilon_ftmbfs(g, {0, 1});  // 6
+  (void)build_vertex_ftmbfs(g, {0, 1});   // 7
+}
+
+}  // namespace ftb

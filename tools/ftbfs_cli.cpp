@@ -6,14 +6,17 @@
 //   ftbfs_cli build    --graph=g.edges --source=0 --eps=0.25 --out=h.ftbfs
 //   ftbfs_cli build    --graph=g.edges --sources=0,5,10 --out=h.ftbfs
 //   ftbfs_cli build    --graph=g.edges --fault-model=vertex --out=h.ftbfs
+//   ftbfs_cli build    --graph=g.edges --fault-model=dual --out=h.ftbfs
 //   ftbfs_cli verify   --graph=g.edges --structure=h.ftbfs
 //   ftbfs_cli drill    --graph=g.edges --structure=h.ftbfs --drills=200
 //   ftbfs_cli frontier --graph=g.edges --source=0
 //
-// build/verify/drill speak both fault models: --fault-model={edge,vertex,
-// dual} selects the construction at build time; verify and drill default to
-// the model tag stored in the structure file and accept the flag as an
-// override. build takes one --source or a comma-separated --sources list
+// build/verify/drill speak every fault model: --fault-model={edge,vertex,
+// either,dual} selects the construction at build time ("either" is the one-
+// failure-of-either-kind union, "dual" the two-simultaneous-failure model
+// of arXiv:1505.00692 — saved as a v4 artifact with its pair tables);
+// verify and drill default to the model tag stored in the structure file
+// and accept the flag as an override. build takes one --source or a comma-separated --sources list
 // (FT-MBFS union, preserved in the artifact). drill serves the storm
 // through an api::Session — the batched query plane answers the surviving-
 // graph side — unless --fault-model overrides the artifact's tag, in which
@@ -32,6 +35,7 @@
 
 #include "src/api/ftbfs_api.hpp"
 #include "src/core/cost_model.hpp"
+#include "src/core/dual_fault.hpp"
 #include "src/core/multi_source.hpp"
 #include "src/core/optimizer.hpp"
 #include "src/core/verifier.hpp"
@@ -58,9 +62,10 @@ int usage() {
          "  info     --graph=PATH\n"
          "  build    --graph=PATH [--source=0 | --sources=0,5,10]\n"
          "           [--eps=0.25] [--out=PATH] [--json]\n"
-         "           [--fault-model=edge|vertex|dual]\n"
+         "           [--fault-model=edge|vertex|either|dual]\n"
          "  verify   --graph=PATH --structure=PATH [--nontree] [--json]\n"
          "           [--fault-model=...]   (default: the structure's tag)\n"
+         "           [--pairs=N]   (dual: failure pairs to check; -1 = all)\n"
          "  drill    --graph=PATH --structure=PATH [--drills=200] [--seed=1]\n"
          "           [--weight-seed=1] [--json]\n"
          "           [--fault-model=...]   (default: the structure's tag)\n"
@@ -163,12 +168,12 @@ api::BuildSpec spec_from_options(const Options& opt) {
   if (spec.fault_model == FaultClass::kEdge) {
     spec.eps = opt.get_double("eps", 0.25);
   } else {
-    // The vertex / dual baselines have no reinforcement tradeoff — ε does
-    // not apply (ESA'13 r = 0 constructions). Refuse a silently-ignored
+    // The vertex / either / dual pipelines have no reinforcement tradeoff
+    // — ε does not apply (r = 0 constructions). Refuse a silently-ignored
     // flag rather than ship a plan the operator believes is ε-tuned.
     FTB_CHECK_MSG(!opt.has("eps"),
-                  "--eps applies only to --fault-model=edge (the vertex/dual "
-                  "baselines have no reinforcement tradeoff)");
+                  "--eps applies only to --fault-model=edge (the other "
+                  "pipelines have no reinforcement tradeoff)");
   }
   spec.weight_seed = static_cast<std::uint64_t>(opt.get_int("seed", 1));
   return spec;
@@ -189,7 +194,9 @@ int cmd_build(const Options& opt) {
   const api::BuildResult res = api::build(g, spec);
   const FtBfsStructure& h = res.structure;
   if (!out.empty()) {
-    io::save_structure(h, res.sources, out);
+    // Dual-failure artifacts ride structure_io v4 with their pair tables;
+    // everything else keeps the v2/v3 forms byte-stably.
+    io::save_structure(h, res.sources, res.dual_tables, out);
   }
 
   if (json) {
@@ -200,6 +207,13 @@ int cmd_build(const Options& opt) {
         .set("m", static_cast<std::int64_t>(g.num_edges()))
         .set_raw("sources", sources_json(res.sources).str(2));
     if (spec.fault_model == FaultClass::kEdge) report.set("eps", spec.eps);
+    if (spec.fault_model == FaultClass::kDual) {
+      std::int64_t sites = 0;
+      for (const DualSiteTable& t : res.dual_tables) {
+        sites += static_cast<std::int64_t>(t.num_sites());
+      }
+      report.set("pair_sites", sites);
+    }
     report.set("edges_in_H", h.num_edges())
         .set("backup_edges", h.num_backup())
         .set("reinforced_edges", h.num_reinforced())
@@ -262,7 +276,47 @@ int cmd_verify(const Options& opt) {
   report.set("command", std::string("verify"))
       .set("fault_model", std::string(to_string(model)))
       .set_raw("sources", sources_json(sources).str(2));
-  if (model == FaultClass::kEdge || model == FaultClass::kDual) {
+  if (model == FaultClass::kDual) {
+    // Dual-failure contract: brute-force two-failure BFS vs the surviving
+    // structure over failure pairs, per source (the union structure is
+    // re-anchored at each source like the other multi-source verifiers).
+    // No non-tree sweep exists here — refuse the flag rather than
+    // silently ignore it, same policy as the multi-source check above.
+    FTB_CHECK_MSG(!opt.has("nontree"),
+                  "--nontree applies only to single-source edge-model "
+                  "artifacts");
+    const std::int64_t pairs = opt.get_int("pairs", 500);
+    const auto seed = static_cast<std::uint64_t>(opt.get_int("seed", 1));
+    std::int64_t violations = 0;
+    for (const Vertex s : sources) {
+      const FtBfsStructure view(g, s, h.edges(), h.reinforced(),
+                                h.tree_edges(), FaultClass::kDual);
+      violations += verify_dual_structure(view, pairs, seed);
+    }
+    if (json) {
+      JsonObject dual;
+      dual.set("ok", violations == 0)
+          .set("pairs_per_source", pairs)
+          .set("violations", violations);
+      report.set_raw("dual", dual.str(2));
+    } else {
+      std::cout << "dual failures: "
+                << (violations == 0 ? "OK" : "BROKEN") << " (pairs=";
+      if (pairs < 0) {
+        std::cout << "all";
+      } else {
+        std::cout << pairs;
+      }
+      std::cout << "/source, violations=" << violations << ")\n";
+    }
+    ok = violations == 0;
+    if (json) {
+      report.set("ok", ok);
+      std::cout << report.str() << "\n";
+    }
+    return ok ? 0 : 1;
+  }
+  if (model == FaultClass::kEdge || model == FaultClass::kEither) {
     std::int64_t failures_checked = -1;
     std::int64_t violations = 0;
     if (multi) {
@@ -290,7 +344,7 @@ int cmd_verify(const Options& opt) {
     }
     ok = ok && violations == 0;
   }
-  if (model == FaultClass::kVertex || model == FaultClass::kDual) {
+  if (model == FaultClass::kVertex || model == FaultClass::kEither) {
     const std::int64_t violations =
         multi ? verify_vertex_multi_source(g, as_multi_source())
               : verify_vertex_structure(h);
@@ -316,7 +370,8 @@ int cmd_drill(const Options& opt) {
   const Graph g = io::load_edge_list(opt.get_string("graph", "graph.edges"));
   const std::string path = opt.get_string("structure", "h.ftbfs");
   std::vector<Vertex> sources;
-  const FtBfsStructure h = io::load_structure(g, path, &sources);
+  std::vector<DualSiteTable> tables;
+  const FtBfsStructure h = io::load_structure(g, path, &sources, &tables);
   const FaultClass model = structure_fault_model(opt, h);
   const bool json = opt.has("json");
   const std::int64_t drills = opt.get_int("drills", 200);
@@ -337,7 +392,8 @@ int cmd_drill(const Options& opt) {
         static_cast<std::uint64_t>(opt.get_int("weight-seed", 1));
     try {
       session.emplace(api::Session::deploy(
-          g, api::BuildResult{spec, sources, FtBfsStructure(h), {}, 0.0}));
+          g, api::BuildResult{spec, sources, FtBfsStructure(h), {}, tables,
+                              0.0}));
     } catch (const CheckError&) {
       if (!json) {
         std::cout << "note: artifact does not match --weight-seed="
