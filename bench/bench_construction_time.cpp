@@ -306,11 +306,88 @@ bool run_query_plane_report(const Graph& g, const FtBfsStructure& h,
 
 // ---- the dual-failure pipeline: build timing + brute-force identity -------
 
-/// Builds the dual-failure structure per bench seed, serves a pair storm
-/// through the batched Session plane and checks every answer bit-identical
-/// against brute-force two-failure BFS (the acceptance gate: non-zero exit
-/// on divergence). Also times the batched plane against the naive
-/// serve-every-pair-with-a-full-G-BFS baseline.
+/// Pruned-vs-unpruned build timing at a size where the unpruned referee is
+/// too slow to verify pair-by-pair: records the build times, the speedup
+/// and both structure sizes (the acceptance trajectory for the Parter
+/// pruning + prefix reuse). Gates: the pruned structure must stay strictly
+/// below the unpruned size and the speedup at or above 3× — non-zero exit
+/// otherwise. FTBFS_DUAL_SCALE_N resizes it (the CI smoke runs the gates
+/// at 300; 0 skips entirely; the committed BENCH_construction.json
+/// carries the full n=1000 measurement).
+bool run_dual_scale_report(bench::JsonObject* out) {
+  Vertex n = 1000;
+  if (const char* env = std::getenv("FTBFS_DUAL_SCALE_N")) {
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end == env || *end != '\0' || parsed < 0) {
+      // A typo'd override must not silently skip the acceptance gates.
+      std::cout << "!!! FTBFS_DUAL_SCALE_N invalid (" << env << ")\n";
+      out->set("invalid_env", true);
+      return false;
+    }
+    n = static_cast<Vertex>(parsed);
+  }
+  if (n < 8) {  // 0 = explicit skip
+    out->set("skipped", true);
+    return true;
+  }
+  const Graph g = bench::dense_random(n, 3);
+  api::BuildSpec spec;
+  spec.fault_model = FaultClass::kDual;
+  Timer t;
+  const api::BuildResult pruned = api::build(g, spec);
+  const double pruned_s = t.seconds();
+  api::BuildSpec ref_spec = spec;
+  ref_spec.unpruned_dual = true;
+  t.restart();
+  const api::BuildResult unpruned = api::build(g, ref_spec);
+  const double unpruned_s = t.seconds();
+  const double speedup = unpruned_s / pruned_s;
+  const bool size_ok =
+      pruned.structure.num_edges() < unpruned.structure.num_edges();
+  const bool speed_ok = speedup >= 3.0;
+  // The pruned structure still honors the dual contract on a seeded pair
+  // sample at this size, under the unpruned size budget.
+  const std::int64_t violations =
+      verify_dual_structure(pruned.structure, /*max_pairs=*/200, /*seed=*/3,
+                            nullptr, unpruned.structure.num_edges() - 1);
+  out->set("n", static_cast<std::int64_t>(n))
+      .set("m", static_cast<std::int64_t>(g.num_edges()))
+      .set("edges_in_H_pruned", pruned.structure.num_edges())
+      .set("edges_in_H_unpruned", unpruned.structure.num_edges())
+      .set("build_s_pruned", pruned_s)
+      .set("build_s_unpruned", unpruned_s)
+      .set("speedup_build", speedup)
+      .set("verify_violations", violations)
+      .set("gates_ok", size_ok && speed_ok && violations == 0);
+  std::cout << "dual scale (n=" << n << "): pruned "
+            << pruned.structure.num_edges() << " edges in " << pruned_s
+            << "s, unpruned " << unpruned.structure.num_edges()
+            << " edges in " << unpruned_s << "s — " << speedup
+            << "x build speedup\n";
+  if (!size_ok) {
+    std::cout << "!!! pruned dual structure is not smaller than the "
+                 "unpruned referee at n=" << n << "\n";
+  }
+  if (!speed_ok) {
+    std::cout << "!!! pruned dual build speedup below 3x at n=" << n << "\n";
+  }
+  if (violations != 0) {
+    std::cout << "!!! pruned dual structure fails verification at n=" << n
+              << "\n";
+  }
+  return size_ok && speed_ok && violations == 0;
+}
+
+/// Builds the dual-failure structure per bench seed — pruned AND the
+/// unpruned PR 4 referee — serves a pair storm through the batched Session
+/// plane and checks every answer bit-identical against brute-force
+/// two-failure BFS and the referee session (the acceptance gate: non-zero
+/// exit on divergence). The per-seed rows carry the new
+/// `edges_in_H_pruned` column next to the PR 4 `edges_in_H` baseline; a
+/// pruned size at or above the baseline, or over the referee budget in
+/// verify_dual_structure, also trips the gate. Also times the batched
+/// plane against the naive serve-every-pair-with-a-full-G-BFS baseline.
 bool run_dual_report(bench::JsonObject* out) {
   const Vertex n = [] {
     const char* env = std::getenv("FTBFS_DUAL_N");
@@ -330,6 +407,30 @@ bool run_dual_report(bench::JsonObject* out) {
     const api::BuildResult res = api::build(g, spec);
     const double build_s = t.seconds();
     build_s_last = build_s;
+
+    // The unpruned PR 4 recursion: the differential referee and the
+    // per-seed size budget.
+    api::BuildSpec ref_spec = spec;
+    ref_spec.unpruned_dual = true;
+    t.restart();
+    const api::BuildResult ref = api::build(g, ref_spec);
+    const double build_unpruned_s = t.seconds();
+    const bool size_ok = res.structure.num_edges() < ref.structure.num_edges();
+    if (!size_ok) {
+      identical = false;
+      std::cout << "!!! pruned dual structure not strictly below the PR 4 "
+                   "baseline at seed " << seed << "\n";
+    }
+    // Size-regression referee: the pruned structure must verify under the
+    // recorded per-seed bound (the unpruned size minus one — strictness).
+    if (verify_dual_structure(res.structure, /*max_pairs=*/300,
+                              /*seed=*/seed, nullptr,
+                              ref.structure.num_edges() - 1) != 0) {
+      identical = false;
+      std::cout << "!!! pruned dual structure fails verification under the "
+                   "per-seed budget at seed " << seed << "\n";
+    }
+    const api::Session ref_session = api::Session::deploy(g, ref);
     const api::Session session = api::Session::deploy(g, res);
     const Vertex src = spec.sources.front();
 
@@ -369,11 +470,27 @@ bool run_dual_report(bench::JsonObject* out) {
     const api::QueryResponse resp = session.query(storm);
     const double batched_s = t.seconds();
 
+    // The unpruned referee must agree with the pruned session on every
+    // answer — the `unpruned_dual` escape hatch is exactly this check.
+    bool agree = resp.refused == 0;
+    {
+      const api::QueryResponse ref_resp = ref_session.query(storm);
+      for (std::size_t i = 0; i < storm.size(); ++i) {
+        if (resp.results[i].dist != ref_resp.results[i].dist) {
+          agree = false;
+          break;
+        }
+      }
+      if (!agree) {
+        std::cout << "!!! pruned dual answers diverge from the unpruned "
+                     "referee at seed " << seed << "\n";
+      }
+    }
+
     // Naive baseline: one full-G brute-force BFS per query pair (one-slot
     // cached, like the serial single-fault path) — and simultaneously the
     // bit-identity referee for every batched answer.
     t.restart();
-    bool agree = resp.refused == 0;
     {
       BfsScratch truth;
       std::size_t qi = 0;
@@ -408,8 +525,12 @@ bool run_dual_report(bench::JsonObject* out) {
         .set("m", static_cast<std::int64_t>(g.num_edges()))
         .set("sites",
              static_cast<std::int64_t>(res.dual_tables.front().num_sites()))
-        .set("edges_in_H", res.structure.num_edges())
+        .set("edges_in_H", ref.structure.num_edges())  // the PR 4 baseline
+        .set("edges_in_H_pruned", res.structure.num_edges())
+        .set("size_strictly_below_baseline", size_ok)
         .set("build_s", build_s)
+        .set("build_s_unpruned", build_unpruned_s)
+        .set("speedup_build", build_unpruned_s / build_s)
         .set("pairs", kPairsPerSeed)
         .set("queries", static_cast<std::int64_t>(storm.size()))
         .set("pair_traversals", resp.pair_traversals)
@@ -573,6 +694,11 @@ bool run_speedup_report() {
   bench::JsonObject dual_report;
   const bool dual_agrees = run_dual_report(&dual_report);
 
+  // Pruned-vs-unpruned at scale (FTBFS_DUAL_SCALE_N, default 1000): the
+  // build-speedup and size gates of the pruning.
+  bench::JsonObject dual_scale;
+  const bool dual_scale_ok = run_dual_scale_report(&dual_scale);
+
   bench::JsonObject report;
   report.set("bench", std::string("construction_time"))
       .set("workload", std::string("dense_random"))
@@ -589,9 +715,10 @@ bool run_speedup_report() {
       .set_raw("vertex_per_seed", vertex_rows.str(2))
       .set_raw("query_plane", query_plane.str(2))
       .set_raw("dual", dual_report.str(2))
+      .set_raw("dual_scale", dual_scale.str(2))
       .set("speedup_query_batched_vs_serial", query_speedup)
       .set("edge_sets_identical",
-           identical && full_identical && dual_agrees);
+           identical && full_identical && dual_agrees && dual_scale_ok);
   bench::write_json_file("BENCH_construction.json", report);
   std::cout << "engine speedup: " << sec_ref / sec_opt
             << "x (edge), " << vsec_ref / vsec_opt
@@ -599,7 +726,8 @@ bool run_speedup_report() {
             << sec_full_ref / sec_full_opt
             << "x, batched query plane: " << query_speedup
             << "x vs serial  (BENCH_construction.json written)\n\n";
-  return identical && full_identical && plane_agrees && dual_agrees;
+  return identical && full_identical && plane_agrees && dual_agrees &&
+         dual_scale_ok;
 }
 
 }  // namespace

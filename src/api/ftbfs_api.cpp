@@ -63,6 +63,7 @@ DualFtBfsOptions BuildSpec::dual_options() const {
   opts.weight_seed = weight_seed;
   opts.pool = pool;
   opts.reference_kernel = reference_kernel;
+  opts.unpruned_dual = unpruned_dual;
   return opts;
 }
 

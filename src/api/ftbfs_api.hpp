@@ -84,6 +84,11 @@ struct BuildSpec {
   /// Run the naive reference kernels (differential testing / bench
   /// baseline; output is bit-identical either way).
   bool reference_kernel = false;
+  /// Dual model only: build the unpruned PR 4 recursion (full punctured
+  /// structure per first-failure site) instead of the segment-pruned,
+  /// prefix-reusing default. The unpruned build is the differential
+  /// referee: strictly larger structure, same served answers.
+  bool unpruned_dual = false;
 
   /// Throws CheckError ("invalid BuildSpec: …") on NaN / out-of-range ε
   /// or an empty / out-of-range / duplicated source set. build() and

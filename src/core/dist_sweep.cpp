@@ -104,4 +104,121 @@ void replacement_dist_sweep(const BfsTree& tree, EdgeId banned_edge,
   }
 }
 
+BfsTree rebase_punctured_tree(const BfsTree& base, EdgeId banned_edge,
+                              Vertex banned_vertex) {
+  FTB_CHECK_MSG((banned_edge == kInvalidEdge) !=
+                    (banned_vertex == kInvalidVertex),
+                "rebase_punctured_tree: exactly one failed element");
+  const Graph& g = base.graph();
+  const EdgeWeights& W = base.weights();
+  const Vertex src = base.source();
+  if (banned_edge != kInvalidEdge) {
+    FTB_CHECK_MSG(base.is_tree_edge(banned_edge),
+                  "rebase_punctured_tree: banned edge is not a tree edge — "
+                  "the base tree already IS the punctured canonical tree");
+  } else {
+    FTB_CHECK_MSG(banned_vertex != src && base.reachable(banned_vertex),
+                  "rebase_punctured_tree: banned vertex must be a reachable "
+                  "non-source vertex");
+  }
+  const Vertex top = banned_edge != kInvalidEdge
+                         ? base.lower_endpoint(banned_edge)
+                         : banned_vertex;
+  const std::span<const Vertex> affected = base.subtree(top);
+
+  // Phase 1: punctured hop distances for the affected subtree, seeded from
+  // the unaffected boundary (whose depths are final — their tree paths
+  // avoid the fault).
+  thread_local ReplacementSweepScratch sweep;
+  replacement_dist_sweep(base, banned_edge, banned_vertex, affected, sweep);
+
+  // Everything outside the affected subtree keeps its labels verbatim.
+  CanonicalSp sp = base.sp();
+
+  // The affected subtree is a contiguous preorder (tin) interval of the
+  // base tree, so membership is two comparisons.
+  const auto in_affected = [&](Vertex u) {
+    return base.reachable(u) && base.is_ancestor_or_equal(top, u);
+  };
+  // Authoritative punctured hops: sweep output inside the affected set
+  // (NOT sp.hops, which is stale until a vertex is processed), unchanged
+  // labels outside.
+  const auto hops_of = [&](Vertex u) {
+    return in_affected(u) ? sweep.dist(u)
+                          : sp.hops[static_cast<std::size_t>(u)];
+  };
+
+  // Phase 2: canonical labels in ascending (new hops, id) order — the ONE
+  // parent rule (pick_canonical_parent, shared with canonical_sp pass 2).
+  // Predecessor labels are final when consumed: unaffected ones never
+  // change, affected ones sit one level up and were processed earlier.
+  thread_local std::vector<Vertex> by_level;
+  by_level.assign(affected.begin(), affected.end());
+  std::sort(by_level.begin(), by_level.end(), [&](Vertex a, Vertex b) {
+    const std::int32_t ha = sweep.dist(a), hb = sweep.dist(b);
+    return ha != hb ? ha < hb : a < b;
+  });
+  for (const Vertex v : by_level) {
+    const std::size_t vi = static_cast<std::size_t>(v);
+    const std::int32_t hv = sweep.dist(v);
+    if (hv >= kInfHops) {  // destroyed or disconnected by the fault
+      sp.hops[vi] = kInfHops;
+      sp.wsum[vi] = 0;
+      sp.parent[vi] = kInvalidVertex;
+      sp.parent_edge[vi] = kInvalidEdge;
+      sp.first_hop[vi] = kInvalidVertex;
+      continue;
+    }
+    const CanonicalParentChoice best = pick_canonical_parent(
+        g, W, v, hv,
+        [&](const Arc& a) {
+          return a.edge != banned_edge && a.to != banned_vertex;
+        },
+        hops_of,
+        [&](Vertex u) { return sp.wsum[static_cast<std::size_t>(u)]; });
+    FTB_DCHECK(best.parent != kInvalidVertex);
+    sp.hops[vi] = hv;
+    sp.wsum[vi] = best.wsum;
+    sp.parent[vi] = best.parent;
+    sp.parent_edge[vi] = best.edge;
+    sp.first_hop[vi] = best.parent == src
+                           ? v
+                           : sp.first_hop[static_cast<std::size_t>(best.parent)];
+  }
+
+  // Phase 3: finalization order = reachable vertices by (hops, id). The
+  // base order already is that sequence for the unaffected vertices; merge
+  // the relabeled subtree back in.
+  const std::vector<Vertex>& base_order = base.sp().order;
+  std::vector<Vertex> order;
+  order.reserve(base_order.size());
+  // by_level is (hops, id)-sorted with kInfHops largest, so the vertices
+  // the fault disconnects form its tail; they leave the order entirely.
+  const std::size_t a_end = [&] {
+    std::size_t e = by_level.size();
+    while (e > 0 && sweep.dist(by_level[e - 1]) >= kInfHops) --e;
+    return e;
+  }();
+  std::size_t ai = 0;
+  for (const Vertex u : base_order) {
+    if (in_affected(u)) continue;  // re-merged from by_level below
+    const std::int32_t hu = sp.hops[static_cast<std::size_t>(u)];
+    while (ai < a_end) {
+      const Vertex a = by_level[ai];
+      const std::int32_t ha = sp.hops[static_cast<std::size_t>(a)];
+      if (ha < hu || (ha == hu && a < u)) {
+        order.push_back(a);
+        ++ai;
+      } else {
+        break;
+      }
+    }
+    order.push_back(u);
+  }
+  while (ai < a_end) order.push_back(by_level[ai++]);
+  sp.order = std::move(order);
+
+  return BfsTree(g, W, src, std::move(sp));
+}
+
 }  // namespace ftb

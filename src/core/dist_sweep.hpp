@@ -79,4 +79,28 @@ void replacement_dist_sweep(const BfsTree& tree, EdgeId banned_edge,
                             EdgeId ambient_edge = kInvalidEdge,
                             Vertex ambient_vertex = kInvalidVertex);
 
+/// Incremental punctured-tree rebase: the canonical tree of G \ {fault}
+/// built from `base` (the canonical tree of G) by recomputing labels ONLY
+/// for the subtree hanging below the fault. Exactly one of banned_edge
+/// (a tree edge of `base`) / banned_vertex (a reachable non-source vertex)
+/// identifies the fault.
+///
+/// Why this is exact: a vertex u outside the affected subtree keeps its
+/// tree path π(s,u), which avoids the fault; the canonical path of G is
+/// still present in G \ {fault} and stays (hops, Σw)-minimal among a
+/// subset of its old competitors, so every label of u — hops, wsum,
+/// parent, parent_edge, first_hop — is unchanged verbatim. Affected
+/// vertices get their punctured hop distances from replacement_dist_sweep
+/// (seeded by the unaffected boundary) and then the same canonical parent
+/// rule as canonical_sp pass 2, processed in ascending level order. The
+/// result is bit-identical to BfsTree(g, W, source, bans) at a cost
+/// proportional to the affected subtree's volume plus O(n + m) for the
+/// label copy and derived tree arrays (no graph traversal — the win over
+/// a full rebuild is the BFS and the canonical relaxation, not the array
+/// bookkeeping) — this is the sibling-prefix reuse the dual-failure
+/// recursion leans on (one rebase per first-failure site instead of one
+/// full canonical BFS of G each).
+BfsTree rebase_punctured_tree(const BfsTree& base, EdgeId banned_edge,
+                              Vertex banned_vertex);
+
 }  // namespace ftb

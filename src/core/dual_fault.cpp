@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <atomic>
 
+#include "src/core/dist_sweep.hpp"
 #include "src/core/validate.hpp"
 #include "src/util/rng.hpp"
 
@@ -46,7 +47,8 @@ void sort_unique(std::vector<EdgeId>& v) {
 DualSiteTable detail::build_dual_site_table(const BfsTree& tree,
                                             ThreadPool* pool_ptr,
                                             bool reference_kernel,
-                                            std::vector<EdgeId>* edges_out) {
+                                            std::vector<EdgeId>* edges_out,
+                                            bool unpruned) {
   const Graph& g = tree.graph();
   const EdgeWeights& W = tree.weights();
   ThreadPool& pool = pool_ptr != nullptr ? *pool_ptr : ThreadPool::global();
@@ -57,32 +59,61 @@ DualSiteTable detail::build_dual_site_table(const BfsTree& tree,
   // One punctured single-fault build per site. Iterations write disjoint
   // slots; the engines inside parallelize on the same pool (nested
   // parallel_for is supported — an inner job drains through its caller).
+  //
+  // Pruned (default): the punctured tree is REBASED from T0 (only the
+  // affected subtree is relabeled) and the engines are restricted to the
+  // affected terminals, so a site costs its subtree's volume; the subset
+  // keeps only the segment those terminals consume — their T_f parent
+  // edges plus their uncovered-pair last edges (see the file comment's
+  // induction for why that is sufficient).
+  // Unpruned (the PR 4 referee): full punctured tree build, full engines,
+  // subset = T_f ∪ all last edges.
   std::vector<std::vector<EdgeId>> subsets(table.sites.size());
   pool.parallel_for(table.sites.size(), [&](std::size_t i) {
     const DualSite f = table.sites[i];
-    BfsBans bans;
-    if (f.kind == FaultClass::kEdge) {
-      bans.banned_edge = f.id;
-    } else {
-      bans.banned_vertex_one = f.id;
-    }
-    const BfsTree tf(g, W, tree.source(), bans);
+    const EdgeId fe =
+        f.kind == FaultClass::kEdge ? f.id : kInvalidEdge;
+    const Vertex fv =
+        f.kind == FaultClass::kVertex ? f.id : kInvalidVertex;
 
     FaultReplacementEngine<EdgeFault>::Config ec;
     FaultReplacementEngine<VertexFault>::Config vc;
     ec.collect_detours = vc.collect_detours = false;  // only last edges
     ec.pool = vc.pool = pool_ptr;
     ec.reference_kernel = vc.reference_kernel = reference_kernel;
-    if (f.kind == FaultClass::kEdge) {
-      ec.ambient_banned_edge = vc.ambient_banned_edge = f.id;
-    } else {
-      ec.ambient_banned_vertex = vc.ambient_banned_vertex = f.id;
+    ec.ambient_banned_edge = vc.ambient_banned_edge = fe;
+    ec.ambient_banned_vertex = vc.ambient_banned_vertex = fv;
+
+    std::vector<EdgeId>& sub = subsets[i];
+    if (unpruned) {
+      BfsBans bans;
+      bans.banned_edge = fe;
+      bans.banned_vertex_one = fv;
+      const BfsTree tf(g, W, tree.source(), bans);
+      const FaultReplacementEngine<EdgeFault> ee(tf, ec);
+      const FaultReplacementEngine<VertexFault> ve(tf, vc);
+      sub = tf.tree_edges();
+      for (const UncoveredPair& p : ee.uncovered_pairs()) {
+        sub.push_back(p.last_edge);
+      }
+      for (const VertexFaultPair& p : ve.uncovered_pairs()) {
+        sub.push_back(p.last_edge);
+      }
+      sort_unique(sub);
+      return;
     }
+
+    const Vertex top =
+        f.kind == FaultClass::kEdge ? tree.lower_endpoint(fe) : fv;
+    const std::span<const Vertex> affected = tree.subtree(top);
+    const BfsTree tf = rebase_punctured_tree(tree, fe, fv);
+    ec.restrict_terminals = vc.restrict_terminals = affected;
     const FaultReplacementEngine<EdgeFault> ee(tf, ec);
     const FaultReplacementEngine<VertexFault> ve(tf, vc);
 
-    std::vector<EdgeId>& sub = subsets[i];
-    sub = tf.tree_edges();
+    for (const Vertex v : affected) {
+      if (tf.reachable(v)) sub.push_back(tf.parent_edge(v));
+    }
     for (const UncoveredPair& p : ee.uncovered_pairs()) {
       sub.push_back(p.last_edge);
     }
@@ -121,7 +152,7 @@ DualBuildResult detail::build_dual_failure_ftbfs_impl(
   const BfsTree tree(g, weights, source);
   std::vector<EdgeId> edges;
   DualSiteTable table = detail::build_dual_site_table(
-      tree, opts.pool, opts.reference_kernel, &edges);
+      tree, opts.pool, opts.reference_kernel, &edges, opts.unpruned_dual);
   FtBfsStructure h(g, source, std::move(edges), /*reinforced=*/{},
                    tree.tree_edges(), FaultClass::kDual);
   return DualBuildResult{std::move(h), std::move(table)};
@@ -205,8 +236,11 @@ bool DualFaultOracle::reducible(DualSite f1, DualSite f2) const {
   const std::int32_t s1 = site_of(f1);
   const std::int32_t s2 = site_of(f2);
   if (s1 < 0 && s2 < 0) return true;
+  if (s1 >= 0 && s2 >= 0) return false;  // two sited elements always traverse
   const std::int32_t ps = s1 >= 0 ? s1 : s2;
   const DualSite other = s1 >= 0 ? f2 : f1;
+  // A non-sited edge is a non-tree edge; outside C_ps it is absent from
+  // the whole serving set T0 ∪ C_ps, so deleting it changes nothing there.
   return other.kind == FaultClass::kEdge &&
          !tables_->subset_contains(static_cast<std::size_t>(ps), other.id);
 }
@@ -231,50 +265,74 @@ std::int32_t DualFaultOracle::dist(Vertex v, DualSite f1, DualSite f2,
     // in H and the failure-free depth is exact.
     return tree_->depth(v);
   }
-  const std::int32_t ps = s1 >= 0 ? s1 : s2;
-  const DualSite primary = s1 >= 0 ? f1 : f2;
-  const DualSite other = s1 >= 0 ? f2 : f1;
-  if (other.kind == FaultClass::kEdge &&
-      !tables_->subset_contains(static_cast<std::size_t>(ps), other.id)) {
-    // H_primary contains no copy of `other`, so deleting it changes
-    // nothing there: the stored single-fault answer is already the
-    // two-failure answer (see the sandwich in the file comment).
-    return single_dist(v, primary);
+  if ((s1 >= 0) != (s2 >= 0)) {
+    const std::int32_t ps = s1 >= 0 ? s1 : s2;
+    const DualSite primary = s1 >= 0 ? f1 : f2;
+    const DualSite other = s1 >= 0 ? f2 : f1;
+    if (other.kind == FaultClass::kEdge &&
+        !tables_->subset_contains(static_cast<std::size_t>(ps), other.id)) {
+      // `other` is a non-tree edge outside C_primary, so the serving set
+      // T0 ∪ C_primary holds no copy of it: deleting it changes nothing
+      // there and the stored single-fault answer is already the
+      // two-failure answer (the {f, f} degenerate of the file comment's
+      // induction realizes single-fault distances inside T0 ∪ C_f).
+      return single_dist(v, primary);
+    }
   }
 
-  // One BFS over H_primary minus `other`, memoized in the arena.
+  // One BFS over (T0 ∪ C_{f1} ∪ C_{f2}) \ {f1, f2}, memoized in the arena
+  // (a one-slot cache: any other pair evicts the held traversal).
   const Graph& g = tree_->graph();
   const std::size_t m = static_cast<std::size_t>(g.num_edges());
-  if (arena.mask_table_ != tables_ || arena.mask_site_ != ps) {
-    if (arena.site_ban_.size() < m) {
+  if (arena.mask_table_ != tables_ || arena.mask_site_a_ != s1 ||
+      arena.mask_site_b_ != s2) {
+    if (arena.site_ban_.size() < m || arena.mask_table_ != tables_) {
+      // Fresh serving-set mask: admit T0's tree edges once; site subsets
+      // toggle below.
       arena.site_ban_.assign(m, 1);
-    } else if (arena.mask_table_ != nullptr) {
-      // Re-ban the previously unmasked subset instead of an O(m) reset.
-      for (const EdgeId e : arena.mask_table_->subset(
-               static_cast<std::size_t>(arena.mask_site_))) {
-        arena.site_ban_[static_cast<std::size_t>(e)] = 1;
+      for (const EdgeId e : tree_->tree_edges()) {
+        arena.site_ban_[static_cast<std::size_t>(e)] = 0;
+      }
+    } else {
+      // Re-ban the previously admitted subsets instead of an O(m) reset —
+      // minus their T0-shared edges, which every serving set admits.
+      for (const std::int32_t old :
+           {arena.mask_site_a_, arena.mask_site_b_}) {
+        if (old < 0) continue;
+        for (const EdgeId e :
+             arena.mask_table_->subset(static_cast<std::size_t>(old))) {
+          if (!tree_->is_tree_edge(e)) {
+            arena.site_ban_[static_cast<std::size_t>(e)] = 1;
+          }
+        }
       }
     }
-    for (const EdgeId e :
-         tables_->subset(static_cast<std::size_t>(ps))) {
-      arena.site_ban_[static_cast<std::size_t>(e)] = 0;
+    for (const std::int32_t site : {s1, s2}) {
+      if (site < 0) continue;
+      for (const EdgeId e :
+           tables_->subset(static_cast<std::size_t>(site))) {
+        arena.site_ban_[static_cast<std::size_t>(e)] = 0;
+      }
     }
     arena.mask_table_ = tables_;
-    arena.mask_site_ = ps;
+    arena.mask_site_a_ = s1;
+    arena.mask_site_b_ = s2;
     arena.traversal_valid_ = false;
   }
-  if (!arena.traversal_valid_ || !(arena.other_ == other)) {
+  if (!arena.traversal_valid_ ||
+      !(arena.held_f1_ == f1 && arena.held_f2_ == f2)) {
     BfsBans bans;
     bans.banned_edge_mask = &arena.site_ban_;
-    if (other.kind == FaultClass::kEdge) {
-      bans.banned_edge = other.id;
-    } else {
-      bans.banned_vertex_one = other.id;
-    }
+    const PairBans pair(f1, f2, arena.vertex_ban_,
+                        static_cast<std::size_t>(g.num_vertices()), bans);
     bfs_run(g, tree_->source(), bans, arena.bfs_);
     arena.traversal_valid_ = true;
-    arena.other_ = other;
+    arena.held_f1_ = f1;
+    arena.held_f2_ = f2;
+    ++arena.misses_;
     if (traversals != nullptr) ++*traversals;
+  } else {
+    ++arena.hits_;
   }
   return arena.bfs_.dist(v);
 }
@@ -327,10 +385,18 @@ void dual_structure_bfs(const FtBfsStructure& h, DualSite f1, DualSite f2,
 
 std::int64_t verify_dual_structure(const FtBfsStructure& h,
                                    std::int64_t max_pairs, std::uint64_t seed,
-                                   ThreadPool* pool_ptr) {
+                                   ThreadPool* pool_ptr,
+                                   std::int64_t edges_budget) {
   const Graph& g = h.graph();
   const Vertex s = h.source();
   ThreadPool& pool = pool_ptr != nullptr ? *pool_ptr : ThreadPool::global();
+
+  // Size-regression referee: a structure over its recorded budget fails
+  // verification outright, independent of the distance checks below.
+  std::int64_t size_violations = 0;
+  if (edges_budget >= 0 && h.num_edges() > edges_budget) {
+    size_violations = 1;
+  }
 
   // The failure universe: every edge of G (in H or not), every non-source
   // vertex.
@@ -375,7 +441,7 @@ std::int64_t verify_dual_structure(const FtBfsStructure& h,
     }
     if (local != 0) violations.fetch_add(local, std::memory_order_relaxed);
   });
-  return violations.load();
+  return violations.load() + size_violations;
 }
 
 }  // namespace ftb

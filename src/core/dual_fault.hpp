@@ -8,48 +8,69 @@
 //
 //   dist(s, v, H \ {f1, f2}) = dist(s, v, G \ {f1, f2})    for every v ∈ V.
 //
-// Construction — the reinforcement-backup recursion. Let T0 be the
+// Construction — the PRUNED reinforcement-backup recursion. Let T0 be the
 // canonical tree of G and call an element a *first-failure site* when it is
-// a tree edge of T0 or an internal tree vertex. For every site f, build the
-// single-fault "either" structure of the punctured graph G \ {f}:
+// a tree edge of T0 or an internal tree vertex. For a site f let
+// A_f := the T0-subtree hanging below f (the vertices whose π(s,·) uses f).
+// Per site we keep only the SEGMENT of the punctured single-fault structure
+// that terminals in A_f can actually consume (Parter's segment pruning,
+// arXiv:1505.00692 §4 — replacement paths of unaffected terminals ride
+// their T0 prefix, so only the last, subtree-local segment needs backup):
 //
-//   H_f = T_f ∪ { last edges of the uncovered pairs of the edge- and
-//                 vertex-fault S0 engines run over G \ {f} },
+//   C_f = { T_f parent edges of the vertices of A_f }
+//       ∪ { last edges of the uncovered pairs ⟨v, f'⟩ of the edge- and
+//           vertex-fault S0 engines run over G \ {f}, v ∈ A_f },
 //
 // where T_f is the canonical tree of G \ {f} under the SAME weight
 // assignment W (subgraph-consistency of W is exactly why the punctured
-// engines stay canonical). Then H = T0 ∪ ⋃_f H_f is dual-failure
-// resilient:
-//   * a pair with a sited element f: H ⊇ H_f, H_f ⊆ G\{f}, and H_f is a
-//     single-fault structure of G\{f} for both fault kinds, so
-//     dist(s,v,H_f\{f'}) = dist(s,v,G\{f,f'}); the sandwich
-//     dist(s,v,G\{f,f'}) ≤ dist(s,v,H\{f,f'}) ≤ dist(s,v,H_f\{f'})
-//     pins every term equal.
-//   * a pair with no sited element never touches a T0 path (a non-tree
-//     edge lies on no π(s,·); a leaf vertex only on its own), so π(s,v)
-//     survives in H and in G and dist = depth(v) on both sides.
-// The engines are the PR 1/PR 2 machinery verbatim, run with an *ambient*
-// ban (FaultReplacementEngine::Config::ambient_banned_{edge,vertex}), so
-// the scratch-arena sweeps and the canonical detour analysis are reused
-// per first failure instead of re-derived. This is the unpruned form of
-// the paper's recursion: correctness is exact (the differential suite pins
-// every served answer to brute-force two-failure BFS); the Õ(n^{5/3}) size
-// bound needs Parter's pruning and is left as an open item (docs/perf.md
-// tracks the measured |H| against it).
+// engines stay canonical), built incrementally from T0 by
+// rebase_punctured_tree — outside A_f the two trees coincide edge for
+// edge, so only A_f is relabeled (the sibling-prefix reuse of Gupta–Khan,
+// arXiv:1704.06907), and the engines run with
+// Config::{ambient_banned_*, restrict_terminals = A_f}, costing the
+// subtree's volume instead of the whole graph. Then
+//
+//   H = T0 ∪ ⋃_f C_f
+//
+// is dual-failure resilient. Fix a pair {f, f'} and induct on
+// d_v = dist(s, v, G \ {f, f'}) over ALL terminals v simultaneously:
+//   * v below no sited element of the pair: π(s,v) ⊆ T0 avoids both (a
+//     non-tree edge lies on no π(s,·); a non-site vertex is a leaf, on no
+//     path but its own), so d_v = depth(v) realized inside T0.
+//   * v ∈ A_f (symmetrically A_{f'}): work in G' = G \ {f} with tree T_f.
+//     If f' ∉ π_{T_f}(s,v), that tree path survives and lies in
+//     T0 ∪ C_f — its A_f suffix is C_f parent edges, its prefix is T0.
+//     Otherwise ⟨v, f'⟩ is a pair of the punctured engines: if covered,
+//     some surviving T_f-neighbor u has d_u = d_v − 1 and the connecting
+//     tree edge is in T0 ∪ C_f (T_f-children of A_f vertices stay in A_f);
+//     if uncovered, its last edge (u, v) ∈ C_f by construction and
+//     d_u = d_v − 1. Either way the induction recurses on u — WHEREVER u
+//     lives, its own bullet applies (u may leave A_f; then T0 or C_{f'}
+//     takes over). Every edge consumed is in T0 ∪ C_f ∪ C_{f'}, which is
+//     also why the oracle can serve the pair from that union alone.
+// Taking f' = f degenerates the argument to single failures, so
+// T0 ∪ C_f already realizes dist(s, ·, G\{f}) — the fast-path sandwich
+// below. The PR 4 construction (C_f replaced by the FULL punctured
+// structure T_f ∪ all last edges) is preserved behind
+// DualFtBfsOptions::unpruned_dual as the differential referee; the pruned
+// H is a strict subset of it and the served answers are pinned
+// bit-identical to both the referee and brute-force two-failure BFS.
 //
 // Serving — DualFaultOracle. dist(s, v | {f1, f2}) classifies the pair:
 //   * f1 == f2, or no sited element            → O(1) off the single-fault
 //     tables / tree depths (this is the "reuse of the single-fault tables"
 //     plane — no traversal at all);
-//   * sited primary f, other an edge ∉ H_f     → O(1): H_f \ {f'} = H_f,
-//     so the single-fault answer dist(s,v,G\{f}) is already exact;
-//   * otherwise                                → one BFS over H_f minus the
-//     other element, cached per pair in a DualQueryArena (the api::Session
-//     batched plane groups queries by distinct pair, so a storm pays one
-//     traversal per pair).
-// The per-site edge subsets H_f are the *pair tables* serialized by
+//   * sited f, other a non-tree edge ∉ C_f     → O(1): (T0 ∪ C_f) \ {other}
+//     = T0 ∪ C_f realizes the single-fault distances of G\{f} without
+//     `other`, so dist(s,v,G\{f}) is already the two-failure answer;
+//   * otherwise                                → one BFS over
+//     (T0 ∪ C_{f1} ∪ C_{f2}) \ {f1, f2}, cached per pair in a
+//     DualQueryArena (the api::Session batched plane groups queries by
+//     distinct pair, so a storm pays one traversal per pair).
+// The per-site edge subsets C_f are the *pair tables* serialized by
 // structure_io v4, so a reloaded Session serves pairs without re-running
-// the recursion.
+// the recursion. (v4 artifacts written by the unpruned referee carry the
+// full H_f subsets — supersets of C_f — and serve identically.)
 #pragma once
 
 #include <cstdint>
@@ -104,6 +125,11 @@ struct DualFtBfsOptions {
   /// Run the punctured engines on the naive reference kernels (differential
   /// testing; the produced structure and tables are bit-identical).
   bool reference_kernel = false;
+  /// Escape hatch: build the PR 4 construction — full punctured trees, no
+  /// segment pruning, no prefix reuse, per-site subsets T_f ∪ all last
+  /// edges. Kept as the differential referee: the pruned structure must be
+  /// a strict subset of this one and serve bit-identical answers.
+  bool unpruned_dual = false;
 };
 
 /// What the dual-failure pipeline emits: the structure (tagged kDual) plus
@@ -132,29 +158,45 @@ DualMultiSourceResult build_dual_failure_ftmbfs_impl(
 
 /// Rebuilds one source's pair tables for an already-built canonical tree
 /// (what Session::load falls back to when an artifact carries no tables).
-/// Also returns, through `edges_out`, the union ⋃_f H_f ∪ T0 it implies.
+/// Also returns, through `edges_out`, the union T0 ∪ ⋃_f C_f it implies
+/// (with `unpruned`, the PR 4 referee sets T0 ∪ ⋃_f H_f).
 DualSiteTable build_dual_site_table(const BfsTree& tree, ThreadPool* pool,
                                     bool reference_kernel,
-                                    std::vector<EdgeId>* edges_out);
+                                    std::vector<EdgeId>* edges_out,
+                                    bool unpruned = false);
 }  // namespace detail
 
 /// Reusable scratch for DualFaultOracle::dist: the BFS arena plus the
-/// lazily maintained site-complement edge mask, with the key of the
-/// traversal currently held so repeats of one pair cost nothing. Exclusive
-/// ownership while in use (the api::Session leases one per worker).
+/// lazily maintained serving-set edge mask (T0 ∪ the admitted site
+/// subsets), with the key of the traversal currently held so repeats of
+/// one pair cost nothing — a one-slot cache, evicted whenever a different
+/// non-reducible pair arrives. Exclusive ownership while in use (the
+/// api::Session leases one per worker).
 class DualQueryArena {
  public:
   DualQueryArena() = default;
+
+  /// Traversal-cache accounting across every dist() call this arena
+  /// served: a non-reducible pair answered from the held traversal is a
+  /// hit; one that had to (re)run the site-restricted BFS is a miss.
+  /// Reducible pairs are O(1) table reads and touch neither counter —
+  /// tests assert exactly that.
+  std::int64_t cache_hits() const { return hits_; }
+  std::int64_t cache_misses() const { return misses_; }
 
  private:
   friend class DualFaultOracle;
 
   BfsScratch bfs_;
-  std::vector<std::uint8_t> site_ban_;  // size m; 1 = not in cached subset
-  const DualSiteTable* mask_table_ = nullptr;  // whose site the mask encodes
-  std::int32_t mask_site_ = -1;
-  bool traversal_valid_ = false;  // bfs_ holds (mask site, other_) exactly
-  DualSite other_;
+  std::vector<std::uint8_t> site_ban_;  // size m; 1 = not in serving set
+  std::vector<std::uint8_t> vertex_ban_;  // pair's vertex elements (RAII'd)
+  const DualSiteTable* mask_table_ = nullptr;  // whose sites the mask admits
+  std::int32_t mask_site_a_ = -1;  // admitted site subsets (-1 = none)
+  std::int32_t mask_site_b_ = -1;
+  bool traversal_valid_ = false;  // bfs_ holds exactly (held_f1_, held_f2_)
+  DualSite held_f1_, held_f2_;
+  std::int64_t hits_ = 0;
+  std::int64_t misses_ = 0;
 };
 
 /// Serves dist(s, v | {f1, f2}) for one source of a dual-failure
@@ -181,8 +223,9 @@ class DualFaultOracle {
                     std::int64_t* traversals = nullptr) const;
 
   /// True iff the pair is answered O(1) — equal elements, no sited
-  /// element, or an off-structure second edge (the single-fault-table
-  /// reuse plane). Exposed for tests and batch accounting.
+  /// element, or exactly one sited element with the other a non-tree edge
+  /// outside that site's subset (the single-fault-table reuse plane).
+  /// Exposed for tests and batch accounting.
   bool reducible(DualSite f1, DualSite f2) const;
 
   const DualSiteTable& tables() const { return *tables_; }
@@ -234,12 +277,16 @@ void dual_structure_bfs(const FtBfsStructure& h, DualSite f1, DualSite f2,
 /// failure pairs drawn from the full universe (every edge, every non-source
 /// vertex). `max_pairs < 0` checks every unordered pair exhaustively —
 /// O(n²·m), fine for test sizes; otherwise `max_pairs` pairs are sampled
-/// deterministically from `seed`. Returns the number of (pair, v) distance
-/// violations (0 = the structure honors the dual contract on everything
-/// checked).
+/// deterministically from `seed`. `edges_budget >= 0` additionally refuses
+/// an over-sized structure: |E(H)| > edges_budget counts as one violation
+/// (the size-regression referee — bench_construction_time passes the
+/// unpruned per-seed size so a pruning regression trips CI). Returns the
+/// number of violations (0 = the structure honors the dual contract and
+/// the budget on everything checked).
 std::int64_t verify_dual_structure(const FtBfsStructure& h,
                                    std::int64_t max_pairs = -1,
                                    std::uint64_t seed = 1,
-                                   ThreadPool* pool = nullptr);
+                                   ThreadPool* pool = nullptr,
+                                   std::int64_t edges_budget = -1);
 
 }  // namespace ftb

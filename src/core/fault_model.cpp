@@ -69,14 +69,45 @@ void FaultReplacementEngine<Model>::build_dist_tables(ThreadPool& pool) {
   const Graph& g = graph();
   const std::size_t n = static_cast<std::size_t>(g.num_vertices());
 
+  // Terminal restriction, two masks:
+  //  * row_needed — vertices whose table rows the restricted classification
+  //    reads: the terminals themselves plus their tree parents (children of
+  //    a restricted terminal are restricted too — the span is a subtree
+  //    slice). Everyone else gets a ZERO-row allocation, so the table costs
+  //    the restriction's volume, not Σ_v depth(v).
+  //  * site_needed — fault sites with a restricted terminal in their
+  //    subtree (their ancestors-or-selves): the only sweeps whose rows
+  //    anyone reads. Marked bottom-up: reverse preorder visits children
+  //    before parents.
+  std::vector<std::uint8_t> row_needed;
+  std::vector<std::uint8_t> site_needed;
+  if (!cfg_.restrict_terminals.empty()) {
+    row_needed.assign(n, 0);
+    site_needed.assign(n, 0);
+    for (const Vertex v : cfg_.restrict_terminals) {
+      if (!tree_->reachable(v)) continue;
+      row_needed[static_cast<std::size_t>(v)] = 1;
+      site_needed[static_cast<std::size_t>(v)] = 1;
+      const Vertex p = tree_->parent(v);
+      if (p != kInvalidVertex) row_needed[static_cast<std::size_t>(p)] = 1;
+    }
+    const auto pre_rev = tree_->preorder();
+    for (auto it = pre_rev.rbegin(); it != pre_rev.rend(); ++it) {
+      if (!site_needed[static_cast<std::size_t>(*it)]) continue;
+      const Vertex p = tree_->parent(*it);
+      if (p != kInvalidVertex) site_needed[static_cast<std::size_t>(p)] = 1;
+    }
+  }
+
   // Row v holds the failures of the positions [kFirstPos, depth(v)) of
   // π(s,v) — depth(v) rows for edge faults, depth(v)−1 for vertex faults
   // (the source and the terminal itself never seed a row).
   row_offset_.assign(n + 1, 0);
   for (std::size_t v = 0; v < n; ++v) {
     const std::int32_t d = tree_->depth(static_cast<Vertex>(v));
-    const std::int32_t k =
+    std::int32_t k =
         d >= kInfHops ? 0 : std::max<std::int32_t>(0, d - Model::kFirstPos);
+    if (!row_needed.empty() && !row_needed[v]) k = 0;
     row_offset_[v + 1] = row_offset_[v] + k;
   }
   rows_.assign(static_cast<std::size_t>(row_offset_[n]), kInfHops);
@@ -93,6 +124,9 @@ void FaultReplacementEngine<Model>::build_dist_tables(ThreadPool& pool) {
   pool.parallel_for(pre.size(), [&](std::size_t idx) {
     const Vertex u = pre[idx];
     if (u == tree_->source()) return;
+    if (!site_needed.empty() && !site_needed[static_cast<std::size_t>(u)]) {
+      return;
+    }
     if (!Model::site_active(*tree_, u)) return;
     const FaultId fault = Model::site_fault(*tree_, u);
     const std::int32_t row = tree_->depth(u) - 1;  // == pos − kFirstPos
@@ -100,6 +134,11 @@ void FaultReplacementEngine<Model>::build_dist_tables(ThreadPool& pool) {
     auto row_slot = [&](Vertex v) -> std::int32_t& {
       return rows_[static_cast<std::size_t>(
           row_offset_[static_cast<std::size_t>(v)] + row)];
+    };
+    // Vertices without an allocated row (restriction) must not be written.
+    const auto has_row = [&](Vertex v) {
+      return row_needed.empty() ||
+             row_needed[static_cast<std::size_t>(v)] != 0;
     };
     if (cfg_.reference_kernel) {
       thread_local std::vector<std::uint8_t> mask;
@@ -110,6 +149,7 @@ void FaultReplacementEngine<Model>::build_dist_tables(ThreadPool& pool) {
       const BfsResult res = plain_bfs_reference(g, tree_->source(), bans);
       for (const Vertex v : affected) {
         if (Model::kSkipFailedSite && v == u) continue;
+        if (!has_row(v)) continue;
         row_slot(v) = res.dist[static_cast<std::size_t>(v)];
       }
       Model::unban(fault, mask);
@@ -121,6 +161,7 @@ void FaultReplacementEngine<Model>::build_dist_tables(ThreadPool& pool) {
                              cfg_.ambient_banned_vertex);
       for (const Vertex v : affected) {
         if (Model::kSkipFailedSite && v == u) continue;
+        if (!has_row(v)) continue;
         row_slot(v) = sweep.dist(v);
       }
     } else {
@@ -133,6 +174,7 @@ void FaultReplacementEngine<Model>::build_dist_tables(ThreadPool& pool) {
       bfs_run(g, tree_->source(), bans, scratch);
       for (const Vertex v : affected) {
         if (Model::kSkipFailedSite && v == u) continue;
+        if (!has_row(v)) continue;
         row_slot(v) = scratch.dist(v);
       }
       Model::unban(fault, mask);
@@ -313,8 +355,15 @@ void FaultReplacementEngine<Model>::build_pairs(ThreadPool& pool) {
     }
   };
 
-  pool.parallel_for(n, [&](std::size_t vi) {
-    const Vertex v = static_cast<Vertex>(vi);
+  // Terminal restriction: only the listed terminals get classified and
+  // (when uncovered) pay an off-path traversal; per_vertex stays indexed
+  // by vertex id so the deterministic flatten below is unchanged.
+  const std::span<const Vertex> restricted = cfg_.restrict_terminals;
+  const std::size_t terminal_count = restricted.empty() ? n : restricted.size();
+  pool.parallel_for(terminal_count, [&](std::size_t ti) {
+    const Vertex v =
+        restricted.empty() ? static_cast<Vertex>(ti) : restricted[ti];
+    const std::size_t vi = static_cast<std::size_t>(v);
     const std::int32_t k = tree_->depth(v);
     // No failing positions: source/too-shallow or unreachable terminals.
     if (k <= Model::kFirstPos || k >= kInfHops) return;

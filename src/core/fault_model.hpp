@@ -266,6 +266,25 @@ class FaultReplacementEngine {
     /// failure. Defaults reproduce the single-fault engine bit-identically.
     EdgeId ambient_banned_edge = kInvalidEdge;
     Vertex ambient_banned_vertex = kInvalidVertex;
+    /// Restrict the pair plane to these terminals (empty = every vertex,
+    /// the full engine). The set must be closed under `tree`'s children
+    /// relation — a subtree slice qualifies, and so does a T0-subtree
+    /// handed to the rebased punctured tree (re-parented vertices stay
+    /// below the fault) — since the covered test reads the tree-neighbor
+    /// rows of every terminal. With a
+    /// restriction the engine allocates table rows only for the terminals
+    /// and their parents, runs sweeps only for fault sites with a
+    /// restricted terminal in their subtree (their ancestors-or-selves)
+    /// and enumerates/classifies pairs only for the listed terminals, so a
+    /// build costs the restricted set's tree volume (ancestor sweeps
+    /// included) instead of the whole graph. uncovered_pairs() then holds
+    /// exactly the full engine's pairs whose terminal is listed, and
+    /// replacement_dist() is valid only for listed terminals. This is the
+    /// incremental-rebase entry point of the dual-failure pipeline: per
+    /// first-failure site it hands the engine the rebased punctured tree
+    /// (rebase_punctured_tree) plus the affected subtree as the terminal
+    /// set. The span is read during construction only.
+    std::span<const Vertex> restrict_terminals = {};
   };
 
   explicit FaultReplacementEngine(const BfsTree& tree)

@@ -9,10 +9,16 @@ BfsTree::BfsTree(const Graph& g, const EdgeWeights& weights, Vertex source)
 
 BfsTree::BfsTree(const Graph& g, const EdgeWeights& weights, Vertex source,
                  const BfsBans& bans)
-    : g_(&g),
-      weights_(&weights),
-      source_(source),
-      sp_(canonical_sp(g, weights, source, bans)) {
+    : BfsTree(g, weights, source, canonical_sp(g, weights, source, bans)) {}
+
+BfsTree::BfsTree(const Graph& g, const EdgeWeights& weights, Vertex source,
+                 CanonicalSp sp)
+    : g_(&g), weights_(&weights), source_(source), sp_(std::move(sp)) {
+  build_derived();
+}
+
+void BfsTree::build_derived() {
+  const Graph& g = *g_;
   const std::size_t n = static_cast<std::size_t>(g.num_vertices());
   const std::size_t m = static_cast<std::size_t>(g.num_edges());
 

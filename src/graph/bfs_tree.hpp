@@ -34,6 +34,15 @@ class BfsTree {
   BfsTree(const Graph& g, const EdgeWeights& weights, Vertex source,
           const BfsBans& bans);
 
+  /// Adopts an already-computed canonical label set and builds the derived
+  /// tree machinery (children CSR, preorder intervals, tree-edge table) on
+  /// top of it. `sp` must be exactly canonical_sp(g, weights, source, ·) of
+  /// the graph the caller answers for — this is the seam the incremental
+  /// punctured-tree rebase (rebase_punctured_tree in dist_sweep.hpp) plugs
+  /// into instead of paying a full O(m) canonical BFS per first failure.
+  BfsTree(const Graph& g, const EdgeWeights& weights, Vertex source,
+          CanonicalSp sp);
+
   const Graph& graph() const { return *g_; }
   const EdgeWeights& weights() const { return *weights_; }
   Vertex source() const { return source_; }
@@ -98,6 +107,10 @@ class BfsTree {
  private:
   static std::size_t idx(Vertex v) { return static_cast<std::size_t>(v); }
   static std::size_t eidx(EdgeId e) { return static_cast<std::size_t>(e); }
+
+  /// Builds everything derived from sp_ (children CSR, preorder, tin/tout,
+  /// subtree sizes, tree-edge table). Shared by all constructors.
+  void build_derived();
 
   const Graph* g_;
   const EdgeWeights* weights_;

@@ -97,37 +97,27 @@ CanonicalSp canonical_sp(const Graph& g, const EdgeWeights& weights,
   sp.first_hop.assign(n, kInvalidVertex);
   sp.order = std::move(layers.order);
 
-  // Pass 2: among the hop-minimal predecessors (which all sit exactly one
-  // layer up), pick the (wsum + w(e))-minimal one; ties resolved by
-  // (parent id, edge id) so the result is deterministic even under weight
-  // collisions. Processing in layer order guarantees predecessors are final.
+  // Pass 2: the canonical parent rule (pick_canonical_parent — shared with
+  // the incremental rebase). Processing in layer order guarantees
+  // predecessors are final.
   for (const Vertex v : sp.order) {
     if (v == src) continue;
     const std::int32_t hv = sp.hops[static_cast<std::size_t>(v)];
-    std::uint64_t best_w = 0;
-    Vertex best_u = kInvalidVertex;
-    EdgeId best_e = kInvalidEdge;
-    for (const Arc& a : g.neighbors(v)) {
-      if (bans.edge_banned(a.edge)) continue;
-      const Vertex u = a.to;
-      if (bans.vertex_banned(u)) continue;
-      if (sp.hops[static_cast<std::size_t>(u)] != hv - 1) continue;
-      const std::uint64_t cand =
-          sp.wsum[static_cast<std::size_t>(u)] + weights[a.edge];
-      if (best_u == kInvalidVertex || cand < best_w ||
-          (cand == best_w &&
-           (u < best_u || (u == best_u && a.edge < best_e)))) {
-        best_w = cand;
-        best_u = u;
-        best_e = a.edge;
-      }
-    }
-    FTB_DCHECK(best_u != kInvalidVertex);
-    sp.wsum[static_cast<std::size_t>(v)] = best_w;
-    sp.parent[static_cast<std::size_t>(v)] = best_u;
-    sp.parent_edge[static_cast<std::size_t>(v)] = best_e;
+    const CanonicalParentChoice best = pick_canonical_parent(
+        g, weights, v, hv,
+        [&](const Arc& a) {
+          return !bans.edge_banned(a.edge) && !bans.vertex_banned(a.to);
+        },
+        [&](Vertex u) { return sp.hops[static_cast<std::size_t>(u)]; },
+        [&](Vertex u) { return sp.wsum[static_cast<std::size_t>(u)]; });
+    FTB_DCHECK(best.parent != kInvalidVertex);
+    sp.wsum[static_cast<std::size_t>(v)] = best.wsum;
+    sp.parent[static_cast<std::size_t>(v)] = best.parent;
+    sp.parent_edge[static_cast<std::size_t>(v)] = best.edge;
     sp.first_hop[static_cast<std::size_t>(v)] =
-        (best_u == src) ? v : sp.first_hop[static_cast<std::size_t>(best_u)];
+        (best.parent == src)
+            ? v
+            : sp.first_hop[static_cast<std::size_t>(best.parent)];
   }
   return sp;
 }

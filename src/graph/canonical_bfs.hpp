@@ -130,4 +130,39 @@ struct CanonicalSp {
 CanonicalSp canonical_sp(const Graph& g, const EdgeWeights& weights,
                          Vertex src, const BfsBans& bans = {});
 
+/// THE canonical parent rule, in one place: among v's admissible neighbors
+/// exactly one hop level up, the (wsum(u) + w(e))-minimal one, ties broken
+/// by (parent id, edge id). `canonical_sp` pass 2 and the incremental
+/// punctured-tree rebase (rebase_punctured_tree) both call this — the
+/// bit-identity contract between them hangs on there being ONE copy of
+/// the rule. `admissible(arc)` filters banned arcs; `hops(u)` must return
+/// the FINAL hop distance of u in the graph being answered for.
+struct CanonicalParentChoice {
+  std::uint64_t wsum = 0;
+  Vertex parent = kInvalidVertex;
+  EdgeId edge = kInvalidEdge;
+};
+template <class Admissible, class HopsAt, class WsumAt>
+CanonicalParentChoice pick_canonical_parent(const Graph& g,
+                                            const EdgeWeights& weights,
+                                            Vertex v, std::int32_t hv,
+                                            Admissible&& admissible,
+                                            HopsAt&& hops, WsumAt&& wsum) {
+  CanonicalParentChoice best;
+  for (const Arc& a : g.neighbors(v)) {
+    if (!admissible(a)) continue;
+    const Vertex u = a.to;
+    if (hops(u) != hv - 1) continue;
+    const std::uint64_t cand = wsum(u) + weights[a.edge];
+    if (best.parent == kInvalidVertex || cand < best.wsum ||
+        (cand == best.wsum &&
+         (u < best.parent || (u == best.parent && a.edge < best.edge)))) {
+      best.wsum = cand;
+      best.parent = u;
+      best.edge = a.edge;
+    }
+  }
+  return best;
+}
+
 }  // namespace ftb

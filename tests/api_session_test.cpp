@@ -428,6 +428,87 @@ TEST(ApiSessionConcurrency, DualPairStormManyThreadsMatchSerial) {
   for (const std::string& f : failures) EXPECT_EQ(f, "");
 }
 
+TEST(ApiSessionConcurrency, PrunedDualArenaCacheChurnsUnderConcurrentStorms) {
+  // DualFaultOracle caching under the PRUNED structure, concurrently: the
+  // leased one-slot DualQueryArenas evict on every pair switch, so a storm
+  // of alternating non-reducible pairs from many threads churns the arena
+  // pool's cached traversals while reducible pairs bypass the cache — all
+  // answers must stay bit-identical to the serial referee. Runs under TSan
+  // via the concurrency label (the dual ctest label pulls it into the ASan
+  // job too).
+  const Graph g = gen::random_connected(40, 110, 53);
+  api::BuildSpec spec;
+  spec.fault_model = FaultClass::kDual;
+  const api::Session session = api::Session::open(g, spec);
+  const FtBfsStructure& h = session.structure();
+
+  // An alternating storm of sited pairs (every query a fresh pair — the
+  // eviction-heavy shape) interleaved with reducible pairs (doubled
+  // elements and off-structure second edges — the cache-bypassing shape).
+  EdgeId off_structure = kInvalidEdge;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (!h.contains(e)) {
+      off_structure = e;
+      break;
+    }
+  }
+  const auto& tree_edges = h.tree_edges();
+  std::vector<Query> all;
+  for (std::size_t i = 0; i + 1 < tree_edges.size(); i += 2) {
+    for (Vertex v = 0; v < g.num_vertices(); v += 5) {
+      Query pair;
+      pair.v = v;
+      pair.kind = FaultClass::kEdge;
+      pair.fault = tree_edges[i];
+      pair.kind2 = FaultClass::kEdge;
+      pair.fault2 = tree_edges[i + 1];
+      all.push_back(pair);
+      Query doubled = pair;
+      doubled.fault2 = doubled.fault;
+      all.push_back(doubled);
+      if (off_structure != kInvalidEdge) {
+        Query reducible = pair;
+        reducible.fault2 = off_structure;
+        all.push_back(reducible);
+      }
+    }
+  }
+
+  std::vector<api::QueryResult> expected;
+  expected.reserve(all.size());
+  for (const Query& q : all) expected.push_back(session.query_one(q));
+
+  constexpr int kThreads = 8;
+  std::vector<std::string> failures(kThreads);
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      Rng rng(static_cast<std::uint64_t>(9100 + t));
+      for (int round = 0; round < 3; ++round) {
+        std::vector<std::uint32_t> order(all.size());
+        for (std::uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+        rng.shuffle(order);
+        std::vector<Query> batch;
+        batch.reserve(order.size());
+        for (const std::uint32_t i : order) batch.push_back(all[i]);
+        const QueryResponse resp = session.query(batch);
+        for (std::size_t k = 0; k < order.size(); ++k) {
+          if (resp.results[k].dist != expected[order[k]].dist ||
+              resp.results[k].outcome != expected[order[k]].outcome) {
+            failures[static_cast<std::size_t>(t)] =
+                "thread " + std::to_string(t) + " round " +
+                std::to_string(round) + " query " + std::to_string(order[k]);
+            return;
+          }
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  for (const std::string& f : failures) EXPECT_EQ(f, "");
+}
+
 TEST(ApiSessionConcurrency, ConcurrentSessionsShareTheGlobalPool) {
   // Two independent sessions, queried from competing threads, both backed
   // by the global ThreadPool: results must stay exact.

@@ -1,12 +1,17 @@
-// dual_fault_test.cpp — the dual-failure differential suite.
+// dual_fault_test.cpp — the dual-failure differential suite, on the seeded
+// property harness (tests/property_test_util.hpp).
 //
 // Every answer the dual pipeline can serve — structure BFS, oracle fast
 // paths, batched Session queries, reloaded v4 artifacts — is pinned
-// bit-identical against brute-force two-failure BFS on several graph
-// families (random, dense, long-path, grid: the adversarial shapes differ
-// in where replacement paths can run).
+// bit-identical against brute-force two-failure BFS AND against the
+// unpruned PR 4 referee (BuildSpec::unpruned_dual) on the harness's four
+// graph families (dense random, sparse random, long path, grid: the
+// adversarial shapes differ in where replacement paths can run):
+// exhaustive pairs at small n, seeded property sampling at larger n. A
+// failing case prints its one-command reproduction via FTB_PROPERTY_TRACE.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -18,19 +23,10 @@
 #include "src/graph/generators.hpp"
 #include "src/io/structure_io.hpp"
 #include "src/sim/failure_sim.hpp"
-#include "tests/test_util.hpp"
+#include "tests/property_test_util.hpp"
 
 namespace ftb {
 namespace {
-
-std::vector<test::FamilyCase> dual_families() {
-  std::vector<test::FamilyCase> out;
-  out.push_back({"conn40", gen::random_connected(40, 90, 7), 0});
-  out.push_back({"gnm36", gen::gnm(36, 140, 3), 0});
-  out.push_back({"path24", gen::path_graph(24), 0});  // long-path adversary
-  out.push_back({"grid5x6", gen::grid_graph(5, 6), 2});
-  return out;
-}
 
 /// The full failure universe of (g, source): every edge, every non-source
 /// vertex — the same enumeration verify_dual_structure uses.
@@ -45,30 +41,140 @@ std::vector<DualSite> universe_of(const Graph& g, Vertex s) {
   return u;
 }
 
-TEST(DualFault, StructureMatchesBruteForceOnEveryPair) {
-  for (const auto& fc : dual_families()) {
+TEST(DualFault, PrunedStructureMatchesBruteForceOnEveryPair) {
+  for (const auto& pc : test::property_cases(28, 2)) {
+    FTB_PROPERTY_TRACE(pc, "dual_fault_test");
     api::BuildSpec spec;
     spec.fault_model = FaultClass::kDual;
-    spec.sources = {fc.source};
-    const api::BuildResult res = api::build(fc.graph, spec);
+    spec.sources = {pc.source};
+    const api::BuildResult res = api::build(pc.graph, spec);
     EXPECT_EQ(res.structure.fault_class(), FaultClass::kDual);
-    EXPECT_EQ(res.structure.num_reinforced(), 0) << fc.name;
+    EXPECT_EQ(res.structure.num_reinforced(), 0);
     ASSERT_EQ(res.dual_tables.size(), 1u);
     // Exhaustive: every unordered failure pair, every vertex.
-    EXPECT_EQ(verify_dual_structure(res.structure, /*max_pairs=*/-1), 0)
-        << fc.name;
+    EXPECT_EQ(verify_dual_structure(res.structure, /*max_pairs=*/-1), 0);
   }
 }
 
-TEST(DualFault, SessionServesEveryPairBitIdenticalToBruteForce) {
-  for (const auto& fc : dual_families()) {
-    const Graph& g = fc.graph;
+TEST(DualFault, PrunedIsSubsetOfUnprunedRefereeAndServesIdentically) {
+  for (const auto& pc : test::property_cases(36, 2)) {
+    FTB_PROPERTY_TRACE(pc, "dual_fault_test");
     api::BuildSpec spec;
     spec.fault_model = FaultClass::kDual;
-    spec.sources = {fc.source};
+    spec.sources = {pc.source};
+    const api::BuildResult pruned = api::build(pc.graph, spec);
+    api::BuildSpec ref_spec = spec;
+    ref_spec.unpruned_dual = true;
+    const api::BuildResult referee = api::build(pc.graph, ref_spec);
+
+    // Containment: the pruned H drops edges of the PR 4 recursion, never
+    // adds any — and per-site subsets shrink the same way.
+    const auto& pe = pruned.structure.edges();
+    const auto& ue = referee.structure.edges();
+    EXPECT_TRUE(std::includes(ue.begin(), ue.end(), pe.begin(), pe.end()));
+    EXPECT_LE(pruned.structure.num_edges(), referee.structure.num_edges());
+    const DualSiteTable& pt = pruned.dual_tables.front();
+    const DualSiteTable& ut = referee.dual_tables.front();
+    ASSERT_EQ(pt.sites.size(), ut.sites.size());
+    EXPECT_LE(pt.edge_pool.size(), ut.edge_pool.size());
+
+    // Differential serving: both sessions answer a seeded pair batch
+    // bit-identically (and the structure sweep referees both below).
+    const api::Session a = api::Session::deploy(pc.graph, pruned);
+    const api::Session b = api::Session::deploy(pc.graph, referee);
+    test::FaultSampler sampler(pc.graph, pc.source, pc.seed ^ 0xFA17);
+    std::vector<api::Query> batch;
+    for (const auto& [x, y] : sampler.sample_pairs(60)) {
+      for (Vertex v = 0; v < pc.graph.num_vertices(); v += 2) {
+        api::Query q;
+        q.v = v;
+        q.kind = x.kind;
+        q.fault = x.id;
+        q.kind2 = y.kind;
+        q.fault2 = y.id;
+        batch.push_back(q);
+      }
+    }
+    const api::QueryResponse ra = a.query(batch);
+    const api::QueryResponse rb = b.query(batch);
+    ASSERT_EQ(ra.results.size(), rb.results.size());
+    for (std::size_t i = 0; i < ra.results.size(); ++i) {
+      ASSERT_EQ(ra.results[i].dist, rb.results[i].dist) << "query " << i;
+      ASSERT_EQ(ra.results[i].outcome, rb.results[i].outcome) << "query " << i;
+    }
+  }
+}
+
+TEST(DualFault, PrunedPropertySamplingAtLargeN) {
+  // Seeded property sampling at sizes where exhaustive pairs are too
+  // expensive: the pruned structure still honors the dual contract, and
+  // stays within the unpruned referee's size budget (the size-regression
+  // referee of verify_dual_structure).
+  for (const auto& pc : test::property_cases(120, 1)) {
+    FTB_PROPERTY_TRACE(pc, "dual_fault_test");
+    api::BuildSpec spec;
+    spec.fault_model = FaultClass::kDual;
+    spec.sources = {pc.source};
+    const api::BuildResult pruned = api::build(pc.graph, spec);
+    api::BuildSpec ref_spec = spec;
+    ref_spec.unpruned_dual = true;
+    const api::BuildResult referee = api::build(pc.graph, ref_spec);
+    EXPECT_EQ(verify_dual_structure(pruned.structure, /*max_pairs=*/300,
+                                    /*seed=*/pc.seed, /*pool=*/nullptr,
+                                    /*edges_budget=*/
+                                    referee.structure.num_edges()),
+              0);
+  }
+}
+
+TEST(DualFault, PrunedReferenceKernelBuildsIdenticalStructure) {
+  // The pruned pipeline under the naive reference kernels (restricted
+  // engines + rebased trees included) must emit the same structure and
+  // tables as the optimized kernels.
+  for (const auto& pc : test::property_cases(26, 1)) {
+    FTB_PROPERTY_TRACE(pc, "dual_fault_test");
+    api::BuildSpec spec;
+    spec.fault_model = FaultClass::kDual;
+    spec.sources = {pc.source};
+    const api::BuildResult opt = api::build(pc.graph, spec);
+    api::BuildSpec ref_spec = spec;
+    ref_spec.reference_kernel = true;
+    const api::BuildResult ref = api::build(pc.graph, ref_spec);
+    EXPECT_EQ(opt.structure.edges(), ref.structure.edges());
+    ASSERT_EQ(opt.dual_tables.size(), ref.dual_tables.size());
+    EXPECT_EQ(opt.dual_tables.front().offsets, ref.dual_tables.front().offsets);
+    EXPECT_EQ(opt.dual_tables.front().edge_pool,
+              ref.dual_tables.front().edge_pool);
+  }
+}
+
+TEST(DualFault, EdgeBudgetRefereeTripsOnOversizedStructure) {
+  const Graph g = test::make_family_graph(test::GraphFamily::kDenseRandom,
+                                          24, 11);
+  api::BuildSpec spec;
+  spec.fault_model = FaultClass::kDual;
+  const api::BuildResult res = api::build(g, spec);
+  const std::int64_t edges = res.structure.num_edges();
+  // At its own size the structure passes; one edge under, the budget check
+  // alone trips — no distance checks are charged for it.
+  EXPECT_EQ(verify_dual_structure(res.structure, /*max_pairs=*/10, /*seed=*/1,
+                                  nullptr, /*edges_budget=*/edges),
+            0);
+  EXPECT_EQ(verify_dual_structure(res.structure, /*max_pairs=*/10, /*seed=*/1,
+                                  nullptr, /*edges_budget=*/edges - 1),
+            1);
+}
+
+TEST(DualFault, SessionServesEveryPairBitIdenticalToBruteForce) {
+  for (const auto& pc : test::property_cases(30, 1)) {
+    FTB_PROPERTY_TRACE(pc, "dual_fault_test");
+    const Graph& g = pc.graph;
+    api::BuildSpec spec;
+    spec.fault_model = FaultClass::kDual;
+    spec.sources = {pc.source};
     const api::Session session = api::Session::open(g, spec);
 
-    const auto universe = universe_of(g, fc.source);
+    const auto universe = universe_of(g, pc.source);
     // Stride the universe so the suite stays fast but still mixes every
     // classification: tree/non-tree edges, internal/leaf vertices.
     const std::size_t stride = universe.size() > 60 ? 5 : 1;
@@ -91,22 +197,20 @@ TEST(DualFault, SessionServesEveryPairBitIdenticalToBruteForce) {
       }
     }
     const api::QueryResponse resp = session.query(batch);
-    EXPECT_EQ(resp.refused, 0) << fc.name;
-    EXPECT_EQ(resp.in_model, static_cast<std::int64_t>(batch.size()))
-        << fc.name;
-    EXPECT_LE(resp.pair_traversals, static_cast<std::int64_t>(pairs.size()))
-        << fc.name;
+    EXPECT_EQ(resp.refused, 0);
+    EXPECT_EQ(resp.in_model, static_cast<std::int64_t>(batch.size()));
+    EXPECT_LE(resp.pair_traversals, static_cast<std::int64_t>(pairs.size()));
 
     BfsScratch truth;
     std::size_t qi = 0;
     for (const auto& [a, b] : pairs) {
-      dual_bruteforce_bfs(g, fc.source, a, b, truth);
+      dual_bruteforce_bfs(g, pc.source, a, b, truth);
       for (Vertex v = 0; v < g.num_vertices(); ++v, ++qi) {
         const bool destroyed = (a.kind == FaultClass::kVertex && a.id == v) ||
                                (b.kind == FaultClass::kVertex && b.id == v);
         const std::int32_t want = destroyed ? kInfHops : truth.dist(v);
         ASSERT_EQ(resp.results[qi].dist, want)
-            << fc.name << " v=" << v << " f1=(" << static_cast<int>(a.kind)
+            << " v=" << v << " f1=(" << static_cast<int>(a.kind)
             << "," << a.id << ") f2=(" << static_cast<int>(b.kind) << ","
             << b.id << ")";
       }
@@ -188,6 +292,96 @@ TEST(DualFault, OracleFastPathsAreExactAndTraversalFree) {
     }
     EXPECT_EQ(traversals, 0);  // the fast paths never traverse
   }
+  // Reducible pairs touch neither cache counter: no traversal ran, none
+  // was reused.
+  EXPECT_EQ(arena.cache_hits(), 0);
+  EXPECT_EQ(arena.cache_misses(), 0);
+}
+
+TEST(DualFault, OracleArenaCountsHitsMissesAndEvictions) {
+  // The DualQueryArena is a one-slot traversal cache over the pruned
+  // serving sets: repeats of one non-reducible pair are hits, a different
+  // pair evicts the held traversal (a miss), and reducible pairs bypass
+  // the cache entirely.
+  const auto pc = test::property_cases(40, 1).front();
+  FTB_PROPERTY_TRACE(pc, "dual_fault_test");
+  const Graph& g = pc.graph;
+  api::BuildSpec spec;
+  spec.fault_model = FaultClass::kDual;
+  spec.sources = {pc.source};
+  const api::BuildResult res = api::build(g, spec);
+
+  const EdgeWeights w = EdgeWeights::uniform_random(g, spec.weight_seed);
+  const BfsTree tree(g, w, pc.source);
+  ReplacementPathEngine::Config ecfg;
+  ecfg.collect_detours = false;
+  const ReplacementPathEngine ee(tree, ecfg);
+  VertexReplacementEngine::Config vcfg;
+  vcfg.collect_detours = false;
+  const VertexReplacementEngine ve(tree, vcfg);
+  const DualFaultOracle oracle(tree, ee, ve, res.dual_tables.front());
+  DualQueryArena arena;
+
+  // Two distinct non-reducible pairs: adjacent tree edges always share a
+  // π(s,·), so (tree edge, tree edge) pairs are never reducible.
+  ASSERT_GE(tree.tree_edges().size(), 3u);
+  const DualSite e0{FaultClass::kEdge, tree.tree_edges()[0]};
+  const DualSite e1{FaultClass::kEdge, tree.tree_edges()[1]};
+  const DualSite e2{FaultClass::kEdge, tree.tree_edges()[2]};
+  ASSERT_FALSE(oracle.reducible(e0, e1));
+  ASSERT_FALSE(oracle.reducible(e1, e2));
+
+  // First touch: one miss, then every same-pair query hits.
+  std::int64_t traversals = 0;
+  BfsScratch truth;
+  dual_bruteforce_bfs(g, pc.source, e0, e1, truth);
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    ASSERT_EQ(oracle.dist(v, e0, e1, arena, &traversals), truth.dist(v));
+  }
+  EXPECT_EQ(arena.cache_misses(), 1);
+  EXPECT_EQ(arena.cache_hits(),
+            static_cast<std::int64_t>(g.num_vertices()) - 1);
+  EXPECT_EQ(traversals, 1);
+
+  // The unordered spelling of the held pair is still a hit.
+  ASSERT_EQ(oracle.dist(0, e1, e0, arena, &traversals),
+            oracle.dist(0, e0, e1, arena, &traversals));
+  EXPECT_EQ(arena.cache_misses(), 1);
+
+  // A pair storm alternating two pairs evicts the one-slot cache every
+  // time: each switch is a fresh miss, answers stay exact throughout.
+  BfsScratch truth2;
+  dual_bruteforce_bfs(g, pc.source, e1, e2, truth2);
+  const std::int64_t misses_before = arena.cache_misses();
+  for (int round = 0; round < 4; ++round) {
+    // The arena holds {e0, e1} entering the storm, so leading with
+    // {e1, e2} makes every round an eviction.
+    const bool second = round % 2 == 0;
+    const DualSite a = second ? e1 : e0;
+    const DualSite b = second ? e2 : e1;
+    BfsScratch& want = second ? truth2 : truth;
+    ASSERT_EQ(oracle.dist(1, a, b, arena, nullptr), want.dist(1));
+  }
+  EXPECT_EQ(arena.cache_misses(), misses_before + 4);
+
+  // Reducible traffic in between does not disturb the held traversal.
+  EdgeId off_structure = kInvalidEdge;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (!res.structure.contains(e)) {  // in no subset, on no tree
+      off_structure = e;
+      break;
+    }
+  }
+  const std::int64_t hits_before = arena.cache_hits();
+  if (off_structure != kInvalidEdge) {
+    const DualSite off{FaultClass::kEdge, off_structure};
+    ASSERT_TRUE(oracle.reducible(e1, off));
+    (void)oracle.dist(2, e1, off, arena, nullptr);
+    EXPECT_EQ(arena.cache_misses(), misses_before + 4);
+  }
+  // The storm ended on {e0, e1}; that pair is still held.
+  ASSERT_EQ(oracle.dist(3, e0, e1, arena, nullptr), truth.dist(3));
+  EXPECT_EQ(arena.cache_hits(), hits_before + 1);
 }
 
 TEST(DualFault, SavedSessionReloadsAndServesIdentically) {

@@ -1,20 +1,31 @@
-// fault_model_test.cpp — the unified S0 engine across fault models.
+// fault_model_test.cpp — the unified S0 engine across fault models, on the
+// seeded property harness (tests/property_test_util.hpp).
 //
 // Differential guarantees the refactor is held to:
 //   * FaultReplacementEngine<EdgeFault> under the scratch kernels is
 //     bit-identical — every pair field, every detour vertex, every table
 //     row — to the reference-kernel pipeline (the pre-refactor engine's
-//     independent realization) on every family seed;
+//     independent realization) on every harness case;
 //   * the same holds for FaultReplacementEngine<VertexFault>;
+//   * rebase_punctured_tree is bit-identical to the full punctured
+//     canonical rebuild on EVERY first-failure site, and the
+//     restrict_terminals engine emits exactly the full engine's pairs for
+//     the restricted terminals — the two legs the pruned dual pipeline
+//     stands on;
 //   * vertex-fault StructureOracle queries agree with literal BFS on
 //     G \ {x} exhaustively at small n.
+// Failing property cases print their one-command reproduction via
+// FTB_PROPERTY_TRACE.
 #include <gtest/gtest.h>
 
 #include <algorithm>
 
+#include "src/core/dist_sweep.hpp"
+#include "src/core/dual_fault.hpp"
 #include "src/core/ftbfs.hpp"
 #include "src/core/structure_oracle.hpp"
 #include "src/core/vertex_ftbfs.hpp"
+#include "tests/property_test_util.hpp"
 #include "tests/test_util.hpp"
 
 namespace ftb {
@@ -57,45 +68,57 @@ void expect_engines_bit_identical(const BfsTree& tree) {
   }
 }
 
-class FaultModelFamilyTest : public ::testing::TestWithParam<std::string> {};
-
-test::FamilyCase find_family(const std::string& name) {
-  for (auto& fc : test::small_families()) {
-    if (fc.name == name) return std::move(fc);
-  }
-  ADD_FAILURE() << "unknown family " << name;
-  return {"", gen::path_graph(2), 0};
+/// The property sweep both parametrized suites draw from: the harness's
+/// four families plus the structured classics of test_util (star, clique,
+/// grid, …) folded in as extra cases so the engine keeps its old coverage.
+std::vector<test::PropertyCase>& sweep_cases() {
+  static std::vector<test::PropertyCase>* cases = [] {
+    auto* out = new std::vector<test::PropertyCase>(
+        test::property_cases(44, 2));
+    for (auto& fc : test::small_families(test::property_base_seed())) {
+      test::PropertyCase pc;
+      pc.family = test::GraphFamily::kDenseRandom;  // tag only; name wins
+      pc.n = fc.graph.num_vertices();
+      pc.seed = test::property_base_seed();
+      pc.base_seed = test::property_base_seed();
+      pc.source = fc.source;
+      pc.graph = std::move(fc.graph);
+      pc.label = fc.name;
+      out->push_back(std::move(pc));
+    }
+    return out;
+  }();
+  return *cases;
 }
 
-std::vector<std::string> family_names() {
-  std::vector<std::string> names;
-  for (const auto& fc : test::small_families()) names.push_back(fc.name);
-  return names;
-}
+class FaultModelFamilyTest : public ::testing::TestWithParam<std::size_t> {};
 
 TEST_P(FaultModelFamilyTest, EdgeEngineBitIdenticalToReference) {
-  const test::FamilyCase fc = find_family(GetParam());
-  const EdgeWeights w = EdgeWeights::uniform_random(fc.graph, 42);
-  const BfsTree tree(fc.graph, w, fc.source);
+  const test::PropertyCase& pc = sweep_cases()[GetParam()];
+  FTB_PROPERTY_TRACE(pc, "fault_model_test");
+  const EdgeWeights w = EdgeWeights::uniform_random(pc.graph, 42);
+  const BfsTree tree(pc.graph, w, pc.source);
   expect_engines_bit_identical<EdgeFault>(tree);
 }
 
 TEST_P(FaultModelFamilyTest, VertexEngineBitIdenticalToReference) {
-  const test::FamilyCase fc = find_family(GetParam());
-  const EdgeWeights w = EdgeWeights::uniform_random(fc.graph, 42);
-  const BfsTree tree(fc.graph, w, fc.source);
+  const test::PropertyCase& pc = sweep_cases()[GetParam()];
+  FTB_PROPERTY_TRACE(pc, "fault_model_test");
+  const EdgeWeights w = EdgeWeights::uniform_random(pc.graph, 42);
+  const BfsTree tree(pc.graph, w, pc.source);
   expect_engines_bit_identical<VertexFault>(tree);
 }
 
 TEST_P(FaultModelFamilyTest, EdgeTablesBitIdenticalAcrossKernels) {
-  const test::FamilyCase fc = find_family(GetParam());
-  const EdgeWeights w = EdgeWeights::uniform_random(fc.graph, 43);
-  const BfsTree tree(fc.graph, w, fc.source);
+  const test::PropertyCase& pc = sweep_cases()[GetParam()];
+  FTB_PROPERTY_TRACE(pc, "fault_model_test");
+  const EdgeWeights w = EdgeWeights::uniform_random(pc.graph, 43);
+  const BfsTree tree(pc.graph, w, pc.source);
   ReplacementPathEngine::Config ref_cfg;
   ref_cfg.reference_kernel = true;
   const ReplacementPathEngine ref(tree, ref_cfg);
   const ReplacementPathEngine opt(tree);
-  for (Vertex v = 0; v < fc.graph.num_vertices(); ++v) {
+  for (Vertex v = 0; v < pc.graph.num_vertices(); ++v) {
     if (!tree.reachable(v)) continue;
     for (const EdgeId e : tree.tree_edges()) {
       if (!tree.on_source_path(e, v)) continue;
@@ -105,14 +128,110 @@ TEST_P(FaultModelFamilyTest, EdgeTablesBitIdenticalAcrossKernels) {
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(Families, FaultModelFamilyTest,
-                         ::testing::ValuesIn(family_names()),
-                         [](const auto& pinfo) { return pinfo.param; });
+TEST_P(FaultModelFamilyTest, RebasedPuncturedTreeBitIdenticalToFullRebuild) {
+  // The prefix-reuse leg: for EVERY first-failure site, the incremental
+  // rebase must reproduce the full punctured canonical tree bit for bit —
+  // labels, tree edges, preorder intervals, finalization order.
+  const test::PropertyCase& pc = sweep_cases()[GetParam()];
+  FTB_PROPERTY_TRACE(pc, "fault_model_test");
+  const EdgeWeights w = EdgeWeights::uniform_random(pc.graph, 45);
+  const BfsTree base(pc.graph, w, pc.source);
+
+  const auto check_site = [&](EdgeId fe, Vertex fv) {
+    BfsBans bans;
+    bans.banned_edge = fe;
+    bans.banned_vertex_one = fv;
+    const BfsTree full(pc.graph, w, pc.source, bans);
+    const BfsTree rebased = rebase_punctured_tree(base, fe, fv);
+    ASSERT_EQ(rebased.tree_edges(), full.tree_edges())
+        << "fe=" << fe << " fv=" << fv;
+    ASSERT_EQ(rebased.sp().hops, full.sp().hops);
+    ASSERT_EQ(rebased.sp().wsum, full.sp().wsum);
+    ASSERT_EQ(rebased.sp().parent, full.sp().parent);
+    ASSERT_EQ(rebased.sp().parent_edge, full.sp().parent_edge);
+    ASSERT_EQ(rebased.sp().first_hop, full.sp().first_hop);
+    ASSERT_EQ(rebased.sp().order, full.sp().order);
+    for (Vertex v = 0; v < pc.graph.num_vertices(); ++v) {
+      if (!full.reachable(v)) continue;
+      ASSERT_EQ(rebased.tin(v), full.tin(v));
+      ASSERT_EQ(rebased.tout(v), full.tout(v));
+      ASSERT_EQ(rebased.subtree_size(v), full.subtree_size(v));
+    }
+  };
+  // Every site on small trees; a deterministic stride on big ones keeps
+  // the sweep O(40 full rebuilds) per case while still touching every
+  // depth band.
+  const auto& edges = base.tree_edges();
+  const std::size_t estride = std::max<std::size_t>(1, edges.size() / 20);
+  for (std::size_t i = 0; i < edges.size(); i += estride) {
+    check_site(edges[i], kInvalidVertex);
+  }
+  std::vector<Vertex> vsites;
+  for (const Vertex u : base.preorder()) {
+    if (u != base.source() && base.subtree_size(u) > 1) vsites.push_back(u);
+  }
+  const std::size_t vstride = std::max<std::size_t>(1, vsites.size() / 20);
+  for (std::size_t i = 0; i < vsites.size(); i += vstride) {
+    check_site(kInvalidEdge, vsites[i]);
+  }
+}
+
+TEST_P(FaultModelFamilyTest, RestrictedEngineMatchesFullEngineOnTerminals) {
+  // The segment-pruning leg: an engine restricted to a subtree's terminals
+  // must emit exactly the full engine's pairs for those terminals and
+  // agree on every replacement distance it still answers for.
+  const test::PropertyCase& pc = sweep_cases()[GetParam()];
+  FTB_PROPERTY_TRACE(pc, "fault_model_test");
+  const EdgeWeights w = EdgeWeights::uniform_random(pc.graph, 46);
+  const BfsTree tree(pc.graph, w, pc.source);
+  if (tree.tree_edges().empty()) return;
+  // A representative site: the deepest tree edge's subtree plus the
+  // root-child subtree (small and large restriction).
+  std::vector<Vertex> tops;
+  tops.push_back(tree.lower_endpoint(tree.tree_edges().back()));
+  tops.push_back(tree.lower_endpoint(tree.tree_edges().front()));
+  for (const Vertex top : tops) {
+    const std::span<const Vertex> terminals = tree.subtree(top);
+    const auto run = [&](auto model_tag) {
+      using Model = decltype(model_tag);
+      typename FaultReplacementEngine<Model>::Config full_cfg, rcfg;
+      const FaultReplacementEngine<Model> full(tree, full_cfg);
+      rcfg.restrict_terminals = terminals;
+      const FaultReplacementEngine<Model> restricted(tree, rcfg);
+      // Expected: the full engine's pairs whose terminal lies in the span.
+      std::vector<typename Model::Pair> want;
+      for (const auto& p : full.uncovered_pairs()) {
+        if (tree.is_ancestor_or_equal(top, p.v)) want.push_back(p);
+      }
+      const auto& got = restricted.uncovered_pairs();
+      ASSERT_EQ(got.size(), want.size()) << "top=" << top;
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        ASSERT_EQ(got[i].v, want[i].v) << i;
+        ASSERT_EQ(Model::fault_of(got[i]), Model::fault_of(want[i])) << i;
+        ASSERT_EQ(got[i].rep_dist, want[i].rep_dist) << i;
+        ASSERT_EQ(got[i].last_edge, want[i].last_edge) << i;
+        ASSERT_EQ(got[i].diverge, want[i].diverge) << i;
+        const auto fd = full.detour(want[i]);
+        const auto rd = restricted.detour(got[i]);
+        ASSERT_TRUE(std::equal(fd.begin(), fd.end(), rd.begin(), rd.end()))
+            << i;
+      }
+    };
+    run(EdgeFault{});
+    run(VertexFault{});
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, FaultModelFamilyTest,
+    ::testing::Range<std::size_t>(0, sweep_cases().size()),
+    [](const auto& pinfo) { return sweep_cases()[pinfo.param].name(); });
 
 // ---- vertex-fault serving stack ------------------------------------------
 
 TEST(VertexStructureOracleTest, MatchesLiteralBfsExhaustively) {
-  for (auto& fc : test::tiny_families()) {
+  for (const auto& fc : test::property_cases(18, 1)) {
+    FTB_PROPERTY_TRACE(fc, "fault_model_test");
     const VertexFtBfsOptions opts;  // default weight seed
     const FtBfsStructure h = build_vertex_ftbfs(fc.graph, fc.source, opts);
     ASSERT_EQ(h.fault_class(), FaultClass::kVertex);
@@ -135,7 +254,7 @@ TEST(VertexStructureOracleTest, MatchesLiteralBfsExhaustively) {
         if (v == x) continue;
         ASSERT_EQ(oracle.query(v, x),
                   brute.dist[static_cast<std::size_t>(v)])
-            << fc.name << " v=" << v << " x=" << x;
+            << " v=" << v << " x=" << x;
         ASSERT_EQ(oracle.query_unchecked(v, x), oracle.query(v, x));
       }
     }
@@ -154,7 +273,8 @@ TEST(VertexStructureOracleTest, SourceFailureRefused) {
 }
 
 TEST(VertexOracleTest, PathQueriesAreValidReplacementPaths) {
-  for (auto& fc : test::tiny_families()) {
+  for (const auto& fc : test::property_cases(20, 1)) {
+    FTB_PROPERTY_TRACE(fc, "fault_model_test");
     const EdgeWeights w = EdgeWeights::uniform_random(fc.graph, 44);
     const BfsTree tree(fc.graph, w, fc.source);
     const VertexReplacementEngine engine(tree);  // detours collected
@@ -178,7 +298,8 @@ TEST(VertexOracleTest, PathQueriesAreValidReplacementPaths) {
 }
 
 TEST(VertexEngineTest, CoveredTestMatchesLiteralGPrime) {
-  for (auto& fc : test::tiny_families()) {
+  for (const auto& fc : test::property_cases(20, 1)) {
+    FTB_PROPERTY_TRACE(fc, "fault_model_test");
     const EdgeWeights w = EdgeWeights::uniform_random(fc.graph, 45);
     const BfsTree tree(fc.graph, w, fc.source);
     const VertexReplacementEngine engine(tree);
@@ -208,7 +329,7 @@ TEST(VertexEngineTest, CoveredTestMatchesLiteralGPrime) {
         const bool covered_brute =
             gp.dist[static_cast<std::size_t>(v)] == rd;
         ASSERT_EQ(engine.covered(v, x), covered_brute)
-            << fc.name << " v=" << v << " x=" << x;
+            << " v=" << v << " x=" << x;
       }
     }
   }
