@@ -16,7 +16,9 @@
 // skips it.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string_view>
 
 #include "bench/bench_util.hpp"
@@ -553,6 +555,89 @@ bool run_dual_report(bench::JsonObject* out) {
   return identical;
 }
 
+/// Times the zero-trust artifact plane on a dual session: checksummed v5
+/// save, strict reload (every section CRC-verified + per-line validation),
+/// and Session::fsck() over the reloaded session. Gates are semantic plus
+/// a generous wall-clock ceiling: the reload must serve bit-identical
+/// answers on a pair sweep, fsck must come back clean (not degraded), and
+/// the whole save+load+fsck round trip must stay under 30 s — artifact
+/// integrity is supposed to be effectively free next to the build.
+bool run_io_integrity_report(bench::JsonObject* out) {
+  const Vertex n = 96;
+  const Graph g = bench::dense_random(n, 3);
+  api::BuildSpec spec;
+  spec.fault_model = FaultClass::kDual;
+  const api::Session session = api::Session::open(g, spec);
+
+  const std::string path = "BENCH_io_scratch.ftbfs";
+  Timer t;
+  session.save_v5(path);
+  const double save_s = t.seconds();
+  std::int64_t artifact_bytes = 0;
+  {
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    artifact_bytes = static_cast<std::int64_t>(in.tellg());
+  }
+
+  api::SessionConfig cfg;
+  cfg.tolerate_corruption = false;  // strict: every checksum must hold
+  t.restart();
+  const api::Session reloaded = api::Session::load(g, path, cfg);
+  const double load_s = t.seconds();
+
+  t.restart();
+  const api::FsckReport rep = reloaded.fsck();
+  const double fsck_s = t.seconds();
+
+  // Bit-identity sweep: a spread of in-model failure pairs through both
+  // sessions.
+  bool identical = true;
+  std::vector<api::Query> sweep;
+  for (Vertex v = 1; v < n; v += 5) {
+    api::Query q;
+    q.v = v;
+    q.kind = FaultClass::kVertex;
+    q.fault = (v + 7) % n != 0 ? (v + 7) % n : 1;
+    q.kind2 = FaultClass::kEdge;
+    q.fault2 = static_cast<std::int32_t>(v % g.num_edges());
+    sweep.push_back(q);
+  }
+  const api::QueryResponse a = session.query(sweep);
+  const api::QueryResponse b = reloaded.query(sweep);
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    if (a.results[i].dist != b.results[i].dist ||
+        a.results[i].outcome != b.results[i].outcome) {
+      identical = false;
+    }
+  }
+  std::remove(path.c_str());
+
+  const double total_s = save_s + load_s + fsck_s;
+  const bool ok =
+      rep.ok && !rep.degraded && identical && total_s < 30.0;
+  out->set("n", static_cast<std::int64_t>(n))
+      .set("artifact_bytes", artifact_bytes)
+      .set("save_v5_s", save_s)
+      .set("load_strict_s", load_s)
+      .set("fsck_s", fsck_s)
+      .set("fsck_checks", rep.checks)
+      .set("fsck_ok", rep.ok)
+      .set("degraded", rep.degraded)
+      .set("reload_answers_identical", identical)
+      .set("gates_ok", ok);
+  std::cout << "io integrity (n=" << n << "): v5 save " << save_s
+            << "s, strict load " << load_s << "s, fsck " << fsck_s << "s ("
+            << rep.checks << " checks) — "
+            << (ok ? "ok" : "GATE FAILED") << "\n";
+  if (!identical) {
+    std::cout << "!!! reloaded v5 session diverges from the live session\n";
+  }
+  if (!rep.ok || rep.degraded) {
+    std::cout << "!!! fsck on a clean v5 reload: " << rep.to_string() << "\n";
+  }
+  return ok;
+}
+
 /// Returns false when any reference-vs-optimized edge-set comparison
 /// disagrees (CI fails on that).
 bool run_speedup_report() {
@@ -699,6 +784,10 @@ bool run_speedup_report() {
   bench::JsonObject dual_scale;
   const bool dual_scale_ok = run_dual_scale_report(&dual_scale);
 
+  // The zero-trust artifact plane: v5 save + strict reload + fsck timing.
+  bench::JsonObject io_integrity;
+  const bool io_ok = run_io_integrity_report(&io_integrity);
+
   bench::JsonObject report;
   report.set("bench", std::string("construction_time"))
       .set("workload", std::string("dense_random"))
@@ -716,9 +805,11 @@ bool run_speedup_report() {
       .set_raw("query_plane", query_plane.str(2))
       .set_raw("dual", dual_report.str(2))
       .set_raw("dual_scale", dual_scale.str(2))
+      .set_raw("io_integrity", io_integrity.str(2))
       .set("speedup_query_batched_vs_serial", query_speedup)
       .set("edge_sets_identical",
-           identical && full_identical && dual_agrees && dual_scale_ok);
+           identical && full_identical && dual_agrees && dual_scale_ok &&
+               io_ok);
   bench::write_json_file("BENCH_construction.json", report);
   std::cout << "engine speedup: " << sec_ref / sec_opt
             << "x (edge), " << vsec_ref / vsec_opt
@@ -727,7 +818,7 @@ bool run_speedup_report() {
             << "x, batched query plane: " << query_speedup
             << "x vs serial  (BENCH_construction.json written)\n\n";
   return identical && full_identical && plane_agrees && dual_agrees &&
-         dual_scale_ok;
+         dual_scale_ok && io_ok;
 }
 
 }  // namespace

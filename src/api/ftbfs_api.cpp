@@ -3,8 +3,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <mutex>
 #include <optional>
+#include <sstream>
 #include <unordered_map>
 
 #include "src/core/dual_fault.hpp"
@@ -229,17 +231,26 @@ struct Session::Impl {
   std::vector<DualFaultOracle> dual_oracles;
   ThreadPool* pool;  // nullptr = global
   ArenaPool arenas;
+  // Degradation state: true when this session serves recomputed pair
+  // tables because the artifact's were corrupt or absent (see
+  // SessionConfig::tolerate_corruption). Immutable after construction —
+  // a degraded session stays degraded for its whole lifetime.
+  bool serving_degraded = false;
+  std::vector<std::string> degradation;  // human-readable reasons
 
   Impl(const Graph& graph, FtBfsStructure&& h, std::vector<Vertex> srcs,
        std::uint64_t weight_seed, ThreadPool* pool_in,
-       std::vector<DualSiteTable> tables = {})
+       std::vector<DualSiteTable> tables = {},
+       std::vector<std::string> load_drops = {})
       : g(&graph),
         model(h.fault_class()),
         sources(std::move(srcs)),
         structure(std::move(h)),
         weights(EdgeWeights::uniform_random(graph, weight_seed)),
         dual_tables(std::move(tables)),
-        pool(pool_in) {
+        pool(pool_in),
+        serving_degraded(!load_drops.empty()),
+        degradation(std::move(load_drops)) {
     trees.reserve(sources.size());
     for (const Vertex s : sources) trees.emplace_back(graph, weights, s);
 
@@ -289,6 +300,14 @@ struct Session::Impl {
           dual_tables.push_back(detail::build_dual_site_table(
               t, pool, /*reference_kernel=*/false, nullptr));
         }
+        // Serving recomputed tables, not the shipped ones: the answers are
+        // bit-identical (the rebuild is deterministic from the trees), but
+        // the session is flagged degraded so operators notice the artifact
+        // did not carry what it was supposed to.
+        serving_degraded = true;
+        degradation.emplace_back(
+            "pair tables recomputed from the graph (artifact carried "
+            "none, or its pair-table section was dropped)");
       }
       dual_oracles.reserve(trees.size());
       for (std::size_t i = 0; i < trees.size(); ++i) {
@@ -379,7 +398,12 @@ struct Session::Impl {
            static_cast<Vertex>(q.fault2) == src)) {
         return QueryOutcome::kRefused;
       }
-      if (covers_pairs()) return QueryOutcome::kInModel;
+      if (covers_pairs()) {
+        // A degraded session answers off recomputed tables — same
+        // distance, honest tag.
+        return serving_degraded ? QueryOutcome::kDegraded
+                                : QueryOutcome::kInModel;
+      }
       return q.allow_what_if ? QueryOutcome::kWhatIf
                              : QueryOutcome::kRefused;
     }
@@ -454,15 +478,24 @@ Session Session::load(const Graph& g, const std::string& path,
                       const Config& cfg) {
   std::vector<Vertex> sources;
   std::vector<DualSiteTable> tables;
-  FtBfsStructure h = io::load_structure(g, path, &sources, &tables);
+  io::ReadOptions opts;
+  opts.tolerate_pair_tables = cfg.tolerate_corruption;
+  io::LoadReport report;
+  FtBfsStructure h =
+      io::load_structure(g, path, &sources, &tables, opts, &report);
   return Session(std::make_shared<const Impl>(
       g, std::move(h), std::move(sources), cfg.weight_seed, cfg.pool,
-      std::move(tables)));
+      std::move(tables), std::move(report.dropped)));
 }
 
 void Session::save(const std::string& path) const {
   io::save_structure(impl_->structure, impl_->sources, impl_->dual_tables,
                      path);
+}
+
+void Session::save_v5(const std::string& path) const {
+  io::save_structure_v5(impl_->structure, impl_->sources, impl_->dual_tables,
+                        path);
 }
 
 const Graph& Session::graph() const { return *impl_->g; }
@@ -486,6 +519,7 @@ QueryResult Session::query_one(const Query& q) const {
   r.outcome = im.classify(q);
   switch (r.outcome) {
     case QueryOutcome::kInModel:
+    case QueryOutcome::kDegraded:  // same tables, honest tag
       if (q.fault2 >= 0) {
         ArenaLease arena(im.arenas);
         r.dist = im.dual_dist(q, *arena, nullptr);
@@ -500,12 +534,19 @@ QueryResult Session::query_one(const Query& q) const {
       break;
     }
     case QueryOutcome::kRefused:
+    case QueryOutcome::kBudgetExhausted:  // classify never emits this
       break;
   }
   return r;
 }
 
 QueryResponse Session::query(QueryBatch batch) const {
+  return query(batch, BatchOptions{});
+}
+
+QueryResponse Session::query(QueryBatch batch,
+                             const BatchOptions& opts) const {
+  const auto batch_start = std::chrono::steady_clock::now();
   const Impl& im = *impl_;
   QueryResponse resp;
   resp.results.assign(batch.size(), QueryResult{});
@@ -565,7 +606,7 @@ QueryResponse Session::query(QueryBatch batch) const {
     resp.results[i].outcome = outcome;
     switch (outcome) {
       case QueryOutcome::kInModel:
-        ++resp.in_model;
+      case QueryOutcome::kDegraded:  // recomputed tables, same serving path
         if (q.fault2 >= 0) {
           group_push(i, q, /*in_model_pair=*/true);
         } else {
@@ -573,11 +614,11 @@ QueryResponse Session::query(QueryBatch batch) const {
         }
         break;
       case QueryOutcome::kWhatIf:
-        ++resp.what_if;
         group_push(i, q, /*in_model_pair=*/false);
         break;
       case QueryOutcome::kRefused:
-        ++resp.refused;
+        break;
+      case QueryOutcome::kBudgetExhausted:  // classify never emits this
         break;
     }
   }
@@ -594,11 +635,39 @@ QueryResponse Session::query(QueryBatch batch) const {
   // Traversal plane: one leased arena per group; what-if groups pay (at
   // most) one literal traversal, dual pair groups at most one
   // site-restricted traversal (reducible pairs pay none), answers fanned
-  // out to every member.
+  // out to every member. The batch budget charges one unit per group up
+  // front and refunds it when the arena's cache absorbed the traversal —
+  // the budget bounds work actually paid for, not queries served. A
+  // deadline is checked once per group before it starts; a group already
+  // traversing is finished, not aborted.
+  const bool has_budget = opts.max_traversals >= 0;
+  const bool has_deadline = opts.deadline_seconds > 0;
+  const auto deadline =
+      batch_start + std::chrono::duration_cast<
+                        std::chrono::steady_clock::duration>(
+                        std::chrono::duration<double>(
+                            has_deadline ? opts.deadline_seconds : 0));
+  std::atomic<std::int64_t> budget{has_budget ? opts.max_traversals : 0};
   std::atomic<std::int64_t> traversals{0};
   std::atomic<std::int64_t> pair_traversals{0};
   pool.parallel_for(groups.size(), [&](std::size_t gi) {
     const Group& grp = groups[gi];
+    const auto exhaust = [&] {
+      for (const std::uint32_t idx : grp.members) {
+        resp.results[idx].outcome = QueryOutcome::kBudgetExhausted;
+        resp.results[idx].dist = kInfHops;
+      }
+    };
+    if (has_deadline && std::chrono::steady_clock::now() >= deadline) {
+      exhaust();
+      return;
+    }
+    if (has_budget &&
+        budget.fetch_sub(1, std::memory_order_relaxed) <= 0) {
+      budget.fetch_add(1, std::memory_order_relaxed);
+      exhaust();
+      return;
+    }
     ArenaLease arena(im.arenas);
     if (grp.in_model_pair) {
       std::int64_t ran = 0;
@@ -607,11 +676,15 @@ QueryResponse Session::query(QueryBatch batch) const {
       }
       if (ran != 0) {
         pair_traversals.fetch_add(ran, std::memory_order_relaxed);
+      } else if (has_budget) {
+        budget.fetch_add(1, std::memory_order_relaxed);  // reducible/cached
       }
       return;
     }
     if (im.what_if_traverse(batch[grp.members.front()], *arena)) {
       traversals.fetch_add(1, std::memory_order_relaxed);
+    } else if (has_budget) {
+      budget.fetch_add(1, std::memory_order_relaxed);  // arena cache hit
     }
     for (const std::uint32_t idx : grp.members) {
       resp.results[idx].dist = im.what_if_dist(batch[idx], *arena);
@@ -620,7 +693,171 @@ QueryResponse Session::query(QueryBatch batch) const {
   resp.what_if_traversals = traversals.load();
   resp.pair_traversals = pair_traversals.load();
 
+  // Counter tally happens once, serially, AFTER the traversal plane — a
+  // group that lost the budget race flipped its members' outcomes, so
+  // counting during classification would double-book them.
+  for (const QueryResult& r : resp.results) {
+    switch (r.outcome) {
+      case QueryOutcome::kInModel:
+        ++resp.in_model;
+        break;
+      case QueryOutcome::kWhatIf:
+        ++resp.what_if;
+        break;
+      case QueryOutcome::kRefused:
+        ++resp.refused;
+        break;
+      case QueryOutcome::kDegraded:
+        ++resp.degraded;
+        break;
+      case QueryOutcome::kBudgetExhausted:
+        ++resp.budget_exhausted;
+        break;
+    }
+  }
+
   return resp;
+}
+
+// ---------------------------------------------------------------------------
+// fsck: the serving-plane audit.
+
+std::string FsckReport::to_string() const {
+  std::ostringstream os;
+  if (!ok) {
+    os << "fsck: FAILED, " << errors.size() << " of " << checks
+       << " checks violated";
+  } else if (degraded) {
+    os << "fsck: DEGRADED, " << checks << " checks ok";
+  } else {
+    os << "fsck: ok, " << checks << " checks";
+  }
+  for (const std::string& e : errors) os << "\n  error: " << e;
+  for (const std::string& n : notes) os << "\n  note: " << n;
+  return os.str();
+}
+
+bool Session::degraded() const { return impl_->serving_degraded; }
+
+FsckReport Session::fsck() const {
+  const Impl& im = *impl_;
+  const Graph& g = *im.g;
+  const FtBfsStructure& h = im.structure;
+  FsckReport rep;
+  rep.degraded = im.serving_degraded;
+  rep.notes = im.degradation;
+  const auto audit = [&rep](bool held, std::string what) {
+    ++rep.checks;
+    if (!held) rep.errors.push_back(std::move(what));
+  };
+
+  // Edge-partition invariants: E(H) sorted/unique/in-range, T0 ⊆ E(H),
+  // E' ⊆ E(H).
+  {
+    bool in_range = true, sorted = true;
+    EdgeId prev = -1;
+    for (const EdgeId e : h.edges()) {
+      if (e < 0 || e >= g.num_edges()) in_range = false;
+      if (e <= prev) sorted = false;
+      prev = e;
+    }
+    audit(in_range, "structure edge out of graph range");
+    audit(sorted, "structure edge list not sorted/unique");
+    bool tree_in_h = true;
+    for (const EdgeId e : h.tree_edges()) {
+      if (e < 0 || e >= g.num_edges() || !h.contains(e)) tree_in_h = false;
+    }
+    audit(tree_in_h, "tree edge outside E(H)");
+    bool reinf_in_h = true;
+    for (const EdgeId e : h.reinforced()) {
+      if (e < 0 || e >= g.num_edges() || !h.contains(e)) reinf_in_h = false;
+    }
+    audit(reinf_in_h, "reinforced edge outside E(H)");
+  }
+
+  // Source set and per-source canonical trees: root at depth 0, every
+  // reachable vertex one hop below its parent via a structure tree edge.
+  audit(!im.sources.empty() && im.sources.front() == h.source(),
+        "sources[0] != structure source");
+  audit(im.trees.size() == im.sources.size(),
+        "tree count != source count");
+  std::vector<EdgeId> tree_union;
+  for (std::size_t i = 0;
+       i < im.trees.size() && i < im.sources.size(); ++i) {
+    const BfsTree& t = im.trees[i];
+    const std::string tag = " (source " + std::to_string(im.sources[i]) + ")";
+    audit(t.source() == im.sources[i] && t.depth(t.source()) == 0,
+          "tree root invariant violated" + tag);
+    bool parent_ok = true, depth_ok = true, edge_ok = true;
+    for (Vertex v = 0; v < g.num_vertices(); ++v) {
+      if (v == t.source() || !t.reachable(v)) continue;
+      const Vertex p = t.parent(v);
+      if (p < 0 || p >= g.num_vertices() || !t.reachable(p)) {
+        parent_ok = false;
+        continue;
+      }
+      if (t.depth(v) != t.depth(p) + 1) depth_ok = false;
+      const EdgeId pe = t.parent_edge(v);
+      if (pe < 0 || pe >= g.num_edges() || !h.contains(pe) ||
+          !t.is_tree_edge(pe)) {
+        edge_ok = false;
+      }
+    }
+    audit(parent_ok, "tree parent out of range or unreachable" + tag);
+    audit(depth_ok, "tree depth != parent depth + 1" + tag);
+    audit(edge_ok, "tree parent edge not a structure edge" + tag);
+    tree_union.insert(tree_union.end(), t.tree_edges().begin(),
+                      t.tree_edges().end());
+  }
+  std::sort(tree_union.begin(), tree_union.end());
+  tree_union.erase(std::unique(tree_union.begin(), tree_union.end()),
+                   tree_union.end());
+  audit(tree_union == h.tree_edges(),
+        "canonical tree union != deployed tree edges");
+
+  // Dual pair tables: one per source; offsets a monotone cover of the
+  // edge pool; every pooled edge a structure edge, sorted per site.
+  if (im.model == FaultClass::kDual) {
+    audit(im.dual_tables.size() == im.sources.size(),
+          "pair-table count != source count");
+    for (std::size_t i = 0; i < im.dual_tables.size(); ++i) {
+      const DualSiteTable& tbl = im.dual_tables[i];
+      const std::string tag =
+          " (pair table " + std::to_string(i) + ")";
+      const bool shape_ok =
+          tbl.offsets.size() == tbl.sites.size() + 1 &&
+          (tbl.offsets.empty() || tbl.offsets.front() == 0) &&
+          (tbl.offsets.empty() ||
+           tbl.offsets.back() ==
+               static_cast<std::int64_t>(tbl.edge_pool.size()));
+      audit(shape_ok, "pair-table offsets do not cover the edge pool" + tag);
+      bool monotone = true;
+      for (std::size_t k = 0; k + 1 < tbl.offsets.size(); ++k) {
+        if (tbl.offsets[k] > tbl.offsets[k + 1]) monotone = false;
+      }
+      audit(monotone, "pair-table offsets not monotone" + tag);
+      bool pool_ok = true;
+      if (shape_ok && monotone) {
+        for (std::size_t s = 0; s < tbl.num_sites(); ++s) {
+          EdgeId prev = -1;
+          for (const EdgeId e : tbl.subset(s)) {
+            if (e < 0 || e >= g.num_edges() || !h.contains(e) || e <= prev) {
+              pool_ok = false;
+            }
+            prev = e;
+          }
+        }
+      }
+      audit(pool_ok,
+            "pair-table subset edge not a sorted structure edge" + tag);
+    }
+  } else {
+    audit(im.dual_tables.empty(),
+          "pair tables present on a non-dual session");
+  }
+
+  rep.ok = rep.errors.empty();
+  return rep;
 }
 
 }  // namespace ftb::api

@@ -143,6 +143,20 @@ enum class QueryOutcome : std::uint8_t {
   /// the query's own source vertex, which never fails under any model.
   /// (Other sources of a multi-source session may fail in-model.)
   kRefused = 2,
+  /// Answered correctly, but by a DEGRADED session: the artifact's pair
+  /// tables were corrupt or missing, so the answer came from tables
+  /// recomputed from the graph instead of the shipped ones. The distance
+  /// is bit-identical to a clean rebuild (pinned by the degraded-session
+  /// property test); the outcome tag exists so operators can see they are
+  /// serving off a damaged artifact. Only in-model dual-pair answers carry
+  /// it — single-fault engines are always rebuilt from the graph and never
+  /// depend on artifact tables.
+  kDegraded = 3,
+  /// Not answered: the batch's traversal budget (BatchOptions::
+  /// max_traversals) or deadline ran out before this query's traversal
+  /// group got its turn. dist is kInfHops; re-issue the query in a new
+  /// batch to get an answer. O(1) in-model lookups never exhaust.
+  kBudgetExhausted = 4,
 };
 
 /// One post-failure distance question: "how far is v from source
@@ -190,6 +204,26 @@ struct QueryResponse {
   /// (≤ distinct non-reducible pairs in the batch — reducible pairs are
   /// O(1) off the single-fault tables and cost none).
   std::int64_t pair_traversals = 0;
+  /// Queries answered correctly but off recomputed (not artifact) tables.
+  std::int64_t degraded = 0;
+  /// Queries dropped because the batch budget/deadline ran out.
+  std::int64_t budget_exhausted = 0;
+};
+
+/// Per-batch service limits, so a what-if storm degrades to partial
+/// results instead of holding the caller hostage. Both limits bound the
+/// TRAVERSAL plane only (literal what-if BFS runs and site-restricted
+/// pair traversals); O(1) in-model lookups are always served.
+struct BatchOptions {
+  /// Max traversal groups this batch may pay for; < 0 = unlimited. With
+  /// max_traversals == 0 the outcome is deterministic: every group that
+  /// would need a traversal returns kBudgetExhausted. Positive budgets are
+  /// best-effort — which groups win the budget depends on scheduling.
+  std::int64_t max_traversals = -1;
+  /// Wall-clock deadline in seconds from the start of query(); <= 0 = no
+  /// deadline. Groups starting after the deadline return kBudgetExhausted
+  /// (a group already traversing is finished, not aborted).
+  double deadline_seconds = 0;
 };
 
 /// Knobs for serving a structure built elsewhere (Session::load).
@@ -199,6 +233,30 @@ struct SessionConfig {
   /// (checked; CheckError on mismatch).
   std::uint64_t weight_seed = 0x5EED0001ULL;
   ThreadPool* pool = nullptr;  // nullptr = global pool
+  /// Degrade instead of refuse: when the artifact's pair-table section is
+  /// corrupt or truncated, drop it, rebuild the tables from the graph, and
+  /// serve (answers bit-identical, outcomes tagged kDegraded). Set false
+  /// to make any corruption a hard CheckError at load time. Corruption in
+  /// the structure sections themselves (meta/edges) always throws — there
+  /// is nothing safe to rebuild from.
+  bool tolerate_corruption = true;
+};
+
+/// What Session::fsck() found. `ok` means every audited invariant held;
+/// `degraded` reports whether the session is serving recomputed (not
+/// artifact) pair tables. docs/robustness.md documents the audit matrix.
+struct FsckReport {
+  bool ok = true;
+  bool degraded = false;
+  /// Invariants audited (monotonically grows with session complexity).
+  std::int64_t checks = 0;
+  /// One human-readable line per violated invariant (empty when ok).
+  std::vector<std::string> errors;
+  /// Why the session is degraded (load-time drops, table rebuilds);
+  /// empty for a clean session.
+  std::vector<std::string> notes;
+  /// "fsck: ok, 123 checks" / "fsck: DEGRADED …" / "fsck: FAILED …".
+  std::string to_string() const;
 };
 
 /// A deployed structure plus everything needed to serve it: the canonical
@@ -219,13 +277,19 @@ class Session {
   /// Wraps an already-built result (takes ownership of the structure).
   static Session deploy(const Graph& g, BuildResult result);
   /// Reloads a saved artifact (structure_io format, any version; v3 keeps
-  /// the multi-source set, v4 the dual pair tables — a v4 artifact saved
+  /// the multi-source set, v4/v5 the dual pair tables — an artifact saved
   /// without tables gets them rebuilt here) and rebuilds the serving
-  /// engines.
+  /// engines. With cfg.tolerate_corruption (the default) a corrupt
+  /// pair-table section downgrades the session to degraded service
+  /// instead of refusing the load; see fsck().
   static Session load(const Graph& g, const std::string& path,
                       const Config& cfg = {});
   /// Saves the structure (+ source set when multi-source) via structure_io.
   void save(const std::string& path) const;
+  /// Saves the checksummed structure_io v5 framing of the same artifact
+  /// (per-section lengths + CRC-32C, so storage corruption is caught at
+  /// load time). load() reads either form.
+  void save_v5(const std::string& path) const;
 
   /// Answers a batch: in-model single-fault lookups shard across the
   /// thread pool; what-if queries and in-model dual-failure pairs are
@@ -235,9 +299,25 @@ class Session {
   /// fault2 / source_index); model-level refusals are reported per query
   /// as kRefused, never thrown.
   QueryResponse query(QueryBatch batch) const;
+  /// Budgeted variant: `opts` caps the traversal plane (see BatchOptions);
+  /// queries that lose the budget race come back kBudgetExhausted instead
+  /// of blocking the batch. query(batch) == query(batch, {}).
+  QueryResponse query(QueryBatch batch, const BatchOptions& opts) const;
 
   /// Single-query convenience (serial; same classification rules).
   QueryResult query_one(const Query& q) const;
+
+  /// Audits the loaded structure and serving state: structure edge-set
+  /// relations, per-source tree parent/depth invariants, dual pair-table
+  /// shape and coverage. Read-only and cheap (no traversals, no table
+  /// rebuilds); safe to call concurrently with query(). A session that
+  /// loaded clean and passes fsck serves kInModel; a degraded one serves
+  /// correct answers tagged kDegraded.
+  FsckReport fsck() const;
+  /// True when this session serves recomputed pair tables because the
+  /// artifact's were corrupt or absent (see SessionConfig::
+  /// tolerate_corruption).
+  bool degraded() const;
 
   const Graph& graph() const;
   const FtBfsStructure& structure() const;

@@ -3,7 +3,7 @@
 // A deployment artifact: the operator builds H once, ships the purchase
 // plan (which links to buy as backup, which to reinforce, and which
 // failure model the plan insures against), and reloads it later against
-// the same network. The byte-level grammar of every version (v1…v4) is
+// the same network. The byte-level grammar of every version (v1…v5) is
 // specified normatively in docs/file_formats.md; the shape at a glance
 // (text, '#' comments):
 //
@@ -18,17 +18,38 @@
 //   site e <u> <v> <cnt> <edge-index...>   # indices into the edge section
 //   site v <x> <cnt> <edge-index...>
 //
+// Version 5 wraps the same content in *framed sections* for zero-trust
+// loading: each section declares its payload length in bytes and its
+// CRC-32C, so truncation, bit flips, and length lies are caught before a
+// single untrusted number reaches the parser:
+//
+//   ftbfs-structure 5
+//   section meta <bytes> <crc32c-hex>
+//   <payload: fault-model + sources lines>
+//   section edges <bytes> <crc32c-hex>
+//   <payload: header + edge lines>
+//   section pair-tables <bytes> <crc32c-hex>    # dual artifacts only
+//   <payload: the v4 pair-table block>
+//
 // Version history: v1 has no fault-model line (edge model by definition);
 // v2 added the fault-model tag; v3 added the sources line for FT-MBFS
-// artifacts; v4 carries the dual-failure model and its pair tables. The
-// tag "dual" in v2/v3 artifacts denotes what is now called the "either"
-// union (one failure of either kind) and loads as FaultClass::kEither;
-// only v4 artifacts mean two simultaneous failures by it. Single-source
-// non-dual artifacts still write v2 byte-stably, multi-source ones v3, so
-// files produced by earlier releases round-trip unchanged. Loading
-// validates against the given graph (endpoints must exist as edges) and
-// reconstructs the exact edge partition + fault tag + source set (+ pair
-// tables for v4).
+// artifacts; v4 carries the dual-failure model and its pair tables; v5
+// adds the checksummed framing. The tag "dual" in v2/v3 artifacts denotes
+// what is now called the "either" union (one failure of either kind) and
+// loads as FaultClass::kEither; only v4+ artifacts mean two simultaneous
+// failures by it. Single-source non-dual artifacts still write v2
+// byte-stably, multi-source ones v3, dual ones v4, so files produced by
+// earlier releases round-trip unchanged; v5 is written explicitly via
+// write_structure_v5 / save_structure_v5. Loading validates against the
+// given graph (endpoints must exist as edges) and reconstructs the exact
+// edge partition + fault tag + source set (+ pair tables for v4/v5).
+//
+// Zero-trust contract (all versions): every count and length field read
+// from the artifact is bounds-checked against the graph before it sizes an
+// allocation or a loop; malformed input — truncation, corruption, length
+// lies, duplicate or unknown sections, trailing bytes after the artifact —
+// throws CheckError whose message carries the byte offset and section
+// name, never a crash, hang, or silent acceptance.
 #pragma once
 
 #include <iosfwd>
@@ -64,19 +85,62 @@ void save_structure(const FtBfsStructure& h, std::span<const Vertex> sources,
                     std::span<const DualSiteTable> pair_tables,
                     const std::string& path);
 
+/// The checksummed v5 framing: same content as the v2–v4 forms, wrapped in
+/// `section <name> <bytes> <crc32c>` frames (meta + edges, plus
+/// pair-tables for dual structures with non-empty tables). Deterministic:
+/// the same structure always produces the same bytes.
+void write_structure_v5(const FtBfsStructure& h,
+                        std::span<const Vertex> sources,
+                        std::span<const DualSiteTable> pair_tables,
+                        std::ostream& os);
+void save_structure_v5(const FtBfsStructure& h,
+                       std::span<const Vertex> sources,
+                       std::span<const DualSiteTable> pair_tables,
+                       const std::string& path);
+
+/// Tolerant-load knobs for serving planes that prefer degraded service
+/// over refusal (docs/robustness.md has the degradation matrix).
+struct ReadOptions {
+  /// When true, a corrupt, truncated, or checksum-failed pair-table
+  /// section is *dropped* (tables_out left empty, the drop recorded in the
+  /// LoadReport) instead of thrown. The structure sections themselves are
+  /// never tolerated — a corrupt edge section always throws.
+  bool tolerate_pair_tables = false;
+};
+
+/// What a tolerant load had to give up. `complete` stays true on a clean
+/// load; every dropped section appends a human-readable note.
+struct LoadReport {
+  bool complete = true;
+  std::vector<std::string> dropped;
+};
+
 /// Parses a structure against `g`. Throws CheckError on malformed input:
 /// a bad magic line, an unsupported version, an unknown fault-model tag, a
-/// vertex-count mismatch, unknown edges, truncated edge or pair-table
-/// sections, or a duplicated / out-of-range source set. When `sources_out`
-/// is non-null it receives the artifact's source set ({h.source()} for
-/// v1/v2 artifacts and single-source v3 ones); when `tables_out` is
-/// non-null it receives the v4 pair tables (empty for v1–v3 artifacts and
-/// v4 files written without tables).
+/// vertex-count mismatch, unknown edges, truncated or oversized sections,
+/// checksum mismatches (v5), duplicated/unknown sections, trailing bytes
+/// after the artifact, or a duplicated / out-of-range source set. Every
+/// such error message carries the byte offset and section name of the
+/// offending input. When `sources_out` is non-null it receives the
+/// artifact's source set ({h.source()} for v1/v2 artifacts and
+/// single-source v3 ones); when `tables_out` is non-null it receives the
+/// v4/v5 pair tables (empty for v1–v3 artifacts and files written without
+/// tables).
 FtBfsStructure read_structure(const Graph& g, std::istream& is,
                               std::vector<Vertex>* sources_out = nullptr,
                               std::vector<DualSiteTable>* tables_out = nullptr);
+/// Tolerant overload: `opts` selects which sections may be dropped instead
+/// of thrown; `report` (may be null) receives what was dropped.
+FtBfsStructure read_structure(const Graph& g, std::istream& is,
+                              std::vector<Vertex>* sources_out,
+                              std::vector<DualSiteTable>* tables_out,
+                              const ReadOptions& opts, LoadReport* report);
 FtBfsStructure load_structure(const Graph& g, const std::string& path,
                               std::vector<Vertex>* sources_out = nullptr,
                               std::vector<DualSiteTable>* tables_out = nullptr);
+FtBfsStructure load_structure(const Graph& g, const std::string& path,
+                              std::vector<Vertex>* sources_out,
+                              std::vector<DualSiteTable>* tables_out,
+                              const ReadOptions& opts, LoadReport* report);
 
 }  // namespace ftb::io

@@ -1,6 +1,7 @@
 #include "src/sim/failure_sim.hpp"
 
 #include <algorithm>
+#include <fstream>
 #include <limits>
 #include <span>
 #include <sstream>
@@ -9,6 +10,7 @@
 #include "src/core/dual_fault.hpp"
 #include "src/graph/bfs_kernel.hpp"
 #include "src/graph/canonical_bfs.hpp"
+#include "src/io/structure_io.hpp"
 
 namespace ftb {
 
@@ -440,6 +442,148 @@ DrillReport run_failure_drill(const api::Session& session, FaultClass storm,
       return run_session_dual_drill(session, num_failures, seed);
   }
   return {};
+}
+
+// ---------------------------------------------------------------------------
+// The chaos drill: corrupt, reload, degrade, serve, verify.
+
+std::string ChaosDrillReport::to_string() const {
+  std::ostringstream os;
+  os << "ChaosDrillReport(" << (healthy() ? "healthy" : "UNHEALTHY")
+     << ", corrupted=" << artifact_corrupted
+     << ", degraded=" << reload_degraded << ", dropped=" << dropped_sections
+     << ", fsck=" << (fsck_ok ? "ok" : "FAILED") << "/" << fsck_checks
+     << ", compared=" << compared_queries << ", mismatches=" << mismatches
+     << ", " << drill.to_string() << ")";
+  return os.str();
+}
+
+ChaosDrillReport run_chaos_drill(const Graph& g, const api::BuildSpec& spec,
+                                 const std::string& scratch_path,
+                                 std::int64_t num_failures,
+                                 std::uint64_t seed) {
+  FTB_CHECK_MSG(spec.fault_model == FaultClass::kDual,
+                "chaos drill corrupts the pair-table section — it needs a "
+                "dual-model spec");
+  ChaosDrillReport rep;
+  const api::Session fresh = api::Session::open(g, spec);
+  fresh.save_v5(scratch_path);
+
+  // Flip one seeded bit inside the pair-table payload ON DISK. The v5
+  // frame declares the payload's CRC-32C, which catches every single-bit
+  // error, so the tolerant reload is guaranteed to see the damage.
+  std::string bytes;
+  {
+    std::ifstream f(scratch_path, std::ios::binary);
+    FTB_CHECK_MSG(f.good(),
+                  "chaos drill cannot reopen artifact " << scratch_path);
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    bytes = ss.str();
+  }
+  const std::size_t hdr = bytes.find("section pair-tables ");
+  FTB_CHECK_MSG(hdr != std::string::npos,
+                "v5 artifact carries no pair-table section to corrupt");
+  const std::size_t payload = bytes.find('\n', hdr);
+  FTB_CHECK_MSG(payload != std::string::npos && payload + 1 < bytes.size(),
+                "v5 pair-table section carries no payload to corrupt");
+  Rng rng(seed);
+  const std::size_t pos =
+      payload + 1 + rng.next_below(bytes.size() - (payload + 1));
+  bytes[static_cast<std::size_t>(pos)] ^=
+      static_cast<char>(1u << rng.next_below(8));
+  rep.artifact_corrupted = true;
+  {
+    std::ofstream f(scratch_path, std::ios::binary | std::ios::trunc);
+    f << bytes;
+    FTB_CHECK_MSG(f.good(),
+                  "chaos drill cannot rewrite artifact " << scratch_path);
+  }
+
+  // Tolerant reload: the damaged section must be dropped (recorded in the
+  // LoadReport), never crash the load, and the session must come up in
+  // degraded mode with recomputed tables.
+  {
+    io::ReadOptions opts;
+    opts.tolerate_pair_tables = true;
+    io::LoadReport lr;
+    std::vector<Vertex> srcs;
+    std::vector<DualSiteTable> tbls;
+    (void)io::load_structure(g, scratch_path, &srcs, &tbls, opts, &lr);
+    rep.dropped_sections = static_cast<std::int64_t>(lr.dropped.size());
+  }
+  api::SessionConfig cfg;
+  cfg.weight_seed = spec.weight_seed;
+  cfg.pool = spec.pool;
+  const api::Session degraded = api::Session::load(g, scratch_path, cfg);
+  rep.reload_degraded = degraded.degraded();
+  const api::FsckReport fsck = degraded.fsck();
+  rep.fsck_ok = fsck.ok;
+  rep.fsck_checks = fsck.checks;
+
+  // Serve the pair storm through BOTH sessions: every degraded answer must
+  // be bit-identical to the fresh session's, and correct against
+  // brute-force two-failure BFS of the surviving network.
+  const FtBfsStructure& h = fresh.structure();
+  const Vertex n = g.num_vertices();
+  const auto storm = sample_pair_storm(h, num_failures, seed);
+  const std::size_t chunk = std::max<std::size_t>(
+      1, kMaxBatchQueries / std::max<std::size_t>(
+                                1, static_cast<std::size_t>(n)));
+  double dist_sum = 0;
+  std::int64_t dist_count = 0;
+  BfsScratch in_g;
+  std::vector<api::Query> batch;
+  for (std::size_t begin = 0; begin < storm.size(); begin += chunk) {
+    const std::size_t end = std::min(storm.size(), begin + chunk);
+    batch.clear();
+    for (std::size_t i = begin; i < end; ++i) {
+      const auto& [f1, f2] = storm[i];
+      for (Vertex v = 0; v < n; ++v) {
+        api::Query q;
+        q.v = v;
+        q.kind = f1.kind;
+        q.fault = f1.id;
+        q.kind2 = f2.kind;
+        q.fault2 = f2.id;
+        batch.push_back(q);
+      }
+    }
+    const api::QueryResponse a = fresh.query(batch);
+    const api::QueryResponse b = degraded.query(batch);
+    for (std::size_t qi = 0; qi < batch.size(); ++qi) {
+      ++rep.compared_queries;
+      const api::QueryResult& ra = a.results[qi];
+      const api::QueryResult& rb = b.results[qi];
+      // A degraded session re-tags in-model pair answers kDegraded; the
+      // distances themselves must not move.
+      const bool outcome_ok =
+          ra.outcome == rb.outcome ||
+          (ra.outcome == api::QueryOutcome::kInModel &&
+           rb.outcome == api::QueryOutcome::kDegraded);
+      if (ra.dist != rb.dist || !outcome_ok) ++rep.mismatches;
+    }
+    std::size_t qi = 0;
+    for (std::size_t i = begin; i < end; ++i) {
+      const auto& [f1, f2] = storm[i];
+      ++rep.drill.drills;
+      dual_bruteforce_bfs(g, h.source(), f1, f2, in_g);
+      for (Vertex v = 0; v < n; ++v, ++qi) {
+        if ((f1.kind == FaultClass::kVertex && v == f1.id) ||
+            (f2.kind == FaultClass::kVertex && v == f2.id)) {
+          continue;  // destroyed router
+        }
+        if (b.results[qi].outcome == api::QueryOutcome::kRefused) {
+          continue;  // pair names the source router — refused, not served
+        }
+        score_pair(in_g.dist(v), b.results[qi].dist, rep.drill, dist_sum,
+                   dist_count);
+      }
+    }
+  }
+  rep.drill.avg_distance =
+      dist_count > 0 ? dist_sum / static_cast<double>(dist_count) : 0.0;
+  return rep;
 }
 
 }  // namespace ftb

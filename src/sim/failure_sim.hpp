@@ -20,6 +20,7 @@
 
 namespace ftb::api {
 class Session;
+struct BuildSpec;
 }  // namespace ftb::api
 
 namespace ftb {
@@ -77,5 +78,50 @@ DrillReport run_failure_drill(const FtBfsStructure& h, FaultClass model,
 /// traversal per distinct pair).
 DrillReport run_failure_drill(const api::Session& session, FaultClass storm,
                               std::int64_t num_failures, std::uint64_t seed);
+
+/// What one chaos drill observed end to end (docs/robustness.md walks the
+/// scenario). `drill` is the storm as served by the DEGRADED session; a
+/// healthy stack reports artifact_corrupted && reload_degraded && fsck_ok
+/// && mismatches == 0 && drill.violations == 0.
+struct ChaosDrillReport {
+  /// The injected corruption landed in the artifact's pair-table bytes.
+  bool artifact_corrupted = false;
+  /// The tolerant reload dropped the damaged section and downgraded
+  /// instead of refusing (Session::degraded()).
+  bool reload_degraded = false;
+  /// Sections the reload had to drop (from the io::LoadReport).
+  std::int64_t dropped_sections = 0;
+  /// Session::fsck() verdict on the degraded session.
+  bool fsck_ok = false;
+  std::int64_t fsck_checks = 0;
+  /// Per-query comparison degraded session vs freshly built session over
+  /// the whole storm batch: answers must be bit-identical.
+  std::int64_t compared_queries = 0;
+  std::int64_t mismatches = 0;
+  /// The storm replayed through the degraded session, scored against
+  /// brute-force two-failure BFS of the surviving network.
+  DrillReport drill;
+
+  bool healthy() const {
+    return artifact_corrupted && reload_degraded && fsck_ok &&
+           mismatches == 0 && drill.violations == 0;
+  }
+  std::string to_string() const;
+};
+
+/// The chaos scenario, end to end: build a session from `spec` (dual model
+/// required — the degradation path under test is the pair-table section),
+/// save the checksummed v5 artifact to `scratch_path`, flip one seeded bit
+/// inside the pair-table payload ON DISK, reload tolerantly, fsck, then
+/// replay a `num_failures`-pair storm through the degraded session —
+/// verifying every answer against the fresh session (bit-identity) and
+/// against brute-force BFS of the surviving network. Deterministic given
+/// `seed`. The scratch file is left on disk (corrupted) for post-mortem;
+/// callers own its cleanup. Throws CheckError on a non-dual spec or an
+/// unwritable path.
+ChaosDrillReport run_chaos_drill(const Graph& g, const api::BuildSpec& spec,
+                                 const std::string& scratch_path,
+                                 std::int64_t num_failures,
+                                 std::uint64_t seed);
 
 }  // namespace ftb

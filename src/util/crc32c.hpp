@@ -1,0 +1,49 @@
+// crc32c.hpp — CRC-32C (Castagnoli) over byte ranges.
+//
+// The integrity primitive behind structure_io v5: every framed section of
+// an artifact carries the CRC-32C of its payload so a flipped bit in
+// storage surfaces as a CheckError at load time instead of a silently
+// wrong distance at query time. Software table implementation (reflected
+// polynomial 0x82F63B78), deterministic across platforms — the checksum is
+// part of the on-disk format, so it must never depend on endianness or
+// hardware CRC availability.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace ftb {
+
+namespace detail {
+inline const std::array<std::uint32_t, 256>& crc32c_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t crc = i;
+      for (int k = 0; k < 8; ++k) {
+        crc = (crc >> 1) ^ ((crc & 1u) ? 0x82F63B78u : 0u);
+      }
+      t[i] = crc;
+    }
+    return t;
+  }();
+  return table;
+}
+}  // namespace detail
+
+/// CRC-32C of `data`, with the conventional init/final inversion (the
+/// checksum of "123456789" is 0xE3069283). `seed` chains incremental
+/// updates: crc32c(a + b) == crc32c(b, crc32c(a)).
+inline std::uint32_t crc32c(std::string_view data, std::uint32_t seed = 0) {
+  const auto& table = detail::crc32c_table();
+  std::uint32_t crc = ~seed;
+  for (const char c : data) {
+    crc = (crc >> 8) ^
+          table[(crc ^ static_cast<std::uint8_t>(c)) & 0xFFu];
+  }
+  return ~crc;
+}
+
+}  // namespace ftb

@@ -1,0 +1,211 @@
+// fault_inject.hpp — deterministic, seeded fault injection for robustness
+// tests and chaos drills.
+//
+// Production code marks *injection points* — places where the outside
+// world can fail (a short read from storage, a flipped bit, an allocation
+// failure, a worker-task crash) — with FTB_INJECT_FAULT. In Release builds
+// the macro compiles to nothing; in Debug and sanitizer builds (or with
+// FTB_ENABLE_FAULT_INJECTION defined) each point consults the process-wide
+// Injector, which decides *deterministically* from (seed, point, call
+// ordinal) whether to fire. The same seed therefore replays the same fault
+// schedule, so a failure found by the chaos drill is reproducible by
+// rerunning with its seed.
+//
+// Configuration is programmatic (tests call Injector::configure) or via
+// environment, read once on first use:
+//
+//   FTBFS_FAULT_POINTS   comma list of io_short_read, io_bit_flip, alloc,
+//                        pool_task (unset/empty → injection disarmed)
+//   FTBFS_FAULT_RATE     fire probability per check in [0,1] (default 1.0)
+//   FTBFS_FAULT_SEED     u64 schedule seed (default 1)
+//
+// The documented contract for every point: a fired fault must surface as
+// the layer's normal error shape (CheckError from the io layer,
+// std::bad_alloc from allocation, the captured task exception from
+// ThreadPool::parallel_for) — never a crash, hang, or silent corruption.
+// tests/fault_inject_test.cpp pins this.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <stdexcept>
+#include <string>
+
+#if !defined(NDEBUG) || defined(FTB_ENABLE_FAULT_INJECTION)
+#define FTB_FAULT_INJECTION_ENABLED 1
+#else
+#define FTB_FAULT_INJECTION_ENABLED 0
+#endif
+
+namespace ftb::fault {
+
+enum class Point : unsigned {
+  kIoShortRead = 0,  // storage returned fewer bytes than declared
+  kIoBitFlip = 1,    // storage returned corrupted bytes
+  kAlloc = 2,        // allocation failure on an untrusted-size reserve
+  kPoolTask = 3,     // a ThreadPool task throws mid-parallel_for
+};
+inline constexpr unsigned kNumPoints = 4;
+
+inline const char* point_name(Point p) {
+  switch (p) {
+    case Point::kIoShortRead:
+      return "io_short_read";
+    case Point::kIoBitFlip:
+      return "io_bit_flip";
+    case Point::kAlloc:
+      return "alloc";
+    case Point::kPoolTask:
+      return "pool_task";
+  }
+  return "?";
+}
+
+/// Process-wide fault schedule. Deterministic: whether check number k at
+/// point p fires depends only on (seed, p, k), not on wall clock or thread
+/// interleaving of *other* points.
+class Injector {
+ public:
+  static Injector& instance() {
+    static Injector inj;
+    return inj;
+  }
+
+  /// Arms the given points (bitmask of 1u << Point) with a fresh schedule.
+  /// Resets all per-point counters, so a test that reconfigures replays
+  /// from ordinal 0.
+  void configure(std::uint64_t seed, double rate, unsigned point_mask) {
+    seed_.store(seed, std::memory_order_relaxed);
+    rate_bits_.store(rate_to_bits(rate), std::memory_order_relaxed);
+    for (unsigned p = 0; p < kNumPoints; ++p) {
+      checks_[p].store(0, std::memory_order_relaxed);
+      fires_[p].store(0, std::memory_order_relaxed);
+    }
+    mask_.store(point_mask, std::memory_order_release);
+  }
+
+  /// Disarms every point (the default state).
+  void disarm() { configure(1, 1.0, 0); }
+
+  /// The injection-point predicate: true iff this check should fail.
+  bool should_fire(Point p) {
+    const unsigned mask = mask_.load(std::memory_order_acquire);
+    if ((mask & (1u << static_cast<unsigned>(p))) == 0) return false;
+    const std::uint64_t ordinal =
+        checks_[static_cast<unsigned>(p)].fetch_add(
+            1, std::memory_order_relaxed);
+    const std::uint64_t h =
+        mix(seed_.load(std::memory_order_relaxed) ^
+            (0x9E3779B97F4A7C15ull * (static_cast<std::uint64_t>(p) + 1)) ^
+            ordinal);
+    // Top 53 bits → uniform double in [0,1).
+    const double u =
+        static_cast<double>(h >> 11) * 0x1.0p-53;
+    const bool fire = u < bits_to_rate(rate_bits_.load(
+                              std::memory_order_relaxed));
+    if (fire) {
+      fires_[static_cast<unsigned>(p)].fetch_add(1,
+                                                 std::memory_order_relaxed);
+    }
+    return fire;
+  }
+
+  std::uint64_t checks(Point p) const {
+    return checks_[static_cast<unsigned>(p)].load(std::memory_order_relaxed);
+  }
+  std::uint64_t fires(Point p) const {
+    return fires_[static_cast<unsigned>(p)].load(std::memory_order_relaxed);
+  }
+
+ private:
+  Injector() { configure_from_env(); }
+
+  static std::uint64_t mix(std::uint64_t x) {  // splitmix64 finalizer
+    x += 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return x ^ (x >> 31);
+  }
+  static std::uint64_t rate_to_bits(double r) {
+    if (r < 0.0) r = 0.0;
+    if (r > 1.0) r = 1.0;
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(r));
+    __builtin_memcpy(&bits, &r, sizeof(bits));
+    return bits;
+  }
+  static double bits_to_rate(std::uint64_t bits) {
+    double r = 0.0;
+    __builtin_memcpy(&r, &bits, sizeof(r));
+    return r;
+  }
+
+  void configure_from_env() {
+    disarm();
+    const char* points = std::getenv("FTBFS_FAULT_POINTS");
+    if (points == nullptr || *points == '\0') return;
+    unsigned mask = 0;
+    std::string tok;
+    for (const char* c = points;; ++c) {
+      if (*c == ',' || *c == '\0') {
+        for (unsigned p = 0; p < kNumPoints; ++p) {
+          if (tok == point_name(static_cast<Point>(p))) mask |= 1u << p;
+        }
+        tok.clear();
+        if (*c == '\0') break;
+      } else if (*c != ' ') {
+        tok += *c;
+      }
+    }
+    const char* seed_s = std::getenv("FTBFS_FAULT_SEED");
+    const char* rate_s = std::getenv("FTBFS_FAULT_RATE");
+    const std::uint64_t seed =
+        seed_s != nullptr ? std::strtoull(seed_s, nullptr, 10) : 1;
+    const double rate = rate_s != nullptr ? std::strtod(rate_s, nullptr) : 1.0;
+    configure(seed, rate, mask);
+  }
+
+  std::atomic<std::uint64_t> seed_{1};
+  std::atomic<std::uint64_t> rate_bits_{0};
+  std::atomic<unsigned> mask_{0};
+  std::atomic<std::uint64_t> checks_[kNumPoints] = {};
+  std::atomic<std::uint64_t> fires_[kNumPoints] = {};
+};
+
+/// Throws std::bad_alloc if the alloc point fires — call before an
+/// untrusted-size reserve so tests can prove the failure propagates as a
+/// normal allocation failure.
+inline void maybe_fail_alloc() {
+#if FTB_FAULT_INJECTION_ENABLED
+  if (Injector::instance().should_fire(Point::kAlloc)) throw std::bad_alloc();
+#endif
+}
+
+/// Throws from inside a ThreadPool task if the pool_task point fires — the
+/// pool's exception capture must surface it on the calling thread.
+inline void maybe_fail_task() {
+#if FTB_FAULT_INJECTION_ENABLED
+  if (Injector::instance().should_fire(Point::kPoolTask)) {
+    throw std::runtime_error("injected fault: pool_task");
+  }
+#endif
+}
+
+}  // namespace ftb::fault
+
+#if FTB_FAULT_INJECTION_ENABLED
+/// Runs `action` when the point's schedule fires. Compiles away in Release
+/// builds (unless FTB_ENABLE_FAULT_INJECTION is defined).
+#define FTB_INJECT_FAULT(point, action)                               \
+  do {                                                                \
+    if (::ftb::fault::Injector::instance().should_fire(point)) {      \
+      action;                                                         \
+    }                                                                 \
+  } while (0)
+#else
+#define FTB_INJECT_FAULT(point, action) \
+  do {                                  \
+  } while (0)
+#endif

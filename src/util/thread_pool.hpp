@@ -21,6 +21,8 @@
 #include <thread>
 #include <vector>
 
+#include "src/util/fault_inject.hpp"
+
 namespace ftb {
 
 /// Fixed-size worker pool. Threads are created once and reused; the pool
@@ -62,6 +64,10 @@ class ThreadPool {
 
   template <class Fn>
   static void invoke_thunk(const void* ctx, std::size_t i) {
+    // Debug-build injection point: a task that throws here must surface
+    // through the Job's exception capture on the caller's thread, leaving
+    // the pool reusable (pinned by tests/fault_inject_test.cpp).
+    fault::maybe_fail_task();
     (*static_cast<const Fn*>(ctx))(i);
   }
 

@@ -12,6 +12,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <thread>
 
 #include "src/api/ftbfs_api.hpp"
@@ -426,6 +429,96 @@ TEST(ApiSessionConcurrency, DualPairStormManyThreadsMatchSerial) {
   }
   for (auto& w : workers) w.join();
   for (const std::string& f : failures) EXPECT_EQ(f, "");
+}
+
+TEST(ApiSessionConcurrency, DegradedSessionServesConcurrentStorms) {
+  // The chaos scenario under TSan: a session reloaded from a corrupted v5
+  // artifact (pair tables dropped, recomputed from the graph, outcomes
+  // tagged kDegraded) is hammered by many threads; every answer must be
+  // bit-identical to the serial pass over the same degraded session, and
+  // to the distances of a clean fresh session. Degradation must change
+  // the tag, never the data plane's thread safety.
+  const Graph g = gen::grid_graph(5, 5);
+  api::BuildSpec spec;
+  spec.fault_model = FaultClass::kDual;
+  const api::Session fresh = api::Session::open(g, spec);
+  const std::string path =
+      ::testing::TempDir() + "/api_session_degraded.ftbfs";
+  fresh.save_v5(path);
+  {
+    // Flip one bit in the pair-table payload so the tolerant reload
+    // degrades (CRC-32C catches every single-bit error).
+    std::ifstream in(path, std::ios::binary);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    std::string bytes = buf.str();
+    const std::size_t hdr = bytes.find("section pair-tables ");
+    ASSERT_NE(hdr, std::string::npos);
+    const std::size_t payload = bytes.find('\n', hdr) + 1;
+    bytes[payload + 40] ^= 0x10;
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << bytes;
+  }
+  const api::Session session = api::Session::load(g, path);
+  ASSERT_TRUE(session.degraded());
+
+  std::vector<Query> all;
+  for (EdgeId e = 0; e < g.num_edges(); e += 4) {
+    for (Vertex x = 1; x < g.num_vertices(); x += 6) {
+      for (Vertex v = 0; v < g.num_vertices(); v += 5) {
+        Query q;
+        q.v = v;
+        q.kind = FaultClass::kEdge;
+        q.fault = e;
+        q.kind2 = FaultClass::kVertex;
+        q.fault2 = x;
+        all.push_back(q);
+      }
+    }
+  }
+
+  std::vector<api::QueryResult> expected;
+  expected.reserve(all.size());
+  for (const Query& q : all) {
+    const api::QueryResult serial = session.query_one(q);
+    // Degraded tag, clean-session distance.
+    EXPECT_EQ(serial.outcome, QueryOutcome::kDegraded);
+    EXPECT_EQ(serial.dist, fresh.query_one(q).dist);
+    expected.push_back(serial);
+  }
+
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 3;
+  std::vector<std::string> failures(kThreads);
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      Rng rng(static_cast<std::uint64_t>(9100 + t));
+      for (int round = 0; round < kRounds; ++round) {
+        std::vector<std::uint32_t> order(all.size());
+        for (std::uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+        rng.shuffle(order);
+        std::vector<Query> batch;
+        batch.reserve(order.size());
+        for (const std::uint32_t i : order) batch.push_back(all[i]);
+        const QueryResponse resp = session.query(batch);
+        for (std::size_t k = 0; k < order.size(); ++k) {
+          const api::QueryResult& want = expected[order[k]];
+          const api::QueryResult& got = resp.results[k];
+          if (got.dist != want.dist || got.outcome != want.outcome) {
+            failures[static_cast<std::size_t>(t)] =
+                "thread " + std::to_string(t) + " round " +
+                std::to_string(round) + " query " + std::to_string(order[k]);
+            return;
+          }
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  for (const std::string& f : failures) EXPECT_EQ(f, "");
+  std::remove(path.c_str());
 }
 
 TEST(ApiSessionConcurrency, PrunedDualArenaCacheChurnsUnderConcurrentStorms) {

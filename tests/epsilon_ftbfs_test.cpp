@@ -3,7 +3,9 @@
 // The decisive property: for every ε and every graph family, every
 // non-reinforced edge failure preserves every distance (checked against
 // literal BFS by the verifier), while b(n) and r(n) stay inside the
-// theorem envelopes.
+// theorem envelopes. The family sweep runs on the seeded property harness
+// (tests/property_test_util.hpp): a failing case prints its one-command
+// FTBFS_PROPERTY_SEED reproduction.
 #include <gtest/gtest.h>
 
 #include <cmath>
@@ -11,95 +13,96 @@
 #include "src/core/epsilon_ftbfs.hpp"
 #include "src/core/verifier.hpp"
 #include "src/graph/lower_bound.hpp"
-#include "tests/test_util.hpp"
+#include "tests/property_test_util.hpp"
 
 namespace ftb {
 namespace {
 
-struct Case {
-  std::string family;
-  double eps;
-};
+const double kEpsGrid[] = {0.0, 0.15, 0.25, 0.4, 0.5, 1.0};
 
-std::string case_name(const Case& c) {
-  std::string e = std::to_string(static_cast<int>(std::round(c.eps * 100)));
-  return c.family + "_eps" + e;
-}
-
-class EpsilonFamilyTest : public ::testing::TestWithParam<Case> {};
-
-test::FamilyCase find_family(const std::string& name) {
-  for (auto& fc : test::small_families()) {
-    if (fc.name == name) return std::move(fc);
+/// The sweep set: the harness's four seeded families plus the structured
+/// corner shapes the old hand-rolled sweep carried (labels instead of
+/// derived seeds — they are deterministic regardless of the base seed).
+std::vector<test::PropertyCase> epsilon_sweep_cases() {
+  std::vector<test::PropertyCase> cases = test::property_cases(28, 1);
+  const auto add = [&](const char* label, Graph g, Vertex source) {
+    test::PropertyCase pc;
+    pc.label = label;
+    pc.base_seed = test::property_base_seed();
+    pc.source = source;
+    pc.n = g.num_vertices();
+    pc.graph = std::move(g);
+    cases.push_back(std::move(pc));
+  };
+  add("star24", gen::star_graph(24), 0);
+  add("complete16", gen::complete_graph(16), 3);
+  add("bipartite6x9", gen::complete_bipartite(6, 9), 0);
+  add("intro24", gen::intro_example(24), 0);
+  {
+    auto lb = lb::build_single_source(220, 0.33);
+    add("lb220_e33", std::move(lb.graph), lb.source);
   }
-  ADD_FAILURE() << "unknown family " << name;
-  return {"", gen::path_graph(2), 0};
+  return cases;
 }
 
-std::vector<Case> sweep_cases() {
-  std::vector<Case> out;
-  const double eps_grid[] = {0.0, 0.15, 0.25, 0.4, 0.5, 1.0};
-  for (const auto& fc : test::small_families()) {
-    for (const double eps : eps_grid) {
-      out.push_back({fc.name, eps});
+TEST(EpsilonFamilySweep, NonReinforcedFailuresPreserveAllDistances) {
+  for (const test::PropertyCase& pc : epsilon_sweep_cases()) {
+    FTB_PROPERTY_TRACE(pc, "epsilon_ftbfs_test");
+    for (const double eps : kEpsGrid) {
+      EpsilonOptions opts;
+      opts.eps = eps;
+      const EpsilonResult res =
+          build_epsilon_ftbfs(pc.graph, pc.source, opts);
+      VerifyOptions vo;
+      vo.check_nontree_failures = true;
+      const VerifyReport rep = verify_structure(res.structure, vo);
+      EXPECT_TRUE(rep.ok) << pc.name() << " eps=" << eps << ": "
+                          << rep.to_string();
     }
   }
-  return out;
 }
 
-TEST_P(EpsilonFamilyTest, NonReinforcedFailuresPreserveAllDistances) {
-  const Case c = GetParam();
-  const test::FamilyCase fc = find_family(c.family);
-  EpsilonOptions opts;
-  opts.eps = c.eps;
-  const EpsilonResult res = build_epsilon_ftbfs(fc.graph, fc.source, opts);
-  VerifyOptions vo;
-  vo.check_nontree_failures = true;
-  const VerifyReport rep = verify_structure(res.structure, vo);
-  EXPECT_TRUE(rep.ok) << c.family << " eps=" << c.eps << ": "
-                      << rep.to_string();
-}
-
-TEST_P(EpsilonFamilyTest, StatsAreInternallyConsistent) {
-  const Case c = GetParam();
-  const test::FamilyCase fc = find_family(c.family);
-  EpsilonOptions opts;
-  opts.eps = c.eps;
-  const EpsilonResult res = build_epsilon_ftbfs(fc.graph, fc.source, opts);
-  const auto& st = res.stats;
-  EXPECT_EQ(st.backup + st.reinforced, st.structure_edges);
-  EXPECT_EQ(st.backup, res.structure.num_backup());
-  EXPECT_EQ(st.reinforced, res.structure.num_reinforced());
-  if (!st.used_baseline && c.eps > 0) {
-    EXPECT_EQ(st.pairs_total,
-              st.pairs_covered + st.pairs_uncovered +
-                  (st.pairs_total - st.pairs_covered - st.pairs_uncovered));
-    EXPECT_EQ(st.i1_size + st.i2_size, st.pairs_uncovered);
-    // Lemma 4.10: Phase S1 never leaves pairs behind.
-    EXPECT_EQ(st.s1_leftover_pairs, 0) << c.family << " eps=" << c.eps;
+TEST(EpsilonFamilySweep, StatsAreInternallyConsistent) {
+  for (const test::PropertyCase& pc : epsilon_sweep_cases()) {
+    FTB_PROPERTY_TRACE(pc, "epsilon_ftbfs_test");
+    for (const double eps : kEpsGrid) {
+      EpsilonOptions opts;
+      opts.eps = eps;
+      const EpsilonResult res =
+          build_epsilon_ftbfs(pc.graph, pc.source, opts);
+      const auto& st = res.stats;
+      EXPECT_EQ(st.backup + st.reinforced, st.structure_edges);
+      EXPECT_EQ(st.backup, res.structure.num_backup());
+      EXPECT_EQ(st.reinforced, res.structure.num_reinforced());
+      if (!st.used_baseline && eps > 0) {
+        EXPECT_EQ(st.i1_size + st.i2_size, st.pairs_uncovered);
+        // Lemma 4.10: Phase S1 never leaves pairs behind.
+        EXPECT_EQ(st.s1_leftover_pairs, 0) << pc.name() << " eps=" << eps;
+      }
+    }
   }
 }
 
-TEST_P(EpsilonFamilyTest, ReinforcedSetIsSubsetOfTreeEdges) {
-  const Case c = GetParam();
-  const test::FamilyCase fc = find_family(c.family);
-  EpsilonOptions opts;
-  opts.eps = c.eps;
-  const EpsilonResult res = build_epsilon_ftbfs(fc.graph, fc.source, opts);
-  std::vector<std::uint8_t> is_tree(
-      static_cast<std::size_t>(fc.graph.num_edges()), 0);
-  for (const EdgeId e : res.structure.tree_edges()) {
-    is_tree[static_cast<std::size_t>(e)] = 1;
-  }
-  for (const EdgeId e : res.structure.reinforced()) {
-    EXPECT_TRUE(is_tree[static_cast<std::size_t>(e)])
-        << "reinforced a non-tree edge " << e;
+TEST(EpsilonFamilySweep, ReinforcedSetIsSubsetOfTreeEdges) {
+  for (const test::PropertyCase& pc : epsilon_sweep_cases()) {
+    FTB_PROPERTY_TRACE(pc, "epsilon_ftbfs_test");
+    for (const double eps : kEpsGrid) {
+      EpsilonOptions opts;
+      opts.eps = eps;
+      const EpsilonResult res =
+          build_epsilon_ftbfs(pc.graph, pc.source, opts);
+      std::vector<std::uint8_t> is_tree(
+          static_cast<std::size_t>(pc.graph.num_edges()), 0);
+      for (const EdgeId e : res.structure.tree_edges()) {
+        is_tree[static_cast<std::size_t>(e)] = 1;
+      }
+      for (const EdgeId e : res.structure.reinforced()) {
+        EXPECT_TRUE(is_tree[static_cast<std::size_t>(e)])
+            << pc.name() << ": reinforced a non-tree edge " << e;
+      }
+    }
   }
 }
-
-INSTANTIATE_TEST_SUITE_P(Sweep, EpsilonFamilyTest,
-                         ::testing::ValuesIn(sweep_cases()),
-                         [](const auto& pinfo) { return case_name(pinfo.param); });
 
 // ---- Endpoint semantics of the tradeoff -----------------------------------
 

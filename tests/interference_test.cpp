@@ -1,11 +1,13 @@
 // interference_test.cpp — the (≁)-interference adjacency against brute
-// force, π-intersection flags, and the I1/I2 partition.
+// force, π-intersection flags, and the I1/I2 partition. The family sweep
+// runs on the seeded property harness (tests/property_test_util.hpp) so a
+// failing case prints its FTBFS_PROPERTY_SEED reproduction.
 #include <gtest/gtest.h>
 
 #include <set>
 
 #include "src/core/interference.hpp"
-#include "tests/test_util.hpp"
+#include "tests/property_test_util.hpp"
 
 namespace ftb {
 namespace {
@@ -19,9 +21,9 @@ struct Fixture {
   LcaIndex lca;
   InterferenceIndex ifx;
 
-  explicit Fixture(test::FamilyCase fc)
-      : g(std::move(fc.graph)),
-        source(fc.source),
+  Fixture(Graph graph, Vertex src)
+      : g(std::move(graph)),
+        source(src),
         w(EdgeWeights::uniform_random(g, 51)),
         tree(g, w, source),
         engine(tree),
@@ -42,9 +44,9 @@ bool brute_interfere(const ReplacementPathEngine& engine,
 }
 
 TEST(Interference, AdjacencyMatchesBruteForce) {
-  for (auto& fc : test::small_families()) {
-    const std::string name = fc.name;
-    Fixture fx(std::move(fc));
+  for (const auto& pc : test::property_cases(26, 2)) {
+    FTB_PROPERTY_TRACE(pc, "interference_test");
+    Fixture fx(pc.graph, pc.source);
     const auto& pairs = fx.engine.uncovered_pairs();
     const std::size_t np = pairs.size();
     if (np > 260) continue;  // brute force is O(np² · |D|)
@@ -60,57 +62,58 @@ TEST(Interference, AdjacencyMatchesBruteForce) {
                               !fx.tree.edges_related(A.e, B.e) &&
                               brute_interfere(fx.engine, A, B);
         ASSERT_EQ(adj.count(static_cast<std::int32_t>(q)) == 1, expected)
-            << name << " p=" << p << " q=" << q;
+            << pc.name() << " p=" << p << " q=" << q;
       }
     }
   }
 }
 
 TEST(Interference, AdjacencyIsSymmetric) {
-  for (auto& fc : test::small_families()) {
-    const std::string name = fc.name;
-    Fixture fx(std::move(fc));
+  for (const auto& pc : test::property_cases(26, 2)) {
+    FTB_PROPERTY_TRACE(pc, "interference_test");
+    Fixture fx(pc.graph, pc.source);
     const std::int64_t np = fx.ifx.num_pairs();
     for (std::int32_t p = 0; p < np; ++p) {
       for (const std::int32_t q : fx.ifx.neighbors(p)) {
         const auto back = fx.ifx.neighbors(q);
         ASSERT_TRUE(std::find(back.begin(), back.end(), p) != back.end())
-            << name << ": " << p << "→" << q << " not mirrored";
+            << pc.name() << ": " << p << "→" << q << " not mirrored";
       }
     }
   }
 }
 
 TEST(Interference, PiFlagsMatchRecomputation) {
-  for (auto& fc : test::small_families()) {
-    const std::string name = fc.name;
-    Fixture fx(std::move(fc));
+  for (const auto& pc : test::property_cases(26, 2)) {
+    FTB_PROPERTY_TRACE(pc, "interference_test");
+    Fixture fx(pc.graph, pc.source);
     const std::int64_t np = fx.ifx.num_pairs();
     for (std::int32_t p = 0; p < np; ++p) {
       const auto nbrs = fx.ifx.neighbors(p);
       const auto flags = fx.ifx.pi_intersects_flags(p);
       ASSERT_EQ(nbrs.size(), flags.size());
       for (std::size_t i = 0; i < nbrs.size(); ++i) {
-        ASSERT_EQ(flags[i] != 0, fx.ifx.pi_intersects(p, nbrs[i])) << name;
+        ASSERT_EQ(flags[i] != 0, fx.ifx.pi_intersects(p, nbrs[i]))
+            << pc.name();
       }
     }
   }
 }
 
 TEST(Interference, I1I2Partition) {
-  for (auto& fc : test::small_families()) {
-    const std::string name = fc.name;
-    Fixture fx(std::move(fc));
+  for (const auto& pc : test::property_cases(26, 2)) {
+    FTB_PROPERTY_TRACE(pc, "interference_test");
+    Fixture fx(pc.graph, pc.source);
     const auto i1 = fx.ifx.i1();
     const auto i2 = fx.ifx.i2();
     ASSERT_EQ(static_cast<std::int64_t>(i1.size() + i2.size()),
               fx.ifx.num_pairs())
-        << name;
+        << pc.name();
     for (const std::int32_t p : i1) {
-      ASSERT_FALSE(fx.ifx.neighbors(p).empty()) << name;
+      ASSERT_FALSE(fx.ifx.neighbors(p).empty()) << pc.name();
     }
     for (const std::int32_t p : i2) {
-      ASSERT_TRUE(fx.ifx.neighbors(p).empty()) << name;
+      ASSERT_TRUE(fx.ifx.neighbors(p).empty()) << pc.name();
     }
   }
 }
@@ -118,8 +121,9 @@ TEST(Interference, I1I2Partition) {
 TEST(Interference, PiIntersectionDefinition) {
   // Recheck pi_intersects against the literal definition: D(P) touches
   // π(LCA(v,t), t) \ {LCA}.
-  for (auto& fc : test::tiny_families()) {
-    Fixture fx(std::move(fc));
+  for (const auto& pc : test::property_cases(16, 1)) {
+    FTB_PROPERTY_TRACE(pc, "interference_test");
+    Fixture fx(pc.graph, pc.source);
     const auto& pairs = fx.engine.uncovered_pairs();
     const std::int64_t np = fx.ifx.num_pairs();
     for (std::int32_t p = 0; p < np; ++p) {
@@ -152,14 +156,14 @@ TEST(Interference, PiIntersectionDefinition) {
 
 TEST(Interference, NoInterferenceOnSparseTrees) {
   // A tree has no uncovered pairs at all, hence an empty index.
-  Fixture fx({"btree", gen::binary_tree(31), 0});
+  Fixture fx(gen::binary_tree(31), 0);
   EXPECT_EQ(fx.ifx.num_pairs(), 0);
   EXPECT_TRUE(fx.ifx.i1().empty());
   EXPECT_TRUE(fx.ifx.i2().empty());
 }
 
 TEST(Interference, StatsPopulated) {
-  Fixture fx({"gnm", gen::gnm(40, 160, 91), 0});
+  Fixture fx(gen::gnm(40, 160, 91), 0);
   if (fx.ifx.num_pairs() > 0) {
     EXPECT_GE(fx.ifx.stats().index_vertices, 0);
     EXPECT_EQ(fx.ifx.stats().truncated_buckets, 0);

@@ -1,9 +1,12 @@
-// multi_source_test.cpp — the FT-MBFS union construction.
+// multi_source_test.cpp — the FT-MBFS union construction. The family
+// sweep runs on the seeded property harness (tests/property_test_util.hpp)
+// so a failing case prints its FTBFS_PROPERTY_SEED reproduction.
 #include <gtest/gtest.h>
 
 #include "src/core/multi_source.hpp"
 #include "src/graph/generators.hpp"
 #include "src/graph/lower_bound.hpp"
+#include "tests/property_test_util.hpp"
 
 namespace ftb {
 namespace {
@@ -15,6 +18,23 @@ TEST(MultiSource, ContractHoldsForEverySource) {
   opts.eps = 0.3;
   const MultiSourceResult ms = build_epsilon_ftmbfs(g, sources, opts);
   EXPECT_EQ(verify_multi_source(g, ms), 0);
+}
+
+TEST(MultiSource, PropertySweepContractHoldsOnEveryFamily) {
+  // Three spread sources per seeded family case, both union flavors.
+  for (const test::PropertyCase& pc : test::property_cases(30, 1)) {
+    FTB_PROPERTY_TRACE(pc, "multi_source_test");
+    const Vertex n = pc.graph.num_vertices();
+    ASSERT_GE(n, 9);
+    const std::vector<Vertex> sources{0, n / 3, (2 * n) / 3};
+    EpsilonOptions opts;
+    opts.eps = 0.3;
+    const MultiSourceResult ms =
+        build_epsilon_ftmbfs(pc.graph, sources, opts);
+    EXPECT_EQ(verify_multi_source(pc.graph, ms), 0) << pc.name();
+    const MultiSourceResult vms = build_vertex_ftmbfs(pc.graph, sources);
+    EXPECT_EQ(verify_vertex_multi_source(pc.graph, vms), 0) << pc.name();
+  }
 }
 
 TEST(MultiSource, ContractHoldsAtEndpointEps) {

@@ -1,24 +1,36 @@
 // structure_io_error_test.cpp — every malformed-artifact path must surface
 // as the shared CheckError shape (never a crash, never a silently wrong
 // structure): truncations, unknown versions, bad fault-model tags,
-// duplicate sources, and broken v4 pair tables.
+// duplicate sources, broken v4 pair tables, and — for every format
+// version — trailing garbage and duplicated sections. Every rejection
+// must carry the io layer's byte-offset + section context.
 #include <gtest/gtest.h>
 
 #include <sstream>
 
 #include "src/graph/generators.hpp"
 #include "src/io/structure_io.hpp"
+#include "src/util/crc32c.hpp"
 
 namespace ftb {
 namespace {
 
 /// Asserts read_structure throws CheckError (the one error shape the whole
-/// stack shares) on `text`.
+/// stack shares) on `text`, and that the message carries the "(at byte N
+/// in section 'S')" context every io rejection promises.
 void expect_rejected(const Graph& g, const std::string& text,
                      const std::string& what) {
   std::stringstream ss(text);
-  EXPECT_THROW(io::read_structure(g, ss), CheckError) << what << ":\n"
-                                                      << text;
+  try {
+    io::read_structure(g, ss);
+    FAIL() << what << ": accepted\n" << text;
+  } catch (const CheckError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("(at byte "), std::string::npos)
+        << what << ": rejection lacks offset context: " << msg;
+    EXPECT_NE(msg.find("in section '"), std::string::npos)
+        << what << ": rejection lacks section context: " << msg;
+  }
 }
 
 const char* kValidV2 =
@@ -173,6 +185,103 @@ TEST(StructureIoErrors, BrokenPairTables) {
   expect_rejected(g,
                   head + "pair-tables 1\nsource-tables 0 1\nsite e 0 1 2 0\n",
                   "site line shorter than its count");
+}
+
+// ---------------------------------------------------------------------------
+// Trailing garbage and duplicated sections, for EVERY format version. A
+// valid artifact with extra bytes after it is corrupt (a concatenation or
+// a botched copy), never silently accepted.
+
+const char* kValidV1 =
+    "ftbfs-structure 1\n"
+    "4 3 0\n"
+    "0 1 2\n"
+    "1 2 2\n"
+    "2 3 3\n";
+
+const char* kValidV3 =
+    "ftbfs-structure 3\n"
+    "fault-model edge\n"
+    "sources 2 0 2\n"
+    "4 3 0\n"
+    "0 1 2\n"
+    "1 2 2\n"
+    "2 3 3\n";
+
+std::string hex8(std::uint32_t v) {
+  static const char* const kDigits = "0123456789abcdef";
+  std::string s(8, '0');
+  for (int i = 7; i >= 0; --i) {
+    s[static_cast<std::size_t>(i)] = kDigits[v & 0xFu];
+    v >>= 4;
+  }
+  return s;
+}
+
+std::string v5_frame(const std::string& name, const std::string& payload) {
+  return "section " + name + ' ' + std::to_string(payload.size()) + ' ' +
+         hex8(crc32c(payload)) + '\n' + payload;
+}
+
+std::string valid_v5() {
+  return "ftbfs-structure 5\n" +
+         v5_frame("meta", "fault-model dual\nsources 1 0\n") +
+         v5_frame("edges", "4 3 0\n0 1 2\n1 2 2\n2 3 2\n") +
+         v5_frame("pair-tables",
+                  "pair-tables 1\nsource-tables 0 1\nsite e 0 1 2 1 2\n");
+}
+
+TEST(StructureIoErrors, ValidBaselinesParseEveryVersion) {
+  const Graph g = gen::path_graph(4);
+  for (const std::string& text :
+       {std::string(kValidV1), std::string(kValidV2), std::string(kValidV3),
+        std::string(kValidV4), valid_v5()}) {
+    std::stringstream ss(text);
+    EXPECT_NO_THROW(io::read_structure(g, ss)) << text;
+  }
+}
+
+TEST(StructureIoErrors, TrailingGarbageRejectedEveryVersion) {
+  const Graph g = gen::path_graph(4);
+  int version = 0;
+  for (const std::string& text :
+       {std::string(kValidV1), std::string(kValidV2), std::string(kValidV3),
+        std::string(kValidV4), valid_v5()}) {
+    ++version;
+    std::string vlabel = "v";
+    vlabel += std::to_string(version);
+    expect_rejected(g, text + "junk after the artifact\n",
+                    vlabel + " + trailing garbage");
+    expect_rejected(g, text + "0 1 2\n", vlabel + " + duplicated edge line");
+  }
+}
+
+TEST(StructureIoErrors, DuplicateSectionsRejectedEveryVersion) {
+  const Graph g = gen::path_graph(4);
+  // Legacy framings are strictly ordered lines, so a duplicated section
+  // lands where the next section is expected and must be rejected there.
+  expect_rejected(g,
+                  "ftbfs-structure 2\nfault-model edge\nfault-model edge\n"
+                  "4 3 0\n0 1 2\n1 2 2\n2 3 3\n",
+                  "v2 duplicate fault-model section");
+  expect_rejected(g,
+                  "ftbfs-structure 3\nfault-model edge\n"
+                  "sources 1 0\nsources 1 0\n"
+                  "4 3 0\n0 1 2\n1 2 2\n2 3 3\n",
+                  "v3 duplicate sources section");
+  expect_rejected(g,
+                  std::string(kValidV4) +
+                      "pair-tables 1\nsource-tables 0 1\nsite e 0 1 2 1 2\n",
+                  "v4 duplicate pair-tables section");
+  expect_rejected(g,
+                  "ftbfs-structure 5\n" +
+                      v5_frame("meta", "fault-model dual\nsources 1 0\n") +
+                      v5_frame("meta", "fault-model dual\nsources 1 0\n") +
+                      v5_frame("edges", "4 3 0\n0 1 2\n1 2 2\n2 3 2\n"),
+                  "v5 duplicate meta section");
+  expect_rejected(
+      g, valid_v5() + v5_frame("pair-tables", "pair-tables 0\n"),
+      "v5 duplicate pair-tables section");
 }
 
 }  // namespace

@@ -9,6 +9,7 @@
 //   ftbfs_cli build    --graph=g.edges --fault-model=dual --out=h.ftbfs
 //   ftbfs_cli verify   --graph=g.edges --structure=h.ftbfs
 //   ftbfs_cli drill    --graph=g.edges --structure=h.ftbfs --drills=200
+//   ftbfs_cli fsck     --graph=g.edges --structure=h.ftbfs
 //   ftbfs_cli frontier --graph=g.edges --source=0
 //
 // build/verify/drill speak every fault model: --fault-model={edge,vertex,
@@ -22,7 +23,13 @@
 // graph side — unless --fault-model overrides the artifact's tag, in which
 // case the literal-BFS drill runs.
 //
-// --json switches build/verify/drill to a machine-readable report on
+// fsck loads the artifact into a Session (tolerantly: a corrupt pair-table
+// section downgrades to degraded service instead of refusing, unless
+// --strict) and audits the serving invariants — exit 0 clean, 1 degraded,
+// 2 broken. build --v5 writes the checksummed structure_io v5 framing
+// instead of the legacy form; every other command reads both.
+//
+// --json switches build/verify/drill/fsck to a machine-readable report on
 // stdout (the same ordered-JSON shape BENCH_construction.json uses), so
 // the CLI is scriptable:  ftbfs_cli build ... --json | jq .reinforced_edges
 //
@@ -56,12 +63,12 @@ using namespace ftb;
 
 int usage() {
   std::cerr
-      << "usage: ftbfs_cli <generate|info|build|verify|drill|frontier> "
+      << "usage: ftbfs_cli <generate|info|build|verify|drill|fsck|frontier> "
          "[--key=value ...]\n"
          "  generate --family=F --out=PATH [family params]\n"
          "  info     --graph=PATH\n"
          "  build    --graph=PATH [--source=0 | --sources=0,5,10]\n"
-         "           [--eps=0.25] [--out=PATH] [--json]\n"
+         "           [--eps=0.25] [--out=PATH] [--v5] [--json]\n"
          "           [--fault-model=edge|vertex|either|dual]\n"
          "  verify   --graph=PATH --structure=PATH [--nontree] [--json]\n"
          "           [--fault-model=...]   (default: the structure's tag)\n"
@@ -69,6 +76,8 @@ int usage() {
          "  drill    --graph=PATH --structure=PATH [--drills=200] [--seed=1]\n"
          "           [--weight-seed=1] [--json]\n"
          "           [--fault-model=...]   (default: the structure's tag)\n"
+         "  fsck     --graph=PATH --structure=PATH [--weight-seed=1]\n"
+         "           [--strict] [--json]    exit: 0 clean, 1 degraded, 2 broken\n"
          "  frontier --graph=PATH [--source=0] [--points=12]\n";
   return 2;
 }
@@ -194,9 +203,15 @@ int cmd_build(const Options& opt) {
   const api::BuildResult res = api::build(g, spec);
   const FtBfsStructure& h = res.structure;
   if (!out.empty()) {
-    // Dual-failure artifacts ride structure_io v4 with their pair tables;
-    // everything else keeps the v2/v3 forms byte-stably.
-    io::save_structure(h, res.sources, res.dual_tables, out);
+    if (opt.has("v5")) {
+      // The checksummed framing: every section carries its length and
+      // CRC-32C, so storage corruption is caught at load time.
+      io::save_structure_v5(h, res.sources, res.dual_tables, out);
+    } else {
+      // Dual-failure artifacts ride structure_io v4 with their pair
+      // tables; everything else keeps the v2/v3 forms byte-stably.
+      io::save_structure(h, res.sources, res.dual_tables, out);
+    }
   }
 
   if (json) {
@@ -429,6 +444,57 @@ int cmd_drill(const Options& opt) {
   return rep.violations == 0 ? 0 : 1;
 }
 
+/// fsck: load the artifact into a Session (tolerantly unless --strict) and
+/// audit the serving invariants. Exit 0 clean, 1 degraded-but-correct,
+/// 2 broken (an invariant failed or the load itself threw).
+int cmd_fsck(const Options& opt) {
+  const Graph g = io::load_edge_list(opt.get_string("graph", "graph.edges"));
+  const std::string path = opt.get_string("structure", "h.ftbfs");
+  const bool json = opt.has("json");
+
+  api::SessionConfig cfg;
+  cfg.weight_seed =
+      static_cast<std::uint64_t>(opt.get_int("weight-seed", 1));
+  cfg.tolerate_corruption = !opt.has("strict");
+  api::FsckReport rep;
+  std::string fault_model = "unknown";
+  try {
+    const api::Session session = api::Session::load(g, path, cfg);
+    fault_model = to_string(session.fault_model());
+    rep = session.fsck();
+  } catch (const CheckError& e) {
+    // A refused load IS the broken verdict (exit 2), not the generic
+    // CLI error (exit 1, which fsck reserves for degraded-but-correct).
+    rep.ok = false;
+    rep.errors.push_back(e.what());
+  }
+
+  if (json) {
+    JsonObject report;
+    report.set("command", std::string("fsck"))
+        .set("structure", path)
+        .set("fault_model", fault_model)
+        .set("ok", rep.ok)
+        .set("degraded", rep.degraded)
+        .set("checks", rep.checks);
+    JsonArray errors;
+    for (const std::string& e : rep.errors) {
+      errors.push_raw(JsonObject::quote(e));
+    }
+    report.set_raw("errors", errors.str(2));
+    JsonArray notes;
+    for (const std::string& n : rep.notes) {
+      notes.push_raw(JsonObject::quote(n));
+    }
+    report.set_raw("notes", notes.str(2));
+    std::cout << report.str() << "\n";
+  } else {
+    std::cout << rep.to_string() << "\n";
+  }
+  if (!rep.ok) return 2;
+  return rep.degraded ? 1 : 0;
+}
+
 int cmd_frontier(const Options& opt) {
   const Graph g = io::load_edge_list(opt.get_string("graph", "graph.edges"));
   const Vertex source = static_cast<Vertex>(opt.get_int("source", 0));
@@ -460,6 +526,7 @@ int main(int argc, char** argv) {
     if (cmd == "build") return cmd_build(opt);
     if (cmd == "verify") return cmd_verify(opt);
     if (cmd == "drill") return cmd_drill(opt);
+    if (cmd == "fsck") return cmd_fsck(opt);
     if (cmd == "frontier") return cmd_frontier(opt);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

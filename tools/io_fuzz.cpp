@@ -1,0 +1,312 @@
+// io_fuzz — corpus fuzzer for structure_io's zero-trust contract.
+//
+// Starts from one VALID artifact per format version (v1…v5), applies
+// seeded random mutations (bit flips, truncations, byte inserts, slice
+// deletes/duplications, line splices) and feeds every mutant to
+// io::read_structure. The only acceptable outcomes, asserted per mutant:
+//
+//   * clean load — and then the parsed structure must round-trip
+//     bit-identically (write → parse → write gives the same bytes, in
+//     both the legacy and the v5 framing);
+//   * CheckError — whose message must carry the byte-offset context
+//     ("at byte") the io layer promises.
+//
+// Anything else — another exception type, a crash, a hang (CI timeout),
+// a silent wrong acceptance — is a fuzz failure: the tool prints the
+// version, mutant ordinal and seed (rerun with --seed to reproduce) and
+// exits non-zero. Every mutant is additionally parsed in tolerant mode
+// (ReadOptions::tolerate_pair_tables), which must obey the same contract.
+//
+//   io_fuzz [--mutations=10000] [--seed=1]
+//
+// The CI sanitize job runs this under ASan+UBSan, so out-of-bounds reads
+// from unchecked length fields fail loudly rather than probabilistically.
+#include <algorithm>
+#include <exception>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/api/ftbfs_api.hpp"
+#include "src/graph/generators.hpp"
+#include "src/io/structure_io.hpp"
+#include "src/util/options.hpp"
+#include "src/util/rng.hpp"
+
+namespace {
+
+using namespace ftb;
+
+struct CorpusEntry {
+  int version;
+  Graph graph;
+  std::string bytes;  // a valid artifact of exactly `version`
+};
+
+/// One valid artifact per documented version, over small graphs (the
+/// mutation budget goes to coverage of the grammar, not BFS time).
+std::vector<CorpusEntry> build_corpus() {
+  std::vector<CorpusEntry> corpus;
+
+  // v1: no fault-model line (edge model by definition). The writers never
+  // emit v1 anymore, so the corpus hand-frames one from a built structure
+  // using the documented grammar.
+  {
+    Graph g = gen::random_connected(24, 60, 7);
+    api::BuildSpec spec;
+    const api::BuildResult res = api::build(g, spec);
+    const FtBfsStructure& h = res.structure;
+    std::ostringstream os;
+    os << "ftbfs-structure 1\n"
+       << g.num_vertices() << ' ' << h.num_edges() << ' ' << h.source()
+       << '\n';
+    for (const EdgeId e : h.edges()) {
+      const auto [u, v] = g.edge(e);
+      int flags = 0;
+      if (h.is_reinforced(e)) flags |= 1;
+      if (std::binary_search(h.tree_edges().begin(), h.tree_edges().end(),
+                             e)) {
+        flags |= 2;
+      }
+      os << u << ' ' << v << ' ' << flags << '\n';
+    }
+    corpus.push_back({1, std::move(g), os.str()});
+  }
+
+  // v2: single-source edge model, written by the library.
+  {
+    Graph g = gen::random_connected(24, 60, 7);
+    api::BuildSpec spec;
+    spec.eps = 0.4;
+    const api::BuildResult res = api::build(g, spec);
+    std::ostringstream os;
+    io::write_structure(res.structure, os);
+    corpus.push_back({2, std::move(g), os.str()});
+  }
+
+  // v3: multi-source union with a sources line.
+  {
+    Graph g = gen::random_connected(30, 80, 11);
+    api::BuildSpec spec;
+    spec.sources = {0, 7, 19};
+    const api::BuildResult res = api::build(g, spec);
+    std::ostringstream os;
+    io::write_structure(res.structure, res.sources, os);
+    corpus.push_back({3, std::move(g), os.str()});
+  }
+
+  // v4: dual-failure structure with its pair tables.
+  {
+    Graph g = gen::grid_graph(5, 5);
+    api::BuildSpec spec;
+    spec.fault_model = FaultClass::kDual;
+    const api::BuildResult res = api::build(g, spec);
+    std::ostringstream os;
+    io::write_structure(res.structure, res.sources, res.dual_tables, os);
+    corpus.push_back({4, std::move(g), os.str()});
+  }
+
+  // v5: the same dual artifact in the checksummed framing.
+  {
+    Graph g = gen::grid_graph(5, 5);
+    api::BuildSpec spec;
+    spec.fault_model = FaultClass::kDual;
+    const api::BuildResult res = api::build(g, spec);
+    std::ostringstream os;
+    io::write_structure_v5(res.structure, res.sources, res.dual_tables, os);
+    corpus.push_back({5, std::move(g), os.str()});
+  }
+  return corpus;
+}
+
+/// One seeded mutant: 1–3 structural edits of the valid artifact.
+std::string mutate(const std::string& base, Rng& rng) {
+  std::string m = base;
+  const std::uint64_t ops = 1 + rng.next_below(3);
+  for (std::uint64_t o = 0; o < ops; ++o) {
+    if (m.empty()) break;
+    switch (rng.next_below(6)) {
+      case 0: {  // bit flip
+        const std::size_t p = rng.next_below(m.size());
+        m[p] = static_cast<char>(
+            static_cast<unsigned char>(m[p]) ^ (1u << rng.next_below(8)));
+        break;
+      }
+      case 1:  // truncation (storage short write)
+        m.resize(rng.next_below(m.size() + 1));
+        break;
+      case 2: {  // random byte insert
+        const std::size_t p = rng.next_below(m.size() + 1);
+        m.insert(m.begin() + static_cast<std::ptrdiff_t>(p),
+                 static_cast<char>(rng.next_below(256)));
+        break;
+      }
+      case 3: {  // slice delete
+        const std::size_t p = rng.next_below(m.size());
+        const std::size_t len =
+            1 + rng.next_below(std::min<std::size_t>(16, m.size() - p));
+        m.erase(p, len);
+        break;
+      }
+      case 4: {  // slice duplication (length lies, duplicate sections)
+        const std::size_t p = rng.next_below(m.size());
+        const std::size_t len =
+            1 + rng.next_below(std::min<std::size_t>(64, m.size() - p));
+        m.insert(p, m.substr(p, len));
+        break;
+      }
+      case 5: {  // splice one whole line to the end (trailing garbage /
+                 // duplicated section headers)
+        const std::size_t p = rng.next_below(m.size());
+        std::size_t start = m.rfind('\n', p);
+        start = start == std::string::npos ? 0 : start + 1;
+        std::size_t end = m.find('\n', p);
+        end = end == std::string::npos ? m.size() : end + 1;
+        m += m.substr(start, end - start);
+        break;
+      }
+    }
+  }
+  return m;
+}
+
+/// Parses `bytes` against `g` with the given options. Returns true when
+/// the load was clean; rejections must be CheckError with offset context
+/// (anything else aborts the fuzz run via the caller's catch).
+bool parse(const Graph& g, const std::string& bytes,
+           const io::ReadOptions& opts, FtBfsStructure* out,
+           std::vector<Vertex>* sources, std::vector<DualSiteTable>* tables,
+           std::string* reject_msg) {
+  std::istringstream is(bytes);
+  try {
+    io::LoadReport report;
+    FtBfsStructure h = io::read_structure(g, is, sources, tables, opts,
+                                          &report);
+    if (out != nullptr) *out = std::move(h);
+    return true;
+  } catch (const CheckError& e) {
+    *reject_msg = e.what();
+    return false;
+  }
+}
+
+/// The accepted-mutant invariant: write → parse → write is a fixed point,
+/// in the legacy framing and in v5.
+bool roundtrips(const Graph& g, const FtBfsStructure& h,
+                const std::vector<Vertex>& sources,
+                const std::vector<DualSiteTable>& tables,
+                std::string* why) {
+  const auto canonical = [&](bool v5, const FtBfsStructure& hh,
+                             const std::vector<Vertex>& ss,
+                             const std::vector<DualSiteTable>& tt) {
+    std::ostringstream os;
+    if (v5) {
+      io::write_structure_v5(hh, ss, tt, os);
+    } else {
+      io::write_structure(hh, ss, tt, os);
+    }
+    return os.str();
+  };
+  for (const bool v5 : {false, true}) {
+    const std::string w1 = canonical(v5, h, sources, tables);
+    std::istringstream is(w1);
+    std::vector<Vertex> s2;
+    std::vector<DualSiteTable> t2;
+    try {
+      const FtBfsStructure h2 = io::read_structure(g, is, &s2, &t2);
+      const std::string w2 = canonical(v5, h2, s2, t2);
+      if (w1 != w2) {
+        *why = v5 ? "v5 re-write differs" : "legacy re-write differs";
+        return false;
+      }
+    } catch (const std::exception& e) {
+      *why = std::string("canonical bytes rejected: ") + e.what();
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt(argc, argv);
+  const std::int64_t mutations = opt.get_int("mutations", 10000);
+  const auto seed = static_cast<std::uint64_t>(opt.get_int("seed", 1));
+
+  const std::vector<CorpusEntry> corpus = build_corpus();
+  std::int64_t accepted = 0, rejected = 0;
+
+  for (const CorpusEntry& entry : corpus) {
+    // The unmutated artifact must load cleanly and round-trip.
+    {
+      FtBfsStructure h(entry.graph, 0, {}, {}, {});
+      std::vector<Vertex> sources;
+      std::vector<DualSiteTable> tables;
+      std::string msg;
+      if (!parse(entry.graph, entry.bytes, {}, &h, &sources, &tables,
+                 &msg)) {
+        std::cerr << "io_fuzz: v" << entry.version
+                  << " corpus artifact rejected: " << msg << "\n";
+        return 1;
+      }
+      std::string why;
+      if (!roundtrips(entry.graph, h, sources, tables, &why)) {
+        std::cerr << "io_fuzz: v" << entry.version
+                  << " corpus artifact does not round-trip: " << why << "\n";
+        return 1;
+      }
+    }
+
+    Rng rng(seed ^ (0x10f0f0f0ULL * static_cast<std::uint64_t>(
+                                        entry.version)));
+    for (std::int64_t i = 0; i < mutations; ++i) {
+      const std::string mutant = mutate(entry.bytes, rng);
+      for (const bool tolerant : {false, true}) {
+        io::ReadOptions opts;
+        opts.tolerate_pair_tables = tolerant;
+        FtBfsStructure h(entry.graph, 0, {}, {}, {});
+        std::vector<Vertex> sources;
+        std::vector<DualSiteTable> tables;
+        std::string msg;
+        try {
+          if (parse(entry.graph, mutant, opts, &h, &sources, &tables,
+                    &msg)) {
+            ++accepted;
+            std::string why;
+            if (!roundtrips(entry.graph, h, sources, tables, &why)) {
+              std::cerr << "io_fuzz: v" << entry.version << " mutant #" << i
+                        << " (seed " << seed << ", tolerant=" << tolerant
+                        << ") accepted but does not round-trip: " << why
+                        << "\n";
+              return 1;
+            }
+          } else {
+            ++rejected;
+            if (msg.find("at byte") == std::string::npos) {
+              std::cerr << "io_fuzz: v" << entry.version << " mutant #" << i
+                        << " (seed " << seed << ", tolerant=" << tolerant
+                        << ") rejected without byte-offset context: " << msg
+                        << "\n";
+              return 1;
+            }
+          }
+        } catch (const std::exception& e) {
+          std::cerr << "io_fuzz: v" << entry.version << " mutant #" << i
+                    << " (seed " << seed << ", tolerant=" << tolerant
+                    << ") escaped the CheckError contract: " << e.what()
+                    << "\n";
+          return 1;
+        }
+      }
+    }
+  }
+
+  std::cout << "io_fuzz: " << corpus.size() << " versions x " << mutations
+            << " mutations (seed " << seed << "): " << accepted
+            << " accepted, " << rejected
+            << " rejected, every rejection a CheckError with offset "
+               "context\n";
+  return 0;
+}
