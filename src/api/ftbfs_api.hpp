@@ -89,6 +89,13 @@ struct BuildSpec {
   /// prefix-reusing default. The unpruned build is the differential
   /// referee: strictly larger structure, same served answers.
   bool unpruned_dual = false;
+  /// Dual model only: also harvest the site-local distance oracle
+  /// (per-site replacement-distance rows over C_f) while the punctured
+  /// engines are alive, so a deployed Session answers EVERY in-model pair
+  /// O(1) — zero traversals, even for non-reducible pairs. Costs memory
+  /// proportional to the tree volume; persisted by save_v5 as the
+  /// optional site-dist section.
+  bool site_dist_oracle = false;
 
   /// Throws CheckError ("invalid BuildSpec: …") on NaN / out-of-range ε
   /// or an empty / out-of-range / duplicated source set. build() and
@@ -119,6 +126,11 @@ struct BuildResult {
   /// model). Session::deploy serves pairs from these; structure_io v4
   /// persists them alongside the structure.
   std::vector<DualSiteTable> dual_tables;
+  /// Site-local distance oracle, one table per source (empty unless
+  /// BuildSpec::site_dist_oracle on a dual build). Session::deploy
+  /// attaches these so pair queries never traverse; save_v5 persists them
+  /// as the optional site-dist section.
+  std::vector<DualSiteDistTable> dual_site_dist;
   double seconds_total = 0;
 };
 
@@ -208,6 +220,17 @@ struct QueryResponse {
   std::int64_t degraded = 0;
   /// Queries dropped because the batch budget/deadline ran out.
   std::int64_t budget_exhausted = 0;
+  /// Dual-pair arena cache hits this batch: traversal groups whose answer
+  /// was still warm in a leased arena from an earlier group or batch.
+  std::int64_t pair_cache_hits = 0;
+  /// Dual-pair arena cache misses this batch (each paid one
+  /// site-restricted traversal).
+  std::int64_t pair_cache_misses = 0;
+  /// In-model pair queries answered straight from the site-local distance
+  /// oracle (zero traversals; see BuildSpec::site_dist_oracle). A session
+  /// with the oracle attached serves every in-model pair this way or via
+  /// the O(1) reducible ladder — pair_traversals stays 0.
+  std::int64_t site_oracle_hits = 0;
 };
 
 /// Per-batch service limits, so a what-if storm degrades to partial
@@ -224,6 +247,13 @@ struct BatchOptions {
   /// deadline. Groups starting after the deadline return kBudgetExhausted
   /// (a group already traversing is finished, not aborted).
   double deadline_seconds = 0;
+  /// Adaptive cutover override: batches of at most this many queries are
+  /// served inline on the caller thread (no pool dispatch); larger ones
+  /// shard across the ThreadPool. < 0 (the default) auto-tunes the
+  /// break-even from a measured dispatch cost, once per session; 0 forces
+  /// sharding for every non-empty batch. Strategy only — answers are
+  /// bit-identical either way.
+  std::int32_t inline_threshold = -1;
 };
 
 /// Knobs for serving a structure built elsewhere (Session::load).
@@ -238,8 +268,15 @@ struct SessionConfig {
   /// serve (answers bit-identical, outcomes tagged kDegraded). Set false
   /// to make any corruption a hard CheckError at load time. Corruption in
   /// the structure sections themselves (meta/edges) always throws — there
-  /// is nothing safe to rebuild from.
+  /// is nothing safe to rebuild from. A corrupt site-dist section is also
+  /// dropped under this knob, but only costs the accelerator (an fsck
+  /// note), never degraded status — the pair tables still answer.
   bool tolerate_corruption = true;
+  /// Serve pairs from the site-local distance oracle: attach the
+  /// artifact's site-dist section when present, REBUILD the tables from
+  /// the graph when absent or dropped. Off by default — loading then
+  /// attaches a shipped section for free but never pays a rebuild.
+  bool site_dist_oracle = false;
 };
 
 /// What Session::fsck() found. `ok` means every audited invariant held;

@@ -42,13 +42,56 @@ void sort_unique(std::vector<EdgeId>& v) {
   v.erase(std::unique(v.begin(), v.end()), v.end());
 }
 
+/// One site's unflattened slice of the DualSiteDistTable, harvested while
+/// that site's punctured engines are alive.
+struct SiteDistRows {
+  std::vector<EdgeId> parent_edge;
+  std::vector<std::int32_t> tf_depth;
+  std::vector<std::int32_t> rows;
+};
+
+/// Walks π_{T_f}(s, v) for every terminal v of A_f and records, per path
+/// element x, the engines' replacement_dist(v, x) — by the punctured-engine
+/// contract that IS dist(s, v, G \ {f, x}), the true two-failure answer.
+/// Valid for restricted engines too: every queried v is a restricted
+/// terminal, every queried x an ancestor element of it.
+template <class EdgeEngine, class VertexEngine>
+void harvest_site_dist(const BfsTree& tree, Vertex top, const BfsTree& tf,
+                       const EdgeEngine& ee, const VertexEngine& ve,
+                       SiteDistRows& sr) {
+  const std::span<const Vertex> terms = tree.subtree(top);
+  sr.parent_edge.reserve(terms.size());
+  sr.tf_depth.reserve(terms.size());
+  for (const Vertex v : terms) {
+    if (!tf.reachable(v)) {
+      sr.parent_edge.push_back(kInvalidEdge);
+      sr.tf_depth.push_back(kInfHops);
+      continue;
+    }
+    const std::int32_t d = tf.depth(v);  // ≥ 1: v ∈ A_f excludes the source
+    sr.parent_edge.push_back(tf.parent_edge(v));
+    sr.tf_depth.push_back(d);
+    Vertex u = v;
+    for (std::int32_t j = 0; j < d; ++j) {  // d edge rows, bottom-up
+      sr.rows.push_back(ee.replacement_dist(v, tf.parent_edge(u)));
+      u = tf.parent(u);
+    }
+    u = v;
+    for (std::int32_t j = 1; j < d; ++j) {  // d-1 vertex rows, bottom-up
+      u = tf.parent(u);
+      sr.rows.push_back(ve.replacement_dist(v, u));
+    }
+  }
+}
+
 }  // namespace
 
 DualSiteTable detail::build_dual_site_table(const BfsTree& tree,
                                             ThreadPool* pool_ptr,
                                             bool reference_kernel,
                                             std::vector<EdgeId>* edges_out,
-                                            bool unpruned) {
+                                            bool unpruned,
+                                            DualSiteDistTable* site_dist_out) {
   const Graph& g = tree.graph();
   const EdgeWeights& W = tree.weights();
   ThreadPool& pool = pool_ptr != nullptr ? *pool_ptr : ThreadPool::global();
@@ -69,12 +112,16 @@ DualSiteTable detail::build_dual_site_table(const BfsTree& tree,
   // Unpruned (the PR 4 referee): full punctured tree build, full engines,
   // subset = T_f ∪ all last edges.
   std::vector<std::vector<EdgeId>> subsets(table.sites.size());
+  std::vector<SiteDistRows> site_dist_rows(
+      site_dist_out != nullptr ? table.sites.size() : 0);
   pool.parallel_for(table.sites.size(), [&](std::size_t i) {
     const DualSite f = table.sites[i];
     const EdgeId fe =
         f.kind == FaultClass::kEdge ? f.id : kInvalidEdge;
     const Vertex fv =
         f.kind == FaultClass::kVertex ? f.id : kInvalidVertex;
+    const Vertex top =
+        f.kind == FaultClass::kEdge ? tree.lower_endpoint(fe) : fv;
 
     FaultReplacementEngine<EdgeFault>::Config ec;
     FaultReplacementEngine<VertexFault>::Config vc;
@@ -100,11 +147,12 @@ DualSiteTable detail::build_dual_site_table(const BfsTree& tree,
         sub.push_back(p.last_edge);
       }
       sort_unique(sub);
+      if (site_dist_out != nullptr) {
+        harvest_site_dist(tree, top, tf, ee, ve, site_dist_rows[i]);
+      }
       return;
     }
 
-    const Vertex top =
-        f.kind == FaultClass::kEdge ? tree.lower_endpoint(fe) : fv;
     const std::span<const Vertex> affected = tree.subtree(top);
     const BfsTree tf = rebase_punctured_tree(tree, fe, fv);
     ec.restrict_terminals = vc.restrict_terminals = affected;
@@ -121,6 +169,9 @@ DualSiteTable detail::build_dual_site_table(const BfsTree& tree,
       sub.push_back(p.last_edge);
     }
     sort_unique(sub);
+    if (site_dist_out != nullptr) {
+      harvest_site_dist(tree, top, tf, ee, ve, site_dist_rows[i]);
+    }
   });
 
   // Deterministic flatten (site order is already canonical).
@@ -141,6 +192,37 @@ DualSiteTable detail::build_dual_site_table(const BfsTree& tree,
     edges.insert(edges.end(), table.edge_pool.begin(), table.edge_pool.end());
     sort_unique(edges);
   }
+
+  if (site_dist_out != nullptr) {
+    // Deterministic flatten, mirroring the pair-table layout: site order is
+    // canonical, slot order is each subtree's preorder slice.
+    DualSiteDistTable& sd = *site_dist_out;
+    sd = DualSiteDistTable{};
+    sd.site_offsets.assign(table.sites.size() + 1, 0);
+    std::int64_t slots = 0, row_total = 0;
+    for (std::size_t i = 0; i < site_dist_rows.size(); ++i) {
+      slots += static_cast<std::int64_t>(site_dist_rows[i].parent_edge.size());
+      row_total += static_cast<std::int64_t>(site_dist_rows[i].rows.size());
+      sd.site_offsets[i + 1] = slots;
+    }
+    sd.parent_edge.reserve(static_cast<std::size_t>(slots));
+    sd.tf_depth.reserve(static_cast<std::size_t>(slots));
+    sd.row_offsets.reserve(static_cast<std::size_t>(slots) + 1);
+    sd.rows.reserve(static_cast<std::size_t>(row_total));
+    sd.row_offsets.push_back(0);
+    for (const SiteDistRows& sr : site_dist_rows) {
+      sd.parent_edge.insert(sd.parent_edge.end(), sr.parent_edge.begin(),
+                            sr.parent_edge.end());
+      sd.tf_depth.insert(sd.tf_depth.end(), sr.tf_depth.begin(),
+                         sr.tf_depth.end());
+      std::int64_t roff = sd.row_offsets.back();
+      for (const std::int32_t d : sr.tf_depth) {
+        roff += d >= kInfHops ? 0 : 2 * static_cast<std::int64_t>(d) - 1;
+        sd.row_offsets.push_back(roff);
+      }
+      sd.rows.insert(sd.rows.end(), sr.rows.begin(), sr.rows.end());
+    }
+  }
   return table;
 }
 
@@ -151,11 +233,14 @@ DualBuildResult detail::build_dual_failure_ftbfs_impl(
       EdgeWeights::uniform_random(g, opts.weight_seed);
   const BfsTree tree(g, weights, source);
   std::vector<EdgeId> edges;
+  DualSiteDistTable site_dist;
   DualSiteTable table = detail::build_dual_site_table(
-      tree, opts.pool, opts.reference_kernel, &edges, opts.unpruned_dual);
+      tree, opts.pool, opts.reference_kernel, &edges, opts.unpruned_dual,
+      opts.site_dist_oracle ? &site_dist : nullptr);
   FtBfsStructure h(g, source, std::move(edges), /*reinforced=*/{},
                    tree.tree_edges(), FaultClass::kDual);
-  return DualBuildResult{std::move(h), std::move(table)};
+  return DualBuildResult{std::move(h), std::move(table),
+                         std::move(site_dist)};
 }
 
 DualMultiSourceResult detail::build_dual_failure_ftmbfs_impl(
@@ -165,7 +250,9 @@ DualMultiSourceResult detail::build_dual_failure_ftmbfs_impl(
   std::vector<EdgeId> edges;
   std::vector<EdgeId> tree_edges;
   std::vector<DualSiteTable> per_source;
+  std::vector<DualSiteDistTable> per_source_site_dist;
   per_source.reserve(sources.size());
+  if (opts.site_dist_oracle) per_source_site_dist.reserve(sources.size());
   for (const Vertex s : sources) {
     DualBuildResult r = detail::build_dual_failure_ftbfs_impl(g, s, opts);
     edges.insert(edges.end(), r.structure.edges().begin(),
@@ -173,12 +260,16 @@ DualMultiSourceResult detail::build_dual_failure_ftmbfs_impl(
     tree_edges.insert(tree_edges.end(), r.structure.tree_edges().begin(),
                       r.structure.tree_edges().end());
     per_source.push_back(std::move(r.tables));
+    if (opts.site_dist_oracle) {
+      per_source_site_dist.push_back(std::move(r.site_dist));
+    }
   }
   FtBfsStructure merged(g, sources.front(), std::move(edges),
                         /*reinforced=*/{}, std::move(tree_edges),
                         FaultClass::kDual);
   return DualMultiSourceResult{sources, std::move(merged),
-                               std::move(per_source)};
+                               std::move(per_source),
+                               std::move(per_source_site_dist)};
 }
 
 // ---------------------------------------------------------------------------
@@ -245,17 +336,77 @@ bool DualFaultOracle::reducible(DualSite f1, DualSite f2) const {
          !tables_->subset_contains(static_cast<std::size_t>(ps), other.id);
 }
 
-std::int32_t DualFaultOracle::dist(Vertex v, DualSite f1, DualSite f2,
-                                   DualQueryArena& arena,
-                                   std::int64_t* traversals) const {
+Vertex DualFaultOracle::site_top(std::size_t site) const {
+  const DualSite f = tables_->sites[site];
+  return f.kind == FaultClass::kEdge ? tree_->lower_endpoint(f.id) : f.id;
+}
+
+void DualFaultOracle::attach_site_dist(const DualSiteDistTable* site_dist) {
+  if (site_dist == nullptr) {
+    site_dist_ = nullptr;
+    return;
+  }
+  const DualSiteDistTable& sd = *site_dist;
+  const Graph& g = tree_->graph();
+  FTB_CHECK_MSG(
+      sd.site_offsets.size() == tables_->num_sites() + 1 &&
+          sd.site_offsets.front() == 0 &&
+          sd.site_offsets.back() ==
+              static_cast<std::int64_t>(sd.num_slots()) &&
+          sd.tf_depth.size() == sd.num_slots() &&
+          sd.row_offsets.size() == sd.num_slots() + 1 &&
+          sd.row_offsets.front() == 0 &&
+          sd.row_offsets.back() == static_cast<std::int64_t>(sd.rows.size()),
+      "malformed dual site-dist table (offsets do not cover the slots)");
+  for (std::size_t i = 0; i < tables_->num_sites(); ++i) {
+    const Vertex top = site_top(i);
+    const std::span<const Vertex> terms = tree_->subtree(top);
+    FTB_CHECK_MSG(sd.site_offsets[i + 1] - sd.site_offsets[i] ==
+                      static_cast<std::int64_t>(terms.size()),
+                  "malformed dual site-dist table (site "
+                      << i << " has " << sd.site_offsets[i + 1] -
+                                             sd.site_offsets[i]
+                      << " slots for " << terms.size() << " terminals)");
+    for (std::size_t k = 0; k < terms.size(); ++k) {
+      const auto slot = static_cast<std::size_t>(sd.site_offsets[i]) + k;
+      const std::int32_t d = sd.tf_depth[slot];
+      const std::int64_t row_len =
+          sd.row_offsets[slot + 1] - sd.row_offsets[slot];
+      if (d >= kInfHops) {
+        FTB_CHECK_MSG(sd.parent_edge[slot] == kInvalidEdge && row_len == 0,
+                      "malformed dual site-dist table (unreachable slot "
+                      "with a parent edge or rows)");
+        continue;
+      }
+      const EdgeId pe = sd.parent_edge[slot];
+      const bool incident =
+          g.valid_edge(pe) && (g.edge(pe).first == terms[k] ||
+                               g.edge(pe).second == terms[k]);
+      FTB_CHECK_MSG(d >= 1 && d < g.num_vertices() && incident &&
+                        row_len == 2 * static_cast<std::int64_t>(d) - 1,
+                    "malformed dual site-dist table (bad slot for terminal "
+                        << terms[k] << " of site " << i << ")");
+    }
+  }
+  site_dist_ = site_dist;
+}
+
+bool DualFaultOracle::dist_fast(Vertex v, DualSite f1, DualSite f2,
+                                std::int32_t* out,
+                                bool* used_site_dist) const {
+  if (used_site_dist != nullptr) *used_site_dist = false;
   if (f2 < f1) std::swap(f1, f2);
   // A destroyed terminal is gone under any classification.
   if ((f1.kind == FaultClass::kVertex && f1.id == v) ||
       (f2.kind == FaultClass::kVertex && f2.id == v)) {
-    return kInfHops;
+    *out = kInfHops;
+    return true;
   }
   // A doubled element is a single failure — pure table read.
-  if (f1 == f2) return single_dist(v, f1);
+  if (f1 == f2) {
+    *out = single_dist(v, f1);
+    return true;
+  }
 
   const std::int32_t s1 = site_of(f1);
   const std::int32_t s2 = site_of(f2);
@@ -263,7 +414,8 @@ std::int32_t DualFaultOracle::dist(Vertex v, DualSite f1, DualSite f2,
     // Neither element lies on any π(s,·): a non-tree edge is on no tree
     // path and a leaf vertex only on its own, so π(s,v) survives in G and
     // in H and the failure-free depth is exact.
-    return tree_->depth(v);
+    *out = tree_->depth(v);
+    return true;
   }
   if ((s1 >= 0) != (s2 >= 0)) {
     const std::int32_t ps = s1 >= 0 ? s1 : s2;
@@ -276,9 +428,89 @@ std::int32_t DualFaultOracle::dist(Vertex v, DualSite f1, DualSite f2,
       // there and the stored single-fault answer is already the
       // two-failure answer (the {f, f} degenerate of the file comment's
       // induction realizes single-fault distances inside T0 ∪ C_f).
-      return single_dist(v, primary);
+      *out = single_dist(v, primary);
+      return true;
     }
   }
+  if (site_dist_ == nullptr) return false;  // only a traversal can answer
+
+  if (!tree_->reachable(v)) {  // unreachable failure-free stays unreachable
+    *out = kInfHops;
+    if (used_site_dist != nullptr) *used_site_dist = true;
+    return true;
+  }
+  // Pick a sited element whose subtree holds v as the primary (the deeper
+  // top when both do — a shorter walk; ANY containing site is correct). If
+  // neither subtree holds v, the T0 path avoids both failures and the
+  // failure-free depth is exact.
+  std::int32_t ps = -1;
+  Vertex top = kInvalidVertex;
+  for (const std::int32_t s : {s1, s2}) {
+    if (s < 0) continue;
+    const Vertex t = site_top(static_cast<std::size_t>(s));
+    if (!tree_->is_ancestor_or_equal(t, v)) continue;
+    if (ps < 0 || tree_->depth(t) > tree_->depth(top)) {
+      ps = s;
+      top = t;
+    }
+  }
+  if (ps < 0) {
+    *out = tree_->depth(v);
+    if (used_site_dist != nullptr) *used_site_dist = true;
+    return true;
+  }
+  const DualSite other = ps == s1 ? f2 : f1;
+  const DualSiteDistTable& sd = *site_dist_;
+  // A_ps is a contiguous preorder slice, so tin(u) − tin(top) indexes it.
+  const std::int64_t base =
+      sd.site_offsets[static_cast<std::size_t>(ps)] - tree_->tin(top);
+  const auto slot_of = [&](Vertex u) {
+    return static_cast<std::size_t>(base + tree_->tin(u));
+  };
+  const std::size_t slot = slot_of(v);
+  const std::int32_t d = sd.tf_depth[slot];
+  if (used_site_dist != nullptr) *used_site_dist = true;
+  if (d >= kInfHops) {  // gone already under the primary failure alone
+    *out = kInfHops;
+    return true;
+  }
+  // Walk π_{T_ps}(s, v) bottom-up: stored T_ps parent edges inside A_ps,
+  // T0 parent edges outside (the trees coincide there, and the walk never
+  // re-enters A_ps once it leaves — subtrees are parent-closed from below).
+  // Match `other` by position: path edge j → edge row j, intermediate
+  // vertex after j+1 steps → vertex row d + j. Off the path, the T_ps tree
+  // path survives both failures and its length d is the answer.
+  const Graph& g = tree_->graph();
+  const std::int64_t roff = sd.row_offsets[slot];
+  std::int32_t result = d;
+  Vertex u = v;
+  for (std::int32_t j = 0; j < d; ++j) {
+    const EdgeId e = tree_->is_ancestor_or_equal(top, u)
+                         ? sd.parent_edge[slot_of(u)]
+                         : tree_->parent_edge(u);
+    if (other.kind == FaultClass::kEdge && other.id == e) {
+      result = sd.rows[static_cast<std::size_t>(roff + j)];
+      break;
+    }
+    const auto [x, y] = g.edge(e);
+    u = x == u ? y : x;
+    if (j + 1 < d && other.kind == FaultClass::kVertex && other.id == u) {
+      result = sd.rows[static_cast<std::size_t>(roff + d + j)];
+      break;
+    }
+  }
+  *out = result;
+  return true;
+}
+
+std::int32_t DualFaultOracle::dist(Vertex v, DualSite f1, DualSite f2,
+                                   DualQueryArena& arena,
+                                   std::int64_t* traversals) const {
+  std::int32_t fast = 0;
+  if (dist_fast(v, f1, f2, &fast)) return fast;
+  if (f2 < f1) std::swap(f1, f2);
+  const std::int32_t s1 = site_of(f1);
+  const std::int32_t s2 = site_of(f2);
 
   // One BFS over (T0 ∪ C_{f1} ∪ C_{f2}) \ {f1, f2}, memoized in the arena
   // (a one-slot cache: any other pair evicts the held traversal).

@@ -119,6 +119,40 @@ struct DualSiteTable {
   bool subset_contains(std::size_t i, EdgeId e) const;
 };
 
+/// The site-local distance oracle over C_f — the dual analog of the
+/// single-fault replacement tables, so non-reducible pairs answer without
+/// any traversal. Per first-failure site f (same order as
+/// DualSiteTable::sites) and per terminal v of A_f (slots are the subtree's
+/// contiguous preorder slice: slot(v) = tin(v) − tin(top_f)) it stores the
+/// punctured canonical tree T_f's parent edge and depth of v, plus one row
+/// per element of the tree path π_{T_f}(s, v): the TRUE two-failure
+/// distance dist(s, v, G \ {f, x}) for x = each path edge (bottom-up,
+/// `depth` rows) then each strict intermediate path vertex (bottom-up,
+/// `depth − 1` rows). Serving walks π_{T_f}(s, v) once — stored parent
+/// edges inside A_f, T0 parent edges outside (the trees coincide there) —
+/// and reads the row of the second failure, or returns `depth` when the
+/// second failure is off the path. Memory is Σ_f Σ_{v ∈ A_f} 2·depth_f(v)
+/// rows — the same volume the restricted punctured engines already
+/// materialize transiently during the build.
+struct DualSiteDistTable {
+  /// num_sites + 1 offsets into the per-slot arrays below.
+  std::vector<std::int64_t> site_offsets;
+  /// Per slot: T_f parent edge of the terminal (kInvalidEdge when the
+  /// terminal is unreachable in G \ {f}).
+  std::vector<EdgeId> parent_edge;
+  /// Per slot: depth_{T_f}(v) (kInfHops when unreachable).
+  std::vector<std::int32_t> tf_depth;
+  /// num_slots + 1 offsets into `rows` (an unreachable slot has 0 rows, a
+  /// reachable one 2·depth − 1).
+  std::vector<std::int64_t> row_offsets;
+  /// Per slot: depth edge rows, then depth − 1 vertex rows (kInfHops =
+  /// disconnected under that second failure).
+  std::vector<std::int32_t> rows;
+
+  bool empty() const { return site_offsets.empty(); }
+  std::size_t num_slots() const { return parent_edge.size(); }
+};
+
 struct DualFtBfsOptions {
   std::uint64_t weight_seed = 0x5EED0001ULL;
   ThreadPool* pool = nullptr;  // nullptr = global pool
@@ -130,6 +164,11 @@ struct DualFtBfsOptions {
   /// edges. Kept as the differential referee: the pruned structure must be
   /// a strict subset of this one and serve bit-identical answers.
   bool unpruned_dual = false;
+  /// Also harvest the site-local distance tables (DualSiteDistTable) while
+  /// the punctured engines are alive, so the oracle serves EVERY pair
+  /// traversal-free. Off by default: it costs extra memory proportional to
+  /// the tree volume.
+  bool site_dist_oracle = false;
 };
 
 /// What the dual-failure pipeline emits: the structure (tagged kDual) plus
@@ -137,6 +176,9 @@ struct DualFtBfsOptions {
 struct DualBuildResult {
   FtBfsStructure structure;
   DualSiteTable tables;
+  /// Site-local distance tables (empty unless
+  /// DualFtBfsOptions::site_dist_oracle).
+  DualSiteDistTable site_dist;
 };
 
 /// Multi-source variant (the Gupta–Khan setting): per-source dual
@@ -145,6 +187,8 @@ struct DualMultiSourceResult {
   std::vector<Vertex> sources;
   FtBfsStructure structure;             // anchored at sources.front()
   std::vector<DualSiteTable> per_source;  // aligned with sources
+  /// Aligned with sources; empty unless site_dist_oracle was requested.
+  std::vector<DualSiteDistTable> per_source_site_dist;
 };
 
 namespace detail {
@@ -159,11 +203,15 @@ DualMultiSourceResult build_dual_failure_ftmbfs_impl(
 /// Rebuilds one source's pair tables for an already-built canonical tree
 /// (what Session::load falls back to when an artifact carries no tables).
 /// Also returns, through `edges_out`, the union T0 ∪ ⋃_f C_f it implies
-/// (with `unpruned`, the PR 4 referee sets T0 ∪ ⋃_f H_f).
+/// (with `unpruned`, the PR 4 referee sets T0 ∪ ⋃_f H_f). When
+/// `site_dist_out` is non-null the site-local distance tables are harvested
+/// from the punctured engines in the same pass (valid for the pruned and
+/// the unpruned construction alike — the harvested rows are identical).
 DualSiteTable build_dual_site_table(const BfsTree& tree, ThreadPool* pool,
                                     bool reference_kernel,
                                     std::vector<EdgeId>* edges_out,
-                                    bool unpruned = false);
+                                    bool unpruned = false,
+                                    DualSiteDistTable* site_dist_out = nullptr);
 }  // namespace detail
 
 /// Reusable scratch for DualFaultOracle::dist: the BFS arena plus the
@@ -228,16 +276,37 @@ class DualFaultOracle {
   /// Exposed for tests and batch accounting.
   bool reducible(DualSite f1, DualSite f2) const;
 
+  /// Attaches (nullptr detaches) a site-local distance table, making EVERY
+  /// pair answerable traversal-free through dist_fast / dist. The table's
+  /// shape is validated against the tree and the pair tables (CheckError
+  /// "malformed dual site-dist table" on any mismatch). The table must
+  /// outlive the oracle (or the next attach).
+  void attach_site_dist(const DualSiteDistTable* site_dist);
+  bool has_site_dist() const { return site_dist_ != nullptr; }
+
+  /// Traversal-free serving: returns true and writes `*out` when the pair
+  /// is answerable without a BFS — reducible pairs off the single-fault
+  /// tables, and with a site-dist table attached ANY pair, by one
+  /// O(depth) walk of the primary site's punctured tree path. Returns
+  /// false (leaving `*out` untouched) when only a traversal can answer.
+  /// `used_site_dist`, when given, is set iff the site-dist rows supplied
+  /// the answer (reducible pairs do not count).
+  bool dist_fast(Vertex v, DualSite f1, DualSite f2, std::int32_t* out,
+                 bool* used_site_dist = nullptr) const;
+
   const DualSiteTable& tables() const { return *tables_; }
 
  private:
   std::int32_t site_of(DualSite f) const;
   std::int32_t single_dist(Vertex v, DualSite f) const;
+  /// The T0 root of site i's affected subtree A_{sites[i]}.
+  Vertex site_top(std::size_t site) const;
 
   const BfsTree* tree_;
   const FaultReplacementEngine<EdgeFault>* edge_engine_;
   const FaultReplacementEngine<VertexFault>* vertex_engine_;
   const DualSiteTable* tables_;
+  const DualSiteDistTable* site_dist_ = nullptr;  // optional accelerator
   std::vector<std::int32_t> edge_site_;    // EdgeId → site index or -1
   std::vector<std::int32_t> vertex_site_;  // Vertex → site index or -1
 };

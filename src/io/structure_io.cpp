@@ -329,6 +329,104 @@ std::vector<DualSiteTable> parse_pair_tables(
   return tables;
 }
 
+std::vector<DualSiteDistTable> parse_site_dist(
+    const Graph& g, LineReader& rd, const std::vector<Vertex>& sources,
+    const std::vector<DualSiteTable>& tables) {
+  const long long n = g.num_vertices();
+  const std::string head = rd.next_data_line();
+  std::istringstream hs(head);
+  std::string word;
+  long long num_tables = -1;
+  hs >> word >> num_tables;
+  FTB_CHECK_MSG(word == "site-dist" &&
+                    num_tables == static_cast<long long>(sources.size()),
+                "expected 'site-dist " << sources.size() << "', got '" << head
+                                       << "'");
+  std::vector<DualSiteDistTable> out;
+  out.reserve(static_cast<std::size_t>(num_tables));
+  for (long long ti = 0; ti < num_tables; ++ti) {
+    const std::string st = rd.next_data_line();
+    std::istringstream ss(st);
+    std::string w;
+    long long src = -1, num_sites = -1;
+    ss >> w >> src >> num_sites;
+    // The slot layout is defined by the pair tables' site order, so the
+    // site count must agree exactly with the sibling section.
+    const auto sites_expected = static_cast<long long>(
+        tables[static_cast<std::size_t>(ti)].num_sites());
+    FTB_CHECK_MSG(w == "source-dist" &&
+                      src == sources[static_cast<std::size_t>(ti)] &&
+                      num_sites == sites_expected,
+                  "expected 'source-dist "
+                      << sources[static_cast<std::size_t>(ti)] << ' '
+                      << sites_expected << "', got '" << st << "'");
+    DualSiteDistTable t;
+    fault::maybe_fail_alloc();
+    t.site_offsets.reserve(static_cast<std::size_t>(num_sites) + 1);
+    t.site_offsets.push_back(0);
+    t.row_offsets.push_back(0);
+    for (long long i = 0; i < num_sites; ++i) {
+      const std::string sl = rd.next_data_line();
+      std::istringstream sls(sl);
+      std::string kw;
+      long long slots = -1;
+      sls >> kw >> slots;
+      // Untrusted count: a site's subtree holds at least its top and at
+      // most every vertex.
+      FTB_CHECK_MSG(kw == "dsite" && slots >= 1 && slots <= n,
+                    "bad dsite line '" << sl << "'");
+      for (long long k = 0; k < slots; ++k) {
+        const std::string line = rd.next_data_line();
+        FTB_CHECK_MSG(!line.empty(),
+                      "expected " << slots << " dterm lines, got " << k);
+        std::istringstream ls(line);
+        std::string dw, first;
+        ls >> dw >> first;
+        FTB_CHECK_MSG(dw == "dterm" && !first.empty(),
+                      "bad dterm line '" << line << "'");
+        if (first == "x") {  // unreachable under the first failure alone
+          t.parent_edge.push_back(kInvalidEdge);
+          t.tf_depth.push_back(kInfHops);
+          t.row_offsets.push_back(
+              static_cast<std::int64_t>(t.rows.size()));
+          continue;
+        }
+        long long pu = -1, pv = -1, d = -1;
+        {
+          std::istringstream fs(first);
+          fs >> pu;
+          FTB_CHECK_MSG(fs && pu >= 0, "bad dterm line '" << line << "'");
+        }
+        ls >> pv >> d;
+        FTB_CHECK_MSG(ls && pv >= 0 && d >= 1 && d < n,
+                      "bad dterm line '" << line << "'");
+        const EdgeId pe =
+            g.find_edge(static_cast<Vertex>(pu), static_cast<Vertex>(pv));
+        FTB_CHECK_MSG(pe != kInvalidEdge,
+                      "dterm parent edge (" << pu << "," << pv
+                                            << ") missing from the graph");
+        t.parent_edge.push_back(pe);
+        t.tf_depth.push_back(static_cast<std::int32_t>(d));
+        for (long long j = 0; j < 2 * d - 1; ++j) {
+          long long r = -2;
+          ls >> r;
+          // Row values are two-failure distances: < n hops, or -1 for
+          // "disconnected under that second failure".
+          FTB_CHECK_MSG(ls && r >= -1 && r < n,
+                        "bad dterm row in '" << line << "'");
+          t.rows.push_back(r < 0 ? kInfHops
+                                 : static_cast<std::int32_t>(r));
+        }
+        t.row_offsets.push_back(static_cast<std::int64_t>(t.rows.size()));
+      }
+      t.site_offsets.push_back(
+          static_cast<std::int64_t>(t.parent_edge.size()));
+    }
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
 void note_drop(LoadReport* report, const std::string& why) {
   if (report == nullptr) return;
   report->complete = false;
@@ -402,9 +500,10 @@ struct SectionPayload {
 FtBfsStructure read_v5(const Graph& g, LineReader& rd,
                        std::vector<Vertex>* sources_out,
                        std::vector<DualSiteTable>* tables_out,
-                       const ReadOptions& opts, LoadReport* report) {
+                       const ReadOptions& opts, LoadReport* report,
+                       std::vector<DualSiteDistTable>* site_dist_out) {
   rd.set_section("frame");
-  SectionPayload meta, edges, pair_tables;
+  SectionPayload meta, edges, pair_tables, site_dist;
   std::vector<std::string> order;
   bool lost_sync = false;
   for (;;) {
@@ -420,6 +519,7 @@ FtBfsStructure read_v5(const Graph& g, LineReader& rd,
     SectionPayload* slot = name == "meta"          ? &meta
                            : name == "edges"       ? &edges
                            : name == "pair-tables" ? &pair_tables
+                           : name == "site-dist"   ? &site_dist
                                                    : nullptr;
     FTB_CHECK_MSG(slot != nullptr, "unknown section '" << name << "'");
     FTB_CHECK_MSG(!slot->present, "duplicate section '" << name << "'");
@@ -437,14 +537,15 @@ FtBfsStructure read_v5(const Graph& g, LineReader& rd,
     slot->offset = rd.offset();
     const std::size_t got = rd.read_raw(&slot->bytes);
     const bool droppable =
-        name == "pair-tables" && opts.tolerate_pair_tables;
+        (name == "pair-tables" && opts.tolerate_pair_tables) ||
+        (name == "site-dist" && opts.tolerate_site_dist);
     if (got != static_cast<std::size_t>(len)) {
       FTB_CHECK_MSG(droppable, "section '" << name << "' truncated: declared "
                                            << len << " bytes, got " << got);
       // The payload ended early — framing past this point is unreliable.
       slot->dropped = true;
       lost_sync = true;
-      note_drop(report, "pair-tables: truncated section" + rd.context());
+      note_drop(report, name + ": truncated section" + rd.context());
       break;
     }
     const std::uint32_t got_crc = crc32c(slot->bytes);
@@ -454,15 +555,19 @@ FtBfsStructure read_v5(const Graph& g, LineReader& rd,
                                            << crc_hex8(got_crc)
                                            << " != declared " << crc_hex);
       slot->dropped = true;  // framing intact (length held) — keep going
-      note_drop(report, "pair-tables: checksum mismatch" + rd.context());
+      note_drop(report, name + ": checksum mismatch" + rd.context());
     }
   }
   (void)lost_sync;
   FTB_CHECK_MSG(meta.present, "missing section 'meta'");
   FTB_CHECK_MSG(edges.present, "missing section 'edges'");
-  FTB_CHECK_MSG(order[0] == "meta" && order[1] == "edges" &&
-                    (order.size() == 2 || order[2] == "pair-tables"),
-                "sections out of order (expected meta, edges, pair-tables)");
+  FTB_CHECK_MSG(
+      order[0] == "meta" && order[1] == "edges" &&
+          (order.size() == 2 ||
+           (order[2] == "pair-tables" &&
+            (order.size() == 3 ||
+             (order.size() == 4 && order[3] == "site-dist")))),
+      "sections out of order (expected meta, edges, pair-tables, site-dist)");
 
   FaultClass fault_class = FaultClass::kEdge;
   std::vector<Vertex> sources;
@@ -520,8 +625,39 @@ FtBfsStructure read_v5(const Graph& g, LineReader& rd,
     }
   }
 
+  std::vector<DualSiteDistTable> sdist;
+  if (site_dist.present && !site_dist.dropped) {
+    std::istringstream ds(site_dist.bytes);
+    LineReader drd(ds, site_dist.offset, "site-dist");
+    auto parse_sd = [&] {
+      FTB_CHECK_MSG(fault_class == FaultClass::kDual,
+                    "site-dist section on a non-dual artifact");
+      // The slot layout indexes the pair tables' site order, so the
+      // section is unusable without them (missing or dropped alike).
+      FTB_CHECK_MSG(!tables.empty(),
+                    "site-dist section without usable pair tables");
+      std::vector<DualSiteDistTable> t =
+          parse_site_dist(g, drd, sources, tables);
+      const std::string extra = drd.next_data_line();
+      FTB_CHECK_MSG(extra.empty(),
+                    "trailing data in section: '" << extra << "'");
+      return t;
+    };
+    if (opts.tolerate_site_dist) {
+      try {
+        sdist = with_context(drd, parse_sd);
+      } catch (const CheckError& e) {
+        sdist.clear();
+        note_drop(report, std::string("site-dist: ") + e.what());
+      }
+    } else {
+      sdist = with_context(drd, parse_sd);
+    }
+  }
+
   if (sources_out != nullptr) *sources_out = std::move(sources);
   if (tables_out != nullptr) *tables_out = std::move(tables);
+  if (site_dist_out != nullptr) *site_dist_out = std::move(sdist);
   return FtBfsStructure(g, es.source, std::move(es.edges),
                         std::move(es.reinforced), std::move(es.tree_edges),
                         fault_class);
@@ -630,6 +766,14 @@ void write_structure_v5(const FtBfsStructure& h,
                         std::span<const Vertex> sources,
                         std::span<const DualSiteTable> pair_tables,
                         std::ostream& os) {
+  write_structure_v5(h, sources, pair_tables, {}, os);
+}
+
+void write_structure_v5(const FtBfsStructure& h,
+                        std::span<const Vertex> sources,
+                        std::span<const DualSiteTable> pair_tables,
+                        std::span<const DualSiteDistTable> site_dist,
+                        std::ostream& os) {
   const Graph& g = h.graph();
   const bool dual = h.fault_class() == FaultClass::kDual;
   FTB_CHECK_MSG(!sources.empty(), "v5 artifacts always carry a sources line");
@@ -640,6 +784,12 @@ void write_structure_v5(const FtBfsStructure& h,
   FTB_CHECK_MSG(pair_tables.empty() || pair_tables.size() == sources.size(),
                 "need one pair table per source (got "
                     << pair_tables.size() << " tables for " << sources.size()
+                    << " sources)");
+  FTB_CHECK_MSG(site_dist.empty() || (!pair_tables.empty() &&
+                                      site_dist.size() == sources.size()),
+                "site-dist tables require pair tables and one table per "
+                "source (got "
+                    << site_dist.size() << " tables for " << sources.size()
                     << " sources)");
 
   std::ostringstream meta;
@@ -694,15 +844,57 @@ void write_structure_v5(const FtBfsStructure& h,
     }
     emit("pair-tables", pt.str());
   }
+  if (!site_dist.empty()) {
+    // One dterm line per slot, in the pair tables' site order and each
+    // site's preorder slot order; 'x' marks an unreachable slot, -1 a
+    // disconnected row. Deterministic like every other section.
+    std::ostringstream sd;
+    sd << "site-dist " << site_dist.size() << '\n';
+    for (std::size_t si = 0; si < site_dist.size(); ++si) {
+      const DualSiteDistTable& t = site_dist[si];
+      sd << "source-dist " << sources[si] << ' '
+         << (t.site_offsets.empty() ? 0 : t.site_offsets.size() - 1) << '\n';
+      for (std::size_t i = 0; i + 1 < t.site_offsets.size(); ++i) {
+        sd << "dsite " << t.site_offsets[i + 1] - t.site_offsets[i] << '\n';
+        for (std::int64_t slot = t.site_offsets[i];
+             slot < t.site_offsets[i + 1]; ++slot) {
+          const auto s = static_cast<std::size_t>(slot);
+          const std::int32_t d = t.tf_depth[s];
+          if (d >= kInfHops) {
+            sd << "dterm x\n";
+            continue;
+          }
+          const auto [pu, pv] = g.edge(t.parent_edge[s]);
+          sd << "dterm " << pu << ' ' << pv << ' ' << d;
+          const std::int64_t roff = t.row_offsets[s];
+          for (std::int64_t j = 0; j < 2 * d - 1; ++j) {
+            const std::int32_t r =
+                t.rows[static_cast<std::size_t>(roff + j)];
+            sd << ' ' << (r >= kInfHops ? -1 : r);
+          }
+          sd << '\n';
+        }
+      }
+    }
+    emit("site-dist", sd.str());
+  }
 }
 
 void save_structure_v5(const FtBfsStructure& h,
                        std::span<const Vertex> sources,
                        std::span<const DualSiteTable> pair_tables,
                        const std::string& path) {
+  save_structure_v5(h, sources, pair_tables, {}, path);
+}
+
+void save_structure_v5(const FtBfsStructure& h,
+                       std::span<const Vertex> sources,
+                       std::span<const DualSiteTable> pair_tables,
+                       std::span<const DualSiteDistTable> site_dist,
+                       const std::string& path) {
   std::ofstream f(path);
   FTB_CHECK_MSG(f.good(), "cannot open " << path << " for writing");
-  write_structure_v5(h, sources, pair_tables, f);
+  write_structure_v5(h, sources, pair_tables, site_dist, f);
 }
 
 // ---------------------------------------------------------------------------
@@ -711,8 +903,10 @@ void save_structure_v5(const FtBfsStructure& h,
 FtBfsStructure read_structure(const Graph& g, std::istream& is,
                               std::vector<Vertex>* sources_out,
                               std::vector<DualSiteTable>* tables_out,
-                              const ReadOptions& opts, LoadReport* report) {
+                              const ReadOptions& opts, LoadReport* report,
+                              std::vector<DualSiteDistTable>* site_dist_out) {
   if (report != nullptr) *report = LoadReport{};
+  if (site_dist_out != nullptr) site_dist_out->clear();
   LineReader rd(is, 0, "magic");
   return with_context(rd, [&] {
     const std::string magic = rd.next_data_line();
@@ -727,7 +921,8 @@ FtBfsStructure read_structure(const Graph& g, std::istream& is,
     FTB_CHECK_MSG(version >= 1 && version <= 5,
                   "unsupported structure version " << version);
     if (version == 5) {
-      return read_v5(g, rd, sources_out, tables_out, opts, report);
+      return read_v5(g, rd, sources_out, tables_out, opts, report,
+                     site_dist_out);
     }
     return read_legacy(g, rd, version, sources_out, tables_out, opts,
                        report);
@@ -744,10 +939,12 @@ FtBfsStructure read_structure(const Graph& g, std::istream& is,
 FtBfsStructure load_structure(const Graph& g, const std::string& path,
                               std::vector<Vertex>* sources_out,
                               std::vector<DualSiteTable>* tables_out,
-                              const ReadOptions& opts, LoadReport* report) {
+                              const ReadOptions& opts, LoadReport* report,
+                              std::vector<DualSiteDistTable>* site_dist_out) {
   std::ifstream f(path);
   FTB_CHECK_MSG(f.good(), "cannot open " << path);
-  return read_structure(g, f, sources_out, tables_out, opts, report);
+  return read_structure(g, f, sources_out, tables_out, opts, report,
+                        site_dist_out);
 }
 
 FtBfsStructure load_structure(const Graph& g, const std::string& path,

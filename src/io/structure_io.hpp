@@ -30,6 +30,8 @@
 //   <payload: header + edge lines>
 //   section pair-tables <bytes> <crc32c-hex>    # dual artifacts only
 //   <payload: the v4 pair-table block>
+//   section site-dist <bytes> <crc32c-hex>      # optional accelerator
+//   <payload: per-site replacement-distance rows; see file_formats.md>
 //
 // Version history: v1 has no fault-model line (edge model by definition);
 // v2 added the fault-model tag; v3 added the sources line for FT-MBFS
@@ -98,6 +100,22 @@ void save_structure_v5(const FtBfsStructure& h,
                        std::span<const DualSiteTable> pair_tables,
                        const std::string& path);
 
+/// v5 with the optional site-local distance oracle (docs/file_formats.md
+/// §site-dist): `site_dist` is aligned with `sources` and requires
+/// non-empty `pair_tables` (the section indexes the pair tables' site
+/// order). Pass empty to omit the section — loaders rebuild or serve
+/// without it.
+void write_structure_v5(const FtBfsStructure& h,
+                        std::span<const Vertex> sources,
+                        std::span<const DualSiteTable> pair_tables,
+                        std::span<const DualSiteDistTable> site_dist,
+                        std::ostream& os);
+void save_structure_v5(const FtBfsStructure& h,
+                       std::span<const Vertex> sources,
+                       std::span<const DualSiteTable> pair_tables,
+                       std::span<const DualSiteDistTable> site_dist,
+                       const std::string& path);
+
 /// Tolerant-load knobs for serving planes that prefer degraded service
 /// over refusal (docs/robustness.md has the degradation matrix).
 struct ReadOptions {
@@ -106,6 +124,11 @@ struct ReadOptions {
   /// LoadReport) instead of thrown. The structure sections themselves are
   /// never tolerated — a corrupt edge section always throws.
   bool tolerate_pair_tables = false;
+  /// Same knob for the optional site-dist accelerator section: when true a
+  /// corrupt section is dropped (site_dist_out left empty, drop recorded)
+  /// instead of thrown. The section is a pure accelerator, so dropping it
+  /// loses speed, never answers.
+  bool tolerate_site_dist = false;
 };
 
 /// What a tolerant load had to give up. `complete` stays true on a clean
@@ -130,17 +153,24 @@ FtBfsStructure read_structure(const Graph& g, std::istream& is,
                               std::vector<Vertex>* sources_out = nullptr,
                               std::vector<DualSiteTable>* tables_out = nullptr);
 /// Tolerant overload: `opts` selects which sections may be dropped instead
-/// of thrown; `report` (may be null) receives what was dropped.
+/// of thrown; `report` (may be null) receives what was dropped. When
+/// `site_dist_out` is non-null it receives the optional v5 site-dist
+/// accelerator tables (empty when the artifact has no such section or it
+/// was dropped).
 FtBfsStructure read_structure(const Graph& g, std::istream& is,
                               std::vector<Vertex>* sources_out,
                               std::vector<DualSiteTable>* tables_out,
-                              const ReadOptions& opts, LoadReport* report);
+                              const ReadOptions& opts, LoadReport* report,
+                              std::vector<DualSiteDistTable>* site_dist_out =
+                                  nullptr);
 FtBfsStructure load_structure(const Graph& g, const std::string& path,
                               std::vector<Vertex>* sources_out = nullptr,
                               std::vector<DualSiteTable>* tables_out = nullptr);
 FtBfsStructure load_structure(const Graph& g, const std::string& path,
                               std::vector<Vertex>* sources_out,
                               std::vector<DualSiteTable>* tables_out,
-                              const ReadOptions& opts, LoadReport* report);
+                              const ReadOptions& opts, LoadReport* report,
+                              std::vector<DualSiteDistTable>* site_dist_out =
+                                  nullptr);
 
 }  // namespace ftb::io

@@ -18,8 +18,16 @@ std::string DrillReport::to_string() const {
   std::ostringstream os;
   os << "DrillReport(drills=" << drills << ", queries=" << reachable_queries
      << ", violations=" << violations << ", disconnections=" << disconnections
-     << ", max_stretch=" << max_stretch << ", avg_distance=" << avg_distance
-     << ")";
+     << ", max_stretch=" << max_stretch << ", avg_distance=" << avg_distance;
+  if (pair_traversals + site_oracle_hits + pair_cache_hits +
+          pair_cache_misses >
+      0) {
+    os << ", pair_traversals=" << pair_traversals
+       << ", site_oracle_hits=" << site_oracle_hits
+       << ", pair_cache_hits=" << pair_cache_hits
+       << ", pair_cache_misses=" << pair_cache_misses;
+  }
+  os << ")";
   return os.str();
 }
 
@@ -233,7 +241,20 @@ DrillReport merge_reports(DrillReport rep, const DrillReport& vrep) {
   rep.violations += vrep.violations;
   rep.disconnections += vrep.disconnections;
   rep.max_stretch = std::max(rep.max_stretch, vrep.max_stretch);
+  rep.pair_traversals += vrep.pair_traversals;
+  rep.site_oracle_hits += vrep.site_oracle_hits;
+  rep.pair_cache_hits += vrep.pair_cache_hits;
+  rep.pair_cache_misses += vrep.pair_cache_misses;
   return rep;
+}
+
+/// Folds one batched response's serving-plane counters into the report.
+void absorb_plane_counters(DrillReport& report,
+                           const api::QueryResponse& resp) {
+  report.pair_traversals += resp.pair_traversals;
+  report.site_oracle_hits += resp.site_oracle_hits;
+  report.pair_cache_hits += resp.pair_cache_hits;
+  report.pair_cache_misses += resp.pair_cache_misses;
 }
 
 }  // namespace
@@ -304,6 +325,7 @@ DrillReport run_session_storm(const api::Session& session, FaultClass kind,
     FTB_CHECK_MSG(resp.refused == 0,
                   "session refused in-model drill queries — storm does not "
                   "match the session's fault model");
+    absorb_plane_counters(report, resp);
     std::size_t qi = 0;
     for (std::size_t i = begin; i < end; ++i) {
       const std::int32_t failed = prone[i];
@@ -392,6 +414,7 @@ DrillReport run_session_dual_drill(const api::Session& session,
     FTB_CHECK_MSG(resp.refused == 0,
                   "session refused in-model dual drill queries — storm does "
                   "not match the session's fault model");
+    absorb_plane_counters(report, resp);
     std::size_t qi = 0;
     for (std::size_t i = begin; i < end; ++i) {
       const auto& [f1, f2] = storm[i];

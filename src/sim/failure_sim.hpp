@@ -34,6 +34,14 @@ struct DrillReport {
   double max_stretch = 1.0;             // max dist_H / dist_G observed
   double avg_distance = 0.0;            // mean surviving distance in H
 
+  // Serving-plane counters, summed over the drill's batched query() calls.
+  // Populated by the session-served overload only (a structure-served
+  // drill never touches the query plane — all four stay zero).
+  std::int64_t pair_traversals = 0;     // site-restricted dual traversals
+  std::int64_t site_oracle_hits = 0;    // pairs answered O(1) by site-dist
+  std::int64_t pair_cache_hits = 0;     // leased-arena traversal reuse
+  std::int64_t pair_cache_misses = 0;
+
   std::string to_string() const;
 };
 

@@ -276,6 +276,281 @@ TEST(ApiSession, AnotherSourceMayFailInModel) {
 }
 
 // ---------------------------------------------------------------------------
+// The serving-plane additions: the site-local dual oracle (zero-traversal
+// pair answers), the surfaced arena-cache counters, and the adaptive
+// inline/sharded cutover — all bit-identical to the serial referee.
+
+/// A storm of dual-pair queries (edge×edge over consecutive tree edges,
+/// plus edge×vertex mixes) across every destination stride.
+std::vector<Query> pair_storm(const api::Session& session, Vertex v_stride) {
+  const Graph& g = session.graph();
+  const auto& tree_edges = session.structure().tree_edges();
+  std::vector<Query> batch;
+  for (std::size_t i = 0; i + 1 < tree_edges.size(); i += 2) {
+    for (Vertex v = 0; v < g.num_vertices(); v += v_stride) {
+      Query q;
+      q.v = v;
+      q.kind = FaultClass::kEdge;
+      q.fault = tree_edges[i];
+      q.kind2 = FaultClass::kEdge;
+      q.fault2 = tree_edges[i + 1];
+      batch.push_back(q);
+      Query mixed = q;
+      mixed.kind2 = FaultClass::kVertex;
+      mixed.fault2 = std::max<Vertex>(1, v);
+      batch.push_back(mixed);
+    }
+  }
+  return batch;
+}
+
+TEST(ApiSession, SiteDistOracleServesPairStormsTraversalFree) {
+  // The tentpole contract: with the site-local oracle attached, every
+  // in-model dual pair answers O(1) from the precomputed tables — zero
+  // traversals, bit-identical to the traversing plane.
+  const Graph g = gen::random_connected(36, 90, 5);
+  api::BuildSpec spec;
+  spec.fault_model = FaultClass::kDual;
+  const api::Session plain = api::Session::open(g, spec);
+  spec.site_dist_oracle = true;
+  const api::Session fast = api::Session::open(g, spec);
+
+  const std::vector<Query> batch = pair_storm(fast, 3);
+  const QueryResponse want = plain.query(batch);
+  ASSERT_GT(want.pair_traversals, 0) << "fixture must have traversing pairs";
+
+  const QueryResponse got = fast.query(batch);
+  ASSERT_EQ(got.results.size(), want.results.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(got.results[i].dist, want.results[i].dist) << "i=" << i;
+    EXPECT_EQ(got.results[i].outcome, want.results[i].outcome) << "i=" << i;
+  }
+  EXPECT_EQ(got.pair_traversals, 0);
+  EXPECT_GT(got.site_oracle_hits, 0);
+  EXPECT_EQ(got.pair_cache_misses, 0);
+
+  // query_one rides the same O(1) plane.
+  for (std::size_t i = 0; i < batch.size(); i += 7) {
+    EXPECT_EQ(fast.query_one(batch[i]).dist, want.results[i].dist);
+  }
+
+  const api::FsckReport rep = fast.fsck();
+  EXPECT_TRUE(rep.ok);
+  EXPECT_FALSE(rep.degraded);
+}
+
+TEST(ApiSession, PairCacheCountersSurface) {
+  // The leased-arena traversal cache is observable: a batch that repeats
+  // one non-reducible pair across many destinations pays one traversal
+  // (one miss) and hits for the rest.
+  const Graph g = gen::random_connected(36, 90, 5);
+  api::BuildSpec spec;
+  spec.fault_model = FaultClass::kDual;
+  const api::Session session = api::Session::open(g, spec);
+  const auto& tree_edges = session.structure().tree_edges();
+
+  for (std::size_t i = 0; i + 1 < tree_edges.size(); i += 2) {
+    std::vector<Query> batch;
+    for (Vertex v = 0; v < g.num_vertices(); ++v) {
+      Query q;
+      q.v = v;
+      q.kind = FaultClass::kEdge;
+      q.fault = tree_edges[i];
+      q.kind2 = FaultClass::kEdge;
+      q.fault2 = tree_edges[i + 1];
+      batch.push_back(q);
+    }
+    const QueryResponse resp = session.query(batch);
+    // Reducible pairs (and pairs whose storm touches the cache once)
+    // don't witness the hit counter — scan on until one does.
+    if (resp.pair_traversals == 0 || resp.pair_cache_hits == 0) continue;
+    EXPECT_GT(resp.pair_cache_misses, 0);
+    EXPECT_EQ(resp.site_oracle_hits, 0);
+    return;
+  }
+  FAIL() << "no cache-churning pair in the fixture";
+}
+
+TEST(ApiSession, SiteDistOracleSurvivesSaveLoadAndRebuilds) {
+  const Graph g = gen::grid_graph(5, 5);
+  api::BuildSpec spec;
+  spec.fault_model = FaultClass::kDual;
+  spec.site_dist_oracle = true;
+  const api::Session built = api::Session::open(g, spec);
+
+  const std::vector<Query> batch = pair_storm(built, 2);
+  const QueryResponse want = built.query(batch);
+  EXPECT_EQ(want.pair_traversals, 0);
+  EXPECT_GT(want.site_oracle_hits, 0);
+
+  const std::string path =
+      ::testing::TempDir() + "/api_session_site_dist.ftbfs";
+  built.save_v5(path);
+  {
+    // The shipped site-dist section reattaches on a plain load: still
+    // traversal-free, still bit-identical, not degraded.
+    const api::Session loaded = api::Session::load(g, path);
+    EXPECT_FALSE(loaded.degraded());
+    const QueryResponse got = loaded.query(batch);
+    EXPECT_EQ(got.pair_traversals, 0);
+    EXPECT_GT(got.site_oracle_hits, 0);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      EXPECT_EQ(got.results[i].dist, want.results[i].dist) << "i=" << i;
+      EXPECT_EQ(got.results[i].outcome, want.results[i].outcome) << "i=" << i;
+    }
+  }
+  {
+    // An artifact WITHOUT the section + SessionConfig::site_dist_oracle:
+    // the tables are rebuilt from the graph — an accelerator rebuild, not
+    // a degradation.
+    api::BuildSpec plain_spec;
+    plain_spec.fault_model = FaultClass::kDual;
+    const api::Session plain = api::Session::open(g, plain_spec);
+    plain.save_v5(path);
+    api::SessionConfig cfg;
+    cfg.site_dist_oracle = true;
+    const api::Session rebuilt = api::Session::load(g, path, cfg);
+    EXPECT_FALSE(rebuilt.degraded());
+    const QueryResponse got = rebuilt.query(batch);
+    EXPECT_EQ(got.pair_traversals, 0);
+    EXPECT_GT(got.site_oracle_hits, 0);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      EXPECT_EQ(got.results[i].dist, want.results[i].dist) << "i=" << i;
+    }
+  }
+  {
+    // Corrupt site-dist payload bit: the tolerant load drops the
+    // accelerator, keeps the pair tables, serves the same answers by
+    // traversal — degraded speed, never degraded service.
+    built.save_v5(path);
+    std::ifstream in(path, std::ios::binary);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    std::string bytes = buf.str();
+    const std::size_t hdr = bytes.find("section site-dist ");
+    ASSERT_NE(hdr, std::string::npos);
+    const std::size_t payload = bytes.find('\n', hdr) + 1;
+    bytes[payload + 24] ^= 0x08;
+    {
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      out << bytes;
+    }
+    const api::Session survivor = api::Session::load(g, path);
+    EXPECT_FALSE(survivor.degraded());
+    const QueryResponse got = survivor.query(batch);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      EXPECT_EQ(got.results[i].dist, want.results[i].dist) << "i=" << i;
+      EXPECT_EQ(got.results[i].outcome, QueryOutcome::kInModel) << "i=" << i;
+    }
+    // The dropped section is an fsck note, not a degradation.
+    const api::FsckReport rep = survivor.fsck();
+    EXPECT_TRUE(rep.ok);
+    EXPECT_FALSE(rep.degraded);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ApiSession, InlineCutoverBoundaryBitIdentical) {
+  // BatchOptions::inline_threshold pins the strategy: a batch exactly at
+  // the threshold serves inline on the caller thread, one past it shards
+  // across the pool — and the answers must not know the difference.
+  const Graph g = gen::random_connected(36, 90, 41);
+  api::BuildSpec spec;
+  spec.fault_model = FaultClass::kDual;
+  const api::Session session = api::Session::open(g, spec);
+
+  std::vector<Query> batch = pair_storm(session, 4);
+  for (Vertex v = 0; v < g.num_vertices(); v += 3) {  // mix in singles
+    Query q;
+    q.v = v;
+    q.kind = FaultClass::kEdge;
+    q.fault = 0;
+    batch.push_back(q);
+  }
+  std::vector<api::QueryResult> expected;
+  expected.reserve(batch.size());
+  for (const Query& q : batch) expected.push_back(session.query_one(q));
+
+  const auto n = static_cast<std::int32_t>(batch.size());
+  for (const std::int32_t threshold : {n, n - 1, 0, -1}) {
+    api::BatchOptions opts;
+    opts.inline_threshold = threshold;
+    const QueryResponse resp = session.query(batch, opts);
+    ASSERT_EQ(resp.results.size(), batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      EXPECT_EQ(resp.results[i].dist, expected[i].dist)
+          << "threshold=" << threshold << " i=" << i;
+      EXPECT_EQ(resp.results[i].outcome, expected[i].outcome)
+          << "threshold=" << threshold << " i=" << i;
+    }
+  }
+
+  // kBudgetExhausted interplay is path-independent at budget 0: every
+  // traversal group exhausts, every O(1) answer is still served — on the
+  // inline path and the sharded path alike.
+  api::BatchOptions starved_inline;
+  starved_inline.max_traversals = 0;
+  starved_inline.inline_threshold = n;
+  api::BatchOptions starved_sharded;
+  starved_sharded.max_traversals = 0;
+  starved_sharded.inline_threshold = 0;
+  const QueryResponse ri = session.query(batch, starved_inline);
+  const QueryResponse rs = session.query(batch, starved_sharded);
+  EXPECT_GT(ri.budget_exhausted, 0);
+  EXPECT_EQ(ri.budget_exhausted, rs.budget_exhausted);
+  EXPECT_EQ(ri.in_model, rs.in_model);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(ri.results[i].dist, rs.results[i].dist) << "i=" << i;
+    EXPECT_EQ(ri.results[i].outcome, rs.results[i].outcome) << "i=" << i;
+  }
+}
+
+TEST(ApiSession, InlineCutoverBoundaryOnDegradedSessions) {
+  // The cutover is pure strategy on degraded sessions too: recomputed
+  // tables, kDegraded tags, identical distances on both paths.
+  const Graph g = gen::grid_graph(5, 5);
+  api::BuildSpec spec;
+  spec.fault_model = FaultClass::kDual;
+  const api::Session fresh = api::Session::open(g, spec);
+  const std::string path =
+      ::testing::TempDir() + "/api_session_cutover_degraded.ftbfs";
+  fresh.save_v5(path);
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    std::string bytes = buf.str();
+    const std::size_t hdr = bytes.find("section pair-tables ");
+    ASSERT_NE(hdr, std::string::npos);
+    const std::size_t payload = bytes.find('\n', hdr) + 1;
+    bytes[payload + 40] ^= 0x10;
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << bytes;
+  }
+  const api::Session session = api::Session::load(g, path);
+  ASSERT_TRUE(session.degraded());
+
+  const std::vector<Query> batch = pair_storm(session, 2);
+  std::vector<api::QueryResult> expected;
+  expected.reserve(batch.size());
+  for (const Query& q : batch) expected.push_back(session.query_one(q));
+
+  const auto n = static_cast<std::int32_t>(batch.size());
+  for (const std::int32_t threshold : {n, 0}) {
+    api::BatchOptions opts;
+    opts.inline_threshold = threshold;
+    const QueryResponse resp = session.query(batch, opts);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      EXPECT_EQ(resp.results[i].dist, expected[i].dist)
+          << "threshold=" << threshold << " i=" << i;
+      EXPECT_EQ(resp.results[i].outcome, QueryOutcome::kDegraded)
+          << "threshold=" << threshold << " i=" << i;
+    }
+  }
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
 // Concurrency: many threads × one Session, answers bit-identical to the
 // serial plane. Runs under TSan in CI (ctest -L concurrency).
 
@@ -593,6 +868,76 @@ TEST(ApiSessionConcurrency, PrunedDualArenaCacheChurnsUnderConcurrentStorms) {
                 "thread " + std::to_string(t) + " round " +
                 std::to_string(round) + " query " + std::to_string(order[k]);
             return;
+          }
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  for (const std::string& f : failures) EXPECT_EQ(f, "");
+}
+
+TEST(ApiSessionConcurrency, ArenaFreeListStormAcrossCutover) {
+  // The lock-free arena freelist under fire: threads alternate tiny
+  // batches (inline path — caller-thread lease/release churn) with large
+  // forced-sharded batches (pool threads leasing concurrently), plus the
+  // site-dist oracle plane in the mix. Every answer bit-identical to the
+  // serial referee; TSan (ctest -L concurrency) watches the freelist.
+  const Graph g = gen::random_connected(32, 80, 17);
+  api::BuildSpec spec;
+  spec.fault_model = FaultClass::kDual;
+  spec.site_dist_oracle = true;
+  const api::Session session = api::Session::open(g, spec);
+
+  std::vector<Query> all = pair_storm(session, 2);
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {  // singles churn arenas too
+    Query q;
+    q.v = v;
+    q.kind = FaultClass::kVertex;
+    q.fault = std::max<Vertex>(1, v);
+    q.allow_what_if = true;
+    all.push_back(q);
+  }
+
+  std::vector<api::QueryResult> expected;
+  expected.reserve(all.size());
+  for (const Query& q : all) expected.push_back(session.query_one(q));
+
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 4;
+  std::vector<std::string> failures(kThreads);
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      Rng rng(static_cast<std::uint64_t>(4200 + t));
+      for (int round = 0; round < kRounds; ++round) {
+        std::vector<std::uint32_t> order(all.size());
+        for (std::uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+        rng.shuffle(order);
+        // Odd rounds: the whole storm forced through the sharded path.
+        // Even rounds: a stream of tiny inline batches (size ≤ 8), each
+        // leasing and releasing scratch + arenas on the caller thread.
+        api::BatchOptions opts;
+        opts.inline_threshold = (round % 2 == 1) ? 0 : 1 << 20;
+        const std::size_t step = (round % 2 == 1) ? order.size() : 8;
+        for (std::size_t lo = 0; lo < order.size(); lo += step) {
+          const std::size_t hi = std::min(lo + step, order.size());
+          std::vector<Query> batch;
+          batch.reserve(hi - lo);
+          for (std::size_t k = lo; k < hi; ++k)
+            batch.push_back(all[order[k]]);
+          const QueryResponse resp = session.query(batch, opts);
+          for (std::size_t k = lo; k < hi; ++k) {
+            const api::QueryResult& want = expected[order[k]];
+            const api::QueryResult& got = resp.results[k - lo];
+            if (got.dist != want.dist || got.outcome != want.outcome) {
+              failures[static_cast<std::size_t>(t)] =
+                  "thread " + std::to_string(t) + " round " +
+                  std::to_string(round) + " query " +
+                  std::to_string(order[k]);
+              return;
+            }
           }
         }
       }

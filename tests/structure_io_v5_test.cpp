@@ -40,10 +40,18 @@ const char* kMetaPayload = "fault-model dual\nsources 1 0\n";
 const char* kEdgesPayload = "4 3 0\n0 1 2\n1 2 2\n2 3 2\n";
 const char* kPairPayload =
     "pair-tables 1\nsource-tables 0 1\nsite e 0 1 2 1 2\n";
+// A site-dist accelerator for the same artifact: the pair table's one site
+// with a two-slot subtree — one slot unreachable, one with a depth-1 walk.
+const char* kSiteDistPayload =
+    "site-dist 1\nsource-dist 0 1\ndsite 2\ndterm x\ndterm 1 2 1 2\n";
 
 std::string valid_v5() {
   return "ftbfs-structure 5\n" + frame("meta", kMetaPayload) +
          frame("edges", kEdgesPayload) + frame("pair-tables", kPairPayload);
+}
+
+std::string valid_v5_with_site_dist() {
+  return valid_v5() + frame("site-dist", kSiteDistPayload);
 }
 
 /// Asserts strict read rejects `text` with a CheckError whose message
@@ -375,6 +383,171 @@ TEST(StructureIoV5, TolerantLoadDropsTruncatedPairTables) {
   EXPECT_FALSE(report.complete);
   ASSERT_EQ(report.dropped.size(), 1u);
   EXPECT_NE(report.dropped[0].find("truncated"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// The optional site-dist accelerator section: round-trips, ordering, the
+// pair-table dependency, and tolerant drops that cost speed, never answers.
+
+TEST(StructureIoV5, SiteDistSectionRoundTrips) {
+  const Graph g = gen::grid_graph(5, 5);
+  api::BuildSpec spec;
+  spec.fault_model = FaultClass::kDual;
+  spec.site_dist_oracle = true;
+  const api::BuildResult res = api::build(g, spec);
+  ASSERT_EQ(res.dual_site_dist.size(), res.sources.size());
+
+  std::ostringstream os;
+  io::write_structure_v5(res.structure, res.sources, res.dual_tables,
+                         res.dual_site_dist, os);
+  const std::string w1 = os.str();
+  EXPECT_NE(w1.find("section site-dist "), std::string::npos);
+
+  std::istringstream is(w1);
+  std::vector<Vertex> sources;
+  std::vector<DualSiteTable> tables;
+  std::vector<DualSiteDistTable> site_dist;
+  io::LoadReport report;
+  const FtBfsStructure h = io::read_structure(g, is, &sources, &tables, {},
+                                              &report, &site_dist);
+  EXPECT_TRUE(report.complete);
+  ASSERT_EQ(site_dist.size(), res.dual_site_dist.size());
+  for (std::size_t i = 0; i < site_dist.size(); ++i) {
+    EXPECT_EQ(site_dist[i].site_offsets, res.dual_site_dist[i].site_offsets);
+    EXPECT_EQ(site_dist[i].parent_edge, res.dual_site_dist[i].parent_edge);
+    EXPECT_EQ(site_dist[i].tf_depth, res.dual_site_dist[i].tf_depth);
+    EXPECT_EQ(site_dist[i].row_offsets, res.dual_site_dist[i].row_offsets);
+    EXPECT_EQ(site_dist[i].rows, res.dual_site_dist[i].rows);
+  }
+
+  // write → read → write is a fixed point with the accelerator on board.
+  std::ostringstream os2;
+  io::write_structure_v5(h, sources, tables, site_dist, os2);
+  EXPECT_EQ(os2.str(), w1);
+}
+
+TEST(StructureIoV5, HandFramedSiteDistParses) {
+  const Graph g = gen::path_graph(4);
+  std::istringstream is(valid_v5_with_site_dist());
+  std::vector<Vertex> sources;
+  std::vector<DualSiteTable> tables;
+  std::vector<DualSiteDistTable> site_dist;
+  io::read_structure(g, is, &sources, &tables, {}, nullptr, &site_dist);
+  ASSERT_EQ(site_dist.size(), 1u);
+  EXPECT_EQ(site_dist[0].num_slots(), 2u);
+  EXPECT_EQ(site_dist[0].parent_edge[0], kInvalidEdge);
+  EXPECT_EQ(site_dist[0].tf_depth[1], 1);
+  ASSERT_EQ(site_dist[0].rows.size(), 1u);
+  EXPECT_EQ(site_dist[0].rows[0], 2);
+}
+
+TEST(StructureIoV5, SiteDistMustFollowPairTables) {
+  const Graph g = gen::path_graph(4);
+  // Accelerator before its pair tables: the slot layout indexes the pair
+  // tables' site order, so the framing order is normative.
+  expect_rejected(g,
+                  "ftbfs-structure 5\n" + frame("meta", kMetaPayload) +
+                      frame("edges", kEdgesPayload) +
+                      frame("site-dist", kSiteDistPayload) +
+                      frame("pair-tables", kPairPayload),
+                  {"out of order", "(at byte"}, "site-dist before tables");
+  // And without pair tables at all it is equally out of order.
+  expect_rejected(g,
+                  "ftbfs-structure 5\n" + frame("meta", kMetaPayload) +
+                      frame("edges", kEdgesPayload) +
+                      frame("site-dist", kSiteDistPayload),
+                  {"out of order", "(at byte"}, "site-dist without tables");
+}
+
+TEST(StructureIoV5, CorruptSiteDistIsDroppedOnlyUnderItsOwnKnob) {
+  const Graph g = gen::path_graph(4);
+  std::string bytes = valid_v5_with_site_dist();
+  const std::size_t p = bytes.find("dterm 1 2 1 2");
+  ASSERT_NE(p, std::string::npos);
+  bytes[p + 6] ^= 0x04;  // payload bit flip under an intact frame
+
+  // Strict: hard CheckError naming the section.
+  expect_rejected(g, bytes, {"site-dist", "checksum mismatch", "(at byte"},
+                  "strict read of a corrupt site-dist section");
+  // tolerate_pair_tables alone does NOT cover the accelerator.
+  {
+    std::istringstream is(bytes);
+    io::ReadOptions opts;
+    opts.tolerate_pair_tables = true;
+    EXPECT_THROW(
+        io::read_structure(g, is, nullptr, nullptr, opts, nullptr, nullptr),
+        CheckError);
+  }
+  // tolerate_site_dist: the drop costs the accelerator, nothing else —
+  // structure AND pair tables load clean, the report says what was lost.
+  std::istringstream is(bytes);
+  io::ReadOptions opts;
+  opts.tolerate_site_dist = true;
+  io::LoadReport report;
+  std::vector<DualSiteTable> tables;
+  std::vector<DualSiteDistTable> site_dist;
+  const FtBfsStructure h =
+      io::read_structure(g, is, nullptr, &tables, opts, &report, &site_dist);
+  EXPECT_EQ(h.fault_class(), FaultClass::kDual);
+  EXPECT_EQ(tables.size(), 1u);
+  EXPECT_TRUE(site_dist.empty());
+  EXPECT_FALSE(report.complete);
+  ASSERT_EQ(report.dropped.size(), 1u);
+  EXPECT_EQ(report.dropped[0].rfind("site-dist: ", 0), 0u);
+  EXPECT_NE(report.dropped[0].find("checksum mismatch"), std::string::npos);
+}
+
+TEST(StructureIoV5, DroppedPairTablesCascadeToSiteDist) {
+  // When the pair tables are tolerated away, the accelerator that indexes
+  // their site order is unusable: it must drop too (under its knob), and
+  // the report must carry BOTH losses.
+  const Graph g = gen::path_graph(4);
+  std::string bytes = valid_v5_with_site_dist();
+  const std::size_t p = bytes.find("site e 0 1");
+  ASSERT_NE(p, std::string::npos);
+  bytes[p] ^= 0x01;
+
+  std::istringstream is(bytes);
+  io::ReadOptions opts;
+  opts.tolerate_pair_tables = true;
+  opts.tolerate_site_dist = true;
+  io::LoadReport report;
+  std::vector<DualSiteTable> tables;
+  std::vector<DualSiteDistTable> site_dist;
+  const FtBfsStructure h =
+      io::read_structure(g, is, nullptr, &tables, opts, &report, &site_dist);
+  EXPECT_EQ(h.fault_class(), FaultClass::kDual);
+  EXPECT_TRUE(tables.empty());
+  EXPECT_TRUE(site_dist.empty());
+  ASSERT_EQ(report.dropped.size(), 2u);
+  EXPECT_EQ(report.dropped[0].rfind("pair-tables: ", 0), 0u);
+  EXPECT_EQ(report.dropped[1].rfind("site-dist: ", 0), 0u);
+  EXPECT_NE(report.dropped[1].find("without usable pair tables"),
+            std::string::npos);
+}
+
+TEST(StructureIoV5, SiteDistShapeLiesAreRejected) {
+  const Graph g = gen::path_graph(4);
+  // Site count disagreeing with the sibling pair tables.
+  expect_rejected(
+      g,
+      valid_v5() + frame("site-dist",
+                         "site-dist 1\nsource-dist 0 2\ndsite 1\ndterm x\n"),
+      {"expected 'source-dist 0 1'", "(at byte"}, "site-count lie");
+  // A parent edge the graph does not have.
+  expect_rejected(
+      g,
+      valid_v5() + frame("site-dist",
+                         "site-dist 1\nsource-dist 0 1\ndsite 1\n"
+                         "dterm 0 3 1 2\n"),
+      {"missing from the graph", "(at byte"}, "phantom parent edge");
+  // A row value ≥ n can never be a hop count.
+  expect_rejected(
+      g,
+      valid_v5() + frame("site-dist",
+                         "site-dist 1\nsource-dist 0 1\ndsite 1\n"
+                         "dterm 1 2 1 99\n"),
+      {"bad dterm row", "(at byte"}, "row value out of range");
 }
 
 TEST(StructureIoV5, CleanLoadReportsComplete) {

@@ -70,6 +70,8 @@ int usage() {
          "  build    --graph=PATH [--source=0 | --sources=0,5,10]\n"
          "           [--eps=0.25] [--out=PATH] [--v5] [--json]\n"
          "           [--fault-model=edge|vertex|either|dual]\n"
+         "           [--site-dist]   (dual: harvest the site-local pair\n"
+         "                            oracle; persisted only by --v5)\n"
          "  verify   --graph=PATH --structure=PATH [--nontree] [--json]\n"
          "           [--fault-model=...]   (default: the structure's tag)\n"
          "           [--pairs=N]   (dual: failure pairs to check; -1 = all)\n"
@@ -185,6 +187,12 @@ api::BuildSpec spec_from_options(const Options& opt) {
                   "pipelines have no reinforcement tradeoff)");
   }
   spec.weight_seed = static_cast<std::uint64_t>(opt.get_int("seed", 1));
+  if (opt.has("site-dist")) {
+    FTB_CHECK_MSG(spec.fault_model == FaultClass::kDual,
+                  "--site-dist applies only to --fault-model=dual (the "
+                  "site-local oracle accelerates pair queries)");
+    spec.site_dist_oracle = true;
+  }
   return spec;
 }
 
@@ -205,11 +213,17 @@ int cmd_build(const Options& opt) {
   if (!out.empty()) {
     if (opt.has("v5")) {
       // The checksummed framing: every section carries its length and
-      // CRC-32C, so storage corruption is caught at load time.
-      io::save_structure_v5(h, res.sources, res.dual_tables, out);
+      // CRC-32C, so storage corruption is caught at load time. The
+      // site-dist oracle (when harvested) rides along as its own section.
+      io::save_structure_v5(h, res.sources, res.dual_tables,
+                            res.dual_site_dist, out);
     } else {
       // Dual-failure artifacts ride structure_io v4 with their pair
-      // tables; everything else keeps the v2/v3 forms byte-stably.
+      // tables; everything else keeps the v2/v3 forms byte-stably. Only
+      // v5 can carry the site-dist section — refuse to drop it silently.
+      FTB_CHECK_MSG(res.dual_site_dist.empty(),
+                    "--site-dist tables persist only in the v5 framing — "
+                    "add --v5 (or drop --out)");
       io::save_structure(h, res.sources, res.dual_tables, out);
     }
   }
@@ -228,6 +242,13 @@ int cmd_build(const Options& opt) {
         sites += static_cast<std::int64_t>(t.num_sites());
       }
       report.set("pair_sites", sites);
+      if (spec.site_dist_oracle) {
+        std::int64_t slots = 0;
+        for (const DualSiteDistTable& t : res.dual_site_dist) {
+          slots += static_cast<std::int64_t>(t.num_slots());
+        }
+        report.set("site_dist_slots", slots);
+      }
     }
     report.set("edges_in_H", h.num_edges())
         .set("backup_edges", h.num_backup())
@@ -386,7 +407,9 @@ int cmd_drill(const Options& opt) {
   const std::string path = opt.get_string("structure", "h.ftbfs");
   std::vector<Vertex> sources;
   std::vector<DualSiteTable> tables;
-  const FtBfsStructure h = io::load_structure(g, path, &sources, &tables);
+  std::vector<DualSiteDistTable> site_dist;
+  const FtBfsStructure h = io::load_structure(g, path, &sources, &tables, {},
+                                              nullptr, &site_dist);
   const FaultClass model = structure_fault_model(opt, h);
   const bool json = opt.has("json");
   const std::int64_t drills = opt.get_int("drills", 200);
@@ -406,9 +429,11 @@ int cmd_drill(const Options& opt) {
     spec.weight_seed =
         static_cast<std::uint64_t>(opt.get_int("weight-seed", 1));
     try {
+      // An artifact carrying the v5 site-dist section serves its pair
+      // storm O(1) — deploy attaches the shipped oracle tables.
       session.emplace(api::Session::deploy(
           g, api::BuildResult{spec, sources, FtBfsStructure(h), {}, tables,
-                              0.0}));
+                              std::move(site_dist), 0.0}));
     } catch (const CheckError&) {
       if (!json) {
         std::cout << "note: artifact does not match --weight-seed="
@@ -434,8 +459,16 @@ int cmd_drill(const Options& opt) {
         .set("violations", rep.violations)
         .set("disconnections", rep.disconnections)
         .set("max_stretch", rep.max_stretch)
-        .set("avg_distance", rep.avg_distance)
-        .set("ok", rep.violations == 0);
+        .set("avg_distance", rep.avg_distance);
+    if (via_session) {
+      // The serving-plane counters of the batched drill: how the dual
+      // pairs were answered (site-dist oracle vs cached traversals).
+      report.set("pair_traversals", rep.pair_traversals)
+          .set("site_oracle_hits", rep.site_oracle_hits)
+          .set("pair_cache_hits", rep.pair_cache_hits)
+          .set("pair_cache_misses", rep.pair_cache_misses);
+    }
+    report.set("ok", rep.violations == 0);
     std::cout << report.str() << "\n";
   } else {
     std::cout << "[" << to_string(model) << " faults] " << rep.to_string()

@@ -1,6 +1,7 @@
 // io_fuzz — corpus fuzzer for structure_io's zero-trust contract.
 //
-// Starts from one VALID artifact per format version (v1…v5), applies
+// Starts from one VALID artifact per format version (v1…v5, plus a v5
+// variant carrying the optional site-dist accelerator section), applies
 // seeded random mutations (bit flips, truncations, byte inserts, slice
 // deletes/duplications, line splices) and feeds every mutant to
 // io::read_structure. The only acceptable outcomes, asserted per mutant:
@@ -15,7 +16,8 @@
 // a silent wrong acceptance — is a fuzz failure: the tool prints the
 // version, mutant ordinal and seed (rerun with --seed to reproduce) and
 // exits non-zero. Every mutant is additionally parsed in tolerant mode
-// (ReadOptions::tolerate_pair_tables), which must obey the same contract.
+// (ReadOptions::tolerate_pair_tables + tolerate_site_dist), which must
+// obey the same contract.
 //
 //   io_fuzz [--mutations=10000] [--seed=1]
 //
@@ -117,6 +119,20 @@ std::vector<CorpusEntry> build_corpus() {
     io::write_structure_v5(res.structure, res.sources, res.dual_tables, os);
     corpus.push_back({5, std::move(g), os.str()});
   }
+
+  // v5 with the optional site-dist accelerator section: the grammar's
+  // largest surface (dterm rows indexed off the pair tables' site order).
+  {
+    Graph g = gen::grid_graph(5, 5);
+    api::BuildSpec spec;
+    spec.fault_model = FaultClass::kDual;
+    spec.site_dist_oracle = true;
+    const api::BuildResult res = api::build(g, spec);
+    std::ostringstream os;
+    io::write_structure_v5(res.structure, res.sources, res.dual_tables,
+                           res.dual_site_dist, os);
+    corpus.push_back({5, std::move(g), os.str()});
+  }
   return corpus;
 }
 
@@ -177,12 +193,13 @@ std::string mutate(const std::string& base, Rng& rng) {
 bool parse(const Graph& g, const std::string& bytes,
            const io::ReadOptions& opts, FtBfsStructure* out,
            std::vector<Vertex>* sources, std::vector<DualSiteTable>* tables,
+           std::vector<DualSiteDistTable>* site_dist,
            std::string* reject_msg) {
   std::istringstream is(bytes);
   try {
     io::LoadReport report;
     FtBfsStructure h = io::read_structure(g, is, sources, tables, opts,
-                                          &report);
+                                          &report, site_dist);
     if (out != nullptr) *out = std::move(h);
     return true;
   } catch (const CheckError& e) {
@@ -196,26 +213,30 @@ bool parse(const Graph& g, const std::string& bytes,
 bool roundtrips(const Graph& g, const FtBfsStructure& h,
                 const std::vector<Vertex>& sources,
                 const std::vector<DualSiteTable>& tables,
+                const std::vector<DualSiteDistTable>& site_dist,
                 std::string* why) {
   const auto canonical = [&](bool v5, const FtBfsStructure& hh,
                              const std::vector<Vertex>& ss,
-                             const std::vector<DualSiteTable>& tt) {
+                             const std::vector<DualSiteTable>& tt,
+                             const std::vector<DualSiteDistTable>& sd) {
     std::ostringstream os;
     if (v5) {
-      io::write_structure_v5(hh, ss, tt, os);
+      io::write_structure_v5(hh, ss, tt, sd, os);
     } else {
       io::write_structure(hh, ss, tt, os);
     }
     return os.str();
   };
   for (const bool v5 : {false, true}) {
-    const std::string w1 = canonical(v5, h, sources, tables);
+    const std::string w1 = canonical(v5, h, sources, tables, site_dist);
     std::istringstream is(w1);
     std::vector<Vertex> s2;
     std::vector<DualSiteTable> t2;
+    std::vector<DualSiteDistTable> sd2;
     try {
-      const FtBfsStructure h2 = io::read_structure(g, is, &s2, &t2);
-      const std::string w2 = canonical(v5, h2, s2, t2);
+      const FtBfsStructure h2 =
+          io::read_structure(g, is, &s2, &t2, {}, nullptr, &sd2);
+      const std::string w2 = canonical(v5, h2, s2, t2, sd2);
       if (w1 != w2) {
         *why = v5 ? "v5 re-write differs" : "legacy re-write differs";
         return false;
@@ -244,15 +265,16 @@ int main(int argc, char** argv) {
       FtBfsStructure h(entry.graph, 0, {}, {}, {});
       std::vector<Vertex> sources;
       std::vector<DualSiteTable> tables;
+      std::vector<DualSiteDistTable> site_dist;
       std::string msg;
       if (!parse(entry.graph, entry.bytes, {}, &h, &sources, &tables,
-                 &msg)) {
+                 &site_dist, &msg)) {
         std::cerr << "io_fuzz: v" << entry.version
                   << " corpus artifact rejected: " << msg << "\n";
         return 1;
       }
       std::string why;
-      if (!roundtrips(entry.graph, h, sources, tables, &why)) {
+      if (!roundtrips(entry.graph, h, sources, tables, site_dist, &why)) {
         std::cerr << "io_fuzz: v" << entry.version
                   << " corpus artifact does not round-trip: " << why << "\n";
         return 1;
@@ -266,16 +288,19 @@ int main(int argc, char** argv) {
       for (const bool tolerant : {false, true}) {
         io::ReadOptions opts;
         opts.tolerate_pair_tables = tolerant;
+        opts.tolerate_site_dist = tolerant;
         FtBfsStructure h(entry.graph, 0, {}, {}, {});
         std::vector<Vertex> sources;
         std::vector<DualSiteTable> tables;
+        std::vector<DualSiteDistTable> site_dist;
         std::string msg;
         try {
           if (parse(entry.graph, mutant, opts, &h, &sources, &tables,
-                    &msg)) {
+                    &site_dist, &msg)) {
             ++accepted;
             std::string why;
-            if (!roundtrips(entry.graph, h, sources, tables, &why)) {
+            if (!roundtrips(entry.graph, h, sources, tables, site_dist,
+                            &why)) {
               std::cerr << "io_fuzz: v" << entry.version << " mutant #" << i
                         << " (seed " << seed << ", tolerant=" << tolerant
                         << ") accepted but does not round-trip: " << why
@@ -303,7 +328,7 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::cout << "io_fuzz: " << corpus.size() << " versions x " << mutations
+  std::cout << "io_fuzz: " << corpus.size() << " artifacts x " << mutations
             << " mutations (seed " << seed << "): " << accepted
             << " accepted, " << rejected
             << " rejected, every rejection a CheckError with offset "
