@@ -19,6 +19,7 @@
 #include "src/core/vertex_ftbfs.hpp"
 #include "src/graph/bfs_kernel.hpp"
 #include "src/graph/bfs_tree.hpp"
+#include "src/io/binary_io.hpp"
 #include "src/io/structure_io.hpp"
 #include "src/util/timer.hpp"
 
@@ -711,6 +712,11 @@ void Session::save(const std::string& path) const {
 
 void Session::save_v5(const std::string& path) const {
   io::save_structure_v5(impl_->structure, impl_->sources, impl_->dual_tables,
+                        impl_->dual_site_dist, path);
+}
+
+void Session::save_v6(const std::string& path) const {
+  io::save_structure_v6(impl_->structure, impl_->sources, impl_->dual_tables,
                         impl_->dual_site_dist, path);
 }
 

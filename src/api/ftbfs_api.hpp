@@ -313,11 +313,15 @@ class Session {
   static Session open(const Graph& g, const BuildSpec& spec);
   /// Wraps an already-built result (takes ownership of the structure).
   static Session deploy(const Graph& g, BuildResult result);
-  /// Reloads a saved artifact (structure_io format, any version; v3 keeps
-  /// the multi-source set, v4/v5 the dual pair tables — an artifact saved
-  /// without tables gets them rebuilt here) and rebuilds the serving
-  /// engines. With cfg.tolerate_corruption (the default) a corrupt
-  /// pair-table section downgrades the session to degraded service
+  /// Reloads a saved artifact (structure_io format, any version — the
+  /// generation is auto-detected by magic, so text v1–v5 and binary v6
+  /// load through the same call; v3 keeps the multi-source set, v4+ the
+  /// dual pair tables — an artifact saved without tables gets them rebuilt
+  /// here) and rebuilds the serving engines. A v6 artifact's persisted
+  /// tables attach off a read-only mmap (zero-copy validation against the
+  /// page cache); the graph-recompute path remains the fallback when they
+  /// are absent or dropped. With cfg.tolerate_corruption (the default) a
+  /// corrupt pair-table section downgrades the session to degraded service
   /// instead of refusing the load; see fsck().
   static Session load(const Graph& g, const std::string& path,
                       const Config& cfg = {});
@@ -327,6 +331,12 @@ class Session {
   /// (per-section lengths + CRC-32C, so storage corruption is caught at
   /// load time). load() reads either form.
   void save_v5(const std::string& path) const;
+  /// Saves the binary, mmap-able structure_io v6 container of the same
+  /// artifact (binary_io.hpp: sectioned directory + per-section CRC-32C,
+  /// 64-byte-aligned fixed-width payloads) — the build-once, serve-
+  /// everywhere form whose load is a directory walk + checksum sweep over
+  /// an mmap. load() auto-detects it by magic.
+  void save_v6(const std::string& path) const;
 
   /// Answers a batch: in-model single-fault lookups shard across the
   /// thread pool; what-if queries and in-model dual-failure pairs are

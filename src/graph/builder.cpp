@@ -13,13 +13,30 @@ void GraphBuilder::add_edge(Vertex u, Vertex v) {
                 "edge (" << u << "," << v << ") out of range n=" << n_);
   FTB_CHECK_MSG(u != v, "self loop at vertex " << u);
   if (u > v) std::swap(u, v);
+  canonical_ = false;
+  pending_.emplace_back(u, v);
+}
+
+void GraphBuilder::add_canonical_edge(Vertex u, Vertex v) {
+  FTB_CHECK_MSG(canonical_,
+                "add_canonical_edge cannot be mixed with add_edge");
+  FTB_CHECK_MSG(u >= 0 && u < n_ && v >= 0 && v < n_,
+                "edge (" << u << "," << v << ") out of range n=" << n_);
+  FTB_CHECK_MSG(u < v, "edge (" << u << "," << v
+                                << ") is not canonical (u < v)");
+  FTB_CHECK_MSG(pending_.empty() || pending_.back() < std::make_pair(u, v),
+                "edge (" << u << "," << v
+                         << ") out of strictly ascending canonical order");
   pending_.emplace_back(u, v);
 }
 
 Graph GraphBuilder::build() {
-  std::sort(pending_.begin(), pending_.end());
-  pending_.erase(std::unique(pending_.begin(), pending_.end()),
-                 pending_.end());
+  if (!canonical_) {
+    std::sort(pending_.begin(), pending_.end());
+    pending_.erase(std::unique(pending_.begin(), pending_.end()),
+                   pending_.end());
+    canonical_ = true;  // the builder is left empty, ready for either mode
+  }
 
   Graph g;
   g.edges_ = std::move(pending_);

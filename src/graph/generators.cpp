@@ -127,6 +127,73 @@ Graph random_connected(Vertex n, std::int64_t extra, std::uint64_t seed) {
   return b.build();
 }
 
+namespace {
+
+/// Core R-MAT sampler: drops `edges` recursive-matrix samples into `b`.
+/// One quadrant descent per edge, noise on the partition at every level
+/// (the standard smoothing that keeps the degree sequence from collapsing
+/// onto powers of two). Self loops are resampled, duplicates coalesce at
+/// build().
+void rmat_edges_into(GraphBuilder& b, Vertex scale, std::int64_t edges,
+                     Rng& rng) {
+  constexpr double kA = 0.57, kB = 0.19, kC = 0.19;  // d = 0.05
+  for (std::int64_t e = 0; e < edges; ++e) {
+    Vertex u = 0, v = 0;
+    for (Vertex level = 0; level < scale; ++level) {
+      const double noise = 0.9 + 0.2 * rng.next_double();
+      const double a = kA * noise, ab = a + kB * noise,
+                   abc = ab + kC * noise;
+      const double r = rng.next_double() * (abc + (1.0 - kA - kB - kC));
+      u <<= 1;
+      v <<= 1;
+      if (r >= a) {
+        if (r < ab) {
+          v |= 1;
+        } else if (r < abc) {
+          u |= 1;
+        } else {
+          u |= 1;
+          v |= 1;
+        }
+      }
+    }
+    if (u == v) {
+      --e;  // resample self loops; the descent above is seed-deterministic
+      continue;
+    }
+    b.add_edge(u, v);
+  }
+}
+
+}  // namespace
+
+Graph rmat(Vertex scale, std::int64_t edges, std::uint64_t seed) {
+  FTB_CHECK_MSG(scale >= 1 && scale <= 30, "rmat scale out of range");
+  FTB_CHECK(edges >= 0);
+  Rng rng(seed);
+  GraphBuilder b(static_cast<Vertex>(1) << scale);
+  rmat_edges_into(b, scale, edges, rng);
+  return b.build();
+}
+
+Graph rmat_connected(Vertex scale, std::int64_t edges, std::uint64_t seed) {
+  FTB_CHECK_MSG(scale >= 1 && scale <= 30, "rmat scale out of range");
+  FTB_CHECK(edges >= 0);
+  Rng rng(seed);
+  const Vertex n = static_cast<Vertex>(1) << scale;
+  GraphBuilder b(n);
+  // Random spanning tree first (same attach-order construction as
+  // random_connected), then the R-MAT samples on top.
+  std::vector<Vertex> order(static_cast<std::size_t>(n));
+  for (Vertex i = 0; i < n; ++i) order[static_cast<std::size_t>(i)] = i;
+  rng.shuffle(order);
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    b.add_edge(order[i], order[rng.next_below(i)]);
+  }
+  rmat_edges_into(b, scale, edges, rng);
+  return b.build();
+}
+
 Graph preferential_attachment(Vertex n, Vertex k, std::uint64_t seed) {
   FTB_CHECK(n >= 2 && k >= 1);
   Rng rng(seed);

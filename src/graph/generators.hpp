@@ -55,6 +55,21 @@ Graph random_connected(Vertex n, std::int64_t extra, std::uint64_t seed);
 /// existing vertices chosen proportional to degree. Connected by design.
 Graph preferential_attachment(Vertex n, Vertex k, std::uint64_t seed);
 
+/// R-MAT (Chakrabarti–Zhan–Faloutsos) recursive-matrix graph on n = 2^scale
+/// vertices with the Graph500 partition (a,b,c,d) = (0.57, 0.19, 0.19,
+/// 0.05): skewed degrees, community structure — the standard stand-in for
+/// real-world graphs, feeding the artifact_plane workload tier. Self loops
+/// are resampled; duplicate samples coalesce, so the realized edge count
+/// can be slightly below `edges`. Not necessarily connected (union with a
+/// spanning tree via random_connected-style extras when connectivity is
+/// required).
+Graph rmat(Vertex scale, std::int64_t edges, std::uint64_t seed);
+
+/// rmat() unioned with a uniformly random spanning tree over the same
+/// vertex set: the connected real-graph workload the artifact_plane bench
+/// builds dual structures on. Deterministic given (scale, edges, seed).
+Graph rmat_connected(Vertex scale, std::int64_t edges, std::uint64_t seed);
+
 /// The paper's introduction example: source 0 joined by a single edge to a
 /// clique on vertices 1..n-1. Edge (0,1) is the bridge whose reinforcement
 /// collapses the backup requirement.

@@ -114,6 +114,14 @@ class GraphBuilder {
   /// Self loops are rejected (FT-BFS structures are simple-graph objects).
   void add_edge(Vertex u, Vertex v);
 
+  /// Streaming twin of add_edge for pre-canonicalized input (the binary
+  /// edge-list reader): every edge must arrive canonical (u < v) and
+  /// strictly lexicographically after the previous one — already sorted
+  /// and deduplicated — so build() skips its sort+dedup pass and ingestion
+  /// is one O(m) streaming pass into the CSR. Cannot be mixed with
+  /// add_edge in the same build.
+  void add_canonical_edge(Vertex u, Vertex v);
+
   /// Number of edges added so far (before dedup).
   std::size_t pending_edges() const { return pending_.size(); }
 
@@ -122,6 +130,7 @@ class GraphBuilder {
 
  private:
   Vertex n_;
+  bool canonical_ = true;  // no out-of-order add_edge calls seen yet
   std::vector<std::pair<Vertex, Vertex>> pending_;
 };
 

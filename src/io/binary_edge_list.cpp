@@ -1,0 +1,229 @@
+#include "src/io/binary_edge_list.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "src/io/edge_list.hpp"
+#include "src/util/crc32c.hpp"
+#include "src/util/fault_inject.hpp"
+
+namespace ftb::io {
+
+namespace {
+
+constexpr std::uint32_t kEdgeListVersion = 1;
+constexpr std::uint32_t kEndianTag = 0x01020304u;
+constexpr std::uint64_t kHeaderBytes = 64;
+
+std::string context_at(std::int64_t off, std::string_view section) {
+  std::ostringstream os;
+  os << " (at byte " << off << " in section '" << section << "')";
+  return os.str();
+}
+
+[[noreturn]] void fail(const std::string& msg, std::int64_t off,
+                       std::string_view section) {
+  throw CheckError(msg + context_at(off, section));
+}
+
+std::uint32_t get_u32(const unsigned char* b) {
+  return static_cast<std::uint32_t>(b[0]) |
+         (static_cast<std::uint32_t>(b[1]) << 8) |
+         (static_cast<std::uint32_t>(b[2]) << 16) |
+         (static_cast<std::uint32_t>(b[3]) << 24);
+}
+
+std::uint64_t get_u64(const unsigned char* b) {
+  return static_cast<std::uint64_t>(get_u32(b)) |
+         (static_cast<std::uint64_t>(get_u32(b + 4)) << 32);
+}
+
+void put_u32(std::string& s, std::uint32_t v) {
+  const char b[4] = {static_cast<char>(v), static_cast<char>(v >> 8),
+                     static_cast<char>(v >> 16), static_cast<char>(v >> 24)};
+  s.append(b, 4);
+}
+
+void put_u64(std::string& s, std::uint64_t v) {
+  put_u32(s, static_cast<std::uint32_t>(v));
+  put_u32(s, static_cast<std::uint32_t>(v >> 32));
+}
+
+}  // namespace
+
+bool is_binary_edge_list_magic(std::string_view bytes) {
+  return bytes.size() >= sizeof(kEdgeListMagic) &&
+         std::memcmp(bytes.data(), kEdgeListMagic,
+                     sizeof(kEdgeListMagic)) == 0;
+}
+
+bool is_binary_edge_list(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f.good()) return false;
+  char head[sizeof(kEdgeListMagic)] = {};
+  f.read(head, sizeof(head));
+  if (f.gcount() != static_cast<std::streamsize>(sizeof(head))) return false;
+  return is_binary_edge_list_magic(std::string_view(head, sizeof(head)));
+}
+
+std::string write_binary_edge_list_bytes(const Graph& g) {
+  std::string edges;
+  edges.reserve(static_cast<std::size_t>(g.num_edges()) * 8);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto [u, v] = g.edge(e);  // canonical u < v, ascending by id
+    put_u32(edges, static_cast<std::uint32_t>(u));
+    put_u32(edges, static_cast<std::uint32_t>(v));
+  }
+  std::string out;
+  out.reserve(kHeaderBytes + edges.size());
+  out.append(reinterpret_cast<const char*>(kEdgeListMagic),
+             sizeof(kEdgeListMagic));
+  put_u32(out, kEdgeListVersion);
+  put_u32(out, kEndianTag);
+  put_u64(out, static_cast<std::uint64_t>(g.num_vertices()));
+  put_u64(out, static_cast<std::uint64_t>(g.num_edges()));
+  put_u32(out, crc32c(edges));
+  put_u32(out, 0);
+  out.append(24, '\0');
+  out += edges;
+  return out;
+}
+
+void write_binary_edge_list(const Graph& g, std::ostream& os) {
+  const std::string bytes = write_binary_edge_list_bytes(g);
+  os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+void save_binary_edge_list(const Graph& g, const std::string& path) {
+  std::ofstream f(path, std::ios::binary);
+  FTB_CHECK_MSG(f.good(), "cannot open " << path << " for writing");
+  write_binary_edge_list(g, f);
+  f.flush();
+  FTB_CHECK_MSG(f.good(), "short write to " << path);
+}
+
+Graph read_binary_edge_list(std::span<const std::byte> bytes) {
+  const auto* p = reinterpret_cast<const unsigned char*>(bytes.data());
+  if (bytes.size() < kHeaderBytes) {
+    fail("binary edge list truncated: " + std::to_string(bytes.size()) +
+             " bytes is shorter than the 64-byte header",
+         0, "header");
+  }
+  if (std::memcmp(p, kEdgeListMagic, sizeof(kEdgeListMagic)) != 0) {
+    fail("bad binary edge-list magic", 0, "header");
+  }
+  const std::uint32_t version = get_u32(p + 8);
+  if (version != kEdgeListVersion) {
+    fail("unsupported binary edge-list version " + std::to_string(version),
+         8, "header");
+  }
+  const std::uint32_t endian = get_u32(p + 12);
+  if (endian == 0x04030201u) {
+    fail("byte-swapped endian tag: edge list written by a big-endian "
+         "producer, this reader is little-endian only",
+         12, "header");
+  }
+  if (endian != kEndianTag) {
+    fail("bad endian tag " + std::to_string(endian), 12, "header");
+  }
+  const std::uint64_t n = get_u64(p + 16);
+  if (n > static_cast<std::uint64_t>(std::numeric_limits<Vertex>::max())) {
+    fail("vertex count " + std::to_string(n) + " overflows", 16, "header");
+  }
+  const std::uint64_t m = get_u64(p + 24);
+  // Untrusted count: a canonical simple graph has at most nC2 edges, and
+  // edge ids are int32 — reject count lies before they size anything.
+  const std::uint64_t max_m =
+      n < 2 ? 0 : n * (n - 1) / 2;  // fits u64 for n < 2^31
+  if (m > max_m ||
+      m > static_cast<std::uint64_t>(std::numeric_limits<EdgeId>::max())) {
+    fail("edge count " + std::to_string(m) + " exceeds the " +
+             std::to_string(max_m) + " possible canonical edges",
+         24, "header");
+  }
+  const std::uint32_t want_crc = get_u32(p + 32);
+  if (get_u32(p + 36) != 0) {
+    fail("nonzero reserved header field", 36, "header");
+  }
+  for (std::size_t i = 40; i < kHeaderBytes; ++i) {
+    if (p[i] != 0) {
+      fail("nonzero reserved header byte",
+           static_cast<std::int64_t>(i), "header");
+    }
+  }
+  const std::uint64_t want_size = kHeaderBytes + m * 8;
+  if (bytes.size() < want_size) {
+    fail("edge array truncated: " + std::to_string(m) +
+             " edges need " + std::to_string(want_size) +
+             " bytes, file has " + std::to_string(bytes.size()),
+         static_cast<std::int64_t>(bytes.size()), "edges");
+  }
+  if (bytes.size() > want_size) {
+    fail("trailing data after the edge list: file has " +
+             std::to_string(bytes.size()) + " bytes, edge list ends at " +
+             std::to_string(want_size),
+         static_cast<std::int64_t>(want_size), "trailer");
+  }
+  {
+    const std::uint32_t got_crc =
+        m == 0 ? crc32c(std::string_view{})
+               : crc32c(std::string_view(
+                     reinterpret_cast<const char*>(p + kHeaderBytes),
+                     static_cast<std::size_t>(m * 8)));
+    if (got_crc != want_crc) {
+      fail("edge array checksum mismatch",
+           static_cast<std::int64_t>(kHeaderBytes), "edges");
+    }
+  }
+
+  GraphBuilder b(static_cast<Vertex>(n));
+  fault::maybe_fail_alloc();
+  std::int64_t prev_u = -1, prev_v = -1;
+  for (std::uint64_t i = 0; i < m; ++i) {
+    const std::int64_t at =
+        static_cast<std::int64_t>(kHeaderBytes + i * 8);
+    const auto u = static_cast<std::int32_t>(
+        get_u32(p + kHeaderBytes + i * 8));
+    const auto v = static_cast<std::int32_t>(
+        get_u32(p + kHeaderBytes + i * 8 + 4));
+    if (u < 0 || v < 0 || static_cast<std::uint64_t>(u) >= n ||
+        static_cast<std::uint64_t>(v) >= n) {
+      fail("edge (" + std::to_string(u) + "," + std::to_string(v) +
+               ") out of range n=" + std::to_string(n),
+           at, "edges");
+    }
+    if (u >= v) {
+      fail("edge (" + std::to_string(u) + "," + std::to_string(v) +
+               ") is not canonical (u < v)",
+           at, "edges");
+    }
+    if (u < prev_u || (u == prev_u && v <= prev_v)) {
+      fail("edge (" + std::to_string(u) + "," + std::to_string(v) +
+               ") out of strictly ascending canonical order",
+           at, "edges");
+    }
+    prev_u = u;
+    prev_v = v;
+    b.add_canonical_edge(u, v);  // streams straight into the CSR build
+  }
+  return b.build();
+}
+
+Graph load_binary_edge_list(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  FTB_CHECK_MSG(f.good(), "cannot open " << path);
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  const std::string bytes = buf.str();
+  return read_binary_edge_list(std::as_bytes(
+      std::span<const char>(bytes.data(), bytes.size())));
+}
+
+Graph load_edge_list_auto(const std::string& path) {
+  if (is_binary_edge_list(path)) return load_binary_edge_list(path);
+  return load_edge_list(path);
+}
+
+}  // namespace ftb::io

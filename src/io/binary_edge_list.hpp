@@ -1,0 +1,62 @@
+// binary_edge_list.hpp — binary graph ingestion for the artifact plane.
+//
+// The scalable twin of the text edge list (edge_list.hpp): a fixed 64-byte
+// little-endian header followed by the canonical edge array, so loading a
+// real-sized graph is one bounds-checked streaming pass into the CSR
+// instead of a tokenize-every-decimal parse. Layout (normative spec in
+// docs/file_formats.md §binary edge list):
+//
+//   [header, 64 bytes]  magic "\x89FTBE\r\n\x1a", u32 version=1,
+//                       u32 endian tag, u64 n, u64 m,
+//                       u32 crc32c of the edge array, reserved zeros
+//   [edges, 8·m bytes]  i32 (u,v) pairs, canonical u < v, strictly
+//                       ascending lexicographic order, no duplicates
+//
+// The canonical-order requirement is load-bearing twice over: the reader
+// streams straight into GraphBuilder::add_canonical_edge (no sort, no
+// dedup pass), and a text load and a binary load of the same graph produce
+// bit-identical Graph objects — duplicates in a text file dedup to exactly
+// the order this format stores. Zero-trust contract as everywhere in io:
+// every malformation (bad magic/version/endian tag, count lies, checksum
+// mismatch, truncation, trailing bytes, non-canonical edges) throws
+// CheckError carrying the byte offset and section of the offending input.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "src/graph/graph.hpp"
+
+namespace ftb::io {
+
+/// The 8-byte binary edge-list magic (PNG-style, 'E' for edge list; the
+/// structure container uses '6' — see binary_io.hpp).
+inline constexpr unsigned char kEdgeListMagic[8] = {0x89, 'F', 'T', 'B',
+                                                    'E',  '\r', '\n', 0x1a};
+
+/// True when `bytes` begins with the binary edge-list magic.
+bool is_binary_edge_list_magic(std::string_view bytes);
+/// Sniffs the first bytes of `path` (false also when unreadable/short).
+bool is_binary_edge_list(const std::string& path);
+
+/// Serializes `g` as a binary edge list. Deterministic: the same graph
+/// always produces the same bytes (the Graph's edge array is already
+/// canonical and sorted).
+std::string write_binary_edge_list_bytes(const Graph& g);
+void write_binary_edge_list(const Graph& g, std::ostream& os);
+void save_binary_edge_list(const Graph& g, const std::string& path);
+
+/// Parses a binary edge list from memory. Throws CheckError (with byte
+/// offset + section context) on any malformation.
+Graph read_binary_edge_list(std::span<const std::byte> bytes);
+Graph load_binary_edge_list(const std::string& path);
+
+/// Loads a graph from either format, auto-detected by magic: binary edge
+/// lists via the streaming reader above, anything else via the text
+/// reader. What ftbfs_cli's --graph-format=auto uses.
+Graph load_edge_list_auto(const std::string& path);
+
+}  // namespace ftb::io

@@ -20,7 +20,13 @@ namespace ftb::io {
 void write_edge_list(const Graph& g, std::ostream& os);
 void save_edge_list(const Graph& g, const std::string& path);
 
-/// Parses an edge-list stream. Throws CheckError on malformed input.
+/// Parses an edge-list stream. Throws CheckError — with the byte offset
+/// and section of the offending input, like the structure_io readers — on
+/// malformed input: a bad header, a bad/out-of-range edge line, a self
+/// loop, missing edges, or trailing data after the declared edge count.
+/// Duplicate edges dedup canonically, so a text load and a binary load of
+/// the same graph produce bit-identical Graph objects
+/// (binary_edge_list.hpp).
 Graph read_edge_list(std::istream& is);
 Graph load_edge_list(const std::string& path);
 

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "src/core/validate.hpp"
+#include "src/io/binary_io.hpp"
 #include "src/util/crc32c.hpp"
 #include "src/util/fault_inject.hpp"
 
@@ -319,6 +320,11 @@ std::vector<DualSiteTable> parse_pair_tables(
         sub.push_back(sorted_edges[static_cast<std::size_t>(idx)]);
       }
       std::sort(sub.begin(), sub.end());
+      // Zero-trust: a site's subset is a SET of structure edges. Duplicate
+      // indices would survive into the pool and break the canonical
+      // strictly-ascending form the v6 binary container pins down.
+      FTB_CHECK_MSG(std::adjacent_find(sub.begin(), sub.end()) == sub.end(),
+                    "duplicate pair-table edge index in '" << line << "'");
       table.sites.push_back(f);
       table.edge_pool.insert(table.edge_pool.end(), sub.begin(), sub.end());
       table.offsets.push_back(
@@ -941,6 +947,14 @@ FtBfsStructure load_structure(const Graph& g, const std::string& path,
                               std::vector<DualSiteTable>* tables_out,
                               const ReadOptions& opts, LoadReport* report,
                               std::vector<DualSiteDistTable>* site_dist_out) {
+  // Auto-detect the artifact generation by magic: binary v6 containers go
+  // through the mmap loader (binary_io.cpp), text ones through the stream
+  // reader below. Same outputs, options, and tolerant-drop semantics on
+  // both paths, so callers never care which generation is on disk.
+  if (is_v6_artifact(path)) {
+    return load_structure_v6(g, path, sources_out, tables_out, opts, report,
+                             site_dist_out);
+  }
   std::ifstream f(path);
   FTB_CHECK_MSG(f.good(), "cannot open " << path);
   return read_structure(g, f, sources_out, tables_out, opts, report,

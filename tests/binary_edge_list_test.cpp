@@ -1,0 +1,257 @@
+// binary_edge_list_test.cpp — the binary graph-ingestion plane: round-trip
+// determinism, the text ↔ binary bit-identity contract (a deduped text
+// load and a binary load of the same graph produce the same Graph and the
+// same re-encoded bytes), the magic-sniffing auto loader, the streaming
+// add_canonical_edge misuse checks, and the zero-trust rejection matrix —
+// every malformed header field, count lie, checksum mismatch, truncation,
+// trailing tail, and non-canonical edge a CheckError with byte-offset +
+// section context.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <span>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/graph/generators.hpp"
+#include "src/graph/graph.hpp"
+#include "src/io/binary_edge_list.hpp"
+#include "src/io/edge_list.hpp"
+#include "src/util/crc32c.hpp"
+
+namespace ftb {
+namespace {
+
+std::span<const std::byte> as_span(const std::string& bytes) {
+  return std::as_bytes(std::span<const char>(bytes.data(), bytes.size()));
+}
+
+void expect_same_graph(const Graph& a, const Graph& b,
+                       const std::string& what) {
+  ASSERT_EQ(a.num_vertices(), b.num_vertices()) << what;
+  ASSERT_EQ(a.num_edges(), b.num_edges()) << what;
+  for (EdgeId e = 0; e < a.num_edges(); ++e) {
+    EXPECT_EQ(a.edge(e), b.edge(e)) << what << ": edge " << e;
+  }
+}
+
+/// Asserts the reader refuses `bytes` with every needle (offset + section
+/// context included) present in the message.
+void expect_rejected(const std::string& bytes,
+                     const std::vector<std::string>& needles,
+                     const std::string& what) {
+  try {
+    io::read_binary_edge_list(as_span(bytes));
+    FAIL() << what << ": accepted";
+  } catch (const CheckError& e) {
+    const std::string msg = e.what();
+    for (const std::string& needle : needles) {
+      EXPECT_NE(msg.find(needle), std::string::npos)
+          << what << ": message '" << msg << "' lacks '" << needle << "'";
+    }
+  }
+}
+
+void put_u32_at(std::string* bytes, std::size_t at, std::uint32_t v) {
+  for (int b = 0; b < 4; ++b) {
+    (*bytes)[at + static_cast<std::size_t>(b)] =
+        static_cast<char>(v >> (8 * b));
+  }
+}
+
+void put_u64_at(std::string* bytes, std::size_t at, std::uint64_t v) {
+  put_u32_at(bytes, at, static_cast<std::uint32_t>(v));
+  put_u32_at(bytes, at + 4, static_cast<std::uint32_t>(v >> 32));
+}
+
+/// Refreshes the header CRC over the edge array so a header edit is the
+/// ONLY lie the reader sees.
+void fix_crc(std::string* bytes) {
+  put_u32_at(bytes, 32,
+             crc32c(std::string_view(bytes->data() + 64,
+                                     bytes->size() - 64)));
+}
+
+TEST(BinaryEdgeList, RoundTripsDeterministically) {
+  const Graph g = gen::random_connected(60, 140, 7);
+  const std::string w1 = io::write_binary_edge_list_bytes(g);
+  const Graph r = io::read_binary_edge_list(as_span(w1));
+  expect_same_graph(g, r, "round trip");
+  EXPECT_EQ(io::write_binary_edge_list_bytes(r), w1);
+  EXPECT_TRUE(io::is_binary_edge_list_magic(w1));
+}
+
+TEST(BinaryEdgeList, EmptyAndEdgelessGraphsRoundTrip) {
+  GraphBuilder b(3);  // 3 isolated vertices, zero edges
+  const Graph g = b.build();
+  const std::string bytes = io::write_binary_edge_list_bytes(g);
+  EXPECT_EQ(bytes.size(), 64u);
+  const Graph r = io::read_binary_edge_list(as_span(bytes));
+  expect_same_graph(g, r, "edgeless");
+}
+
+TEST(BinaryEdgeList, MatchesTheTextPlaneBitForBit) {
+  const Graph g = gen::grid_graph(6, 7);
+
+  // Text edge list — with a swapped-endpoint duplicate thrown in: the
+  // text reader's canonical dedup must land on exactly the edge order the
+  // binary format stores.
+  std::ostringstream noisy;
+  noisy << g.num_vertices() << ' ' << g.num_edges() + 1 << '\n';
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto [u, v] = g.edge(e);
+    noisy << u << ' ' << v << '\n';
+  }
+  const auto [u0, v0] = g.edge(0);
+  noisy << v0 << ' ' << u0 << '\n';  // duplicate of edge 0, endpoints swapped
+  std::istringstream noisy_in(noisy.str());
+  const Graph from_text = io::read_edge_list(noisy_in);
+
+  const Graph from_binary = io::read_binary_edge_list(
+      as_span(io::write_binary_edge_list_bytes(g)));
+  expect_same_graph(from_text, from_binary, "text vs binary");
+  EXPECT_EQ(io::write_binary_edge_list_bytes(from_text),
+            io::write_binary_edge_list_bytes(from_binary));
+}
+
+TEST(BinaryEdgeList, AutoLoaderSniffsTheMagic) {
+  const Graph g = gen::random_connected(30, 60, 11);
+  const std::string bin_path = "binary_edge_list_test_scratch.bin";
+  const std::string txt_path = "binary_edge_list_test_scratch.txt";
+  io::save_binary_edge_list(g, bin_path);
+  io::save_edge_list(g, txt_path);
+  EXPECT_TRUE(io::is_binary_edge_list(bin_path));
+  EXPECT_FALSE(io::is_binary_edge_list(txt_path));
+  expect_same_graph(g, io::load_edge_list_auto(bin_path), "auto binary");
+  expect_same_graph(g, io::load_edge_list_auto(txt_path), "auto text");
+  expect_same_graph(g, io::load_binary_edge_list(bin_path), "binary load");
+  std::remove(bin_path.c_str());
+  std::remove(txt_path.c_str());
+  EXPECT_FALSE(io::is_binary_edge_list(bin_path));
+}
+
+TEST(BinaryEdgeList, HeaderLiesAreRejectedWithContext) {
+  const Graph g = gen::random_connected(20, 30, 13);
+  const std::string good = io::write_binary_edge_list_bytes(g);
+
+  expect_rejected("", {"shorter than the 64-byte header", "at byte 0"},
+                  "empty file");
+  expect_rejected(good.substr(0, 63),
+                  {"shorter than the 64-byte header", "header"},
+                  "63-byte file");
+
+  std::string bad = good;
+  bad[0] = 'x';
+  expect_rejected(bad, {"bad binary edge-list magic", "at byte 0"},
+                  "magic flip");
+
+  bad = good;
+  put_u32_at(&bad, 8, 9);
+  expect_rejected(bad, {"unsupported binary edge-list version 9",
+                        "at byte 8"},
+                  "version lie");
+
+  bad = good;
+  put_u32_at(&bad, 12, 0x04030201u);
+  expect_rejected(bad, {"big-endian producer", "at byte 12"},
+                  "byte-swapped endian tag");
+
+  bad = good;
+  put_u32_at(&bad, 12, 7);
+  expect_rejected(bad, {"bad endian tag 7", "at byte 12"}, "junk endian");
+
+  bad = good;
+  put_u64_at(&bad, 16, std::uint64_t{1} << 40);
+  expect_rejected(bad, {"vertex count", "overflows", "at byte 16"},
+                  "n overflow");
+
+  bad = good;
+  put_u64_at(&bad, 24, std::uint64_t{20} * 19 / 2 + 1);
+  expect_rejected(bad,
+                  {"edge count", "possible canonical edges", "at byte 24"},
+                  "m exceeds nC2");
+
+  bad = good;
+  put_u32_at(&bad, 36, 1);
+  expect_rejected(bad, {"nonzero reserved header field", "at byte 36"},
+                  "reserved field");
+
+  bad = good;
+  bad[50] = 1;
+  expect_rejected(bad, {"nonzero reserved header byte", "at byte 50"},
+                  "reserved byte");
+}
+
+TEST(BinaryEdgeList, SizeAndChecksumLiesAreRejected) {
+  const Graph g = gen::random_connected(20, 30, 13);
+  const std::string good = io::write_binary_edge_list_bytes(g);
+
+  expect_rejected(good.substr(0, good.size() - 4),
+                  {"edge array truncated", "section 'edges'"},
+                  "truncated edge array");
+  expect_rejected(good + "zz",
+                  {"trailing data after the edge list", "trailer"},
+                  "trailing bytes");
+
+  std::string bad = good;
+  bad[70] = static_cast<char>(static_cast<unsigned char>(bad[70]) ^ 0x01u);
+  expect_rejected(bad, {"edge array checksum mismatch", "at byte 64"},
+                  "payload flip");
+}
+
+TEST(BinaryEdgeList, NonCanonicalEdgesAreRejectedWithPerEdgeOffsets) {
+  const Graph g = gen::path_graph(5);  // edges (0,1) (1,2) (2,3) (3,4)
+  const std::string good = io::write_binary_edge_list_bytes(g);
+
+  // Second edge's endpoints land at bytes 72 (u) and 76 (v).
+  std::string bad = good;
+  put_u32_at(&bad, 76, 9);  // v out of range (n = 5)
+  fix_crc(&bad);
+  expect_rejected(bad, {"out of range n=5", "at byte 72"}, "range lie");
+
+  bad = good;
+  put_u32_at(&bad, 72, 2);
+  put_u32_at(&bad, 76, 2);  // self loop ⇒ not canonical
+  fix_crc(&bad);
+  expect_rejected(bad, {"is not canonical (u < v)", "at byte 72"},
+                  "self loop");
+
+  bad = good;
+  put_u32_at(&bad, 72, 3);
+  put_u32_at(&bad, 76, 4);  // (3,4) in slot 1 puts slot 2's (2,3) behind it
+  fix_crc(&bad);
+  expect_rejected(bad, {"out of strictly ascending canonical order",
+                        "at byte 80"},
+                  "descending order");
+
+  bad = good;
+  // Duplicate of the first edge in slot two — equality is also an order
+  // violation (strictly ascending).
+  put_u32_at(&bad, 72, 0);
+  put_u32_at(&bad, 76, 1);
+  fix_crc(&bad);
+  expect_rejected(bad, {"out of strictly ascending canonical order"},
+                  "duplicate edge");
+}
+
+TEST(BinaryEdgeList, StreamingBuilderRefusesMisuse) {
+  GraphBuilder mixed(4);
+  mixed.add_edge(2, 1);  // non-canonical order taints the builder
+  EXPECT_THROW(mixed.add_canonical_edge(2, 3), CheckError);
+
+  GraphBuilder b(4);
+  b.add_canonical_edge(0, 1);
+  EXPECT_THROW(b.add_canonical_edge(1, 0), CheckError);  // u < v violated
+  EXPECT_THROW(b.add_canonical_edge(0, 1), CheckError);  // duplicate
+  EXPECT_THROW(b.add_canonical_edge(0, 9), CheckError);  // out of range
+  b.add_canonical_edge(1, 3);
+  const Graph g = b.build();
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_EQ(g.edge(0), std::make_pair(Vertex{0}, Vertex{1}));
+  EXPECT_EQ(g.edge(1), std::make_pair(Vertex{1}, Vertex{3}));
+}
+
+}  // namespace
+}  // namespace ftb

@@ -26,16 +26,28 @@
 // fsck loads the artifact into a Session (tolerantly: a corrupt pair-table
 // section downgrades to degraded service instead of refusing, unless
 // --strict) and audits the serving invariants — exit 0 clean, 1 degraded,
-// 2 broken. build --v5 writes the checksummed structure_io v5 framing
-// instead of the legacy form; every other command reads both.
+// 2 broken. On a v6 binary artifact, fsck first mmaps the container and
+// audits the section directory (alignment, padding, per-section CRC-32C)
+// before the Session parse. build --v5 writes the checksummed structure_io
+// v5 text framing, build --v6 the mmap-able binary container; every other
+// command reads all of them (auto-detected by magic).
+//
+// Graph inputs are text or binary edge lists, auto-detected by magic;
+// --graph-format=auto|text|binary pins the parser. convert rewrites
+// between the two edge-list encodings (--to=binary|text) and upgrades any
+// v1–v5 structure artifact to the v6 container (--structure=... --out=...).
 //
 // --json switches build/verify/drill/fsck to a machine-readable report on
 // stdout (the same ordered-JSON shape BENCH_construction.json uses), so
 // the CLI is scriptable:  ftbfs_cli build ... --json | jq .reinforced_edges
+// build/fsck surface artifact_bytes and mmap (v6 zero-copy eligibility).
 //
 // Families for generate: path, cycle, star, complete, grid (rows/cols),
 // gnm (n/m), er (n/p), connected (n/extra), pa (n/k), intro (n),
-// hypercube (dims), theta (paths/len), lb (n/eps), dumbbell (k/bridge).
+// hypercube (dims), theta (paths/len), lb (n/eps), dumbbell (k/bridge),
+// rmat (scale/m), rmat-connected (scale/m). generate --binary emits the
+// binary edge-list encoding.
+#include <fstream>
 #include <iostream>
 #include <optional>
 #include <string>
@@ -50,6 +62,8 @@
 #include "src/graph/connectivity.hpp"
 #include "src/graph/generators.hpp"
 #include "src/graph/lower_bound.hpp"
+#include "src/io/binary_edge_list.hpp"
+#include "src/io/binary_io.hpp"
 #include "src/io/edge_list.hpp"
 #include "src/io/structure_io.hpp"
 #include "src/sim/failure_sim.hpp"
@@ -63,15 +77,19 @@ using namespace ftb;
 
 int usage() {
   std::cerr
-      << "usage: ftbfs_cli <generate|info|build|verify|drill|fsck|frontier> "
+      << "usage: ftbfs_cli "
+         "<generate|info|build|verify|drill|fsck|convert|frontier> "
          "[--key=value ...]\n"
-         "  generate --family=F --out=PATH [family params]\n"
+         "  generate --family=F --out=PATH [family params] [--binary]\n"
          "  info     --graph=PATH\n"
+         "  convert  --graph=PATH --out=PATH [--to=binary|text]\n"
+         "           (edge-list re-encode; add --structure=IN to upgrade a\n"
+         "            v1-v5 structure artifact to the v6 binary container)\n"
          "  build    --graph=PATH [--source=0 | --sources=0,5,10]\n"
-         "           [--eps=0.25] [--out=PATH] [--v5] [--json]\n"
+         "           [--eps=0.25] [--out=PATH] [--v5|--v6] [--json]\n"
          "           [--fault-model=edge|vertex|either|dual]\n"
          "           [--site-dist]   (dual: harvest the site-local pair\n"
-         "                            oracle; persisted only by --v5)\n"
+         "                            oracle; persisted only by --v5/--v6)\n"
          "  verify   --graph=PATH --structure=PATH [--nontree] [--json]\n"
          "           [--fault-model=...]   (default: the structure's tag)\n"
          "           [--pairs=N]   (dual: failure pairs to check; -1 = all)\n"
@@ -80,8 +98,32 @@ int usage() {
          "           [--fault-model=...]   (default: the structure's tag)\n"
          "  fsck     --graph=PATH --structure=PATH [--weight-seed=1]\n"
          "           [--strict] [--json]    exit: 0 clean, 1 degraded, 2 broken\n"
-         "  frontier --graph=PATH [--source=0] [--points=12]\n";
+         "  frontier --graph=PATH [--source=0] [--points=12]\n"
+         "  every --graph consumer also takes "
+         "--graph-format=auto|text|binary\n";
   return 2;
+}
+
+/// Load the --graph edge list honoring --graph-format. `auto` (default)
+/// dispatches on the file's magic bytes, so binary graphs work everywhere
+/// a text graph does; `text`/`binary` pin the parser (a mismatched pin is
+/// a zero-trust rejection, not a fallback).
+Graph load_graph(const Options& opt) {
+  const std::string path = opt.get_string("graph", "graph.edges");
+  const std::string fmt = opt.get_string("graph-format", "auto");
+  if (fmt == "auto") return io::load_edge_list_auto(path);
+  if (fmt == "text") return io::load_edge_list(path);
+  if (fmt == "binary") return io::load_binary_edge_list(path);
+  FTB_CHECK_MSG(false, "unknown --graph-format '"
+                           << fmt << "' (want auto, text or binary)");
+  return gen::path_graph(2);
+}
+
+/// Size of a just-written artifact, for the --json reports.
+std::int64_t file_bytes_of(const std::string& path) {
+  std::ifstream f(path, std::ios::binary | std::ios::ate);
+  FTB_CHECK_MSG(f.good(), "cannot stat " << path);
+  return static_cast<std::int64_t>(f.tellg());
 }
 
 /// The fault model to operate a loaded structure under: the structure's
@@ -112,6 +154,13 @@ Graph generate_family(const Options& opt) {
     return gen::preferential_attachment(
         n, static_cast<Vertex>(opt.get_int("k", 3)), seed);
   }
+  if (family == "rmat" || family == "rmat-connected") {
+    const auto scale = static_cast<Vertex>(opt.get_int("scale", 10));
+    const std::int64_t m =
+        opt.get_int("m", 8 * (static_cast<std::int64_t>(1) << scale));
+    return family == "rmat" ? gen::rmat(scale, m, seed)
+                            : gen::rmat_connected(scale, m, seed);
+  }
   if (family == "intro") return gen::intro_example(n);
   if (family == "hypercube") {
     return gen::hypercube(static_cast<Vertex>(opt.get_int("dims", 8)));
@@ -134,17 +183,24 @@ Graph generate_family(const Options& opt) {
 int cmd_generate(const Options& opt) {
   const Graph g = generate_family(opt);
   const std::string out = opt.get_string("out", "");
+  const bool binary = opt.has("binary");
   if (out.empty()) {
+    FTB_CHECK_MSG(!binary, "--binary needs --out (no binary to stdout)");
     io::write_edge_list(g, std::cout);
   } else {
-    io::save_edge_list(g, out);
-    std::cout << "wrote " << g.summary() << " to " << out << "\n";
+    if (binary) {
+      io::save_binary_edge_list(g, out);
+    } else {
+      io::save_edge_list(g, out);
+    }
+    std::cout << "wrote " << g.summary() << " to " << out
+              << (binary ? " (binary)" : "") << "\n";
   }
   return 0;
 }
 
 int cmd_info(const Options& opt) {
-  const Graph g = io::load_edge_list(opt.get_string("graph", "graph.edges"));
+  const Graph g = load_graph(opt);
   std::cout << g.summary() << "\n";
   const ConnectivityReport conn = analyze_connectivity(g);
   std::cout << "components:        " << conn.num_components << "\n";
@@ -203,15 +259,22 @@ JsonArray sources_json(std::span<const Vertex> sources) {
 }
 
 int cmd_build(const Options& opt) {
-  const Graph g = io::load_edge_list(opt.get_string("graph", "graph.edges"));
+  const Graph g = load_graph(opt);
   const api::BuildSpec spec = spec_from_options(opt);
   const std::string out = opt.get_string("out", "");
   const bool json = opt.has("json");
 
   const api::BuildResult res = api::build(g, spec);
   const FtBfsStructure& h = res.structure;
+  FTB_CHECK_MSG(!(opt.has("v5") && opt.has("v6")),
+                "--v5 and --v6 are mutually exclusive");
   if (!out.empty()) {
-    if (opt.has("v5")) {
+    if (opt.has("v6")) {
+      // The binary container: a section directory over the same logical
+      // sections as v5, 64-byte-aligned payloads, mmap-able on load.
+      io::save_structure_v6(h, res.sources, res.dual_tables,
+                            res.dual_site_dist, out);
+    } else if (opt.has("v5")) {
       // The checksummed framing: every section carries its length and
       // CRC-32C, so storage corruption is caught at load time. The
       // site-dist oracle (when harvested) rides along as its own section.
@@ -220,10 +283,11 @@ int cmd_build(const Options& opt) {
     } else {
       // Dual-failure artifacts ride structure_io v4 with their pair
       // tables; everything else keeps the v2/v3 forms byte-stably. Only
-      // v5 can carry the site-dist section — refuse to drop it silently.
+      // v5 and v6 can carry the site-dist section — refuse to drop it
+      // silently.
       FTB_CHECK_MSG(res.dual_site_dist.empty(),
-                    "--site-dist tables persist only in the v5 framing — "
-                    "add --v5 (or drop --out)");
+                    "--site-dist tables persist only in the v5/v6 framings "
+                    "— add --v5 or --v6 (or drop --out)");
       io::save_structure(h, res.sources, res.dual_tables, out);
     }
   }
@@ -271,7 +335,11 @@ int cmd_build(const Options& opt) {
       per_source.push(row);
     }
     report.set_raw("per_source", per_source.str(2));
-    if (!out.empty()) report.set("out", out);
+    if (!out.empty()) {
+      report.set("out", out)
+          .set("artifact_bytes", file_bytes_of(out))
+          .set("mmap", opt.has("v6"));  // zero-copy-attachable container?
+    }
     std::cout << report.str() << "\n";
     return 0;
   }
@@ -291,7 +359,7 @@ int cmd_build(const Options& opt) {
 }
 
 int cmd_verify(const Options& opt) {
-  const Graph g = io::load_edge_list(opt.get_string("graph", "graph.edges"));
+  const Graph g = load_graph(opt);
   std::vector<Vertex> sources;
   const FtBfsStructure h = io::load_structure(
       g, opt.get_string("structure", "h.ftbfs"), &sources);
@@ -403,7 +471,7 @@ int cmd_verify(const Options& opt) {
 }
 
 int cmd_drill(const Options& opt) {
-  const Graph g = io::load_edge_list(opt.get_string("graph", "graph.edges"));
+  const Graph g = load_graph(opt);
   const std::string path = opt.get_string("structure", "h.ftbfs");
   std::vector<Vertex> sources;
   std::vector<DualSiteTable> tables;
@@ -477,13 +545,99 @@ int cmd_drill(const Options& opt) {
   return rep.violations == 0 ? 0 : 1;
 }
 
+/// convert: re-encode an edge list between the text and binary forms, or
+/// (with --structure) upgrade any v1–v5 structure artifact to the v6
+/// binary container. Either direction round-trips bit-identically through
+/// the canonical Graph, so text→binary→text is a fixed point.
+int cmd_convert(const Options& opt) {
+  const std::string out = opt.get_string("out", "");
+  FTB_CHECK_MSG(!out.empty(), "convert needs --out=PATH");
+  const bool json = opt.has("json");
+  const Graph g = load_graph(opt);
+
+  if (opt.has("structure")) {
+    // Structure upgrade: decode whatever version the artifact speaks
+    // (v1–v6, anchored on --graph) and re-emit the v6 binary container
+    // with every section the artifact carried.
+    const std::string in = opt.get_string("structure", "h.ftbfs");
+    std::vector<Vertex> sources;
+    std::vector<DualSiteTable> tables;
+    std::vector<DualSiteDistTable> site_dist;
+    const FtBfsStructure h = io::load_structure(g, in, &sources, &tables, {},
+                                                nullptr, &site_dist);
+    io::save_structure_v6(h, sources, tables, site_dist, out);
+    const std::int64_t bytes = file_bytes_of(out);
+    if (json) {
+      JsonObject report;
+      report.set("command", std::string("convert"))
+          .set("structure", in)
+          .set("out", out)
+          .set("format", std::string("v6"))
+          .set("artifact_bytes", bytes)
+          .set("mmap", true);
+      std::cout << report.str() << "\n";
+    } else {
+      std::cout << "wrote v6 artifact (" << bytes << " bytes) to " << out
+                << "\n";
+    }
+    return 0;
+  }
+
+  const std::string to = opt.get_string("to", "binary");
+  if (to == "binary") {
+    io::save_binary_edge_list(g, out);
+  } else if (to == "text") {
+    io::save_edge_list(g, out);
+  } else {
+    FTB_CHECK_MSG(false,
+                  "unknown --to '" << to << "' (want binary or text)");
+  }
+  if (json) {
+    JsonObject report;
+    report.set("command", std::string("convert"))
+        .set("out", out)
+        .set("format", to)
+        .set("n", static_cast<std::int64_t>(g.num_vertices()))
+        .set("m", static_cast<std::int64_t>(g.num_edges()))
+        .set("artifact_bytes", file_bytes_of(out));
+    std::cout << report.str() << "\n";
+  } else {
+    std::cout << "wrote " << g.summary() << " to " << out << " (" << to
+              << ")\n";
+  }
+  return 0;
+}
+
 /// fsck: load the artifact into a Session (tolerantly unless --strict) and
 /// audit the serving invariants. Exit 0 clean, 1 degraded-but-correct,
 /// 2 broken (an invariant failed or the load itself threw).
+///
+/// v6 artifacts get an extra file-level pass first: mmap the container and
+/// audit the section directory — alignment, padding, declared sizes, every
+/// CRC-32C — the way a deployment host would before serving it. A refusal
+/// there is reported (and under --strict the Session load will refuse too);
+/// under the tolerant default the Session still gets its chance to degrade
+/// gracefully on droppable sections.
 int cmd_fsck(const Options& opt) {
-  const Graph g = io::load_edge_list(opt.get_string("graph", "graph.edges"));
+  const Graph g = load_graph(opt);
   const std::string path = opt.get_string("structure", "h.ftbfs");
   const bool json = opt.has("json");
+
+  const bool is_v6 = io::is_v6_artifact(path);
+  bool mmap_ok = false;
+  std::int64_t artifact_bytes = -1;
+  std::int64_t sections = 0;
+  std::string container_error;
+  if (is_v6) {
+    try {
+      const io::MappedArtifact art = io::MappedArtifact::map(path);
+      mmap_ok = true;
+      artifact_bytes = static_cast<std::int64_t>(art.file_bytes());
+      sections = static_cast<std::int64_t>(art.directory().size());
+    } catch (const CheckError& e) {
+      container_error = e.what();
+    }
+  }
 
   api::SessionConfig cfg;
   cfg.weight_seed =
@@ -507,7 +661,15 @@ int cmd_fsck(const Options& opt) {
     report.set("command", std::string("fsck"))
         .set("structure", path)
         .set("fault_model", fault_model)
-        .set("ok", rep.ok)
+        .set("mmap", mmap_ok);
+    if (is_v6) {
+      if (artifact_bytes >= 0) report.set("artifact_bytes", artifact_bytes);
+      report.set("sections", sections);
+      if (!container_error.empty()) {
+        report.set("container_error", container_error);
+      }
+    }
+    report.set("ok", rep.ok)
         .set("degraded", rep.degraded)
         .set("checks", rep.checks);
     JsonArray errors;
@@ -522,6 +684,14 @@ int cmd_fsck(const Options& opt) {
     report.set_raw("notes", notes.str(2));
     std::cout << report.str() << "\n";
   } else {
+    if (is_v6) {
+      if (mmap_ok) {
+        std::cout << "v6 container: ok (" << sections << " sections, "
+                  << artifact_bytes << " bytes, directory + CRCs verified)\n";
+      } else {
+        std::cout << "v6 container: REFUSED — " << container_error << "\n";
+      }
+    }
     std::cout << rep.to_string() << "\n";
   }
   if (!rep.ok) return 2;
@@ -529,7 +699,7 @@ int cmd_fsck(const Options& opt) {
 }
 
 int cmd_frontier(const Options& opt) {
-  const Graph g = io::load_edge_list(opt.get_string("graph", "graph.edges"));
+  const Graph g = load_graph(opt);
   const Vertex source = static_cast<Vertex>(opt.get_int("source", 0));
   const GreedyFrontier frontier(g, source);
   const auto& pts = frontier.points();
@@ -560,6 +730,7 @@ int main(int argc, char** argv) {
     if (cmd == "verify") return cmd_verify(opt);
     if (cmd == "drill") return cmd_drill(opt);
     if (cmd == "fsck") return cmd_fsck(opt);
+    if (cmd == "convert") return cmd_convert(opt);
     if (cmd == "frontier") return cmd_frontier(opt);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

@@ -1,14 +1,17 @@
 // io_fuzz — corpus fuzzer for structure_io's zero-trust contract.
 //
-// Starts from one VALID artifact per format version (v1…v5, plus a v5
-// variant carrying the optional site-dist accelerator section), applies
-// seeded random mutations (bit flips, truncations, byte inserts, slice
-// deletes/duplications, line splices) and feeds every mutant to
-// io::read_structure. The only acceptable outcomes, asserted per mutant:
+// Starts from one VALID artifact per format version (v1…v5 text plus the
+// v6 binary container, each dual flavor with and without the optional
+// site-dist accelerator section), applies seeded random mutations (bit
+// flips, truncations, byte inserts, slice deletes/duplications, line
+// splices — and, on v6, targeted directory-entry corruption,
+// section-offset lies and CRC flips) and feeds every mutant to the
+// matching reader (io::read_structure / io::read_structure_v6). The only
+// acceptable outcomes, asserted per mutant:
 //
 //   * clean load — and then the parsed structure must round-trip
 //     bit-identically (write → parse → write gives the same bytes, in
-//     both the legacy and the v5 framing);
+//     the legacy, v5 and v6 framings);
 //   * CheckError — whose message must carry the byte-offset context
 //     ("at byte") the io layer promises.
 //
@@ -26,12 +29,14 @@
 #include <algorithm>
 #include <exception>
 #include <iostream>
+#include <span>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "src/api/ftbfs_api.hpp"
 #include "src/graph/generators.hpp"
+#include "src/io/binary_io.hpp"
 #include "src/io/structure_io.hpp"
 #include "src/util/options.hpp"
 #include "src/util/rng.hpp"
@@ -133,16 +138,35 @@ std::vector<CorpusEntry> build_corpus() {
                            res.dual_site_dist, os);
     corpus.push_back({5, std::move(g), os.str()});
   }
+
+  // v6: the dual artifact in the binary container, with and without the
+  // site-dist section — the directory/alignment/CRC grammar plus both
+  // fixed-width payload grammars.
+  for (const bool with_site_dist : {false, true}) {
+    Graph g = gen::grid_graph(5, 5);
+    api::BuildSpec spec;
+    spec.fault_model = FaultClass::kDual;
+    spec.site_dist_oracle = with_site_dist;
+    const api::BuildResult res = api::build(g, spec);
+    std::string bytes = io::write_structure_v6_bytes(
+        res.structure, res.sources, res.dual_tables, res.dual_site_dist);
+    corpus.push_back({6, std::move(g), std::move(bytes)});
+  }
   return corpus;
 }
 
-/// One seeded mutant: 1–3 structural edits of the valid artifact.
-std::string mutate(const std::string& base, Rng& rng) {
+/// One seeded mutant: 1–3 structural edits of the valid artifact. For the
+/// v6 binary container (version >= 6) three extra targeted ops join the
+/// pool: directory-entry corruption, section-offset lies and CRC flips —
+/// the mutations a generic bit flip rarely lands on because the directory
+/// is a tiny fraction of the file.
+std::string mutate(const std::string& base, int version, Rng& rng) {
   std::string m = base;
   const std::uint64_t ops = 1 + rng.next_below(3);
+  const std::uint64_t op_kinds = version >= 6 ? 9 : 6;
   for (std::uint64_t o = 0; o < ops; ++o) {
     if (m.empty()) break;
-    switch (rng.next_below(6)) {
+    switch (rng.next_below(op_kinds)) {
       case 0: {  // bit flip
         const std::size_t p = rng.next_below(m.size());
         m[p] = static_cast<char>(
@@ -182,24 +206,81 @@ std::string mutate(const std::string& base, Rng& rng) {
         m += m.substr(start, end - start);
         break;
       }
+      // v6-only targeted ops. The directory lives at [64, 64 + count*40):
+      // per entry {name[16], u64 offset, u64 bytes, u32 crc32c, u32 rsvd}.
+      case 6: {  // directory corruption: flip a byte inside the directory
+        if (m.size() <= 64) break;
+        const std::size_t count =
+            static_cast<unsigned char>(m[12]);  // section_count low byte
+        const std::size_t dir_end =
+            std::min(m.size(), 64 + std::max<std::size_t>(count, 1) * 40);
+        const std::size_t p = 64 + rng.next_below(dir_end - 64);
+        m[p] = static_cast<char>(
+            static_cast<unsigned char>(m[p]) ^ (1u << rng.next_below(8)));
+        break;
+      }
+      case 7: {  // section-offset lie: rewrite one entry's u64 offset
+        if (m.size() <= 64) break;
+        const std::size_t count =
+            std::max<std::size_t>(static_cast<unsigned char>(m[12]), 1);
+        const std::size_t entry = rng.next_below(count);
+        const std::size_t at = 64 + entry * 40 + 16;  // offset field
+        if (at + 8 > m.size()) break;
+        // Lies worth telling: swap to another section's offset, point past
+        // EOF, or drop the 64-byte alignment.
+        std::uint64_t lie = rng.next_below(3) == 0
+                                ? m.size() + rng.next_below(4096)
+                                : rng.next_below(m.size() + 64);
+        for (int b = 0; b < 8; ++b) {
+          m[at + static_cast<std::size_t>(b)] =
+              static_cast<char>(lie >> (8 * b));
+        }
+        break;
+      }
+      case 8: {  // CRC flip: directory-entry crc32c or the directory CRC
+        if (m.size() <= 64) break;
+        const std::size_t count =
+            std::max<std::size_t>(static_cast<unsigned char>(m[12]), 1);
+        std::size_t at;
+        if (rng.next_below(count + 1) == count) {
+          at = 16;  // header's directory_crc
+        } else {
+          at = 64 + rng.next_below(count) * 40 + 32;  // entry crc32c
+        }
+        if (at + 4 > m.size()) break;
+        const std::size_t p = at + rng.next_below(4);
+        m[p] = static_cast<char>(
+            static_cast<unsigned char>(m[p]) ^ (1u << rng.next_below(8)));
+        break;
+      }
     }
   }
   return m;
 }
 
-/// Parses `bytes` against `g` with the given options. Returns true when
-/// the load was clean; rejections must be CheckError with offset context
-/// (anything else aborts the fuzz run via the caller's catch).
-bool parse(const Graph& g, const std::string& bytes,
+/// Parses `bytes` against `g` with the given options, dispatching to the
+/// reader matching the corpus entry's format family (text up to v5, the
+/// binary container from v6). Returns true when the load was clean;
+/// rejections must be CheckError with offset context (anything else aborts
+/// the fuzz run via the caller's catch).
+bool parse(int version, const Graph& g, const std::string& bytes,
            const io::ReadOptions& opts, FtBfsStructure* out,
            std::vector<Vertex>* sources, std::vector<DualSiteTable>* tables,
            std::vector<DualSiteDistTable>* site_dist,
            std::string* reject_msg) {
-  std::istringstream is(bytes);
   try {
     io::LoadReport report;
-    FtBfsStructure h = io::read_structure(g, is, sources, tables, opts,
-                                          &report, site_dist);
+    FtBfsStructure h = [&] {
+      if (version >= 6) {
+        return io::read_structure_v6(
+            g, std::as_bytes(std::span<const char>(bytes.data(),
+                                                   bytes.size())),
+            sources, tables, opts, &report, site_dist);
+      }
+      std::istringstream is(bytes);
+      return io::read_structure(g, is, sources, tables, opts, &report,
+                                site_dist);
+    }();
     if (out != nullptr) *out = std::move(h);
     return true;
   } catch (const CheckError& e) {
@@ -209,36 +290,46 @@ bool parse(const Graph& g, const std::string& bytes,
 }
 
 /// The accepted-mutant invariant: write → parse → write is a fixed point,
-/// in the legacy framing and in v5.
+/// in the legacy framing, in v5 and in the v6 binary container.
 bool roundtrips(const Graph& g, const FtBfsStructure& h,
                 const std::vector<Vertex>& sources,
                 const std::vector<DualSiteTable>& tables,
                 const std::vector<DualSiteDistTable>& site_dist,
                 std::string* why) {
-  const auto canonical = [&](bool v5, const FtBfsStructure& hh,
+  enum Mode { kLegacy = 0, kV5 = 1, kV6 = 2 };
+  const auto canonical = [&](Mode mode, const FtBfsStructure& hh,
                              const std::vector<Vertex>& ss,
                              const std::vector<DualSiteTable>& tt,
                              const std::vector<DualSiteDistTable>& sd) {
+    if (mode == kV6) return io::write_structure_v6_bytes(hh, ss, tt, sd);
     std::ostringstream os;
-    if (v5) {
+    if (mode == kV5) {
       io::write_structure_v5(hh, ss, tt, sd, os);
     } else {
       io::write_structure(hh, ss, tt, os);
     }
     return os.str();
   };
-  for (const bool v5 : {false, true}) {
-    const std::string w1 = canonical(v5, h, sources, tables, site_dist);
-    std::istringstream is(w1);
+  for (const Mode mode : {kLegacy, kV5, kV6}) {
+    const std::string w1 = canonical(mode, h, sources, tables, site_dist);
     std::vector<Vertex> s2;
     std::vector<DualSiteTable> t2;
     std::vector<DualSiteDistTable> sd2;
     try {
-      const FtBfsStructure h2 =
-          io::read_structure(g, is, &s2, &t2, {}, nullptr, &sd2);
-      const std::string w2 = canonical(v5, h2, s2, t2, sd2);
+      const FtBfsStructure h2 = [&] {
+        if (mode == kV6) {
+          return io::read_structure_v6(
+              g, std::as_bytes(std::span<const char>(w1.data(), w1.size())),
+              &s2, &t2, {}, nullptr, &sd2);
+        }
+        std::istringstream is(w1);
+        return io::read_structure(g, is, &s2, &t2, {}, nullptr, &sd2);
+      }();
+      const std::string w2 = canonical(mode, h2, s2, t2, sd2);
       if (w1 != w2) {
-        *why = v5 ? "v5 re-write differs" : "legacy re-write differs";
+        *why = mode == kV6   ? "v6 re-write differs"
+               : mode == kV5 ? "v5 re-write differs"
+                             : "legacy re-write differs";
         return false;
       }
     } catch (const std::exception& e) {
@@ -267,8 +358,8 @@ int main(int argc, char** argv) {
       std::vector<DualSiteTable> tables;
       std::vector<DualSiteDistTable> site_dist;
       std::string msg;
-      if (!parse(entry.graph, entry.bytes, {}, &h, &sources, &tables,
-                 &site_dist, &msg)) {
+      if (!parse(entry.version, entry.graph, entry.bytes, {}, &h, &sources,
+                 &tables, &site_dist, &msg)) {
         std::cerr << "io_fuzz: v" << entry.version
                   << " corpus artifact rejected: " << msg << "\n";
         return 1;
@@ -284,7 +375,7 @@ int main(int argc, char** argv) {
     Rng rng(seed ^ (0x10f0f0f0ULL * static_cast<std::uint64_t>(
                                         entry.version)));
     for (std::int64_t i = 0; i < mutations; ++i) {
-      const std::string mutant = mutate(entry.bytes, rng);
+      const std::string mutant = mutate(entry.bytes, entry.version, rng);
       for (const bool tolerant : {false, true}) {
         io::ReadOptions opts;
         opts.tolerate_pair_tables = tolerant;
@@ -295,8 +386,8 @@ int main(int argc, char** argv) {
         std::vector<DualSiteDistTable> site_dist;
         std::string msg;
         try {
-          if (parse(entry.graph, mutant, opts, &h, &sources, &tables,
-                    &site_dist, &msg)) {
+          if (parse(entry.version, entry.graph, mutant, opts, &h, &sources,
+                    &tables, &site_dist, &msg)) {
             ++accepted;
             std::string why;
             if (!roundtrips(entry.graph, h, sources, tables, site_dist,
