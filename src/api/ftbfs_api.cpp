@@ -19,8 +19,10 @@
 #include "src/core/vertex_ftbfs.hpp"
 #include "src/graph/bfs_kernel.hpp"
 #include "src/graph/bfs_tree.hpp"
+#include "src/graph/multi_source_bfs_kernel.hpp"
 #include "src/io/binary_io.hpp"
 #include "src/io/structure_io.hpp"
+#include "src/util/free_list_pool.hpp"
 #include "src/util/timer.hpp"
 
 namespace ftb::api {
@@ -52,6 +54,7 @@ EpsilonOptions BuildSpec::epsilon_options() const {
   opts.disable_s2_light_flush = disable_s2_light_flush;
   opts.disable_s2_crossings = disable_s2_crossings;
   opts.reference_kernel = reference_kernel;
+  opts.bit_parallel = bit_parallel;
   return opts;
 }
 
@@ -60,6 +63,7 @@ VertexFtBfsOptions BuildSpec::vertex_options() const {
   opts.weight_seed = weight_seed;
   opts.pool = pool;
   opts.reference_kernel = reference_kernel;
+  opts.bit_parallel = bit_parallel;
   return opts;
 }
 
@@ -68,6 +72,7 @@ DualFtBfsOptions BuildSpec::dual_options() const {
   opts.weight_seed = weight_seed;
   opts.pool = pool;
   opts.reference_kernel = reference_kernel;
+  opts.bit_parallel = bit_parallel;
   opts.unpruned_dual = unpruned_dual;
   opts.site_dist_oracle = site_dist_oracle;
   return opts;
@@ -166,74 +171,9 @@ struct WhatIfArena {
   std::int32_t cached_fault2 = -1;
 };
 
-/// Lock-free free list of pooled scratch objects: a bounded array of
-/// atomic slots, each holding either null or a uniquely-owned pointer.
-/// acquire() claims a slot's pointer with one exchange, release() parks it
-/// back with one CAS — no mutex on the serving path, and no ABA window
-/// because a slot never holds the same pointer twice while anyone still
-/// references it (ownership transfers whole with the exchange). An empty
-/// pool allocates; a full pool deletes — both only off the warm path, so
-/// steady-state serving is allocation-free.
-template <class T>
-class FreeListPool {
- public:
-  FreeListPool() = default;
-  FreeListPool(const FreeListPool&) = delete;
-  FreeListPool& operator=(const FreeListPool&) = delete;
-  ~FreeListPool() {
-    for (auto& slot : slots_) {
-      delete slot.load(std::memory_order_relaxed);
-    }
-  }
-
-  std::unique_ptr<T> acquire() const {
-    for (auto& slot : slots_) {
-      if (slot.load(std::memory_order_relaxed) == nullptr) continue;
-      if (T* p = slot.exchange(nullptr, std::memory_order_acq_rel)) {
-        return std::unique_ptr<T>(p);
-      }
-    }
-    return std::make_unique<T>();
-  }
-
-  void release(std::unique_ptr<T> obj) const {
-    T* p = obj.release();
-    for (auto& slot : slots_) {
-      if (slot.load(std::memory_order_relaxed) != nullptr) continue;
-      T* expected = nullptr;
-      if (slot.compare_exchange_strong(expected, p,
-                                       std::memory_order_acq_rel,
-                                       std::memory_order_relaxed)) {
-        return;
-      }
-    }
-    delete p;  // pool full — more objects than slots only under churn
-  }
-
- private:
-  // 64 slots comfortably exceed any plausible worker count; front-first
-  // scans keep the hottest object (and its cached traversal) circulating.
-  static constexpr std::size_t kSlots = 64;
-  mutable std::array<std::atomic<T*>, kSlots> slots_{};
-};
-
-/// RAII lease so an exception inside a shard cannot leak the object.
-template <class T>
-class PoolLease {
- public:
-  explicit PoolLease(const FreeListPool<T>& pool)
-      : pool_(&pool), obj_(pool.acquire()) {}
-  ~PoolLease() { pool_->release(std::move(obj_)); }
-  PoolLease(const PoolLease&) = delete;
-  PoolLease& operator=(const PoolLease&) = delete;
-  T& operator*() const { return *obj_; }
-  T* operator->() const { return obj_.get(); }
-
- private:
-  const FreeListPool<T>* pool_;
-  std::unique_ptr<T> obj_;
-};
-
+// The pooled-scratch machinery (FreeListPool + PoolLease) moved to
+// src/util/free_list_pool.hpp so the multi-source kernel's lane scratch can
+// ride the same lock-free free list as the what-if arenas.
 using ArenaLease = PoolLease<WhatIfArena>;
 
 /// One traversal group of a batch: every query naming the same normalized
@@ -361,7 +301,8 @@ struct Session::Impl {
        std::vector<std::string> load_drops = {},
        std::vector<DualSiteDistTable> site_dist = {},
        bool want_site_dist = false,
-       std::vector<std::string> accel_drops = {})
+       std::vector<std::string> accel_drops = {},
+       bool bit_parallel = true)
       : g(&graph),
         model(h.fault_class()),
         sources(std::move(srcs)),
@@ -374,7 +315,22 @@ struct Session::Impl {
         degradation(std::move(load_drops)),
         accel_notes(std::move(accel_drops)) {
     trees.reserve(sources.size());
-    for (const Vertex s : sources) trees.emplace_back(graph, weights, s);
+    if (bit_parallel && sources.size() >= 2) {
+      // One fused kernel sweep rebuilds every per-source canonical label
+      // set; the adoption ctor below is bit-identical to the scalar
+      // per-source rebuild, so the tree-union check still guards the
+      // weight_seed contract.
+      std::vector<BfsLane> lanes(sources.size());
+      for (std::size_t i = 0; i < sources.size(); ++i) {
+        lanes[i].source = sources[i];
+      }
+      std::vector<CanonicalSp> sps = ms_canonical_sp(graph, weights, lanes);
+      for (std::size_t i = 0; i < sources.size(); ++i) {
+        trees.emplace_back(graph, weights, sources[i], std::move(sps[i]));
+      }
+    } else {
+      for (const Vertex s : sources) trees.emplace_back(graph, weights, s);
+    }
 
     // The rebuilt canonical trees must be exactly the trees the structure
     // was built around — otherwise the engines' tables answer for a
@@ -432,7 +388,7 @@ struct Session::Impl {
           DualSiteDistTable sd;
           fresh.push_back(detail::build_dual_site_table(
               t, pool, /*reference_kernel=*/false, nullptr,
-              /*unpruned=*/false, need_sd ? &sd : nullptr));
+              /*unpruned=*/false, need_sd ? &sd : nullptr, bit_parallel));
           if (need_sd) dual_site_dist.push_back(std::move(sd));
         }
         if (need_tables) {
@@ -677,7 +633,8 @@ Session Session::deploy(const Graph& g, BuildResult result) {
       g, std::move(result.structure), std::move(result.sources),
       result.spec.weight_seed, result.spec.pool,
       std::move(result.dual_tables), std::vector<std::string>{},
-      std::move(result.dual_site_dist), result.spec.site_dist_oracle));
+      std::move(result.dual_site_dist), result.spec.site_dist_oracle,
+      std::vector<std::string>{}, result.spec.bit_parallel));
 }
 
 Session Session::load(const Graph& g, const std::string& path,
@@ -702,7 +659,7 @@ Session Session::load(const Graph& g, const std::string& path,
   return Session(std::make_shared<const Impl>(
       g, std::move(h), std::move(sources), cfg.weight_seed, cfg.pool,
       std::move(tables), std::move(degrade_drops), std::move(site_dist),
-      cfg.site_dist_oracle, std::move(accel_drops)));
+      cfg.site_dist_oracle, std::move(accel_drops), cfg.bit_parallel));
 }
 
 void Session::save(const std::string& path) const {

@@ -84,6 +84,11 @@ struct BuildSpec {
   /// Run the naive reference kernels (differential testing / bench
   /// baseline; output is bit-identical either way).
   bool reference_kernel = false;
+  /// Fuse multi-source canonical-tree builds (and the unpruned dual's
+  /// per-site punctured rebuilds) into bit-parallel kernel sweeps. Output
+  /// is bit-identical either way; off is the scalar escape hatch for
+  /// differential testing. Single-source non-dual builds ignore it.
+  bool bit_parallel = true;
   /// Dual model only: build the unpruned PR 4 recursion (full punctured
   /// structure per first-failure site) instead of the segment-pruned,
   /// prefix-reusing default. The unpruned build is the differential
@@ -277,6 +282,11 @@ struct SessionConfig {
   /// the graph when absent or dropped. Off by default — loading then
   /// attaches a shipped section for free but never pays a rebuild.
   bool site_dist_oracle = false;
+  /// Fuse the per-source canonical-tree rebuilds (and any dual pair-table
+  /// rebuild this session has to pay) into bit-parallel kernel sweeps.
+  /// Served answers are bit-identical either way; off is the scalar
+  /// escape hatch for differential testing.
+  bool bit_parallel = true;
 };
 
 /// What Session::fsck() found. `ok` means every audited invariant held;

@@ -9,6 +9,7 @@
 
 #include "src/core/dist_sweep.hpp"
 #include "src/core/validate.hpp"
+#include "src/graph/multi_source_bfs_kernel.hpp"
 #include "src/util/rng.hpp"
 
 namespace ftb {
@@ -91,7 +92,8 @@ DualSiteTable detail::build_dual_site_table(const BfsTree& tree,
                                             bool reference_kernel,
                                             std::vector<EdgeId>* edges_out,
                                             bool unpruned,
-                                            DualSiteDistTable* site_dist_out) {
+                                            DualSiteDistTable* site_dist_out,
+                                            bool bit_parallel) {
   const Graph& g = tree.graph();
   const EdgeWeights& W = tree.weights();
   ThreadPool& pool = pool_ptr != nullptr ? *pool_ptr : ThreadPool::global();
@@ -114,31 +116,33 @@ DualSiteTable detail::build_dual_site_table(const BfsTree& tree,
   std::vector<std::vector<EdgeId>> subsets(table.sites.size());
   std::vector<SiteDistRows> site_dist_rows(
       site_dist_out != nullptr ? table.sites.size() : 0);
-  pool.parallel_for(table.sites.size(), [&](std::size_t i) {
+
+  const auto site_fault = [&](std::size_t i, EdgeId* fe, Vertex* fv,
+                              Vertex* top) {
     const DualSite f = table.sites[i];
-    const EdgeId fe =
-        f.kind == FaultClass::kEdge ? f.id : kInvalidEdge;
-    const Vertex fv =
-        f.kind == FaultClass::kVertex ? f.id : kInvalidVertex;
-    const Vertex top =
-        f.kind == FaultClass::kEdge ? tree.lower_endpoint(fe) : fv;
+    *fe = f.kind == FaultClass::kEdge ? f.id : kInvalidEdge;
+    *fv = f.kind == FaultClass::kVertex ? f.id : kInvalidVertex;
+    *top = f.kind == FaultClass::kEdge ? tree.lower_endpoint(*fe) : *fv;
+  };
 
-    FaultReplacementEngine<EdgeFault>::Config ec;
-    FaultReplacementEngine<VertexFault>::Config vc;
-    ec.collect_detours = vc.collect_detours = false;  // only last edges
-    ec.pool = vc.pool = pool_ptr;
-    ec.reference_kernel = vc.reference_kernel = reference_kernel;
-    ec.ambient_banned_edge = vc.ambient_banned_edge = fe;
-    ec.ambient_banned_vertex = vc.ambient_banned_vertex = fv;
-
-    std::vector<EdgeId>& sub = subsets[i];
-    if (unpruned) {
-      BfsBans bans;
-      bans.banned_edge = fe;
-      bans.banned_vertex_one = fv;
-      const BfsTree tf(g, W, tree.source(), bans);
+  if (unpruned) {
+    // Unpruned (the PR 4 referee): full punctured tree build, full
+    // engines, subset = T_f ∪ all last edges. Shared per-site body; the
+    // caller hands in the punctured tree T_f.
+    const auto run_site = [&](std::size_t i, const BfsTree& tf) {
+      EdgeId fe;
+      Vertex fv, top;
+      site_fault(i, &fe, &fv, &top);
+      FaultReplacementEngine<EdgeFault>::Config ec;
+      FaultReplacementEngine<VertexFault>::Config vc;
+      ec.collect_detours = vc.collect_detours = false;  // only last edges
+      ec.pool = vc.pool = pool_ptr;
+      ec.reference_kernel = vc.reference_kernel = reference_kernel;
+      ec.ambient_banned_edge = vc.ambient_banned_edge = fe;
+      ec.ambient_banned_vertex = vc.ambient_banned_vertex = fv;
       const FaultReplacementEngine<EdgeFault> ee(tf, ec);
       const FaultReplacementEngine<VertexFault> ve(tf, vc);
+      std::vector<EdgeId>& sub = subsets[i];
       sub = tf.tree_edges();
       for (const UncoveredPair& p : ee.uncovered_pairs()) {
         sub.push_back(p.last_edge);
@@ -150,29 +154,88 @@ DualSiteTable detail::build_dual_site_table(const BfsTree& tree,
       if (site_dist_out != nullptr) {
         harvest_site_dist(tree, top, tf, ee, ve, site_dist_rows[i]);
       }
-      return;
-    }
+    };
 
-    const std::span<const Vertex> affected = tree.subtree(top);
-    const BfsTree tf = rebase_punctured_tree(tree, fe, fv);
-    ec.restrict_terminals = vc.restrict_terminals = affected;
-    const FaultReplacementEngine<EdgeFault> ee(tf, ec);
-    const FaultReplacementEngine<VertexFault> ve(tf, vc);
+    if (bit_parallel && table.sites.size() >= 2) {
+      // Bit-parallel: the per-site punctured canonical rebuilds all share
+      // the source and differ only in their one-failure bans — exactly one
+      // kernel lane each. Batch sites in ≤64-lane groups (one lane word),
+      // fuse each group's hop phase into one sweep, then run the engines
+      // per site on the pool. Labels adopted via the rebase seam are
+      // bit-identical to the scalar punctured build.
+      for (std::size_t g0 = 0; g0 < table.sites.size(); g0 += 64) {
+        const std::size_t cnt =
+            std::min<std::size_t>(64, table.sites.size() - g0);
+        std::vector<BfsLane> lanes(cnt);
+        for (std::size_t i = 0; i < cnt; ++i) {
+          EdgeId fe;
+          Vertex fv, top;
+          site_fault(g0 + i, &fe, &fv, &top);
+          lanes[i].source = tree.source();
+          lanes[i].bans.banned_edge = fe;
+          lanes[i].bans.banned_vertex_one = fv;
+        }
+        std::vector<CanonicalSp> sps = ms_canonical_sp(g, W, lanes);
+        pool.parallel_for(cnt, [&](std::size_t i) {
+          const BfsTree tf(g, W, tree.source(), std::move(sps[i]));
+          run_site(g0 + i, tf);
+        });
+      }
+    } else {
+      pool.parallel_for(table.sites.size(), [&](std::size_t i) {
+        EdgeId fe;
+        Vertex fv, top;
+        site_fault(i, &fe, &fv, &top);
+        BfsBans bans;
+        bans.banned_edge = fe;
+        bans.banned_vertex_one = fv;
+        const BfsTree tf(g, W, tree.source(), bans);
+        run_site(i, tf);
+      });
+    }
+  } else {
+    // Pruned (default): the punctured tree is REBASED from T0 (only the
+    // affected subtree is relabeled) and the engines are restricted to the
+    // affected terminals, so a site costs its subtree's volume; the subset
+    // keeps only the segment those terminals consume — their T_f parent
+    // edges plus their uncovered-pair last edges (see the file comment's
+    // induction for why that is sufficient). Already incremental, so the
+    // bit-parallel knob has nothing to fuse here.
+    pool.parallel_for(table.sites.size(), [&](std::size_t i) {
+      EdgeId fe;
+      Vertex fv, top;
+      site_fault(i, &fe, &fv, &top);
 
-    for (const Vertex v : affected) {
-      if (tf.reachable(v)) sub.push_back(tf.parent_edge(v));
-    }
-    for (const UncoveredPair& p : ee.uncovered_pairs()) {
-      sub.push_back(p.last_edge);
-    }
-    for (const VertexFaultPair& p : ve.uncovered_pairs()) {
-      sub.push_back(p.last_edge);
-    }
-    sort_unique(sub);
-    if (site_dist_out != nullptr) {
-      harvest_site_dist(tree, top, tf, ee, ve, site_dist_rows[i]);
-    }
-  });
+      FaultReplacementEngine<EdgeFault>::Config ec;
+      FaultReplacementEngine<VertexFault>::Config vc;
+      ec.collect_detours = vc.collect_detours = false;  // only last edges
+      ec.pool = vc.pool = pool_ptr;
+      ec.reference_kernel = vc.reference_kernel = reference_kernel;
+      ec.ambient_banned_edge = vc.ambient_banned_edge = fe;
+      ec.ambient_banned_vertex = vc.ambient_banned_vertex = fv;
+
+      std::vector<EdgeId>& sub = subsets[i];
+      const std::span<const Vertex> affected = tree.subtree(top);
+      const BfsTree tf = rebase_punctured_tree(tree, fe, fv);
+      ec.restrict_terminals = vc.restrict_terminals = affected;
+      const FaultReplacementEngine<EdgeFault> ee(tf, ec);
+      const FaultReplacementEngine<VertexFault> ve(tf, vc);
+
+      for (const Vertex v : affected) {
+        if (tf.reachable(v)) sub.push_back(tf.parent_edge(v));
+      }
+      for (const UncoveredPair& p : ee.uncovered_pairs()) {
+        sub.push_back(p.last_edge);
+      }
+      for (const VertexFaultPair& p : ve.uncovered_pairs()) {
+        sub.push_back(p.last_edge);
+      }
+      sort_unique(sub);
+      if (site_dist_out != nullptr) {
+        harvest_site_dist(tree, top, tf, ee, ve, site_dist_rows[i]);
+      }
+    });
+  }
 
   // Deterministic flatten (site order is already canonical).
   table.offsets.assign(table.sites.size() + 1, 0);
@@ -231,12 +294,15 @@ DualBuildResult detail::build_dual_failure_ftbfs_impl(
   detail::check_source(g, source);
   const EdgeWeights weights =
       EdgeWeights::uniform_random(g, opts.weight_seed);
-  const BfsTree tree(g, weights, source);
+  const BfsTree tree = opts.prebuilt_sp != nullptr
+                           ? BfsTree(g, weights, source,
+                                     CanonicalSp(*opts.prebuilt_sp))
+                           : BfsTree(g, weights, source);
   std::vector<EdgeId> edges;
   DualSiteDistTable site_dist;
   DualSiteTable table = detail::build_dual_site_table(
       tree, opts.pool, opts.reference_kernel, &edges, opts.unpruned_dual,
-      opts.site_dist_oracle ? &site_dist : nullptr);
+      opts.site_dist_oracle ? &site_dist : nullptr, opts.bit_parallel);
   FtBfsStructure h(g, source, std::move(edges), /*reinforced=*/{},
                    tree.tree_edges(), FaultClass::kDual);
   return DualBuildResult{std::move(h), std::move(table),
@@ -253,8 +319,27 @@ DualMultiSourceResult detail::build_dual_failure_ftmbfs_impl(
   std::vector<DualSiteDistTable> per_source_site_dist;
   per_source.reserve(sources.size());
   if (opts.site_dist_oracle) per_source_site_dist.reserve(sources.size());
-  for (const Vertex s : sources) {
-    DualBuildResult r = detail::build_dual_failure_ftbfs_impl(g, s, opts);
+  // Bit-parallel: fuse the per-source T0 builds into one kernel sweep and
+  // hand each per-source build its prebuilt canonical labels. CanonicalSp is
+  // self-contained, so the locally scoped weights table is safe — each
+  // per-source impl rebuilds the identical table from the same seed.
+  std::vector<CanonicalSp> sps;
+  const bool fuse = opts.bit_parallel && sources.size() >= 2 &&
+                    opts.prebuilt_sp == nullptr;
+  if (fuse) {
+    const EdgeWeights weights =
+        EdgeWeights::uniform_random(g, opts.weight_seed);
+    std::vector<BfsLane> lanes(sources.size());
+    for (std::size_t i = 0; i < sources.size(); ++i) {
+      lanes[i].source = sources[i];
+    }
+    sps = ms_canonical_sp(g, weights, lanes);
+  }
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    const Vertex s = sources[i];
+    DualFtBfsOptions per = opts;
+    if (fuse) per.prebuilt_sp = &sps[i];
+    DualBuildResult r = detail::build_dual_failure_ftbfs_impl(g, s, per);
     edges.insert(edges.end(), r.structure.edges().begin(),
                  r.structure.edges().end());
     tree_edges.insert(tree_edges.end(), r.structure.tree_edges().begin(),

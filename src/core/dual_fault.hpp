@@ -169,6 +169,14 @@ struct DualFtBfsOptions {
   /// traversal-free. Off by default: it costs extra memory proportional to
   /// the tree volume.
   bool site_dist_oracle = false;
+  /// Fuse multi-source (σ ≥ 2) T0 hop phases — and, under unpruned_dual,
+  /// the per-site punctured canonical rebuilds (same source, per-lane bans)
+  /// — into bit-parallel sweeps (multi_source_bfs_kernel.hpp). Off = scalar
+  /// passes; structures and tables are bit-identical either way.
+  bool bit_parallel = true;
+  /// Internal fusion seam: adopt these already-computed canonical labels
+  /// for T0 (see EpsilonOptions::prebuilt_sp). Must outlive the call.
+  const CanonicalSp* prebuilt_sp = nullptr;
 };
 
 /// What the dual-failure pipeline emits: the structure (tagged kDual) plus
@@ -207,11 +215,17 @@ DualMultiSourceResult build_dual_failure_ftmbfs_impl(
 /// `site_dist_out` is non-null the site-local distance tables are harvested
 /// from the punctured engines in the same pass (valid for the pruned and
 /// the unpruned construction alike — the harvested rows are identical).
+/// `bit_parallel` batches the unpruned referee's per-site punctured
+/// canonical rebuilds (same source, one {edge, vertex} ban pair per lane)
+/// through the bit-parallel kernel in ≤64-lane groups; the pruned branch
+/// rebases incrementally and ignores the knob. Output is bit-identical
+/// either way.
 DualSiteTable build_dual_site_table(const BfsTree& tree, ThreadPool* pool,
                                     bool reference_kernel,
                                     std::vector<EdgeId>* edges_out,
                                     bool unpruned = false,
-                                    DualSiteDistTable* site_dist_out = nullptr);
+                                    DualSiteDistTable* site_dist_out = nullptr,
+                                    bool bit_parallel = true);
 }  // namespace detail
 
 /// Reusable scratch for DualFaultOracle::dist: the BFS arena plus the

@@ -119,7 +119,13 @@ EpsilonResult detail::build_epsilon_ftbfs_impl(const Graph& g, Vertex source,
   st.eps = opts.eps;
 
   const EdgeWeights weights = EdgeWeights::uniform_random(g, opts.weight_seed);
-  const BfsTree tree(g, weights, source);
+  // A multi-source caller may have fused this source's canonical hop phase
+  // into a bit-parallel sweep already; adopting those labels is
+  // bit-identical to the scalar canonical BFS.
+  const BfsTree tree = opts.prebuilt_sp != nullptr
+                           ? BfsTree(g, weights, source,
+                                     CanonicalSp(*opts.prebuilt_sp))
+                           : BfsTree(g, weights, source);
 
   // ε = 0: reinforce the whole tree, no backup at all.
   if (opts.eps == 0.0) {

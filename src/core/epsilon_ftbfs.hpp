@@ -36,6 +36,8 @@
 
 namespace ftb {
 
+struct CanonicalSp;  // canonical_bfs.hpp
+
 struct EpsilonOptions {
   /// The tradeoff exponent ε ∈ [0, 1].
   double eps = 0.25;
@@ -61,6 +63,19 @@ struct EpsilonOptions {
   /// direction-optimizing scratch-arena kernels. The produced structure is
   /// bit-identical; this is the bench baseline / differential-testing knob.
   bool reference_kernel = false;
+
+  /// Multi-source builds (σ ≥ 2) fuse the per-source canonical hop phases
+  /// into one bit-parallel sweep (multi_source_bfs_kernel.hpp). Off = run σ
+  /// scalar passes — the reference_kernel-style escape hatch; the produced
+  /// structures are bit-identical either way. Single-source builds ignore
+  /// the knob.
+  bool bit_parallel = true;
+
+  /// Internal fusion seam: adopt these already-computed canonical labels
+  /// (exactly canonical_sp(g, weights, source) for this impl's weight seed)
+  /// instead of paying the O(m) canonical BFS. Set by the multi-source
+  /// pipelines after the fused sweep; must outlive the call.
+  const CanonicalSp* prebuilt_sp = nullptr;
 };
 
 /// Construction telemetry — one row of every benchmark table.

@@ -15,6 +15,8 @@
 
 namespace ftb {
 
+struct CanonicalSp;  // canonical_bfs.hpp
+
 struct FtBfsOptions {
   /// Seed of the tie-breaking weight assignment W.
   std::uint64_t weight_seed = 0x5EED0001ULL;
@@ -22,6 +24,9 @@ struct FtBfsOptions {
   /// Run the engine on the naive reference kernels (bench baseline /
   /// differential testing; output is bit-identical either way).
   bool reference_kernel = false;
+  /// Internal fusion seam: adopt these already-computed canonical labels
+  /// (see EpsilonOptions::prebuilt_sp). Must outlive the call.
+  const CanonicalSp* prebuilt_sp = nullptr;
 };
 
 namespace detail {

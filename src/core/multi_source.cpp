@@ -2,8 +2,34 @@
 
 #include "src/core/validate.hpp"
 #include "src/core/verifier.hpp"
+#include "src/graph/multi_source_bfs_kernel.hpp"
 
 namespace ftb {
+
+namespace {
+
+/// Fused canonical labels for every source, or empty when the fusion gate
+/// is off (knob disabled, a single source, or a caller-supplied prebuilt
+/// label set already in play). CanonicalSp is self-contained, so the local
+/// weights table can die here — each per-source impl rebuilds the identical
+/// table from the same seed.
+std::vector<CanonicalSp> fused_source_sps(const Graph& g,
+                                          const std::vector<Vertex>& sources,
+                                          std::uint64_t weight_seed,
+                                          bool bit_parallel,
+                                          const CanonicalSp* prebuilt_sp) {
+  if (!bit_parallel || sources.size() < 2 || prebuilt_sp != nullptr) {
+    return {};
+  }
+  const EdgeWeights weights = EdgeWeights::uniform_random(g, weight_seed);
+  std::vector<BfsLane> lanes(sources.size());
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    lanes[i].source = sources[i];
+  }
+  return ms_canonical_sp(g, weights, lanes);
+}
+
+}  // namespace
 
 MultiSourceResult detail::build_epsilon_ftmbfs_impl(
     const Graph& g, const std::vector<Vertex>& sources,
@@ -22,8 +48,13 @@ MultiSourceResult detail::build_epsilon_ftmbfs_impl(
   tree_edges.reserve(sources.size() *
                      static_cast<std::size_t>(g.num_vertices()));
 
-  for (const Vertex s : sources) {
-    EpsilonResult res = detail::build_epsilon_ftbfs_impl(g, s, opts);
+  const std::vector<CanonicalSp> sps = fused_source_sps(
+      g, sources, opts.weight_seed, opts.bit_parallel, opts.prebuilt_sp);
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    const Vertex s = sources[i];
+    EpsilonOptions per = opts;
+    if (!sps.empty()) per.prebuilt_sp = &sps[i];
+    EpsilonResult res = detail::build_epsilon_ftbfs_impl(g, s, per);
     const FtBfsStructure& h = res.structure;
     edges.insert(edges.end(), h.edges().begin(), h.edges().end());
     reinforced.insert(reinforced.end(), h.reinforced().begin(),
@@ -48,8 +79,13 @@ MultiSourceResult detail::build_vertex_ftmbfs_impl(
   tree_edges.reserve(sources.size() *
                      static_cast<std::size_t>(g.num_vertices()));
 
-  for (const Vertex s : sources) {
-    const FtBfsStructure h = detail::build_vertex_ftbfs_impl(g, s, opts);
+  const std::vector<CanonicalSp> sps = fused_source_sps(
+      g, sources, opts.weight_seed, opts.bit_parallel, opts.prebuilt_sp);
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    const Vertex s = sources[i];
+    VertexFtBfsOptions per = opts;
+    if (!sps.empty()) per.prebuilt_sp = &sps[i];
+    const FtBfsStructure h = detail::build_vertex_ftbfs_impl(g, s, per);
     edges.insert(edges.end(), h.edges().begin(), h.edges().end());
     tree_edges.insert(tree_edges.end(), h.tree_edges().begin(),
                       h.tree_edges().end());
@@ -71,8 +107,13 @@ MultiSourceResult detail::build_either_ftmbfs_impl(
   tree_edges.reserve(sources.size() *
                      static_cast<std::size_t>(g.num_vertices()));
 
-  for (const Vertex s : sources) {
-    const FtBfsStructure h = detail::build_either_ftbfs_impl(g, s, opts);
+  const std::vector<CanonicalSp> sps = fused_source_sps(
+      g, sources, opts.weight_seed, opts.bit_parallel, opts.prebuilt_sp);
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    const Vertex s = sources[i];
+    VertexFtBfsOptions per = opts;
+    if (!sps.empty()) per.prebuilt_sp = &sps[i];
+    const FtBfsStructure h = detail::build_either_ftbfs_impl(g, s, per);
     edges.insert(edges.end(), h.edges().begin(), h.edges().end());
     tree_edges.insert(tree_edges.end(), h.tree_edges().begin(),
                       h.tree_edges().end());

@@ -25,7 +25,10 @@ FtBfsStructure detail::build_vertex_ftbfs_impl(const Graph& g, Vertex source,
                                                const VertexFtBfsOptions& opts) {
   detail::check_source(g, source);
   const EdgeWeights weights = EdgeWeights::uniform_random(g, opts.weight_seed);
-  const BfsTree tree(g, weights, source);
+  const BfsTree tree = opts.prebuilt_sp != nullptr
+                           ? BfsTree(g, weights, source,
+                                     CanonicalSp(*opts.prebuilt_sp))
+                           : BfsTree(g, weights, source);
   VertexReplacementEngine::Config cfg;
   cfg.pool = opts.pool;
   cfg.reference_kernel = opts.reference_kernel;
@@ -40,6 +43,9 @@ FtBfsStructure detail::build_either_ftbfs_impl(const Graph& g, Vertex source,
   eopts.weight_seed = opts.weight_seed;
   eopts.pool = opts.pool;
   eopts.reference_kernel = opts.reference_kernel;
+  // Both halves of the union share one canonical tree, so one prebuilt
+  // label set serves the edge and the vertex build alike.
+  eopts.prebuilt_sp = opts.prebuilt_sp;
   const FtBfsStructure edge_h = detail::build_ftbfs_impl(g, source, eopts);
   const FtBfsStructure vertex_h =
       detail::build_vertex_ftbfs_impl(g, source, opts);

@@ -947,6 +947,72 @@ TEST(ApiSessionConcurrency, ArenaFreeListStormAcrossCutover) {
   for (const std::string& f : failures) EXPECT_EQ(f, "");
 }
 
+TEST(ApiSessionConcurrency, SigmaWideMultiSourceSessionStorm) {
+  // σ = 64 sources: one fused kernel sweep builds every tree (a full lane
+  // word), and the session is then stormed from competing threads across
+  // all 64 source indices. The scalar-built session (bit_parallel off) is
+  // the referee — identical structure, identical served answers — and the
+  // TSan job runs this under -L concurrency.
+  const Graph g = gen::random_connected(96, 300, 41);
+  std::vector<Vertex> sources;
+  for (std::size_t k = 0; k < 64; ++k) {
+    sources.push_back(static_cast<Vertex>((k * 96) / 64));
+  }
+  api::BuildSpec fused_spec;
+  fused_spec.eps = 0.3;
+  fused_spec.sources = sources;
+  api::BuildSpec scalar_spec = fused_spec;
+  scalar_spec.bit_parallel = false;
+  const api::Session fused = api::Session::open(g, fused_spec);
+  const api::Session scalar = api::Session::open(g, scalar_spec);
+  ASSERT_EQ(fused.sources().size(), 64u);
+  EXPECT_EQ(fused.structure().edges(), scalar.structure().edges());
+  EXPECT_EQ(fused.structure().tree_edges(), scalar.structure().tree_edges());
+
+  // A mixed batch touching every source index.
+  Rng rng(4141);
+  std::vector<Query> batch;
+  for (std::int32_t si = 0; si < 64; ++si) {
+    for (int k = 0; k < 6; ++k) {
+      Query q;
+      q.v = static_cast<Vertex>(
+          rng.next_below(static_cast<std::uint64_t>(g.num_vertices())));
+      q.kind = FaultClass::kEdge;
+      q.fault = static_cast<EdgeId>(
+          rng.next_below(static_cast<std::uint64_t>(g.num_edges())));
+      q.source_index = si;
+      q.allow_what_if = true;
+      batch.push_back(q);
+    }
+  }
+  const QueryResponse want = fused.query(batch);
+  // Spot-referee a stride of the batch against the serial ground truth.
+  for (std::size_t i = 0; i < batch.size(); i += 16) {
+    ASSERT_EQ(want.results[i].dist, serial_truth(fused, batch[i])) << i;
+  }
+
+  std::atomic<int> mismatches{0};
+  auto storm = [&](const api::Session& s) {
+    for (int round = 0; round < 3; ++round) {
+      const QueryResponse got = s.query(batch);
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        if (got.results[i].dist != want.results[i].dist ||
+            got.results[i].outcome != want.results[i].outcome) {
+          mismatches.fetch_add(1);
+          return;
+        }
+      }
+    }
+  };
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 3; ++t) {
+    threads.emplace_back(storm, std::cref(fused));
+    threads.emplace_back(storm, std::cref(scalar));
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
 TEST(ApiSessionConcurrency, ConcurrentSessionsShareTheGlobalPool) {
   // Two independent sessions, queried from competing threads, both backed
   // by the global ThreadPool: results must stay exact.

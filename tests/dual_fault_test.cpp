@@ -594,6 +594,85 @@ TEST(DualFault, DualDrillsReportZeroViolations) {
   EXPECT_EQ(served.reachable_queries, structural.reachable_queries);
 }
 
+TEST(DualFault, BitParallelKnobIsByteIdenticalOnStructuresAndAnswers) {
+  // The bit-parallel kernel batches the unpruned referee's per-site
+  // punctured rebuilds (per-lane BfsBans carrying each site's failure) and
+  // the multi-source tree builds. With the knob on or off — and crossed
+  // with unpruned_dual — the structure, the pair tables, AND the batched
+  // session answers must agree byte for byte.
+  for (const auto& pc : test::property_cases(30, 1)) {
+    FTB_PROPERTY_TRACE(pc, "dual_fault_test");
+    for (const bool unpruned : {false, true}) {
+      api::BuildSpec on;
+      on.fault_model = FaultClass::kDual;
+      on.sources = {pc.source};
+      on.unpruned_dual = unpruned;
+      api::BuildSpec off = on;
+      off.bit_parallel = false;
+      const api::BuildResult ra = api::build(pc.graph, on);
+      const api::BuildResult rb = api::build(pc.graph, off);
+      EXPECT_EQ(ra.structure.edges(), rb.structure.edges())
+          << pc.name() << " unpruned=" << unpruned;
+      EXPECT_EQ(ra.structure.tree_edges(), rb.structure.tree_edges())
+          << pc.name() << " unpruned=" << unpruned;
+      ASSERT_EQ(ra.dual_tables.size(), rb.dual_tables.size());
+      const DualSiteTable& ta = ra.dual_tables.front();
+      const DualSiteTable& tb = rb.dual_tables.front();
+      EXPECT_TRUE(ta.sites == tb.sites)
+          << pc.name() << " unpruned=" << unpruned;
+      EXPECT_EQ(ta.offsets, tb.offsets)
+          << pc.name() << " unpruned=" << unpruned;
+      EXPECT_EQ(ta.edge_pool, tb.edge_pool)
+          << pc.name() << " unpruned=" << unpruned;
+
+      const api::Session sa = api::Session::deploy(pc.graph, ra);
+      const api::Session sb = api::Session::deploy(pc.graph, rb);
+      test::FaultSampler sampler(pc.graph, pc.source, pc.seed ^ 0xB17A);
+      std::vector<api::Query> batch;
+      for (const auto& [x, y] : sampler.sample_pairs(40)) {
+        for (Vertex v = 0; v < pc.graph.num_vertices(); v += 3) {
+          api::Query q;
+          q.v = v;
+          q.kind = x.kind;
+          q.fault = x.id;
+          q.kind2 = y.kind;
+          q.fault2 = y.id;
+          batch.push_back(q);
+        }
+      }
+      const api::QueryResponse qa = sa.query(batch);
+      const api::QueryResponse qb = sb.query(batch);
+      ASSERT_EQ(qa.results.size(), qb.results.size());
+      for (std::size_t i = 0; i < qa.results.size(); ++i) {
+        ASSERT_EQ(qa.results[i].dist, qb.results[i].dist)
+            << pc.name() << " unpruned=" << unpruned << " query " << i;
+        ASSERT_EQ(qa.results[i].outcome, qb.results[i].outcome)
+            << pc.name() << " unpruned=" << unpruned << " query " << i;
+      }
+    }
+  }
+}
+
+TEST(DualFault, MultiSourceDualBitParallelKnobIsByteIdentical) {
+  // The multi-source dual path crosses both fused seams at once: fused
+  // per-source canonical builds AND the per-source pair-table rebuilds.
+  const Graph g = gen::random_connected(32, 70, 23);
+  api::BuildSpec on;
+  on.fault_model = FaultClass::kDual;
+  on.sources = {0, 9, 17};
+  api::BuildSpec off = on;
+  off.bit_parallel = false;
+  const api::BuildResult ra = api::build(g, on);
+  const api::BuildResult rb = api::build(g, off);
+  EXPECT_EQ(ra.structure.edges(), rb.structure.edges());
+  ASSERT_EQ(ra.dual_tables.size(), rb.dual_tables.size());
+  for (std::size_t s = 0; s < ra.dual_tables.size(); ++s) {
+    EXPECT_TRUE(ra.dual_tables[s].sites == rb.dual_tables[s].sites) << s;
+    EXPECT_EQ(ra.dual_tables[s].offsets, rb.dual_tables[s].offsets) << s;
+    EXPECT_EQ(ra.dual_tables[s].edge_pool, rb.dual_tables[s].edge_pool) << s;
+  }
+}
+
 TEST(DualFault, WrongWeightSeedIsRefusedAtLoad) {
   const Graph g = gen::random_connected(30, 80, 37);
   api::BuildSpec spec;

@@ -3,8 +3,10 @@
 // asserting cross-module consistency at every joint.
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <sstream>
 
+#include "src/api/ftbfs_api.hpp"
 #include "src/core/cost_model.hpp"
 #include "src/core/epsilon_ftbfs.hpp"
 #include "src/core/ftbfs.hpp"
@@ -17,6 +19,7 @@
 #include "src/io/edge_list.hpp"
 #include "src/io/structure_io.hpp"
 #include "src/sim/failure_sim.hpp"
+#include "tests/property_test_util.hpp"
 
 namespace ftb {
 namespace {
@@ -93,6 +96,65 @@ TEST(Integration, ConnectivityExplainsDrillDisconnections) {
   EXPECT_EQ(rep.violations, 0);
   // Each failed bridge cuts off at least the far clique (8 vertices).
   EXPECT_GE(rep.disconnections, 3 * 8);
+}
+
+TEST(Integration, MultiSourceDeploymentStormAcrossSigma) {
+  // The full-pipeline flow was single-source only; this sweeps σ: one
+  // union build over σ sources (the fused kernel path at σ ≥ 2), a
+  // save/reload round trip, then a FaultSampler-driven query storm per
+  // source index, refereed by literal BFS.
+  const Graph g = gen::random_connected(48, 160, 408);
+  for (const std::size_t sigma : {std::size_t{2}, std::size_t{6}}) {
+    std::vector<Vertex> sources;
+    for (std::size_t k = 0; k < sigma; ++k) {
+      sources.push_back(static_cast<Vertex>(
+          (k * static_cast<std::size_t>(g.num_vertices())) / sigma));
+    }
+    api::BuildSpec spec;
+    spec.eps = 0.3;
+    spec.sources = sources;
+    const api::Session built = api::Session::open(g, spec);
+
+    const std::string path = ::testing::TempDir() + "/ms_storm_" +
+                             std::to_string(sigma) + ".ftbfs";
+    built.save(path);
+    const api::Session session = api::Session::load(g, path);
+    std::remove(path.c_str());
+
+    std::vector<api::Query> batch;
+    for (std::size_t si = 0; si < sigma; ++si) {
+      test::FaultSampler sampler(g, sources[si], 408 + si);
+      int storms = 0;
+      while (storms < 8) {
+        const DualSite site = sampler.next_site();
+        if (site.kind != FaultClass::kEdge ||
+            session.structure().is_reinforced(site.id)) {
+          continue;
+        }
+        ++storms;
+        for (Vertex v = 0; v < g.num_vertices(); v += 5) {
+          api::Query q;
+          q.v = v;
+          q.kind = FaultClass::kEdge;
+          q.fault = site.id;
+          q.source_index = static_cast<std::int32_t>(si);
+          batch.push_back(q);
+        }
+      }
+    }
+    const api::QueryResponse resp = session.query(batch);
+    EXPECT_EQ(resp.refused, 0) << "sigma " << sigma;
+    BfsScratch truth;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const api::Query& q = batch[i];
+      const Vertex s = sources[static_cast<std::size_t>(q.source_index)];
+      BfsBans bans;
+      bans.banned_edge = q.fault;
+      bfs_run(g, s, bans, truth);
+      ASSERT_EQ(resp.results[i].dist, truth.dist(q.v))
+          << "sigma=" << sigma << " i=" << i;
+    }
+  }
 }
 
 TEST(Integration, AdversarialEndToEnd) {

@@ -8,9 +8,12 @@
 
 #include "src/core/epsilon_ftbfs.hpp"
 #include "src/core/ftbfs.hpp"
+#include "src/core/multi_source.hpp"
 #include "src/core/verifier.hpp"
 #include "src/core/vertex_ftbfs.hpp"
+#include "src/graph/bfs_kernel.hpp"
 #include "src/graph/generators.hpp"
+#include "tests/property_test_util.hpp"
 
 namespace ftb {
 namespace {
@@ -89,14 +92,49 @@ INSTANTIATE_TEST_SUITE_P(Sweep, StressSweep,
                          });
 
 TEST(Stress, ManySourcesOnOneGraph) {
-  // Every vertex as the source of its own structure on one medium graph.
+  // One union structure over σ sources (the fused multi-source build path)
+  // instead of σ independent single-source builds, swept over σ — then a
+  // FaultSampler storm per source: every sampled non-reinforced edge
+  // failure preserves that source's distances in the union.
   const Graph g = gen::gnm(30, 110, 77);
-  for (Vertex s = 0; s < g.num_vertices(); s += 3) {
+  for (const std::size_t sigma : {std::size_t{1}, std::size_t{4},
+                                  std::size_t{10}}) {
+    std::vector<Vertex> sources;
+    for (std::size_t k = 0; k < sigma; ++k) {
+      sources.push_back(static_cast<Vertex>(3 * k));
+    }
     EpsilonOptions opts;
     opts.eps = 0.25;
-    const EpsilonResult res = build_epsilon_ftbfs(g, s, opts);
-    const VerifyReport rep = verify_structure(res.structure);
-    ASSERT_TRUE(rep.ok) << "source " << s << ": " << rep.to_string();
+    const MultiSourceResult ms = build_epsilon_ftmbfs(g, sources, opts);
+    ASSERT_EQ(verify_multi_source(g, ms), 0) << "sigma " << sigma;
+
+    BfsScratch truth;
+    for (const Vertex s : sources) {
+      test::FaultSampler sampler(
+          g, s, 77 ^ (sigma * 131) ^ static_cast<std::uint64_t>(s));
+      const FtBfsStructure view(g, s, ms.structure.edges(),
+                                ms.structure.reinforced(),
+                                ms.structure.tree_edges(),
+                                ms.structure.fault_class());
+      int storms = 0;
+      while (storms < 6) {
+        const DualSite site = sampler.next_site();
+        if (site.kind != FaultClass::kEdge ||
+            ms.structure.is_reinforced(site.id)) {
+          continue;
+        }
+        ++storms;
+        const auto in_h = view.distances_avoiding(site.id);
+        BfsBans bans;
+        bans.banned_edge = site.id;
+        bfs_run(g, s, bans, truth);
+        for (Vertex v = 0; v < g.num_vertices(); ++v) {
+          ASSERT_EQ(in_h[static_cast<std::size_t>(v)], truth.dist(v))
+              << "sigma=" << sigma << " s=" << s << " e=" << site.id
+              << " v=" << v;
+        }
+      }
+    }
   }
 }
 
