@@ -75,6 +75,7 @@ DualFtBfsOptions BuildSpec::dual_options() const {
   opts.bit_parallel = bit_parallel;
   opts.unpruned_dual = unpruned_dual;
   opts.site_dist_oracle = site_dist_oracle;
+  opts.dfs_schedule = dual_dfs_schedule;
   return opts;
 }
 
@@ -302,7 +303,7 @@ struct Session::Impl {
        std::vector<DualSiteDistTable> site_dist = {},
        bool want_site_dist = false,
        std::vector<std::string> accel_drops = {},
-       bool bit_parallel = true)
+       bool bit_parallel = true, bool dual_dfs_schedule = true)
       : g(&graph),
         model(h.fault_class()),
         sources(std::move(srcs)),
@@ -388,7 +389,8 @@ struct Session::Impl {
           DualSiteDistTable sd;
           fresh.push_back(detail::build_dual_site_table(
               t, pool, /*reference_kernel=*/false, nullptr,
-              /*unpruned=*/false, need_sd ? &sd : nullptr, bit_parallel));
+              /*unpruned=*/false, need_sd ? &sd : nullptr, bit_parallel,
+              dual_dfs_schedule));
           if (need_sd) dual_site_dist.push_back(std::move(sd));
         }
         if (need_tables) {
@@ -634,7 +636,8 @@ Session Session::deploy(const Graph& g, BuildResult result) {
       result.spec.weight_seed, result.spec.pool,
       std::move(result.dual_tables), std::vector<std::string>{},
       std::move(result.dual_site_dist), result.spec.site_dist_oracle,
-      std::vector<std::string>{}, result.spec.bit_parallel));
+      std::vector<std::string>{}, result.spec.bit_parallel,
+      result.spec.dual_dfs_schedule));
 }
 
 Session Session::load(const Graph& g, const std::string& path,
@@ -659,7 +662,8 @@ Session Session::load(const Graph& g, const std::string& path,
   return Session(std::make_shared<const Impl>(
       g, std::move(h), std::move(sources), cfg.weight_seed, cfg.pool,
       std::move(tables), std::move(degrade_drops), std::move(site_dist),
-      cfg.site_dist_oracle, std::move(accel_drops), cfg.bit_parallel));
+      cfg.site_dist_oracle, std::move(accel_drops), cfg.bit_parallel,
+      cfg.dual_dfs_schedule));
 }
 
 void Session::save(const std::string& path) const {

@@ -101,6 +101,14 @@ struct BuildSpec {
   /// proportional to the tree volume; persisted by save_v5 as the
   /// optional site-dist section.
   bool site_dist_oracle = false;
+  /// Dual model only: schedule the pruned build's first-failure sites in
+  /// T0 DFS order on per-thread punctured-tree workspaces, so each site's
+  /// rebase patches its processed ancestor's state instead of paying an
+  /// independent full label copy. Off is the independent-rebase referee;
+  /// structures, pair tables and site-dist rows are bit-identical either
+  /// way (pinned by tests and the dual_dfs_schedule bench gate).
+  /// FTBFS_DUAL_DFS_SCHEDULE=0 flips the process default.
+  bool dual_dfs_schedule = dual_dfs_schedule_default();
 
   /// Throws CheckError ("invalid BuildSpec: …") on NaN / out-of-range ε
   /// or an empty / out-of-range / duplicated source set. build() and
@@ -287,6 +295,11 @@ struct SessionConfig {
   /// Served answers are bit-identical either way; off is the scalar
   /// escape hatch for differential testing.
   bool bit_parallel = true;
+  /// Run any dual pair-table rebuild this session has to pay on the
+  /// DFS-order workspace schedule (BuildSpec::dual_dfs_schedule semantics;
+  /// rebuilt tables are bit-identical either way).
+  /// FTBFS_DUAL_DFS_SCHEDULE=0 flips the process default.
+  bool dual_dfs_schedule = dual_dfs_schedule_default();
 };
 
 /// What Session::fsck() found. `ok` means every audited invariant held;

@@ -22,7 +22,7 @@ void replacement_dist_sweep(const BfsTree& tree, EdgeId banned_edge,
                             Vertex banned_vertex,
                             std::span<const Vertex> affected,
                             ReplacementSweepScratch& s, EdgeId ambient_edge,
-                            Vertex ambient_vertex) {
+                            Vertex ambient_vertex, SweepWorkStats* work) {
   const Graph& g = tree.graph();
   const std::size_t n = static_cast<std::size_t>(g.num_vertices());
   s.prepare(n);
@@ -43,10 +43,12 @@ void replacement_dist_sweep(const BfsTree& tree, EdgeId banned_edge,
 
   // Seed c_out(v): the best admissible step from an unaffected vertex.
   std::int32_t max_seed_rel = -1;
+  std::int64_t visits = 0;
   thread_local std::vector<std::pair<std::int32_t, Vertex>> seeds;
   seeds.clear();
   for (const Vertex v : affected) {
     if (v == banned_vertex || v == ambient_vertex) continue;
+    ++visits;
     std::int32_t best = kInfHops;
     for (const Arc& a : g.neighbors(v)) {
       if (a.edge == banned_edge || a.edge == ambient_edge) continue;
@@ -63,7 +65,10 @@ void replacement_dist_sweep(const BfsTree& tree, EdgeId banned_edge,
     seeds.emplace_back(rel, v);
     max_seed_rel = std::max(max_seed_rel, rel);
   }
-  if (max_seed_rel < 0) return;  // fault disconnects the whole subtree
+  if (max_seed_rel < 0) {  // fault disconnects the whole subtree
+    if (work != nullptr) work->sweep_visits += visits;
+    return;
+  }
 
   // Every relaxation step adds one hop per processed level, so no key can
   // exceed max_seed_rel + |A|. Sizing the bucket array up front keeps the
@@ -85,6 +90,7 @@ void replacement_dist_sweep(const BfsTree& tree, EdgeId banned_edge,
     for (std::size_t i = 0; i < bucket.size(); ++i) {
       const Vertex v = bucket[i];
       if (s.dist_[static_cast<std::size_t>(v)] != base + k) continue;  // stale
+      ++visits;
       for (const Arc& a : g.neighbors(v)) {
         if (a.edge == banned_edge || a.edge == ambient_edge) continue;
         const Vertex u = a.to;
@@ -102,38 +108,47 @@ void replacement_dist_sweep(const BfsTree& tree, EdgeId banned_edge,
     }
     bucket.clear();  // capacity retained for the next sweep
   }
+  if (work != nullptr) work->sweep_visits += visits;
 }
 
-BfsTree rebase_punctured_tree(const BfsTree& base, EdgeId banned_edge,
-                              Vertex banned_vertex) {
+namespace {
+
+void check_puncture_args(const BfsTree& base, EdgeId banned_edge,
+                         Vertex banned_vertex) {
   FTB_CHECK_MSG((banned_edge == kInvalidEdge) !=
                     (banned_vertex == kInvalidVertex),
                 "rebase_punctured_tree: exactly one failed element");
-  const Graph& g = base.graph();
-  const EdgeWeights& W = base.weights();
-  const Vertex src = base.source();
   if (banned_edge != kInvalidEdge) {
     FTB_CHECK_MSG(base.is_tree_edge(banned_edge),
                   "rebase_punctured_tree: banned edge is not a tree edge — "
                   "the base tree already IS the punctured canonical tree");
   } else {
-    FTB_CHECK_MSG(banned_vertex != src && base.reachable(banned_vertex),
+    FTB_CHECK_MSG(banned_vertex != base.source() &&
+                      base.reachable(banned_vertex),
                   "rebase_punctured_tree: banned vertex must be a reachable "
                   "non-source vertex");
   }
-  const Vertex top = banned_edge != kInvalidEdge
-                         ? base.lower_endpoint(banned_edge)
-                         : banned_vertex;
-  const std::span<const Vertex> affected = base.subtree(top);
+}
 
-  // Phase 1: punctured hop distances for the affected subtree, seeded from
-  // the unaffected boundary (whose depths are final — their tree paths
-  // avoid the fault).
-  thread_local ReplacementSweepScratch sweep;
-  replacement_dist_sweep(base, banned_edge, banned_vertex, affected, sweep);
-
-  // Everything outside the affected subtree keeps its labels verbatim.
-  CanonicalSp sp = base.sp();
+/// Phases 2+3 of the punctured rebase — THE one implementation both
+/// rebase_punctured_tree and PuncturedWorkspace::puncture run, so the
+/// bit-identity contract between the independent and the DFS schedule
+/// hangs on a single piece of code. Preconditions: `sweep` holds the
+/// phase-1 punctured hop distances of `affected` (the base-tree preorder
+/// slice below the fault), and `sp` holds base labels everywhere OUTSIDE
+/// `affected` (inside may be arbitrary — every affected vertex is
+/// rewritten). On return `sp`'s labels are the punctured canonical labels
+/// and `order_out` (cleared first) is the merged finalization order.
+void relabel_and_merge(const BfsTree& base, EdgeId banned_edge,
+                       Vertex banned_vertex,
+                       std::span<const Vertex> affected,
+                       const ReplacementSweepScratch& sweep,
+                       std::vector<Vertex>& by_level, CanonicalSp& sp,
+                       std::vector<Vertex>& order_out, SweepWorkStats* work) {
+  const Graph& g = base.graph();
+  const EdgeWeights& W = base.weights();
+  const Vertex src = base.source();
+  const Vertex top = affected.front();
 
   // The affected subtree is a contiguous preorder (tin) interval of the
   // base tree, so membership is two comparisons.
@@ -152,7 +167,6 @@ BfsTree rebase_punctured_tree(const BfsTree& base, EdgeId banned_edge,
   // parent rule (pick_canonical_parent, shared with canonical_sp pass 2).
   // Predecessor labels are final when consumed: unaffected ones never
   // change, affected ones sit one level up and were processed earlier.
-  thread_local std::vector<Vertex> by_level;
   by_level.assign(affected.begin(), affected.end());
   std::sort(by_level.begin(), by_level.end(), [&](Vertex a, Vertex b) {
     const std::int32_t ha = sweep.dist(a), hb = sweep.dist(b);
@@ -185,13 +199,16 @@ BfsTree rebase_punctured_tree(const BfsTree& base, EdgeId banned_edge,
                            ? v
                            : sp.first_hop[static_cast<std::size_t>(best.parent)];
   }
+  if (work != nullptr) {
+    work->label_writes += static_cast<std::int64_t>(by_level.size());
+  }
 
   // Phase 3: finalization order = reachable vertices by (hops, id). The
   // base order already is that sequence for the unaffected vertices; merge
   // the relabeled subtree back in.
   const std::vector<Vertex>& base_order = base.sp().order;
-  std::vector<Vertex> order;
-  order.reserve(base_order.size());
+  order_out.clear();
+  order_out.reserve(base_order.size());
   // by_level is (hops, id)-sorted with kInfHops largest, so the vertices
   // the fault disconnects form its tail; they leave the order entirely.
   const std::size_t a_end = [&] {
@@ -207,18 +224,113 @@ BfsTree rebase_punctured_tree(const BfsTree& base, EdgeId banned_edge,
       const Vertex a = by_level[ai];
       const std::int32_t ha = sp.hops[static_cast<std::size_t>(a)];
       if (ha < hu || (ha == hu && a < u)) {
-        order.push_back(a);
+        order_out.push_back(a);
         ++ai;
       } else {
         break;
       }
     }
-    order.push_back(u);
+    order_out.push_back(u);
   }
-  while (ai < a_end) order.push_back(by_level[ai++]);
+  while (ai < a_end) order_out.push_back(by_level[ai++]);
+}
+
+}  // namespace
+
+BfsTree rebase_punctured_tree(const BfsTree& base, EdgeId banned_edge,
+                              Vertex banned_vertex, SweepWorkStats* work) {
+  check_puncture_args(base, banned_edge, banned_vertex);
+  const Graph& g = base.graph();
+  const Vertex top = banned_edge != kInvalidEdge
+                         ? base.lower_endpoint(banned_edge)
+                         : banned_vertex;
+  const std::span<const Vertex> affected = base.subtree(top);
+
+  // Phase 1: punctured hop distances for the affected subtree, seeded from
+  // the unaffected boundary (whose depths are final — their tree paths
+  // avoid the fault).
+  thread_local ReplacementSweepScratch sweep;
+  replacement_dist_sweep(base, banned_edge, banned_vertex, affected, sweep,
+                         kInvalidEdge, kInvalidVertex, work);
+
+  // Everything outside the affected subtree keeps its labels verbatim —
+  // at the price the DFS schedule exists to avoid: a full O(n) copy.
+  CanonicalSp sp = base.sp();
+  if (work != nullptr) {
+    work->label_writes += static_cast<std::int64_t>(g.num_vertices());
+  }
+
+  thread_local std::vector<Vertex> by_level;
+  std::vector<Vertex> order;
+  relabel_and_merge(base, banned_edge, banned_vertex, affected, sweep,
+                    by_level, sp, order, work);
   sp.order = std::move(order);
 
-  return BfsTree(g, W, src, std::move(sp));
+  return BfsTree(g, base.weights(), base.source(), std::move(sp));
+}
+
+// ---------------------------------------------------------------------------
+// PuncturedWorkspace
+
+void PuncturedWorkspace::bind(const BfsTree& base) {
+  if (base_ == &base) return;  // pooled reuse within one build: free rebind
+  base_ = &base;
+  dirty_top_ = kInvalidVertex;
+  // The one full label copy this workspace ever pays for `base`; every
+  // puncture() after is a subtree-volume patch.
+  tree_.emplace(base.graph(), base.weights(), base.source(),
+                CanonicalSp(base.sp()));
+  stats_.label_writes +=
+      static_cast<std::int64_t>(base.graph().num_vertices());
+}
+
+const BfsTree& PuncturedWorkspace::puncture(EdgeId banned_edge,
+                                            Vertex banned_vertex) {
+  FTB_CHECK_MSG(base_ != nullptr,
+                "PuncturedWorkspace::puncture before bind()");
+  const BfsTree& base = *base_;
+  check_puncture_args(base, banned_edge, banned_vertex);
+  const Vertex top = banned_edge != kInvalidEdge
+                         ? base.lower_endpoint(banned_edge)
+                         : banned_vertex;
+  CanonicalSp& sp = tree_->mutable_sp();
+
+  // Undo the previous patch back to base labels — except the slice the new
+  // patch rewrites anyway. In DFS order the new top usually sits inside the
+  // previous subtree (or the previous one inside the new window), so the
+  // restored difference is the ancestor→site path segment, not the whole
+  // previous subtree. When the new window covers the dirty subtree there is
+  // nothing to undo at all. Undo values come straight from the base labels;
+  // no log is kept.
+  if (dirty_top_ != kInvalidVertex &&
+      !base.is_ancestor_or_equal(top, dirty_top_)) {
+    const std::int32_t lo = base.tin(top);
+    const std::int32_t hi = base.tout(top);
+    const CanonicalSp& bsp = base.sp();
+    std::int64_t restored = 0;
+    for (const Vertex v : base.subtree(dirty_top_)) {
+      const std::int32_t t = base.tin(v);
+      if (t >= lo && t < hi) continue;  // inside the new affected window
+      const std::size_t vi = static_cast<std::size_t>(v);
+      sp.hops[vi] = bsp.hops[vi];
+      sp.wsum[vi] = bsp.wsum[vi];
+      sp.parent[vi] = bsp.parent[vi];
+      sp.parent_edge[vi] = bsp.parent_edge[vi];
+      sp.first_hop[vi] = bsp.first_hop[vi];
+      ++restored;
+    }
+    stats_.label_writes += restored;
+  }
+
+  const std::span<const Vertex> affected = base.subtree(top);
+  replacement_dist_sweep(base, banned_edge, banned_vertex, affected, sweep_,
+                         kInvalidEdge, kInvalidVertex, &stats_);
+  relabel_and_merge(base, banned_edge, banned_vertex, affected, sweep_,
+                    by_level_, sp, order_, &stats_);
+  sp.order.swap(order_);  // both buffers retain capacity across punctures
+  tree_->rebuild_derived();
+  dirty_top_ = top;
+  return *tree_;
 }
 
 }  // namespace ftb

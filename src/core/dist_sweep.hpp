@@ -26,12 +26,25 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <vector>
 
 #include "src/graph/bfs_tree.hpp"
 
 namespace ftb {
+
+/// Work accounting for the rebase seam: how many per-vertex label
+/// assignments (full copies, undo restores, canonical relabels) and how
+/// many Dial-sweep vertex visits a punctured-tree production performed.
+/// The dual build's schedule referee compares these totals — the DFS
+/// schedule's patch-and-undo must come in strictly below the independent
+/// schedule's full per-site label copies.
+struct SweepWorkStats {
+  std::int64_t label_writes = 0;
+  std::int64_t sweep_visits = 0;
+  std::int64_t total() const { return label_writes + sweep_visits; }
+};
 
 /// Reusable per-thread arena for replacement_dist_sweep. Zero steady-state
 /// allocations: affected marking is epoch-stamped, buckets retain capacity.
@@ -47,7 +60,8 @@ class ReplacementSweepScratch {
  private:
   friend void replacement_dist_sweep(const BfsTree&, EdgeId, Vertex,
                                      std::span<const Vertex>,
-                                     ReplacementSweepScratch&, EdgeId, Vertex);
+                                     ReplacementSweepScratch&, EdgeId, Vertex,
+                                     SweepWorkStats*);
 
   void prepare(std::size_t n);
   bool in_set(Vertex v) const {
@@ -72,12 +86,15 @@ class ReplacementSweepScratch {
 /// sweep over a punctured graph G \ {first failure} (the `tree` must then be
 /// the canonical tree of that punctured graph, so depth() seeding stays
 /// exact). Both default to "none", which is the single-fault sweep verbatim.
+/// `work`, when given, accumulates the sweep's vertex visits (marking,
+/// seeding and non-stale bucket pops).
 void replacement_dist_sweep(const BfsTree& tree, EdgeId banned_edge,
                             Vertex banned_vertex,
                             std::span<const Vertex> affected,
                             ReplacementSweepScratch& scratch,
                             EdgeId ambient_edge = kInvalidEdge,
-                            Vertex ambient_vertex = kInvalidVertex);
+                            Vertex ambient_vertex = kInvalidVertex,
+                            SweepWorkStats* work = nullptr);
 
 /// Incremental punctured-tree rebase: the canonical tree of G \ {fault}
 /// built from `base` (the canonical tree of G) by recomputing labels ONLY
@@ -101,6 +118,60 @@ void replacement_dist_sweep(const BfsTree& tree, EdgeId banned_edge,
 /// recursion leans on (one rebase per first-failure site instead of one
 /// full canonical BFS of G each).
 BfsTree rebase_punctured_tree(const BfsTree& base, EdgeId banned_edge,
-                              Vertex banned_vertex);
+                              Vertex banned_vertex,
+                              SweepWorkStats* work = nullptr);
+
+/// Per-thread punctured-tree workspace — the DFS-order ancestor-sweep
+/// sharing seam of the dual build.
+///
+/// rebase_punctured_tree pays three O(n) terms per site that have nothing
+/// to do with the fault's subtree: the full label copy `sp = base.sp()`,
+/// the fresh order/derived-array allocations, and their deallocation. The
+/// workspace amortizes all three across a DFS-ordered run of sites: it
+/// binds to the base tree ONCE (one full label copy), then each puncture()
+/// patches only the affected subtree's labels in place and rebuilds the
+/// derived arrays into retained capacity.
+///
+/// The reuse invariant that makes the patch sound: outside the affected
+/// subtree A_f every label of T_f equals T0 verbatim, so a workspace whose
+/// labels are "T0 everywhere except the previously patched subtree" only
+/// has to restore the STALE DIFFERENCE — the previous site's subtree minus
+/// the new site's subtree (undo values come straight from the base tree;
+/// no undo log is needed). Walking sites in T0 DFS order makes that
+/// difference the ancestor→site path segment: a child site's subtree nests
+/// inside its processed ancestor's, so the ancestor's patch is mostly
+/// overwritten, not undone, and the per-site label traffic is O(vol(A_f))
+/// instead of O(n). Produced trees are bit-identical to
+/// rebase_punctured_tree (both run the one shared relabel-and-merge
+/// implementation).
+///
+/// Exclusive ownership while in use: the dual build leases one per worker
+/// from a FreeListPool. The tree returned by puncture() is valid until the
+/// next puncture()/bind() on the same workspace.
+class PuncturedWorkspace {
+ public:
+  /// Binds to `base` (one full O(n) label copy, counted in stats). A
+  /// rebind to the SAME tree object is a no-op — that is what makes pooled
+  /// reuse across work chunks of one build cheap.
+  void bind(const BfsTree& base);
+
+  /// The canonical tree of G \ {fault}, bit-identical to
+  /// rebase_punctured_tree(base, banned_edge, banned_vertex). Same
+  /// precondition: exactly one failed element, a tree edge or a reachable
+  /// non-source vertex.
+  const BfsTree& puncture(EdgeId banned_edge, Vertex banned_vertex);
+
+  /// Cumulative rebase work this workspace performed (never reset).
+  const SweepWorkStats& stats() const { return stats_; }
+
+ private:
+  const BfsTree* base_ = nullptr;
+  std::optional<BfsTree> tree_;     // the reused punctured tree
+  ReplacementSweepScratch sweep_;
+  std::vector<Vertex> by_level_;    // phase 2 processing order
+  std::vector<Vertex> order_;       // phase 3 merge buffer (swapped in)
+  Vertex dirty_top_ = kInvalidVertex;  // root of the last patched subtree
+  SweepWorkStats stats_;
+};
 
 }  // namespace ftb

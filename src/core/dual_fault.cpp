@@ -6,13 +6,29 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <string_view>
 
 #include "src/core/dist_sweep.hpp"
 #include "src/core/validate.hpp"
 #include "src/graph/multi_source_bfs_kernel.hpp"
+#include "src/util/free_list_pool.hpp"
 #include "src/util/rng.hpp"
 
 namespace ftb {
+
+bool dual_dfs_schedule_default() {
+  // Read once per process: the knob exists so CI can run the whole dual
+  // suite under either schedule without plumbing a flag through every
+  // default-constructed BuildSpec/SessionConfig/DualFtBfsOptions. Explicit
+  // assignments to those fields always win over this default.
+  static const bool on = [] {
+    const char* env = std::getenv("FTBFS_DUAL_DFS_SCHEDULE");
+    return env == nullptr || std::string_view(env) != "0";
+  }();
+  return on;
+}
 
 bool DualSiteTable::subset_contains(std::size_t i, EdgeId e) const {
   const auto sub = subset(i);
@@ -93,7 +109,9 @@ DualSiteTable detail::build_dual_site_table(const BfsTree& tree,
                                             std::vector<EdgeId>* edges_out,
                                             bool unpruned,
                                             DualSiteDistTable* site_dist_out,
-                                            bool bit_parallel) {
+                                            bool bit_parallel,
+                                            bool dfs_schedule,
+                                            SweepWorkStats* sweep_work) {
   const Graph& g = tree.graph();
   const EdgeWeights& W = tree.weights();
   ThreadPool& pool = pool_ptr != nullptr ? *pool_ptr : ThreadPool::global();
@@ -201,11 +219,15 @@ DualSiteTable detail::build_dual_site_table(const BfsTree& tree,
     // edges plus their uncovered-pair last edges (see the file comment's
     // induction for why that is sufficient). Already incremental, so the
     // bit-parallel knob has nothing to fuse here.
-    pool.parallel_for(table.sites.size(), [&](std::size_t i) {
-      EdgeId fe;
-      Vertex fv, top;
-      site_fault(i, &fe, &fv, &top);
+    std::atomic<std::int64_t> label_writes{0};
+    std::atomic<std::int64_t> sweep_visits{0};
 
+    // The per-site body both schedules share — everything except how the
+    // punctured tree `tf` was produced, so bit-identity between the
+    // schedules reduces to bit-identity of `tf` (pinned at the rebase
+    // seam: one shared relabel-and-merge implementation).
+    const auto run_pruned_site = [&](std::size_t i, EdgeId fe, Vertex fv,
+                                     Vertex top, const BfsTree& tf) {
       FaultReplacementEngine<EdgeFault>::Config ec;
       FaultReplacementEngine<VertexFault>::Config vc;
       ec.collect_detours = vc.collect_detours = false;  // only last edges
@@ -216,7 +238,6 @@ DualSiteTable detail::build_dual_site_table(const BfsTree& tree,
 
       std::vector<EdgeId>& sub = subsets[i];
       const std::span<const Vertex> affected = tree.subtree(top);
-      const BfsTree tf = rebase_punctured_tree(tree, fe, fv);
       ec.restrict_terminals = vc.restrict_terminals = affected;
       const FaultReplacementEngine<EdgeFault> ee(tf, ec);
       const FaultReplacementEngine<VertexFault> ve(tf, vc);
@@ -234,7 +255,90 @@ DualSiteTable detail::build_dual_site_table(const BfsTree& tree,
       if (site_dist_out != nullptr) {
         harvest_site_dist(tree, top, tf, ee, ve, site_dist_rows[i]);
       }
-    });
+    };
+
+    if (dfs_schedule) {
+      // DFS schedule: visit sites by ascending T0 preorder position of
+      // their subtree root, chunked per top-level subtree, one
+      // PuncturedWorkspace leased per chunk. Each site's rebase then
+      // patches against its processed ancestor's state — the workspace
+      // only restores the ancestor→site difference instead of paying an
+      // independent full label copy (see PuncturedWorkspace). Iterations
+      // still write disjoint slots, so the flatten below is untouched.
+      const std::size_t num_sites = table.sites.size();
+      std::vector<Vertex> tops(num_sites);
+      for (std::size_t i = 0; i < num_sites; ++i) {
+        EdgeId fe;
+        Vertex fv;
+        site_fault(i, &fe, &fv, &tops[i]);
+      }
+      std::vector<std::uint32_t> dfs_order(num_sites);
+      std::iota(dfs_order.begin(), dfs_order.end(), 0);
+      // stable: at equal tin (edge into t, then vertex t — identical
+      // affected windows) the edge site keeps its lower index, so the
+      // vertex site's undo is empty.
+      std::stable_sort(dfs_order.begin(), dfs_order.end(),
+                       [&](std::uint32_t a, std::uint32_t b) {
+                         return tree.tin(tops[a]) < tree.tin(tops[b]);
+                       });
+
+      // Chunk boundaries prefer top-level subtree changes (first_hop of
+      // the site's top names its child-of-source root); a run of sites
+      // inside one huge subtree is force-split so it cannot serialize the
+      // pool.
+      std::vector<std::pair<std::size_t, std::size_t>> chunks;
+      const std::size_t target = std::max<std::size_t>(
+          1, num_sites / std::max<std::size_t>(1, 8 * pool.thread_count()));
+      const auto top_root = [&](std::uint32_t site) {
+        return tree.sp().first_hop[static_cast<std::size_t>(tops[site])];
+      };
+      std::size_t lo = 0;
+      for (std::size_t k = 1; k < num_sites; ++k) {
+        const bool subtree_break =
+            top_root(dfs_order[k]) != top_root(dfs_order[k - 1]);
+        if ((k - lo >= target && subtree_break) || k - lo >= 4 * target) {
+          chunks.emplace_back(lo, k);
+          lo = k;
+        }
+      }
+      if (lo < num_sites) chunks.emplace_back(lo, num_sites);
+
+      FreeListPool<PuncturedWorkspace> ws_pool;
+      pool.parallel_for(chunks.size(), [&](std::size_t c) {
+        const PoolLease<PuncturedWorkspace> ws(ws_pool);
+        ws->bind(tree);
+        const SweepWorkStats before = ws->stats();
+        for (std::size_t k = chunks[c].first; k < chunks[c].second; ++k) {
+          const std::size_t i = dfs_order[k];
+          EdgeId fe;
+          Vertex fv, top;
+          site_fault(i, &fe, &fv, &top);
+          run_pruned_site(i, fe, fv, top, ws->puncture(fe, fv));
+        }
+        const SweepWorkStats after = ws->stats();
+        label_writes.fetch_add(after.label_writes - before.label_writes,
+                               std::memory_order_relaxed);
+        sweep_visits.fetch_add(after.sweep_visits - before.sweep_visits,
+                               std::memory_order_relaxed);
+      });
+    } else {
+      // Independent schedule (the differential referee): every site pays
+      // its own full rebase from T0.
+      pool.parallel_for(table.sites.size(), [&](std::size_t i) {
+        EdgeId fe;
+        Vertex fv, top;
+        site_fault(i, &fe, &fv, &top);
+        SweepWorkStats w;
+        const BfsTree tf = rebase_punctured_tree(tree, fe, fv, &w);
+        run_pruned_site(i, fe, fv, top, tf);
+        label_writes.fetch_add(w.label_writes, std::memory_order_relaxed);
+        sweep_visits.fetch_add(w.sweep_visits, std::memory_order_relaxed);
+      });
+    }
+    if (sweep_work != nullptr) {
+      sweep_work->label_writes += label_writes.load();
+      sweep_work->sweep_visits += sweep_visits.load();
+    }
   }
 
   // Deterministic flatten (site order is already canonical).
@@ -300,13 +404,15 @@ DualBuildResult detail::build_dual_failure_ftbfs_impl(
                            : BfsTree(g, weights, source);
   std::vector<EdgeId> edges;
   DualSiteDistTable site_dist;
+  SweepWorkStats sweep_work;
   DualSiteTable table = detail::build_dual_site_table(
       tree, opts.pool, opts.reference_kernel, &edges, opts.unpruned_dual,
-      opts.site_dist_oracle ? &site_dist : nullptr, opts.bit_parallel);
+      opts.site_dist_oracle ? &site_dist : nullptr, opts.bit_parallel,
+      opts.dfs_schedule, &sweep_work);
   FtBfsStructure h(g, source, std::move(edges), /*reinforced=*/{},
                    tree.tree_edges(), FaultClass::kDual);
   return DualBuildResult{std::move(h), std::move(table),
-                         std::move(site_dist)};
+                         std::move(site_dist), sweep_work};
 }
 
 DualMultiSourceResult detail::build_dual_failure_ftmbfs_impl(

@@ -77,6 +77,7 @@
 #include <span>
 #include <vector>
 
+#include "src/core/dist_sweep.hpp"
 #include "src/core/fault_model.hpp"
 #include "src/core/structure.hpp"
 #include "src/graph/bfs_kernel.hpp"
@@ -153,6 +154,12 @@ struct DualSiteDistTable {
   std::size_t num_slots() const { return parent_edge.size(); }
 };
 
+/// The process-wide default for the DFS-order site schedule:
+/// FTBFS_DUAL_DFS_SCHEDULE=0 forces it off, =1 (or unset) on — read once.
+/// CI's sanitizer jobs run the dual suites under both settings; explicit
+/// assignments to the dfs_schedule knobs always win over the env default.
+bool dual_dfs_schedule_default();
+
 struct DualFtBfsOptions {
   std::uint64_t weight_seed = 0x5EED0001ULL;
   ThreadPool* pool = nullptr;  // nullptr = global pool
@@ -174,6 +181,16 @@ struct DualFtBfsOptions {
   /// — into bit-parallel sweeps (multi_source_bfs_kernel.hpp). Off = scalar
   /// passes; structures and tables are bit-identical either way.
   bool bit_parallel = true;
+  /// Pruned build only: walk the first-failure sites in T0 DFS order on
+  /// per-thread PuncturedWorkspace arenas (dist_sweep.hpp) so each site's
+  /// rebase is a subtree-volume patch against its processed ancestor's
+  /// state instead of an independent full O(n) label copy. Work is chunked
+  /// per top-level subtree across the pool. Off = the independent-rebase
+  /// schedule, kept as the differential referee: structures, pair tables
+  /// and site-dist rows are bit-identical under both schedules. The
+  /// unpruned referee ignores the knob (nothing to rebase there).
+  /// Defaults on; FTBFS_DUAL_DFS_SCHEDULE=0 flips the process default.
+  bool dfs_schedule = dual_dfs_schedule_default();
   /// Internal fusion seam: adopt these already-computed canonical labels
   /// for T0 (see EpsilonOptions::prebuilt_sp). Must outlive the call.
   const CanonicalSp* prebuilt_sp = nullptr;
@@ -187,6 +204,11 @@ struct DualBuildResult {
   /// Site-local distance tables (empty unless
   /// DualFtBfsOptions::site_dist_oracle).
   DualSiteDistTable site_dist;
+  /// Rebase-seam work the pruned build performed (label writes + sweep
+  /// visits, summed over all sites; zero for the unpruned referee). The
+  /// dual_dfs_schedule bench gate pins the DFS schedule's total strictly
+  /// below the independent schedule's.
+  SweepWorkStats sweep_work;
 };
 
 /// Multi-source variant (the Gupta–Khan setting): per-source dual
@@ -218,14 +240,19 @@ DualMultiSourceResult build_dual_failure_ftmbfs_impl(
 /// `bit_parallel` batches the unpruned referee's per-site punctured
 /// canonical rebuilds (same source, one {edge, vertex} ban pair per lane)
 /// through the bit-parallel kernel in ≤64-lane groups; the pruned branch
-/// rebases incrementally and ignores the knob. Output is bit-identical
-/// either way.
+/// rebases incrementally and ignores the knob. `dfs_schedule` selects the
+/// pruned branch's DFS-order workspace schedule (see
+/// DualFtBfsOptions::dfs_schedule); `sweep_work`, when given, receives the
+/// summed rebase-seam work. Output is bit-identical under every knob
+/// combination.
 DualSiteTable build_dual_site_table(const BfsTree& tree, ThreadPool* pool,
                                     bool reference_kernel,
                                     std::vector<EdgeId>* edges_out,
                                     bool unpruned = false,
                                     DualSiteDistTable* site_dist_out = nullptr,
-                                    bool bit_parallel = true);
+                                    bool bit_parallel = true,
+                                    bool dfs_schedule = true,
+                                    SweepWorkStats* sweep_work = nullptr);
 }  // namespace detail
 
 /// Reusable scratch for DualFaultOracle::dist: the BFS arena plus the

@@ -5,6 +5,8 @@
 #include "src/core/fault_model.hpp"
 
 #include <algorithm>
+#include <numeric>
+#include <span>
 
 #include "src/core/dist_sweep.hpp"
 #include "src/graph/bfs_kernel.hpp"
@@ -69,47 +71,70 @@ void FaultReplacementEngine<Model>::build_dist_tables(ThreadPool& pool) {
   const Graph& g = graph();
   const std::size_t n = static_cast<std::size_t>(g.num_vertices());
 
-  // Terminal restriction, two masks:
+  // Terminal restriction:
   //  * row_needed — vertices whose table rows the restricted classification
   //    reads: the terminals themselves plus their tree parents (children of
   //    a restricted terminal are restricted too — the span is a subtree
   //    slice). Everyone else gets a ZERO-row allocation, so the table costs
   //    the restriction's volume, not Σ_v depth(v).
-  //  * site_needed — fault sites with a restricted terminal in their
-  //    subtree (their ancestors-or-selves): the only sweeps whose rows
-  //    anyone reads. Marked bottom-up: reverse preorder visits children
-  //    before parents.
+  //  * sweep_sites — fault sites with a restricted terminal in their
+  //    subtree (the terminals' ancestors-or-selves): the only sweeps whose
+  //    rows anyone reads, collected by path walks below.
   std::vector<std::uint8_t> row_needed;
-  std::vector<std::uint8_t> site_needed;
+  std::vector<std::uint8_t> site_seen;
+  std::vector<Vertex> row_vertices;  // restricted: exactly {v : row_needed}
+  std::vector<Vertex> sweep_sites;   // restricted: exactly the needed sites
   if (!cfg_.restrict_terminals.empty()) {
     row_needed.assign(n, 0);
-    site_needed.assign(n, 0);
+    site_seen.assign(n, 0);
+    const auto need_row = [&](Vertex v) {
+      if (row_needed[static_cast<std::size_t>(v)]) return;
+      row_needed[static_cast<std::size_t>(v)] = 1;
+      row_vertices.push_back(v);
+    };
     for (const Vertex v : cfg_.restrict_terminals) {
       if (!tree_->reachable(v)) continue;
-      row_needed[static_cast<std::size_t>(v)] = 1;
-      site_needed[static_cast<std::size_t>(v)] = 1;
+      need_row(v);
       const Vertex p = tree_->parent(v);
-      if (p != kInvalidVertex) row_needed[static_cast<std::size_t>(p)] = 1;
-    }
-    const auto pre_rev = tree_->preorder();
-    for (auto it = pre_rev.rbegin(); it != pre_rev.rend(); ++it) {
-      if (!site_needed[static_cast<std::size_t>(*it)]) continue;
-      const Vertex p = tree_->parent(*it);
-      if (p != kInvalidVertex) site_needed[static_cast<std::size_t>(p)] = 1;
+      if (p != kInvalidVertex) need_row(p);
+      // Collect the terminal's tree path to the source, stopping at the
+      // first vertex a previous walk already claimed: the union of the
+      // walks is exactly the ancestor-or-equal closure of the terminals —
+      // the only sweep sites whose rows anyone reads — and its total cost
+      // is the closure's size, not an O(n) reverse-preorder sweep. That
+      // keeps a restricted engine's site scan at the restriction's volume
+      // (the pruned dual build constructs two engines per first-failure
+      // site, so an O(n) scan here turns the whole build quadratic).
+      for (Vertex u = v;
+           u != kInvalidVertex && !site_seen[static_cast<std::size_t>(u)];
+           u = tree_->parent(u)) {
+        site_seen[static_cast<std::size_t>(u)] = 1;
+        sweep_sites.push_back(u);
+      }
     }
   }
 
   // Row v holds the failures of the positions [kFirstPos, depth(v)) of
   // π(s,v) — depth(v) rows for edge faults, depth(v)−1 for vertex faults
   // (the source and the terminal itself never seed a row).
+  const auto row_count = [&](Vertex v) {
+    const std::int32_t d = tree_->depth(v);
+    return d >= kInfHops ? 0
+                         : std::max<std::int32_t>(0, d - Model::kFirstPos);
+  };
   row_offset_.assign(n + 1, 0);
-  for (std::size_t v = 0; v < n; ++v) {
-    const std::int32_t d = tree_->depth(static_cast<Vertex>(v));
-    std::int32_t k =
-        d >= kInfHops ? 0 : std::max<std::int32_t>(0, d - Model::kFirstPos);
-    if (!row_needed.empty() && !row_needed[v]) k = 0;
-    row_offset_[v + 1] = row_offset_[v] + k;
+  if (row_needed.empty()) {
+    for (std::size_t v = 0; v < n; ++v) {
+      row_offset_[v + 1] = row_count(static_cast<Vertex>(v));
+    }
+  } else {
+    // Only the restriction's rows are allocated; everyone else keeps a
+    // zero-row slot through the shared prefix-sum below.
+    for (const Vertex v : row_vertices) {
+      row_offset_[static_cast<std::size_t>(v) + 1] = row_count(v);
+    }
   }
+  for (std::size_t v = 0; v < n; ++v) row_offset_[v + 1] += row_offset_[v];
   rows_.assign(static_cast<std::size_t>(row_offset_[n]), kInfHops);
   stats_.pairs_total = static_cast<std::int64_t>(rows_.size());
 
@@ -120,13 +145,12 @@ void FaultReplacementEngine<Model>::build_dist_tables(ThreadPool& pool) {
   // Rows of different faults write disjoint slots, so the loop is safely
   // parallel. The per-thread scratch arenas make a steady-state iteration
   // allocation-free.
-  const auto pre = tree_->preorder();
-  pool.parallel_for(pre.size(), [&](std::size_t idx) {
-    const Vertex u = pre[idx];
+  const std::span<const Vertex> sites = cfg_.restrict_terminals.empty()
+                                            ? tree_->preorder()
+                                            : std::span<const Vertex>(sweep_sites);
+  pool.parallel_for(sites.size(), [&](std::size_t idx) {
+    const Vertex u = sites[idx];
     if (u == tree_->source()) return;
-    if (!site_needed.empty() && !site_needed[static_cast<std::size_t>(u)]) {
-      return;
-    }
     if (!Model::site_active(*tree_, u)) return;
     const FaultId fault = Model::site_fault(*tree_, u);
     const std::int32_t row = tree_->depth(u) - 1;  // == pos − kFirstPos
@@ -213,7 +237,15 @@ void FaultReplacementEngine<Model>::build_pairs(ThreadPool& pool) {
   const EdgeWeights& W = tree_->weights();
   const std::size_t n = static_cast<std::size_t>(g.num_vertices());
 
-  std::vector<VertexPairs<Pair>> per_vertex(n);
+  // Restricted engines size every per-terminal structure by the
+  // restriction, not by n — the pruned dual build constructs two engines
+  // per first-failure site, so any O(n) term here multiplies into an
+  // O(n²) floor for the whole build.
+  const std::span<const Vertex> restricted = cfg_.restrict_terminals;
+  const bool restrict_mode = !restricted.empty();
+  const std::size_t terminal_count = restrict_mode ? restricted.size() : n;
+
+  std::vector<VertexPairs<Pair>> per_vertex(terminal_count);
 
   // Pre-classification: covered / infinite tests touch only the phase-1
   // distance tables, so they run before (and usually instead of) the
@@ -356,18 +388,15 @@ void FaultReplacementEngine<Model>::build_pairs(ThreadPool& pool) {
   };
 
   // Terminal restriction: only the listed terminals get classified and
-  // (when uncovered) pay an off-path traversal; per_vertex stays indexed
-  // by vertex id so the deterministic flatten below is unchanged.
-  const std::span<const Vertex> restricted = cfg_.restrict_terminals;
-  const std::size_t terminal_count = restricted.empty() ? n : restricted.size();
+  // (when uncovered) pay an off-path traversal; per_vertex is indexed by
+  // position in the restriction (or by vertex id when unrestricted) and
+  // the flatten below re-establishes ascending vertex id.
   pool.parallel_for(terminal_count, [&](std::size_t ti) {
-    const Vertex v =
-        restricted.empty() ? static_cast<Vertex>(ti) : restricted[ti];
-    const std::size_t vi = static_cast<std::size_t>(v);
+    const Vertex v = restrict_mode ? restricted[ti] : static_cast<Vertex>(ti);
     const std::int32_t k = tree_->depth(v);
     // No failing positions: source/too-shallow or unreachable terminals.
     if (k <= Model::kFirstPos || k >= kInfHops) return;
-    VertexPairs<Pair>& out = per_vertex[vi];
+    VertexPairs<Pair>& out = per_vertex[ti];
 
     // π(s,v) = u_0..u_k into a reusable buffer.
     thread_local std::vector<Vertex> path;
@@ -422,14 +451,29 @@ void FaultReplacementEngine<Model>::build_pairs(ThreadPool& pool) {
     }
   });
 
-  // Deterministic flatten: vertices in id order, pairs already position-
-  // ordered within each vertex.
+  // Deterministic flatten: vertices in ascending id order, pairs already
+  // position-ordered within each vertex. A restricted engine visits only
+  // its terminals (sorted into id order here — the restriction span is a
+  // preorder slice, not id-sorted); the per-vertex CSR then costs one
+  // prefix-sum over plain ints instead of an O(n) vector-of-vectors walk.
+  std::vector<std::uint32_t> flatten_order;
+  if (restrict_mode) {
+    flatten_order.resize(terminal_count);
+    std::iota(flatten_order.begin(), flatten_order.end(), 0u);
+    std::sort(flatten_order.begin(), flatten_order.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                return restricted[a] < restricted[b];
+              });
+  }
   pairs_.clear();
   pair_ids_.clear();
   detour_arena_.clear();
   pairs_offset_.assign(n + 1, 0);
-  for (std::size_t vi = 0; vi < n; ++vi) {
-    const VertexPairs<Pair>& src = per_vertex[vi];
+  for (std::size_t t = 0; t < terminal_count; ++t) {
+    const std::size_t slot = restrict_mode ? flatten_order[t] : t;
+    const std::size_t vi = static_cast<std::size_t>(
+        restrict_mode ? restricted[slot] : static_cast<Vertex>(t));
+    const VertexPairs<Pair>& src = per_vertex[slot];
     stats_.pairs_covered += src.covered;
     stats_.pairs_infinite += src.infinite;
     const std::int64_t arena_base =
@@ -442,7 +486,10 @@ void FaultReplacementEngine<Model>::build_pairs(ThreadPool& pool) {
     }
     detour_arena_.insert(detour_arena_.end(), src.detour_storage.begin(),
                          src.detour_storage.end());
-    pairs_offset_[vi + 1] = static_cast<std::int64_t>(pair_ids_.size());
+    pairs_offset_[vi + 1] = static_cast<std::int64_t>(src.pairs.size());
+  }
+  for (std::size_t vi = 0; vi < n; ++vi) {
+    pairs_offset_[vi + 1] += pairs_offset_[vi];
   }
   stats_.pairs_uncovered = static_cast<std::int64_t>(pairs_.size());
   stats_.detour_vertices = static_cast<std::int64_t>(detour_arena_.size());

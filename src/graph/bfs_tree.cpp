@@ -32,13 +32,13 @@ void BfsTree::build_derived() {
   for (std::size_t i = 0; i < n; ++i) child_offsets_[i + 1] += child_offsets_[i];
   child_list_.resize(static_cast<std::size_t>(child_offsets_[n]));
   {
-    std::vector<std::int64_t> cursor(child_offsets_.begin(),
-                                     child_offsets_.end() - 1);
+    csr_cursor_.assign(child_offsets_.begin(), child_offsets_.end() - 1);
     for (std::size_t v = 0; v < n; ++v) {
       const Vertex p = sp_.parent[v];
       if (p != kInvalidVertex) {
         child_list_[static_cast<std::size_t>(
-            cursor[static_cast<std::size_t>(p)]++)] = static_cast<Vertex>(v);
+            csr_cursor_[static_cast<std::size_t>(p)]++)] =
+            static_cast<Vertex>(v);
       }
     }
   }
@@ -49,7 +49,8 @@ void BfsTree::build_derived() {
   subtree_size_.assign(n, 0);
   preorder_.clear();
   if (sp_.reachable(source_)) {
-    std::vector<std::pair<Vertex, std::size_t>> stack;  // (vertex, child idx)
+    auto& stack = dfs_stack_;  // (vertex, child idx)
+    stack.clear();
     stack.emplace_back(source_, 0);
     std::int32_t clock = 0;
     tin_[idx(source_)] = clock++;

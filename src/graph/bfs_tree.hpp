@@ -104,6 +104,21 @@ class BfsTree {
   /// Preorder sequence of reachable vertices (source first).
   std::span<const Vertex> preorder() const { return {preorder_}; }
 
+  // ---- workspace seam ---------------------------------------------------
+  // The DFS-order dual rebase (PuncturedWorkspace in dist_sweep.hpp) reuses
+  // ONE tree object across many punctures: it patches the label set in
+  // place, then rebuild_derived() restores every derived invariant with all
+  // vector capacities retained — zero steady-state allocation. Between the
+  // two calls the tree is NOT immutable; the workspace owns it exclusively
+  // and nothing else may observe it in that window.
+
+  /// Mutable access to the label set for in-place patching. Every accessor
+  /// is stale until the next rebuild_derived().
+  CanonicalSp& mutable_sp() { return sp_; }
+  /// Recomputes everything derived from sp() (children CSR, preorder,
+  /// tin/tout, subtree sizes, tree-edge table), reusing capacity.
+  void rebuild_derived() { build_derived(); }
+
  private:
   static std::size_t idx(Vertex v) { return static_cast<std::size_t>(v); }
   static std::size_t eidx(EdgeId e) { return static_cast<std::size_t>(e); }
@@ -127,6 +142,11 @@ class BfsTree {
   std::vector<Vertex> lower_;           // per EdgeId: lower endpoint or invalid
   std::vector<EdgeId> tree_edges_;
   std::int32_t num_reachable_ = 0;
+
+  // build_derived scratch, members so rebuild_derived() allocates nothing
+  // in steady state.
+  std::vector<std::int64_t> csr_cursor_;
+  std::vector<std::pair<Vertex, std::size_t>> dfs_stack_;
 };
 
 }  // namespace ftb

@@ -4,7 +4,44 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "src/util/check.hpp"
+
 namespace ftb {
+
+namespace {
+
+// Strict scalar parses: std::stoll("5x") happily returns 5, so a typo'd
+// "--sources=0,5x,10" would silently build from the wrong source set.
+// Reject any value the conversion does not consume whole — the CLI's
+// error-path contract (non-zero exit, diagnostic on stderr) needs the
+// throw, not a best-effort prefix.
+long long parse_int_strict(const std::string& key, const std::string& v) {
+  std::size_t pos = 0;
+  long long out = 0;
+  try {
+    out = std::stoll(v, &pos);
+  } catch (const std::exception&) {
+    pos = std::string::npos;
+  }
+  FTB_CHECK_MSG(pos == v.size(),
+                "malformed integer '" << v << "' for --" << key);
+  return out;
+}
+
+double parse_double_strict(const std::string& key, const std::string& v) {
+  std::size_t pos = 0;
+  double out = 0;
+  try {
+    out = std::stod(v, &pos);
+  } catch (const std::exception&) {
+    pos = std::string::npos;
+  }
+  FTB_CHECK_MSG(pos == v.size(),
+                "malformed number '" << v << "' for --" << key);
+  return out;
+}
+
+}  // namespace
 
 Options::Options(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
@@ -34,12 +71,12 @@ bool Options::has(const std::string& key) const { return !lookup(key).empty(); }
 
 long long Options::get_int(const std::string& key, long long def) const {
   const std::string v = lookup(key);
-  return v.empty() ? def : std::stoll(v);
+  return v.empty() ? def : parse_int_strict(key, v);
 }
 
 double Options::get_double(const std::string& key, double def) const {
   const std::string v = lookup(key);
-  return v.empty() ? def : std::stod(v);
+  return v.empty() ? def : parse_double_strict(key, v);
 }
 
 std::string Options::get_string(const std::string& key,
@@ -56,7 +93,7 @@ std::vector<double> Options::get_double_list(const std::string& key,
   std::stringstream ss(v);
   std::string item;
   while (std::getline(ss, item, ',')) {
-    if (!item.empty()) out.push_back(std::stod(item));
+    if (!item.empty()) out.push_back(parse_double_strict(key, item));
   }
   return out.empty() ? def : out;
 }
@@ -69,7 +106,7 @@ std::vector<long long> Options::get_int_list(const std::string& key,
   std::stringstream ss(v);
   std::string item;
   while (std::getline(ss, item, ',')) {
-    if (!item.empty()) out.push_back(std::stoll(item));
+    if (!item.empty()) out.push_back(parse_int_strict(key, item));
   }
   return out.empty() ? def : out;
 }

@@ -28,6 +28,13 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::drain(Job& job) {
   for (;;) {
+    // Fail-fast: once any participant has captured a failure, stop
+    // claiming blocks. The refs-based completion accounting is untouched —
+    // in-flight blocks on other participants run to the end of their range
+    // (their side effects are disjoint and their pooled scratch is
+    // released by RAII leases), the cursor is simply never advanced past
+    // the abandoned tail by anyone who has seen the flag.
+    if (job.failed.load(std::memory_order_acquire)) return;
     const std::size_t b = job.next_block.fetch_add(1, std::memory_order_relaxed);
     if (b >= job.num_blocks) return;
     const std::size_t lo = b * job.block;
@@ -35,8 +42,13 @@ void ThreadPool::drain(Job& job) {
     try {
       for (std::size_t i = lo; i < hi; ++i) job.fn(job.ctx, i);
     } catch (...) {
-      std::lock_guard<std::mutex> err_lock(job.err_mu);
-      if (!job.error) job.error = std::current_exception();
+      {
+        std::lock_guard<std::mutex> err_lock(job.err_mu);
+        if (!job.error) job.error = std::current_exception();
+      }
+      // Publish after the capture: a drain that observes the flag and
+      // returns is guaranteed a non-null job.error behind it.
+      job.failed.store(true, std::memory_order_release);
     }
   }
 }

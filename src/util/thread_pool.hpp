@@ -9,7 +9,12 @@
 // calling thread itself — claim contiguous index blocks off a shared atomic
 // cursor. A steady-state call therefore allocates nothing: no per-shard
 // task closures, no std::function conversions, no queue nodes. Exceptions
-// raised by any iteration are captured and rethrown on the caller's thread.
+// raised by any iteration are captured and rethrown on the caller's thread;
+// the first capture also fails the job fast — no participant claims further
+// blocks — matching the serial shortcut, which stops at the throwing
+// iteration. Blocks already in flight on other participants finish
+// normally, so iteration bodies holding pooled scratch must release it by
+// RAII (PoolLease) for the error path to be leak-free.
 #pragma once
 
 #include <atomic>
@@ -88,6 +93,12 @@ class ThreadPool {
     std::size_t refs = 0;        // workers inside drain(); guarded by mu_
     std::exception_ptr error;    // first failure (under err_mu)
     std::mutex err_mu;
+    /// Set (after `error`) by the first capturing participant: every drain
+    /// checks it before claiming another block, so a failed job abandons
+    /// its unclaimed tail instead of burning through it — and a nested
+    /// inner job that fails cannot stall behind sibling outer blocks that
+    /// would only feed a doomed result.
+    std::atomic<bool> failed{false};
   };
 
   void run_job(std::size_t count, std::size_t shards_per_thread, BlockFn fn,

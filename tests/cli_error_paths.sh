@@ -1,0 +1,130 @@
+#!/usr/bin/env bash
+# cli_error_paths.sh — pins ftbfs_cli's error-path contract, wired into
+# ctest as `cli_error_paths` (CMakeLists passes the built binary).
+#
+# The contract, for EVERY refused invocation:
+#   * the process exits non-zero (scripts and CI can gate on $?);
+#   * the diagnostic lands on stderr, never stdout (stdout is reserved for
+#     the machine-readable --json reports, so `cli ... --json | jq` can
+#     never swallow an error message as data).
+#
+# Covered refusals: unknown command / empty argv, bad --fault-model,
+# malformed --sources (including the trailing-garbage form "5x" that a
+# lenient strtoll would silently truncate), bad --graph-format, a missing
+# graph file, --eps on a non-edge pipeline, --site-dist without v5/v6
+# persistence, bad --dual-dfs-schedule values, and structure upgrade /
+# verify on a truncated v5/v6 artifact.
+set -u
+
+CLI="$1"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+fails=0
+
+# expect_fail NAME [--allow-stdout] CMD...
+# Runs CMD, requires: non-zero exit, non-empty stderr, and (unless
+# --allow-stdout) an empty stdout.
+expect_fail() {
+  local name="$1"
+  shift
+  local allow_stdout=0
+  if [ "$1" = "--allow-stdout" ]; then
+    allow_stdout=1
+    shift
+  fi
+  local out="$TMP/out.$name" err="$TMP/err.$name"
+  "$@" >"$out" 2>"$err"
+  local rc=$?
+  if [ "$rc" -eq 0 ]; then
+    echo "FAIL($name): exit 0, expected non-zero"
+    fails=$((fails + 1))
+    return
+  fi
+  if [ ! -s "$err" ]; then
+    echo "FAIL($name): empty stderr, expected a diagnostic"
+    fails=$((fails + 1))
+    return
+  fi
+  if [ "$allow_stdout" -eq 0 ] && [ -s "$out" ]; then
+    echo "FAIL($name): wrote to stdout:"
+    sed 's/^/    /' "$out"
+    fails=$((fails + 1))
+    return
+  fi
+  echo "ok($name): exit $rc, stderr-only"
+}
+
+GRAPH="$TMP/g.edges"
+"$CLI" generate --family=gnm --n=40 --m=120 --seed=1 --out="$GRAPH" \
+  >/dev/null 2>&1 || { echo "FAIL(setup): generate"; exit 1; }
+
+ART="$TMP/h.ftbfs"
+"$CLI" build --graph="$GRAPH" --fault-model=dual --v5 --out="$ART" \
+  >/dev/null 2>&1 || { echo "FAIL(setup): build v5"; exit 1; }
+
+# Argument-layer refusals.
+expect_fail no_command "$CLI"
+expect_fail unknown_command "$CLI" frobnicate --graph="$GRAPH"
+expect_fail bad_fault_model \
+  "$CLI" build --graph="$GRAPH" --fault-model=bogus
+expect_fail malformed_sources_nonnumeric \
+  "$CLI" build --graph="$GRAPH" --sources=0,x,10
+expect_fail malformed_sources_trailing_garbage \
+  "$CLI" build --graph="$GRAPH" --sources=0,5x,10
+expect_fail bad_graph_format \
+  "$CLI" info --graph="$GRAPH" --graph-format=yaml
+expect_fail missing_graph_file \
+  "$CLI" info --graph="$TMP/nope.edges"
+expect_fail eps_on_dual \
+  "$CLI" build --graph="$GRAPH" --fault-model=dual --eps=0.25
+expect_fail site_dist_without_v5 \
+  "$CLI" build --graph="$GRAPH" --fault-model=dual --site-dist \
+  --out="$TMP/x.ftbfs"
+expect_fail bad_dual_dfs_schedule_value \
+  "$CLI" build --graph="$GRAPH" --fault-model=dual --dual-dfs-schedule=maybe
+expect_fail dual_dfs_schedule_on_edge_model \
+  "$CLI" build --graph="$GRAPH" --dual-dfs-schedule=off
+
+# Truncated-artifact refusals: cut the checksummed v5 artifact mid-file;
+# the loader must refuse (CRC / framing), the CLI must exit non-zero.
+BYTES=$(wc -c <"$ART")
+head -c "$((BYTES / 2))" "$ART" >"$TMP/trunc.ftbfs"
+expect_fail verify_truncated_artifact \
+  "$CLI" verify --graph="$GRAPH" --structure="$TMP/trunc.ftbfs"
+expect_fail convert_truncated_artifact \
+  "$CLI" convert --graph="$GRAPH" --structure="$TMP/trunc.ftbfs" \
+  --out="$TMP/up.ftbfs"
+if [ -e "$TMP/up.ftbfs" ]; then
+  echo "FAIL(convert_truncated_artifact): refused convert left an output file"
+  fails=$((fails + 1))
+fi
+
+# fsck is the one command whose verdict IS its exit code. On a truncated
+# artifact the tolerant default may still salvage a degraded-but-correct
+# session (exit 1) or refuse outright (exit 2) depending on which section
+# the cut lands in — either way the verdict must be non-zero. Under
+# --strict the load must refuse, which IS the broken verdict (2).
+"$CLI" fsck --graph="$GRAPH" --structure="$TMP/trunc.ftbfs" \
+  >"$TMP/fsck.out" 2>"$TMP/fsck.err"
+rc=$?
+if [ "$rc" -ne 1 ] && [ "$rc" -ne 2 ]; then
+  echo "FAIL(fsck_truncated): exit $rc, expected verdict 1 or 2"
+  fails=$((fails + 1))
+else
+  echo "ok(fsck_truncated): exit $rc"
+fi
+"$CLI" fsck --graph="$GRAPH" --structure="$TMP/trunc.ftbfs" --strict \
+  >"$TMP/fsck_strict.out" 2>"$TMP/fsck_strict.err"
+rc=$?
+if [ "$rc" -ne 2 ]; then
+  echo "FAIL(fsck_truncated_strict): exit $rc, expected the broken verdict 2"
+  fails=$((fails + 1))
+else
+  echo "ok(fsck_truncated_strict): exit 2"
+fi
+
+if [ "$fails" -ne 0 ]; then
+  echo "$fails error-path check(s) FAILED"
+  exit 1
+fi
+echo "all CLI error paths ok"

@@ -12,9 +12,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <thread>
 
 #include "src/api/ftbfs_api.hpp"
 #include "src/core/dual_fault.hpp"
@@ -671,6 +673,144 @@ TEST(DualFault, MultiSourceDualBitParallelKnobIsByteIdentical) {
     EXPECT_EQ(ra.dual_tables[s].offsets, rb.dual_tables[s].offsets) << s;
     EXPECT_EQ(ra.dual_tables[s].edge_pool, rb.dual_tables[s].edge_pool) << s;
   }
+}
+
+/// Byte-level equality of the pair tables / site-dist rows — the referee
+/// the DFS-schedule tests pin both schedules against.
+bool same_tables(const DualSiteTable& a, const DualSiteTable& b) {
+  return a.sites == b.sites && a.offsets == b.offsets &&
+         a.edge_pool == b.edge_pool;
+}
+bool same_site_dist(const DualSiteDistTable& a, const DualSiteDistTable& b) {
+  return a.site_offsets == b.site_offsets && a.parent_edge == b.parent_edge &&
+         a.tf_depth == b.tf_depth && a.row_offsets == b.row_offsets &&
+         a.rows == b.rows;
+}
+
+TEST(DualFault, DfsScheduleIsByteIdenticalToIndependentRebase) {
+  // The DFS-order ancestor-sweep schedule reuses each site's nearest
+  // processed ancestor's workspace state; the independent schedule rebases
+  // every site from T0 in isolation. On all four property families the
+  // structure, pair tables AND site-dist rows must agree byte for byte,
+  // and the DFS schedule's rebase-seam work must be strictly lower (it
+  // pays subtree-volume patches where the referee pays a full O(n) label
+  // copy per site).
+  for (const auto& pc : test::property_cases(34, 2)) {
+    FTB_PROPERTY_TRACE(pc, "dual_fault_test");
+    DualFtBfsOptions dfs;
+    dfs.site_dist_oracle = true;
+    dfs.dfs_schedule = true;
+    DualFtBfsOptions ind = dfs;
+    ind.dfs_schedule = false;
+    const DualBuildResult a =
+        detail::build_dual_failure_ftbfs_impl(pc.graph, pc.source, dfs);
+    const DualBuildResult b =
+        detail::build_dual_failure_ftbfs_impl(pc.graph, pc.source, ind);
+    EXPECT_EQ(a.structure.edges(), b.structure.edges()) << pc.name();
+    EXPECT_EQ(a.structure.tree_edges(), b.structure.tree_edges()) << pc.name();
+    EXPECT_TRUE(same_tables(a.tables, b.tables)) << pc.name();
+    EXPECT_TRUE(same_site_dist(a.site_dist, b.site_dist)) << pc.name();
+    EXPECT_LT(a.sweep_work.total(), b.sweep_work.total()) << pc.name();
+  }
+}
+
+TEST(DualFault, DfsScheduleOnDegenerateTrees) {
+  // Path: T0 is one chain, so DFS order visits sites root-downward and
+  // consecutive sites share all but one path edge of ancestor state. Star:
+  // every site's affected subtree is a leaf (or the whole fan for the
+  // center vertex), the smallest possible patches. Both extremes must stay
+  // byte-identical across schedules.
+  for (const Graph& g : {gen::path_graph(64), gen::star_graph(64)}) {
+    DualFtBfsOptions dfs;
+    dfs.site_dist_oracle = true;
+    dfs.dfs_schedule = true;
+    DualFtBfsOptions ind = dfs;
+    ind.dfs_schedule = false;
+    const DualBuildResult a = detail::build_dual_failure_ftbfs_impl(g, 0, dfs);
+    const DualBuildResult b = detail::build_dual_failure_ftbfs_impl(g, 0, ind);
+    EXPECT_EQ(a.structure.edges(), b.structure.edges());
+    EXPECT_TRUE(same_tables(a.tables, b.tables));
+    EXPECT_TRUE(same_site_dist(a.site_dist, b.site_dist));
+    EXPECT_LT(a.sweep_work.total(), b.sweep_work.total());
+    // The structures still honor the dual contract on every pair.
+    EXPECT_EQ(verify_dual_structure(a.structure, /*max_pairs=*/-1), 0);
+  }
+}
+
+TEST(DualFault, DualDfsScheduleKnobThroughFacade) {
+  // The facade knob (BuildSpec::dual_dfs_schedule) reaches the pruned
+  // build: structures, tables, and batched session answers are identical
+  // with the schedule on or off.
+  const Graph g = gen::random_connected(36, 90, 19);
+  api::BuildSpec on;
+  on.fault_model = FaultClass::kDual;
+  on.sources = {0};
+  api::BuildSpec off = on;
+  off.dual_dfs_schedule = false;
+  const api::BuildResult ra = api::build(g, on);
+  const api::BuildResult rb = api::build(g, off);
+  EXPECT_EQ(ra.structure.edges(), rb.structure.edges());
+  ASSERT_EQ(ra.dual_tables.size(), rb.dual_tables.size());
+  EXPECT_TRUE(same_tables(ra.dual_tables.front(), rb.dual_tables.front()));
+
+  const api::Session sa = api::Session::deploy(g, ra);
+  const api::Session sb = api::Session::deploy(g, rb);
+  test::FaultSampler sampler(g, 0, 0xD5F5);
+  std::vector<api::Query> batch;
+  for (const auto& [x, y] : sampler.sample_pairs(40)) {
+    for (Vertex v = 0; v < g.num_vertices(); v += 3) {
+      api::Query q;
+      q.v = v;
+      q.kind = x.kind;
+      q.fault = x.id;
+      q.kind2 = y.kind;
+      q.fault2 = y.id;
+      batch.push_back(q);
+    }
+  }
+  const api::QueryResponse qa = sa.query(batch);
+  const api::QueryResponse qb = sb.query(batch);
+  ASSERT_EQ(qa.results.size(), qb.results.size());
+  for (std::size_t i = 0; i < qa.results.size(); ++i) {
+    ASSERT_EQ(qa.results[i].dist, qb.results[i].dist) << "query " << i;
+    ASSERT_EQ(qa.results[i].outcome, qb.results[i].outcome) << "query " << i;
+  }
+}
+
+TEST(DualFault, ConcurrentDualBuildStormIsDeterministic) {
+  // Several threads build the same dual structure simultaneously — both
+  // schedules, site-dist on — all through the shared global pool (nested
+  // parallel_for, pooled workspaces). Every result must equal the
+  // reference build byte for byte; TSan watches this under the
+  // concurrency ctest label.
+  const Graph g = gen::random_connected(48, 140, 11);
+  DualFtBfsOptions ref_opts;
+  ref_opts.site_dist_oracle = true;
+  const DualBuildResult ref =
+      detail::build_dual_failure_ftbfs_impl(g, 0, ref_opts);
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 3;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int round = 0; round < kRounds; ++round) {
+        DualFtBfsOptions opts;
+        opts.site_dist_oracle = true;
+        opts.dfs_schedule = (t + round) % 2 == 0;
+        const DualBuildResult r =
+            detail::build_dual_failure_ftbfs_impl(g, 0, opts);
+        if (r.structure.edges() != ref.structure.edges() ||
+            !same_tables(r.tables, ref.tables) ||
+            !same_site_dist(r.site_dist, ref.site_dist)) {
+          mismatches++;
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  EXPECT_EQ(mismatches.load(), 0);
 }
 
 TEST(DualFault, WrongWeightSeedIsRefusedAtLoad) {

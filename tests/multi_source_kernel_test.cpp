@@ -2,8 +2,9 @@
 // bit-parallel multi-source BFS kernel. Every lane of a fused run must be
 // bit-identical to a scalar bfs_run of that lane's (source, bans): same
 // order, same dist/parent/parent_edge at every vertex. The wall covers the
-// σ word-geometry extremes (σ = 1, σ = 64 at the word boundary, σ = 65
-// striped across two words), per-lane bans of every flavor, disconnected
+// σ word-geometry extremes (σ = 1, σ ∈ {63, 64} at the word boundary,
+// σ ∈ {65, 129} striped with one-bit final words), per-lane bans of every
+// flavor, disconnected
 // sources, kernel reuse, epoch wraparound, the process-wide pool, the
 // fused canonical seam (ms_canonical_sp), and the facade's duplicate-source
 // rejection — which must be byte-identical with the knob on or off.
@@ -83,9 +84,12 @@ std::vector<BfsLane> cycling_lanes(const Graph& g, Vertex anchor,
   return lanes;
 }
 
-// σ = 1 (degenerate), a mid width, the word boundary, and the first striped
-// width — the geometries where the lane-word indexing can go wrong.
-constexpr std::size_t kSigmas[] = {1, 5, 64, 65};
+// σ = 1 (degenerate), a mid width, the last all-in-word-0 widths (63 full
+// tail mask, 64 no tail mask), the first striped width (65: lane 64 alone
+// in word 1 under a one-bit tail mask), and a three-word stripe whose last
+// word is again one bit (129) — the geometries where the lane-word
+// indexing can go wrong.
+constexpr std::size_t kSigmas[] = {1, 5, 63, 64, 65, 129};
 
 TEST(MultiSourceKernel, MatchesScalarOnFamilies) {
   for (auto& fc : test::small_families()) {
@@ -167,15 +171,23 @@ TEST(MultiSourceKernel, DisconnectedSources) {
 }
 
 TEST(MultiSourceKernel, WordBoundaryAndStriping) {
-  // σ = 64 keeps every lane in word 0; σ = 65 forces the striped layout
-  // where lane 64 lives alone in word 1 with a one-bit tail mask.
+  // σ = 63 exercises the full-but-masked word 0 (tail mask 2^63 − 1),
+  // σ = 64 keeps every lane in word 0 with no tail mask; σ = 65 forces the
+  // striped layout where lane 64 lives alone in word 1 with a one-bit tail
+  // mask, and σ = 129 adds a full middle word with lane 128 alone in word
+  // 2 — the final-partial-word geometries of the ban masks and frontier
+  // words.
   const Graph g = gen::random_connected(90, 260, 31);
-  for (const std::size_t sigma : {std::size_t{64}, std::size_t{65}}) {
+  for (const std::size_t sigma :
+       {std::size_t{63}, std::size_t{64}, std::size_t{65}, std::size_t{129}}) {
     auto lanes = cycling_lanes(g, 7, sigma);
-    // Give the boundary lanes bans so the σ-wide ban masks straddle the
-    // word seam too.
+    // Give the word-seam lanes bans so the σ-wide ban masks straddle every
+    // word boundary too: the last lane (the final partial word's top bit),
+    // lane 0, and — when striped — the first lane of each later word.
     lanes[sigma - 1].bans.banned_edge = 3;
     lanes[0].bans.banned_vertex_one = 88;
+    if (sigma > 64) lanes[64].bans.banned_edge = 7;
+    if (sigma > 128) lanes[128].bans.banned_vertex_one = 41;
     expect_lanes_match_scalar(g, lanes,
                               "boundary/sigma" + std::to_string(sigma));
   }

@@ -8,8 +8,11 @@
 #include <memory>
 #include <numeric>
 #include <sstream>
+#include <thread>
+#include <vector>
 
 #include "src/util/check.hpp"
+#include "src/util/free_list_pool.hpp"
 #include "src/util/options.hpp"
 #include "src/util/rng.hpp"
 #include "src/util/table.hpp"
@@ -104,6 +107,93 @@ TEST(ThreadPool, ExceptionsPropagate) {
   std::atomic<int> ok{0};
   pool.parallel_for(10, [&](std::size_t) { ok++; });
   EXPECT_EQ(ok.load(), 10);
+}
+
+// Every arena the error path ever constructed, parked or in flight.
+std::atomic<int> g_counted_arenas_live{0};
+struct CountedArena {
+  CountedArena() { ++g_counted_arenas_live; }
+  ~CountedArena() { --g_counted_arenas_live; }
+  std::vector<int> scratch;
+};
+
+TEST(ThreadPool, ThrowingIterationReleasesPooledArenas) {
+  // The error-path leak contract: an iteration body that leases scratch
+  // from a FreeListPool and then throws must still return the arena —
+  // PoolLease's unwind does it — so a failed parallel_for leaves every
+  // arena either parked in the pool or deleted, never stranded. Destroying
+  // the pool afterwards therefore reclaims all of them.
+  ThreadPool pool(4);
+  {
+    FreeListPool<CountedArena> arenas;
+    EXPECT_THROW(
+        pool.parallel_for(512,
+                          [&](std::size_t i) {
+                            const PoolLease<CountedArena> lease(arenas);
+                            lease->scratch.assign(64, static_cast<int>(i));
+                            if (i % 5 == 2) {
+                              throw std::runtime_error("mid-lease boom");
+                            }
+                          }),
+        std::runtime_error);
+  }
+  EXPECT_EQ(g_counted_arenas_live.load(), 0);
+}
+
+TEST(ThreadPool, FailFastAbandonsTailAfterFailure) {
+  // Block 0 is claimed first off the cursor and its first iteration throws
+  // immediately, so the failed flag is up while the other participants are
+  // still inside their first (deliberately slow) blocks. Everything they
+  // would have claimed afterwards is abandoned — the run must end with
+  // most of the index space unvisited, like the serial shortcut that
+  // stops at the throwing iteration.
+  ThreadPool pool(2);
+  constexpr std::size_t kCount = 1 << 14;
+  std::atomic<std::size_t> ran{0};
+  EXPECT_THROW(pool.parallel_for(kCount,
+                                 [&](std::size_t i) {
+                                   if (i == 0) {
+                                     throw std::runtime_error("early boom");
+                                   }
+                                   for (int k = 0; k < 10; ++k) {
+                                     std::this_thread::yield();
+                                   }
+                                   ran++;
+                                 }),
+               std::runtime_error);
+  EXPECT_LT(ran.load(), kCount - 1);
+  // And the pool serves the next job in full.
+  std::atomic<std::size_t> ok{0};
+  pool.parallel_for(100, [&](std::size_t) { ok++; });
+  EXPECT_EQ(ok.load(), 100u);
+}
+
+TEST(ThreadPool, NestedInnerThrowDrainsAndPropagates) {
+  // Nested parallelism: an outer iteration runs an inner parallel_for on
+  // the SAME pool (the inner job drains through its caller). An inner
+  // failure must finish draining the inner job, surface exactly once in
+  // the outer body, fail the outer job fast, and leave the pool reusable.
+  ThreadPool pool(3);
+  std::atomic<int> inner_throws{0};
+  EXPECT_THROW(
+      pool.parallel_for(8,
+                        [&](std::size_t) {
+                          try {
+                            pool.parallel_for(64, [&](std::size_t j) {
+                              if (j == 13) {
+                                throw std::runtime_error("inner boom");
+                              }
+                            });
+                          } catch (const std::runtime_error&) {
+                            inner_throws++;
+                            throw;
+                          }
+                        }),
+      std::runtime_error);
+  EXPECT_GE(inner_throws.load(), 1);
+  std::atomic<int> ok{0};
+  pool.parallel_for(37, [&](std::size_t) { ok++; });
+  EXPECT_EQ(ok.load(), 37);
 }
 
 TEST(ThreadPool, GlobalPoolSingleton) {
@@ -243,6 +333,19 @@ TEST(Options, ParsesLists) {
   const auto def = o.get_int_list("missing", {42});
   ASSERT_EQ(def.size(), 1u);
   EXPECT_EQ(def[0], 42);
+}
+
+TEST(Options, RejectsMalformedScalarsAndListItems) {
+  // std::stoll would parse "5x" as 5 — a typo'd --sources=0,5x,10 must be
+  // a hard CheckError (the CLI turns it into a non-zero exit with the
+  // diagnostic on stderr), never a silently-wrong source set.
+  const char* argv[] = {"prog", "--n=12x", "--eps=0.2.5", "--sources=0,5x,10",
+                        "--steps=0.1,nope"};
+  Options o(5, const_cast<char**>(argv));
+  EXPECT_THROW(o.get_int("n", 0), CheckError);
+  EXPECT_THROW(o.get_double("eps", 0), CheckError);
+  EXPECT_THROW(o.get_int_list("sources", {}), CheckError);
+  EXPECT_THROW(o.get_double_list("steps", {}), CheckError);
 }
 
 TEST(Check, ThrowsWithMessage) {

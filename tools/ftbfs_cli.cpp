@@ -90,6 +90,8 @@ int usage() {
          "           [--fault-model=edge|vertex|either|dual]\n"
          "           [--site-dist]   (dual: harvest the site-local pair\n"
          "                            oracle; persisted only by --v5/--v6)\n"
+         "           [--dual-dfs-schedule=on|off]   (dual: DFS-order\n"
+         "                            ancestor-sweep sharing; default on)\n"
          "  verify   --graph=PATH --structure=PATH [--nontree] [--json]\n"
          "           [--fault-model=...]   (default: the structure's tag)\n"
          "           [--pairs=N]   (dual: failure pairs to check; -1 = all)\n"
@@ -248,6 +250,20 @@ api::BuildSpec spec_from_options(const Options& opt) {
                   "--site-dist applies only to --fault-model=dual (the "
                   "site-local oracle accelerates pair queries)");
     spec.site_dist_oracle = true;
+  }
+  if (opt.has("dual-dfs-schedule")) {
+    FTB_CHECK_MSG(spec.fault_model == FaultClass::kDual,
+                  "--dual-dfs-schedule applies only to --fault-model=dual "
+                  "(it picks the pruned dual build's site schedule)");
+    const std::string v = opt.get_string("dual-dfs-schedule", "on");
+    if (v == "on" || v.empty()) {
+      spec.dual_dfs_schedule = true;
+    } else if (v == "off") {
+      spec.dual_dfs_schedule = false;
+    } else {
+      FTB_CHECK_MSG(false, "unknown --dual-dfs-schedule '" << v
+                               << "' (want on or off)");
+    }
   }
   return spec;
 }
